@@ -1,0 +1,162 @@
+//! Breadth-first search (`bfs`) over the Boolean (And-Or) semiring.
+//!
+//! Inner loop:
+//!
+//! ```text
+//! reached   = frontierᵀ ∧/∨ A        (one-hop expansion)
+//! frontier' = reached ∧ ¬visited     (mask already-visited vertices)
+//! visited'  = visited ∨ frontier'
+//! ```
+//!
+//! The masking e-wise ops read `visited` — a *loop-carried input*, fully
+//! available before the current `vxm` completes — so the
+//! `vxm → mask → carry → vxm` chain keeps sub-tensor dependency and the
+//! app admits cross-iteration OEI.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
+use sparsepipe_tensor::{CooMatrix, DenseVector};
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Builds the BFS application (source vertex 0).
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let frontier = b.input_vector("frontier");
+    let visited = b.input_vector("visited");
+    let a = b.constant_matrix("A");
+    let reached = b.vxm(frontier, a, SemiringOp::AndOr).expect("valid graph");
+    let unvisited = b
+        .ewise_unary(EwiseUnary::Not, visited)
+        .expect("valid graph");
+    let next_frontier = b
+        .ewise(EwiseBinary::And, reached, unvisited)
+        .expect("valid graph");
+    let next_visited = b
+        .ewise(EwiseBinary::Or, visited, next_frontier)
+        .expect("valid graph");
+    b.carry(next_frontier, frontier).expect("valid carry");
+    b.carry(next_visited, visited).expect("valid carry");
+    StaApp {
+        name: "bfs",
+        semiring: SemiringOp::AndOr,
+        reuse: ReusePattern::CrossIteration,
+        domain: Domain::GraphAnalytics,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings: frontier = {0}, visited = {0}.
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows() as usize;
+    let mut frontier = DenseVector::zeros(n);
+    let mut visited = DenseVector::zeros(n);
+    if n > 0 {
+        frontier[0] = 1.0;
+        visited[0] = 1.0;
+    }
+    let mut b = Bindings::new();
+    b.insert("frontier".into(), Value::Vector(frontier));
+    b.insert("visited".into(), Value::Vector(visited));
+    b.insert("A".into(), Value::sparse(m));
+    b
+}
+
+/// Scalar reference: classic queue-free level-synchronous BFS returning
+/// the visited set after `iterations` levels.
+pub fn reference(m: &CooMatrix, iterations: usize) -> Vec<bool> {
+    let n = m.nrows() as usize;
+    let csr = m.to_csr();
+    let mut visited = vec![false; n];
+    let mut frontier = vec![false; n];
+    if n > 0 {
+        visited[0] = true;
+        frontier[0] = true;
+    }
+    for _ in 0..iterations {
+        let mut next = vec![false; n];
+        for (v, &active) in frontier.iter().enumerate() {
+            if !active {
+                continue;
+            }
+            let (cols, _) = csr.row(v as u32);
+            for &c in cols {
+                if !visited[c as usize] {
+                    next[c as usize] = true;
+                }
+            }
+        }
+        for v in 0..n {
+            if next[v] {
+                visited[v] = true;
+            }
+        }
+        frontier = next;
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::uniform(64, 64, 256, 13);
+        let app = app(6);
+        let out = interp::run(&app.graph, &app.bindings(&m), 6).unwrap();
+        let got = out["visited"].as_vector().unwrap();
+        let expected = reference(&m, 6);
+        for (i, (&g, &e)) in got.as_slice().iter().zip(expected.iter()).enumerate() {
+            assert_eq!(g != 0.0, e, "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn frontier_never_revisits() {
+        let m = gen::uniform(40, 40, 200, 4);
+        let app = app(1);
+        let mut bindings = app.bindings(&m);
+        for _ in 0..6 {
+            let out = interp::run(&app.graph, &bindings, 1).unwrap();
+            let frontier = out["frontier"].as_vector().unwrap().clone();
+            let visited = out["visited"].as_vector().unwrap().clone();
+            // invariant: frontier ⊆ visited, and the previous visited set
+            // is a subset of the new one
+            for (f, v) in frontier.iter().zip(visited.iter()) {
+                assert!(*f == 0.0 || *v != 0.0);
+            }
+            bindings.insert("frontier".into(), Value::Vector(frontier));
+            bindings.insert("visited".into(), Value::Vector(visited));
+        }
+    }
+
+    #[test]
+    fn compiles_with_cross_iteration_oei() {
+        let program = app(8).compile().unwrap();
+        assert!(program.profile.has_oei);
+        assert!(program.profile.cross_iteration);
+        assert_eq!(program.os_semiring, SemiringOp::AndOr);
+    }
+
+    #[test]
+    fn path_graph_reaches_one_level_per_iteration() {
+        // 0 -> 1 -> 2 -> 3
+        let m = CooMatrix::from_entries(
+            4,
+            4,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        let app = app(2);
+        let out = interp::run(&app.graph, &app.bindings(&m), 2).unwrap();
+        let visited = out["visited"].as_vector().unwrap();
+        assert_eq!(visited.as_slice(), &[1.0, 1.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Biconjugate gradient stabilized (`bgs`) — producer-consumer reuse only.
+//!
+//! BiCGSTAB performs **two** matrix-vector products per iteration
+//! (`v = A·p` and `t = A·s`), with dot-product-derived scalars (`α`, `ω`)
+//! gating the vector updates between them. Like CG, those same-iteration
+//! scalar dependencies break sub-tensor dependency, so no OEI — but unlike
+//! KNN's two `vxm`s, the scalar gates also block *within-iteration*
+//! fusion, so the matrix streams twice per iteration.
+//!
+//! We implement the standard (unpreconditioned) recurrence with the `ρ`
+//! ratio folded into carried scalars.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+use sparsepipe_tensor::{CooMatrix, DenseVector};
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Builds the BiCGSTAB application.
+///
+/// The dataflow graph captures the data-movement skeleton (two `vxm`
+/// passes and the gated vector updates); the reference implementation
+/// below is the full textbook recurrence.
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let p = b.input_vector("p");
+    let r = b.input_vector("r");
+    let a = b.constant_matrix("A");
+
+    let v = b.vxm(p, a, SemiringOp::MulAdd).expect("valid graph");
+    let rv = b.dot(r, v).expect("valid graph");
+    let alpha_v = b
+        .ewise_broadcast(EwiseBinary::Div, v, rv)
+        .expect("valid graph");
+    let s = b.ewise(EwiseBinary::Sub, r, alpha_v).expect("valid graph");
+    let t = b.vxm(s, a, SemiringOp::MulAdd).expect("valid graph");
+    let ts = b.dot(t, s).expect("valid graph");
+    let omega_t = b
+        .ewise_broadcast(EwiseBinary::Div, t, ts)
+        .expect("valid graph");
+    let r_next = b.ewise(EwiseBinary::Sub, s, omega_t).expect("valid graph");
+    let p_next = b.ewise(EwiseBinary::Add, r_next, p).expect("valid graph");
+    b.carry(p_next, p).expect("valid carry");
+    b.carry(r_next, r).expect("valid carry");
+    StaApp {
+        name: "bgs",
+        semiring: SemiringOp::MulAdd,
+        reuse: ReusePattern::ProducerConsumer,
+        domain: Domain::Solver,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings: `r = p = b = 1`, x₀ = 0.
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows() as usize;
+    let r0 = DenseVector::filled(n, 1.0);
+    let mut b = Bindings::new();
+    b.insert("p".into(), Value::Vector(r0.clone()));
+    b.insert("r".into(), Value::Vector(r0));
+    b.insert("A".into(), Value::sparse(m));
+    b
+}
+
+/// Scalar reference: full textbook BiCGSTAB returning `x` after
+/// `iterations` steps on `A x = 1`.
+pub fn reference(m: &CooMatrix, iterations: usize) -> DenseVector {
+    let n = m.nrows() as usize;
+    let csc = m.to_csc();
+    let spmv = |x: &DenseVector| {
+        csc.vxm::<sparsepipe_semiring::MulAdd>(x)
+            .expect("square matrix")
+    };
+    let bvec = DenseVector::filled(n, 1.0);
+    let mut x = DenseVector::zeros(n);
+    let mut r = bvec.clone();
+    let r_hat = r.clone();
+    let mut p = r.clone();
+    let mut rho = r_hat.dot(&r).expect("same length");
+    for _ in 0..iterations {
+        let v = spmv(&p);
+        let alpha = rho / r_hat.dot(&v).expect("same length");
+        let s: DenseVector = r.iter().zip(v.iter()).map(|(&ri, &vi)| ri - alpha * vi).collect();
+        let t = spmv(&s);
+        let tt = t.dot(&t).expect("same length");
+        let omega = if tt.abs() > 1e-300 {
+            t.dot(&s).expect("same length") / tt
+        } else {
+            0.0
+        };
+        x = x
+            .iter()
+            .zip(p.iter().zip(s.iter()))
+            .map(|(&xi, (&pi, &si))| xi + alpha * pi + omega * si)
+            .collect();
+        r = s.iter().zip(t.iter()).map(|(&si, &ti)| si - omega * ti).collect();
+        let rho_next = r_hat.dot(&r).expect("same length");
+        let beta = (rho_next / rho) * (alpha / omega.max(1e-300));
+        p = r
+            .iter()
+            .zip(p.iter().zip(v.iter()))
+            .map(|(&ri, (&pi, &vi))| ri + beta * (pi - omega * vi))
+            .collect();
+        rho = rho_next;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::spd_matrix;
+    use sparsepipe_frontend::interp;
+
+    #[test]
+    fn graph_interprets_without_error() {
+        let m = spd_matrix(40, 7);
+        let app = app(4);
+        let out = interp::run(&app.graph, &app.bindings(&m), 4).unwrap();
+        assert!(out["r"].as_vector().is_some());
+    }
+
+    #[test]
+    fn reference_converges_on_spd_system() {
+        let m = spd_matrix(50, 3);
+        let x = reference(&m, 30);
+        let csc = m.to_csc();
+        let ax = csc.vxm::<sparsepipe_semiring::MulAdd>(&x).unwrap();
+        for &v in ax.iter() {
+            assert!((v - 1.0).abs() < 1e-6, "residual {v}");
+        }
+    }
+
+    #[test]
+    fn two_matrix_passes_no_oei() {
+        let program = app(8).compile().unwrap();
+        assert!(!program.profile.has_oei, "scalar gates must block OEI");
+        assert_eq!(program.profile.matrix_passes, 2);
+    }
+}

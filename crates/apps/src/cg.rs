@@ -1,0 +1,175 @@
+//! Conjugate gradient (`cg`) — producer-consumer reuse only (Table III).
+//!
+//! The CG inner loop's step size `α = (rᵀr)/(pᵀAp)` is computed from this
+//! iteration's `vxm` output and consumed by this iteration's vector
+//! updates: a *scalar* gate with full-vector dependency sits on the path
+//! from one `vxm` to the next, breaking sub-tensor dependency. CG
+//! therefore cannot use the OEI dataflow; Sparsepipe still fuses its
+//! e-wise chains (producer-consumer reuse), which is why Fig 14 shows
+//! cg/bgs at parity with the ideal accelerator (0.75–1.20×).
+//!
+//! ```text
+//! q  = A·p
+//! α  = rr / (pᵀq)
+//! x' = x + α·p          r' = r − α·q
+//! rr' = r'ᵀr'           β  = rr'/rr        p' = r' + β·p
+//! ```
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+use sparsepipe_tensor::{CooMatrix, DenseVector};
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Builds the CG application.
+///
+/// The graph implements the α-update half of CG exactly (the β-recurrence
+/// uses the carried `rr` scalar); x is folded into the carried state.
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let p = b.input_vector("p");
+    let r = b.input_vector("r");
+    let x = b.input_vector("x");
+    let rr = b.input_scalar("rr");
+    let a = b.constant_matrix("A");
+
+    let q = b.vxm(p, a, SemiringOp::MulAdd).expect("valid graph");
+    let pq = b.dot(p, q).expect("valid graph");
+    // α = rr / pq — scalar-on-scalar arithmetic is expressed through the
+    // broadcast chain: step = (q · rr) / pq, giving α·q elementwise.
+    let q_rr = b.ewise_broadcast(EwiseBinary::Mul, q, rr).expect("valid graph");
+    let alpha_q = b
+        .ewise_broadcast(EwiseBinary::Div, q_rr, pq)
+        .expect("valid graph");
+    let p_rr = b.ewise_broadcast(EwiseBinary::Mul, p, rr).expect("valid graph");
+    let alpha_p = b
+        .ewise_broadcast(EwiseBinary::Div, p_rr, pq)
+        .expect("valid graph");
+
+    let x_next = b.ewise(EwiseBinary::Add, x, alpha_p).expect("valid graph");
+    let r_next = b.ewise(EwiseBinary::Sub, r, alpha_q).expect("valid graph");
+    let rr_next = b.dot(r_next, r_next).expect("valid graph");
+    // p' = r' + (rr'/rr)·p
+    let p_scaled = b
+        .ewise_broadcast(EwiseBinary::Mul, p, rr_next)
+        .expect("valid graph");
+    let beta_p = b
+        .ewise_broadcast(EwiseBinary::Div, p_scaled, rr)
+        .expect("valid graph");
+    let p_next = b.ewise(EwiseBinary::Add, r_next, beta_p).expect("valid graph");
+
+    b.carry(p_next, p).expect("valid carry");
+    b.carry(r_next, r).expect("valid carry");
+    b.carry(x_next, x).expect("valid carry");
+    b.carry(rr_next, rr).expect("valid carry");
+    StaApp {
+        name: "cg",
+        semiring: SemiringOp::MulAdd,
+        reuse: ReusePattern::ProducerConsumer,
+        domain: Domain::Solver,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings for solving `A x = b` with `b = 1` and SPD-ish `A` expected;
+/// the initial residual is `b` (x₀ = 0).
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows() as usize;
+    let r0 = DenseVector::filled(n, 1.0);
+    let rr0 = r0.dot(&r0).expect("same length");
+    let mut b = Bindings::new();
+    b.insert("p".into(), Value::Vector(r0.clone()));
+    b.insert("r".into(), Value::Vector(r0));
+    b.insert("x".into(), Value::Vector(DenseVector::zeros(n)));
+    b.insert("rr".into(), Value::Scalar(rr0));
+    b.insert("A".into(), Value::sparse(m));
+    b
+}
+
+/// Scalar reference CG on the same formulation.
+pub fn reference(m: &CooMatrix, iterations: usize) -> DenseVector {
+    let n = m.nrows() as usize;
+    let csc = m.to_csc();
+    let mut p = DenseVector::filled(n, 1.0);
+    let mut r = p.clone();
+    let mut x = DenseVector::zeros(n);
+    let mut rr = r.dot(&r).expect("same length");
+    for _ in 0..iterations {
+        let q = csc
+            .vxm::<sparsepipe_semiring::MulAdd>(&p)
+            .expect("square matrix");
+        let pq = p.dot(&q).expect("same length");
+        let alpha = rr / pq;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        let rr_next = r.dot(&r).expect("same length");
+        let beta = rr_next / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_next;
+    }
+    x
+}
+
+/// A small SPD test matrix: diagonally dominant symmetric.
+pub fn spd_matrix(n: u32, seed: u64) -> CooMatrix {
+    let base = sparsepipe_tensor::gen::banded(n, n as usize * 4, 3, seed);
+    let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+    for &(r, c, v) in base.entries() {
+        if r < c {
+            entries.push((r, c, -v.abs() * 0.1));
+            entries.push((c, r, -v.abs() * 0.1));
+        }
+    }
+    for i in 0..n {
+        entries.push((i, i, 4.0));
+    }
+    CooMatrix::from_entries(n, n, entries).expect("valid coordinates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = spd_matrix(40, 5);
+        let app = app(6);
+        let out = interp::run(&app.graph, &app.bindings(&m), 6).unwrap();
+        let got = out["x"].as_vector().unwrap();
+        let expected = reference(&m, 6);
+        assert!(got.max_abs_diff(&expected).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn converges_on_spd_system() {
+        let m = spd_matrix(60, 9);
+        let x = reference(&m, 40);
+        // check A·x ≈ b = 1
+        let csc = m.to_csc();
+        // r = b − A x; with symmetric A, xᵀA = (A x)ᵀ
+        let ax = csc.vxm::<sparsepipe_semiring::MulAdd>(&x).unwrap();
+        for &v in ax.iter() {
+            assert!((v - 1.0).abs() < 1e-6, "residual too large: {v}");
+        }
+    }
+
+    #[test]
+    fn no_oei_producer_consumer_only() {
+        let program = app(10).compile().unwrap();
+        assert!(!program.profile.has_oei, "CG's α gate must block OEI");
+        // but fusion still pays: fused traffic below unfused
+        assert!(
+            program.profile.fused_vector_reads + program.profile.fused_vector_writes
+                < program.profile.unfused_vector_reads + program.profile.unfused_vector_writes
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Graph convolutional network (`gcn`) inference — Fig 5 of the paper.
+//!
+//! One layer:
+//!
+//! ```text
+//! H' = ReLU( (Aᵀ · H) · W )        SpMM → MM → ReLU
+//! ```
+//!
+//! "Since no value in the input dense matrix is blocked by MM and ReLU,
+//! and SpMM can be implemented as multiple vxm, it is possible to fuse
+//! SpMM operations from different stages" — the dense weight multiply
+//! preserves row-wise (sub-tensor) dependency, so consecutive layers fuse
+//! under OEI and the adjacency matrix is fetched once per *two* layers.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseUnary, SemiringOp};
+use sparsepipe_tensor::{CooMatrix, DenseMatrix};
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Default feature width (hidden dimension).
+pub const FEATURES: usize = 16;
+
+/// Builds the GCN application (`iterations` = number of layers).
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let h = b.input_dense("H");
+    let a = b.constant_matrix("A");
+    let w = b.constant_dense("W");
+    let agg = b.spmm(h, a, SemiringOp::MulAdd).expect("valid graph");
+    let lin = b.dense_mm(agg, w).expect("valid graph");
+    let act = b.ewise_unary(EwiseUnary::Relu, lin).expect("valid graph");
+    b.carry(act, h).expect("valid carry");
+    StaApp {
+        name: "gcn",
+        semiring: SemiringOp::MulAdd,
+        reuse: ReusePattern::CrossIteration,
+        domain: Domain::MachineLearning,
+        graph: b.build().expect("acyclic"),
+        feature_dim: FEATURES,
+        default_iterations: iterations,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings: deterministic pseudo-random features and weights (seeded by
+/// index arithmetic, no RNG dependency).
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows() as usize;
+    let f = FEATURES;
+    let h = DenseMatrix::from_row_major(
+        n,
+        f,
+        (0..n * f)
+            .map(|i| ((i * 2654435761 % 1000) as f64 / 1000.0) - 0.5)
+            .collect(),
+    )
+    .expect("sized data");
+    let w = DenseMatrix::from_row_major(
+        f,
+        f,
+        (0..f * f)
+            .map(|i| ((i * 40503 % 997) as f64 / 997.0 - 0.5) * 0.3)
+            .collect(),
+    )
+    .expect("sized data");
+    let mut b = Bindings::new();
+    b.insert("H".into(), Value::Dense(h));
+    b.insert("A".into(), Value::sparse(m));
+    b.insert("W".into(), Value::Dense(w));
+    b
+}
+
+/// Scalar reference: `layers` applications of `ReLU((AᵀH)W)` with the same
+/// deterministic H/W as [`bindings`].
+pub fn reference(m: &CooMatrix, layers: usize) -> DenseMatrix {
+    let bindings = bindings(m);
+    let mut h = match &bindings["H"] {
+        Value::Dense(h) => h.clone(),
+        _ => unreachable!(),
+    };
+    let w = match &bindings["W"] {
+        Value::Dense(w) => w.clone(),
+        _ => unreachable!(),
+    };
+    let csc = m.to_csc();
+    let n = m.nrows() as usize;
+    for _ in 0..layers {
+        let mut agg = DenseMatrix::zeros(n, FEATURES);
+        for j in 0..FEATURES {
+            let col: sparsepipe_tensor::DenseVector =
+                (0..n).map(|r| h.get(r, j)).collect();
+            let y = csc
+                .vxm::<sparsepipe_semiring::MulAdd>(&col)
+                .expect("square matrix");
+            for r in 0..n {
+                agg.set(r, j, y[r]);
+            }
+        }
+        let mut out = agg.matmul(&w).expect("shapes match");
+        out.map_inplace(|v| v.max(0.0));
+        h = out;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::uniform(24, 24, 96, 41);
+        let app = app(2);
+        let out = interp::run(&app.graph, &app.bindings(&m), 2).unwrap();
+        let got = out["H"].as_dense().unwrap();
+        let expected = reference(&m, 2);
+        for (a, b) in got.as_slice().iter().zip(expected.as_slice()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn relu_keeps_activations_nonnegative() {
+        let m = gen::uniform(20, 20, 80, 8);
+        let app = app(3);
+        let out = interp::run(&app.graph, &app.bindings(&m), 3).unwrap();
+        for &v in out["H"].as_dense().unwrap().as_slice() {
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fuses_layers_under_oei_with_feature_scaling() {
+        let program = app(4).compile().unwrap();
+        assert!(program.profile.has_oei && program.profile.cross_iteration);
+        assert_eq!(program.profile.feature_dim, FEATURES);
+        assert!(program.profile.dense_flops_per_element > 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Generalized minimal residuals (`gmres`) — Krylov basis generation.
+//!
+//! The bandwidth-dominant core of restarted GMRES is the Arnoldi
+//! matrix-vector product chain `v_{k+1} ∝ A·v_k`. Following the paper's
+//! classification (Table III lists gmres among the cross-iteration apps),
+//! we model the *deferred-normalization* formulation: the new basis vector
+//! is scaled by the **previous** iteration's norm estimate (a loop-carried
+//! scalar, fully available before the current `vxm` starts), and the exact
+//! dots/orthogonalization coefficients are computed as side outputs. This
+//! keeps the `vxm → scale → carry → vxm` chain free of same-iteration
+//! scalar dependencies — which is precisely what separates it from CG,
+//! where `α` must be consumed in the same iteration it is produced.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+use sparsepipe_tensor::{CooMatrix, DenseVector};
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Builds the GMRES (Krylov basis) application.
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let v = b.input_vector("v");
+    let nrm = b.input_scalar("nrm"); // previous iteration's ‖w‖² estimate
+    let a = b.constant_matrix("A");
+    let w = b.vxm(v, a, SemiringOp::MulAdd).expect("valid graph");
+    // deferred normalization with the carried scalar
+    let scaled = b
+        .ewise_broadcast(EwiseBinary::Div, w, nrm)
+        .expect("valid graph");
+    b.carry(scaled, v).expect("valid carry");
+    // side outputs: the Hessenberg coefficient h = vᵀw and the next norm
+    // estimate ‖w‖² (carried for the next iteration's scaling)
+    let _h = b.dot(v, w).expect("valid graph");
+    let nrm2 = b.dot(w, w).expect("valid graph");
+    b.carry(nrm2, nrm).expect("valid carry");
+    StaApp {
+        name: "gmres",
+        semiring: SemiringOp::MulAdd,
+        reuse: ReusePattern::CrossIteration,
+        domain: Domain::MachineLearning,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings: unit start vector, norm estimate 1.
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows() as usize;
+    let mut b = Bindings::new();
+    b.insert(
+        "v".into(),
+        Value::Vector(DenseVector::filled(n, 1.0 / (n.max(1) as f64).sqrt())),
+    );
+    b.insert("nrm".into(), Value::Scalar(1.0));
+    b.insert("A".into(), Value::sparse(m));
+    b
+}
+
+/// Scalar reference mirroring the deferred-normalization loop.
+pub fn reference(m: &CooMatrix, iterations: usize) -> DenseVector {
+    let n = m.nrows() as usize;
+    let csc = m.to_csc();
+    let mut v = DenseVector::filled(n, 1.0 / (n.max(1) as f64).sqrt());
+    let mut nrm = 1.0f64;
+    for _ in 0..iterations {
+        let w = csc
+            .vxm::<sparsepipe_semiring::MulAdd>(&v)
+            .expect("square matrix");
+        let next: DenseVector = w.iter().map(|&x| x / nrm).collect();
+        nrm = w.dot(&w).expect("same length");
+        v = next;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::banded(60, 400, 4, 19);
+        let app = app(5);
+        let out = interp::run(&app.graph, &app.bindings(&m), 5).unwrap();
+        let got = out["v"].as_vector().unwrap();
+        let expected = reference(&m, 5);
+        assert!(got.max_abs_diff(&expected).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn carried_scalar_keeps_oei() {
+        let program = app(8).compile().unwrap();
+        assert!(
+            program.profile.has_oei && program.profile.cross_iteration,
+            "deferred normalization must keep the OEI chain"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! k-core decomposition (`kcore`) — iterative peeling.
+//!
+//! Inner loop (for a fixed `k`):
+//!
+//! ```text
+//! deg     = activeᵀ · A            (degree restricted to active vertices)
+//! active' = active ∧ (deg ≥ k)     (peel under-degree vertices)
+//! count   = Σ active'              (side output: surviving vertices)
+//! ```
+//!
+//! k-core is the paper's *compute-intensive* representative ("containing
+//! many e-wise operations", Fig 15c): the peeling chain contributes
+//! several e-wise ops per `vxm`.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+use sparsepipe_tensor::{CooMatrix, DenseVector};
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// The core order used by experiments.
+pub const K: f64 = 3.0;
+
+/// Builds the k-core application (k = [`K`]).
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let active = b.input_vector("active");
+    let a = b.constant_matrix("A");
+    let deg = b.vxm(active, a, SemiringOp::MulAdd).expect("valid graph");
+    // deg ≥ k  ⟺  deg > k − ½ for integer degrees
+    let enough = b
+        .ewise_scalar(EwiseBinary::Greater, deg, K - 0.5)
+        .expect("valid graph");
+    let survives = b
+        .ewise(EwiseBinary::And, active, enough)
+        .expect("valid graph");
+    // normalize to exactly {0,1} (And already does, but k-core codes carry
+    // extra e-wise cleanup — keep the op mix representative)
+    let next = b
+        .ewise_scalar(EwiseBinary::Greater, survives, 0.5)
+        .expect("valid graph");
+    let _count = b.reduce(EwiseBinary::Add, next).expect("valid graph");
+    b.carry(next, active).expect("valid carry");
+    StaApp {
+        name: "kcore",
+        semiring: SemiringOp::MulAdd,
+        reuse: ReusePattern::CrossIteration,
+        domain: Domain::GraphAnalytics,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings: all vertices initially active; pattern matrix (weights 1).
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows() as usize;
+    let pattern = CooMatrix::from_entries(
+        m.nrows(),
+        m.ncols(),
+        m.entries().iter().map(|&(r, c, _)| (r, c, 1.0)).collect(),
+    )
+    .expect("same coordinates");
+    let mut b = Bindings::new();
+    b.insert("active".into(), Value::Vector(DenseVector::filled(n, 1.0)));
+    b.insert("A".into(), Value::sparse(&pattern));
+    b
+}
+
+/// Scalar reference: peel vertices with in-degree (from active vertices)
+/// below `k`, for `iterations` rounds.
+pub fn reference(m: &CooMatrix, iterations: usize, k: f64) -> Vec<bool> {
+    let n = m.nrows() as usize;
+    let mut active = vec![true; n];
+    for _ in 0..iterations {
+        let mut deg = vec![0.0f64; n];
+        for &(r, c, _) in m.entries() {
+            if active[r as usize] {
+                deg[c as usize] += 1.0;
+            }
+        }
+        let next: Vec<bool> = (0..n).map(|v| active[v] && deg[v] > k - 0.5).collect();
+        active = next;
+    }
+    active
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::uniform(60, 60, 600, 17);
+        let app = app(5);
+        let out = interp::run(&app.graph, &app.bindings(&m), 5).unwrap();
+        let got = out["active"].as_vector().unwrap();
+        let expected = reference(&m, 5, K);
+        for (i, (&g, &e)) in got.as_slice().iter().zip(expected.iter()).enumerate() {
+            assert_eq!(g != 0.0, e, "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn active_set_shrinks_monotonically() {
+        let m = gen::uniform(80, 80, 400, 3);
+        let app = app(1);
+        let mut bindings = app.bindings(&m);
+        let mut prev_count = 81.0;
+        for _ in 0..5 {
+            let out = interp::run(&app.graph, &bindings, 1).unwrap();
+            let active = out["active"].as_vector().unwrap().clone();
+            let count = active.sum();
+            assert!(count <= prev_count, "active set grew: {prev_count} -> {count}");
+            prev_count = count;
+            bindings.insert("active".into(), Value::Vector(active));
+        }
+    }
+
+    #[test]
+    fn dense_clique_survives() {
+        // a 5-clique (degree 4 ≥ 3) plus an isolated pendant chain
+        let mut entries = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    entries.push((i, j, 1.0));
+                }
+            }
+        }
+        entries.push((5, 6, 1.0));
+        entries.push((6, 5, 1.0));
+        let m = CooMatrix::from_entries(7, 7, entries).unwrap();
+        let app = app(4);
+        let out = interp::run(&app.graph, &app.bindings(&m), 4).unwrap();
+        let active = out["active"].as_vector().unwrap();
+        for v in 0..5 {
+            assert_eq!(active[v], 1.0, "clique vertex {v} must survive");
+        }
+        assert_eq!(active[5], 0.0);
+        assert_eq!(active[6], 0.0);
+    }
+
+    #[test]
+    fn is_ewise_heavy_and_oei() {
+        let program = app(10).compile().unwrap();
+        assert!(program.profile.has_oei);
+        assert!(
+            program.profile.ewise_flops_per_element >= 3.0,
+            "kcore should be e-wise heavy"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! k-nearest-neighbors expansion (`knn`) — Fig 4 of the paper.
+//!
+//! KNN's inner loop contains **two** `vxm` operations (candidate
+//! expansion and filtering) with a circular dependency across iterations:
+//! `vxm → no-op → vxm`. The OEI dataflow fuses the two `vxm`s *within*
+//! one iteration — the first runs output-stationary, the second
+//! input-stationary — so one sweep of the matrix serves both (the paper's
+//! within-iteration instance of the generalized compute graph, §III-A).
+//!
+//! We model the boolean-reachability core of the GraphBLAS kNN kernel:
+//! each iteration expands the candidate set by two hops.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::SemiringOp;
+use sparsepipe_tensor::{CooMatrix, DenseVector};
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Builds the kNN application.
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let cand = b.input_vector("cand");
+    let a = b.constant_matrix("A");
+    let hop1 = b.vxm(cand, a, SemiringOp::AndOr).expect("valid graph");
+    let hop2 = b.vxm(hop1, a, SemiringOp::AndOr).expect("valid graph");
+    b.carry(hop2, cand).expect("valid carry");
+    StaApp {
+        name: "knn",
+        semiring: SemiringOp::AndOr,
+        reuse: ReusePattern::CrossIteration,
+        domain: Domain::Clustering,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings: candidates start as vertex 0.
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows() as usize;
+    let mut cand = DenseVector::zeros(n);
+    if n > 0 {
+        cand[0] = 1.0;
+    }
+    let mut b = Bindings::new();
+    b.insert("cand".into(), Value::Vector(cand));
+    b.insert("A".into(), Value::sparse(m));
+    b
+}
+
+/// Scalar reference: two-hop boolean expansion per iteration.
+pub fn reference(m: &CooMatrix, iterations: usize) -> Vec<bool> {
+    let n = m.nrows() as usize;
+    let csr = m.to_csr();
+    let mut cand = vec![false; n];
+    if n > 0 {
+        cand[0] = true;
+    }
+    let hop = |set: &[bool]| {
+        let mut out = vec![false; n];
+        for (v, &active) in set.iter().enumerate() {
+            if active {
+                let (cols, _) = csr.row(v as u32);
+                for &c in cols {
+                    out[c as usize] = true;
+                }
+            }
+        }
+        out
+    };
+    for _ in 0..iterations {
+        cand = hop(&hop(&cand));
+    }
+    cand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::uniform(48, 48, 180, 30);
+        let app = app(3);
+        let out = interp::run(&app.graph, &app.bindings(&m), 3).unwrap();
+        let got = out["cand"].as_vector().unwrap();
+        let expected = reference(&m, 3);
+        for (i, (&g, &e)) in got.as_slice().iter().zip(expected.iter()).enumerate() {
+            assert_eq!(g != 0.0, e, "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn fuses_two_vxm_within_one_iteration() {
+        let program = app(5).compile().unwrap();
+        assert!(program.profile.has_oei);
+        assert!(
+            !program.profile.cross_iteration,
+            "KNN fuses within the iteration (vxm → no-op → vxm)"
+        );
+        assert_eq!(program.profile.matrix_passes, 2);
+        let oei = program.analysis.oei.as_ref().unwrap();
+        assert!(oei.path.is_empty(), "direct connection, no e-wise between");
+        assert_ne!(oei.os_op, oei.is_op);
+    }
+}

@@ -1,0 +1,163 @@
+//! The benchmark STA applications of the Sparsepipe evaluation
+//! (Table III of the paper).
+//!
+//! Each module expresses one application's inner loop as a tensor dataflow
+//! graph through the `sparsepipe-frontend` builder, provides input
+//! bindings for functional execution, and carries a scalar reference
+//! implementation in its tests. The applications, their `vxm` semirings,
+//! and their reuse patterns follow Table III:
+//!
+//! | app | semiring | reuse | domain |
+//! |---|---|---|---|
+//! | [`pagerank`] | Mul-Add | cross-iteration + producer-consumer | graph analytics |
+//! | [`kcore`] | Mul-Add | cross-iteration + producer-consumer | graph analytics |
+//! | [`bfs`] | And-Or | cross-iteration + producer-consumer | graph analytics |
+//! | [`sssp`] | Min-Add | cross-iteration + producer-consumer | graph analytics |
+//! | [`kpp`] | Aril-Add | cross-iteration + producer-consumer | clustering |
+//! | [`knn`] | And-Or | cross-iteration + producer-consumer | clustering |
+//! | [`label`] | Mul-Add | cross-iteration + producer-consumer | clustering |
+//! | [`gcn`] | Mul-Add | cross-iteration + producer-consumer | machine learning |
+//! | [`gmres`] | Mul-Add | cross-iteration + producer-consumer | machine learning/HPC |
+//! | [`cg`] | Mul-Add | producer-consumer only | solver/HPC |
+//! | [`bicgstab`] | Mul-Add | producer-consumer only | solver/HPC |
+//!
+//! (The paper's §V-B text says "10 applications"; Table III lists 11. We
+//! implement all 11 and follow the table.)
+//!
+//! # Example
+//!
+//! ```
+//! use sparsepipe_apps::registry;
+//!
+//! let apps = registry::all();
+//! assert_eq!(apps.len(), 11);
+//! let pr = registry::by_name("pr").unwrap();
+//! let program = pr.compile().unwrap();
+//! assert!(program.profile.has_oei);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod bicgstab;
+pub mod cg;
+pub mod gcn;
+pub mod gmres;
+pub mod kcore;
+pub mod knn;
+pub mod kpp;
+pub mod label;
+pub mod pagerank;
+pub mod registry;
+pub mod sssp;
+
+use sparsepipe_frontend::interp::Bindings;
+use sparsepipe_frontend::{compile, DataflowGraph, FrontendError, SparsepipeProgram};
+use sparsepipe_semiring::SemiringOp;
+use sparsepipe_tensor::CooMatrix;
+
+/// Application domain (Table III's last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Graph analytics (pr, kcore, bfs, sssp).
+    GraphAnalytics,
+    /// Clustering (kpp, knn, label).
+    Clustering,
+    /// Machine learning (gcn, gmres).
+    MachineLearning,
+    /// Solvers / HPC (cg, bgs).
+    Solver,
+}
+
+/// Reuse pattern the application admits (Table III's "Reuse Pattern").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReusePattern {
+    /// Cross-iteration (OEI) *and* producer-consumer reuse.
+    CrossIteration,
+    /// Producer-consumer reuse only.
+    ProducerConsumer,
+}
+
+/// One benchmark application: its dataflow graph plus metadata.
+#[derive(Debug, Clone)]
+pub struct StaApp {
+    /// Short name used in the paper's figures (`pr`, `kcore`, …).
+    pub name: &'static str,
+    /// The `vxm` semiring (Table III).
+    pub semiring: SemiringOp,
+    /// The reuse pattern the app is expected to admit.
+    pub reuse: ReusePattern,
+    /// Application domain.
+    pub domain: Domain,
+    /// The inner-loop dataflow graph.
+    pub graph: DataflowGraph,
+    /// Dense feature width (1 except GCN).
+    pub feature_dim: usize,
+    /// Default loop iterations for experiments.
+    pub default_iterations: usize,
+    /// Produces interpreter bindings for a given matrix.
+    pub bindings_fn: fn(&CooMatrix) -> Bindings,
+}
+
+impl StaApp {
+    /// Compiles the app's graph to a Sparsepipe program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrontendError`] from compilation (never expected for
+    /// the built-in apps; exercised in tests).
+    pub fn compile(&self) -> Result<SparsepipeProgram, FrontendError> {
+        compile(&self.graph, self.feature_dim)
+    }
+
+    /// Interpreter bindings for `matrix`.
+    pub fn bindings(&self, matrix: &CooMatrix) -> Bindings {
+        (self.bindings_fn)(matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every app's compiled reuse classification must match Table III.
+    #[test]
+    fn reuse_patterns_match_table3() {
+        for app in registry::all() {
+            let program = app.compile().unwrap();
+            match app.reuse {
+                ReusePattern::CrossIteration => assert!(
+                    program.profile.has_oei,
+                    "{} should admit the OEI dataflow",
+                    app.name
+                ),
+                ReusePattern::ProducerConsumer => assert!(
+                    !program.profile.has_oei,
+                    "{} should NOT admit the OEI dataflow",
+                    app.name
+                ),
+            }
+        }
+    }
+
+    /// Every app's compiled semiring must match Table III.
+    #[test]
+    fn semirings_match_table3() {
+        for app in registry::all() {
+            let program = app.compile().unwrap();
+            assert_eq!(program.os_semiring, app.semiring, "{}", app.name);
+        }
+    }
+
+    /// Every app must run end-to-end in the interpreter on a small graph.
+    #[test]
+    fn all_apps_interpret() {
+        let m = sparsepipe_tensor::gen::uniform(32, 32, 160, 5);
+        for app in registry::all() {
+            let bindings = app.bindings(&m);
+            let out = sparsepipe_frontend::interp::run(&app.graph, &bindings, 3);
+            assert!(out.is_ok(), "{} failed: {:?}", app.name, out.err());
+        }
+    }
+}

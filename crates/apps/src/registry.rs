@@ -1,0 +1,85 @@
+//! Registry of all benchmark applications (Table III).
+
+use crate::{bfs, bicgstab, cg, gcn, gmres, kcore, knn, kpp, label, pagerank, sssp, StaApp};
+
+/// All eleven applications with their default iteration counts, in
+/// Table III order.
+pub fn all() -> Vec<StaApp> {
+    vec![
+        pagerank::app(20),
+        kcore::app(16),
+        bfs::app(12),
+        sssp::app(16),
+        kpp::app(12),
+        knn::app(8),
+        label::app(16),
+        gcn::app(6),
+        gmres::app(16),
+        cg::app(16),
+        bicgstab::app(10),
+    ]
+}
+
+/// The subset compared against the GPU baselines in Fig 17
+/// ("we chose bfs, kcore, pr, sssp").
+pub fn gpu_subset() -> Vec<StaApp> {
+    vec![bfs::app(12), kcore::app(16), pagerank::app(20), sssp::app(16)]
+}
+
+/// Looks an application up by its short name (`pr`, `kcore`, `bfs`,
+/// `sssp`, `kpp`, `knn`, `label`, `gcn`, `gmres`, `cg`, `bgs`).
+pub fn by_name(name: &str) -> Option<StaApp> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, ReusePattern};
+
+    #[test]
+    fn eleven_apps_with_unique_names() {
+        let apps = all();
+        assert_eq!(apps.len(), 11);
+        let mut names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("pr").is_some());
+        assert!(by_name("bgs").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn table3_domain_distribution() {
+        let apps = all();
+        let count = |d: Domain| apps.iter().filter(|a| a.domain == d).count();
+        assert_eq!(count(Domain::GraphAnalytics), 4);
+        assert_eq!(count(Domain::Clustering), 3);
+        assert_eq!(count(Domain::MachineLearning), 2);
+        assert_eq!(count(Domain::Solver), 2);
+    }
+
+    #[test]
+    fn only_solvers_lack_cross_iteration_reuse() {
+        for app in all() {
+            let expected = app.domain != Domain::Solver;
+            assert_eq!(
+                app.reuse == ReusePattern::CrossIteration,
+                expected,
+                "{}",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_subset_matches_figure17() {
+        let names: Vec<_> = gpu_subset().iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["bfs", "kcore", "pr", "sssp"]);
+    }
+}

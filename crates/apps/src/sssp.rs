@@ -1,0 +1,130 @@
+//! Single-source shortest paths (`sssp`) over the tropical (Min-Add)
+//! semiring — Bellman-Ford relaxation.
+//!
+//! Inner loop:
+//!
+//! ```text
+//! relax  = distᵀ (min,+) A      (extend every known path by one edge)
+//! dist'  = min(dist, relax)
+//! ```
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+use sparsepipe_tensor::{CooMatrix, DenseVector};
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Builds the SSSP application (source vertex 0).
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let dist = b.input_vector("dist");
+    let a = b.constant_matrix("A");
+    let relax = b.vxm(dist, a, SemiringOp::MinAdd).expect("valid graph");
+    let next = b.ewise(EwiseBinary::Min, dist, relax).expect("valid graph");
+    b.carry(next, dist).expect("valid carry");
+    StaApp {
+        name: "sssp",
+        semiring: SemiringOp::MinAdd,
+        reuse: ReusePattern::CrossIteration,
+        domain: Domain::GraphAnalytics,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings: `dist[0] = 0`, all else `+∞`; edge weights are the matrix
+/// values.
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows() as usize;
+    let mut dist = DenseVector::filled(n, f64::INFINITY);
+    if n > 0 {
+        dist[0] = 0.0;
+    }
+    let mut b = Bindings::new();
+    b.insert("dist".into(), Value::Vector(dist));
+    b.insert("A".into(), Value::sparse(m));
+    b
+}
+
+/// Scalar reference: `iterations` rounds of Bellman-Ford relaxation.
+pub fn reference(m: &CooMatrix, iterations: usize) -> DenseVector {
+    let n = m.nrows() as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    if n > 0 {
+        dist[0] = 0.0;
+    }
+    for _ in 0..iterations {
+        let mut next = dist.clone();
+        for &(r, c, w) in m.entries() {
+            let cand = dist[r as usize] + w;
+            if cand < next[c as usize] {
+                next[c as usize] = cand;
+            }
+        }
+        dist = next;
+    }
+    DenseVector::from(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::uniform(80, 80, 500, 21);
+        let app = app(8);
+        let out = interp::run(&app.graph, &app.bindings(&m), 8).unwrap();
+        let got = out["dist"].as_vector().unwrap();
+        let expected = reference(&m, 8);
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!(
+                (g - e).abs() < 1e-9 || (g.is_infinite() && e.is_infinite()),
+                "{g} vs {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn distances_monotonically_decrease() {
+        let m = gen::uniform(50, 50, 400, 8);
+        let app = app(1);
+        let mut bindings = app.bindings(&m);
+        let mut prev = vec![f64::INFINITY; 50];
+        for _ in 0..6 {
+            let out = interp::run(&app.graph, &bindings, 1).unwrap();
+            let dist = out["dist"].as_vector().unwrap().clone();
+            for (d, p) in dist.iter().zip(prev.iter()) {
+                assert!(d <= p, "distance increased: {p} -> {d}");
+            }
+            prev = dist.as_slice().to_vec();
+            bindings.insert("dist".into(), Value::Vector(dist));
+        }
+    }
+
+    #[test]
+    fn converges_to_true_shortest_paths_on_path_graph() {
+        let m = CooMatrix::from_entries(
+            4,
+            4,
+            vec![(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0), (0, 3, 100.0)],
+        )
+        .unwrap();
+        let app = app(4);
+        let out = interp::run(&app.graph, &app.bindings(&m), 4).unwrap();
+        let dist = out["dist"].as_vector().unwrap();
+        assert_eq!(dist.as_slice(), &[0.0, 2.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn compiles_with_cross_iteration_oei() {
+        let program = app(12).compile().unwrap();
+        assert!(program.profile.has_oei && program.profile.cross_iteration);
+        assert_eq!(program.os_semiring, SemiringOp::MinAdd);
+    }
+}

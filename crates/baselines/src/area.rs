@@ -1,0 +1,49 @@
+//! Die-area constants for performance-per-area comparisons (Fig 20b).
+//!
+//! The paper synthesizes Sparsepipe's RTL at 45 nm and scales to TSMC N5:
+//! **253.95 mm²**, with the on-chip buffer contributing 78% of the area.
+//! The RTX 4070's published die (AD104) is **294 mm²**. The CPU compute
+//! area is derived from the paper's own ratio (9.84× perf/area vs CPU at
+//! the reported performance ratios), giving ≈126 mm² of
+//! compute-relevant silicon (CCD + V-cache).
+
+/// Sparsepipe die area at N5, mm² (from the paper's synthesis).
+pub const SPARSEPIPE_MM2: f64 = 253.95;
+
+/// Fraction of Sparsepipe's area taken by the on-chip buffer.
+pub const SPARSEPIPE_BUFFER_AREA_FRAC: f64 = 0.78;
+
+/// NVIDIA RTX 4070 (AD104) die area, mm².
+pub const GPU_MM2: f64 = 294.0;
+
+/// AMD 5800X3D compute-relevant area (CCD + stacked V-cache), mm².
+pub const CPU_MM2: f64 = 126.0;
+
+/// Relative performance-per-area of system A over system B.
+///
+/// `speedup_a_over_b` is A's measured speedup over B on the same workload.
+///
+/// ```
+/// use sparsepipe_baselines::area;
+/// // Sparsepipe 4.65x faster than the GPU on a slightly smaller die:
+/// let ppa = area::perf_per_area_ratio(4.65, area::SPARSEPIPE_MM2, area::GPU_MM2);
+/// assert!(ppa > 4.65); // smaller die amplifies the ratio
+/// ```
+pub fn perf_per_area_ratio(speedup_a_over_b: f64, area_a_mm2: f64, area_b_mm2: f64) -> f64 {
+    speedup_a_over_b * area_b_mm2 / area_a_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_published_ratios_are_reachable() {
+        // Fig 20b: 5.38x vs GPU at the paper's 4.65x speedup…
+        let vs_gpu = perf_per_area_ratio(4.65, SPARSEPIPE_MM2, GPU_MM2);
+        assert!((vs_gpu - 5.38).abs() < 0.1, "vs GPU: {vs_gpu}");
+        // …and 9.84x vs CPU at the paper's ~19.82x speedup.
+        let vs_cpu = perf_per_area_ratio(19.82, SPARSEPIPE_MM2, CPU_MM2);
+        assert!((vs_cpu - 9.84).abs() < 0.2, "vs CPU: {vs_cpu}");
+    }
+}

@@ -1,0 +1,228 @@
+//! CPU baseline: AMD 5800X3D running ALP/GraphBLAS (Fig 16 / Fig 22).
+//!
+//! The paper's CPU baseline exploits *producer-consumer* reuse through
+//! ALP/GraphBLAS's non-blocking execution (fused e-wise chains), benefits
+//! from a 96 MB 3D V-cache that absorbs matrix re-reads when the working
+//! set fits, and sustains a measured 44 GB/s of DDR4 bandwidth — but it
+//! cannot exploit cross-iteration reuse, and irregular sparse gathers keep
+//! its achieved bandwidth well under peak (Fig 22).
+
+use sparsepipe_core::energy::{EnergyModel, EnergyTally};
+
+use crate::{BaselineReport, WorkloadInstance};
+
+/// Parameters of the CPU model.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Measured STREAM-class bandwidth (paper: 44 GB/s).
+    pub measured_bw_gbps: f64,
+    /// Last-level cache capacity (5800X3D: 96 MB V-cache).
+    pub llc_bytes: f64,
+    /// Fraction of cached data actually re-hit across iterations (cache is
+    /// shared with vectors and suffers conflict misses).
+    pub cache_efficiency: f64,
+    /// Achieved fraction of measured bandwidth on regular streaming.
+    pub stream_utilization: f64,
+    /// Achieved fraction on irregular (gather/scatter) access.
+    pub gather_utilization: f64,
+    /// Sustained sparse-kernel compute throughput in Gflop/s (8 Zen-3
+    /// cores on indirection-heavy code sustain a small fraction of peak).
+    pub sparse_gflops: f64,
+    /// Sustained *dense* GEMM throughput in Gflop/s (cache-blocked dense
+    /// kernels run far more efficiently than sparse gathers; GCN's weight
+    /// multiply uses this rate).
+    pub dense_gflops: f64,
+    /// Sustained non-zeros processed per second by the SpMV gather kernel
+    /// — the instruction-side bound that keeps the CPU slow even when the
+    /// matrix is fully cache-resident (index decode, gather, dependent
+    /// FMA: GraphBLAS-class SpMV sustains a few Gnnz/s on 8 cores).
+    pub nnz_per_s: f64,
+    /// Per-operator software dispatch overhead in seconds (framework
+    /// interpretation, task creation).
+    pub op_overhead_s: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            measured_bw_gbps: 44.0,
+            llc_bytes: 96.0 * 1024.0 * 1024.0,
+            cache_efficiency: 0.85,
+            stream_utilization: 0.80,
+            gather_utilization: 0.55,
+            sparse_gflops: 18.0,
+            dense_gflops: 45.0,
+            nnz_per_s: 2.5e9,
+            op_overhead_s: 2e-6,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Evaluates the model on a workload.
+    pub fn evaluate(&self, w: &WorkloadInstance<'_>) -> BaselineReport {
+        let n = w.n as f64;
+        let nnz = w.nnz as f64;
+        let f = w.profile.feature_dim as f64;
+        let iters = w.iterations as f64;
+
+        // Matrix traffic: one image per matrix operator per iteration,
+        // discounted by the fraction the V-cache retains across
+        // iterations.
+        let matrix_image = nnz * 12.0;
+        let footprint = matrix_image + 4.0 * n * 8.0 * f;
+        let cached_fraction =
+            (self.llc_bytes / footprint).min(1.0) * self.cache_efficiency;
+        let matrix_bytes_per_iter =
+            w.profile.matrix_passes as f64 * matrix_image * (1.0 - cached_fraction);
+        // First iteration always streams the full image.
+        let matrix_bytes =
+            matrix_image * w.profile.matrix_passes as f64 + matrix_bytes_per_iter * (iters - 1.0);
+
+        // Vector traffic (fused, thanks to non-blocking execution), also
+        // cache-discounted.
+        // (the fused read/write counts are feature-scaled already)
+        let vec_bytes = (w.profile.fused_vector_reads + w.profile.fused_vector_writes)
+            * iters
+            * n
+            * 8.0
+            * (1.0 - cached_fraction * 0.5);
+
+        // Effective bandwidth: matrix access is gather-limited; the
+        // penalty deepens with degree skew (pointer-chasing hot rows).
+        let skew_penalty = (1.0 + (w.stats.row_skew.log2().max(0.0)) * 0.04).min(1.5);
+        let matrix_bw = self.measured_bw_gbps * 1e9 * self.gather_utilization / skew_penalty;
+        let vec_bw = self.measured_bw_gbps * 1e9 * self.stream_utilization;
+        let mem_time = matrix_bytes / matrix_bw + vec_bytes / vec_bw;
+
+        // Sparse work (gathers, e-wise) runs at the sparse rate; the dense
+        // weight multiply at the (much higher) dense GEMM rate.
+        let dense_flops = n * f * w.profile.dense_flops_per_element;
+        let sparse_flops = w.flops_per_iteration() - dense_flops;
+        let flop_time = iters
+            * (sparse_flops / (self.sparse_gflops * 1e9)
+                + dense_flops / (self.dense_gflops * 1e9));
+        // Index decode/gather happens once per non-zero regardless of the
+        // feature width (SpMM amortizes it across feature columns).
+        let gather_time = w.profile.matrix_passes as f64 * nnz * iters / self.nnz_per_s;
+        let compute_time = flop_time.max(gather_time);
+        let overhead = self.op_overhead_s * w.profile.operators.len() as f64 * iters;
+        let runtime = mem_time.max(compute_time) + overhead;
+
+        let traffic = matrix_bytes + vec_bytes;
+        let mut tally = EnergyTally::new(EnergyModel::default());
+        tally.dram_read(traffic * 0.8);
+        tally.dram_write(traffic * 0.2);
+        // cache hierarchy moves every accessed byte several times (L1/L2/L3)
+        tally.sram(3.0 * (traffic + cached_fraction * matrix_image * iters));
+        tally.compute(w.flops_per_iteration() * iters * 4.0); // CPU pJ/op premium
+
+        BaselineReport {
+            runtime_s: runtime,
+            traffic_bytes: traffic,
+            bw_utilization: (traffic / (runtime * self.measured_bw_gbps * 1e9)).min(1.0),
+            energy: tally.breakdown(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::{compile, GraphBuilder};
+    use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+    use sparsepipe_tensor::{gen, MatrixStats};
+
+    fn pagerank() -> sparsepipe_frontend::SparsepipeProgram {
+        let mut b = GraphBuilder::new();
+        let pr = b.input_vector("pr");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(pr, l, SemiringOp::MulAdd).unwrap();
+        let s = b.ewise_scalar(EwiseBinary::Mul, y, 0.85).unwrap();
+        let next = b.ewise_scalar(EwiseBinary::Add, s, 0.15).unwrap();
+        b.carry(next, pr).unwrap();
+        compile(&b.build().unwrap(), 1).unwrap()
+    }
+
+    #[test]
+    fn cache_absorbs_small_working_sets() {
+        let program = pagerank();
+        let small = gen::uniform(10_000, 10_000, 100_000, 1);
+        let small_stats = MatrixStats::compute(&small);
+        let w_small = WorkloadInstance {
+            profile: &program.profile,
+            n: 10_000,
+            nnz: small.nnz() as u64,
+            stats: &small_stats,
+            iterations: 20,
+        };
+        let r = CpuModel::default().evaluate(&w_small);
+        // 1.2 MB image « 96 MB cache: traffic must be far below 20 images
+        assert!(
+            r.traffic_bytes < 6.0 * small.nnz() as f64 * 12.0,
+            "traffic {} should be cache-absorbed",
+            r.traffic_bytes
+        );
+        // small cached workloads leave DRAM idle
+        assert!(r.bw_utilization < 0.6);
+    }
+
+    #[test]
+    fn large_matrices_stream_every_iteration() {
+        let program = pagerank();
+        // fake a huge matrix via the instance numbers (the model only
+        // reads n/nnz/stats)
+        let probe = gen::uniform(20_000, 20_000, 400_000, 1);
+        let stats = MatrixStats::compute(&probe);
+        let w = WorkloadInstance {
+            profile: &program.profile,
+            n: 50_000_000,
+            nnz: 1_000_000_000,
+            stats: &stats,
+            iterations: 10,
+        };
+        let r = CpuModel::default().evaluate(&w);
+        // ≥ ~10 full images of traffic
+        assert!(r.traffic_bytes > 9.0 * 12e9);
+        // bandwidth-bound: utilization approaches the gather ceiling
+        assert!(r.bw_utilization > 0.4);
+    }
+
+    #[test]
+    fn compute_heavy_workloads_bind_on_flops() {
+        // GCN-like: huge dense flops per element
+        let mut b = GraphBuilder::new();
+        let h = b.input_dense("H");
+        let a = b.constant_matrix("A");
+        let wt = b.constant_dense("W");
+        let agg = b.spmm(h, a, SemiringOp::MulAdd).unwrap();
+        let lin = b.dense_mm(agg, wt).unwrap();
+        let act = b
+            .ewise_unary(sparsepipe_semiring::EwiseUnary::Relu, lin)
+            .unwrap();
+        b.carry(act, h).unwrap();
+        let program = compile(&b.build().unwrap(), 32).unwrap();
+        let m = gen::uniform(30_000, 30_000, 300_000, 2);
+        let stats = MatrixStats::compute(&m);
+        let w = WorkloadInstance {
+            profile: &program.profile,
+            n: 30_000,
+            nnz: m.nnz() as u64,
+            stats: &stats,
+            iterations: 4,
+        };
+        let r = CpuModel::default().evaluate(&w);
+        // compute-bound: the runtime must track the split-rate flop time
+        // (sparse work at the sparse rate, the weight GEMM at the dense
+        // rate), not the memory time
+        let m = CpuModel::default();
+        let dense = 30_000.0 * 32.0 * program.profile.dense_flops_per_element;
+        let sparse = w.flops_per_iteration() - dense;
+        let flop_time = 4.0 * (sparse / (m.sparse_gflops * 1e9) + dense / (m.dense_gflops * 1e9));
+        assert!(
+            (r.runtime_s - flop_time).abs() / flop_time < 0.5,
+            "GCN on CPU should be compute-bound: runtime {} vs flops {flop_time}",
+            r.runtime_s
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion bench for Fig 14's core comparison: one Sparsepipe
+//! simulation and one ideal-baseline evaluation per (app, matrix).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsepipe_apps::registry;
+use sparsepipe_baselines::ideal::IdealAccelerator;
+use sparsepipe_baselines::WorkloadInstance;
+use sparsepipe_bench::datasets::ScaledDataset;
+use sparsepipe_bench::sweep;
+use sparsepipe_core::simulate;
+use sparsepipe_tensor::MatrixId;
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_simulate");
+    group.sample_size(10);
+    let dataset = ScaledDataset::load(MatrixId::Ca, 256);
+    for app_name in ["pr", "sssp", "cg"] {
+        let app = registry::by_name(app_name).unwrap();
+        let program = app.compile().unwrap();
+        let cfg = sweep::sparsepipe_config(&dataset);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(app_name),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    simulate(program, &dataset.reordered, app.default_iterations, &cfg).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ideal_baseline(c: &mut Criterion) {
+    let dataset = ScaledDataset::load(MatrixId::Ca, 256);
+    let app = registry::by_name("pr").unwrap();
+    let program = app.compile().unwrap();
+    let cfg = sweep::sparsepipe_config(&dataset);
+    let w = WorkloadInstance {
+        profile: &program.profile,
+        n: dataset.matrix.nrows() as u64,
+        nnz: dataset.matrix.nnz() as u64,
+        stats: &dataset.stats,
+        iterations: app.default_iterations,
+    };
+    c.bench_function("fig14_ideal_eval", |b| {
+        b.iter(|| IdealAccelerator::new(cfg).evaluate(&w))
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_ideal_baseline);
+criterion_main!(benches);

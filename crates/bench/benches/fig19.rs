@@ -1,0 +1,85 @@
+//! Criterion bench for Fig 19's preprocessing ablation plus the design-
+//! choice ablations called out in DESIGN.md §7 (sub-tensor size, eager CSR
+//! loading, eviction policy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsepipe_apps::registry;
+use sparsepipe_bench::datasets::ScaledDataset;
+use sparsepipe_core::{simulate, EvictionPolicy, Preprocessing, ReorderKind, SparsepipeConfig};
+use sparsepipe_tensor::MatrixId;
+
+fn base_cfg(dataset: &ScaledDataset) -> SparsepipeConfig {
+    SparsepipeConfig::iso_gpu()
+        .with_buffer(dataset.buffer_bytes())
+        .with_preprocessing(Preprocessing {
+            blocked: true,
+            reorder: ReorderKind::None,
+        })
+}
+
+fn bench_preprocessing_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_preprocessing");
+    group.sample_size(10);
+    let dataset = ScaledDataset::load(MatrixId::Bu, 256);
+    let app = registry::by_name("pr").unwrap();
+    let program = app.compile().unwrap();
+    for (name, blocked) in [("plain", false), ("blocked", true)] {
+        let cfg = base_cfg(&dataset).with_preprocessing(Preprocessing {
+            blocked,
+            reorder: ReorderKind::None,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| simulate(&program, &dataset.matrix, 10, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_subtensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_subtensor");
+    group.sample_size(10);
+    let dataset = ScaledDataset::load(MatrixId::Ca, 256);
+    let app = registry::by_name("pr").unwrap();
+    let program = app.compile().unwrap();
+    for t in [1usize, 8, 64] {
+        let cfg = SparsepipeConfig {
+            subtensor_cols: t,
+            ..base_cfg(&dataset)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(t), &cfg, |b, cfg| {
+            b.iter(|| simulate(&program, &dataset.reordered, 10, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_eager_and_eviction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eager_eviction");
+    group.sample_size(10);
+    let dataset = ScaledDataset::load(MatrixId::Bu, 256);
+    let app = registry::by_name("sssp").unwrap();
+    let program = app.compile().unwrap();
+    let variants: [(&str, bool, EvictionPolicy); 3] = [
+        ("eager+highrow", true, EvictionPolicy::HighestRowFirst),
+        ("noeager", false, EvictionPolicy::HighestRowFirst),
+        ("oldestfirst", true, EvictionPolicy::OldestFirst),
+    ];
+    for (name, eager, eviction) in variants {
+        let cfg = SparsepipeConfig {
+            eviction,
+            ..base_cfg(&dataset).with_eager_csr(eager)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| simulate(&program, &dataset.matrix, 10, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preprocessing_variants,
+    bench_ablation_subtensor,
+    bench_ablation_eager_and_eviction
+);
+criterion_main!(benches);

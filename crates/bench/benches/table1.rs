@@ -1,0 +1,31 @@
+//! Criterion bench for Table I's OEI live-set sweep: dataset generation +
+//! live-curve analysis per matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsepipe_tensor::{livesweep, MatrixId};
+
+fn bench_livesweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_livesweep");
+    group.sample_size(10);
+    for id in [MatrixId::Ca, MatrixId::Gy, MatrixId::Bu] {
+        let m = id.spec().generate(256);
+        group.bench_with_input(BenchmarkId::from_parameter(id.code()), &m, |b, m| {
+            b.iter(|| livesweep::sweep(m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_generation");
+    group.sample_size(10);
+    for id in [MatrixId::Ca, MatrixId::Ro] {
+        group.bench_with_input(BenchmarkId::from_parameter(id.code()), &id, |b, id| {
+            b.iter(|| id.spec().generate(256))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_livesweep, bench_generation);
+criterion_main!(benches);

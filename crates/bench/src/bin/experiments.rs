@@ -1,0 +1,85 @@
+//! Regenerates the Sparsepipe paper's tables and figures.
+//!
+//! ```text
+//! experiments <artifact>... [--scale N] [--quick] [--json out.json] [--mtx DIR]
+//!
+//! artifacts: all table1 table2 table3 fig14 fig15 fig16 fig17 fig18
+//!            fig19 fig20a fig20b fig21 fig22 fig23 ablation verify
+//! --scale N  dataset scale divisor (default 64; 1 = paper-size)
+//! --quick    three-matrix subset (ca, gy, bu) for smoke runs
+//! --json F   additionally dump the raw app x matrix sweep (all systems'
+//!            reports) as JSON to F
+//! --mtx DIR  load real MatrixMarket matrices from DIR/<code>.mtx instead
+//!            of the synthetic stand-ins (use --scale 1 for full size)
+//! ```
+
+use std::process::ExitCode;
+
+use sparsepipe_bench::cli;
+use sparsepipe_bench::experiments as exp;
+use sparsepipe_bench::sweep::Sweep;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{}", cli::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.help {
+        eprintln!("{}", cli::usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let ctx = opts.context();
+    eprintln!(
+        "# sparsepipe experiments — scale 1/{}, {:?} matrices, source {:?}",
+        ctx.scale, ctx.set, ctx.source
+    );
+    // Figures 14/16/17/18/20b/21/22/23 share one sweep; run it lazily.
+    let sweep = if opts.needs_sweep() {
+        eprintln!("# running app x matrix sweep …");
+        Some(Sweep::run(ctx.clone()))
+    } else {
+        None
+    };
+    if let (Some(path), Some(sweep)) = (&opts.json_out, &sweep) {
+        match serde_json::to_string_pretty(sweep)
+            .map_err(std::io::Error::other)
+            .and_then(|j| std::fs::write(path, j))
+        {
+            Ok(()) => eprintln!("# wrote sweep JSON to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let sweep_ref = || sweep.as_ref().expect("sweep computed above");
+
+    for artifact in &opts.artifacts {
+        let report = match artifact.as_str() {
+            "table1" => exp::table1(&ctx),
+            "table2" => exp::table2(),
+            "table3" => exp::table3(),
+            "fig14" => exp::fig14(sweep_ref()),
+            "fig15" => exp::fig15(&ctx),
+            "fig16" => exp::fig16(sweep_ref()),
+            "fig17" => exp::fig17(sweep_ref()),
+            "fig18" => exp::fig18(sweep_ref()),
+            "fig19" => exp::fig19(&ctx),
+            "fig20a" => exp::fig20a(&ctx),
+            "fig20b" => exp::fig20b(sweep_ref()),
+            "fig21" => exp::fig21(sweep_ref()),
+            "fig22" => exp::fig22(sweep_ref()),
+            "fig23" => exp::fig23(sweep_ref()),
+            "ablation" => exp::ablation(&ctx),
+            "verify" => exp::verify(),
+            other => unreachable!("cli::parse validated artifact {other}"),
+        };
+        println!("{}", report.render());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,192 @@
+//! Argument parsing for the `experiments` binary (kept in the library so
+//! it is unit-testable).
+
+use std::path::PathBuf;
+
+use crate::datasets::{DataContext, DataSource, MatrixSet};
+
+/// Every artifact the harness can regenerate, in paper order.
+pub const ALL_ARTIFACTS: [&str; 17] = [
+    "table1", "table2", "table3", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "fig20a", "fig20b", "fig21", "fig22", "fig23", "ablation", "verify", "all",
+];
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Requested artifacts, `all` already expanded.
+    pub artifacts: Vec<String>,
+    /// Dataset scale divisor.
+    pub scale: u64,
+    /// Matrix subset.
+    pub set: MatrixSet,
+    /// Write the raw sweep as JSON here, if set.
+    pub json_out: Option<PathBuf>,
+    /// Load real MatrixMarket matrices from this directory, if set.
+    pub mtx_dir: Option<PathBuf>,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+impl CliOptions {
+    /// The data context these options select.
+    pub fn context(&self) -> DataContext {
+        DataContext {
+            scale: self.scale,
+            set: self.set,
+            source: match &self.mtx_dir {
+                Some(dir) => DataSource::MatrixMarket(dir.clone()),
+                None => DataSource::Synthetic,
+            },
+        }
+    }
+
+    /// Whether any requested artifact needs the app × matrix sweep.
+    pub fn needs_sweep(&self) -> bool {
+        self.json_out.is_some()
+            || self.artifacts.iter().any(|a| {
+                matches!(
+                    a.as_str(),
+                    "fig14" | "fig16" | "fig17" | "fig18" | "fig20b" | "fig21" | "fig22"
+                        | "fig23"
+                )
+            })
+    }
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing flag
+/// values, invalid scales, unknown artifacts, or an empty artifact list.
+pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions {
+        artifacts: Vec::new(),
+        scale: 64,
+        set: MatrixSet::Full,
+        json_out: None,
+        mtx_dir: None,
+        help: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--scale needs a positive integer")?;
+            }
+            "--quick" => opts.set = MatrixSet::Quick,
+            "--json" => {
+                i += 1;
+                opts.json_out =
+                    Some(args.get(i).ok_or("--json needs a file path")?.into());
+            }
+            "--mtx" => {
+                i += 1;
+                opts.mtx_dir = Some(
+                    args.get(i)
+                        .ok_or("--mtx needs a directory of <code>.mtx files")?
+                        .into(),
+                );
+            }
+            "--help" | "-h" => opts.help = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag: {flag}"));
+            }
+            artifact => {
+                if !ALL_ARTIFACTS.contains(&artifact) {
+                    return Err(format!("unknown artifact: {artifact}"));
+                }
+                opts.artifacts.push(artifact.to_string());
+            }
+        }
+        i += 1;
+    }
+    if opts.artifacts.iter().any(|a| a == "all") {
+        opts.artifacts = ALL_ARTIFACTS[..ALL_ARTIFACTS.len() - 1]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    if opts.artifacts.is_empty() && !opts.help {
+        return Err("no artifact requested (try `all` or `--help`)".into());
+    }
+    Ok(opts)
+}
+
+/// The usage string printed on `--help` or a parse error.
+pub fn usage() -> String {
+    format!(
+        "usage: experiments <artifact>... [--scale N] [--quick] [--json out.json] [--mtx DIR]\n\
+         artifacts: {}",
+        ALL_ARTIFACTS.join(" ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_basic_invocation() {
+        let o = parse(&args("fig14 fig18 --scale 32 --quick")).unwrap();
+        assert_eq!(o.artifacts, vec!["fig14", "fig18"]);
+        assert_eq!(o.scale, 32);
+        assert_eq!(o.set, MatrixSet::Quick);
+        assert!(o.needs_sweep());
+    }
+
+    #[test]
+    fn all_expands_without_duplicating_itself() {
+        let o = parse(&args("all")).unwrap();
+        assert_eq!(o.artifacts.len(), ALL_ARTIFACTS.len() - 1);
+        assert!(!o.artifacts.iter().any(|a| a == "all"));
+    }
+
+    #[test]
+    fn table_only_runs_need_no_sweep() {
+        let o = parse(&args("table1 table2 fig15 fig19 ablation verify")).unwrap();
+        assert!(!o.needs_sweep());
+        let with_json = parse(&args("table1 --json out.json")).unwrap();
+        assert!(with_json.needs_sweep(), "--json always needs the sweep");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args("fig99")).is_err());
+        assert!(parse(&args("--scale")).is_err());
+        assert!(parse(&args("--scale 0 table1")).is_err());
+        assert!(parse(&args("--scale x table1")).is_err());
+        assert!(parse(&args("--json")).is_err());
+        assert!(parse(&args("--mtx")).is_err());
+        assert!(parse(&args("--frobnicate table1")).is_err());
+        assert!(parse(&args("")).is_err());
+    }
+
+    #[test]
+    fn help_needs_no_artifacts() {
+        let o = parse(&args("--help")).unwrap();
+        assert!(o.help);
+        assert!(usage().contains("fig23"));
+    }
+
+    #[test]
+    fn mtx_dir_selects_matrixmarket_source() {
+        let o = parse(&args("table1 --mtx /data/mtx --scale 1")).unwrap();
+        let ctx = o.context();
+        assert_eq!(
+            ctx.source,
+            crate::datasets::DataSource::MatrixMarket("/data/mtx".into())
+        );
+        assert_eq!(ctx.scale, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Scaled dataset loading for experiments.
+
+use sparsepipe_tensor::{reorder, CooMatrix, DatasetSpec, MatrixId, MatrixStats};
+
+/// Where experiment matrices come from.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub enum DataSource {
+    /// Seeded synthetic stand-ins (see `sparsepipe_tensor::datasets`).
+    Synthetic,
+    /// Real MatrixMarket files `<dir>/<code>.mtx` (e.g. the paper's
+    /// SuiteSparse matrices, when available locally).
+    MatrixMarket(std::path::PathBuf),
+}
+
+/// Everything an experiment needs to obtain its matrices.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DataContext {
+    /// Scale divisor for synthetic generation (also sets the buffer
+    /// scaling; use 1 with real full-size matrices).
+    pub scale: u64,
+    /// Which Table-I matrices to cover.
+    pub set: MatrixSet,
+    /// Matrix source.
+    pub source: DataSource,
+}
+
+impl DataContext {
+    /// Synthetic datasets at `scale`.
+    pub fn synthetic(set: MatrixSet, scale: u64) -> Self {
+        DataContext {
+            scale,
+            set,
+            source: DataSource::Synthetic,
+        }
+    }
+
+    /// Loads all matrices in the context's set (in parallel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a MatrixMarket file is missing or malformed — the CLI
+    /// surfaces this as an immediate, explicit failure.
+    pub fn load(&self) -> Vec<ScaledDataset> {
+        let ids = self.set.ids();
+        let mut out: Vec<Option<ScaledDataset>> = (0..ids.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            for (slot, &id) in out.iter_mut().zip(ids) {
+                s.spawn(move |_| {
+                    *slot = Some(self.load_one(id));
+                });
+            }
+        })
+        .expect("dataset loading threads must not panic");
+        out.into_iter()
+            .map(|d| d.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Loads one matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing/malformed MatrixMarket file.
+    pub fn load_one(&self, id: MatrixId) -> ScaledDataset {
+        match &self.source {
+            DataSource::Synthetic => ScaledDataset::load(id, self.scale),
+            DataSource::MatrixMarket(dir) => {
+                ScaledDataset::load_mtx(id, dir, self.scale)
+            }
+        }
+    }
+}
+
+/// One evaluation matrix at the experiment scale, with its preprocessed
+/// (GraphOrder-reordered) variant and structural statistics.
+#[derive(Debug, Clone)]
+pub struct ScaledDataset {
+    /// Which Table-I matrix this is.
+    pub id: MatrixId,
+    /// The scale divisor used.
+    pub scale: u64,
+    /// The generated matrix (original vertex order).
+    pub matrix: CooMatrix,
+    /// The matrix after GraphOrder row reordering (§IV-E1), used as the
+    /// default Sparsepipe input so the per-call simulation does not repeat
+    /// the offline preprocessing.
+    pub reordered: CooMatrix,
+    /// Structural statistics of the original matrix.
+    pub stats: MatrixStats,
+}
+
+impl ScaledDataset {
+    /// Generates one dataset at `scale`.
+    pub fn load(id: MatrixId, scale: u64) -> Self {
+        let spec = id.spec();
+        let matrix = spec.generate(scale);
+        let perm = reorder::graph_order(&matrix.to_csr(), 64);
+        let reordered = matrix.permute_symmetric(&perm);
+        let stats = MatrixStats::compute(&matrix);
+        ScaledDataset {
+            id,
+            scale,
+            matrix,
+            reordered,
+            stats,
+        }
+    }
+
+    /// Loads one matrix from `<dir>/<code>.mtx` (real data; rows/cols must
+    /// be square). The buffer still scales by `scale` (use 1 for full-size
+    /// inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is missing, malformed, or non-square.
+    pub fn load_mtx(id: MatrixId, dir: &std::path::Path, scale: u64) -> Self {
+        let path = dir.join(format!("{}.mtx", id.code()));
+        let file = std::fs::File::open(&path)
+            .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+        let matrix = sparsepipe_tensor::mm::read(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+        assert_eq!(
+            matrix.nrows(),
+            matrix.ncols(),
+            "{}: OEI experiments need square matrices",
+            path.display()
+        );
+        let perm = reorder::graph_order(&matrix.to_csr(), 64);
+        let reordered = matrix.permute_symmetric(&perm);
+        let stats = MatrixStats::compute(&matrix);
+        ScaledDataset {
+            id,
+            scale,
+            matrix,
+            reordered,
+            stats,
+        }
+    }
+
+    /// The on-chip buffer size preserving the paper's buffer-to-footprint
+    /// ratio at this scale.
+    pub fn buffer_bytes(&self) -> usize {
+        DatasetSpec::scaled_buffer_bytes(self.scale)
+    }
+}
+
+/// Which matrices an experiment run covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum MatrixSet {
+    /// All nine Table-I matrices.
+    Full,
+    /// A three-matrix smoke subset (`ca`, `gy`, `bu`) for quick runs.
+    Quick,
+}
+
+impl MatrixSet {
+    /// The matrix ids in this set.
+    pub fn ids(self) -> &'static [MatrixId] {
+        match self {
+            MatrixSet::Full => &MatrixId::ALL,
+            MatrixSet::Quick => &[MatrixId::Ca, MatrixId::Gy, MatrixId::Bu],
+        }
+    }
+}
+
+/// Loads a set of datasets in parallel (one thread per matrix).
+pub fn load_all(set: MatrixSet, scale: u64) -> Vec<ScaledDataset> {
+    let ids = set.ids();
+    let mut out: Vec<Option<ScaledDataset>> = (0..ids.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, &id) in out.iter_mut().zip(ids) {
+            s.spawn(move |_| {
+                *slot = Some(ScaledDataset::load(id, scale));
+            });
+        }
+    })
+    .expect("dataset generation threads must not panic");
+    out.into_iter()
+        .map(|d| d.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_set_loads() {
+        let ds = load_all(MatrixSet::Quick, 256);
+        assert_eq!(ds.len(), 3);
+        for d in &ds {
+            assert_eq!(d.matrix.nnz(), d.reordered.nnz());
+            assert!(d.buffer_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn reordering_preserves_structure() {
+        let d = ScaledDataset::load(MatrixId::Gy, 64);
+        assert_eq!(d.matrix.nrows(), d.reordered.nrows());
+        assert_eq!(d.matrix.nnz(), d.reordered.nnz());
+    }
+}

@@ -1,0 +1,897 @@
+//! One generator per table/figure of the paper's evaluation.
+//!
+//! Each function returns a [`Report`] whose `body` is the regenerated
+//! artifact as plain text. `EXPERIMENTS.md` records how each measured
+//! number compares with the paper's.
+
+use sparsepipe_apps::registry;
+use sparsepipe_core::{simulate, MemoryConfig, Preprocessing, ReorderKind, SparsepipeConfig};
+use sparsepipe_tensor::{livesweep, BlockedDualStorage, DualStorage, MatrixId};
+
+use crate::datasets::DataContext;
+use crate::sweep::{self, Sweep};
+use crate::table::{fmt_pct, fmt_x, Table};
+use crate::geomean;
+
+/// A regenerated table/figure.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Paper artifact id (`table1`, `fig14`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// The artifact body (text table / series).
+    pub body: String,
+}
+
+impl Report {
+    /// Renders with a header line.
+    pub fn render(&self) -> String {
+        format!("== {} — {} ==\n{}\n", self.id, self.title, self.body)
+    }
+}
+
+/// **Table I** — portion of the sparse matrix live on chip under OEI.
+pub fn table1(ctx: &DataContext) -> Report {
+    let datasets = ctx.load();
+    let mut t = Table::new(
+        ["matrix", "rows/cols", "nnz", "max (%)", "avg (%)", "paper max", "paper avg"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for d in &datasets {
+        let stats = livesweep::sweep(&d.matrix);
+        let spec = d.id.spec();
+        t.row(vec![
+            d.id.code().into(),
+            d.matrix.nrows().to_string(),
+            d.matrix.nnz().to_string(),
+            fmt_pct(stats.max_percent()),
+            fmt_pct(stats.avg_percent()),
+            fmt_pct(spec.paper_max_pct),
+            fmt_pct(spec.paper_avg_pct),
+        ]);
+    }
+    Report {
+        id: "table1",
+        title: format!(
+            "on-chip live set under the OEI dataflow (scale 1/{})",
+            ctx.scale
+        ),
+        body: t.render(),
+    }
+}
+
+/// **Table II** — evaluated memory configurations.
+pub fn table2() -> Report {
+    let mut t = Table::new(
+        ["system", "bandwidth (GB/s)", "latency R/W (ns)", "DRAM tech"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let rows: [(&str, MemoryConfig); 4] = [
+        ("CPU (AMD 5800X3D)", MemoryConfig::ddr4()),
+        ("GPU (NVIDIA 4070)", MemoryConfig::gddr6x()),
+        ("Sparsepipe (iso-CPU)", MemoryConfig::ddr4()),
+        ("Sparsepipe (iso-GPU)", MemoryConfig::gddr6x()),
+    ];
+    for (name, m) in rows {
+        t.row(vec![
+            name.into(),
+            format!("{:.0}", m.bandwidth_gbps),
+            format!("{}/{}", m.read_latency_ns, m.write_latency_ns),
+            m.tech.into(),
+        ]);
+    }
+    Report {
+        id: "table2",
+        title: "memory configurations evaluated".into(),
+        body: t.render(),
+    }
+}
+
+/// **Table III** — benchmark applications.
+pub fn table3() -> Report {
+    let mut t = Table::new(
+        ["app", "vxm semiring", "reuse pattern", "domain", "OEI verified"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for app in registry::all() {
+        let program = app.compile().expect("apps compile");
+        t.row(vec![
+            app.name.into(),
+            app.semiring.to_string(),
+            match app.reuse {
+                sparsepipe_apps::ReusePattern::CrossIteration => {
+                    "cross-iteration, producer-consumer".into()
+                }
+                sparsepipe_apps::ReusePattern::ProducerConsumer => "producer-consumer".into(),
+            },
+            format!("{:?}", app.domain),
+            if program.profile.has_oei { "yes" } else { "no" }.into(),
+        ]);
+    }
+    Report {
+        id: "table3",
+        title: "benchmark STA applications".into(),
+        body: t.render(),
+    }
+}
+
+/// **Fig 14** — Sparsepipe speedup over the idealized sparse accelerator.
+pub fn fig14(sweep: &Sweep) -> Report {
+    let matrices = sweep.matrices();
+    let mut header = vec!["app".to_string()];
+    header.extend(matrices.iter().map(|m| m.code().to_string()));
+    header.push("geomean".into());
+    let mut t = Table::new(header);
+    let mut oei_geo = Vec::new();
+    let mut all_speedups = Vec::new();
+    for app in sweep.app_names() {
+        let entries = sweep.by_app(app);
+        let mut row = vec![app.to_string()];
+        let mut speedups = Vec::new();
+        for m in &matrices {
+            if let Some(e) = entries.iter().find(|e| e.matrix == *m) {
+                let s = e.speedup_vs_ideal();
+                speedups.push(s);
+                row.push(fmt_x(s));
+            } else {
+                row.push("-".into());
+            }
+        }
+        let g = geomean(&speedups);
+        row.push(fmt_x(g));
+        t.row(row);
+        if entries.first().map(|e| e.has_oei).unwrap_or(false) {
+            oei_geo.push(g);
+        }
+        all_speedups.extend(speedups);
+    }
+    let max = all_speedups.iter().copied().fold(0.0f64, f64::max);
+    let body = format!(
+        "{}\nmax speedup: {} (paper: up to 3.59x)\nOEI-app geomean range: {} – {} (paper: 1.21x – 2.62x)\n",
+        t.render(),
+        fmt_x(max),
+        fmt_x(oei_geo.iter().copied().fold(f64::INFINITY, f64::min)),
+        fmt_x(oei_geo.iter().copied().fold(0.0, f64::max)),
+    );
+    Report {
+        id: "fig14",
+        title: "speedup of Sparsepipe over the baseline (ideal) accelerator".into(),
+        body,
+    }
+}
+
+/// **Fig 15** — bandwidth utilization over execution for the four
+/// highlighted workloads (sampled at every 4%).
+pub fn fig15(ctx: &DataContext) -> Report {
+    let pairs = [
+        ("sssp", MatrixId::Bu),
+        ("knn", MatrixId::Eu),
+        ("kcore", MatrixId::Eu),
+        ("sssp", MatrixId::Wi),
+    ];
+    let mut body = String::new();
+    for (app_name, matrix_id) in pairs {
+        let dataset = ctx.load_one(matrix_id);
+        let app = registry::by_name(app_name).expect("known app");
+        let program = app.compile().expect("apps compile");
+        let cfg = sweep::sparsepipe_config(&dataset);
+        let report = simulate(&program, &dataset.reordered, app.default_iterations, &cfg)
+            .expect("square matrix");
+        body.push_str(&format!(
+            "--- {}-{} (avg util {}) ---\n",
+            app_name,
+            matrix_id.code(),
+            fmt_pct(report.avg_bw_utilization * 100.0)
+        ));
+        body.push_str("  %run  util  [csc|csr|vec]  bar\n");
+        for (i, s) in report.bw_trace.iter().enumerate() {
+            let bar_len = (s.utilization * 40.0).round() as usize;
+            body.push_str(&format!(
+                "  {:>3}%  {:>5.1}  [{:>4.1}|{:>4.1}|{:>4.1}]  {}\n",
+                (i + 1) * 4,
+                s.utilization * 100.0,
+                s.csc_frac * 100.0,
+                s.csr_frac * 100.0,
+                s.vector_frac * 100.0,
+                "#".repeat(bar_len)
+            ));
+        }
+    }
+    Report {
+        id: "fig15",
+        title: "memory bandwidth utilization during execution (4% samples)".into(),
+        body,
+    }
+}
+
+/// **Fig 16** — speedup over the CPU implementation (iso-GPU and iso-CPU).
+pub fn fig16(sweep: &Sweep) -> Report {
+    let matrices = sweep.matrices();
+    let mut header = vec!["app".to_string()];
+    header.extend(matrices.iter().map(|m| m.code().to_string()));
+    header.push("geomean".into());
+    header.push("iso-CPU geomean".into());
+    let mut t = Table::new(header);
+    let mut geos = Vec::new();
+    let mut iso_geos = Vec::new();
+    let mut max_speedup = 0.0f64;
+    for app in sweep.app_names() {
+        let entries = sweep.by_app(app);
+        let mut row = vec![app.to_string()];
+        let mut speedups = Vec::new();
+        let mut iso = Vec::new();
+        for m in &matrices {
+            if let Some(e) = entries.iter().find(|e| e.matrix == *m) {
+                let s = e.speedup_vs_cpu();
+                max_speedup = max_speedup.max(s);
+                speedups.push(s);
+                iso.push(e.iso_cpu_speedup_vs_cpu());
+                row.push(fmt_x(s));
+            } else {
+                row.push("-".into());
+            }
+        }
+        let g = geomean(&speedups);
+        let gi = geomean(&iso);
+        row.push(fmt_x(g));
+        row.push(fmt_x(gi));
+        t.row(row);
+        geos.push(g);
+        iso_geos.push(gi);
+    }
+    let body = format!(
+        "{}\nper-app geomean range: {} – {} (paper: 12.20x – 35.14x)\nmax: {} (paper: up to 164.84x on gcn)\niso-CPU geomean range: {} – {} (paper: 1.31x – 3.57x)\n",
+        t.render(),
+        fmt_x(geos.iter().copied().fold(f64::INFINITY, f64::min)),
+        fmt_x(geos.iter().copied().fold(0.0, f64::max)),
+        fmt_x(max_speedup),
+        fmt_x(iso_geos.iter().copied().fold(f64::INFINITY, f64::min)),
+        fmt_x(iso_geos.iter().copied().fold(0.0, f64::max)),
+    );
+    Report {
+        id: "fig16",
+        title: "speedup of Sparsepipe over the CPU STA framework".into(),
+        body,
+    }
+}
+
+/// **Fig 17** — speedup over GPU frameworks (bfs, kcore, pr, sssp).
+pub fn fig17(sweep: &Sweep) -> Report {
+    let subset = ["bfs", "kcore", "pr", "sssp"];
+    let mut t = Table::new(["app", "geomean speedup vs GPU"].map(String::from).to_vec());
+    let mut all = Vec::new();
+    for app in subset {
+        let speedups: Vec<f64> = sweep
+            .by_app(app)
+            .iter()
+            .map(|e| e.speedup_vs_gpu())
+            .collect();
+        let g = geomean(&speedups);
+        t.row(vec![app.into(), fmt_x(g)]);
+        all.extend(speedups);
+    }
+    let body = format!(
+        "{}\noverall geomean: {} (paper: 4.65x)\n",
+        t.render(),
+        fmt_x(geomean(&all))
+    );
+    Report {
+        id: "fig17",
+        title: "speedup of Sparsepipe over GPU implementations".into(),
+        body,
+    }
+}
+
+/// **Fig 18** — performance relative to the oracle accelerator.
+pub fn fig18(sweep: &Sweep) -> Report {
+    let matrices = sweep.matrices();
+    let mut header = vec!["app".to_string()];
+    header.extend(matrices.iter().map(|m| m.code().to_string()));
+    let mut t = Table::new(header);
+    let mut all = Vec::new();
+    for app in sweep.app_names() {
+        let entries = sweep.by_app(app);
+        let mut row = vec![app.to_string()];
+        for m in &matrices {
+            if let Some(e) = entries.iter().find(|e| e.matrix == *m) {
+                let f = e.fraction_of_oracle() * 100.0;
+                all.push(f);
+                row.push(fmt_pct(f));
+            } else {
+                row.push("-".into());
+            }
+        }
+        t.row(row);
+    }
+    let avg = all.iter().sum::<f64>() / all.len().max(1) as f64;
+    Report {
+        id: "fig18",
+        title: "performance vs. an accelerator with perfect inter-operator reuse".into(),
+        body: format!(
+            "{}\naverage: {} of oracle performance (paper: 66.78%)\n",
+            t.render(),
+            fmt_pct(avg)
+        ),
+    }
+}
+
+/// **Fig 19** — sensitivity to sparse tensor preprocessing.
+pub fn fig19(ctx: &DataContext) -> Report {
+    let datasets = ctx.load();
+    let apps = ["pr", "sssp", "kcore"];
+    let variants: [(&str, bool, bool); 4] = [
+        ("skeleton (no opt)", false, false),
+        ("+blocked", true, false),
+        ("+reorder", false, true),
+        ("+both", true, true),
+    ];
+    let mut t = Table::new(
+        ["variant", "geomean speedup vs ideal", "vs skeleton"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut per_variant = Vec::new();
+    for (name, blocked, reorder) in variants {
+        let mut speedups = Vec::new();
+        for d in &datasets {
+            let matrix = if reorder { &d.reordered } else { &d.matrix };
+            for app_name in apps {
+                let app = registry::by_name(app_name).expect("known app");
+                let program = app.compile().expect("apps compile");
+                let cfg = SparsepipeConfig::iso_gpu()
+                    .with_buffer(d.buffer_bytes())
+                    .with_preprocessing(Preprocessing {
+                        blocked,
+                        reorder: ReorderKind::None,
+                    });
+                let sim = simulate(&program, matrix, app.default_iterations, &cfg)
+                    .expect("square matrix");
+                let w = sparsepipe_baselines::WorkloadInstance {
+                    profile: &program.profile,
+                    n: d.matrix.nrows() as u64,
+                    nnz: d.matrix.nnz() as u64,
+                    stats: &d.stats,
+                    iterations: app.default_iterations,
+                };
+                let ideal =
+                    sparsepipe_baselines::ideal::IdealAccelerator::new(cfg).evaluate(&w);
+                speedups.push(ideal.runtime_s / sim.runtime_s);
+            }
+        }
+        per_variant.push((name, geomean(&speedups)));
+    }
+    let skeleton = per_variant[0].1;
+    for (name, g) in &per_variant {
+        t.row(vec![
+            (*name).into(),
+            fmt_x(*g),
+            fmt_x(*g / skeleton),
+        ]);
+    }
+    Report {
+        id: "fig19",
+        title: format!(
+            "preprocessing sensitivity, apps {apps:?} (paper: skeleton 1.37x; both 1.05x–1.34x over skeleton)"
+        ),
+        body: t.render(),
+    }
+}
+
+/// **Fig 20a** — storage improvement of the blocked dual format.
+pub fn fig20a(ctx: &DataContext) -> Report {
+    let datasets = ctx.load();
+    let mut t = Table::new(
+        ["matrix", "dual (MB)", "blocked dual (MB)", "ratio"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut ratios = Vec::new();
+    for d in &datasets {
+        let dual = DualStorage::from_coo(&d.reordered).storage_bytes() as f64;
+        let blocked = BlockedDualStorage::from_coo(&d.reordered).storage_bytes() as f64;
+        let ratio = blocked / dual;
+        ratios.push(ratio);
+        t.row(vec![
+            d.id.code().into(),
+            format!("{:.2}", dual / 1e6),
+            format!("{:.2}", blocked / 1e6),
+            fmt_pct(ratio * 100.0),
+        ]);
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+    Report {
+        id: "fig20a",
+        title: "blocked dual-storage size relative to naive dual storage".into(),
+        body: format!(
+            "{}\naverage: {} of naive dual storage (paper: 39.2%)\n",
+            t.render(),
+            fmt_pct(avg * 100.0)
+        ),
+    }
+}
+
+/// **Fig 20b** — relative performance per area.
+pub fn fig20b(sweep: &Sweep) -> Report {
+    use sparsepipe_baselines::area;
+    let cpu_speedups: Vec<f64> = sweep.entries.iter().map(|e| e.speedup_vs_cpu()).collect();
+    let gpu_subset = ["bfs", "kcore", "pr", "sssp"];
+    let gpu_speedups: Vec<f64> = sweep
+        .entries
+        .iter()
+        .filter(|e| gpu_subset.contains(&e.app))
+        .map(|e| e.speedup_vs_gpu())
+        .collect();
+    let vs_cpu = geomean(&cpu_speedups);
+    let vs_gpu = geomean(&gpu_speedups);
+    let ppa_cpu = area::perf_per_area_ratio(vs_cpu, area::SPARSEPIPE_MM2, area::CPU_MM2);
+    let ppa_gpu = area::perf_per_area_ratio(vs_gpu, area::SPARSEPIPE_MM2, area::GPU_MM2);
+    let mut t = Table::new(
+        ["system", "area (mm2)", "speedup", "perf/area vs system"]
+            .map(String::from)
+            .to_vec(),
+    );
+    t.row(vec![
+        "Sparsepipe".into(),
+        format!("{:.2}", area::SPARSEPIPE_MM2),
+        "1.00x".into(),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "CPU (5800X3D)".into(),
+        format!("{:.0}", area::CPU_MM2),
+        fmt_x(vs_cpu),
+        fmt_x(ppa_cpu),
+    ]);
+    t.row(vec![
+        "GPU (RTX 4070)".into(),
+        format!("{:.0}", area::GPU_MM2),
+        fmt_x(vs_gpu),
+        fmt_x(ppa_gpu),
+    ]);
+    Report {
+        id: "fig20b",
+        title: "relative performance per area (paper: 5.38x vs GPU, 9.84x vs CPU)".into(),
+        body: t.render(),
+    }
+}
+
+/// **Fig 21** — Sparsepipe bandwidth utilization.
+pub fn fig21(sweep: &Sweep) -> Report {
+    let mut t = Table::new(["app", "bw utilization (geomean)"].map(String::from).to_vec());
+    let mut all = Vec::new();
+    let mut memory_bound = Vec::new();
+    for app in sweep.app_names() {
+        let utils: Vec<f64> = sweep
+            .by_app(app)
+            .iter()
+            .map(|e| e.sim.avg_bw_utilization * 100.0)
+            .collect();
+        let g = geomean(&utils);
+        t.row(vec![app.into(), fmt_pct(g)]);
+        all.push(g);
+        if app != "gmres" && app != "gcn" {
+            memory_bound.push(g);
+        }
+    }
+    Report {
+        id: "fig21",
+        title: "Sparsepipe bandwidth utilization".into(),
+        body: format!(
+            "{}\ngeomean: {} (paper: 82.93%)\nexcluding gmres/gcn: {} (paper: 92.94%)\n",
+            t.render(),
+            fmt_pct(geomean(&all)),
+            fmt_pct(geomean(&memory_bound))
+        ),
+    }
+}
+
+/// **Fig 22** — CPU/GPU bandwidth utilization per matrix.
+pub fn fig22(sweep: &Sweep) -> Report {
+    let matrices = sweep.matrices();
+    let mut t = Table::new(
+        ["matrix", "CPU util (geomean)", "GPU util (geomean)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for m in matrices {
+        let cpu: Vec<f64> = sweep
+            .entries
+            .iter()
+            .filter(|e| e.matrix == m)
+            .map(|e| e.cpu.bw_utilization * 100.0)
+            .collect();
+        let gpu: Vec<f64> = sweep
+            .entries
+            .iter()
+            .filter(|e| e.matrix == m)
+            .map(|e| e.gpu.bw_utilization * 100.0)
+            .collect();
+        t.row(vec![
+            m.code().into(),
+            fmt_pct(geomean(&cpu)),
+            fmt_pct(geomean(&gpu)),
+        ]);
+    }
+    Report {
+        id: "fig22",
+        title: "CPU/GPU bandwidth utilization (lower on small, cached inputs)".into(),
+        body: t.render(),
+    }
+}
+
+/// **Fig 23** — relative energy vs. the baseline accelerator.
+pub fn fig23(sweep: &Sweep) -> Report {
+    let mut t = Table::new(
+        ["app", "total energy vs ideal", "memory", "buffer", "compute"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut savings = Vec::new();
+    let mut mem_savings = Vec::new();
+    let mut buf_savings = Vec::new();
+    for app in sweep.app_names() {
+        let entries = sweep.by_app(app);
+        let ratio = |f: &dyn Fn(&sweep::Entry) -> (f64, f64)| {
+            let (a, b): (f64, f64) = entries
+                .iter()
+                .map(|e| f(e))
+                .fold((0.0, 0.0), |(x, y), (a, b)| (x + a, y + b));
+            a / b.max(1e-30)
+        };
+        let total = ratio(&|e| (e.sim.energy.total_pj(), e.ideal.energy.total_pj()));
+        let mem = ratio(&|e| (e.sim.energy.memory_pj, e.ideal.energy.memory_pj));
+        let buf = ratio(&|e| (e.sim.energy.buffer_pj, e.ideal.energy.buffer_pj));
+        let cmp = ratio(&|e| (e.sim.energy.compute_pj, e.ideal.energy.compute_pj));
+        t.row(vec![
+            app.into(),
+            fmt_pct(total * 100.0),
+            fmt_pct(mem * 100.0),
+            fmt_pct(buf * 100.0),
+            fmt_pct(cmp * 100.0),
+        ]);
+        savings.push(1.0 - total);
+        mem_savings.push(1.0 - mem);
+        buf_savings.push(1.0 - buf);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
+    Report {
+        id: "fig23",
+        title: "relative energy consumption vs the baseline accelerator".into(),
+        body: format!(
+            "{}\naverage energy saving: {} (paper: 54.98%)\nmemory-op saving: {} (paper: 50.32%)\nbuffer-op saving: {} (paper: 39.45%)\n",
+            t.render(),
+            fmt_pct(avg(&savings)),
+            fmt_pct(avg(&mem_savings)),
+            fmt_pct(avg(&buf_savings)),
+        ),
+    }
+}
+
+/// **Ablations** — the design-choice studies DESIGN.md §7 calls out:
+/// sub-tensor width, eager CSR loading, eviction policy, repack threshold,
+/// and buffer capacity.
+pub fn ablation(ctx: &DataContext) -> Report {
+    use sparsepipe_core::EvictionPolicy;
+    let mut body = String::new();
+
+    // --- A: sub-tensor width (pr on wi: skewed, large) ---
+    let wi = ctx.load_one(MatrixId::Wi);
+    let pr = registry::by_name("pr").expect("known app");
+    let pr_prog = pr.compile().expect("apps compile");
+    let base = sweep::sparsepipe_config(&wi);
+    let mut t = Table::new(["sub-tensor T", "steps", "runtime (ms)", "bw util"].map(String::from).to_vec());
+    let auto = base.subtensor_auto(wi.reordered.ncols(), wi.reordered.nnz());
+    for (label, cols) in [
+        ("1".to_string(), 1usize),
+        ("8".to_string(), 8),
+        ("64".to_string(), 64),
+        ("512".to_string(), 512),
+        (format!("auto ({auto})"), 0),
+    ] {
+        let cfg = SparsepipeConfig {
+            subtensor_cols: cols,
+            ..base
+        };
+        let r = simulate(&pr_prog, &wi.reordered, pr.default_iterations, &cfg)
+            .expect("square matrix");
+        let eff = if cols == 0 { auto } else { cols };
+        t.row(vec![
+            label,
+            wi.reordered.ncols().div_ceil(eff as u32).to_string(),
+            format!("{:.4}", r.runtime_s * 1e3),
+            fmt_pct(r.avg_bw_utilization * 100.0),
+        ]);
+    }
+    body.push_str("--- sub-tensor width (pr on wi) ---\n");
+    body.push_str(&t.render());
+
+    // --- B: eager CSR + eviction policy under buffer pressure (sssp/bu) ---
+    // Use the ORIGINAL (unreordered) bu: GraphOrder halves its live set
+    // (the anti-diagonal mass relabels to near-diagonal), which would
+    // remove the pressure this study needs. Quarter the buffer on top.
+    let bu = ctx.load_one(MatrixId::Bu);
+    let sssp = registry::by_name("sssp").expect("known app");
+    let sssp_prog = sssp.compile().expect("apps compile");
+    let pressured = sweep::sparsepipe_config(&bu).with_buffer(bu.buffer_bytes() / 4);
+    let mut t = Table::new(
+        ["variant", "runtime (ms)", "refetch (MB)", "eager (MB)", "evictions"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (name, eager, policy) in [
+        ("eager + highest-row-first", true, EvictionPolicy::HighestRowFirst),
+        ("no eager CSR", false, EvictionPolicy::HighestRowFirst),
+        ("eager + oldest-first", true, EvictionPolicy::OldestFirst),
+    ] {
+        let cfg = SparsepipeConfig {
+            eviction: policy,
+            ..pressured.with_eager_csr(eager)
+        };
+        let r = simulate(&sssp_prog, &bu.matrix, sssp.default_iterations, &cfg)
+            .expect("square matrix");
+        t.row(vec![
+            name.into(),
+            format!("{:.4}", r.runtime_s * 1e3),
+            format!("{:.2}", r.traffic.refetch_bytes / 1e6),
+            format!("{:.2}", r.traffic.csr_eager_bytes / 1e6),
+            r.evicted_elements.to_string(),
+        ]);
+    }
+    body.push_str("\n--- eager CSR loading & eviction policy (sssp on bu (original order), quarter buffer) ---\n");
+    body.push_str(&t.render());
+
+    // --- C: repack threshold ---
+    let mut t = Table::new(
+        ["repack threshold", "runtime (ms)", "repacks", "evictions"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for thr in [0.1, 0.5, 0.9] {
+        let cfg = SparsepipeConfig {
+            repack_threshold: thr,
+            ..pressured
+        };
+        let r = simulate(&sssp_prog, &bu.matrix, sssp.default_iterations, &cfg)
+            .expect("square matrix");
+        t.row(vec![
+            format!("{thr}"),
+            format!("{:.4}", r.runtime_s * 1e3),
+            r.repack_events.to_string(),
+            r.evicted_elements.to_string(),
+        ]);
+    }
+    body.push_str("\n--- CSR-space repack threshold (sssp on bu (original order), quarter buffer) ---\n");
+    body.push_str(&t.render());
+
+    // --- D: buffer capacity (pr on bu) ---
+    let mut t = Table::new(
+        ["buffer", "runtime (ms)", "refetch (MB)", "loads/iter"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let full = bu.buffer_bytes();
+    for frac in [8usize, 4, 2, 1] {
+        let cfg = sweep::sparsepipe_config(&bu).with_buffer(full / frac);
+        let r = simulate(&pr_prog, &bu.matrix, pr.default_iterations, &cfg)
+            .expect("square matrix");
+        t.row(vec![
+            format!("1/{frac} of scaled 64 MB"),
+            format!("{:.4}", r.runtime_s * 1e3),
+            format!("{:.2}", r.traffic.refetch_bytes / 1e6),
+            format!("{:.3}", r.matrix_loads_per_iteration),
+        ]);
+    }
+    body.push_str("\n--- buffer capacity (pr on bu) ---\n");
+    body.push_str(&t.render());
+
+    Report {
+        id: "ablation",
+        title: format!("design-choice ablations (scale 1/{})", ctx.scale),
+        body,
+    }
+}
+
+/// **Self-verification** — runs the stack's functional cross-checks on
+/// fresh matrices and reports pass/fail per check: every app through the
+/// interpreter, Table III's reuse classification recomputed, the OEI
+/// schedule (element, sub-tensor, and mechanism-level buffered variants)
+/// against sequential execution, and a fused multi-iteration PageRank
+/// against the interpreter.
+pub fn verify() -> Report {
+    use sparsepipe_core::oei;
+    use sparsepipe_semiring::SemiringOp;
+    use sparsepipe_tensor::{gen, DenseVector};
+
+    let mut t = Table::new(["check", "status"].map(String::from).to_vec());
+    let mut failures = 0usize;
+    let check = |t: &mut Table, failures: &mut usize, name: String, ok: bool| {
+        if !ok {
+            *failures += 1;
+        }
+        t.row(vec![name, if ok { "ok".into() } else { "FAIL".into() }]);
+    };
+
+    // 1. every app interprets and matches its Table-III classification
+    let m = gen::uniform(48, 48, 280, 99);
+    for app in registry::all() {
+        let interp_ok =
+            sparsepipe_frontend::interp::run(&app.graph, &app.bindings(&m), 3).is_ok();
+        check(
+            &mut t,
+            &mut failures,
+            format!("{}: interprets (3 iterations)", app.name),
+            interp_ok,
+        );
+        match app.compile() {
+            Ok(program) => {
+                let expected = app.reuse == sparsepipe_apps::ReusePattern::CrossIteration;
+                check(
+                    &mut t,
+                    &mut failures,
+                    format!("{}: OEI classification matches Table III", app.name),
+                    program.profile.has_oei == expected,
+                );
+            }
+            Err(_) => check(
+                &mut t,
+                &mut failures,
+                format!("{}: compiles", app.name),
+                false,
+            ),
+        }
+    }
+
+    // 2. OEI schedule equivalence across dataset families and variants
+    for (family, matrix) in [
+        ("uniform", gen::uniform(90, 90, 700, 1)),
+        ("banded", gen::banded(90, 700, 6, 2)),
+        ("power-law", gen::power_law(90, 700, 1.4, 0.4, 3)),
+    ] {
+        let (csc, csr) = (matrix.to_csc(), matrix.to_csr());
+        let x = DenseVector::filled(90, 0.25);
+        let ew = |_: usize, v: f64| v * 0.7 + 0.2;
+        let Ok(reference) =
+            oei::fused_pass(&csc, &csr, &x, ew, SemiringOp::MulAdd, SemiringOp::MulAdd)
+        else {
+            check(
+                &mut t,
+                &mut failures,
+                format!("oei element pass on {family}"),
+                false,
+            );
+            continue;
+        };
+        let wide = oei::fused_pass_subtensor(
+            &csc,
+            &csr,
+            &x,
+            ew,
+            SemiringOp::MulAdd,
+            SemiringOp::MulAdd,
+            7,
+        );
+        check(
+            &mut t,
+            &mut failures,
+            format!("oei sub-tensor schedule == element schedule ({family})"),
+            wide.map(|w| w.y2.max_abs_diff(&reference.y2).unwrap_or(f64::MAX) < 1e-9)
+                .unwrap_or(false),
+        );
+        for cap in [64 << 20, matrix.nnz() * 12 / 6] {
+            let buffered = oei::fused_pass_buffered(
+                &csc,
+                &csr,
+                &x,
+                ew,
+                SemiringOp::MulAdd,
+                SemiringOp::MulAdd,
+                cap,
+            );
+            check(
+                &mut t,
+                &mut failures,
+                format!("oei buffered mechanism exact ({family}, {} KiB)", cap >> 10),
+                buffered
+                    .map(|(o, _)| {
+                        o.y2.max_abs_diff(&reference.y2).unwrap_or(f64::MAX) < 1e-9
+                    })
+                    .unwrap_or(false),
+            );
+        }
+    }
+
+    // 3. end-to-end: fused multi-iteration PageRank == interpreter
+    let graph = gen::power_law(64, 500, 1.0, 0.4, 5);
+    let transition = sparsepipe_apps::pagerank::transition_matrix(&graph);
+    let (csc, csr) = (transition.to_csc(), transition.to_csr());
+    let x0 = DenseVector::filled(64, 1.0 / 64.0);
+    let d = sparsepipe_apps::pagerank::DAMPING;
+    let fused = oei::run_fused_buffered(
+        &csc,
+        &csr,
+        &x0,
+        |_, v| d * v + 0.15,
+        SemiringOp::MulAdd,
+        SemiringOp::MulAdd,
+        6,
+        transition.nnz() * 12 / 4,
+    );
+    let app = sparsepipe_apps::pagerank::app(6);
+    let via_interp = sparsepipe_frontend::interp::run(&app.graph, &app.bindings(&graph), 6);
+    check(
+        &mut t,
+        &mut failures,
+        "pagerank x6: buffered OEI pipeline == interpreter".into(),
+        match (fused, via_interp) {
+            (Ok((x, _)), Ok(out)) => out["pr"]
+                .as_vector()
+                .map(|pr| x.max_abs_diff(pr).unwrap_or(f64::MAX) < 1e-9)
+                .unwrap_or(false),
+            _ => false,
+        },
+    );
+
+    Report {
+        id: "verify",
+        title: format!("functional self-verification — {failures} check(s) failed"),
+        body: t.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::MatrixSet;
+
+    fn tiny() -> Sweep {
+        Sweep::run(DataContext::synthetic(MatrixSet::Quick, 512))
+    }
+
+    #[test]
+    fn static_tables_render() {
+        assert!(table2().render().contains("GDDR6X"));
+        let t3 = table3();
+        assert!(t3.body.contains("Aril-Add"));
+        assert!(t3.body.contains("cross-iteration"));
+    }
+
+    #[test]
+    fn table1_includes_paper_comparison() {
+        let r = table1(&DataContext::synthetic(MatrixSet::Quick, 512));
+        assert!(r.body.contains("ca"));
+        assert!(r.body.contains("paper max"));
+    }
+
+    #[test]
+    fn sweep_figures_render() {
+        let s = tiny();
+        for report in [fig14(&s), fig16(&s), fig17(&s), fig18(&s), fig20b(&s), fig21(&s), fig22(&s), fig23(&s)] {
+            assert!(!report.body.is_empty(), "{} empty", report.id);
+        }
+    }
+
+    #[test]
+    fn fig20a_shows_compression() {
+        let r = fig20a(&DataContext::synthetic(MatrixSet::Quick, 512));
+        assert!(r.body.contains("average"));
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    #[test]
+    fn self_verification_is_all_green() {
+        let report = super::verify();
+        assert!(
+            report.title.contains("0 check(s) failed"),
+            "{}\n{}",
+            report.title,
+            report.body
+        );
+        assert!(!report.body.contains("FAIL"));
+    }
+}

@@ -1,0 +1,266 @@
+//! The app × matrix evaluation sweep shared by Figures 14–23.
+
+use sparsepipe_apps::{registry, StaApp};
+use sparsepipe_baselines::cpu::CpuModel;
+use sparsepipe_baselines::gpu::GpuModel;
+use sparsepipe_baselines::ideal::IdealAccelerator;
+use sparsepipe_baselines::oracle::OracleAccelerator;
+use sparsepipe_baselines::{BaselineReport, WorkloadInstance};
+use sparsepipe_core::{simulate, Preprocessing, ReorderKind, SimReport, SparsepipeConfig};
+use sparsepipe_tensor::MatrixId;
+
+use crate::datasets::{DataContext, ScaledDataset};
+
+/// All evaluated systems' results for one (app, matrix) pair.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Entry {
+    /// Application short name.
+    pub app: &'static str,
+    /// Matrix id.
+    pub matrix: MatrixId,
+    /// Whether the app admits the OEI dataflow.
+    pub has_oei: bool,
+    /// Loop iterations evaluated.
+    pub iterations: usize,
+    /// Sparsepipe (iso-GPU) simulation.
+    pub sim: SimReport,
+    /// Sparsepipe (iso-CPU bandwidth) simulation (§VI-B).
+    pub sim_iso_cpu: SimReport,
+    /// Idealized roofline sparse accelerator (Fig 14 denominator).
+    pub ideal: BaselineReport,
+    /// Oracle inter-operator-reuse accelerator (Fig 18).
+    pub oracle: BaselineReport,
+    /// CPU (ALP/GraphBLAS on 5800X3D) model.
+    pub cpu: BaselineReport,
+    /// GPU (GraphBLAST/Gunrock on RTX 4070) model.
+    pub gpu: BaselineReport,
+}
+
+impl Entry {
+    /// Sparsepipe speedup over the ideal accelerator (Fig 14).
+    pub fn speedup_vs_ideal(&self) -> f64 {
+        self.ideal.runtime_s / self.sim.runtime_s
+    }
+
+    /// Sparsepipe (iso-GPU) speedup over the CPU (Fig 16).
+    pub fn speedup_vs_cpu(&self) -> f64 {
+        self.cpu.runtime_s / self.sim.runtime_s
+    }
+
+    /// Sparsepipe (iso-CPU) speedup over the CPU (Fig 16's iso study).
+    pub fn iso_cpu_speedup_vs_cpu(&self) -> f64 {
+        self.cpu.runtime_s / self.sim_iso_cpu.runtime_s
+    }
+
+    /// Sparsepipe speedup over the GPU (Fig 17).
+    pub fn speedup_vs_gpu(&self) -> f64 {
+        self.gpu.runtime_s / self.sim.runtime_s
+    }
+
+    /// Fraction of the oracle's performance achieved (Fig 18).
+    pub fn fraction_of_oracle(&self) -> f64 {
+        self.oracle.runtime_s / self.sim.runtime_s
+    }
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Sweep {
+    /// Data context used.
+    pub context: DataContext,
+    /// One entry per (app, matrix).
+    pub entries: Vec<Entry>,
+}
+
+/// The Sparsepipe configuration used by the sweep for a dataset: blocked
+/// format on, reordering pre-applied to the input (so the per-run
+/// simulation does not repeat the offline preprocessing).
+pub fn sparsepipe_config(dataset: &ScaledDataset) -> SparsepipeConfig {
+    SparsepipeConfig::iso_gpu()
+        .with_buffer(dataset.buffer_bytes())
+        .with_preprocessing(Preprocessing {
+            blocked: true,
+            reorder: ReorderKind::None,
+        })
+}
+
+/// CPU model with capacities *and* fixed per-op overheads scaled to match
+/// the dataset scale (an absolute overhead would otherwise dominate the
+/// 1/scale-shrunk kernel times and distort every ratio).
+pub fn scaled_cpu(scale: u64) -> CpuModel {
+    let mut m = CpuModel::default();
+    m.llc_bytes /= scale as f64;
+    m.op_overhead_s /= scale as f64;
+    m
+}
+
+/// GPU model with capacities and overheads scaled to match the dataset
+/// scale.
+pub fn scaled_gpu(scale: u64) -> GpuModel {
+    let mut m = GpuModel::default();
+    m.l2_bytes /= scale as f64;
+    m.saturation_nnz /= scale as f64;
+    m.launch_overhead_s /= scale as f64;
+    m
+}
+
+/// Evaluates one app on one dataset across all systems.
+pub fn evaluate(app: &StaApp, dataset: &ScaledDataset, scale: u64) -> Entry {
+    let program = app.compile().expect("built-in apps compile");
+    let iterations = app.default_iterations;
+    let cfg = sparsepipe_config(dataset);
+    let sim = simulate(&program, &dataset.reordered, iterations, &cfg)
+        .expect("square generated matrices");
+    let cfg_cpu = SparsepipeConfig {
+        memory: sparsepipe_core::MemoryConfig::ddr4(),
+        ..cfg
+    };
+    let sim_iso_cpu = simulate(&program, &dataset.reordered, iterations, &cfg_cpu)
+        .expect("square generated matrices");
+
+    let w = WorkloadInstance {
+        profile: &program.profile,
+        n: dataset.matrix.nrows() as u64,
+        nnz: dataset.matrix.nnz() as u64,
+        stats: &dataset.stats,
+        iterations,
+    };
+    let ideal = IdealAccelerator::new(cfg).evaluate(&w);
+    let oracle = OracleAccelerator::new(cfg).evaluate(&w);
+    let cpu = scaled_cpu(scale).evaluate(&w);
+    let gpu = scaled_gpu(scale).evaluate(&w);
+
+    Entry {
+        app: app.name,
+        matrix: dataset.id,
+        has_oei: program.profile.has_oei,
+        iterations,
+        sim,
+        sim_iso_cpu,
+        ideal,
+        oracle,
+        cpu,
+        gpu,
+    }
+}
+
+impl Sweep {
+    /// Runs the full sweep (parallel over matrices).
+    pub fn run(context: DataContext) -> Sweep {
+        let datasets = context.load();
+        let apps = registry::all();
+        let scale = context.scale;
+        let mut buckets: Vec<Vec<Entry>> = (0..datasets.len()).map(|_| Vec::new()).collect();
+        crossbeam::thread::scope(|s| {
+            for (bucket, dataset) in buckets.iter_mut().zip(&datasets) {
+                let apps = &apps;
+                s.spawn(move |_| {
+                    for app in apps {
+                        bucket.push(evaluate(app, dataset, scale));
+                    }
+                });
+            }
+        })
+        .expect("sweep threads must not panic");
+        Sweep {
+            context,
+            entries: buckets.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Entries for one app, in matrix order.
+    pub fn by_app(&self, app: &str) -> Vec<&Entry> {
+        self.entries.iter().filter(|e| e.app == app).collect()
+    }
+
+    /// All distinct app names, in registry order.
+    pub fn app_names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for e in &self.entries {
+            if !names.contains(&e.app) {
+                names.push(e.app);
+            }
+        }
+        names
+    }
+
+    /// All matrices present, in Table-I order.
+    pub fn matrices(&self) -> Vec<MatrixId> {
+        MatrixId::ALL
+            .into_iter()
+            .filter(|m| self.entries.iter().any(|e| e.matrix == *m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::MatrixSet;
+
+    fn tiny_sweep() -> Sweep {
+        // scale 128 keeps matrices non-degenerate (the per-step latency
+        // floor dominates below ~1k non-zeros and distorts every ratio)
+        Sweep::run(DataContext::synthetic(MatrixSet::Quick, 128))
+    }
+
+    #[test]
+    fn sweep_covers_all_pairs() {
+        let s = tiny_sweep();
+        assert_eq!(s.entries.len(), 11 * 3);
+        assert_eq!(s.app_names().len(), 11);
+        assert_eq!(s.matrices().len(), 3);
+        assert_eq!(s.by_app("pr").len(), 3);
+    }
+
+    #[test]
+    fn oei_apps_beat_ideal_on_friendly_matrices() {
+        // On eu (tiny live set, memory-bound, large enough that pipeline
+        // fill is negligible), pr must beat the ideal baseline thanks to
+        // cross-iteration reuse.
+        let dataset = crate::datasets::ScaledDataset::load(MatrixId::Eu, 512);
+        let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
+        let pr_eu = evaluate(&pr, &dataset, 512);
+        assert!(
+            pr_eu.speedup_vs_ideal() > 1.4,
+            "pr/eu speedup {} too small",
+            pr_eu.speedup_vs_ideal()
+        );
+        // and the non-OEI cg stays near parity (0.6–1.4x)
+        let cg = sparsepipe_apps::registry::by_name("cg").unwrap();
+        let cg_eu = evaluate(&cg, &dataset, 512);
+        let sp = cg_eu.speedup_vs_ideal();
+        assert!((0.6..1.4).contains(&sp), "cg/eu speedup {sp} out of band");
+    }
+
+    #[test]
+    fn sparsepipe_beats_cpu_and_gpu_models() {
+        let s = tiny_sweep();
+        for e in &s.entries {
+            assert!(
+                e.speedup_vs_cpu() > 1.0,
+                "{}-{} vs cpu: {}",
+                e.app,
+                e.matrix,
+                e.speedup_vs_cpu()
+            );
+        }
+        let gpu_speedups: Vec<f64> = s.entries.iter().map(|e| e.speedup_vs_gpu()).collect();
+        assert!(crate::geomean(&gpu_speedups) > 1.5);
+    }
+
+    #[test]
+    fn oracle_fraction_is_a_fraction() {
+        let s = tiny_sweep();
+        for e in &s.entries {
+            let f = e.fraction_of_oracle();
+            assert!(
+                f <= 1.05,
+                "{}-{} exceeds oracle: {f}",
+                e.app,
+                e.matrix
+            );
+            assert!(f > 0.03, "{}-{} far from oracle: {f}", e.app, e.matrix);
+        }
+    }
+}

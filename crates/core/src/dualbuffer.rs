@@ -1,0 +1,382 @@
+//! A concrete implementation of the dual sparse storage on-chip buffer
+//! (§IV-B and Fig 11 of the paper).
+//!
+//! Where [`crate::buffer::BufferModel`] tracks element *residency*
+//! abstractly for the timing model, this module implements the actual
+//! storage mechanism the paper describes, with its real invariants:
+//!
+//! * **CSC space** — each fetched column's `(row_coord, val)` entries are
+//!   stored contiguously; the whole column is freed the moment the OS core
+//!   consumes it ("evicts entire column data immediately after the OS Core
+//!   processes them").
+//! * **CSR space with up-front reservation** — when the first converted
+//!   element of a row arrives (the col-row converter flipping fetched
+//!   column data), space for the row's **entire** non-zero count is
+//!   reserved ("Sparsepipe determines the necessary space for each row
+//!   using row_start − row_end from the CSR index array, reserving space
+//!   upon receiving the first converted row data"). Because columns are
+//!   fetched in ascending order, subsequent elements of the row land
+//!   consecutively in the reserved region.
+//! * **Consumed counters and repacking** — the IS core consumes row
+//!   elements individually; a per-row consumed count beyond the threshold
+//!   triggers a repack that discards fully-consumed rows and compacts the
+//!   rest (§IV-D3).
+//! * **OOM eviction** — under pressure, rows with the highest `row_idx`
+//!   are evicted first and their data must be re-fetched when the IS
+//!   stage needs it.
+//!
+//! [`crate::oei::fused_pass_buffered`] drives this structure through a
+//! full OEI pass, producing both the functional result *and* a traffic
+//! trace that the tests cross-validate against the abstract timing model.
+
+use std::collections::BTreeMap;
+
+/// Bytes per stored element in the (unblocked) buffer spaces: a 4-byte
+/// coordinate and an 8-byte value.
+pub const ELEM_BYTES: usize = 12;
+
+/// Per-row CSR-space state.
+#[derive(Debug, Clone)]
+struct RowSpace {
+    /// Total non-zeros of this row (the reservation size).
+    reserved_elems: usize,
+    /// Entries stored so far, in ascending column order: `(col, val)`.
+    stored: Vec<(u32, f64)>,
+    /// How many stored entries the IS core has consumed.
+    consumed: usize,
+}
+
+impl RowSpace {
+    fn fully_consumed(&self) -> bool {
+        self.consumed == self.reserved_elems
+    }
+}
+
+/// Statistics of one buffered pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DualBufferStats {
+    /// Bytes fetched from DRAM on column demand.
+    pub fetched_bytes: usize,
+    /// Bytes re-fetched after an OOM eviction.
+    pub refetch_bytes: usize,
+    /// Peak occupancy (CSC space + CSR reservations + stored metadata).
+    pub peak_bytes: usize,
+    /// Rows evicted under pressure.
+    pub evicted_rows: usize,
+    /// Repacking passes executed.
+    pub repacks: usize,
+    /// CSR-space reservations made.
+    pub reservations: usize,
+}
+
+/// The dual-storage buffer: CSC space + CSR space sharing one capacity.
+#[derive(Debug)]
+pub struct DualBuffer {
+    capacity_bytes: usize,
+    repack_threshold: f64,
+    /// CSC space: fetched, not-yet-consumed columns.
+    csc_cols: BTreeMap<u32, Vec<(u32, f64)>>,
+    csc_bytes: usize,
+    /// CSR space: per-row reserved regions (keyed by row, so
+    /// highest-row-first eviction is a `last_key_value`).
+    csr_rows: BTreeMap<u32, RowSpace>,
+    /// Reserved (not merely stored) CSR bytes — reservation is what
+    /// occupies space, per the paper's design.
+    csr_reserved_bytes: usize,
+    /// Bytes inside reservations already freed by consumption but not yet
+    /// reclaimed (awaiting repack).
+    fragmented_bytes: usize,
+    stats: DualBufferStats,
+}
+
+impl DualBuffer {
+    /// Creates a buffer with the given capacity and repack threshold
+    /// (fraction of occupied space that may be fragmentation before a
+    /// repack triggers).
+    pub fn new(capacity_bytes: usize, repack_threshold: f64) -> Self {
+        DualBuffer {
+            capacity_bytes,
+            repack_threshold,
+            csc_cols: BTreeMap::new(),
+            csc_bytes: 0,
+            csr_rows: BTreeMap::new(),
+            csr_reserved_bytes: 0,
+            fragmented_bytes: 0,
+            stats: DualBufferStats::default(),
+        }
+    }
+
+    /// Current occupancy in bytes (CSC space + CSR reservations +
+    /// unreclaimed fragmentation).
+    pub fn occupancy_bytes(&self) -> usize {
+        self.csc_bytes + self.csr_reserved_bytes + self.fragmented_bytes
+    }
+
+    /// Pass statistics so far.
+    pub fn stats(&self) -> DualBufferStats {
+        self.stats
+    }
+
+    fn note_peak(&mut self) {
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.occupancy_bytes());
+    }
+
+    /// Fetches column `col` from DRAM into the CSC space, and runs the
+    /// col-row converter: each `(row, val)` is offered to the CSR space.
+    /// `row_total(r)` must return row `r`'s full non-zero count (the CSR
+    /// index array the loader consults for reservation sizing).
+    ///
+    /// Rows the IS core has already finished (`is_frontier > row`) are
+    /// *not* converted — their consumer is gone; the caller applies the
+    /// pending scatter directly (the deferred-IS path).
+    pub fn fetch_column<F>(
+        &mut self,
+        col: u32,
+        data: &[(u32, f64)],
+        is_frontier: u32,
+        row_total: F,
+    ) where
+        F: Fn(u32) -> usize,
+    {
+        self.stats.fetched_bytes += data.len() * ELEM_BYTES;
+        self.csc_cols.insert(col, data.to_vec());
+        self.csc_bytes += data.len() * ELEM_BYTES;
+        for &(row, val) in data {
+            if row < is_frontier {
+                continue; // deferred-IS: consumed by the caller directly
+            }
+            self.store_converted(row, col, val, &row_total);
+        }
+        self.note_peak();
+    }
+
+    /// Stores one converted element into the CSR space, reserving the
+    /// row's full region on first contact.
+    fn store_converted<F>(&mut self, row: u32, col: u32, val: f64, row_total: &F)
+    where
+        F: Fn(u32) -> usize,
+    {
+        let entry = self.csr_rows.entry(row).or_insert_with(|| {
+            let reserved = row_total(row);
+            self.csr_reserved_bytes += reserved * ELEM_BYTES;
+            self.stats.reservations += 1;
+            RowSpace {
+                reserved_elems: reserved,
+                stored: Vec::with_capacity(reserved),
+                consumed: 0,
+            }
+        });
+        // Columns arrive in ascending order, so appends stay sorted —
+        // "allowing for consecutive and ascending storage of subsequently
+        // fetched row data within its reserved space".
+        debug_assert!(
+            entry.stored.last().map(|&(c, _)| c < col).unwrap_or(true),
+            "row {row}: column {col} arrived out of order"
+        );
+        entry.stored.push((col, val));
+    }
+
+    /// The OS core consumes column `col`: returns its entries and frees
+    /// the CSC region immediately.
+    pub fn consume_column(&mut self, col: u32) -> Option<Vec<(u32, f64)>> {
+        let data = self.csc_cols.remove(&col)?;
+        self.csc_bytes -= data.len() * ELEM_BYTES;
+        Some(data)
+    }
+
+    /// The IS core consumes all currently stored entries of `row`,
+    /// returning them. Entries that have not arrived yet (columns still to
+    /// be fetched) remain the caller's responsibility (deferred path).
+    /// A fully-consumed row's reservation becomes fragmentation until the
+    /// next repack.
+    pub fn consume_row(&mut self, row: u32) -> Vec<(u32, f64)> {
+        let Some(space) = self.csr_rows.get_mut(&row) else {
+            return Vec::new();
+        };
+        let taken: Vec<(u32, f64)> = space.stored.drain(..).collect();
+        space.consumed += taken.len();
+        if space.fully_consumed() {
+            let bytes = space.reserved_elems * ELEM_BYTES;
+            self.csr_rows.remove(&row);
+            self.csr_reserved_bytes -= bytes;
+            self.fragmented_bytes += bytes;
+        }
+        self.maybe_repack();
+        taken
+    }
+
+    /// Marks `consumed_late` additional elements of `row` as consumed via
+    /// the deferred path (they never entered the CSR space).
+    pub fn consume_deferred(&mut self, row: u32, consumed_late: usize) {
+        if let Some(space) = self.csr_rows.get_mut(&row) {
+            space.consumed += consumed_late;
+            if space.fully_consumed() {
+                let bytes = space.reserved_elems * ELEM_BYTES;
+                self.csr_rows.remove(&row);
+                self.csr_reserved_bytes -= bytes;
+                self.fragmented_bytes += bytes;
+                self.maybe_repack();
+            }
+        }
+    }
+
+    fn maybe_repack(&mut self) {
+        let occupied = self.occupancy_bytes();
+        if self.fragmented_bytes > 0
+            && (self.fragmented_bytes as f64) > self.repack_threshold * occupied as f64
+        {
+            // "discards fully computed sub-tensors and places remaining
+            // sub-tensors in a contiguous CSR space"
+            self.fragmented_bytes = 0;
+            self.stats.repacks += 1;
+        }
+    }
+
+    /// Enforces capacity: evicts rows with the highest `row_idx` first
+    /// (never rows at or below `protect_below`, which the IS core is about
+    /// to need). Returns the evicted rows; their data must be re-fetched
+    /// when needed (the caller charges [`DualBufferStats::refetch_bytes`]
+    /// via [`DualBuffer::charge_refetch`]).
+    pub fn enforce_capacity(&mut self, protect_below: u32) -> Vec<u32> {
+        let mut evicted = Vec::new();
+        while self.occupancy_bytes() > self.capacity_bytes {
+            // repack first if fragmentation alone can make room
+            if self.fragmented_bytes > 0 {
+                self.fragmented_bytes = 0;
+                self.stats.repacks += 1;
+                continue;
+            }
+            let Some((&row, _)) = self.csr_rows.last_key_value() else {
+                break;
+            };
+            if row <= protect_below {
+                break;
+            }
+            let space = self.csr_rows.remove(&row).expect("key just observed");
+            self.csr_reserved_bytes -= space.reserved_elems * ELEM_BYTES;
+            self.stats.evicted_rows += 1;
+            evicted.push(row);
+        }
+        evicted
+    }
+
+    /// Charges a re-fetch of `elems` elements after an eviction.
+    pub fn charge_refetch(&mut self, elems: usize) {
+        self.stats.refetch_bytes += elems * ELEM_BYTES;
+    }
+
+    /// Stored (convertible) entries currently held for `row`.
+    pub fn stored_row_len(&self, row: u32) -> usize {
+        self.csr_rows.get(&row).map(|s| s.stored.len()).unwrap_or(0)
+    }
+
+    /// Is a reservation present for `row`?
+    pub fn has_reservation(&self, row: u32) -> bool {
+        self.csr_rows.contains_key(&row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_total_const(n: usize) -> impl Fn(u32) -> usize {
+        move |_| n
+    }
+
+    #[test]
+    fn column_fetch_and_conversion() {
+        let mut b = DualBuffer::new(10_000, 0.5);
+        b.fetch_column(0, &[(3, 1.0), (5, 2.0)], 0, row_total_const(2));
+        // CSC space holds the column; CSR space reserved both rows fully
+        assert_eq!(b.occupancy_bytes(), 2 * ELEM_BYTES + 2 * 2 * ELEM_BYTES);
+        assert!(b.has_reservation(3));
+        assert_eq!(b.stored_row_len(3), 1);
+        let col = b.consume_column(0).expect("column present");
+        assert_eq!(col, vec![(3, 1.0), (5, 2.0)]);
+        // CSC space freed immediately
+        assert_eq!(b.occupancy_bytes(), 2 * 2 * ELEM_BYTES);
+    }
+
+    #[test]
+    fn reservation_happens_once_at_full_row_size() {
+        let mut b = DualBuffer::new(10_000, 0.5);
+        b.fetch_column(0, &[(7, 1.0)], 0, row_total_const(5));
+        let after_first = b.occupancy_bytes();
+        b.consume_column(0);
+        b.fetch_column(1, &[(7, 2.0)], 0, row_total_const(5));
+        b.consume_column(1);
+        // second element did not grow the reservation
+        assert_eq!(
+            b.occupancy_bytes(),
+            after_first - ELEM_BYTES, // only the CSC copy of col 0 freed
+        );
+        assert_eq!(b.stats().reservations, 1);
+        assert_eq!(b.stored_row_len(7), 2);
+    }
+
+    #[test]
+    fn ascending_column_order_is_kept() {
+        let mut b = DualBuffer::new(10_000, 0.5);
+        for col in 0..4u32 {
+            b.fetch_column(col, &[(9, col as f64)], 0, row_total_const(4));
+            b.consume_column(col);
+        }
+        let taken = b.consume_row(9);
+        assert_eq!(taken, vec![(0, 0.0), (1, 1.0), (2, 2.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn full_consumption_frees_reservation_via_repack() {
+        let mut b = DualBuffer::new(10_000, 0.0); // immediate repack
+        b.fetch_column(0, &[(2, 1.0)], 0, row_total_const(1));
+        b.consume_column(0);
+        assert!(b.has_reservation(2));
+        let taken = b.consume_row(2);
+        assert_eq!(taken.len(), 1);
+        assert!(!b.has_reservation(2));
+        assert_eq!(b.occupancy_bytes(), 0);
+        assert!(b.stats().repacks >= 1);
+    }
+
+    #[test]
+    fn deferred_rows_are_not_converted() {
+        let mut b = DualBuffer::new(10_000, 0.5);
+        // IS frontier is at row 5: rows below it defer
+        b.fetch_column(7, &[(2, 1.0), (8, 2.0)], 5, row_total_const(1));
+        assert!(!b.has_reservation(2), "row below the frontier must defer");
+        assert!(b.has_reservation(8));
+    }
+
+    #[test]
+    fn eviction_prefers_highest_rows_and_respects_protection() {
+        // capacity for ~3 reservations of 2 elements
+        let mut b = DualBuffer::new(7 * ELEM_BYTES, 0.5);
+        b.fetch_column(0, &[(1, 0.1), (5, 0.5), (9, 0.9)], 0, row_total_const(2));
+        b.consume_column(0);
+        // 3 reservations × 2 elems = 6 elems of CSR space: fits (42 < 84)
+        assert_eq!(b.enforce_capacity(0), Vec::<u32>::new());
+        b.fetch_column(1, &[(3, 0.3)], 0, row_total_const(2));
+        b.consume_column(1);
+        // 4 reservations = 8 elems > 7: evict highest row (9)
+        let evicted = b.enforce_capacity(0);
+        assert_eq!(evicted, vec![9]);
+        assert!(b.has_reservation(1) && b.has_reservation(3) && b.has_reservation(5));
+        // protection: nothing at or below the protect mark is evicted
+        b.fetch_column(2, &[(5, 0.55), (3, 0.33)], 0, row_total_const(2));
+        b.consume_column(2);
+        let evicted = b.enforce_capacity(5);
+        assert!(evicted.is_empty(), "protected rows must survive: {evicted:?}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = DualBuffer::new(1_000_000, 0.5);
+        b.fetch_column(0, &[(1, 1.0), (2, 2.0)], 0, row_total_const(1));
+        b.charge_refetch(3);
+        let s = b.stats();
+        assert_eq!(s.fetched_bytes, 2 * ELEM_BYTES);
+        assert_eq!(s.refetch_bytes, 3 * ELEM_BYTES);
+        assert!(s.peak_bytes > 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Energy accounting (Fig 23 of the paper).
+//!
+//! The paper evaluates energy with CACTI + Accelergy + Aladdin; we use
+//! fixed per-event-class energies of the same magnitude class. Fig 23
+//! reports *relative* energy (Sparsepipe vs. the baseline accelerator), so
+//! what matters is the ratio structure: a DRAM byte costs an order of
+//! magnitude more than an SRAM byte, which costs more than a PE operation.
+//! The constants below are in picojoules and are documented against their
+//! public sources.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy constants (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// DRAM read energy per byte. GDDR6X is ≈7–8 pJ/bit device + PHY ≈
+    /// 15 pJ/B system-level (O'Connor et al., HPCA'22 report similar
+    /// magnitudes).
+    pub dram_read_pj_per_byte: f64,
+    /// DRAM write energy per byte.
+    pub dram_write_pj_per_byte: f64,
+    /// Large-SRAM (64 MB class) access energy per byte — CACTI-class
+    /// estimates land near 1 pJ/B for banked multi-MB arrays.
+    pub sram_pj_per_byte: f64,
+    /// One 64-bit PE operation (multiply/add class, 45 nm-scaled to N5).
+    pub pe_op_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            dram_read_pj_per_byte: 15.0,
+            dram_write_pj_per_byte: 16.5,
+            sram_pj_per_byte: 1.2,
+            pe_op_pj: 0.8,
+        }
+    }
+}
+
+/// Accumulated energy, split the way Fig 23 splits it: compute, memory
+/// (DRAM), and cache/on-chip buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// PE (compute) energy in pJ.
+    pub compute_pj: f64,
+    /// DRAM energy in pJ.
+    pub memory_pj: f64,
+    /// On-chip buffer (SRAM) energy in pJ.
+    pub buffer_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.memory_pj + self.buffer_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Adds another breakdown.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.compute_pj += other.compute_pj;
+        self.memory_pj += other.memory_pj;
+        self.buffer_pj += other.buffer_pj;
+    }
+}
+
+/// A running energy tally fed by the simulator's event counts.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyTally {
+    model: EnergyModel,
+    breakdown: EnergyBreakdown,
+}
+
+impl EnergyTally {
+    /// Creates a tally under the given model.
+    pub fn new(model: EnergyModel) -> Self {
+        EnergyTally {
+            model,
+            breakdown: EnergyBreakdown::default(),
+        }
+    }
+
+    /// Records DRAM reads.
+    pub fn dram_read(&mut self, bytes: f64) {
+        self.breakdown.memory_pj += bytes * self.model.dram_read_pj_per_byte;
+    }
+
+    /// Records DRAM writes.
+    pub fn dram_write(&mut self, bytes: f64) {
+        self.breakdown.memory_pj += bytes * self.model.dram_write_pj_per_byte;
+    }
+
+    /// Records on-chip buffer traffic (reads and writes cost alike here).
+    pub fn sram(&mut self, bytes: f64) {
+        self.breakdown.buffer_pj += bytes * self.model.sram_pj_per_byte;
+    }
+
+    /// Records PE operations.
+    pub fn compute(&mut self, ops: f64) {
+        self.breakdown.compute_pj += ops * self.model.pe_op_pj;
+    }
+
+    /// The accumulated breakdown.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_dominates_sram_dominates_pe() {
+        let m = EnergyModel::default();
+        assert!(m.dram_read_pj_per_byte > 5.0 * m.sram_pj_per_byte);
+        assert!(m.sram_pj_per_byte > m.pe_op_pj / 8.0);
+    }
+
+    #[test]
+    fn tally_accumulates() {
+        let mut t = EnergyTally::new(EnergyModel::default());
+        t.dram_read(100.0);
+        t.dram_write(10.0);
+        t.sram(1000.0);
+        t.compute(500.0);
+        let b = t.breakdown();
+        assert_eq!(b.memory_pj, 100.0 * 15.0 + 10.0 * 16.5);
+        assert_eq!(b.buffer_pj, 1200.0);
+        assert_eq!(b.compute_pj, 400.0);
+        assert_eq!(b.total_pj(), b.compute_pj + b.memory_pj + b.buffer_pj);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let mut a = EnergyBreakdown {
+            compute_pj: 1.0,
+            memory_pj: 2.0,
+            buffer_pj: 3.0,
+        };
+        a.add(&EnergyBreakdown {
+            compute_pj: 10.0,
+            memory_pj: 20.0,
+            buffer_pj: 30.0,
+        });
+        assert_eq!(a.total_pj(), 66.0);
+    }
+}

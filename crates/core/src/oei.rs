@@ -1,0 +1,813 @@
+//! Functional execution of the OEI dataflow (Fig 8/9 of the paper).
+//!
+//! [`fused_pass`] literally executes the OS → e-wise → IS schedule at
+//! sub-tensor width 1: for each column `c`, the OS stage produces one
+//! output element, the e-wise stage transforms it, and the IS stage
+//! scatters it across row `c` — before column `c+1` is touched. This is
+//! the *correctness* half of the simulator: it proves (and the tests
+//! verify) that the reordered, partially-computed schedule produces exactly
+//! the same values as two sequential `vxm` + e-wise operator executions —
+//! the paper's sub-tensor-dependency claim (§III-A).
+
+use sparsepipe_semiring::SemiringOp;
+use sparsepipe_tensor::{CscMatrix, CsrMatrix, DenseVector, TensorError};
+
+/// Result of one fused OEI pass: the first `vxm`'s output, the e-wise
+/// stage's output (which is the second `vxm`'s input), and the second
+/// `vxm`'s output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedPassOutput {
+    /// `y₁ = vxm(x, A)` under the OS semiring.
+    pub y1: DenseVector,
+    /// `x₂ = ewise(y₁)` — the fused e-wise chain's output.
+    pub x2: DenseVector,
+    /// `y₂ = vxm(x₂, A)` under the IS semiring.
+    pub y2: DenseVector,
+}
+
+/// Executes one fused OEI pass over the matrix: both `vxm`s and the e-wise
+/// chain between them, in a **single sweep** of the matrix, with the
+/// element-at-a-time interleaving of Fig 8.
+///
+/// `ewise(c, y1_c)` maps the OS output element at index `c` to the IS
+/// input element at index `c` (capturing any fused chain, including reads
+/// of other — already available — vectors by closure capture).
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] if shapes are inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_core::oei::fused_pass;
+/// use sparsepipe_semiring::SemiringOp;
+/// use sparsepipe_tensor::{gen, DenseVector};
+///
+/// let m = gen::uniform(64, 64, 400, 3);
+/// let (csc, csr) = (m.to_csc(), m.to_csr());
+/// let x = DenseVector::filled(64, 1.0 / 64.0);
+/// let out = fused_pass(&csc, &csr, &x, |_, v| v * 0.85 + 0.15,
+///                      SemiringOp::MulAdd, SemiringOp::MulAdd)?;
+/// // y2 equals the sequential computation vxm(ewise(vxm(x)))
+/// let seq = csc.vxm::<sparsepipe_semiring::MulAdd>(&out.x2)?;
+/// assert!(out.y2.max_abs_diff(&seq)? < 1e-12);
+/// # Ok::<(), sparsepipe_tensor::TensorError>(())
+/// ```
+pub fn fused_pass<F>(
+    csc: &CscMatrix,
+    csr: &CsrMatrix,
+    x: &DenseVector,
+    mut ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+) -> Result<FusedPassOutput, TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+{
+    let n = csc.ncols() as usize;
+    if csc.nrows() != csc.ncols() || csr.nrows() != csc.nrows() {
+        return Err(TensorError::DimensionMismatch {
+            context: format!(
+                "fused_pass: csc {}x{}, csr {}x{}",
+                csc.nrows(),
+                csc.ncols(),
+                csr.nrows(),
+                csr.ncols()
+            ),
+        });
+    }
+    if x.len() != n {
+        return Err(TensorError::DimensionMismatch {
+            context: format!("fused_pass: x len {} vs n {n}", x.len()),
+        });
+    }
+
+    let mut y1 = DenseVector::zeros(n);
+    let mut x2 = DenseVector::zeros(n);
+    let mut y2 = DenseVector::filled(n, is.zero());
+
+    for c in 0..n as u32 {
+        // OS stage: one output element per step — a semiring dot product
+        // of column c with the (fully available) input vector.
+        let (rows, vals) = csc.col(c);
+        let mut acc = os.zero();
+        for (&r, &v) in rows.iter().zip(vals) {
+            acc = os.add(acc, os.mul(x[r as usize], v));
+        }
+        y1[c as usize] = acc;
+
+        // E-wise stage: consumes exactly the element just produced
+        // (sub-tensor dependency).
+        let e = ewise(c as usize, acc);
+        x2[c as usize] = e;
+
+        // IS stage: scatter x₂[c] across row c of the matrix — every
+        // matrix element touched here, A[c][*], has row index equal to the
+        // current step, so under a large-enough buffer it was fetched at
+        // its column's (earlier or current) step or is prefetched now; the
+        // timing model charges that, the functional model just computes.
+        let (cols, vals) = csr.row(c);
+        for (&col, &v) in cols.iter().zip(vals) {
+            let cell = &mut y2[col as usize];
+            *cell = is.add(*cell, is.mul(e, v));
+        }
+    }
+
+    Ok(FusedPassOutput { y1, x2, y2 })
+}
+
+/// Executes one fused OEI pass at **sub-tensor width `t_cols`**, with the
+/// exact stage offsets of the paper's Fig 13: at step `s` the OS stage
+/// processes the columns of sub-tensor `s`, the e-wise stage the output
+/// elements of sub-tensor `s − 1`, and the IS stage the rows of sub-tensor
+/// `s − 2` — three extra drain steps complete the pipeline.
+///
+/// Functionally the result is identical to [`fused_pass`] (the schedule
+/// only *delays* consumption, never reorders a dependency); this variant
+/// exists to prove exactly that, and to drive schedule-visualization
+/// tooling at the same granularity as the timing model.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on inconsistent shapes.
+///
+/// # Panics
+///
+/// Panics if `t_cols == 0`.
+pub fn fused_pass_subtensor<F>(
+    csc: &CscMatrix,
+    csr: &CsrMatrix,
+    x: &DenseVector,
+    mut ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+    t_cols: usize,
+) -> Result<FusedPassOutput, TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+{
+    assert!(t_cols > 0, "sub-tensor width must be positive");
+    let n = csc.ncols() as usize;
+    if csc.nrows() != csc.ncols() || csr.nrows() != csc.nrows() {
+        return Err(TensorError::DimensionMismatch {
+            context: format!(
+                "fused_pass_subtensor: csc {}x{}, csr {}x{}",
+                csc.nrows(),
+                csc.ncols(),
+                csr.nrows(),
+                csr.ncols()
+            ),
+        });
+    }
+    if x.len() != n {
+        return Err(TensorError::DimensionMismatch {
+            context: format!("fused_pass_subtensor: x len {} vs n {n}", x.len()),
+        });
+    }
+
+    let steps = n.div_ceil(t_cols);
+    let mut y1 = DenseVector::zeros(n);
+    let mut x2 = DenseVector::zeros(n);
+    let mut y2 = DenseVector::filled(n, is.zero());
+    let subtensor = |idx: usize| (idx * t_cols)..(((idx + 1) * t_cols).min(n));
+
+    // Pipeline with fill/drain: at step s, stage k works on sub-tensor
+    // s − k (if it exists). Stages appear in dependency order within the
+    // step, exactly as the hardware's per-step dataflow resolves.
+    for s in 0..steps + 2 {
+        // OS stage on sub-tensor s.
+        if s < steps {
+            for c in subtensor(s) {
+                let (rows, vals) = csc.col(c as u32);
+                let mut acc = os.zero();
+                for (&r, &v) in rows.iter().zip(vals) {
+                    acc = os.add(acc, os.mul(x[r as usize], v));
+                }
+                y1[c] = acc;
+            }
+        }
+        // E-wise stage on sub-tensor s − 1.
+        if s >= 1 && s - 1 < steps {
+            for c in subtensor(s - 1) {
+                x2[c] = ewise(c, y1[c]);
+            }
+        }
+        // IS stage on sub-tensor s − 2 (row-ordered scatter).
+        if s >= 2 && s - 2 < steps {
+            for r in subtensor(s - 2) {
+                let e = x2[r];
+                let (cols, vals) = csr.row(r as u32);
+                for (&col, &v) in cols.iter().zip(vals) {
+                    let cell = &mut y2[col as usize];
+                    *cell = is.add(*cell, is.mul(e, v));
+                }
+            }
+        }
+    }
+
+    Ok(FusedPassOutput { y1, x2, y2 })
+}
+
+/// Executes one fused OEI pass through a **concrete
+/// [`DualBuffer`](crate::dualbuffer::DualBuffer)** of `capacity_bytes`:
+/// every matrix element physically moves DRAM → CSC space → (col-row
+/// conversion) → CSR space → IS consumption, with real reservations,
+/// evictions, re-fetches, and repacking. Returns the functional result
+/// *and* the buffer's traffic statistics — the mechanism-level
+/// cross-check for the abstract timing model in
+/// [`crate::pipeline::run_pass`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on inconsistent shapes.
+pub fn fused_pass_buffered<F>(
+    csc: &CscMatrix,
+    csr: &CsrMatrix,
+    x: &DenseVector,
+    mut ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+    capacity_bytes: usize,
+) -> Result<(FusedPassOutput, crate::dualbuffer::DualBufferStats), TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+{
+    use std::collections::HashSet;
+
+    let n = csc.ncols() as usize;
+    if csc.nrows() != csc.ncols() || csr.nrows() != csc.nrows() {
+        return Err(TensorError::DimensionMismatch {
+            context: format!(
+                "fused_pass_buffered: csc {}x{}, csr {}x{}",
+                csc.nrows(),
+                csc.ncols(),
+                csr.nrows(),
+                csr.ncols()
+            ),
+        });
+    }
+    if x.len() != n {
+        return Err(TensorError::DimensionMismatch {
+            context: format!("fused_pass_buffered: x len {} vs n {n}", x.len()),
+        });
+    }
+
+    let mut buffer = crate::dualbuffer::DualBuffer::new(capacity_bytes, 0.5);
+    let mut evicted: HashSet<u32> = HashSet::new();
+    let mut y1 = DenseVector::zeros(n);
+    let mut x2 = DenseVector::zeros(n);
+    let mut y2 = DenseVector::filled(n, is.zero());
+
+    for c in 0..n as u32 {
+        // ---- CSC loader: fetch column c; the converter routes each
+        // element to the CSR space (rows ≥ c) or the deferred path. ----
+        let (rows, vals) = csc.col(c);
+        let data: Vec<(u32, f64)> = rows.iter().copied().zip(vals.iter().copied()).collect();
+        buffer.fetch_column(c, &data, c, |r| csr.row_nnz(r));
+        // deferred-IS: rows the IS stage already passed scatter now
+        for &(r, v) in &data {
+            if r < c {
+                let cell = &mut y2[c as usize];
+                *cell = is.add(*cell, is.mul(x2[r as usize], v));
+            }
+        }
+
+        // ---- OS core: dot of column c (read from the buffer). ----
+        let col_data = buffer
+            .consume_column(c)
+            .expect("column was just fetched");
+        let mut acc = os.zero();
+        for &(r, v) in &col_data {
+            acc = os.add(acc, os.mul(x[r as usize], v));
+        }
+        y1[c as usize] = acc;
+
+        // ---- E-Wise core. ----
+        let e = ewise(c as usize, acc);
+        x2[c as usize] = e;
+
+        // ---- IS core: scatter row c from the CSR space. ----
+        let stored = buffer.consume_row(c);
+        for &(col, v) in &stored {
+            let cell = &mut y2[col as usize];
+            *cell = is.add(*cell, is.mul(e, v));
+        }
+        // If this row was evicted earlier, its already-passed columns were
+        // lost from the CSR space: re-fetch exactly the missing ones.
+        if evicted.remove(&c) {
+            let (row_cols, row_vals) = csr.row(c);
+            let stored_cols: HashSet<u32> = stored.iter().map(|&(col, _)| col).collect();
+            let mut refetched = 0usize;
+            for (&col, &v) in row_cols.iter().zip(row_vals) {
+                if col < c && !stored_cols.contains(&col) {
+                    refetched += 1;
+                    let cell = &mut y2[col as usize];
+                    *cell = is.add(*cell, is.mul(e, v));
+                }
+            }
+            buffer.charge_refetch(refetched);
+        }
+        // Elements of row c in columns > c arrive later through the
+        // deferred path; release their share of the reservation now.
+        let arrived = stored.len();
+        let total = csr.row_nnz(c);
+        buffer.consume_deferred(c, total.saturating_sub(arrived));
+
+        // ---- Capacity enforcement (protect the current frontier). ----
+        for r in buffer.enforce_capacity(c) {
+            evicted.insert(r);
+        }
+    }
+
+    Ok((FusedPassOutput { y1, x2, y2 }, buffer.stats()))
+}
+
+/// Runs `iterations` loop iterations of a single-`vxm` cross-iteration
+/// application under the OEI schedule: consecutive iterations are fused
+/// pairwise ([`fused_pass`]), with a trailing unfused half-iteration when
+/// `iterations` is odd. `ewise(lane, value)` is the fused e-wise chain
+/// applied between every `vxm` pair (it sees the *current* iteration's
+/// index through the closure's own state if it needs one).
+///
+/// Returns the final loop-carried vector (the `vxm` input of the would-be
+/// next iteration).
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on inconsistent shapes.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_core::oei::run_fused;
+/// use sparsepipe_semiring::SemiringOp;
+/// use sparsepipe_tensor::{gen, DenseVector};
+///
+/// let m = gen::uniform(32, 32, 160, 3);
+/// let (csc, csr) = (m.to_csc(), m.to_csr());
+/// let x0 = DenseVector::filled(32, 1.0 / 32.0);
+/// let fused = run_fused(&csc, &csr, &x0, |_, v| v * 0.85 + 0.15,
+///                       SemiringOp::MulAdd, SemiringOp::MulAdd, 5)?;
+/// // equals five sequential vxm+e-wise iterations
+/// let mut seq = x0;
+/// for _ in 0..5 {
+///     let y = csc.vxm::<sparsepipe_semiring::MulAdd>(&seq)?;
+///     seq = y.iter().map(|&v| v * 0.85 + 0.15).collect();
+/// }
+/// assert!(fused.max_abs_diff(&seq)? < 1e-10);
+/// # Ok::<(), sparsepipe_tensor::TensorError>(())
+/// ```
+pub fn run_fused<F>(
+    csc: &CscMatrix,
+    csr: &CsrMatrix,
+    x0: &DenseVector,
+    mut ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+    iterations: usize,
+) -> Result<DenseVector, TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+{
+    let mut x = x0.clone();
+    let mut remaining = iterations;
+    while remaining >= 2 {
+        let pass = fused_pass(csc, csr, &x, &mut ewise, os, is)?;
+        // the IS output is the *raw* second vxm; its e-wise runs fused
+        // with the next pass's OS input preparation (Fig 13), which
+        // functionally is just the chain applied per element:
+        x = pass
+            .y2
+            .iter()
+            .enumerate()
+            .map(|(c, &v)| ewise(c, v))
+            .collect();
+        remaining -= 2;
+    }
+    if remaining == 1 {
+        let y = csc.vxm_with(&x, os.zero(), |a, b| os.mul(a, b), |a, b| os.add(a, b))?;
+        x = y.iter().enumerate().map(|(c, &v)| ewise(c, v)).collect();
+    }
+    Ok(x)
+}
+
+/// Runs `iterations` loop iterations like [`run_fused`], but through the
+/// **concrete dual-storage buffer** ([`fused_pass_buffered`]) with the
+/// given capacity, accumulating mechanism-level traffic statistics across
+/// passes. The trailing odd iteration (if any) runs as a plain `vxm` and
+/// charges one matrix image of fetch traffic.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on inconsistent shapes.
+#[allow(clippy::too_many_arguments)] // mirrors run_fused + capacity; a config struct would obscure the 1:1 correspondence
+pub fn run_fused_buffered<F>(
+    csc: &CscMatrix,
+    csr: &CsrMatrix,
+    x0: &DenseVector,
+    mut ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+    iterations: usize,
+    capacity_bytes: usize,
+) -> Result<(DenseVector, crate::dualbuffer::DualBufferStats), TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+{
+    let mut x = x0.clone();
+    let mut totals = crate::dualbuffer::DualBufferStats::default();
+    let mut remaining = iterations;
+    while remaining >= 2 {
+        let (pass, stats) =
+            fused_pass_buffered(csc, csr, &x, &mut ewise, os, is, capacity_bytes)?;
+        totals.fetched_bytes += stats.fetched_bytes;
+        totals.refetch_bytes += stats.refetch_bytes;
+        totals.peak_bytes = totals.peak_bytes.max(stats.peak_bytes);
+        totals.evicted_rows += stats.evicted_rows;
+        totals.repacks += stats.repacks;
+        totals.reservations += stats.reservations;
+        x = pass
+            .y2
+            .iter()
+            .enumerate()
+            .map(|(c, &v)| ewise(c, v))
+            .collect();
+        remaining -= 2;
+    }
+    if remaining == 1 {
+        let y = csc.vxm_with(&x, os.zero(), |a, b| os.mul(a, b), |a, b| os.add(a, b))?;
+        x = y.iter().enumerate().map(|(c, &v)| ewise(c, v)).collect();
+        totals.fetched_bytes += csr.nnz() * crate::dualbuffer::ELEM_BYTES;
+    }
+    Ok((x, totals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_tensor::gen;
+
+    fn vxm_runtime(csc: &CscMatrix, x: &DenseVector, s: SemiringOp) -> DenseVector {
+        csc.vxm_with(x, s.zero(), |a, b| s.mul(a, b), |a, b| s.add(a, b))
+            .unwrap()
+    }
+
+    /// The central invariant: the fused single-sweep schedule equals the
+    /// sequential operator-by-operator execution, for every semiring.
+    #[test]
+    fn fused_pass_equals_sequential_for_all_semirings() {
+        let m = gen::power_law(128, 1200, 1.0, 0.5, 11);
+        let csc = m.to_csc();
+        let csr = m.to_csr();
+        for s in SemiringOp::ALL {
+            let x: DenseVector = (0..128)
+                .map(|i| if s == SemiringOp::AndOr { (i % 3 == 0) as u8 as f64 } else { (i % 7) as f64 * 0.25 })
+                .collect();
+            let ew = |_: usize, v: f64| {
+                if s == SemiringOp::AndOr {
+                    v // boolean domain: identity keeps values in {0,1}
+                } else {
+                    v * 0.5 + 1.0
+                }
+            };
+            let out = fused_pass(&csc, &csr, &x, ew, s, s).unwrap();
+            // sequential: y1, then e-wise, then second vxm
+            let y1 = vxm_runtime(&csc, &x, s);
+            let x2: DenseVector = y1.iter().enumerate().map(|(i, &v)| ew(i, v)).collect();
+            let y2 = vxm_runtime(&csc, &x2, s);
+            assert_eq!(out.y1, y1, "y1 mismatch for {s:?}");
+            assert_eq!(out.x2, x2, "x2 mismatch for {s:?}");
+            for (a, b) in out.y2.iter().zip(y2.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                    "y2 mismatch for {s:?}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ewise_sees_elements_in_step_order() {
+        let m = gen::uniform(50, 50, 300, 4);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let x = DenseVector::filled(50, 1.0);
+        let mut seen = Vec::new();
+        let _ = fused_pass(
+            &csc,
+            &csr,
+            &x,
+            |c, v| {
+                seen.push(c);
+                v
+            },
+            SemiringOp::MulAdd,
+            SemiringOp::MulAdd,
+        )
+        .unwrap();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let m = gen::uniform(20, 20, 50, 1);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let bad_x = DenseVector::zeros(19);
+        assert!(fused_pass(
+            &csc,
+            &csr,
+            &bad_x,
+            |_, v| v,
+            SemiringOp::MulAdd,
+            SemiringOp::MulAdd
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn subtensor_pass_equals_element_pass() {
+        let m = gen::power_law(100, 900, 1.2, 0.4, 21);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let x: DenseVector = (0..100).map(|i| (i % 7) as f64 * 0.2).collect();
+        let reference = fused_pass(
+            &csc,
+            &csr,
+            &x,
+            |_, v| v * 0.7 + 0.3,
+            SemiringOp::MulAdd,
+            SemiringOp::MulAdd,
+        )
+        .unwrap();
+        for t in [1usize, 3, 16, 100, 1000] {
+            let wide = fused_pass_subtensor(
+                &csc,
+                &csr,
+                &x,
+                |_, v| v * 0.7 + 0.3,
+                SemiringOp::MulAdd,
+                SemiringOp::MulAdd,
+                t,
+            )
+            .unwrap();
+            assert_eq!(wide.y1, reference.y1, "t={t}");
+            assert_eq!(wide.x2, reference.x2, "t={t}");
+            for (a, b) in wide.y2.iter().zip(reference.y2.iter()) {
+                assert!((a - b).abs() < 1e-9, "t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_pass_equals_element_pass_with_ample_capacity() {
+        let m = gen::power_law(120, 1000, 1.2, 0.4, 33);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let x: DenseVector = (0..120).map(|i| (i % 9) as f64 * 0.125).collect();
+        let ew = |_: usize, v: f64| v * 0.6 + 0.2;
+        let reference =
+            fused_pass(&csc, &csr, &x, ew, SemiringOp::MulAdd, SemiringOp::MulAdd).unwrap();
+        let (out, stats) = fused_pass_buffered(
+            &csc,
+            &csr,
+            &x,
+            ew,
+            SemiringOp::MulAdd,
+            SemiringOp::MulAdd,
+            64 << 20,
+        )
+        .unwrap();
+        assert_eq!(out.y1, reference.y1);
+        for (a, b) in out.y2.iter().zip(reference.y2.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(stats.evicted_rows, 0);
+        assert_eq!(stats.refetch_bytes, 0);
+        assert_eq!(stats.fetched_bytes, m.nnz() * crate::dualbuffer::ELEM_BYTES);
+    }
+
+    /// Under severe capacity pressure the buffered pass must evict and
+    /// re-fetch — but never change the computed values. This is the
+    /// mechanism-level proof that OOM handling preserves correctness.
+    #[test]
+    fn buffered_pass_is_exact_under_eviction_pressure() {
+        // anti-diagonal structure: worst-case reuse distance, heavy
+        // reservation pressure
+        let m = gen::locality_mix(
+            200,
+            3000,
+            gen::LocalityMix {
+                long_frac: 0.2,
+                anti_frac: 0.7,
+                local_span_frac: 0.05,
+                skew: 0.0,
+            },
+            7,
+        );
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let x = DenseVector::filled(200, 0.5);
+        let ew = |_: usize, v: f64| v * 0.9 + 0.05;
+        let reference =
+            fused_pass(&csc, &csr, &x, ew, SemiringOp::MulAdd, SemiringOp::MulAdd).unwrap();
+        // capacity for ~15% of the matrix
+        let cap = m.nnz() * crate::dualbuffer::ELEM_BYTES / 7;
+        let (out, stats) = fused_pass_buffered(
+            &csc,
+            &csr,
+            &x,
+            ew,
+            SemiringOp::MulAdd,
+            SemiringOp::MulAdd,
+            cap,
+        )
+        .unwrap();
+        assert!(stats.evicted_rows > 0, "pressure test needs evictions");
+        assert!(stats.refetch_bytes > 0, "evictions must cause refetches");
+        assert!(stats.peak_bytes <= cap + 200 * 3 * crate::dualbuffer::ELEM_BYTES);
+        for (a, b) in out.y2.iter().zip(reference.y2.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    /// The concrete buffer's traffic agrees qualitatively with the
+    /// abstract timing model: both fetch each element once with an ample
+    /// buffer; both refetch under the same pressure.
+    #[test]
+    fn buffered_stats_cross_validate_timing_model() {
+        use crate::pipeline::{run_pass, PassParams};
+        use crate::plan::PassPlan;
+        let m = gen::uniform(400, 400, 4000, 5);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let x = DenseVector::filled(400, 1.0);
+        let params = PassParams {
+            feature: 1.0,
+            ewise_arith_per_elem: 2.0,
+            ewise_iterations: 2.0,
+            dense_flops_per_element: 0.0,
+            vec_read_passes: 3.0,
+            vec_write_passes: 2.0,
+        };
+        let cfg_of = |buf: usize| crate::SparsepipeConfig {
+            subtensor_cols: 1,
+            ..crate::SparsepipeConfig::iso_gpu()
+                .with_buffer(buf)
+                .with_preprocessing(crate::Preprocessing {
+                    blocked: false,
+                    reorder: crate::ReorderKind::None,
+                })
+        };
+        for buf in [64 << 20, m.nnz() * 12 / 6] {
+            let (_, mech) = fused_pass_buffered(
+                &csc,
+                &csr,
+                &x,
+                |_, v| v,
+                SemiringOp::MulAdd,
+                SemiringOp::MulAdd,
+                buf,
+            )
+            .unwrap();
+            let plan = PassPlan::build(&m, 1);
+            let abstract_model = run_pass(&plan, &cfg_of(buf), &params);
+            let mech_pressure = mech.refetch_bytes > 0;
+            let model_pressure = abstract_model.traffic.refetch_bytes > 0.0;
+            assert_eq!(
+                mech_pressure, model_pressure,
+                "mechanism and model disagree on pressure at buf={buf}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_fused_equals_sequential_any_iteration_count() {
+        let m = gen::uniform(60, 60, 400, 13);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let x0 = DenseVector::filled(60, 0.25);
+        for iters in [0usize, 1, 2, 3, 4, 7, 10] {
+            let fused = run_fused(
+                &csc,
+                &csr,
+                &x0,
+                |_, v| v * 0.5 + 0.1,
+                SemiringOp::MulAdd,
+                SemiringOp::MulAdd,
+                iters,
+            )
+            .unwrap();
+            let mut seq = x0.clone();
+            for _ in 0..iters {
+                let y = vxm_runtime(&csc, &seq, SemiringOp::MulAdd);
+                seq = y.iter().map(|&v| v * 0.5 + 0.1).collect();
+            }
+            assert!(
+                fused.max_abs_diff(&seq).unwrap() < 1e-9,
+                "iters={iters}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_fused_buffered_matches_run_fused() {
+        let m = gen::power_law(80, 700, 1.0, 0.5, 41);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let x0 = DenseVector::filled(80, 0.1);
+        let ew = |_: usize, v: f64| v * 0.85 + 0.15;
+        for iters in [1usize, 2, 5, 8] {
+            let plain =
+                run_fused(&csc, &csr, &x0, ew, SemiringOp::MulAdd, SemiringOp::MulAdd, iters)
+                    .unwrap();
+            // cramped capacity: evictions occur, values must not change
+            let cap = m.nnz() * crate::dualbuffer::ELEM_BYTES / 5;
+            let (buffered, stats) = run_fused_buffered(
+                &csc,
+                &csr,
+                &x0,
+                ew,
+                SemiringOp::MulAdd,
+                SemiringOp::MulAdd,
+                iters,
+                cap,
+            )
+            .unwrap();
+            assert!(plain.max_abs_diff(&buffered).unwrap() < 1e-9, "iters={iters}");
+            // each full pass fetches exactly one matrix image on demand
+            let images = (iters / 2) + (iters % 2);
+            assert_eq!(
+                stats.fetched_bytes,
+                images * m.nnz() * crate::dualbuffer::ELEM_BYTES,
+                "iters={iters}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_fused_tropical_sssp_converges_like_bellman_ford() {
+        // SSSP via run_fused: dist' = min(dist, dist (min,+) A) — the
+        // e-wise min against the previous value needs closure state.
+        let m = gen::road(80, 400, 0.05, 17);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let mut dist = DenseVector::filled(80, f64::INFINITY);
+        dist[0] = 0.0;
+        // run 8 iterations, pairwise-fused, threading the "previous"
+        // vector through a RefCell-free clone per iteration boundary
+        let mut x = dist.clone();
+        for _ in 0..4 {
+            let prev = x.clone();
+            let pass = fused_pass(
+                &csc,
+                &csr,
+                &x,
+                |c, v| v.min(prev[c]),
+                SemiringOp::MinAdd,
+                SemiringOp::MinAdd,
+            )
+            .unwrap();
+            let mid = pass.x2.clone();
+            x = pass
+                .y2
+                .iter()
+                .enumerate()
+                .map(|(c, &v)| v.min(mid[c]))
+                .collect();
+        }
+        // reference Bellman-Ford, 8 rounds
+        let mut ref_dist = vec![f64::INFINITY; 80];
+        ref_dist[0] = 0.0;
+        for _ in 0..8 {
+            let mut next = ref_dist.clone();
+            for &(r, c, w) in m.entries() {
+                let cand = ref_dist[r as usize] + w;
+                if cand < next[c as usize] {
+                    next[c as usize] = cand;
+                }
+            }
+            ref_dist = next;
+        }
+        for (a, b) in x.iter().zip(ref_dist.iter()) {
+            assert!(
+                (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_semirings_compose() {
+        // OS in MulAdd, IS in MinAdd — mixed stationarity AND mixed
+        // semirings (two different fused vxm ops).
+        let m = gen::uniform(40, 40, 200, 6);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let x = DenseVector::filled(40, 0.5);
+        let out = fused_pass(
+            &csc,
+            &csr,
+            &x,
+            |_, v| v + 1.0,
+            SemiringOp::MulAdd,
+            SemiringOp::MinAdd,
+        )
+        .unwrap();
+        let y1 = vxm_runtime(&csc, &x, SemiringOp::MulAdd);
+        let x2: DenseVector = y1.iter().map(|&v| v + 1.0).collect();
+        let y2 = vxm_runtime(&csc, &x2, SemiringOp::MinAdd);
+        assert_eq!(out.y2, y2);
+    }
+}

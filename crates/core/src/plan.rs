@@ -1,0 +1,242 @@
+//! Pass-plan precomputation.
+//!
+//! Before timing a pass, the simulator derives, from the input matrix and
+//! the sub-tensor width `T`, everything the per-step loop needs in O(nnz):
+//!
+//! * each element's **OS step** (`col / T` — when the CSC loader/OS core
+//!   demands its column) and **IS step** (`row / T` — when the IS core's
+//!   scatter consumes its row);
+//! * per-step element id ranges in both traversal orders;
+//! * the dense-vector working-set curve (input-vector window + IS partial
+//!   output window), which shares the on-chip buffer with matrix data.
+//!
+//! Element ids are indices into the matrix's row-major (CSR-ordered)
+//! triplet list, so "evict the highest `row_idx` first" is simply "evict
+//! the largest resident id".
+
+use sparsepipe_tensor::CooMatrix;
+
+/// Precomputed schedule geometry for one OEI pass over a matrix.
+#[derive(Debug, Clone)]
+pub struct PassPlan {
+    /// Matrix dimension (square).
+    pub n: u32,
+    /// Number of stored non-zeros.
+    pub nnz: usize,
+    /// Sub-tensor width in columns.
+    pub t_cols: usize,
+    /// Pipeline steps per pass (`ceil(n / t_cols)`).
+    pub steps: usize,
+    /// For element id `e` (row-major order): the step at which the OS core
+    /// consumes it.
+    pub col_step: Vec<u32>,
+    /// For element id `e`: the step at which the IS core consumes it
+    /// (equals the row's step).
+    pub row_step: Vec<u32>,
+    /// Element ids grouped by OS step: ids `csc_order[csc_ptr[s]..csc_ptr[s+1]]`
+    /// have `col_step == s`.
+    pub csc_order: Vec<u32>,
+    /// Step pointers into [`PassPlan::csc_order`] (`steps + 1` entries).
+    pub csc_ptr: Vec<usize>,
+    /// Step pointers over element ids in row-major order: ids in
+    /// `row_ptr_by_step[s]..row_ptr_by_step[s+1]` have `row_step == s`.
+    pub row_ptr_by_step: Vec<usize>,
+    /// Dense-vector working set per step, in *elements* (multiply by
+    /// 8 bytes × feature dim for bytes): the live windows of the OS input
+    /// vector and the IS partial-output vector.
+    pub vec_live: Vec<usize>,
+}
+
+impl PassPlan {
+    /// Builds the plan for `matrix` at sub-tensor width `t_cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `t_cols == 0`.
+    pub fn build(matrix: &CooMatrix, t_cols: usize) -> Self {
+        assert_eq!(
+            matrix.nrows(),
+            matrix.ncols(),
+            "OEI passes need a square matrix"
+        );
+        assert!(t_cols > 0, "sub-tensor width must be positive");
+        let n = matrix.nrows();
+        let nnz = matrix.nnz();
+        let steps = (n as usize).div_ceil(t_cols).max(1);
+        let t = t_cols as u32;
+
+        let mut col_step = Vec::with_capacity(nnz);
+        let mut row_step = Vec::with_capacity(nnz);
+        for &(r, c, _) in matrix.entries() {
+            col_step.push(c / t);
+            row_step.push(r / t);
+        }
+
+        // Group element ids by OS (column) step with a counting sort.
+        let mut csc_ptr = vec![0usize; steps + 1];
+        for &cs in &col_step {
+            csc_ptr[cs as usize + 1] += 1;
+        }
+        for s in 0..steps {
+            csc_ptr[s + 1] += csc_ptr[s];
+        }
+        let mut cursor = csc_ptr.clone();
+        let mut csc_order = vec![0u32; nnz];
+        for (e, &cs) in col_step.iter().enumerate() {
+            csc_order[cursor[cs as usize]] = e as u32;
+            cursor[cs as usize] += 1;
+        }
+
+        // Entries are row-major sorted, so row-step groups are contiguous.
+        let mut row_ptr_by_step = vec![0usize; steps + 1];
+        for &rs in &row_step {
+            row_ptr_by_step[rs as usize + 1] += 1;
+        }
+        for s in 0..steps {
+            row_ptr_by_step[s + 1] += row_ptr_by_step[s];
+        }
+
+        let vec_live = vector_live_curve(matrix, t, steps);
+
+        PassPlan {
+            n,
+            nnz,
+            t_cols,
+            steps,
+            col_step,
+            row_step,
+            csc_order,
+            csc_ptr,
+            row_ptr_by_step,
+            vec_live,
+        }
+    }
+
+    /// Element ids the OS core demands at step `s`.
+    pub fn os_elements(&self, s: usize) -> &[u32] {
+        &self.csc_order[self.csc_ptr[s]..self.csc_ptr[s + 1]]
+    }
+
+    /// Element id range (row-major, contiguous) the IS core consumes at
+    /// step `s`.
+    pub fn is_elements(&self, s: usize) -> std::ops::Range<u32> {
+        self.row_ptr_by_step[s] as u32..self.row_ptr_by_step[s + 1] as u32
+    }
+}
+
+/// Live dense-vector elements per step: `x[r]` is live from the first to
+/// the last step of any element in row `r` (the OS core gathers it per
+/// non-zero), and the IS partial output `y'[c]` is live from the first to
+/// the last step of any element in column `c` (its accumulation window).
+fn vector_live_curve(matrix: &CooMatrix, t: u32, steps: usize) -> Vec<usize> {
+    let n = matrix.nrows() as usize;
+    let inf = u32::MAX;
+    let mut row_first = vec![inf; n];
+    let mut row_last = vec![0u32; n];
+    let mut col_first = vec![inf; n];
+    let mut col_last = vec![0u32; n];
+    for &(r, c, _) in matrix.entries() {
+        let (r, c) = (r as usize, c as usize);
+        let cs = c as u32 / t;
+        let rs = r as u32 / t;
+        // x[r] is gathered whenever one of row r's columns is processed by
+        // the OS stage (at that column's step)…
+        row_first[r] = row_first[r].min(cs);
+        row_last[r] = row_last[r].max(cs);
+        // …and y'[c] accumulates whenever one of column c's rows is
+        // scattered by the IS stage (at that row's step).
+        col_first[c] = col_first[c].min(rs);
+        col_last[c] = col_last[c].max(rs);
+    }
+    let mut delta = vec![0i64; steps + 1];
+    for i in 0..n {
+        if row_first[i] != inf {
+            delta[row_first[i] as usize] += 1;
+            delta[(row_last[i] as usize + 1).min(steps)] -= 1;
+        }
+        if col_first[i] != inf {
+            delta[col_first[i] as usize] += 1;
+            delta[(col_last[i] as usize + 1).min(steps)] -= 1;
+        }
+    }
+    let mut curve = Vec::with_capacity(steps);
+    let mut live = 0i64;
+    for d in delta.iter().take(steps) {
+        live += d;
+        curve.push(live.max(0) as usize);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn steps_cover_all_columns() {
+        let m = gen::uniform(100, 100, 500, 3);
+        let plan = PassPlan::build(&m, 8);
+        assert_eq!(plan.steps, 13);
+        let total: usize = (0..plan.steps).map(|s| plan.os_elements(s).len()).sum();
+        assert_eq!(total, m.nnz());
+        let total_is: usize = (0..plan.steps).map(|s| plan.is_elements(s).len()).sum();
+        assert_eq!(total_is, m.nnz());
+    }
+
+    #[test]
+    fn os_elements_have_matching_col_step() {
+        let m = gen::uniform(64, 64, 300, 9);
+        let plan = PassPlan::build(&m, 4);
+        for s in 0..plan.steps {
+            for &e in plan.os_elements(s) {
+                assert_eq!(plan.col_step[e as usize], s as u32);
+            }
+            for e in plan.is_elements(s) {
+                assert_eq!(plan.row_step[e as usize], s as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn is_ranges_are_contiguous_and_ordered() {
+        let m = gen::uniform(64, 64, 300, 9);
+        let plan = PassPlan::build(&m, 4);
+        let mut prev_end = 0;
+        for s in 0..plan.steps {
+            let r = plan.is_elements(s);
+            assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+        }
+        assert_eq!(prev_end as usize, m.nnz());
+    }
+
+    #[test]
+    fn vector_live_curve_bounds() {
+        let m = gen::banded(200, 1200, 5, 2);
+        let plan = PassPlan::build(&m, 2);
+        // banded: at any step only a narrow window of x and y' is live
+        let peak = *plan.vec_live.iter().max().unwrap();
+        assert!(peak < 80, "banded vector window too large: {peak}");
+        // uniform: nearly everything is live mid-pass
+        let mu = gen::uniform(200, 200, 2000, 2);
+        let plan_u = PassPlan::build(&mu, 2);
+        let peak_u = *plan_u.vec_live.iter().max().unwrap();
+        assert!(peak_u > 250, "uniform vector window too small: {peak_u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular() {
+        let m = gen::uniform(10, 20, 30, 1);
+        PassPlan::build(&m, 2);
+    }
+
+    #[test]
+    fn single_step_plan() {
+        let m = gen::uniform(16, 16, 60, 5);
+        let plan = PassPlan::build(&m, 64);
+        assert_eq!(plan.steps, 1);
+        assert_eq!(plan.os_elements(0).len(), m.nnz());
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulation reports and traces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyBreakdown;
+
+/// DRAM traffic broken down by the loader that issued it (the categories of
+/// Fig 15's stacked bandwidth bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficBreakdown {
+    /// Column (CSC) demand fetches by the OS stage's loader.
+    pub csc_bytes: f64,
+    /// Eager row (CSR) prefetches by the IS stage's loader.
+    pub csr_eager_bytes: f64,
+    /// Re-fetches of previously evicted data (memory ping-pong).
+    pub refetch_bytes: f64,
+    /// Dense vector streaming (input vectors, e-wise operands).
+    pub vector_bytes: f64,
+    /// Result write-back.
+    pub writeback_bytes: f64,
+}
+
+impl TrafficBreakdown {
+    /// Total bytes read from DRAM.
+    pub fn read_bytes(&self) -> f64 {
+        self.csc_bytes + self.csr_eager_bytes + self.refetch_bytes + self.vector_bytes
+    }
+
+    /// Total bytes moved (reads + writes).
+    pub fn total_bytes(&self) -> f64 {
+        self.read_bytes() + self.writeback_bytes
+    }
+
+    /// Adds another breakdown.
+    pub fn add(&mut self, other: &TrafficBreakdown) {
+        self.csc_bytes += other.csc_bytes;
+        self.csr_eager_bytes += other.csr_eager_bytes;
+        self.refetch_bytes += other.refetch_bytes;
+        self.vector_bytes += other.vector_bytes;
+        self.writeback_bytes += other.writeback_bytes;
+    }
+}
+
+/// One sampled point of the execution's bandwidth profile (Fig 15 samples
+/// at every 4% of execution, i.e. 25 points).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BwSample {
+    /// Total bandwidth utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Fraction of the *peak* bandwidth spent on CSC demand traffic.
+    pub csc_frac: f64,
+    /// Fraction spent on eager CSR prefetch.
+    pub csr_frac: f64,
+    /// Fraction spent on vector traffic (including write-back).
+    pub vector_frac: f64,
+}
+
+/// The simulator's full report for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total execution cycles.
+    pub total_cycles: u64,
+    /// Wall-clock runtime at the configured clock.
+    pub runtime_s: f64,
+    /// DRAM traffic by category.
+    pub traffic: TrafficBreakdown,
+    /// Average bandwidth utilization across steps (Fig 21).
+    pub avg_bw_utilization: f64,
+    /// Bandwidth profile sampled at every 4% of execution (Fig 15).
+    pub bw_trace: Vec<BwSample>,
+    /// Peak on-chip buffer occupancy in bytes.
+    pub buffer_peak_bytes: f64,
+    /// Average buffer occupancy in bytes.
+    pub buffer_avg_bytes: f64,
+    /// Matrix elements evicted under buffer pressure (then re-fetched on
+    /// next use).
+    pub evicted_elements: u64,
+    /// Buffer repacking passes triggered (§IV-D3).
+    pub repack_events: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Average number of times the sparse matrix image was read from DRAM
+    /// per loop iteration — the headline reuse metric (1.0 for a baseline
+    /// that re-reads it every iteration; ≈0.5 under cross-iteration OEI).
+    pub matrix_loads_per_iteration: f64,
+    /// Iterations simulated.
+    pub iterations: usize,
+}
+
+impl SimReport {
+    /// Achieved effective bandwidth in GB/s.
+    pub fn achieved_gbps(&self, peak_gbps: f64) -> f64 {
+        self.avg_bw_utilization * peak_gbps
+    }
+
+    /// Speedup of this run over another report of the same workload.
+    pub fn speedup_over(&self, other: &SimReport) -> f64 {
+        other.runtime_s / self.runtime_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_totals() {
+        let t = TrafficBreakdown {
+            csc_bytes: 100.0,
+            csr_eager_bytes: 50.0,
+            refetch_bytes: 10.0,
+            vector_bytes: 20.0,
+            writeback_bytes: 5.0,
+        };
+        assert_eq!(t.read_bytes(), 180.0);
+        assert_eq!(t.total_bytes(), 185.0);
+        let mut a = t;
+        a.add(&t);
+        assert_eq!(a.total_bytes(), 370.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Determinism and configuration-sensitivity tests of the simulator's
+//! public surface.
+
+use sparsepipe_core::{
+    simulate, EvictionPolicy, Preprocessing, ReorderKind, SparsepipeConfig,
+};
+use sparsepipe_frontend::{compile, GraphBuilder, SparsepipeProgram};
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+use sparsepipe_tensor::gen;
+
+fn pagerank_program() -> SparsepipeProgram {
+    let mut b = GraphBuilder::new();
+    let pr = b.input_vector("pr");
+    let l = b.constant_matrix("L");
+    let y = b.vxm(pr, l, SemiringOp::MulAdd).unwrap();
+    let s = b.ewise_scalar(EwiseBinary::Mul, y, 0.85).unwrap();
+    let next = b.ewise_scalar(EwiseBinary::Add, s, 0.15).unwrap();
+    b.carry(next, pr).unwrap();
+    compile(&b.build().unwrap(), 1).unwrap()
+}
+
+fn cfg() -> SparsepipeConfig {
+    SparsepipeConfig::iso_gpu()
+        .with_buffer(1 << 20)
+        .with_preprocessing(Preprocessing {
+            blocked: true,
+            reorder: ReorderKind::None,
+        })
+}
+
+/// The simulator is a pure function of (program, matrix, config).
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let m = gen::power_law(8000, 64_000, 1.3, 0.4, 7);
+    let program = pagerank_program();
+    let a = simulate(&program, &m, 12, &cfg()).unwrap();
+    let b = simulate(&program, &m, 12, &cfg()).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Reordering inside simulate() is deterministic too.
+#[test]
+fn reordering_runs_are_deterministic() {
+    let m = gen::uniform(4000, 4000, 30_000, 5);
+    let program = pagerank_program();
+    for kind in [ReorderKind::GraphOrder, ReorderKind::Vanilla] {
+        let c = cfg().with_preprocessing(Preprocessing {
+            blocked: true,
+            reorder: kind,
+        });
+        let a = simulate(&program, &m, 8, &c).unwrap();
+        let b = simulate(&program, &m, 8, &c).unwrap();
+        assert_eq!(a, b, "{kind:?}");
+    }
+}
+
+/// Iterations scale runtime near-linearly for the fused steady state.
+#[test]
+fn iterations_scale_linearly() {
+    let m = gen::uniform(8000, 8000, 64_000, 3);
+    let program = pagerank_program();
+    let r10 = simulate(&program, &m, 10, &cfg()).unwrap();
+    let r40 = simulate(&program, &m, 40, &cfg()).unwrap();
+    let ratio = r40.runtime_s / r10.runtime_s;
+    assert!((3.9..4.1).contains(&ratio), "ratio {ratio}");
+}
+
+/// The iso-CPU configuration (12.6x less bandwidth) is much slower on a
+/// memory-bound workload.
+#[test]
+fn iso_cpu_is_bandwidth_limited() {
+    let m = gen::uniform(8000, 8000, 64_000, 3);
+    let program = pagerank_program();
+    let gpu = simulate(&program, &m, 10, &cfg()).unwrap();
+    let cpu_cfg = SparsepipeConfig {
+        memory: sparsepipe_core::MemoryConfig::ddr4(),
+        ..cfg()
+    };
+    let cpu = simulate(&program, &m, 10, &cpu_cfg).unwrap();
+    let ratio = cpu.runtime_s / gpu.runtime_s;
+    assert!(
+        (6.0..=12.7).contains(&ratio),
+        "iso-CPU should be ~12.6x slower (memory-bound), got {ratio}"
+    );
+}
+
+/// Eviction policies diverge only under pressure, and highest-row-first
+/// never loses to oldest-first on OEI's reuse pattern.
+#[test]
+fn eviction_policy_ordering() {
+    // anti-diagonal mass: worst-case reuse distance
+    let m = gen::locality_mix(
+        20_000,
+        300_000,
+        gen::LocalityMix {
+            long_frac: 0.2,
+            anti_frac: 0.75,
+            local_span_frac: 0.02,
+            skew: 0.0,
+        },
+        3,
+    );
+    let program = pagerank_program();
+    let base = cfg().with_buffer(512 << 10);
+    let high_row = simulate(&program, &m, 10, &base).unwrap();
+    let oldest = simulate(
+        &program,
+        &m,
+        10,
+        &SparsepipeConfig {
+            eviction: EvictionPolicy::OldestFirst,
+            ..base
+        },
+    )
+    .unwrap();
+    assert!(high_row.evicted_elements > 0, "test needs pressure");
+    assert!(
+        high_row.traffic.refetch_bytes <= oldest.traffic.refetch_bytes * 1.001,
+        "paper's policy should not lose: {} vs {}",
+        high_row.traffic.refetch_bytes,
+        oldest.traffic.refetch_bytes
+    );
+}
+
+/// Subtensor width: explicit tiny widths pay dispatch overhead; the auto
+/// choice is within 10% of the best explicit width tried.
+#[test]
+fn auto_subtensor_is_competitive() {
+    let m = gen::power_law(16_000, 160_000, 1.2, 0.4, 11);
+    let program = pagerank_program();
+    let auto = simulate(&program, &m, 10, &cfg()).unwrap();
+    let mut best = f64::INFINITY;
+    for t in [1usize, 4, 16, 64, 256, 1024] {
+        let c = SparsepipeConfig {
+            subtensor_cols: t,
+            ..cfg()
+        };
+        let r = simulate(&program, &m, 10, &c).unwrap();
+        best = best.min(r.runtime_s);
+    }
+    assert!(
+        auto.runtime_s <= best * 1.10,
+        "auto {} vs best explicit {}",
+        auto.runtime_s,
+        best
+    );
+}
+
+/// Detailed (bank-level) memory timing never makes the simulator faster
+/// than the analytic roofline charge, and stays within a sane factor.
+#[test]
+fn detailed_memory_brackets_analytic_model() {
+    let m = gen::power_law(10_000, 90_000, 1.2, 0.4, 17);
+    let program = pagerank_program();
+    let analytic = simulate(&program, &m, 10, &cfg()).unwrap();
+    let detailed_cfg = SparsepipeConfig {
+        detailed_memory: true,
+        ..cfg()
+    };
+    let detailed = simulate(&program, &m, 10, &detailed_cfg).unwrap();
+    assert!(
+        detailed.runtime_s >= analytic.runtime_s * 0.95,
+        "bank model cannot beat the roofline: {} vs {}",
+        detailed.runtime_s,
+        analytic.runtime_s
+    );
+    assert!(
+        detailed.runtime_s <= analytic.runtime_s * 3.0,
+        "bank model unreasonably slow: {} vs {}",
+        detailed.runtime_s,
+        analytic.runtime_s
+    );
+}

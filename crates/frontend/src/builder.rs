@@ -1,0 +1,504 @@
+//! Ergonomic construction of [`DataflowGraph`]s.
+
+use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
+
+use crate::graph::{DataflowGraph, OpId, OpKind, OpNode, TensorId, TensorKind, TensorNode, TensorRole};
+use crate::FrontendError;
+
+/// Builder for [`DataflowGraph`]s — the programmer-facing API, mirroring a
+/// GraphBLAS program (Fig 1 of the paper).
+///
+/// Each method adds a data or operation node and returns the [`TensorId`]
+/// of the result. [`GraphBuilder::carry`] declares loop-carried
+/// dependencies; [`GraphBuilder::build`] validates shapes and acyclicity.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_frontend::GraphBuilder;
+/// use sparsepipe_semiring::SemiringOp;
+///
+/// # fn main() -> Result<(), sparsepipe_frontend::FrontendError> {
+/// let mut b = GraphBuilder::new();
+/// let frontier = b.input_vector("frontier");
+/// let adj = b.constant_matrix("A");
+/// let next = b.vxm(frontier, adj, SemiringOp::AndOr)?;
+/// b.carry(next, frontier)?;
+/// let graph = b.build()?;
+/// assert_eq!(graph.n_ops(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    tensors: Vec<TensorNode>,
+    ops: Vec<OpNode>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    fn add_tensor(&mut self, name: impl Into<String>, kind: TensorKind, role: TensorRole) -> TensorId {
+        self.tensors.push(TensorNode {
+            name: name.into(),
+            kind,
+            role,
+            carries_into: None,
+        });
+        TensorId(self.tensors.len() - 1)
+    }
+
+    /// Declares a live-in dense vector (bound by the caller).
+    pub fn input_vector(&mut self, name: impl Into<String>) -> TensorId {
+        self.add_tensor(name, TensorKind::Vector, TensorRole::Input)
+    }
+
+    /// Declares a live-in scalar.
+    pub fn input_scalar(&mut self, name: impl Into<String>) -> TensorId {
+        self.add_tensor(name, TensorKind::Scalar, TensorRole::Input)
+    }
+
+    /// Declares a live-in dense feature matrix (GCN activations).
+    pub fn input_dense(&mut self, name: impl Into<String>) -> TensorId {
+        self.add_tensor(name, TensorKind::DenseMatrix, TensorRole::Input)
+    }
+
+    /// Declares the constant sparse matrix shared across iterations (the
+    /// `vxm` operand whose reuse the OEI dataflow captures).
+    pub fn constant_matrix(&mut self, name: impl Into<String>) -> TensorId {
+        self.add_tensor(name, TensorKind::SparseMatrix, TensorRole::Constant)
+    }
+
+    /// Declares a constant dense matrix (GCN weights).
+    pub fn constant_dense(&mut self, name: impl Into<String>) -> TensorId {
+        self.add_tensor(name, TensorKind::DenseMatrix, TensorRole::Constant)
+    }
+
+    /// Declares a constant vector (e.g. a per-vertex normalization).
+    pub fn constant_vector(&mut self, name: impl Into<String>) -> TensorId {
+        self.add_tensor(name, TensorKind::Vector, TensorRole::Constant)
+    }
+
+    fn check(&self, t: TensorId) -> Result<&TensorNode, FrontendError> {
+        self.tensors.get(t.0).ok_or(FrontendError::UnknownTensor(t))
+    }
+
+    fn expect_kind(&self, t: TensorId, kind: TensorKind, ctx: &str) -> Result<(), FrontendError> {
+        let node = self.check(t)?;
+        if node.kind != kind {
+            return Err(FrontendError::KindMismatch {
+                context: format!("{ctx}: {} is {:?}, expected {kind:?}", node.name, node.kind),
+            });
+        }
+        Ok(())
+    }
+
+    fn add_op(&mut self, kind: OpKind, inputs: Vec<TensorId>, out_kind: TensorKind) -> TensorId {
+        let out = self.add_tensor(
+            format!("%{}", self.tensors.len()),
+            out_kind,
+            TensorRole::Produced,
+        );
+        self.ops.push(OpNode {
+            kind,
+            inputs,
+            output: out,
+        });
+        out
+    }
+
+    /// `out = x ⊗⊕ A` — vector × sparse-matrix product under `semiring`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless `x` is a vector and
+    /// `a` a sparse matrix.
+    pub fn vxm(
+        &mut self,
+        x: TensorId,
+        a: TensorId,
+        semiring: SemiringOp,
+    ) -> Result<TensorId, FrontendError> {
+        self.expect_kind(x, TensorKind::Vector, "vxm input")?;
+        self.expect_kind(a, TensorKind::SparseMatrix, "vxm matrix")?;
+        Ok(self.add_op(OpKind::Vxm { semiring }, vec![x, a], TensorKind::Vector))
+    }
+
+    /// `out = A ⊗⊕ x` — sparse-matrix × vector product under `semiring`
+    /// (row-oriented: `out[r] = ⊕_c A[r][c] ⊗ x[c]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless `a` is a sparse
+    /// matrix and `x` a vector.
+    pub fn mxv(
+        &mut self,
+        a: TensorId,
+        x: TensorId,
+        semiring: SemiringOp,
+    ) -> Result<TensorId, FrontendError> {
+        self.expect_kind(x, TensorKind::Vector, "mxv input")?;
+        self.expect_kind(a, TensorKind::SparseMatrix, "mxv matrix")?;
+        Ok(self.add_op(OpKind::Mxv { semiring }, vec![x, a], TensorKind::Vector))
+    }
+
+    /// `out = A ⊗⊕ B` — sparse × sparse matrix multiplication
+    /// (GraphBLAS's `mxm` / SpMSpM), evaluated with Gustavson's algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless both operands are
+    /// sparse matrices.
+    pub fn mxm(
+        &mut self,
+        a: TensorId,
+        b2: TensorId,
+        semiring: SemiringOp,
+    ) -> Result<TensorId, FrontendError> {
+        self.expect_kind(a, TensorKind::SparseMatrix, "mxm lhs")?;
+        self.expect_kind(b2, TensorKind::SparseMatrix, "mxm rhs")?;
+        Ok(self.add_op(
+            OpKind::Mxm { semiring },
+            vec![a, b2],
+            TensorKind::SparseMatrix,
+        ))
+    }
+
+    /// `out = X ⊗⊕ A` — dense-feature-matrix × sparse-matrix product
+    /// (GCN's SpMM; decomposes into one `vxm` per feature column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] on wrong input kinds.
+    pub fn spmm(
+        &mut self,
+        x: TensorId,
+        a: TensorId,
+        semiring: SemiringOp,
+    ) -> Result<TensorId, FrontendError> {
+        self.expect_kind(x, TensorKind::DenseMatrix, "spmm input")?;
+        self.expect_kind(a, TensorKind::SparseMatrix, "spmm matrix")?;
+        Ok(self.add_op(OpKind::SpMM { semiring }, vec![x, a], TensorKind::DenseMatrix))
+    }
+
+    /// `out = X · W` — dense matrix multiply (GCN's weight application).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] on wrong input kinds.
+    pub fn dense_mm(&mut self, x: TensorId, w: TensorId) -> Result<TensorId, FrontendError> {
+        self.expect_kind(x, TensorKind::DenseMatrix, "dense_mm lhs")?;
+        self.expect_kind(w, TensorKind::DenseMatrix, "dense_mm rhs")?;
+        Ok(self.add_op(OpKind::DenseMM, vec![x, w], TensorKind::DenseMatrix))
+    }
+
+    /// Element-wise binary operation over two same-kind tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] if kinds differ or are
+    /// scalar/matrix (use [`GraphBuilder::ewise_broadcast`] for scalars).
+    pub fn ewise(
+        &mut self,
+        op: EwiseBinary,
+        a: TensorId,
+        b: TensorId,
+    ) -> Result<TensorId, FrontendError> {
+        let ka = self.check(a)?.kind;
+        let kb = self.check(b)?.kind;
+        if ka != kb || !matches!(ka, TensorKind::Vector | TensorKind::DenseMatrix) {
+            return Err(FrontendError::KindMismatch {
+                context: format!("ewise {op:?}: {ka:?} vs {kb:?}"),
+            });
+        }
+        Ok(self.add_op(OpKind::EwiseBinary { op }, vec![a, b], ka))
+    }
+
+    /// Element-wise binary operation against a *scalar tensor* (broadcast):
+    /// `out[i] = a[i] op s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless `a` is a vector or
+    /// dense matrix and `s` a scalar.
+    pub fn ewise_broadcast(
+        &mut self,
+        op: EwiseBinary,
+        a: TensorId,
+        s: TensorId,
+    ) -> Result<TensorId, FrontendError> {
+        let ka = self.check(a)?.kind;
+        if !matches!(ka, TensorKind::Vector | TensorKind::DenseMatrix) {
+            return Err(FrontendError::KindMismatch {
+                context: format!("ewise_broadcast {op:?}: lhs is {ka:?}"),
+            });
+        }
+        self.expect_kind(s, TensorKind::Scalar, "ewise_broadcast scalar")?;
+        Ok(self.add_op(OpKind::EwiseScalarBroadcast { op }, vec![a, s], ka))
+    }
+
+    /// Element-wise binary operation against an immediate constant:
+    /// `out[i] = a[i] op imm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless `a` is a vector or
+    /// dense matrix.
+    pub fn ewise_scalar(
+        &mut self,
+        op: EwiseBinary,
+        a: TensorId,
+        imm: f64,
+    ) -> Result<TensorId, FrontendError> {
+        let ka = self.check(a)?.kind;
+        if !matches!(ka, TensorKind::Vector | TensorKind::DenseMatrix) {
+            return Err(FrontendError::KindMismatch {
+                context: format!("ewise_scalar {op:?}: lhs is {ka:?}"),
+            });
+        }
+        Ok(self.add_op(OpKind::EwiseImmediate { op, imm }, vec![a], ka))
+    }
+
+    /// Element-wise unary operation `out[i] = op(a[i])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless `a` is a vector or
+    /// dense matrix.
+    pub fn ewise_unary(
+        &mut self,
+        op: EwiseUnary,
+        a: TensorId,
+    ) -> Result<TensorId, FrontendError> {
+        let ka = self.check(a)?.kind;
+        if !matches!(ka, TensorKind::Vector | TensorKind::DenseMatrix) {
+            return Err(FrontendError::KindMismatch {
+                context: format!("ewise_unary {op:?}: input is {ka:?}"),
+            });
+        }
+        Ok(self.add_op(OpKind::EwiseUnary { op }, vec![a], ka))
+    }
+
+    /// Reduces a vector to a scalar with a commutative monoid
+    /// (GraphBLAS's `fold`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless `a` is a vector.
+    pub fn reduce(&mut self, op: EwiseBinary, a: TensorId) -> Result<TensorId, FrontendError> {
+        self.expect_kind(a, TensorKind::Vector, "reduce input")?;
+        Ok(self.add_op(OpKind::Reduce { op }, vec![a], TensorKind::Scalar))
+    }
+
+    /// Dot product of two vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless both are vectors.
+    pub fn dot(&mut self, a: TensorId, b: TensorId) -> Result<TensorId, FrontendError> {
+        self.expect_kind(a, TensorKind::Vector, "dot lhs")?;
+        self.expect_kind(b, TensorKind::Vector, "dot rhs")?;
+        Ok(self.add_op(OpKind::Dot, vec![a, b], TensorKind::Scalar))
+    }
+
+    /// Declares that produced tensor `from` becomes tensor `to` at the
+    /// start of the next iteration (GraphBLAS's `swap`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::InvalidCarry`] unless `from` is produced,
+    /// `to` is an input of the same kind, and neither end is already part
+    /// of another carry.
+    pub fn carry(&mut self, from: TensorId, to: TensorId) -> Result<(), FrontendError> {
+        let from_node = self.check(from)?;
+        let to_node = self.check(to)?;
+        if from_node.role != TensorRole::Produced {
+            return Err(FrontendError::InvalidCarry {
+                context: format!("{} is not produced this iteration", from_node.name),
+            });
+        }
+        if to_node.role != TensorRole::Input {
+            return Err(FrontendError::InvalidCarry {
+                context: format!("{} is not a loop input", to_node.name),
+            });
+        }
+        if from_node.kind != to_node.kind {
+            return Err(FrontendError::InvalidCarry {
+                context: format!(
+                    "kind mismatch: {:?} -> {:?}",
+                    from_node.kind, to_node.kind
+                ),
+            });
+        }
+        if from_node.carries_into.is_some() {
+            return Err(FrontendError::InvalidCarry {
+                context: format!("{} already carries into another tensor", from_node.name),
+            });
+        }
+        if self.tensors.iter().any(|t| t.carries_into == Some(to)) {
+            return Err(FrontendError::InvalidCarry {
+                context: format!("{} is already the target of a carry", to_node.name),
+            });
+        }
+        self.tensors[from.0].carries_into = Some(to);
+        Ok(())
+    }
+
+    /// Validates the graph and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::Cycle`] if the combinational part of the
+    /// graph (ignoring loop-carried edges) is cyclic.
+    pub fn build(self) -> Result<DataflowGraph, FrontendError> {
+        let topo_order = topo_sort(&self.tensors, &self.ops)?;
+        Ok(DataflowGraph {
+            tensors: self.tensors,
+            ops: self.ops,
+            topo_order,
+        })
+    }
+}
+
+/// Kahn's algorithm over op nodes; tensors are edges.
+fn topo_sort(tensors: &[TensorNode], ops: &[OpNode]) -> Result<Vec<OpId>, FrontendError> {
+    let producer_of: Vec<Option<usize>> = {
+        let mut p = vec![None; tensors.len()];
+        for (i, op) in ops.iter().enumerate() {
+            p[op.output.0] = Some(i);
+        }
+        p
+    };
+    let mut indegree = vec![0usize; ops.len()];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        for &input in &op.inputs {
+            if let Some(p) = producer_of[input.0] {
+                indegree[i] += 1;
+                consumers[p].push(i);
+            }
+        }
+    }
+    let mut ready: Vec<usize> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut order = Vec::with_capacity(ops.len());
+    while let Some(i) = ready.pop() {
+        order.push(OpId(i));
+        for &c in &consumers[i] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    if order.len() != ops.len() {
+        return Err(FrontendError::Cycle);
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_pagerank_like_graph() {
+        let mut b = GraphBuilder::new();
+        let pr = b.input_vector("pr");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(pr, l, SemiringOp::MulAdd).unwrap();
+        let scaled = b.ewise_scalar(EwiseBinary::Mul, y, 0.85).unwrap();
+        let next = b.ewise_scalar(EwiseBinary::Add, scaled, 0.15).unwrap();
+        let resid = b.ewise(EwiseBinary::AbsDiff, next, pr).unwrap();
+        let _res = b.reduce(EwiseBinary::Add, resid).unwrap();
+        b.carry(next, pr).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.n_ops(), 5);
+        assert_eq!(g.carries(), vec![(next, pr)]);
+        assert_eq!(g.shared_matrix(), Some(l));
+    }
+
+    #[test]
+    fn vxm_rejects_wrong_kinds() {
+        let mut b = GraphBuilder::new();
+        let s = b.input_scalar("s");
+        let l = b.constant_matrix("L");
+        assert!(b.vxm(s, l, SemiringOp::MulAdd).is_err());
+        let v = b.input_vector("v");
+        assert!(b.vxm(v, v, SemiringOp::MulAdd).is_err());
+    }
+
+    #[test]
+    fn ewise_requires_matching_kinds() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let s = b.input_scalar("s");
+        assert!(b.ewise(EwiseBinary::Add, v, s).is_err());
+        assert!(b.ewise_broadcast(EwiseBinary::Add, v, s).is_ok());
+        assert!(b.ewise_broadcast(EwiseBinary::Add, s, s).is_err());
+    }
+
+    #[test]
+    fn carry_validation() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let w = b.input_vector("w");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(v, l, SemiringOp::MulAdd).unwrap();
+        // input -> input is invalid
+        assert!(b.carry(v, w).is_err());
+        // produced -> produced is invalid
+        let y2 = b.vxm(w, l, SemiringOp::MulAdd).unwrap();
+        assert!(b.carry(y, y2).is_err());
+        // valid carry
+        b.carry(y, v).unwrap();
+        // double-carry from same source is invalid
+        assert!(b.carry(y, w).is_err());
+        // double-carry into same target is invalid
+        assert!(b.carry(y2, v).is_err());
+        b.carry(y2, w).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn kind_mismatch_on_carry() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let _s = b.input_scalar("s");
+        let sum = b.reduce(EwiseBinary::Add, v).unwrap();
+        let s_in = b.input_scalar("t");
+        // scalar -> scalar carry is fine
+        b.carry(sum, s_in).unwrap();
+        // vector result into scalar input is not
+        let mut b2 = GraphBuilder::new();
+        let v2 = b2.input_vector("v");
+        let l = b2.constant_matrix("L");
+        let y = b2.vxm(v2, l, SemiringOp::MulAdd).unwrap();
+        let sc = b2.input_scalar("sc");
+        assert!(b2.carry(y, sc).is_err());
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(v, l, SemiringOp::MulAdd).unwrap();
+        let z = b.ewise_scalar(EwiseBinary::Mul, y, 2.0).unwrap();
+        let _w = b.ewise(EwiseBinary::Add, z, y).unwrap();
+        let g = b.build().unwrap();
+        let order = g.topo_order();
+        let pos = |target: OpId| order.iter().position(|&o| o == target).unwrap();
+        // producer of y must precede producer of z which precedes w's op
+        let y_op = g.producer(y).unwrap();
+        let z_op = g.producer(z).unwrap();
+        assert!(pos(y_op) < pos(z_op));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for graph construction, analysis, and compilation.
+
+use std::fmt;
+
+use crate::{OpId, TensorId};
+
+/// Errors produced while building, analyzing, compiling, or interpreting a
+/// dataflow graph.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrontendError {
+    /// An operation was given a tensor of the wrong kind (e.g. `vxm` with a
+    /// scalar where a vector is expected).
+    KindMismatch {
+        /// Which construction call failed.
+        context: String,
+    },
+    /// A tensor id does not belong to this graph/builder.
+    UnknownTensor(TensorId),
+    /// An operation id does not belong to this graph.
+    UnknownOp(OpId),
+    /// A loop-carried edge is invalid (e.g. carrying into a non-input, or
+    /// kinds differ).
+    InvalidCarry {
+        /// Why the carry was rejected.
+        context: String,
+    },
+    /// The graph contains a combinational cycle (only loop-carried edges may
+    /// close cycles).
+    Cycle,
+    /// Compilation found no executable schedule for the graph.
+    Uncompilable {
+        /// Why compilation failed.
+        context: String,
+    },
+    /// The interpreter was started with missing or ill-shaped bindings.
+    BadBinding {
+        /// Which binding and why.
+        context: String,
+    },
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::KindMismatch { context } => write!(f, "kind mismatch: {context}"),
+            FrontendError::UnknownTensor(t) => write!(f, "unknown tensor id {t:?}"),
+            FrontendError::UnknownOp(o) => write!(f, "unknown op id {o:?}"),
+            FrontendError::InvalidCarry { context } => {
+                write!(f, "invalid loop-carried edge: {context}")
+            }
+            FrontendError::Cycle => write!(f, "combinational cycle in dataflow graph"),
+            FrontendError::Uncompilable { context } => write!(f, "cannot compile: {context}"),
+            FrontendError::BadBinding { context } => write!(f, "bad binding: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrontendError>();
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = FrontendError::Cycle;
+        assert!(!e.to_string().is_empty());
+    }
+}

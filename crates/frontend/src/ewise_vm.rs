@@ -1,0 +1,675 @@
+//! The E-Wise core's vector instruction set.
+//!
+//! Sparsepipe "uses offline compilation to pre-generate instructions for
+//! fused e-wise operations specific to an application" (§IV-C2). This
+//! module defines that instruction set and the compiler from a fused e-wise
+//! group to a register program.
+//!
+//! The program is SIMD in spirit: [`EwiseProgram::run`] executes the same
+//! instruction sequence on every *lane* (element index), with scalar
+//! *accumulators* (for fused `fold`/`dot` reductions) combined across
+//! lanes. The E-Wise core in the simulator charges one PE-op per
+//! arithmetic instruction per lane, so the compiled instruction count is
+//! also the timing model's per-element cost.
+
+use serde::{Deserialize, Serialize};
+use sparsepipe_semiring::{EwiseBinary, EwiseUnary};
+
+use crate::graph::{DataflowGraph, OpId, OpKind, TensorId};
+use crate::FrontendError;
+
+/// A register index in the e-wise VM (the compiled programs here are tiny;
+/// 256 registers is far beyond any fused group).
+pub type Reg = u8;
+
+/// One e-wise VM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EwInstr {
+    /// `reg[dst] = inputs[slot][lane]` — stream an operand vector element.
+    Load {
+        /// Input slot index.
+        slot: usize,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `reg[dst] = params[idx]` — a runtime scalar parameter (e.g. a
+    /// loop-carried `α`).
+    LoadParam {
+        /// Parameter index.
+        idx: usize,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `reg[dst] = op(reg[a], reg[b])`.
+    Binary {
+        /// The operator.
+        op: EwiseBinary,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `reg[dst] = op(reg[a], imm)`.
+    BinaryImm {
+        /// The operator.
+        op: EwiseBinary,
+        /// Left operand register.
+        a: Reg,
+        /// Immediate right operand.
+        imm: f64,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `reg[dst] = op(reg[a])`.
+    Unary {
+        /// The operator.
+        op: EwiseUnary,
+        /// Operand register.
+        a: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `outputs[slot][lane] = reg[src]`.
+    Store {
+        /// Output slot index.
+        slot: usize,
+        /// Source register.
+        src: Reg,
+    },
+    /// `acc[slot] = op(acc[slot], reg[src])` — cross-lane reduction.
+    Accumulate {
+        /// Accumulator slot index.
+        slot: usize,
+        /// The (commutative) reduction operator.
+        op: EwiseBinary,
+        /// Source register.
+        src: Reg,
+    },
+}
+
+impl EwInstr {
+    /// `true` for instructions that occupy a PE (arithmetic), as opposed to
+    /// data movement.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(
+            self,
+            EwInstr::Binary { .. }
+                | EwInstr::BinaryImm { .. }
+                | EwInstr::Unary { .. }
+                | EwInstr::Accumulate { .. }
+        )
+    }
+}
+
+/// The identity element of a reduction monoid (initial accumulator value).
+///
+/// # Panics
+///
+/// Panics for non-reduction operators (no identity).
+pub fn reduce_identity(op: EwiseBinary) -> f64 {
+    match op {
+        EwiseBinary::Add | EwiseBinary::Or | EwiseBinary::AbsDiff => 0.0,
+        EwiseBinary::Mul | EwiseBinary::And => 1.0,
+        EwiseBinary::Min => f64::INFINITY,
+        EwiseBinary::Max => f64::NEG_INFINITY,
+        other => panic!("{other:?} is not a reduction monoid"),
+    }
+}
+
+/// A compiled fused e-wise program.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_frontend::ewise_vm::{EwInstr, EwiseProgram};
+/// use sparsepipe_semiring::EwiseBinary;
+///
+/// // out[i] = a[i] * 0.85 + 0.15, residual = Σ |out[i] - b[i]|
+/// let prog = EwiseProgram::from_instrs(
+///     vec![
+///         EwInstr::Load { slot: 0, dst: 0 },
+///         EwInstr::BinaryImm { op: EwiseBinary::Mul, a: 0, imm: 0.85, dst: 1 },
+///         EwInstr::BinaryImm { op: EwiseBinary::Add, a: 1, imm: 0.15, dst: 1 },
+///         EwInstr::Store { slot: 0, src: 1 },
+///         EwInstr::Load { slot: 1, dst: 2 },
+///         EwInstr::Binary { op: EwiseBinary::AbsDiff, a: 1, b: 2, dst: 3 },
+///         EwInstr::Accumulate { slot: 0, op: EwiseBinary::Add, src: 3 },
+///     ],
+///     2, 1, vec![0.0],
+/// );
+/// let a = [1.0, 2.0];
+/// let b = [1.0, 1.0];
+/// let (outs, accs) = prog.run(&[&a, &b], 2);
+/// assert!((outs[0][0] - 1.0).abs() < 1e-12);
+/// assert!((outs[0][1] - 1.85).abs() < 1e-12);
+/// assert!((accs[0] - 0.85).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EwiseProgram {
+    instrs: Vec<EwInstr>,
+    n_inputs: usize,
+    n_outputs: usize,
+    acc_init: Vec<f64>,
+    n_params: usize,
+    n_regs: usize,
+}
+
+impl EwiseProgram {
+    /// Builds a program from raw instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction references an input/output slot outside the
+    /// declared counts.
+    pub fn from_instrs(
+        instrs: Vec<EwInstr>,
+        n_inputs: usize,
+        n_outputs: usize,
+        acc_init: Vec<f64>,
+    ) -> Self {
+        let mut n_regs = 0usize;
+        let mut n_params = 0usize;
+        for instr in &instrs {
+            match *instr {
+                EwInstr::Load { slot, dst } => {
+                    assert!(slot < n_inputs, "input slot {slot} out of range");
+                    n_regs = n_regs.max(dst as usize + 1);
+                }
+                EwInstr::LoadParam { idx, dst } => {
+                    n_params = n_params.max(idx + 1);
+                    n_regs = n_regs.max(dst as usize + 1);
+                }
+                EwInstr::Binary { a, b, dst, .. } => {
+                    n_regs = n_regs.max(a.max(b).max(dst) as usize + 1)
+                }
+                EwInstr::BinaryImm { a, dst, .. } => {
+                    n_regs = n_regs.max(a.max(dst) as usize + 1)
+                }
+                EwInstr::Unary { a, dst, .. } => n_regs = n_regs.max(a.max(dst) as usize + 1),
+                EwInstr::Store { slot, src } => {
+                    assert!(slot < n_outputs, "output slot {slot} out of range");
+                    n_regs = n_regs.max(src as usize + 1);
+                }
+                EwInstr::Accumulate { slot, src, .. } => {
+                    assert!(slot < acc_init.len(), "accumulator slot {slot} out of range");
+                    n_regs = n_regs.max(src as usize + 1);
+                }
+            }
+        }
+        EwiseProgram {
+            instrs,
+            n_inputs,
+            n_outputs,
+            acc_init,
+            n_params,
+            n_regs,
+        }
+    }
+
+    /// The instruction sequence.
+    pub fn instrs(&self) -> &[EwInstr] {
+        &self.instrs
+    }
+
+    /// Number of vector input slots.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of vector output slots.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Number of scalar accumulators.
+    pub fn n_accumulators(&self) -> usize {
+        self.acc_init.len()
+    }
+
+    /// Number of scalar runtime parameters.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// Arithmetic instructions per lane — the E-Wise core's per-element
+    /// compute cost.
+    pub fn arithmetic_per_lane(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_arithmetic()).count()
+    }
+
+    /// Executes one lane: reads `lane` of each input, writes `lane` of each
+    /// output, folds into `accs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the program's slot counts.
+    pub fn run_lane(
+        &self,
+        lane: usize,
+        inputs: &[&[f64]],
+        params: &[f64],
+        outputs: &mut [Vec<f64>],
+        accs: &mut [f64],
+    ) {
+        assert_eq!(inputs.len(), self.n_inputs, "input slot count");
+        assert_eq!(outputs.len(), self.n_outputs, "output slot count");
+        assert!(params.len() >= self.n_params, "missing params");
+        let mut regs = vec![0.0f64; self.n_regs];
+        for instr in &self.instrs {
+            match *instr {
+                EwInstr::Load { slot, dst } => regs[dst as usize] = inputs[slot][lane],
+                EwInstr::LoadParam { idx, dst } => regs[dst as usize] = params[idx],
+                EwInstr::Binary { op, a, b, dst } => {
+                    regs[dst as usize] = op.apply(regs[a as usize], regs[b as usize])
+                }
+                EwInstr::BinaryImm { op, a, imm, dst } => {
+                    regs[dst as usize] = op.apply(regs[a as usize], imm)
+                }
+                EwInstr::Unary { op, a, dst } => regs[dst as usize] = op.apply(regs[a as usize]),
+                EwInstr::Store { slot, src } => outputs[slot][lane] = regs[src as usize],
+                EwInstr::Accumulate { slot, op, src } => {
+                    accs[slot] = op.apply(accs[slot], regs[src as usize])
+                }
+            }
+        }
+    }
+
+    /// Executes all `n` lanes, returning the output vectors and final
+    /// accumulator values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input slice is shorter than `n`.
+    pub fn run(&self, inputs: &[&[f64]], n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        self.run_with_params(inputs, &[], n)
+    }
+
+    /// Like [`EwiseProgram::run`] but with scalar parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input slice is shorter than `n` or parameters are
+    /// missing.
+    pub fn run_with_params(
+        &self,
+        inputs: &[&[f64]],
+        params: &[f64],
+        n: usize,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut outputs = vec![vec![0.0; n]; self.n_outputs];
+        let mut accs = self.acc_init.clone();
+        for lane in 0..n {
+            self.run_lane(lane, inputs, params, &mut outputs, &mut accs);
+        }
+        (outputs, accs)
+    }
+}
+
+/// Layout of a compiled group's interface: which graph tensors map to which
+/// VM slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupInterface {
+    /// Graph tensors streamed as vector inputs, in slot order.
+    pub input_tensors: Vec<TensorId>,
+    /// Graph tensors produced as vector outputs, in slot order.
+    pub output_tensors: Vec<TensorId>,
+    /// Graph tensors read as scalar parameters, in parameter order.
+    pub param_tensors: Vec<TensorId>,
+    /// Graph tensors produced as scalar accumulators, in slot order.
+    pub acc_tensors: Vec<TensorId>,
+}
+
+/// Compiles one fused e-wise group into a VM program.
+///
+/// `group` must be in topological order (as produced by
+/// [`crate::fusion::fuse`]). Vector tensors produced outside the group (or
+/// live-in) become input slots; vector tensors produced inside the group
+/// that are consumed outside it (or loop-carried) become output slots;
+/// scalar operands become parameters; `Reduce`/`Dot` results become
+/// accumulators.
+///
+/// # Errors
+///
+/// Returns [`FrontendError::Uncompilable`] if the group contains a
+/// non-e-wise op or a `Dot`/`Reduce` over group-external operands that are
+/// not vectors.
+pub fn compile_group(
+    g: &DataflowGraph,
+    group: &[OpId],
+) -> Result<(EwiseProgram, GroupInterface), FrontendError> {
+    use std::collections::HashMap;
+
+    let in_group = |op: OpId| group.contains(&op);
+    let mut tensor_reg: HashMap<TensorId, Reg> = HashMap::new();
+    let mut input_tensors: Vec<TensorId> = Vec::new();
+    let mut output_tensors: Vec<TensorId> = Vec::new();
+    let mut param_tensors: Vec<TensorId> = Vec::new();
+    let mut acc_tensors: Vec<TensorId> = Vec::new();
+    let mut acc_init: Vec<f64> = Vec::new();
+    let mut instrs: Vec<EwInstr> = Vec::new();
+    let mut next_reg: usize = 0;
+
+    let mut alloc_reg = || -> Result<Reg, FrontendError> {
+        if next_reg > u8::MAX as usize {
+            return Err(FrontendError::Uncompilable {
+                context: "fused group needs more than 256 registers".into(),
+            });
+        }
+        let r = next_reg as Reg;
+        next_reg += 1;
+        Ok(r)
+    };
+
+    // Resolves an operand tensor to a register, emitting Load/LoadParam for
+    // group-external operands on first use.
+    let mut operand =
+        |t: TensorId,
+         instrs: &mut Vec<EwInstr>,
+         tensor_reg: &mut HashMap<TensorId, Reg>,
+         alloc_reg: &mut dyn FnMut() -> Result<Reg, FrontendError>|
+         -> Result<Reg, FrontendError> {
+            if let Some(&r) = tensor_reg.get(&t) {
+                return Ok(r);
+            }
+            let node = g.tensor(t);
+            let r = alloc_reg()?;
+            match node.kind {
+                crate::graph::TensorKind::Vector | crate::graph::TensorKind::DenseMatrix => {
+                    let slot = input_tensors.len();
+                    input_tensors.push(t);
+                    instrs.push(EwInstr::Load { slot, dst: r });
+                }
+                crate::graph::TensorKind::Scalar => {
+                    let idx = param_tensors.len();
+                    param_tensors.push(t);
+                    instrs.push(EwInstr::LoadParam { idx, dst: r });
+                }
+                crate::graph::TensorKind::SparseMatrix => {
+                    return Err(FrontendError::Uncompilable {
+                        context: "sparse matrix operand inside an e-wise group".into(),
+                    });
+                }
+            }
+            tensor_reg.insert(t, r);
+            Ok(r)
+        };
+
+    for &op_id in group {
+        let op = g.op(op_id);
+        if !op.kind.is_ewise() {
+            return Err(FrontendError::Uncompilable {
+                context: format!("non-e-wise op {op_id:?} in fused group"),
+            });
+        }
+        match op.kind {
+            OpKind::EwiseBinary { op: bop } => {
+                let a = operand(op.inputs[0], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let b = operand(op.inputs[1], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let dst = alloc_reg()?;
+                instrs.push(EwInstr::Binary { op: bop, a, b, dst });
+                tensor_reg.insert(op.output, dst);
+            }
+            OpKind::EwiseScalarBroadcast { op: bop } => {
+                let a = operand(op.inputs[0], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let b = operand(op.inputs[1], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let dst = alloc_reg()?;
+                instrs.push(EwInstr::Binary { op: bop, a, b, dst });
+                tensor_reg.insert(op.output, dst);
+            }
+            OpKind::EwiseImmediate { op: bop, imm } => {
+                let a = operand(op.inputs[0], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let dst = alloc_reg()?;
+                instrs.push(EwInstr::BinaryImm {
+                    op: bop,
+                    a,
+                    imm,
+                    dst,
+                });
+                tensor_reg.insert(op.output, dst);
+            }
+            OpKind::EwiseUnary { op: uop } => {
+                let a = operand(op.inputs[0], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let dst = alloc_reg()?;
+                instrs.push(EwInstr::Unary { op: uop, a, dst });
+                tensor_reg.insert(op.output, dst);
+            }
+            OpKind::Reduce { op: rop } => {
+                let a = operand(op.inputs[0], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let slot = acc_tensors.len();
+                acc_tensors.push(op.output);
+                acc_init.push(reduce_identity(rop));
+                instrs.push(EwInstr::Accumulate { slot, op: rop, src: a });
+            }
+            OpKind::Dot => {
+                let a = operand(op.inputs[0], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let b = operand(op.inputs[1], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
+                let prod = alloc_reg()?;
+                instrs.push(EwInstr::Binary {
+                    op: EwiseBinary::Mul,
+                    a,
+                    b,
+                    dst: prod,
+                });
+                let slot = acc_tensors.len();
+                acc_tensors.push(op.output);
+                acc_init.push(0.0);
+                instrs.push(EwInstr::Accumulate {
+                    slot,
+                    op: EwiseBinary::Add,
+                    src: prod,
+                });
+            }
+            _ => {
+                return Err(FrontendError::Uncompilable {
+                    context: format!("op kind {:?} cannot run on the E-Wise core", op.kind),
+                });
+            }
+        }
+    }
+
+    // Outputs: vector tensors produced in the group and observable outside
+    // it (consumed by an op outside the group, or loop-carried).
+    for &op_id in group {
+        let out = g.op(op_id).output;
+        if g.tensor(out).kind == crate::graph::TensorKind::Scalar {
+            continue;
+        }
+        let escapes = g.carry_target(out).is_some()
+            || g.consumers(out).iter().any(|&c| !in_group(c));
+        if escapes {
+            let slot = output_tensors.len();
+            let src = tensor_reg[&out];
+            output_tensors.push(out);
+            instrs.push(EwInstr::Store { slot, src });
+        }
+    }
+
+    let program = EwiseProgram::from_instrs(
+        instrs,
+        input_tensors.len(),
+        output_tensors.len(),
+        acc_init,
+    );
+    Ok((
+        program,
+        GroupInterface {
+            input_tensors,
+            output_tensors,
+            param_tensors,
+            acc_tensors,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fusion, GraphBuilder};
+    use sparsepipe_semiring::SemiringOp;
+
+    #[test]
+    fn compiles_pagerank_ewise_group() {
+        let mut b = GraphBuilder::new();
+        let pr = b.input_vector("pr");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(pr, l, SemiringOp::MulAdd).unwrap();
+        let s = b.ewise_scalar(EwiseBinary::Mul, y, 0.85).unwrap();
+        let next = b.ewise_scalar(EwiseBinary::Add, s, 0.15).unwrap();
+        let d = b.ewise(EwiseBinary::AbsDiff, next, pr).unwrap();
+        let _res = b.reduce(EwiseBinary::Add, d).unwrap();
+        b.carry(next, pr).unwrap();
+        let g = b.build().unwrap();
+        let fused = fusion::fuse(&g);
+        assert_eq!(fused.n_groups(), 1);
+
+        let (prog, iface) = compile_group(&g, &fused.groups[0]).unwrap();
+        // inputs: y (vxm output) and pr
+        assert_eq!(iface.input_tensors.len(), 2);
+        // outputs: `next` (carried)
+        assert_eq!(iface.output_tensors, vec![next]);
+        assert_eq!(prog.n_accumulators(), 1);
+
+        // Functional check: pr = [0.5, 0.3], y = [0.2, 0.4]
+        let yv = [0.2, 0.4];
+        let prv = [0.5, 0.3];
+        // slot order follows first use: y first, then pr
+        let (outs, accs) = prog.run(&[&yv, &prv], 2);
+        let expect0 = 0.2 * 0.85 + 0.15;
+        let expect1 = 0.4 * 0.85 + 0.15;
+        assert!((outs[0][0] - expect0).abs() < 1e-12);
+        assert!((outs[0][1] - expect1).abs() < 1e-12);
+        let resid = (expect0 - 0.5).abs() + (expect1 - 0.3).abs();
+        assert!((accs[0] - resid).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_lowered_to_mul_accumulate() {
+        let mut b = GraphBuilder::new();
+        let x = b.input_vector("x");
+        let y = b.input_vector("y");
+        let _d = b.dot(x, y).unwrap();
+        let g = b.build().unwrap();
+        let fused = fusion::fuse(&g);
+        let (prog, iface) = compile_group(&g, &fused.groups[0]).unwrap();
+        assert_eq!(iface.acc_tensors.len(), 1);
+        let (_, accs) = prog.run(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]], 3);
+        assert_eq!(accs[0], 32.0);
+    }
+
+    #[test]
+    fn scalar_params_are_loaded_per_run() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let alpha = b.input_scalar("alpha");
+        let _s = b.ewise_broadcast(EwiseBinary::Mul, v, alpha).unwrap();
+        let g = b.build().unwrap();
+        let fused = fusion::fuse(&g);
+        let (prog, iface) = compile_group(&g, &fused.groups[0]).unwrap();
+        assert_eq!(iface.param_tensors, vec![alpha]);
+        assert_eq!(prog.n_params(), 1);
+        // _s has no external consumer and no carry... so no output slot:
+        assert_eq!(prog.n_outputs(), 0);
+    }
+
+    #[test]
+    fn intermediate_values_stay_in_registers() {
+        // a chain of 4 e-wise ops: only the last escaping value is stored.
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let c = b.ewise_scalar(EwiseBinary::Add, a, 1.0).unwrap();
+        let d = b.ewise_scalar(EwiseBinary::Mul, c, 3.0).unwrap();
+        b.carry(d, v).unwrap();
+        let g = b.build().unwrap();
+        let fused = fusion::fuse(&g);
+        let (prog, _) = compile_group(&g, &fused.groups[0]).unwrap();
+        let stores = prog
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, EwInstr::Store { .. }))
+            .count();
+        assert_eq!(stores, 1, "only the escaping tensor is stored");
+        assert_eq!(prog.n_inputs(), 1);
+        let (outs, _) = prog.run(&[&[1.0]], 1);
+        assert_eq!(outs[0][0], (1.0 * 2.0 + 1.0) * 3.0);
+    }
+
+    #[test]
+    fn arithmetic_count_matches_ops() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let c = b.ewise_unary(sparsepipe_semiring::EwiseUnary::Abs, a).unwrap();
+        b.carry(c, v).unwrap();
+        let g = b.build().unwrap();
+        let fused = fusion::fuse(&g);
+        let (prog, _) = compile_group(&g, &fused.groups[0]).unwrap();
+        assert_eq!(prog.arithmetic_per_lane(), 2);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(reduce_identity(EwiseBinary::Add), 0.0);
+        assert_eq!(reduce_identity(EwiseBinary::Min), f64::INFINITY);
+        assert_eq!(reduce_identity(EwiseBinary::Max), f64::NEG_INFINITY);
+        assert_eq!(reduce_identity(EwiseBinary::Mul), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a reduction monoid")]
+    fn reduce_identity_rejects_nonmonoid() {
+        reduce_identity(EwiseBinary::Sub);
+    }
+}
+
+#[cfg(test)]
+mod multi_output_tests {
+    use super::*;
+    use crate::{fusion, GraphBuilder};
+
+    /// A fused group with two escaping tensors stores both (PageRank-like
+    /// loops often carry several vectors out of one group).
+    #[test]
+    fn two_escaping_outputs_are_both_stored() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let w = b.input_vector("w");
+        let a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let c = b.ewise_scalar(EwiseBinary::Add, a, 1.0).unwrap();
+        let d = b.ewise(EwiseBinary::Max, a, w).unwrap();
+        b.carry(c, v).unwrap();
+        b.carry(d, w).unwrap();
+        let g = b.build().unwrap();
+        let fused = fusion::fuse(&g);
+        assert_eq!(fused.n_groups(), 1);
+        let (prog, iface) = compile_group(&g, &fused.groups[0]).unwrap();
+        assert_eq!(prog.n_outputs(), 2);
+        assert_eq!(iface.output_tensors.len(), 2);
+        let (outs, _) = prog.run(&[&[3.0], &[10.0]], 1);
+        // slot order follows the group's (valid but unspecified)
+        // topological order — resolve through the interface
+        let slot_of = |t| iface.output_tensors.iter().position(|&x| x == t).unwrap();
+        assert_eq!(outs[slot_of(c)][0], 3.0 * 2.0 + 1.0);
+        assert_eq!(outs[slot_of(d)][0], 10.0f64.max(6.0));
+    }
+
+    /// A tensor consumed both inside and outside the group is stored once
+    /// and still feeds the in-group consumer from its register.
+    #[test]
+    fn escaping_intermediate_feeds_both_paths() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let mid = b.ewise_scalar(EwiseBinary::Mul, v, 3.0).unwrap();
+        let fin = b.ewise_scalar(EwiseBinary::Add, mid, 1.0).unwrap();
+        b.carry(mid, v).unwrap(); // mid escapes via carry
+        let _sink = fin; // fin does not escape (no consumer, no carry)
+        let g = b.build().unwrap();
+        let fused = fusion::fuse(&g);
+        let (prog, iface) = compile_group(&g, &fused.groups[0]).unwrap();
+        assert_eq!(iface.output_tensors, vec![mid]);
+        let (outs, _) = prog.run(&[&[2.0]], 1);
+        assert_eq!(outs[0][0], 6.0);
+    }
+}

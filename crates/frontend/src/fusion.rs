@@ -1,0 +1,205 @@
+//! E-wise fusion (Fig 2b of the paper).
+//!
+//! "Two groups of *e-wise* can be fused by identifying connected components
+//! of operations and data nodes" — this pass partitions the e-wise class of
+//! operations into maximal connected groups. Each group becomes one fused
+//! super-operation: a single pass over its operand vectors with all
+//! intermediate values held in registers, which is precisely the
+//! producer–consumer reuse Sparsepipe's E-Wise core captures in hardware
+//! (and ALP/GraphBLAS's non-blocking mode captures in software).
+
+use crate::graph::{DataflowGraph, OpId};
+
+/// The result of e-wise fusion: a partition of the graph's e-wise ops into
+/// connected groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedGroups {
+    /// Each group's ops, in the graph's topological order.
+    pub groups: Vec<Vec<OpId>>,
+    /// For each op (by index), the group it belongs to (`None` for
+    /// non-e-wise ops such as `vxm`).
+    pub op_group: Vec<Option<usize>>,
+}
+
+impl FusedGroups {
+    /// Number of fused groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group containing `op`, if it is an e-wise op.
+    pub fn group_of(&self, op: OpId) -> Option<usize> {
+        self.op_group.get(op.0).copied().flatten()
+    }
+}
+
+/// Partitions the graph's e-wise operations into maximal connected groups.
+///
+/// Two e-wise ops are connected when one consumes the other's output
+/// directly (sharing an intermediate data node). Connectivity through a
+/// non-e-wise op (e.g. a `vxm` between two e-wise chains) does **not**
+/// merge groups — such chains must stage through the `vxm` pipeline.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_frontend::{fusion, GraphBuilder};
+/// use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+///
+/// # fn main() -> Result<(), sparsepipe_frontend::FrontendError> {
+/// let mut b = GraphBuilder::new();
+/// let v = b.input_vector("v");
+/// let l = b.constant_matrix("L");
+/// let y = b.vxm(v, l, SemiringOp::MulAdd)?;
+/// let a = b.ewise_scalar(EwiseBinary::Mul, y, 2.0)?;   // group 0
+/// let bb = b.ewise_scalar(EwiseBinary::Add, a, 1.0)?;  // group 0 (chained)
+/// let y2 = b.vxm(bb, l, SemiringOp::MulAdd)?;
+/// let _c = b.ewise_scalar(EwiseBinary::Mul, y2, 3.0)?; // group 1 (behind vxm)
+/// let g = b.build()?;
+/// let fused = fusion::fuse(&g);
+/// assert_eq!(fused.n_groups(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fuse(g: &DataflowGraph) -> FusedGroups {
+    let n = g.n_ops();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+
+    // Union e-wise producers with e-wise consumers of the same tensor.
+    for (pid, producer) in g.ops() {
+        if !producer.kind.is_ewise() {
+            continue;
+        }
+        for cid in g.consumers(producer.output) {
+            if g.op(cid).kind.is_ewise() {
+                let (a, b) = (find(&mut parent, pid.0), find(&mut parent, cid.0));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+
+    // Collect groups in topological order so each group's op list is a
+    // valid execution order for the fused kernel.
+    let mut group_index: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut groups: Vec<Vec<OpId>> = Vec::new();
+    let mut op_group: Vec<Option<usize>> = vec![None; n];
+    for &op in g.topo_order() {
+        if !g.op(op).kind.is_ewise() {
+            continue;
+        }
+        let root = find(&mut parent, op.0);
+        let gi = *group_index.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[gi].push(op);
+        op_group[op.0] = Some(gi);
+    }
+    FusedGroups { groups, op_group }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+
+    #[test]
+    fn chains_fuse_into_one_group() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let c = b.ewise_scalar(EwiseBinary::Add, a, 1.0).unwrap();
+        let _d = b.ewise(EwiseBinary::AbsDiff, c, v).unwrap();
+        let g = b.build().unwrap();
+        let fused = fuse(&g);
+        assert_eq!(fused.n_groups(), 1);
+        assert_eq!(fused.groups[0].len(), 3);
+    }
+
+    #[test]
+    fn vxm_separates_groups() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let l = b.constant_matrix("L");
+        let a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let y = b.vxm(a, l, SemiringOp::MulAdd).unwrap();
+        let _c = b.ewise_scalar(EwiseBinary::Add, y, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let fused = fuse(&g);
+        assert_eq!(fused.n_groups(), 2);
+        let vxm_op = g.producer(y).unwrap();
+        assert_eq!(fused.group_of(vxm_op), None);
+    }
+
+    #[test]
+    fn diamond_joins_into_one_group() {
+        // a -> b, a -> c, (b, c) -> d : all one component
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let x = b.ewise_scalar(EwiseBinary::Add, a, 1.0).unwrap();
+        let y = b.ewise_scalar(EwiseBinary::Sub, a, 1.0).unwrap();
+        let _d = b.ewise(EwiseBinary::Max, x, y).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(fuse(&g).n_groups(), 1);
+    }
+
+    #[test]
+    fn reductions_fuse_with_their_producers() {
+        // PageRank's residual: e-wise absdiff then fold — one group.
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let w = b.input_vector("w");
+        let d = b.ewise(EwiseBinary::AbsDiff, v, w).unwrap();
+        let _r = b.reduce(EwiseBinary::Add, d).unwrap();
+        let g = b.build().unwrap();
+        let fused = fuse(&g);
+        assert_eq!(fused.n_groups(), 1);
+        assert_eq!(fused.groups[0].len(), 2);
+    }
+
+    #[test]
+    fn independent_chains_stay_separate() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let w = b.input_vector("w");
+        let _a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let _b = b.ewise_scalar(EwiseBinary::Mul, w, 3.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(fuse(&g).n_groups(), 2);
+    }
+
+    #[test]
+    fn group_ops_are_in_topological_order() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let c = b.ewise_scalar(EwiseBinary::Add, a, 1.0).unwrap();
+        let _d = b.ewise_scalar(EwiseBinary::Sub, c, 3.0).unwrap();
+        let g = b.build().unwrap();
+        let fused = fuse(&g);
+        let group = &fused.groups[0];
+        // every op's inputs produced by ops earlier in the group (or live-in)
+        for (i, &op) in group.iter().enumerate() {
+            for &input in &g.op(op).inputs {
+                if let Some(p) = g.producer(input) {
+                    let ppos = group.iter().position(|&x| x == p);
+                    if let Some(ppos) = ppos {
+                        assert!(ppos < i, "group not topologically ordered");
+                    }
+                }
+            }
+        }
+    }
+}

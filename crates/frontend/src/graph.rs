@@ -1,0 +1,328 @@
+//! The tensor dataflow graph IR.
+//!
+//! A [`DataflowGraph`] represents **one iteration** of an STA application's
+//! inner loop (Fig 2 of the paper): data nodes are tensors, operation nodes
+//! consume and produce them. Loop structure is captured by *loop-carried
+//! edges*: an output tensor may be marked as becoming an input tensor of
+//! the next iteration (PageRank's `swap(pr, pr_next)`). Unrolling across
+//! iterations — the prerequisite for spotting cross-iteration reuse — is
+//! then a matter of following those edges.
+
+use serde::{Deserialize, Serialize};
+use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
+
+/// Identifier of a tensor (data node) within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(pub(crate) usize);
+
+/// Identifier of an operation node within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub(crate) usize);
+
+/// The shape class of a tensor node. Shapes are symbolic — the same graph
+/// runs on any matrix size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// A sparse `n×n` matrix (the shared operand of `vxm`).
+    SparseMatrix,
+    /// A dense length-`n` vector.
+    Vector,
+    /// A dense `n×f` feature matrix (GCN activations).
+    DenseMatrix,
+    /// A scalar.
+    Scalar,
+}
+
+/// How a tensor node participates in the loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorRole {
+    /// Live-in: bound by the caller before the first iteration.
+    Input,
+    /// Produced by an operation this iteration.
+    Produced,
+    /// A constant that never changes across iterations (e.g. the graph
+    /// matrix `L` — the source of cross-iteration reuse).
+    Constant,
+}
+
+/// A tensor (data) node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorNode {
+    /// Human-readable name (unique within the graph for inputs/constants).
+    pub name: String,
+    /// Shape class.
+    pub kind: TensorKind,
+    /// Role in the loop body.
+    pub role: TensorRole,
+    /// If `Some(t)`, this produced tensor becomes tensor `t` at the start
+    /// of the next iteration (loop-carried dependency).
+    pub carries_into: Option<TensorId>,
+}
+
+/// An operation node's kind, carrying its static configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `out[c] = ⊕_r in[r] ⊗ A[r][c]` — vector × sparse-matrix product.
+    /// Inputs: `[vector, matrix]`.
+    Vxm {
+        /// The semiring configuring the multiply/reduce.
+        semiring: SemiringOp,
+    },
+    /// `out[r] = ⊕_c A[r][c] ⊗ in[c]` — sparse-matrix × vector product
+    /// (the row-oriented sibling of [`OpKind::Vxm`]; §III-A's "leading
+    /// matrix (e.g., vxm/mxv) operations"). Inputs: `[vector, matrix]`
+    /// (same slot order as `Vxm` so the analyses treat both uniformly).
+    Mxv {
+        /// The semiring configuring the multiply/reduce.
+        semiring: SemiringOp,
+    },
+    /// Sparse matrix × dense feature matrix (GCN's SpMM), decomposable into
+    /// `f` independent `vxm`s. Inputs: `[dense, matrix]`.
+    SpMM {
+        /// The semiring configuring the multiply/reduce.
+        semiring: SemiringOp,
+    },
+    /// Sparse × sparse matrix multiplication (GraphBLAS's `mxm`,
+    /// SpMSpM) — the operator prior intra-operator accelerators target.
+    /// Inputs: `[matrix, matrix]`; output is a sparse matrix. Evaluated
+    /// with Gustavson's algorithm; not an OEI candidate (its output is a
+    /// matrix, not a vector, so the paper's vxm-chain fusion does not
+    /// apply).
+    Mxm {
+        /// The semiring configuring the multiply/reduce.
+        semiring: SemiringOp,
+    },
+    /// Dense matrix × dense weight matrix (GCN's `MM`). Inputs:
+    /// `[dense, dense]`.
+    DenseMM,
+    /// Element-wise binary op over two same-shaped tensors.
+    EwiseBinary {
+        /// The operator.
+        op: EwiseBinary,
+    },
+    /// Element-wise binary op against a scalar tensor (broadcast).
+    /// Inputs: `[tensor, scalar]`.
+    EwiseScalarBroadcast {
+        /// The operator (tensor element on the left, scalar on the right).
+        op: EwiseBinary,
+    },
+    /// Element-wise binary op against an immediate constant.
+    EwiseImmediate {
+        /// The operator (tensor element on the left, immediate on the
+        /// right).
+        op: EwiseBinary,
+        /// The immediate operand.
+        imm: f64,
+    },
+    /// Element-wise unary op.
+    EwiseUnary {
+        /// The operator.
+        op: EwiseUnary,
+    },
+    /// Reduce a vector to a scalar with a commutative monoid (`fold`).
+    Reduce {
+        /// The reduction operator.
+        op: EwiseBinary,
+    },
+    /// Dot product of two vectors (scalar output). Inputs: `[a, b]`.
+    Dot,
+}
+
+impl OpKind {
+    /// `true` for operations with *sub-tensor dependency*: output element
+    /// `i` depends only on element `i` of each (non-scalar) input. These
+    /// are the operations that may sit on the path between two fused `vxm`s
+    /// without blocking the OEI dataflow (§III-A).
+    ///
+    /// Scalar-producing reductions ([`OpKind::Reduce`], [`OpKind::Dot`])
+    /// do *not* have sub-tensor dependency — a scalar depends on every
+    /// element. [`OpKind::DenseMM`] keeps per-*row* dependency (row `i` of
+    /// the output needs only row `i` of the input), which is sufficient for
+    /// OEI at `vxm` granularity, so it is included (this is why GCN's
+    /// `SpMM → MM → ReLU` chain is fusible, Fig 5).
+    pub fn has_subtensor_dependency(&self) -> bool {
+        matches!(
+            self,
+            OpKind::EwiseBinary { .. }
+                | OpKind::EwiseScalarBroadcast { .. }
+                | OpKind::EwiseImmediate { .. }
+                | OpKind::EwiseUnary { .. }
+                | OpKind::DenseMM
+        )
+    }
+
+    /// `true` for the e-wise class of operations (fusible into the E-Wise
+    /// core's instruction stream). `DenseMM` is *not* e-wise — it runs on
+    /// the OS core's PEs in the simulated machine.
+    pub fn is_ewise(&self) -> bool {
+        matches!(
+            self,
+            OpKind::EwiseBinary { .. }
+                | OpKind::EwiseScalarBroadcast { .. }
+                | OpKind::EwiseImmediate { .. }
+                | OpKind::EwiseUnary { .. }
+                | OpKind::Reduce { .. }
+                | OpKind::Dot
+        )
+    }
+
+    /// `true` for matrix-touching operators (`vxm`/`mxv`/`SpMM`/`mxm`) —
+    /// the operators whose operand dominates memory traffic.
+    pub fn touches_matrix(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Vxm { .. }
+                | OpKind::Mxv { .. }
+                | OpKind::SpMM { .. }
+                | OpKind::Mxm { .. }
+        )
+    }
+}
+
+/// An operation node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpNode {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Input tensor ids, in operator-specific order.
+    pub inputs: Vec<TensorId>,
+    /// Output tensor id.
+    pub output: TensorId,
+}
+
+/// A tensor dataflow graph describing one loop iteration of an STA
+/// application. Construct with [`GraphBuilder`](crate::GraphBuilder).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataflowGraph {
+    pub(crate) tensors: Vec<TensorNode>,
+    pub(crate) ops: Vec<OpNode>,
+    /// Ops in a valid topological execution order (established at build).
+    pub(crate) topo_order: Vec<OpId>,
+}
+
+impl DataflowGraph {
+    /// All tensor nodes.
+    pub fn tensors(&self) -> impl Iterator<Item = (TensorId, &TensorNode)> {
+        self.tensors.iter().enumerate().map(|(i, t)| (TensorId(i), t))
+    }
+
+    /// All operation nodes.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &OpNode)> {
+        self.ops.iter().enumerate().map(|(i, o)| (OpId(i), o))
+    }
+
+    /// The tensor node for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn tensor(&self, id: TensorId) -> &TensorNode {
+        &self.tensors[id.0]
+    }
+
+    /// The operation node for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn op(&self, id: OpId) -> &OpNode {
+        &self.ops[id.0]
+    }
+
+    /// Number of operation nodes.
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of tensor nodes.
+    pub fn n_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Ops in topological (executable) order.
+    pub fn topo_order(&self) -> &[OpId] {
+        &self.topo_order
+    }
+
+    /// The operation that produces tensor `t`, if any.
+    pub fn producer(&self, t: TensorId) -> Option<OpId> {
+        self.ops
+            .iter()
+            .position(|o| o.output == t)
+            .map(OpId)
+    }
+
+    /// All operations that consume tensor `t`.
+    pub fn consumers(&self, t: TensorId) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.inputs.contains(&t))
+            .map(|(i, _)| OpId(i))
+            .collect()
+    }
+
+    /// Loop-carried edges as `(produced, becomes_input)` pairs.
+    pub fn carries(&self) -> Vec<(TensorId, TensorId)> {
+        self.tensors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.carries_into.map(|dst| (TensorId(i), dst)))
+            .collect()
+    }
+
+    /// The tensor a produced value becomes next iteration, if any.
+    pub fn carry_target(&self, t: TensorId) -> Option<TensorId> {
+        self.tensors[t.0].carries_into
+    }
+
+    /// Finds a tensor by name.
+    pub fn find_tensor(&self, name: &str) -> Option<TensorId> {
+        self.tensors
+            .iter()
+            .position(|t| t.name == name)
+            .map(TensorId)
+    }
+
+    /// The first constant sparse-matrix tensor (the shared `vxm` operand),
+    /// if the graph has one.
+    pub fn shared_matrix(&self) -> Option<TensorId> {
+        self.tensors
+            .iter()
+            .position(|t| t.kind == TensorKind::SparseMatrix && t.role == TensorRole::Constant)
+            .map(TensorId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtensor_dependency_classification() {
+        assert!(OpKind::EwiseUnary {
+            op: EwiseUnary::Relu
+        }
+        .has_subtensor_dependency());
+        assert!(OpKind::DenseMM.has_subtensor_dependency());
+        assert!(!OpKind::Reduce {
+            op: EwiseBinary::Add
+        }
+        .has_subtensor_dependency());
+        assert!(!OpKind::Dot.has_subtensor_dependency());
+        assert!(!OpKind::Vxm {
+            semiring: SemiringOp::MulAdd
+        }
+        .has_subtensor_dependency());
+    }
+
+    #[test]
+    fn ewise_classification() {
+        assert!(OpKind::Dot.is_ewise());
+        assert!(!OpKind::DenseMM.is_ewise());
+        assert!(OpKind::Vxm {
+            semiring: SemiringOp::MulAdd
+        }
+        .touches_matrix());
+    }
+}

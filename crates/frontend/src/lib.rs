@@ -1,0 +1,70 @@
+//! GraphBLAS-style tensor dataflow frontend for Sparsepipe.
+//!
+//! Modern STA frameworks (GraphBLAS, ALP, TACO, …) let programmers express
+//! applications as **tensor dataflow graphs** of semiring operators (`vxm`,
+//! `mxm`) and element-wise (*e-wise*) operations. The Sparsepipe paper's
+//! key observation is that this representation exposes *inter-operator*
+//! reuse that hand-written loop nests hide:
+//!
+//! 1. **Producer–consumer reuse** — e-wise chains can be fused so
+//!    intermediate vectors never leave the chip (§II-A, Fig 2b).
+//! 2. **Cross-iteration reuse** — when the path from one `vxm`'s output to
+//!    the next `vxm`'s input consists only of operations with *sub-tensor
+//!    dependency* (element `i` of the output depends only on element `i` of
+//!    the inputs), the two `vxm`s can execute concurrently under the OEI
+//!    dataflow, and the shared sparse matrix is fetched once for both
+//!    (§III).
+//!
+//! This crate implements that pipeline:
+//!
+//! * [`DataflowGraph`] / [`GraphBuilder`] — the IR and its construction API.
+//! * [`fusion`] — groups connected e-wise operations (Fig 2b's pass).
+//! * [`analysis`] — sub-tensor dependency analysis and OEI-subgraph
+//!   detection (§III-A).
+//! * [`ewise_vm`] — the E-Wise core's vector instruction set and the
+//!   compiler from fused groups to instructions (§IV-F's "fixed vector
+//!   instructions for the e-wise core").
+//! * [`program`] — [`SparsepipeProgram`], the compiled artifact the
+//!   simulator executes, plus [`WorkloadProfile`] consumed by the baseline
+//!   cost models.
+//! * [`interp`] — a scalar reference interpreter (golden model) used to
+//!   validate every transformed/fused/simulated execution.
+//!
+//! # Example: PageRank's inner loop as a dataflow graph
+//!
+//! ```
+//! use sparsepipe_frontend::GraphBuilder;
+//! use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+//!
+//! # fn main() -> Result<(), sparsepipe_frontend::FrontendError> {
+//! let mut b = GraphBuilder::new();
+//! let pr = b.input_vector("pr");
+//! let graph_matrix = b.constant_matrix("L");
+//! let contrib = b.vxm(pr, graph_matrix, SemiringOp::MulAdd)?;
+//! let scaled = b.ewise_scalar(EwiseBinary::Mul, contrib, 0.85)?;
+//! let pr_next = b.ewise_scalar(EwiseBinary::Add, scaled, 0.15)?;
+//! b.carry(pr_next, pr)?; // pr_next becomes next iteration's pr
+//! let g = b.build()?;
+//!
+//! let analysis = sparsepipe_frontend::analysis::analyze(&g);
+//! assert!(analysis.oei.is_some(), "PageRank exposes the OEI dataflow");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+mod error;
+pub mod ewise_vm;
+pub mod fusion;
+mod graph;
+pub mod interp;
+pub mod program;
+
+pub use builder::GraphBuilder;
+pub use error::FrontendError;
+pub use graph::{DataflowGraph, OpId, OpKind, TensorId, TensorKind, TensorRole};
+pub use program::{compile, OperatorClass, OperatorSummary, SparsepipeProgram, WorkloadProfile};

@@ -1,0 +1,442 @@
+//! Static compilation of dataflow graphs to Sparsepipe programs (§IV-F).
+//!
+//! "The offline compilation process begins with a data dependence analysis
+//! on the tensor-based program, separating it into sub-tensor dependence
+//! groups and all other operation groups. … Based on the semi-ring operator
+//! for each application, the compiler generates opcodes for the OS and IS
+//! core operations."
+//!
+//! [`compile`] produces two artifacts:
+//!
+//! * [`SparsepipeProgram`] — consumed by the simulator: the OS/IS semiring
+//!   opcodes, the fused e-wise instruction stream, and the OEI structure.
+//! * [`WorkloadProfile`] — a machine-independent traffic/compute summary of
+//!   one loop iteration, consumed by the baseline cost models (ideal
+//!   accelerator, oracle, CPU, GPU). Keeping baselines and simulator on the
+//!   same profile guarantees apples-to-apples workloads.
+
+use serde::{Deserialize, Serialize};
+use sparsepipe_semiring::SemiringOp;
+
+use crate::analysis::{self, Analysis};
+use crate::ewise_vm::{self, EwiseProgram, GroupInterface};
+use crate::graph::{DataflowGraph, OpKind, TensorKind, TensorRole};
+use crate::FrontendError;
+
+/// Classification of one operator for cost models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatorClass {
+    /// A `vxm`/`SpMM` pass over the sparse matrix.
+    Matrix,
+    /// A fused e-wise group (one streaming pass over its operand vectors).
+    FusedEwise,
+    /// A dense matrix multiply (GCN weight application).
+    DenseMM,
+}
+
+/// Machine-independent summary of one operator invocation per iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSummary {
+    /// What kind of operator this is.
+    pub class: OperatorClass,
+    /// Semiring (for matrix operators).
+    pub semiring: Option<SemiringOp>,
+    /// Number of `n`-element vector operands read from memory when this
+    /// operator runs *unfused* (each operator a separate kernel).
+    pub unfused_vector_reads: f64,
+    /// Number of `n`-element vector results written when unfused.
+    pub unfused_vector_writes: f64,
+    /// Arithmetic operations per matrix non-zero (matrix ops) or per
+    /// element (e-wise / dense ops).
+    pub flops_per_unit: f64,
+}
+
+/// Machine-independent per-iteration workload description.
+///
+/// All vector traffic is in units of "one `n`-element vector pass"
+/// (multiply by `n · 8` bytes for traffic). Matrix traffic is per-`nnz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Whether the graph admits the OEI dataflow at all.
+    pub has_oei: bool,
+    /// Whether the OEI fusion spans loop iterations (vs. two `vxm`s within
+    /// one iteration, as in KNN).
+    pub cross_iteration: bool,
+    /// Matrix-touching operator passes per iteration.
+    pub matrix_passes: usize,
+    /// Feature dimension: 1 for `vxm` apps, `f` for SpMM-based apps (every
+    /// vector quantity below scales by this).
+    pub feature_dim: usize,
+    /// Total e-wise arithmetic ops per element per iteration (all fused
+    /// groups).
+    pub ewise_flops_per_element: f64,
+    /// Dense-MM arithmetic ops per element per iteration (GCN: `f` MACs
+    /// per element of the `n×f` activation).
+    pub dense_flops_per_element: f64,
+    /// Distinct `n`-vector reads per iteration with producer-consumer
+    /// fusion (live-in operands of fused groups + `vxm` inputs not produced
+    /// on chip).
+    pub fused_vector_reads: f64,
+    /// Distinct `n`-vector writes per iteration with fusion (carried or
+    /// terminal results only).
+    pub fused_vector_writes: f64,
+    /// `n`-vector reads per iteration without fusion (every operator
+    /// streams its operands).
+    pub unfused_vector_reads: f64,
+    /// `n`-vector writes per iteration without fusion.
+    pub unfused_vector_writes: f64,
+    /// Per-operator breakdown (unfused view).
+    pub operators: Vec<OperatorSummary>,
+}
+
+impl WorkloadProfile {
+    /// Arithmetic intensity proxy: e-wise work relative to matrix work.
+    /// Large values (k-core's many e-wise ops) shift the bottleneck from
+    /// memory to compute (Fig 15c).
+    pub fn ewise_to_matrix_ratio(&self) -> f64 {
+        self.ewise_flops_per_element / self.matrix_passes.max(1) as f64
+    }
+}
+
+/// The compiled program: everything the Sparsepipe simulator needs to
+/// execute and time one application.
+#[derive(Debug, Clone)]
+pub struct SparsepipeProgram {
+    /// The source graph (kept for functional execution / validation).
+    pub graph: DataflowGraph,
+    /// Analysis results (fusion groups, OEI subgraph, taint).
+    pub analysis: Analysis,
+    /// The OS core's semiring opcode (first fused matrix op).
+    pub os_semiring: SemiringOp,
+    /// The IS core's semiring opcode (second fused matrix op; equals
+    /// `os_semiring` for single-`vxm` loops).
+    pub is_semiring: SemiringOp,
+    /// Compiled e-wise programs, one per fused group, with their tensor
+    /// interfaces.
+    pub ewise_programs: Vec<(EwiseProgram, GroupInterface)>,
+    /// The machine-independent workload profile.
+    pub profile: WorkloadProfile,
+}
+
+impl SparsepipeProgram {
+    /// Total e-wise arithmetic instructions per element (sum over groups).
+    pub fn ewise_arithmetic_per_element(&self) -> usize {
+        self.ewise_programs
+            .iter()
+            .map(|(p, _)| p.arithmetic_per_lane())
+            .sum()
+    }
+}
+
+/// Compiles a dataflow graph.
+///
+/// `feature_dim` is the dense feature width bound at runtime (1 for pure
+/// `vxm` applications, `f` for GCN-style SpMM applications).
+///
+/// # Errors
+///
+/// Returns [`FrontendError::Uncompilable`] if the graph has no matrix
+/// operator, or an e-wise group fails to compile.
+pub fn compile(graph: &DataflowGraph, feature_dim: usize) -> Result<SparsepipeProgram, FrontendError> {
+    let analysis = analysis::analyze(graph);
+    if analysis.matrix_ops.is_empty() {
+        return Err(FrontendError::Uncompilable {
+            context: "graph has no vxm/SpMM operator".into(),
+        });
+    }
+
+    let (os_op, is_op) = match &analysis.oei {
+        Some(oei) => (oei.os_op, oei.is_op),
+        None => (analysis.matrix_ops[0], analysis.matrix_ops[0]),
+    };
+    let semiring_of = |op| match graph.op(op).kind {
+        OpKind::Vxm { semiring }
+        | OpKind::Mxv { semiring }
+        | OpKind::SpMM { semiring }
+        | OpKind::Mxm { semiring } => semiring,
+        _ => unreachable!("matrix ops are vxm/spmm"),
+    };
+    let os_semiring = semiring_of(os_op);
+    let is_semiring = semiring_of(is_op);
+
+    let mut ewise_programs = Vec::new();
+    for group in &analysis.fused.groups {
+        ewise_programs.push(ewise_vm::compile_group(graph, group)?);
+    }
+
+    let profile = build_profile(graph, &analysis, &ewise_programs, feature_dim);
+
+    Ok(SparsepipeProgram {
+        graph: graph.clone(),
+        analysis,
+        os_semiring,
+        is_semiring,
+        ewise_programs,
+        profile,
+    })
+}
+
+fn build_profile(
+    graph: &DataflowGraph,
+    analysis: &Analysis,
+    ewise_programs: &[(EwiseProgram, GroupInterface)],
+    feature_dim: usize,
+) -> WorkloadProfile {
+    let feature = feature_dim.max(1) as f64;
+    let mut operators = Vec::new();
+    let mut unfused_reads = 0.0;
+    let mut unfused_writes = 0.0;
+    let mut ewise_flops = 0.0;
+    let mut dense_flops = 0.0;
+
+    // Matrix and DenseMM operators (always their own kernels).
+    for (_, op) in graph.ops() {
+        match op.kind {
+            OpKind::Mxm { semiring } => {
+                // SpMSpM: both operands stream; flops follow Gustavson's
+                // per-nnz fan-out (approximated as average-degree work).
+                operators.push(OperatorSummary {
+                    class: OperatorClass::Matrix,
+                    semiring: Some(semiring),
+                    unfused_vector_reads: 0.0,
+                    unfused_vector_writes: 0.0,
+                    flops_per_unit: 2.0,
+                });
+            }
+            OpKind::Vxm { semiring } | OpKind::Mxv { semiring } => {
+                operators.push(OperatorSummary {
+                    class: OperatorClass::Matrix,
+                    semiring: Some(semiring),
+                    unfused_vector_reads: 1.0,
+                    unfused_vector_writes: 1.0,
+                    flops_per_unit: 2.0, // mul + reduce per nnz
+                });
+                unfused_reads += 1.0;
+                unfused_writes += 1.0;
+            }
+            OpKind::SpMM { semiring } => {
+                operators.push(OperatorSummary {
+                    class: OperatorClass::Matrix,
+                    semiring: Some(semiring),
+                    unfused_vector_reads: feature,
+                    unfused_vector_writes: feature,
+                    flops_per_unit: 2.0 * feature,
+                });
+                unfused_reads += feature;
+                unfused_writes += feature;
+            }
+            OpKind::DenseMM => {
+                operators.push(OperatorSummary {
+                    class: OperatorClass::DenseMM,
+                    semiring: None,
+                    unfused_vector_reads: feature,
+                    unfused_vector_writes: feature,
+                    flops_per_unit: 2.0 * feature,
+                });
+                unfused_reads += feature;
+                unfused_writes += feature;
+                // Each of the n×f activation elements needs f MACs = 2f
+                // flops; `dense_flops_per_element` is per activation
+                // element (consumers multiply by n·f).
+                dense_flops += 2.0 * feature;
+            }
+            _ => {}
+        }
+    }
+
+    // Unfused e-wise: every e-wise op is a kernel streaming its vector
+    // operands and result.
+    for (_, op) in graph.ops() {
+        if !op.kind.is_ewise() {
+            continue;
+        }
+        let vec_inputs = op
+            .inputs
+            .iter()
+            .filter(|&&t| {
+                matches!(
+                    graph.tensor(t).kind,
+                    TensorKind::Vector | TensorKind::DenseMatrix
+                )
+            })
+            .count() as f64;
+        let writes = if graph.tensor(op.output).kind == TensorKind::Scalar {
+            0.0
+        } else {
+            1.0
+        } * feature;
+        unfused_reads += vec_inputs * feature;
+        unfused_writes += writes;
+        // per-lane cost: one instruction per op per element of the
+        // (n × feature) operand
+        ewise_flops += 1.0;
+    }
+
+    // Fused e-wise: one pass per group; reads = group input slots, writes =
+    // group output slots that are loop-carried or terminal (group outputs
+    // consumed by a matrix op stay on chip under OEI — but for the profile
+    // we still count them as writes when OEI is absent; the simulator and
+    // baselines refine this with their own buffering assumptions).
+    let mut fused_reads = 0.0;
+    let mut fused_writes = 0.0;
+    for (program, iface) in ewise_programs {
+        // vxm outputs arriving from the OS core are on-chip already.
+        let offchip_inputs = iface
+            .input_tensors
+            .iter()
+            .filter(|&&t| {
+                let node = graph.tensor(t);
+                match node.role {
+                    TensorRole::Input | TensorRole::Constant => true,
+                    TensorRole::Produced => {
+                        // produced by a non-e-wise op: a vxm output — it is
+                        // staged on chip by the pipeline
+                        graph
+                            .producer(t)
+                            .map(|p| graph.op(p).kind.is_ewise())
+                            .unwrap_or(true)
+                    }
+                }
+            })
+            .count() as f64;
+        fused_reads += offchip_inputs * feature;
+        fused_writes += program.n_outputs() as f64 * feature;
+        operators.push(OperatorSummary {
+            class: OperatorClass::FusedEwise,
+            semiring: None,
+            unfused_vector_reads: program.n_inputs() as f64 * feature,
+            unfused_vector_writes: program.n_outputs() as f64 * feature,
+            flops_per_unit: program.arithmetic_per_lane() as f64,
+        });
+    }
+    // vxm input vectors that are live-in (not produced on chip).
+    for &mop in &analysis.matrix_ops {
+        let input = graph.op(mop).inputs[0];
+        if matches!(
+            graph.tensor(input).role,
+            TensorRole::Input | TensorRole::Constant
+        ) {
+            fused_reads += feature;
+        }
+        // vxm result must be written back when nothing on chip consumes it
+        // (any in-graph consumer — e-wise, dense, or a fused second vxm —
+        // keeps it staged on chip)
+        let out = graph.op(mop).output;
+        let consumed_onchip = !graph.consumers(out).is_empty();
+        if !consumed_onchip {
+            fused_writes += feature;
+        }
+    }
+
+    let ewise_total: f64 = ewise_programs
+        .iter()
+        .map(|(p, _)| p.arithmetic_per_lane() as f64)
+        .sum();
+
+    WorkloadProfile {
+        has_oei: analysis.oei.is_some(),
+        cross_iteration: analysis.oei.as_ref().map(|o| o.cross_iteration).unwrap_or(false),
+        matrix_passes: analysis.matrix_ops.len(),
+        feature_dim: feature_dim.max(1),
+        ewise_flops_per_element: ewise_total.max(ewise_flops),
+        dense_flops_per_element: dense_flops,
+        fused_vector_reads: fused_reads,
+        fused_vector_writes: fused_writes,
+        unfused_vector_reads: unfused_reads,
+        unfused_vector_writes: unfused_writes,
+        operators,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use sparsepipe_semiring::EwiseBinary;
+
+    fn pagerank_graph() -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let pr = b.input_vector("pr");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(pr, l, SemiringOp::MulAdd).unwrap();
+        let s = b.ewise_scalar(EwiseBinary::Mul, y, 0.85).unwrap();
+        let next = b.ewise_scalar(EwiseBinary::Add, s, 0.15).unwrap();
+        let d = b.ewise(EwiseBinary::AbsDiff, next, pr).unwrap();
+        let _res = b.reduce(EwiseBinary::Add, d).unwrap();
+        b.carry(next, pr).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compiles_pagerank() {
+        let p = compile(&pagerank_graph(), 1).unwrap();
+        assert_eq!(p.os_semiring, SemiringOp::MulAdd);
+        assert_eq!(p.is_semiring, SemiringOp::MulAdd);
+        assert!(p.profile.has_oei);
+        assert!(p.profile.cross_iteration);
+        assert_eq!(p.profile.matrix_passes, 1);
+        assert_eq!(p.ewise_programs.len(), 1);
+        assert!(p.ewise_arithmetic_per_element() >= 3);
+    }
+
+    #[test]
+    fn fusion_reduces_vector_traffic() {
+        let p = compile(&pagerank_graph(), 1).unwrap();
+        let prof = &p.profile;
+        assert!(
+            prof.fused_vector_reads + prof.fused_vector_writes
+                < prof.unfused_vector_reads + prof.unfused_vector_writes,
+            "fusion must reduce vector traffic: fused {}+{} vs unfused {}+{}",
+            prof.fused_vector_reads,
+            prof.fused_vector_writes,
+            prof.unfused_vector_reads,
+            prof.unfused_vector_writes
+        );
+    }
+
+    #[test]
+    fn rejects_matrixless_graph() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let _ = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(compile(&g, 1).is_err());
+    }
+
+    #[test]
+    fn feature_dim_scales_traffic() {
+        let mut b = GraphBuilder::new();
+        let h = b.input_dense("H");
+        let a = b.constant_matrix("A");
+        let w = b.constant_dense("W");
+        let agg = b.spmm(h, a, SemiringOp::MulAdd).unwrap();
+        let lin = b.dense_mm(agg, w).unwrap();
+        let act = b
+            .ewise_unary(sparsepipe_semiring::EwiseUnary::Relu, lin)
+            .unwrap();
+        b.carry(act, h).unwrap();
+        let g = b.build().unwrap();
+
+        let p1 = compile(&g, 1).unwrap();
+        let p16 = compile(&g, 16).unwrap();
+        assert!(p16.profile.unfused_vector_reads > p1.profile.unfused_vector_reads * 8.0);
+        assert!(p16.profile.dense_flops_per_element > p1.profile.dense_flops_per_element);
+        assert!(p16.profile.has_oei);
+    }
+
+    #[test]
+    fn knn_profile_has_two_matrix_passes() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let a = b.constant_matrix("A");
+        let mid = b.vxm(v, a, SemiringOp::AndOr).unwrap();
+        let out = b.vxm(mid, a, SemiringOp::AndOr).unwrap();
+        b.carry(out, v).unwrap();
+        let g = b.build().unwrap();
+        let p = compile(&g, 1).unwrap();
+        assert_eq!(p.profile.matrix_passes, 2);
+        assert!(p.profile.has_oei);
+        assert!(!p.profile.cross_iteration);
+        assert_eq!(p.os_semiring, SemiringOp::AndOr);
+    }
+}

@@ -1,0 +1,84 @@
+//! Configurable semiring and element-wise operator algebra for sparse tensor
+//! algebra (STA) applications.
+//!
+//! GraphBLAS-style frameworks express STA applications over *semirings*: an
+//! algebraic structure `(⊕, ⊗, 0, 1)` where `⊕` replaces addition and `⊗`
+//! replaces multiplication in matrix/vector products. Sparsepipe (MICRO 2024,
+//! Table III) needs four semirings to cover its benchmark suite:
+//!
+//! | Semiring | `⊗` | `⊕` | used by |
+//! |---|---|---|---|
+//! | [`SemiringOp::MulAdd`]  | `a * b` | `a + b` | PageRank, k-core, label, GCN, GMRES, CG, BiCGSTAB |
+//! | [`SemiringOp::AndOr`]   | `a ∧ b` | `a ∨ b` | BFS, kNN |
+//! | [`SemiringOp::MinAdd`]  | `a + b` | `min(a, b)` | SSSP |
+//! | [`SemiringOp::ArilAdd`] | `if a { b } else { 0 }` | `a + b` | k-means++ init |
+//!
+//! Element-wise (*e-wise*) operations between `vxm`s use separate monoids /
+//! binary operators ([`EwiseBinary`], [`EwiseUnary`]), e.g. `Abs-Diff` for
+//! PageRank's residual.
+//!
+//! All values are carried as `f64`; boolean semirings encode `false`/`true`
+//! as `0.0`/`1.0` (any non-zero value is truthy). This single value type is
+//! what the simulated hardware datapath carries as well.
+//!
+//! Two dispatch styles are provided:
+//!
+//! * **Runtime dispatch** via the [`SemiringOp`] / [`EwiseBinary`] /
+//!   [`EwiseUnary`] opcode enums — this mirrors the hardware, where the
+//!   OS/IS cores are *configured* with a semiring opcode before execution
+//!   (§IV-C) and the E-Wise core executes pre-generated instructions.
+//! * **Static dispatch** via the [`Semiring`] trait and its marker
+//!   implementations ([`MulAdd`], [`AndOr`], [`MinAdd`], [`ArilAdd`]) for
+//!   zero-overhead reference kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsepipe_semiring::{SemiringOp, Semiring, MinAdd};
+//!
+//! // Runtime dispatch, as the simulated cores do:
+//! let op = SemiringOp::MinAdd;
+//! let d = op.add(op.mul(3.0, 2.0), 4.0); // min(3+2, 4)
+//! assert_eq!(d, 4.0);
+//!
+//! // Static dispatch for reference kernels:
+//! let d = MinAdd::add(MinAdd::mul(3.0, 2.0), 4.0);
+//! assert_eq!(d, 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ops;
+mod traits;
+
+pub use ops::{EwiseBinary, EwiseUnary, SemiringOp};
+pub use traits::{AndOr, ArilAdd, MinAdd, MulAdd, Semiring};
+
+/// Returns `true` if the value is "truthy" under the boolean encoding used
+/// throughout Sparsepipe (any non-zero `f64` is true).
+///
+/// ```
+/// assert!(sparsepipe_semiring::truthy(1.0));
+/// assert!(sparsepipe_semiring::truthy(-0.5));
+/// assert!(!sparsepipe_semiring::truthy(0.0));
+/// ```
+#[inline]
+pub fn truthy(v: f64) -> bool {
+    v != 0.0
+}
+
+/// Encodes a boolean into the `f64` value domain (`1.0` / `0.0`).
+///
+/// ```
+/// assert_eq!(sparsepipe_semiring::encode_bool(true), 1.0);
+/// assert_eq!(sparsepipe_semiring::encode_bool(false), 0.0);
+/// ```
+#[inline]
+pub fn encode_bool(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,416 @@
+//! Runtime-dispatched operator opcodes.
+//!
+//! These enums are the "ISA" shared between the frontend compiler
+//! (`sparsepipe-frontend`) and the simulated compute cores
+//! (`sparsepipe-core`): the compiler lowers a dataflow graph to opcodes, and
+//! the cores are configured with them before execution, exactly as §IV-F of
+//! the paper describes ("the compiler generates opcodes for the OS and IS
+//! core operations").
+
+use serde::{Deserialize, Serialize};
+
+use crate::{encode_bool, truthy};
+
+/// A semiring `(⊕, ⊗, 0, 1)` opcode for `vxm`/`mxm` operations.
+///
+/// The *additive identity* [`SemiringOp::zero`] is the implicit value of
+/// absent sparse entries; the *multiplicative identity* [`SemiringOp::one`]
+/// satisfies `mul(one, b) == b` for all in-domain `b`.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_semiring::SemiringOp;
+/// let s = SemiringOp::AndOr;
+/// assert_eq!(s.mul(1.0, 1.0), 1.0);
+/// assert_eq!(s.add(0.0, 1.0), 1.0);
+/// assert_eq!(s.zero(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SemiringOp {
+    /// Arithmetic `(+, ×)` — the conventional semiring.
+    MulAdd,
+    /// Boolean `(∨, ∧)` over the `0.0`/`1.0` encoding.
+    AndOr,
+    /// Tropical `(min, +)`: path-length accumulation for SSSP.
+    MinAdd,
+    /// "Aril"-add (Table III footnote): `⊗` assigns the right-hand input if
+    /// the left-hand input evaluates true, else the additive identity.
+    ArilAdd,
+}
+
+impl SemiringOp {
+    /// All semiring opcodes, in a stable order.
+    pub const ALL: [SemiringOp; 4] = [
+        SemiringOp::MulAdd,
+        SemiringOp::AndOr,
+        SemiringOp::MinAdd,
+        SemiringOp::ArilAdd,
+    ];
+
+    /// The semiring's multiplicative operation `a ⊗ b`.
+    #[inline]
+    pub fn mul(self, a: f64, b: f64) -> f64 {
+        match self {
+            SemiringOp::MulAdd => a * b,
+            SemiringOp::AndOr => encode_bool(truthy(a) && truthy(b)),
+            SemiringOp::MinAdd => a + b,
+            SemiringOp::ArilAdd => {
+                if truthy(a) {
+                    b
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The semiring's additive (reduction) operation `a ⊕ b`.
+    #[inline]
+    pub fn add(self, a: f64, b: f64) -> f64 {
+        match self {
+            SemiringOp::MulAdd | SemiringOp::ArilAdd => a + b,
+            SemiringOp::AndOr => encode_bool(truthy(a) || truthy(b)),
+            SemiringOp::MinAdd => a.min(b),
+        }
+    }
+
+    /// The additive identity `0` (value of absent sparse entries; the
+    /// initial value of every reduction).
+    #[inline]
+    pub fn zero(self) -> f64 {
+        match self {
+            SemiringOp::MulAdd | SemiringOp::AndOr | SemiringOp::ArilAdd => 0.0,
+            SemiringOp::MinAdd => f64::INFINITY,
+        }
+    }
+
+    /// The multiplicative identity `1`.
+    ///
+    /// For `ArilAdd` the left operand acts as a gate; any truthy value is an
+    /// identity on the right operand, so `1.0` is returned.
+    #[inline]
+    pub fn one(self) -> f64 {
+        match self {
+            SemiringOp::MulAdd | SemiringOp::AndOr | SemiringOp::ArilAdd => 1.0,
+            SemiringOp::MinAdd => 0.0,
+        }
+    }
+
+    /// Reduces an iterator with `⊕`, starting from [`SemiringOp::zero`].
+    ///
+    /// ```
+    /// use sparsepipe_semiring::SemiringOp;
+    /// let r = SemiringOp::MinAdd.reduce([3.0, 1.0, 2.0]);
+    /// assert_eq!(r, 1.0);
+    /// ```
+    pub fn reduce<I: IntoIterator<Item = f64>>(self, it: I) -> f64 {
+        it.into_iter().fold(self.zero(), |acc, v| self.add(acc, v))
+    }
+
+    /// Short mnemonic used in reports and tables (e.g. `"Mul-Add"`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SemiringOp::MulAdd => "Mul-Add",
+            SemiringOp::AndOr => "And-Or",
+            SemiringOp::MinAdd => "Min-Add",
+            SemiringOp::ArilAdd => "Aril-Add",
+        }
+    }
+}
+
+impl std::fmt::Display for SemiringOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Binary element-wise operator opcode for the E-Wise core.
+///
+/// ```
+/// use sparsepipe_semiring::EwiseBinary;
+/// assert_eq!(EwiseBinary::AbsDiff.apply(3.0, 5.0), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EwiseBinary {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b` (IEEE-754 semantics; division by zero yields ±inf/NaN)
+    Div,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `|a - b|` — PageRank's residual monoid.
+    AbsDiff,
+    /// `if a != 0 { b } else { 0 }` — masked assignment (the e-wise cousin of
+    /// the Aril gate).
+    Select,
+    /// `a` (projection; useful after fusion rewires operand order)
+    First,
+    /// `b`
+    Second,
+    /// `a < b` as `0.0`/`1.0`
+    Less,
+    /// `a > b` as `0.0`/`1.0`
+    Greater,
+    /// `a == b` as `0.0`/`1.0`
+    Equal,
+    /// `a ∧ b` over the boolean encoding
+    And,
+    /// `a ∨ b` over the boolean encoding
+    Or,
+}
+
+impl EwiseBinary {
+    /// All binary opcodes, in a stable order.
+    pub const ALL: [EwiseBinary; 15] = [
+        EwiseBinary::Add,
+        EwiseBinary::Sub,
+        EwiseBinary::Mul,
+        EwiseBinary::Div,
+        EwiseBinary::Min,
+        EwiseBinary::Max,
+        EwiseBinary::AbsDiff,
+        EwiseBinary::Select,
+        EwiseBinary::First,
+        EwiseBinary::Second,
+        EwiseBinary::Less,
+        EwiseBinary::Greater,
+        EwiseBinary::Equal,
+        EwiseBinary::And,
+        EwiseBinary::Or,
+    ];
+
+    /// Applies the operator.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            EwiseBinary::Add => a + b,
+            EwiseBinary::Sub => a - b,
+            EwiseBinary::Mul => a * b,
+            EwiseBinary::Div => a / b,
+            EwiseBinary::Min => a.min(b),
+            EwiseBinary::Max => a.max(b),
+            EwiseBinary::AbsDiff => (a - b).abs(),
+            EwiseBinary::Select => {
+                if truthy(a) {
+                    b
+                } else {
+                    0.0
+                }
+            }
+            EwiseBinary::First => a,
+            EwiseBinary::Second => b,
+            EwiseBinary::Less => encode_bool(a < b),
+            EwiseBinary::Greater => encode_bool(a > b),
+            EwiseBinary::Equal => encode_bool(a == b),
+            EwiseBinary::And => encode_bool(truthy(a) && truthy(b)),
+            EwiseBinary::Or => encode_bool(truthy(a) || truthy(b)),
+        }
+    }
+
+    /// `true` for operators that are commutative over their full domain.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            EwiseBinary::Add
+                | EwiseBinary::Mul
+                | EwiseBinary::Min
+                | EwiseBinary::Max
+                | EwiseBinary::AbsDiff
+                | EwiseBinary::Equal
+                | EwiseBinary::And
+                | EwiseBinary::Or
+        )
+    }
+}
+
+/// Unary element-wise operator opcode for the E-Wise core.
+///
+/// ```
+/// use sparsepipe_semiring::EwiseUnary;
+/// assert_eq!(EwiseUnary::Relu.apply(-2.0), 0.0);
+/// assert_eq!(EwiseUnary::Relu.apply(2.0), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EwiseUnary {
+    /// `v`
+    Identity,
+    /// `-v`
+    Neg,
+    /// `|v|`
+    Abs,
+    /// `1 / v`
+    Recip,
+    /// `max(v, 0)` — GCN's activation.
+    Relu,
+    /// `√v`
+    Sqrt,
+    /// `¬v` over the boolean encoding
+    Not,
+    /// `v²` (self-multiply; used by norm computations)
+    Square,
+}
+
+impl EwiseUnary {
+    /// All unary opcodes, in a stable order.
+    pub const ALL: [EwiseUnary; 8] = [
+        EwiseUnary::Identity,
+        EwiseUnary::Neg,
+        EwiseUnary::Abs,
+        EwiseUnary::Recip,
+        EwiseUnary::Relu,
+        EwiseUnary::Sqrt,
+        EwiseUnary::Not,
+        EwiseUnary::Square,
+    ];
+
+    /// Applies the operator.
+    #[inline]
+    pub fn apply(self, v: f64) -> f64 {
+        match self {
+            EwiseUnary::Identity => v,
+            EwiseUnary::Neg => -v,
+            EwiseUnary::Abs => v.abs(),
+            EwiseUnary::Recip => 1.0 / v,
+            EwiseUnary::Relu => v.max(0.0),
+            EwiseUnary::Sqrt => v.sqrt(),
+            EwiseUnary::Not => encode_bool(!truthy(v)),
+            EwiseUnary::Square => v * v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn muladd_is_arithmetic() {
+        let s = SemiringOp::MulAdd;
+        assert_eq!(s.mul(3.0, 4.0), 12.0);
+        assert_eq!(s.add(3.0, 4.0), 7.0);
+        assert_eq!(s.zero(), 0.0);
+        assert_eq!(s.one(), 1.0);
+    }
+
+    #[test]
+    fn andor_truth_table() {
+        let s = SemiringOp::AndOr;
+        for (a, b, and, or) in [
+            (0.0, 0.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0, 1.0),
+            (1.0, 0.0, 0.0, 1.0),
+            (1.0, 1.0, 1.0, 1.0),
+        ] {
+            assert_eq!(s.mul(a, b), and);
+            assert_eq!(s.add(a, b), or);
+        }
+        // Non-canonical truthy values behave like `true`.
+        assert_eq!(s.mul(2.5, -1.0), 1.0);
+    }
+
+    #[test]
+    fn minadd_is_tropical() {
+        let s = SemiringOp::MinAdd;
+        assert_eq!(s.mul(2.0, 3.0), 5.0);
+        assert_eq!(s.add(2.0, 3.0), 2.0);
+        assert_eq!(s.zero(), f64::INFINITY);
+        assert_eq!(s.one(), 0.0);
+        // zero annihilates under ⊗ (inf + x = inf)
+        assert_eq!(s.mul(s.zero(), 7.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn aril_gates_right_operand() {
+        let s = SemiringOp::ArilAdd;
+        assert_eq!(s.mul(1.0, 9.0), 9.0);
+        assert_eq!(s.mul(0.0, 9.0), 0.0);
+        assert_eq!(s.add(2.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn identities_hold_for_all_semirings() {
+        for s in SemiringOp::ALL {
+            // In-domain values: AndOr's carrier set is {0, 1}.
+            let domain: &[f64] = if s == SemiringOp::AndOr {
+                &[0.0, 1.0]
+            } else {
+                &[0.0, 1.0, 2.5, -3.0]
+            };
+            for &v in domain {
+                // one ⊗ v == v
+                assert_eq!(s.mul(s.one(), v), v, "one is not ⊗-identity for {s:?}");
+                // zero ⊕ v == v
+                assert_eq!(s.add(s.zero(), v), v, "zero is not ⊕-identity for {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_annihilates_for_all_semirings() {
+        // For the boolean domain only boolean values are in-domain.
+        for s in SemiringOp::ALL {
+            for v in [0.0, 1.0, 4.0] {
+                assert_eq!(
+                    s.mul(s.zero(), v),
+                    s.zero(),
+                    "zero does not ⊗-annihilate on the left for {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_folds_from_zero() {
+        assert_eq!(SemiringOp::MulAdd.reduce([1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(SemiringOp::MinAdd.reduce([] as [f64; 0]), f64::INFINITY);
+        assert_eq!(SemiringOp::AndOr.reduce([0.0, 0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn ewise_binary_semantics() {
+        assert_eq!(EwiseBinary::AbsDiff.apply(1.0, 4.0), 3.0);
+        assert_eq!(EwiseBinary::Select.apply(0.0, 4.0), 0.0);
+        assert_eq!(EwiseBinary::Select.apply(2.0, 4.0), 4.0);
+        assert_eq!(EwiseBinary::First.apply(1.0, 2.0), 1.0);
+        assert_eq!(EwiseBinary::Second.apply(1.0, 2.0), 2.0);
+        assert_eq!(EwiseBinary::Less.apply(1.0, 2.0), 1.0);
+        assert_eq!(EwiseBinary::Greater.apply(1.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn ewise_commutativity_flags_are_accurate() {
+        for op in EwiseBinary::ALL {
+            if op.is_commutative() {
+                for (a, b) in [(1.5, -2.0), (0.0, 3.0), (4.0, 4.0)] {
+                    assert_eq!(op.apply(a, b), op.apply(b, a), "{op:?} not commutative");
+                }
+            }
+        }
+        assert!(!EwiseBinary::Sub.is_commutative());
+        assert!(!EwiseBinary::Select.is_commutative());
+    }
+
+    #[test]
+    fn ewise_unary_semantics() {
+        assert_eq!(EwiseUnary::Neg.apply(2.0), -2.0);
+        assert_eq!(EwiseUnary::Abs.apply(-2.0), 2.0);
+        assert_eq!(EwiseUnary::Recip.apply(4.0), 0.25);
+        assert_eq!(EwiseUnary::Sqrt.apply(9.0), 3.0);
+        assert_eq!(EwiseUnary::Not.apply(0.0), 1.0);
+        assert_eq!(EwiseUnary::Not.apply(3.0), 0.0);
+        assert_eq!(EwiseUnary::Square.apply(-3.0), 9.0);
+    }
+
+    #[test]
+    fn display_mnemonics() {
+        assert_eq!(SemiringOp::MulAdd.to_string(), "Mul-Add");
+        assert_eq!(SemiringOp::ArilAdd.to_string(), "Aril-Add");
+    }
+}

@@ -1,0 +1,174 @@
+//! Statically dispatched semirings.
+//!
+//! The marker types here mirror [`SemiringOp`](crate::SemiringOp) but allow
+//! monomorphized reference kernels (used by the golden-model interpreter and
+//! by tests that check the runtime-dispatch table against a known-good
+//! static implementation).
+
+use crate::{encode_bool, truthy, SemiringOp};
+
+/// A semiring `(⊕, ⊗, 0, 1)` over `f64` with static dispatch.
+///
+/// Implementors are zero-sized marker types; see [`MulAdd`], [`AndOr`],
+/// [`MinAdd`], [`ArilAdd`]. The trait is sealed: the opcode enum carried by
+/// compiled programs must stay in one-to-one correspondence with trait
+/// implementations, so downstream crates cannot add more.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_semiring::{Semiring, MulAdd};
+///
+/// fn dot<S: Semiring>(a: &[f64], b: &[f64]) -> f64 {
+///     a.iter().zip(b).fold(S::ZERO, |acc, (&x, &y)| S::add(acc, S::mul(x, y)))
+/// }
+///
+/// assert_eq!(dot::<MulAdd>(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub trait Semiring: private::Sealed + Copy + Send + Sync + 'static {
+    /// The additive identity (implicit value of absent sparse entries).
+    const ZERO: f64;
+    /// The multiplicative identity.
+    const ONE: f64;
+    /// The runtime opcode this semiring corresponds to.
+    const OPCODE: SemiringOp;
+
+    /// `a ⊗ b`
+    fn mul(a: f64, b: f64) -> f64;
+    /// `a ⊕ b`
+    fn add(a: f64, b: f64) -> f64;
+}
+
+/// Arithmetic `(+, ×)` semiring. See [`Semiring`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct MulAdd;
+
+/// Boolean `(∨, ∧)` semiring over the `0.0`/`1.0` encoding. See [`Semiring`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct AndOr;
+
+/// Tropical `(min, +)` semiring. See [`Semiring`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct MinAdd;
+
+/// Gated-assignment semiring (Table III footnote). See [`Semiring`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ArilAdd;
+
+impl Semiring for MulAdd {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    const OPCODE: SemiringOp = SemiringOp::MulAdd;
+
+    #[inline]
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+
+    #[inline]
+    fn add(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+impl Semiring for AndOr {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    const OPCODE: SemiringOp = SemiringOp::AndOr;
+
+    #[inline]
+    fn mul(a: f64, b: f64) -> f64 {
+        encode_bool(truthy(a) && truthy(b))
+    }
+
+    #[inline]
+    fn add(a: f64, b: f64) -> f64 {
+        encode_bool(truthy(a) || truthy(b))
+    }
+}
+
+impl Semiring for MinAdd {
+    const ZERO: f64 = f64::INFINITY;
+    const ONE: f64 = 0.0;
+    const OPCODE: SemiringOp = SemiringOp::MinAdd;
+
+    #[inline]
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    #[inline]
+    fn add(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+}
+
+impl Semiring for ArilAdd {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    const OPCODE: SemiringOp = SemiringOp::ArilAdd;
+
+    #[inline]
+    fn mul(a: f64, b: f64) -> f64 {
+        if truthy(a) {
+            b
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn add(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::MulAdd {}
+    impl Sealed for super::AndOr {}
+    impl Sealed for super::MinAdd {}
+    impl Sealed for super::ArilAdd {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every static semiring must agree with its runtime opcode on a grid of
+    /// values — this pins the two dispatch paths together.
+    #[test]
+    fn static_and_runtime_dispatch_agree() {
+        fn check<S: Semiring>() {
+            let op = S::OPCODE;
+            assert_eq!(S::ZERO, op.zero());
+            assert_eq!(S::ONE, op.one());
+            let grid = [0.0, 1.0, -1.0, 2.5, 100.0];
+            for &a in &grid {
+                for &b in &grid {
+                    assert_eq!(S::mul(a, b), op.mul(a, b), "mul mismatch for {op:?}");
+                    assert_eq!(S::add(a, b), op.add(a, b), "add mismatch for {op:?}");
+                }
+            }
+        }
+        check::<MulAdd>();
+        check::<AndOr>();
+        check::<MinAdd>();
+        check::<ArilAdd>();
+    }
+
+    #[test]
+    fn generic_dot_product_works_per_semiring() {
+        fn dot<S: Semiring>(a: &[f64], b: &[f64]) -> f64 {
+            a.iter()
+                .zip(b)
+                .fold(S::ZERO, |acc, (&x, &y)| S::add(acc, S::mul(x, y)))
+        }
+        assert_eq!(dot::<MulAdd>(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        // Tropical dot = shortest combined hop
+        assert_eq!(dot::<MinAdd>(&[1.0, 2.0], &[10.0, 1.0]), 3.0);
+        // Boolean dot = "any pair both true"
+        assert_eq!(dot::<AndOr>(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(dot::<AndOr>(&[1.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+}

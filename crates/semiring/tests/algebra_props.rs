@@ -1,0 +1,135 @@
+//! Property-based tests of the semiring algebra: the laws the OEI
+//! dataflow's correctness argument leans on. Reordering the reduction of
+//! a `vxm` (which OS/IS stationarity changes do) is only sound because
+//! `⊕` is commutative and associative with identity `0`.
+
+use proptest::prelude::*;
+use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
+
+/// Maps an arbitrary f64 into the semiring's carrier set.
+fn into_domain(s: SemiringOp, v: f64) -> f64 {
+    match s {
+        SemiringOp::AndOr => ((v > 0.0) as u8) as f64,
+        _ => v,
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+        || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+        || (a.is_nan() && b.is_nan())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ⊕ is commutative and associative; 0 is its identity.
+    #[test]
+    fn additive_monoid_laws(raw in proptest::collection::vec(-16.0f64..16.0, 3)) {
+        for s in SemiringOp::ALL {
+            let (a, b, c) = (
+                into_domain(s, raw[0]),
+                into_domain(s, raw[1]),
+                into_domain(s, raw[2]),
+            );
+            prop_assert!(close(s.add(a, b), s.add(b, a)));
+            prop_assert!(close(s.add(s.add(a, b), c), s.add(a, s.add(b, c))));
+            prop_assert!(close(s.add(s.zero(), a), a));
+            prop_assert!(close(s.add(a, s.zero()), a));
+        }
+    }
+
+    /// 1 is the ⊗-identity and 0 ⊗-annihilates, on both sides where the
+    /// law applies (ArilAdd's gate is one-sided by definition: the LEFT
+    /// operand gates).
+    #[test]
+    fn multiplicative_identities(raw in -16.0f64..16.0) {
+        for s in SemiringOp::ALL {
+            let a = into_domain(s, raw);
+            prop_assert!(close(s.mul(s.one(), a), a), "{:?}: 1⊗{} ≠ {}", s, a, a);
+            prop_assert!(close(s.mul(s.zero(), a), s.zero()));
+            if s != SemiringOp::ArilAdd {
+                prop_assert!(close(s.mul(a, s.one()), a));
+                prop_assert!(close(s.mul(a, s.zero()), s.zero()));
+            }
+        }
+    }
+
+    /// ⊗ distributes over ⊕ from the left — the law that lets a dot
+    /// product be computed as a scatter of partial products (the IS
+    /// dataflow) instead of a gather (the OS dataflow).
+    #[test]
+    fn left_distributivity(raw in proptest::collection::vec(-8.0f64..8.0, 3)) {
+        for s in [SemiringOp::MulAdd, SemiringOp::MinAdd, SemiringOp::AndOr] {
+            let (a, b, c) = (
+                into_domain(s, raw[0]),
+                into_domain(s, raw[1]),
+                into_domain(s, raw[2]),
+            );
+            let lhs = s.mul(a, s.add(b, c));
+            let rhs = s.add(s.mul(a, b), s.mul(a, c));
+            prop_assert!(close(lhs, rhs), "{:?}: {}⊗({}⊕{}) = {} ≠ {}", s, a, b, c, lhs, rhs);
+        }
+    }
+
+    /// `reduce` equals a plain fold from `zero` in any order (by
+    /// commutativity/associativity, tested on a shuffled copy).
+    #[test]
+    fn reduce_is_order_independent(
+        raw in proptest::collection::vec(-8.0f64..8.0, 0..12),
+        rot in 0usize..12,
+    ) {
+        for s in SemiringOp::ALL {
+            let vals: Vec<f64> = raw.iter().map(|&v| into_domain(s, v)).collect();
+            let forward = s.reduce(vals.iter().copied());
+            let mut rotated = vals.clone();
+            let len = rotated.len();
+            if len > 0 {
+                rotated.rotate_left(rot % len);
+            }
+            let shuffled = s.reduce(rotated.into_iter());
+            prop_assert!(close(forward, shuffled));
+        }
+    }
+
+    /// Every e-wise binary op is total over finite inputs, and the
+    /// commutativity flag is truthful.
+    #[test]
+    fn ewise_binary_totality_and_commutativity(a in -32.0f64..32.0, b in -32.0f64..32.0) {
+        for op in EwiseBinary::ALL {
+            let r = op.apply(a, b);
+            // Div may produce inf for tiny b; everything else stays finite
+            if op != EwiseBinary::Div {
+                prop_assert!(r.is_finite(), "{:?}({}, {}) = {}", op, a, b, r);
+            }
+            if op.is_commutative() {
+                let r2 = op.apply(b, a);
+                prop_assert!(close(r, r2) || (r.is_nan() && r2.is_nan()));
+            }
+        }
+    }
+
+    /// Unary ops are total over finite inputs (except Recip at 0 / Sqrt of
+    /// negatives, which follow IEEE semantics).
+    #[test]
+    fn ewise_unary_totality(v in -32.0f64..32.0) {
+        for op in EwiseUnary::ALL {
+            let r = op.apply(v);
+            match op {
+                EwiseUnary::Recip if v == 0.0 => prop_assert!(r.is_infinite()),
+                EwiseUnary::Sqrt if v < 0.0 => prop_assert!(r.is_nan()),
+                _ => prop_assert!(r.is_finite(), "{:?}({}) = {}", op, v, r),
+            }
+        }
+    }
+
+    /// Boolean encoding is closed: And-Or never leaves {0, 1}.
+    #[test]
+    fn boolean_domain_is_closed(a in any::<bool>(), b in any::<bool>()) {
+        let s = SemiringOp::AndOr;
+        let (x, y) = (a as u8 as f64, b as u8 as f64);
+        for r in [s.mul(x, y), s.add(x, y)] {
+            prop_assert!(r == 0.0 || r == 1.0);
+        }
+    }
+}

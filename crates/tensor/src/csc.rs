@@ -1,0 +1,269 @@
+//! Compressed sparse column (CSC) matrix.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CooMatrix, CsrMatrix, DenseVector, TensorError};
+
+/// A sparse matrix in compressed-sparse-column form.
+///
+/// Column `c`'s entries occupy `row_idx[col_ptr[c]..col_ptr[c+1]]` (row
+/// indices, ascending) and `vals[col_ptr[c]..col_ptr[c+1]]`. CSC is the
+/// column-order half of Sparsepipe's dual storage: the OS core streams
+/// matrix *columns* from it to compute one output element per
+/// column-vector dot product (§IV-B).
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_tensor::{CooMatrix, CscMatrix};
+/// let coo = CooMatrix::from_entries(3, 2, vec![(0, 1, 2.0), (2, 0, 3.0)])?;
+/// let csc = CscMatrix::from_coo(&coo);
+/// assert_eq!(csc.col(0), (&[2u32][..], &[3.0][..]));
+/// # Ok::<(), sparsepipe_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CscMatrix {
+    nrows: u32,
+    ncols: u32,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from a COO matrix (counting sort by column).
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let ncols = coo.ncols();
+        let mut col_ptr = vec![0usize; ncols as usize + 1];
+        for &(_, c, _) in coo.entries() {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..ncols as usize {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0u32; coo.nnz()];
+        let mut vals = vec![0.0f64; coo.nnz()];
+        // COO entries are row-major sorted, so within each column the rows
+        // arrive in ascending order — the scatter below preserves that.
+        for &(r, c, v) in coo.entries() {
+            let pos = cursor[c as usize];
+            row_idx[pos] = r;
+            vals[pos] = v;
+            cursor[c as usize] += 1;
+        }
+        CscMatrix {
+            nrows: coo.nrows(),
+            ncols,
+            col_ptr,
+            row_idx,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The column-pointer array (`ncols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row-index array (ascending within each column).
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// The value array, parallel to [`CscMatrix::row_idx`].
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Row indices and values of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols`.
+    pub fn col(&self, c: u32) -> (&[u32], &[f64]) {
+        let lo = self.col_ptr[c as usize];
+        let hi = self.col_ptr[c as usize + 1];
+        (&self.row_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of non-zeros in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols`.
+    pub fn col_nnz(&self, c: u32) -> usize {
+        self.col_ptr[c as usize + 1] - self.col_ptr[c as usize]
+    }
+
+    /// Iterates over `(row, col, value)` triplets in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.ncols).flat_map(move |c| {
+            let (rows, vals) = self.col(c);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+
+    /// Converts back to COO form.
+    pub fn to_coo(&self) -> CooMatrix {
+        CooMatrix::from_entries(self.nrows, self.ncols, self.iter().collect())
+            .expect("CSC invariants guarantee valid COO")
+    }
+
+    /// Converts to CSR by transposition of the index structure.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_coo(&self.to_coo())
+    }
+
+    /// Dense row-vector × sparse matrix, `y = xᵀ·A`, under a semiring given
+    /// by `mul`/`add`/`zero` closures.
+    ///
+    /// This is exactly the OS-dataflow computation (Fig 6a): output element
+    /// `y[c]` is the semiring dot product of column `c` with the input
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] if `x.len() != nrows`.
+    pub fn vxm_with<M, A>(
+        &self,
+        x: &DenseVector,
+        zero: f64,
+        mut mul: M,
+        mut add: A,
+    ) -> Result<DenseVector, TensorError>
+    where
+        M: FnMut(f64, f64) -> f64,
+        A: FnMut(f64, f64) -> f64,
+    {
+        if x.len() != self.nrows as usize {
+            return Err(TensorError::DimensionMismatch {
+                context: format!(
+                    "vxm: vector len {} vs matrix rows {}",
+                    x.len(),
+                    self.nrows
+                ),
+            });
+        }
+        let mut y = Vec::with_capacity(self.ncols as usize);
+        for c in 0..self.ncols {
+            let (rows, vals) = self.col(c);
+            let mut acc = zero;
+            for (&r, &v) in rows.iter().zip(vals) {
+                acc = add(acc, mul(x[r as usize], v));
+            }
+            y.push(acc);
+        }
+        Ok(DenseVector::from(y))
+    }
+
+    /// Dense row-vector × sparse matrix over a statically dispatched
+    /// semiring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] if `x.len() != nrows`.
+    pub fn vxm<S: sparsepipe_semiring::Semiring>(
+        &self,
+        x: &DenseVector,
+    ) -> Result<DenseVector, TensorError> {
+        self.vxm_with(x, S::ZERO, S::mul, S::add)
+    }
+
+    /// Total bytes of a plain CSC image: 4-byte row coordinate and 8-byte
+    /// value per non-zero, plus the column-pointer array.
+    pub fn storage_bytes(&self) -> usize {
+        self.nnz() * (crate::COORD_BYTES + crate::VALUE_BYTES)
+            + (self.ncols as usize + 1) * crate::COORD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_semiring::{AndOr, MulAdd};
+
+    fn sample() -> CscMatrix {
+        // [ .  2  . ]
+        // [ 3  .  4 ]
+        // [ .  5  . ]
+        CooMatrix::from_entries(
+            3,
+            3,
+            vec![(0, 1, 2.0), (1, 0, 3.0), (1, 2, 4.0), (2, 1, 5.0)],
+        )
+        .unwrap()
+        .to_csc()
+    }
+
+    #[test]
+    fn col_access() {
+        let m = sample();
+        assert_eq!(m.col(0), (&[1u32][..], &[3.0][..]));
+        assert_eq!(m.col(1), (&[0u32, 2][..], &[2.0, 5.0][..]));
+        assert_eq!(m.col_nnz(2), 1);
+    }
+
+    #[test]
+    fn rows_ascending_within_column() {
+        let m = crate::gen::uniform(64, 64, 512, 42).to_csc();
+        for c in 0..m.ncols() {
+            let (rows, _) = m.col(c);
+            for w in rows.windows(2) {
+                assert!(w[0] < w[1], "rows not strictly ascending in col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_csc_represent_same_matrix() {
+        let coo = crate::gen::uniform(50, 40, 300, 7);
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        assert_eq!(csr.to_coo(), csc.to_coo());
+    }
+
+    #[test]
+    fn vxm_is_transposed_spmv() {
+        let coo = crate::gen::uniform(30, 30, 200, 3);
+        let csc = coo.to_csc();
+        let csr_t = coo.transpose().to_csr();
+        let x = DenseVector::from((0..30).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
+        let via_vxm = csc.vxm::<MulAdd>(&x).unwrap();
+        let via_spmv = csr_t.spmv::<MulAdd>(&x).unwrap();
+        for (a, b) in via_vxm.as_slice().iter().zip(via_spmv.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vxm_boolean_frontier_expansion() {
+        // BFS step: frontier {0} over edge 0->... column reachability.
+        let m = sample();
+        let frontier = DenseVector::from(vec![1.0, 0.0, 0.0]);
+        let next = m.vxm::<AndOr>(&frontier).unwrap();
+        // Column 1 contains row 0 (edge 0->1), so vertex 1 is reached.
+        assert_eq!(next.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn vxm_rejects_bad_shape() {
+        let m = sample();
+        assert!(m.vxm::<MulAdd>(&DenseVector::zeros(2)).is_err());
+    }
+}

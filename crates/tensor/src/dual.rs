@@ -1,0 +1,97 @@
+//! Dual sparse storage (§IV-B of the paper).
+//!
+//! The OS core consumes the matrix in *column* order while the IS core
+//! consumes it in *row* order, and "no single sparse matrix storage format
+//! optimally supports both row and column data access simultaneously" — so
+//! Sparsepipe stores the input matrix in **both** CSC and CSR form. This
+//! doubles the DRAM image of the matrix (mitigated by the blocked format in
+//! [`crate::BlockedDualStorage`]) but gives each core a streaming-friendly
+//! layout.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CooMatrix, CscMatrix, CsrMatrix};
+
+/// A sparse matrix stored simultaneously in CSC and CSR order.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_tensor::{CooMatrix, DualStorage};
+/// let coo = CooMatrix::from_entries(2, 2, vec![(0, 1, 2.0), (1, 0, 3.0)])?;
+/// let dual = DualStorage::from_coo(&coo);
+/// assert_eq!(dual.csc().col(1).0, &[0u32]); // column access for the OS core
+/// assert_eq!(dual.csr().row(1).0, &[0u32]); // row access for the IS core
+/// # Ok::<(), sparsepipe_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DualStorage {
+    csc: CscMatrix,
+    csr: CsrMatrix,
+}
+
+impl DualStorage {
+    /// Builds both orderings from a COO matrix.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        DualStorage {
+            csc: CscMatrix::from_coo(coo),
+            csr: CsrMatrix::from_coo(coo),
+        }
+    }
+
+    /// The column-ordered (CSC) half, streamed by the OS core.
+    pub fn csc(&self) -> &CscMatrix {
+        &self.csc
+    }
+
+    /// The row-ordered (CSR) half, streamed by the IS core.
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> u32 {
+        self.csr.nrows()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u32 {
+        self.csc.ncols()
+    }
+
+    /// Number of stored non-zeros (each counted once, although two copies
+    /// exist physically).
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    /// Total DRAM bytes of the naive dual image: the CSC and CSR copies
+    /// "use redundant data arrays (with different orders)" (§IV-E2), so both
+    /// coordinate *and* value arrays are duplicated.
+    pub fn storage_bytes(&self) -> usize {
+        self.csc.storage_bytes() + self.csr.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_orders_agree() {
+        let coo = crate::gen::uniform(40, 40, 240, 11);
+        let dual = DualStorage::from_coo(&coo);
+        assert_eq!(dual.csc().to_coo(), dual.csr().to_coo());
+        assert_eq!(dual.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn storage_is_double_plus_pointers() {
+        let coo = crate::gen::uniform(64, 64, 400, 5);
+        let dual = DualStorage::from_coo(&coo);
+        let per_copy = coo.nnz() * 12;
+        // each copy also carries a pointer array
+        assert!(dual.storage_bytes() > 2 * per_copy);
+        assert!(dual.storage_bytes() < 2 * per_copy + 2 * 65 * 8);
+    }
+}

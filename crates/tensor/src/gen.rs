@@ -1,0 +1,396 @@
+//! Seeded synthetic sparse matrix generators.
+//!
+//! The Sparsepipe evaluation uses nine SuiteSparse matrices spanning graph
+//! topologies (power-law web/social graphs), FEM/circuit matrices (banded),
+//! meshes, and road networks. Without access to the originals, these
+//! generators produce matrices with controllable *locality structure* — the
+//! property the OEI dataflow's behaviour actually depends on (an element
+//! `A[r][c]` must stay on chip for `|r − c|` steps, so the distribution of
+//! coordinate spans determines buffer pressure).
+//!
+//! All generators are deterministic given a seed.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CooMatrix;
+
+/// Locality structure of a generated matrix.
+///
+/// Every generated entry picks one of three placement modes:
+///
+/// * **local** — `col = row ± offset` with a two-sided geometric offset of
+///   mean `local_span_frac · n` (bands, meshes, road networks);
+/// * **long** — uniformly random `(row, col)` (scattered structure);
+/// * **anti** — `col ≈ n − 1 − row` (anti-diagonal mass, the worst case for
+///   OEI live sets since such entries span nearly the whole execution).
+///
+/// `long_frac + anti_frac ≤ 1`; the remainder is local. `skew > 0` biases
+/// endpoint choice toward low indices with a power-law profile (hub
+/// vertices), which makes per-step traffic uneven — the effect Fig 15(d) of
+/// the paper attributes to the `wi` matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityMix {
+    /// Fraction of entries placed uniformly at random.
+    pub long_frac: f64,
+    /// Fraction of entries placed near the anti-diagonal.
+    pub anti_frac: f64,
+    /// Mean local offset as a fraction of the dimension.
+    pub local_span_frac: f64,
+    /// Power-law skew exponent for endpoint selection (0 = uniform).
+    pub skew: f64,
+}
+
+impl Default for LocalityMix {
+    /// Purely local structure with 1% mean span and no skew.
+    fn default() -> Self {
+        LocalityMix {
+            long_frac: 0.0,
+            anti_frac: 0.0,
+            local_span_frac: 0.01,
+            skew: 0.0,
+        }
+    }
+}
+
+/// Generates an `n×n` matrix with `nnz` target entries under the given
+/// [`LocalityMix`].
+///
+/// Duplicate coordinates are merged, so the realized `nnz()` can be slightly
+/// below the target for dense-ish or highly skewed configurations.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `mix.long_frac + mix.anti_frac > 1.0`.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_tensor::gen::{locality_mix, LocalityMix};
+/// let m = locality_mix(1000, 5000, LocalityMix::default(), 42);
+/// assert_eq!(m.nrows(), 1000);
+/// assert!(m.nnz() > 4500);
+/// ```
+pub fn locality_mix(n: u32, nnz: usize, mix: LocalityMix, seed: u64) -> CooMatrix {
+    assert!(n > 0, "matrix dimension must be positive");
+    assert!(
+        mix.long_frac + mix.anti_frac <= 1.0 + 1e-9,
+        "long_frac + anti_frac must not exceed 1"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::with_capacity(nnz);
+    let mean_span = (mix.local_span_frac * n as f64).max(1.0);
+    // Two-sided geometric: P(offset = k) ∝ q^|k|; mean |k| ≈ q/(1−q).
+    let q = mean_span / (mean_span + 1.0);
+    let unit = Uniform::new(0.0f64, 1.0);
+    for _ in 0..nnz {
+        let r = skewed_index(&mut rng, n, mix.skew);
+        let mode = unit.sample(&mut rng);
+        let c = if mode < mix.long_frac {
+            skewed_index(&mut rng, n, mix.skew)
+        } else if mode < mix.long_frac + mix.anti_frac {
+            // Anti-diagonal with a little jitter so rows are not singletons.
+            let target = n - 1 - r;
+            jitter(&mut rng, target, (n as f64 * 0.02).max(1.0), n)
+        } else {
+            let off = geometric(&mut rng, q);
+            let signed = if rng.gen::<bool>() { off } else { -off };
+            reflect(r as i64 + signed, n)
+        };
+        let v = 1.0 + unit.sample(&mut rng); // weights in (1, 2]
+        entries.push((r, c, v));
+    }
+    CooMatrix::from_entries(n, n, entries).expect("generated coordinates are in range")
+}
+
+/// Samples an index in `[0, n)`, biased toward 0 for `skew > 0`
+/// (`index = ⌊n · u^(1+skew)⌋`).
+fn skewed_index(rng: &mut StdRng, n: u32, skew: f64) -> u32 {
+    let u: f64 = rng.gen();
+    let x = if skew > 0.0 { u.powf(1.0 + skew) } else { u };
+    ((x * n as f64) as u32).min(n - 1)
+}
+
+/// Reflects an out-of-range index back into `[0, n)` (keeps local offsets
+/// local near the matrix edges, unlike wrap-around which would create
+/// spurious full-span entries).
+fn reflect(v: i64, n: u32) -> u32 {
+    let n = n as i64;
+    let mut v = v;
+    // One reflection is enough for |offset| < n; loop for robustness.
+    loop {
+        if v < 0 {
+            v = -v;
+        } else if v >= n {
+            v = 2 * (n - 1) - v;
+        } else {
+            return v as u32;
+        }
+    }
+}
+
+/// Samples a geometric offset with success probability `1 − q`.
+fn geometric(rng: &mut StdRng, q: f64) -> i64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / q.ln()).floor() as i64
+}
+
+/// Adds Gaussian-ish jitter (sum of two uniforms) around `target`, clamped
+/// to `[0, n)`.
+fn jitter(rng: &mut StdRng, target: u32, sigma: f64, n: u32) -> u32 {
+    let noise = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * sigma;
+    let v = target as f64 + noise;
+    (v.max(0.0) as u32).min(n - 1)
+}
+
+/// Uniformly random matrix: every entry is an independent uniform
+/// coordinate pair. This is the maximal-span structure (≈50% max live set
+/// under OEI; cf. the paper's `ca` at 49.9%).
+///
+/// # Example
+///
+/// ```
+/// let m = sparsepipe_tensor::gen::uniform(100, 100, 500, 1);
+/// assert!(m.nnz() <= 500 && m.nnz() > 450);
+/// ```
+pub fn uniform(nrows: u32, ncols: u32, nnz: usize, seed: u64) -> CooMatrix {
+    assert!(nrows > 0 && ncols > 0, "matrix dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = Uniform::new(0, nrows);
+    let cols = Uniform::new(0, ncols);
+    let entries = (0..nnz)
+        .map(|_| {
+            (
+                rows.sample(&mut rng),
+                cols.sample(&mut rng),
+                1.0 + rng.gen::<f64>(),
+            )
+        })
+        .collect();
+    CooMatrix::from_entries(nrows, ncols, entries).expect("generated coordinates are in range")
+}
+
+/// Banded matrix: entries within `bandwidth` of the diagonal (FEM/circuit
+/// structure; small OEI live sets).
+///
+/// # Example
+///
+/// ```
+/// let m = sparsepipe_tensor::gen::banded(200, 1000, 10, 2);
+/// for &(r, c, _) in m.entries() {
+///     assert!((r as i64 - c as i64).abs() <= 10);
+/// }
+/// ```
+pub fn banded(n: u32, nnz: usize, bandwidth: u32, seed: u64) -> CooMatrix {
+    assert!(n > 0, "matrix dimension must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = Uniform::new(0, n);
+    let w = bandwidth.max(1) as i64;
+    let offs = Uniform::new_inclusive(-w, w);
+    let entries = (0..nnz)
+        .map(|_| {
+            let r = rows.sample(&mut rng);
+            let c = (r as i64 + offs.sample(&mut rng)).clamp(0, n as i64 - 1) as u32;
+            (r, c, 1.0 + rng.gen::<f64>())
+        })
+        .collect();
+    CooMatrix::from_entries(n, n, entries).expect("generated coordinates are in range")
+}
+
+/// Power-law (scale-free) graph adjacency: both endpoints drawn with a
+/// power-law bias toward hub vertices, mixed with local edges.
+///
+/// `skew` ≈ 1–2 produces realistic hub concentration.
+pub fn power_law(n: u32, nnz: usize, skew: f64, locality: f64, seed: u64) -> CooMatrix {
+    locality_mix(
+        n,
+        nnz,
+        LocalityMix {
+            long_frac: (1.0 - locality).clamp(0.0, 1.0),
+            anti_frac: 0.0,
+            local_span_frac: 0.02,
+            skew,
+        },
+        seed,
+    )
+}
+
+/// 2-D mesh (5-point stencil minus the diagonal) on a `side × side` grid in
+/// row-major vertex numbering, with an extra fraction of random long-range
+/// edges (an "adaptive mesh refinement"-like structure).
+///
+/// # Example
+///
+/// ```
+/// let m = sparsepipe_tensor::gen::mesh2d(16, 0.0, 7);
+/// assert_eq!(m.nrows(), 256);
+/// ```
+pub fn mesh2d(side: u32, long_frac: f64, seed: u64) -> CooMatrix {
+    assert!(side > 1, "mesh side must be at least 2");
+    let n = side * side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            let v = y * side + x;
+            if x + 1 < side {
+                entries.push((v, v + 1, 1.0));
+                entries.push((v + 1, v, 1.0));
+            }
+            if y + 1 < side {
+                entries.push((v, v + side, 1.0));
+                entries.push((v + side, v, 1.0));
+            }
+        }
+    }
+    let extra = (entries.len() as f64 * long_frac) as usize;
+    let idx = Uniform::new(0, n);
+    for _ in 0..extra {
+        entries.push((idx.sample(&mut rng), idx.sample(&mut rng), 1.0));
+    }
+    CooMatrix::from_entries(n, n, entries).expect("generated coordinates are in range")
+}
+
+/// Road-network-like matrix: very short geometric spans (mean
+/// `span_frac · n`) and near-uniform degrees.
+pub fn road(n: u32, nnz: usize, span_frac: f64, seed: u64) -> CooMatrix {
+    locality_mix(
+        n,
+        nnz,
+        LocalityMix {
+            long_frac: 0.002,
+            anti_frac: 0.0,
+            local_span_frac: span_frac,
+            skew: 0.0,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform(100, 100, 500, 99);
+        let b = uniform(100, 100, 500, 99);
+        assert_eq!(a, b);
+        let c = uniform(100, 100, 500, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn locality_mix_rejects_bad_fractions() {
+        let result = std::panic::catch_unwind(|| {
+            locality_mix(
+                10,
+                10,
+                LocalityMix {
+                    long_frac: 0.7,
+                    anti_frac: 0.7,
+                    ..LocalityMix::default()
+                },
+                1,
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn local_structure_has_short_spans() {
+        let m = locality_mix(
+            10_000,
+            50_000,
+            LocalityMix {
+                local_span_frac: 0.01,
+                ..LocalityMix::default()
+            },
+            5,
+        );
+        let mean_span: f64 = m
+            .entries()
+            .iter()
+            .map(|&(r, c, _)| (r as i64 - c as i64).unsigned_abs() as f64)
+            .sum::<f64>()
+            / m.nnz() as f64;
+        // Offsets wrap, so a small tail can produce large spans; the bulk
+        // must stay near the requested 1% of n = 100.
+        assert!(mean_span < 400.0, "mean span {mean_span} too large");
+    }
+
+    #[test]
+    fn anti_structure_has_long_spans() {
+        let m = locality_mix(
+            1000,
+            5000,
+            LocalityMix {
+                anti_frac: 1.0,
+                local_span_frac: 0.0,
+                long_frac: 0.0,
+                skew: 0.0,
+            },
+            5,
+        );
+        let mean_span: f64 = m
+            .entries()
+            .iter()
+            .map(|&(r, c, _)| (r as i64 - c as i64).unsigned_abs() as f64)
+            .sum::<f64>()
+            / m.nnz() as f64;
+        // |r - (n-1-r)| averages n/2 for uniform r.
+        assert!(mean_span > 350.0, "mean span {mean_span} too short for anti");
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_indices() {
+        let skewed = locality_mix(
+            10_000,
+            20_000,
+            LocalityMix {
+                long_frac: 1.0,
+                anti_frac: 0.0,
+                local_span_frac: 0.0,
+                skew: 2.0,
+            },
+            3,
+        );
+        let low = skewed
+            .entries()
+            .iter()
+            .filter(|&&(r, _, _)| r < 1000)
+            .count();
+        // With skew 2 (u³ mapping), P(r < n/10) = 10^(-1/3) ≈ 0.46.
+        assert!(
+            low as f64 > 0.35 * skewed.nnz() as f64,
+            "only {low} of {} in the low decile",
+            skewed.nnz()
+        );
+    }
+
+    #[test]
+    fn mesh_has_grid_degree() {
+        let m = mesh2d(10, 0.0, 1);
+        // Interior vertices have degree 4 (x2 directions, symmetric).
+        assert_eq!(m.nnz(), (2 * 9 * 10 * 2) as usize);
+        let csr = m.to_csr();
+        assert_eq!(csr.row_nnz(5 * 10 + 5), 4);
+        assert_eq!(csr.row_nnz(0), 2); // corner
+    }
+
+    #[test]
+    fn banded_respects_bandwidth() {
+        let m = banded(500, 3000, 7, 4);
+        for &(r, c, _) in m.entries() {
+            assert!((r as i64 - c as i64).abs() <= 7);
+        }
+    }
+
+    #[test]
+    fn values_are_positive() {
+        for m in [uniform(50, 50, 200, 1), banded(50, 200, 3, 1)] {
+            assert!(m.entries().iter().all(|&(_, _, v)| v > 0.0));
+        }
+    }
+}

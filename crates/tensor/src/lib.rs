@@ -1,0 +1,70 @@
+//! Sparse tensor substrate for the Sparsepipe reproduction.
+//!
+//! This crate provides every tensor-side building block the Sparsepipe
+//! architecture (MICRO 2024) depends on:
+//!
+//! * **Formats** — [`CooMatrix`], [`CsrMatrix`], [`CscMatrix`],
+//!   [`DenseMatrix`], [`DenseVector`] with lossless conversions between them.
+//! * **Dual sparse storage** (§IV-B of the paper) — [`DualStorage`] keeps a
+//!   matrix in both CSC and CSR order so the OS core can stream columns while
+//!   the IS core streams rows.
+//! * **Blocked sparse storage** (§IV-E2) — [`BlockedDualStorage`] compresses
+//!   the dual storage with 256×256 non-zero blocks, 1-byte in-block
+//!   coordinates, and a shared data array (the UOP-CP-CP FiberTree layout).
+//! * **Sparse tensor preprocessing** (§IV-E1) — [`reorder::graph_order`] and
+//!   [`reorder::vanilla_triangular`] row/column reorderings.
+//! * **Synthetic dataset generators** ([`gen`], [`datasets`]) standing in for
+//!   the paper's nine SuiteSparse matrices (see `DESIGN.md` §3 for the
+//!   substitution record).
+//! * **OEI live-set analysis** ([`livesweep`]) — computes how much of the
+//!   matrix must be resident on chip to capture cross-iteration reuse; this
+//!   regenerates Table I.
+//! * **MatrixMarket I/O** ([`mm`]) for interoperability with real datasets.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sparsepipe_tensor::{CooMatrix, CsrMatrix};
+//!
+//! let coo = CooMatrix::from_entries(3, 3, vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)])?;
+//! let csr = CsrMatrix::from_coo(&coo);
+//! assert_eq!(csr.nnz(), 3);
+//! assert_eq!(csr.row(1), (&[2u32][..], &[3.0][..]));
+//! # Ok::<(), sparsepipe_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocked;
+mod coo;
+mod csc;
+mod csr;
+pub mod datasets;
+mod dense;
+mod dual;
+mod error;
+pub mod gen;
+pub mod livesweep;
+pub mod mm;
+pub mod reorder;
+pub mod spgemm;
+mod stats;
+
+pub use blocked::{BlockedDualStorage, BLOCK_DIM};
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use datasets::{DatasetSpec, MatrixId};
+pub use dense::{DenseMatrix, DenseVector};
+pub use dual::DualStorage;
+pub use error::TensorError;
+pub use stats::MatrixStats;
+
+/// Bytes occupied by one stored non-zero value (the paper evaluates with a
+/// 64-bit datatype, §VI-C).
+pub const VALUE_BYTES: usize = 8;
+
+/// Bytes occupied by one explicit coordinate in the non-blocked formats
+/// ("each coordinate requires at least 4 bytes", §IV-E2).
+pub const COORD_BYTES: usize = 4;

@@ -1,0 +1,207 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! Supports the subset of the NIST MatrixMarket format that SuiteSparse
+//! distributions use: `matrix coordinate` with `real`/`integer`/`pattern`
+//! fields and `general`/`symmetric` symmetry. This lets the harness run on
+//! the paper's real datasets when they are available, instead of the
+//! synthetic stand-ins.
+
+use std::io::{BufRead, Write};
+
+use crate::{CooMatrix, TensorError};
+
+/// Reads a matrix in MatrixMarket coordinate format.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Parse`] for malformed headers or entries and
+/// [`TensorError::Io`] for underlying read failures.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_tensor::mm;
+/// let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 2 5.0\n3 1 -1.0\n";
+/// let m = mm::read(text.as_bytes())?;
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.entries()[0], (0, 1, 5.0));
+/// # Ok::<(), sparsepipe_tensor::TensorError>(())
+/// ```
+pub fn read<R: BufRead>(reader: R) -> Result<CooMatrix, TensorError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header line.
+    let (_, header) = lines.next().ok_or_else(|| TensorError::Parse {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let header = header?;
+    let header_lc = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lc.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(TensorError::Parse {
+            line: 1,
+            message: format!("not a MatrixMarket header: {header:?}"),
+        });
+    }
+    if fields[2] != "coordinate" {
+        return Err(TensorError::Parse {
+            line: 1,
+            message: format!("unsupported storage {:?} (only coordinate)", fields[2]),
+        });
+    }
+    let pattern = match fields[3] {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(TensorError::Parse {
+                line: 1,
+                message: format!("unsupported field type {other:?}"),
+            })
+        }
+    };
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(TensorError::Parse {
+                line: 1,
+                message: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+
+    // Size line (first non-comment line).
+    let mut shape: Option<(u32, u32, usize)> = None;
+    let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        if shape.is_none() {
+            let nrows: u64 = parse_tok(&mut toks, line_no, "nrows")?;
+            let ncols: u64 = parse_tok(&mut toks, line_no, "ncols")?;
+            let nnz: usize = parse_tok(&mut toks, line_no, "nnz")?;
+            shape = Some((nrows as u32, ncols as u32, nnz));
+            entries.reserve(nnz);
+            continue;
+        }
+        let r: u64 = parse_tok(&mut toks, line_no, "row")?;
+        let c: u64 = parse_tok(&mut toks, line_no, "col")?;
+        if r == 0 || c == 0 {
+            return Err(TensorError::Parse {
+                line: line_no,
+                message: "MatrixMarket coordinates are 1-based".into(),
+            });
+        }
+        let v = if pattern {
+            1.0
+        } else {
+            let tok = toks.next().ok_or_else(|| TensorError::Parse {
+                line: line_no,
+                message: "missing value".into(),
+            })?;
+            tok.parse::<f64>().map_err(|e| TensorError::Parse {
+                line: line_no,
+                message: format!("bad value {tok:?}: {e}"),
+            })?
+        };
+        let (r, c) = ((r - 1) as u32, (c - 1) as u32);
+        entries.push((r, c, v));
+        if symmetric && r != c {
+            entries.push((c, r, v));
+        }
+    }
+    let (nrows, ncols, _) = shape.ok_or_else(|| TensorError::Parse {
+        line: 2,
+        message: "missing size line".into(),
+    })?;
+    CooMatrix::from_entries(nrows, ncols, entries)
+}
+
+fn parse_tok<'a, T: std::str::FromStr>(
+    toks: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<T, TensorError>
+where
+    T::Err: std::fmt::Display,
+{
+    let tok = toks.next().ok_or_else(|| TensorError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse::<T>().map_err(|e| TensorError::Parse {
+        line,
+        message: format!("bad {what} {tok:?}: {e}"),
+    })
+}
+
+/// Writes a matrix in MatrixMarket `coordinate real general` format.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on write failure.
+pub fn write<W: Write>(m: &CooMatrix, mut writer: W) -> Result<(), TensorError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by sparsepipe-tensor")?;
+    writeln!(writer, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for &(r, c, v) in m.entries() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let m = gen::uniform(30, 40, 100, 12);
+        let mut buf = Vec::new();
+        write(&m, &mut buf).unwrap();
+        let back = read(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let m = read(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 0, 1.0), (1, 1, 1.0)][..]);
+    }
+
+    #[test]
+    fn symmetric_matrices_are_mirrored() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let m = read(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 1, 5.0), (1, 0, 5.0), (2, 2, 1.0)][..]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read("hello\n1 1 0\n".as_bytes()).is_err());
+        assert!(read("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_coordinates() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("1-based"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% a\n\n% b\n2 2 1\n\n1 2 4.5\n";
+        let m = read(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 1, 4.5)][..]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Sparse × sparse matrix multiplication (SpMSpM) via Gustavson's
+//! row-by-row algorithm.
+//!
+//! SpMSpM is the operator the prior accelerators Sparsepipe compares
+//! against (GAMMA, OuterSPACE, SpArch, MatRaptor, ExTensor — §VII) were
+//! built for, and `mxm` is part of the GraphBLAS operator set the
+//! frontend abstraction exposes (§II-A). Gustavson's algorithm — for each
+//! row `i` of `A`, merge the rows `B[k][*]` for every `A[i][k] ≠ 0` into
+//! a sparse accumulator — is the dataflow GAMMA accelerates, so having it
+//! in the substrate both completes the operator set and provides the
+//! reference kernel for any future intra-operator comparison.
+
+use sparsepipe_semiring::SemiringOp;
+
+use crate::{CooMatrix, CsrMatrix, TensorError};
+
+/// Computes `C = A ⊕.⊗ B` over sparse operands with Gustavson's
+/// algorithm, under the given semiring. Entries that accumulate exactly
+/// to the semiring's zero are kept implicit (dropped).
+///
+/// Runs in `O(Σ_i Σ_{k ∈ A[i]} nnz(B[k]))` time with a dense-scratch
+/// accumulator of one row (`O(B.ncols())` space).
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] if `A.ncols() != B.nrows()`.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_tensor::{spgemm, CooMatrix};
+/// use sparsepipe_semiring::SemiringOp;
+///
+/// // path graph 0 -> 1 -> 2: A² is the 2-hop reachability 0 -> 2
+/// let a = CooMatrix::from_entries(3, 3, vec![(0, 1, 1.0), (1, 2, 1.0)])?.to_csr();
+/// let a2 = spgemm::spgemm(&a, &a, SemiringOp::AndOr)?;
+/// assert_eq!(a2.to_coo().entries(), &[(0, 2, 1.0)][..]);
+/// # Ok::<(), sparsepipe_tensor::TensorError>(())
+/// ```
+pub fn spgemm(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    semiring: SemiringOp,
+) -> Result<CsrMatrix, TensorError> {
+    if a.ncols() != b.nrows() {
+        return Err(TensorError::DimensionMismatch {
+            context: format!(
+                "spgemm: A is {}x{}, B is {}x{}",
+                a.nrows(),
+                a.ncols(),
+                b.nrows(),
+                b.ncols()
+            ),
+        });
+    }
+    let n_out_cols = b.ncols() as usize;
+    let zero = semiring.zero();
+
+    // Dense scratch row + touched-column list (the classic SPA).
+    let mut acc = vec![zero; n_out_cols];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+
+    for i in 0..a.nrows() {
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &a_ik) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                let j_us = j as usize;
+                if acc[j_us] == zero && !touched.contains(&j) {
+                    touched.push(j);
+                }
+                acc[j_us] = semiring.add(acc[j_us], semiring.mul(a_ik, b_kj));
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let v = acc[j as usize];
+            if v != zero {
+                entries.push((i, j, v));
+            }
+            acc[j as usize] = zero;
+        }
+        touched.clear();
+    }
+    Ok(CooMatrix::from_entries(a.nrows(), b.ncols(), entries)
+        .expect("coordinates in range")
+        .to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::DenseVector;
+
+    fn dense_of(m: &CsrMatrix) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; m.ncols() as usize]; m.nrows() as usize];
+        for (r, c, v) in m.iter() {
+            d[r as usize][c as usize] = v;
+        }
+        d
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = gen::uniform(24, 30, 120, 3).to_csr();
+        let b = gen::uniform(30, 18, 100, 4).to_csr();
+        let c = spgemm(&a, &b, SemiringOp::MulAdd).unwrap();
+        let (da, db, dc) = (dense_of(&a), dense_of(&b), dense_of(&c));
+        for i in 0..24 {
+            for j in 0..18 {
+                let mut expect = 0.0;
+                for k in 0..30 {
+                    expect += da[i][k] * db[k][j];
+                }
+                assert!((dc[i][j] - expect).abs() < 1e-9, "C[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let n = 20u32;
+        let eye = CooMatrix::from_entries(n, n, (0..n).map(|i| (i, i, 1.0)).collect())
+            .unwrap()
+            .to_csr();
+        let a = gen::uniform(n, n, 80, 9).to_csr();
+        let left = spgemm(&eye, &a, SemiringOp::MulAdd).unwrap();
+        let right = spgemm(&a, &eye, SemiringOp::MulAdd).unwrap();
+        assert_eq!(left.to_coo(), a.to_coo());
+        assert_eq!(right.to_coo(), a.to_coo());
+    }
+
+    #[test]
+    fn associativity_on_small_matrices() {
+        let a = gen::uniform(12, 12, 40, 1).to_csr();
+        let b = gen::uniform(12, 12, 40, 2).to_csr();
+        let c = gen::uniform(12, 12, 40, 3).to_csr();
+        let ab_c = spgemm(&spgemm(&a, &b, SemiringOp::MulAdd).unwrap(), &c, SemiringOp::MulAdd)
+            .unwrap();
+        let a_bc = spgemm(&a, &spgemm(&b, &c, SemiringOp::MulAdd).unwrap(), SemiringOp::MulAdd)
+            .unwrap();
+        let (d1, d2) = (dense_of(&ab_c), dense_of(&a_bc));
+        for i in 0..12 {
+            for j in 0..12 {
+                assert!((d1[i][j] - d2[i][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_square_is_two_hop_reachability() {
+        let m = gen::uniform(40, 40, 120, 7);
+        let pattern = CooMatrix::from_entries(
+            40,
+            40,
+            m.entries().iter().map(|&(r, c, _)| (r, c, 1.0)).collect(),
+        )
+        .unwrap()
+        .to_csr();
+        let sq = spgemm(&pattern, &pattern, SemiringOp::AndOr).unwrap();
+        // cross-check against vxm-based 2-hop from each source
+        let csc = pattern.to_coo().to_csc();
+        for src in 0..40u32 {
+            let mut e = DenseVector::zeros(40);
+            e[src as usize] = 1.0;
+            let hop1 = csc.vxm::<sparsepipe_semiring::AndOr>(&e).unwrap();
+            let hop2 = csc.vxm::<sparsepipe_semiring::AndOr>(&hop1).unwrap();
+            let (cols, _) = sq.row(src);
+            for t in 0..40u32 {
+                let via_spgemm = cols.contains(&t);
+                let via_vxm = hop2[t as usize] != 0.0;
+                assert_eq!(via_spgemm, via_vxm, "src {src} -> {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn tropical_spgemm_composes_path_lengths() {
+        // 0-(2)->1-(3)->2: (A min.+ A)[0][2] = 5
+        let a = CooMatrix::from_entries(3, 3, vec![(0, 1, 2.0), (1, 2, 3.0)])
+            .unwrap()
+            .to_csr();
+        let a2 = spgemm(&a, &a, SemiringOp::MinAdd).unwrap();
+        let entries = a2.to_coo().entries().to_vec();
+        assert_eq!(entries, vec![(0, 2, 5.0)]);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = gen::uniform(5, 7, 10, 1).to_csr();
+        let b = gen::uniform(6, 5, 10, 2).to_csr();
+        assert!(spgemm(&a, &b, SemiringOp::MulAdd).is_err());
+    }
+
+    #[test]
+    fn explicit_zeros_are_dropped() {
+        // 1·1 + (−1)·1 = 0 → entry omitted
+        let a = CooMatrix::from_entries(1, 2, vec![(0, 0, 1.0), (0, 1, -1.0)])
+            .unwrap()
+            .to_csr();
+        let b = CooMatrix::from_entries(2, 1, vec![(0, 0, 1.0), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr();
+        let c = spgemm(&a, &b, SemiringOp::MulAdd).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Structural statistics of a sparse matrix.
+//!
+//! The baseline cost models (GPU utilization curves, CPU cache behaviour)
+//! and the simulator's load-balance logic need a handful of structural
+//! properties: degree skew, span distribution, and emptiness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CooMatrix;
+
+/// Summary statistics of a sparse matrix's structure.
+///
+/// # Example
+///
+/// ```
+/// use sparsepipe_tensor::{CooMatrix, MatrixStats};
+/// let m = CooMatrix::from_entries(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (2, 2, 1.0)])?;
+/// let s = MatrixStats::compute(&m);
+/// assert_eq!(s.nnz, 3);
+/// assert_eq!(s.max_row_nnz, 2);
+/// assert_eq!(s.empty_rows, 1);
+/// # Ok::<(), sparsepipe_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: u32,
+    /// Number of columns.
+    pub ncols: u32,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Average non-zeros per row.
+    pub avg_row_nnz: f64,
+    /// Maximum non-zeros in any row.
+    pub max_row_nnz: usize,
+    /// Maximum non-zeros in any column.
+    pub max_col_nnz: usize,
+    /// Rows with no entries.
+    pub empty_rows: usize,
+    /// Mean |row − col| span (locality; lower = more diagonal).
+    pub mean_span: f64,
+    /// Degree skew: `max_row_nnz / avg_row_nnz` (1.0 = perfectly even).
+    pub row_skew: f64,
+    /// Fraction of all non-zeros held by the busiest 1% of rows — a
+    /// heavy-tail indicator.
+    pub top1pct_share: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics in `O(nnz + n)`.
+    pub fn compute(m: &CooMatrix) -> Self {
+        let nrows = m.nrows();
+        let ncols = m.ncols();
+        let nnz = m.nnz();
+        let mut row_nnz = vec![0usize; nrows as usize];
+        let mut col_nnz = vec![0usize; ncols as usize];
+        let mut span_sum = 0.0f64;
+        for &(r, c, _) in m.entries() {
+            row_nnz[r as usize] += 1;
+            col_nnz[c as usize] += 1;
+            span_sum += (r as i64 - c as i64).unsigned_abs() as f64;
+        }
+        let max_row_nnz = row_nnz.iter().copied().max().unwrap_or(0);
+        let max_col_nnz = col_nnz.iter().copied().max().unwrap_or(0);
+        let empty_rows = row_nnz.iter().filter(|&&d| d == 0).count();
+        let avg_row_nnz = if nrows == 0 {
+            0.0
+        } else {
+            nnz as f64 / nrows as f64
+        };
+        let mean_span = if nnz == 0 { 0.0 } else { span_sum / nnz as f64 };
+        let row_skew = if avg_row_nnz > 0.0 {
+            max_row_nnz as f64 / avg_row_nnz
+        } else {
+            1.0
+        };
+        let top1pct_share = if nnz == 0 {
+            0.0
+        } else {
+            let mut sorted = row_nnz;
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let k = (sorted.len() / 100).max(1);
+            sorted[..k].iter().sum::<usize>() as f64 / nnz as f64
+        };
+        MatrixStats {
+            nrows,
+            ncols,
+            nnz,
+            avg_row_nnz,
+            max_row_nnz,
+            max_col_nnz,
+            empty_rows,
+            mean_span,
+            row_skew,
+            top1pct_share,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn uniform_has_low_skew() {
+        let s = MatrixStats::compute(&gen::uniform(1000, 1000, 20_000, 3));
+        assert!(s.row_skew < 4.0, "uniform skew {}", s.row_skew);
+        assert!(s.top1pct_share < 0.05);
+    }
+
+    #[test]
+    fn power_law_has_high_skew() {
+        let m = gen::locality_mix(
+            10_000,
+            100_000,
+            gen::LocalityMix {
+                long_frac: 1.0,
+                anti_frac: 0.0,
+                local_span_frac: 0.0,
+                skew: 2.0,
+            },
+            7,
+        );
+        let s = MatrixStats::compute(&m);
+        assert!(s.row_skew > 8.0, "power-law skew {}", s.row_skew);
+        assert!(s.top1pct_share > 0.10, "top-1% share {}", s.top1pct_share);
+    }
+
+    #[test]
+    fn banded_has_short_spans() {
+        let s = MatrixStats::compute(&gen::banded(1000, 10_000, 5, 3));
+        assert!(s.mean_span <= 5.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let s = MatrixStats::compute(&CooMatrix::new(10, 10));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.empty_rows, 10);
+        assert_eq!(s.mean_span, 0.0);
+    }
+}

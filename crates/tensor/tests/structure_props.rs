@@ -1,0 +1,127 @@
+//! Property-based tests of the tensor substrate's structural invariants.
+
+use proptest::prelude::*;
+use sparsepipe_tensor::{
+    gen, livesweep, reorder, BlockedDualStorage, CooMatrix, DualStorage,
+};
+
+fn coo(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..4.0), 0..max_nnz)
+            .prop_map(move |e| CooMatrix::from_entries(n, n, e).expect("in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR row access agrees with a brute-force scan of the triplets.
+    #[test]
+    fn csr_row_access_is_correct(m in coo(48, 160)) {
+        let csr = m.to_csr();
+        for r in 0..m.nrows() {
+            let (cols, vals) = csr.row(r);
+            let expected: Vec<(u32, f64)> = m
+                .entries()
+                .iter()
+                .filter(|&&(er, _, _)| er == r)
+                .map(|&(_, c, v)| (c, v))
+                .collect();
+            prop_assert_eq!(cols.len(), expected.len());
+            for ((&c, &v), (ec, ev)) in cols.iter().zip(vals).zip(&expected) {
+                prop_assert_eq!(c, *ec);
+                prop_assert_eq!(v, *ev);
+            }
+        }
+    }
+
+    /// CSC column access agrees with a brute-force scan.
+    #[test]
+    fn csc_col_access_is_correct(m in coo(48, 160)) {
+        let csc = m.to_csc();
+        for c in 0..m.ncols() {
+            let (rows, vals) = csc.col(c);
+            let mut expected: Vec<(u32, f64)> = m
+                .entries()
+                .iter()
+                .filter(|&&(_, ec, _)| ec == c)
+                .map(|&(r, _, v)| (r, v))
+                .collect();
+            expected.sort_by_key(|&(r, _)| r);
+            prop_assert_eq!(rows.len(), expected.len());
+            for ((&r, &v), (er, ev)) in rows.iter().zip(vals).zip(&expected) {
+                prop_assert_eq!(r, *er);
+                prop_assert_eq!(v, *ev);
+            }
+        }
+    }
+
+    /// The blocked dual image is never larger than the naive dual image
+    /// plus a small constant of pointer overhead.
+    #[test]
+    fn blocked_storage_never_blows_up(m in coo(600, 400)) {
+        let dual = DualStorage::from_coo(&m).storage_bytes();
+        let blocked = BlockedDualStorage::from_coo(&m).storage_bytes();
+        // per-block worst case: every non-zero in its own block costs
+        // 8+2 data + 16 block overhead = 26 < 24+ptr of the dual image,
+        // so allow a modest constant margin for the pointer arrays.
+        prop_assert!(blocked <= dual + 64 + m.nnz() * 4, "{} vs {}", blocked, dual);
+    }
+
+    /// Reordering permutations never change nnz, and the live-set curve of
+    /// the reordered matrix still integrates to the (new) span sum.
+    #[test]
+    fn reorder_preserves_counts(m in coo(48, 160)) {
+        for perm in [
+            reorder::graph_order(&m.to_csr(), 8),
+            reorder::vanilla_triangular(&m.to_csr(), 2),
+            reorder::identity(m.nrows()),
+        ] {
+            let p = m.permute_symmetric(&perm);
+            prop_assert_eq!(p.nnz(), m.nnz());
+            let curve = livesweep::live_curve(&p);
+            let integral: usize = curve.iter().sum();
+            let spans: usize = p
+                .entries()
+                .iter()
+                .map(|&(r, c, _)| (r.max(c) - r.min(c) + 1) as usize)
+                .sum();
+            prop_assert_eq!(integral, spans);
+        }
+    }
+
+    /// Generator contracts: dimension, nnz ceiling, coordinate bounds.
+    #[test]
+    fn generator_contracts(n in 16u32..200, nnz in 1usize..500, seed in 0u64..50) {
+        for m in [
+            gen::uniform(n, n, nnz, seed),
+            gen::banded(n, nnz, n / 8 + 1, seed),
+            gen::road(n, nnz, 0.05, seed),
+            gen::power_law(n, nnz, 1.0, 0.5, seed),
+        ] {
+            prop_assert_eq!(m.nrows(), n);
+            prop_assert!(m.nnz() <= nnz);
+            for &(r, c, v) in m.entries() {
+                prop_assert!(r < n && c < n);
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    /// Dataset generation at different scales preserves average degree
+    /// within a factor of two (dedup tolerance).
+    #[test]
+    fn scaling_preserves_degree(scale_exp in 6u32..10) {
+        let spec = sparsepipe_tensor::MatrixId::Co.spec();
+        let scale = 1u64 << scale_exp;
+        let m = spec.generate(scale);
+        let target_degree = spec.nnz as f64 / spec.rows as f64;
+        let got_degree = m.nnz() as f64 / m.nrows() as f64;
+        prop_assert!(
+            got_degree > target_degree * 0.5 && got_degree < target_degree * 1.5,
+            "degree {} vs target {}",
+            got_degree,
+            target_degree
+        );
+    }
+}

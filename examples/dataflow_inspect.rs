@@ -1,0 +1,64 @@
+//! Dataflow inspector: print, for every benchmark application, what the
+//! frontend's analysis and compiler produced — fusion groups, the OEI
+//! subgraph (or why there is none), semiring opcodes, and the compiled
+//! E-Wise core instruction stream.
+//!
+//! ```text
+//! cargo run --release --example dataflow_inspect
+//! ```
+
+use sparsepipe::apps::registry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for app in registry::all() {
+        let program = app.compile()?;
+        let profile = &program.profile;
+        println!("=== {} ({:?}, {}) ===", app.name, app.domain, app.semiring);
+        println!(
+            "  graph: {} ops, {} tensors, {} loop-carried edges",
+            app.graph.n_ops(),
+            app.graph.n_tensors(),
+            app.graph.carries().len()
+        );
+        match &program.analysis.oei {
+            Some(oei) => println!(
+                "  OEI: OS op {:?} → {} e-wise op(s) → IS op {:?} ({})",
+                oei.os_op,
+                oei.path.len(),
+                oei.is_op,
+                if oei.cross_iteration {
+                    "across iterations"
+                } else {
+                    "within one iteration"
+                }
+            ),
+            None => println!("  OEI: none (producer-consumer reuse only)"),
+        }
+        println!(
+            "  profile: {} matrix pass(es)/iter, feature dim {}, {} e-wise instr/element",
+            profile.matrix_passes,
+            profile.feature_dim,
+            program.ewise_arithmetic_per_element()
+        );
+        println!(
+            "  vector passes/iter: {:.0} fused vs {:.0} unfused",
+            profile.fused_vector_reads + profile.fused_vector_writes,
+            profile.unfused_vector_reads + profile.unfused_vector_writes
+        );
+        for (gi, (ewise, iface)) in program.ewise_programs.iter().enumerate() {
+            println!(
+                "  e-wise group {gi}: {} inputs, {} outputs, {} accumulators, {} params",
+                ewise.n_inputs(),
+                ewise.n_outputs(),
+                ewise.n_accumulators(),
+                ewise.n_params()
+            );
+            for instr in ewise.instrs() {
+                println!("    {instr:?}");
+            }
+            let _ = iface;
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Derive the achieved-bandwidth constants the baseline cost models
+//! assume, from the GDDR6X memory-controller model: streams (CSC column
+//! data, vector writes) ride open rows near peak; sparse gathers (SpMV's
+//! `x[r]` reads, scatter updates) pay precharge/activate on nearly every
+//! access.
+//!
+//! ```text
+//! cargo run --release --example memory_model
+//! ```
+
+use sparsepipe::core::memctrl::{
+    effective_utilization, scattered_accesses, stream_accesses, Access, MemControllerConfig,
+};
+
+fn main() {
+    let cfg = MemControllerConfig::default();
+    println!(
+        "GDDR6X model: {} channels x {} banks, {} B pages, {} B bursts, {:.0} B/cycle peak\n",
+        cfg.channels,
+        cfg.banks_per_channel,
+        cfg.row_bytes,
+        cfg.burst_bytes,
+        cfg.peak_bytes_per_cycle()
+    );
+
+    println!("{:<46} {:>12}", "access pattern", "utilization");
+    let patterns: Vec<(&str, Vec<Access>)> = vec![
+        (
+            "pure stream (CSC column data, 256 B reqs)",
+            stream_accesses(0, 8 << 20, 256),
+        ),
+        (
+            "pure stream, small 32 B requests",
+            stream_accesses(0, 8 << 20, 32),
+        ),
+        (
+            "random 8 B gathers over 256 MB (x[r] reads)",
+            scattered_accesses(0, 256 << 20, 100_000, 8),
+        ),
+        (
+            "random 8 B gathers over 2 MB (cached window)",
+            scattered_accesses(0, 2 << 20, 100_000, 8),
+        ),
+        ("SpMV mix: matrix stream + x gathers", {
+            let mut v = stream_accesses(0, 6 << 20, 96);
+            v.extend(scattered_accesses(1 << 30, 128 << 20, 60_000, 8));
+            v
+        }),
+        ("scatter updates (IS partial sums, 8 B writes)", {
+            scattered_accesses(0, 64 << 20, 100_000, 8)
+                .into_iter()
+                .map(|a| Access::write(a.addr, a.bytes))
+                .collect()
+        }),
+    ];
+    for (name, accesses) in &patterns {
+        let util = effective_utilization(cfg, accesses);
+        println!("{:<46} {:>11.1}%", name, util * 100.0);
+    }
+
+    println!(
+        "\nThese are the numbers behind the baseline models' constants:\n\
+         - GPU/CPU 'stream_utilization' ≈ the pure-stream rows,\n\
+         - 'gather_utilization' ≈ the SpMV-mix row,\n\
+         and behind Sparsepipe's design: the dual-storage buffer turns the\n\
+         IS core's would-be scattered row accesses into on-chip reads, so\n\
+         its DRAM traffic is stream-shaped on both the CSC and CSR paths."
+    );
+}
