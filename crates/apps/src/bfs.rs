@@ -148,12 +148,7 @@ mod tests {
     #[test]
     fn path_graph_reaches_one_level_per_iteration() {
         // 0 -> 1 -> 2 -> 3
-        let m = CooMatrix::from_entries(
-            4,
-            4,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let m = CooMatrix::from_entries(4, 4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let app = app(2);
         let out = interp::run(&app.graph, &app.bindings(&m), 2).unwrap();
         let visited = out["visited"].as_vector().unwrap();

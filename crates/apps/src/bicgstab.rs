@@ -84,7 +84,11 @@ pub fn reference(m: &CooMatrix, iterations: usize) -> DenseVector {
     for _ in 0..iterations {
         let v = spmv(&p);
         let alpha = rho / r_hat.dot(&v).expect("same length");
-        let s: DenseVector = r.iter().zip(v.iter()).map(|(&ri, &vi)| ri - alpha * vi).collect();
+        let s: DenseVector = r
+            .iter()
+            .zip(v.iter())
+            .map(|(&ri, &vi)| ri - alpha * vi)
+            .collect();
         let t = spmv(&s);
         let tt = t.dot(&t).expect("same length");
         let omega = if tt.abs() > 1e-300 {
@@ -97,7 +101,11 @@ pub fn reference(m: &CooMatrix, iterations: usize) -> DenseVector {
             .zip(p.iter().zip(s.iter()))
             .map(|(&xi, (&pi, &si))| xi + alpha * pi + omega * si)
             .collect();
-        r = s.iter().zip(t.iter()).map(|(&si, &ti)| si - omega * ti).collect();
+        r = s
+            .iter()
+            .zip(t.iter())
+            .map(|(&si, &ti)| si - omega * ti)
+            .collect();
         let rho_next = r_hat.dot(&r).expect("same length");
         let beta = (rho_next / rho) * (alpha / omega.max(1e-300));
         p = r

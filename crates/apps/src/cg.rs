@@ -38,11 +38,15 @@ pub fn app(iterations: usize) -> StaApp {
     let pq = b.dot(p, q).expect("valid graph");
     // α = rr / pq — scalar-on-scalar arithmetic is expressed through the
     // broadcast chain: step = (q · rr) / pq, giving α·q elementwise.
-    let q_rr = b.ewise_broadcast(EwiseBinary::Mul, q, rr).expect("valid graph");
+    let q_rr = b
+        .ewise_broadcast(EwiseBinary::Mul, q, rr)
+        .expect("valid graph");
     let alpha_q = b
         .ewise_broadcast(EwiseBinary::Div, q_rr, pq)
         .expect("valid graph");
-    let p_rr = b.ewise_broadcast(EwiseBinary::Mul, p, rr).expect("valid graph");
+    let p_rr = b
+        .ewise_broadcast(EwiseBinary::Mul, p, rr)
+        .expect("valid graph");
     let alpha_p = b
         .ewise_broadcast(EwiseBinary::Div, p_rr, pq)
         .expect("valid graph");
@@ -57,7 +61,9 @@ pub fn app(iterations: usize) -> StaApp {
     let beta_p = b
         .ewise_broadcast(EwiseBinary::Div, p_scaled, rr)
         .expect("valid graph");
-    let p_next = b.ewise(EwiseBinary::Add, r_next, beta_p).expect("valid graph");
+    let p_next = b
+        .ewise(EwiseBinary::Add, r_next, beta_p)
+        .expect("valid graph");
 
     b.carry(p_next, p).expect("valid carry");
     b.carry(r_next, r).expect("valid carry");

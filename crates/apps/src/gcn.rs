@@ -89,8 +89,7 @@ pub fn reference(m: &CooMatrix, layers: usize) -> DenseMatrix {
     for _ in 0..layers {
         let mut agg = DenseMatrix::zeros(n, FEATURES);
         for j in 0..FEATURES {
-            let col: sparsepipe_tensor::DenseVector =
-                (0..n).map(|r| h.get(r, j)).collect();
+            let col: sparsepipe_tensor::DenseVector = (0..n).map(|r| h.get(r, j)).collect();
             let y = csc
                 .vxm::<sparsepipe_semiring::MulAdd>(&col)
                 .expect("square matrix");

@@ -115,7 +115,10 @@ mod tests {
             let out = interp::run(&app.graph, &bindings, 1).unwrap();
             let active = out["active"].as_vector().unwrap().clone();
             let count = active.sum();
-            assert!(count <= prev_count, "active set grew: {prev_count} -> {count}");
+            assert!(
+                count <= prev_count,
+                "active set grew: {prev_count} -> {count}"
+            );
             prev_count = count;
             bindings.insert("active".into(), Value::Vector(active));
         }

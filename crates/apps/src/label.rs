@@ -29,7 +29,9 @@ pub fn app(iterations: usize) -> StaApp {
     let kept = b
         .ewise_scalar(EwiseBinary::Mul, lab, 0.5)
         .expect("valid graph");
-    let mixed = b.ewise(EwiseBinary::Add, damped, kept).expect("valid graph");
+    let mixed = b
+        .ewise(EwiseBinary::Add, damped, kept)
+        .expect("valid graph");
     let clamped = b
         .ewise_scalar(EwiseBinary::Min, mixed, 1.0)
         .expect("valid graph");

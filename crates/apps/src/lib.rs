@@ -101,14 +101,26 @@ pub struct StaApp {
 }
 
 impl StaApp {
-    /// Compiles the app's graph to a Sparsepipe program.
+    /// Compiles the app's graph to a Sparsepipe program and runs the
+    /// static verifier ([`sparsepipe_lint::lint_program`]) over the
+    /// result, so a malformed graph or an analysis/oracle disagreement
+    /// surfaces here rather than as a wrong simulation.
     ///
     /// # Errors
     ///
-    /// Propagates [`FrontendError`] from compilation (never expected for
-    /// the built-in apps; exercised in tests).
+    /// Propagates [`FrontendError`] from compilation, or returns
+    /// [`FrontendError::Uncompilable`] carrying the lint report when the
+    /// verifier finds errors (never expected for the built-in apps;
+    /// exercised in tests).
     pub fn compile(&self) -> Result<SparsepipeProgram, FrontendError> {
-        compile(&self.graph, self.feature_dim)
+        let program = compile(&self.graph, self.feature_dim)?;
+        let report = sparsepipe_lint::lint_program(&program);
+        if report.has_errors() {
+            return Err(FrontendError::Uncompilable {
+                context: format!("lint failed for {}:\n{report}", self.name),
+            });
+        }
+        Ok(program)
     }
 
     /// Interpreter bindings for `matrix`.

@@ -38,7 +38,9 @@ pub fn app(iterations: usize) -> StaApp {
     let next = b
         .ewise_scalar(EwiseBinary::Add, scaled, TELEPORT)
         .expect("valid graph");
-    let diff = b.ewise(EwiseBinary::AbsDiff, next, pr).expect("valid graph");
+    let diff = b
+        .ewise(EwiseBinary::AbsDiff, next, pr)
+        .expect("valid graph");
     let _res = b.reduce(EwiseBinary::Add, diff).expect("valid graph");
     b.carry(next, pr).expect("valid carry");
     StaApp {

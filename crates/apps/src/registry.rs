@@ -23,7 +23,12 @@ pub fn all() -> Vec<StaApp> {
 /// The subset compared against the GPU baselines in Fig 17
 /// ("we chose bfs, kcore, pr, sssp").
 pub fn gpu_subset() -> Vec<StaApp> {
-    vec![bfs::app(12), kcore::app(16), pagerank::app(20), sssp::app(16)]
+    vec![
+        bfs::app(12),
+        kcore::app(16),
+        pagerank::app(20),
+        sssp::app(16),
+    ]
 }
 
 /// Looks an application up by its short name (`pr`, `kcore`, `bfs`,

@@ -27,7 +27,10 @@ fn pagerank_mass_converges() {
         (mass - n as f64).abs() / (n as f64) < 0.02,
         "rank mass {mass} should converge to n = {n}"
     );
-    assert!(pr.iter().all(|&v| v > 0.0), "every vertex keeps teleport mass");
+    assert!(
+        pr.iter().all(|&v| v > 0.0),
+        "every vertex keeps teleport mass"
+    );
 }
 
 /// BFS reaches a fixpoint: once the frontier empties, `visited` is the

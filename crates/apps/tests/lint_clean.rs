@@ -1,0 +1,117 @@
+//! Every registered benchmark app must pass the full static verifier, and
+//! the OEI detector must hold up on the fusion edge cases the linter's
+//! oracle was built to police.
+
+use sparsepipe_apps::registry;
+use sparsepipe_frontend::analysis::analyze;
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_lint::{lint_analysis, lint_graph, lint_plan, lint_program};
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+
+/// All 11 Table-III apps lint clean: graph well-formedness, shapes,
+/// semirings, and the OEI oracle agreeing with `analysis::analyze`.
+#[test]
+fn all_registered_apps_lint_clean() {
+    let apps = registry::all();
+    assert_eq!(apps.len(), 11);
+    for app in apps {
+        let program = app
+            .compile()
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", app.name));
+        let report = lint_program(&program);
+        assert!(report.is_clean(), "{}: {report}", app.name);
+    }
+}
+
+/// The pass plans the simulator would build for each app's default setup
+/// also check out structurally.
+#[test]
+fn app_pass_plans_lint_clean() {
+    let matrix = sparsepipe_tensor::gen::power_law(512, 4096, 1.0, 0.4, 11);
+    let config = sparsepipe_core::SparsepipeConfig::iso_gpu();
+    for app in registry::all() {
+        let t = config.subtensor_auto(matrix.ncols(), matrix.nnz());
+        let plan = sparsepipe_core::PassPlan::build(&matrix, t);
+        let report = lint_plan(&plan, &config, app.feature_dim);
+        assert!(report.is_clean(), "{}: {report}", app.name);
+    }
+}
+
+/// Edge case: a side operand tainted by the `vxm` itself (CG's
+/// scalar-reduction pattern reduced to its minimal form) must block OEI —
+/// and the analysis and oracle must agree on the rejection.
+#[test]
+fn vxm_tainted_side_operand_rejects_oei() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_vector("x");
+    let a = b.constant_matrix("A");
+    let y = b.vxm(x, a, SemiringOp::MulAdd).unwrap();
+    // alpha depends on EVERY element of y (a reduction over tainted data)…
+    let alpha = b.reduce(EwiseBinary::Add, y).unwrap();
+    // …and scales y before it feeds the next iteration's vxm input.
+    let scaled = b.ewise_broadcast(EwiseBinary::Mul, y, alpha).unwrap();
+    b.carry(scaled, x).unwrap();
+    let g = b.build().unwrap();
+
+    let analysis = analyze(&g);
+    assert!(
+        analysis.oei.is_none(),
+        "tainted side operand must block the OEI dataflow"
+    );
+    assert!(lint_graph(&g).is_clean());
+    assert!(lint_analysis(&g, &analysis).is_clean());
+}
+
+/// Edge case: a single `vxm` in a loop body with NO loop-carried edge has
+/// no second iteration to fuse with — the analysis must not claim
+/// cross-iteration reuse, and the oracle must agree there is no pair.
+#[test]
+fn single_vxm_without_carry_claims_no_cross_iteration() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_vector("x");
+    let a = b.constant_matrix("A");
+    let y = b.vxm(x, a, SemiringOp::MulAdd).unwrap();
+    let _out = b.ewise_scalar(EwiseBinary::Mul, y, 2.0).unwrap();
+    let g = b.build().unwrap();
+
+    let analysis = analyze(&g);
+    assert!(
+        analysis.oei.is_none(),
+        "one vxm and no carry cannot fuse with itself"
+    );
+    assert!(lint_analysis(&g, &analysis).is_clean());
+}
+
+/// Edge case: an e-wise chain split by a `vxm` must fuse as TWO groups
+/// (the matrix op is not element-wise and breaks the chain), and the
+/// whole graph still lints clean.
+#[test]
+fn ewise_chain_split_by_vxm_fuses_as_two_groups() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_vector("x");
+    let a = b.constant_matrix("A");
+    // chain 1: two e-wise ops before the vxm
+    let s1 = b.ewise_scalar(EwiseBinary::Mul, x, 0.5).unwrap();
+    let s2 = b.ewise_scalar(EwiseBinary::Add, s1, 1.0).unwrap();
+    let y = b.vxm(s2, a, SemiringOp::MulAdd).unwrap();
+    // chain 2: two e-wise ops after the vxm
+    let t1 = b.ewise_scalar(EwiseBinary::Mul, y, 0.85).unwrap();
+    let t2 = b.ewise_scalar(EwiseBinary::Add, t1, 0.15).unwrap();
+    b.carry(t2, x).unwrap();
+    let g = b.build().unwrap();
+
+    let analysis = analyze(&g);
+    assert_eq!(
+        analysis.fused.n_groups(),
+        2,
+        "the vxm must split the e-wise chain into two fused groups"
+    );
+    let pre = analysis.fused.group_of(g.producer(s1).unwrap());
+    let post = analysis.fused.group_of(g.producer(t1).unwrap());
+    assert_ne!(pre, post, "ops on either side of the vxm share no group");
+    assert_eq!(pre, analysis.fused.group_of(g.producer(s2).unwrap()));
+    assert_eq!(post, analysis.fused.group_of(g.producer(t2).unwrap()));
+
+    assert!(lint_graph(&g).is_clean());
+    assert!(lint_analysis(&g, &analysis).is_clean());
+}

@@ -71,8 +71,7 @@ impl CpuModel {
         // iterations.
         let matrix_image = nnz * 12.0;
         let footprint = matrix_image + 4.0 * n * 8.0 * f;
-        let cached_fraction =
-            (self.llc_bytes / footprint).min(1.0) * self.cache_efficiency;
+        let cached_fraction = (self.llc_bytes / footprint).min(1.0) * self.cache_efficiency;
         let matrix_bytes_per_iter =
             w.profile.matrix_passes as f64 * matrix_image * (1.0 - cached_fraction);
         // First iteration always streams the full image.
@@ -100,8 +99,7 @@ impl CpuModel {
         let dense_flops = n * f * w.profile.dense_flops_per_element;
         let sparse_flops = w.flops_per_iteration() - dense_flops;
         let flop_time = iters
-            * (sparse_flops / (self.sparse_gflops * 1e9)
-                + dense_flops / (self.dense_gflops * 1e9));
+            * (sparse_flops / (self.sparse_gflops * 1e9) + dense_flops / (self.dense_gflops * 1e9));
         // Index decode/gather happens once per non-zero regardless of the
         // feature width (SpMM amortizes it across feature columns).
         let gather_time = w.profile.matrix_passes as f64 * nnz * iters / self.nnz_per_s;

@@ -56,14 +56,11 @@ impl GpuModel {
 
         let matrix_image = nnz * 12.0;
         let cached = (self.l2_bytes / matrix_image).min(0.5); // streaming L2 retains little
-        let matrix_bytes =
-            w.profile.matrix_passes as f64 * matrix_image * (1.0 - cached) * iters;
+        let matrix_bytes = w.profile.matrix_passes as f64 * matrix_image * (1.0 - cached) * iters;
         // Unfused vector traffic: every operator round-trips DRAM.
         // (the unfused read/write counts are feature-scaled already)
-        let vec_bytes = (w.profile.unfused_vector_reads + w.profile.unfused_vector_writes)
-            * iters
-            * n
-            * 8.0;
+        let vec_bytes =
+            (w.profile.unfused_vector_reads + w.profile.unfused_vector_writes) * iters * n * 8.0;
 
         // Occupancy: small inputs cannot fill the machine.
         let occupancy = (nnz / self.saturation_nnz).clamp(0.15, 1.0).sqrt();
@@ -73,8 +70,7 @@ impl GpuModel {
         let mem_time = matrix_bytes / matrix_bw + vec_bytes / vec_bw;
 
         let compute_time = w.flops_per_iteration() * iters / (self.sparse_gflops * 1e9);
-        let overhead =
-            self.launch_overhead_s * w.profile.operators.len().max(3) as f64 * iters;
+        let overhead = self.launch_overhead_s * w.profile.operators.len().max(3) as f64 * iters;
         let runtime = mem_time.max(compute_time) + overhead;
 
         let traffic = matrix_bytes + vec_bytes;

@@ -62,17 +62,18 @@ impl OracleAccelerator {
         // Compute runs on the same three pipelined cores as Sparsepipe:
         // per iteration the bottleneck stage governs.
         let os_is_cycles = w.profile.matrix_passes as f64 * nnz * f / pes; // MACs @ 2/cycle
-        let ew_cycles = n
-            * f
-            * (w.profile.ewise_flops_per_element + w.profile.dense_flops_per_element)
-            / pes;
+        let ew_cycles =
+            n * f * (w.profile.ewise_flops_per_element + w.profile.dense_flops_per_element) / pes;
         let compute_cycles = iters * os_is_cycles.max(ew_cycles);
         let mem_cycles = (matrix_bytes + vec_bytes) / bpc;
         let cycles = mem_cycles.max(compute_cycles);
 
         let mut tally = EnergyTally::new(EnergyModel::default());
         let write_frac = 0.4;
-        tally.dram_read((matrix_bytes + vec_bytes) * (1.0 - write_frac * vec_bytes / (matrix_bytes + vec_bytes)));
+        tally.dram_read(
+            (matrix_bytes + vec_bytes)
+                * (1.0 - write_frac * vec_bytes / (matrix_bytes + vec_bytes)),
+        );
         tally.dram_write(vec_bytes * write_frac);
         tally.sram(2.0 * (matrix_bytes + vec_bytes));
         tally.compute(compute_cycles * pes * 2.0);
@@ -130,6 +131,9 @@ mod tests {
         // (the oracle loads the matrix once for the whole run, so dense
         // matrices over many iterations legitimately sit far below it)
         let frac = oracle.runtime_s / sim.runtime_s;
-        assert!(frac > 0.03, "Sparsepipe at {frac} of oracle — model broken?");
+        assert!(
+            frac > 0.03,
+            "Sparsepipe at {frac} of oracle — model broken?"
+        );
     }
 }

@@ -24,7 +24,7 @@ fn bench_simulate(c: &mut Criterion) {
             |b, program| {
                 b.iter(|| {
                     simulate(program, &dataset.reordered, app.default_iterations, &cfg).unwrap()
-                })
+                });
             },
         );
     }
@@ -44,7 +44,7 @@ fn bench_ideal_baseline(c: &mut Criterion) {
         iterations: app.default_iterations,
     };
     c.bench_function("fig14_ideal_eval", |b| {
-        b.iter(|| IdealAccelerator::new(cfg).evaluate(&w))
+        b.iter(|| IdealAccelerator::new(cfg).evaluate(&w));
     });
 }
 

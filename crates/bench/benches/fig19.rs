@@ -29,7 +29,7 @@ fn bench_preprocessing_variants(c: &mut Criterion) {
             reorder: ReorderKind::None,
         });
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| simulate(&program, &dataset.matrix, 10, cfg).unwrap())
+            b.iter(|| simulate(&program, &dataset.matrix, 10, cfg).unwrap());
         });
     }
     group.finish();
@@ -47,7 +47,7 @@ fn bench_ablation_subtensor(c: &mut Criterion) {
             ..base_cfg(&dataset)
         };
         group.bench_with_input(BenchmarkId::from_parameter(t), &cfg, |b, cfg| {
-            b.iter(|| simulate(&program, &dataset.reordered, 10, cfg).unwrap())
+            b.iter(|| simulate(&program, &dataset.reordered, 10, cfg).unwrap());
         });
     }
     group.finish();
@@ -70,7 +70,7 @@ fn bench_ablation_eager_and_eviction(c: &mut Criterion) {
             ..base_cfg(&dataset).with_eager_csr(eager)
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| simulate(&program, &dataset.matrix, 10, cfg).unwrap())
+            b.iter(|| simulate(&program, &dataset.matrix, 10, cfg).unwrap());
         });
     }
     group.finish();

@@ -13,16 +13,12 @@ fn bench_vxm_semirings(c: &mut Criterion) {
     let csc = m.to_csc();
     let x = DenseVector::filled(20_000, 1.0);
     for s in SemiringOp::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(s.mnemonic()),
-            &s,
-            |b, &s| {
-                b.iter(|| {
-                    csc.vxm_with(&x, s.zero(), |a, v| s.mul(a, v), |a, v| s.add(a, v))
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(s.mnemonic()), &s, |b, &s| {
+            b.iter(|| {
+                csc.vxm_with(&x, s.zero(), |a, v| s.mul(a, v), |a, v| s.add(a, v))
+                    .unwrap()
+            });
+        });
     }
     group.finish();
 }
@@ -43,7 +39,7 @@ fn bench_fused_pass(c: &mut Criterion) {
                 SemiringOp::MulAdd,
             )
             .unwrap()
-        })
+        });
     });
 }
 
@@ -67,7 +63,7 @@ fn bench_buffered_pass(c: &mut Criterion) {
                     cap,
                 )
                 .unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -78,7 +74,7 @@ fn bench_conversions(c: &mut Criterion) {
     c.bench_function("coo_to_csr", |b| b.iter(|| m.to_csr()));
     c.bench_function("coo_to_csc", |b| b.iter(|| m.to_csc()));
     c.bench_function("blocked_dual_build", |b| {
-        b.iter(|| sparsepipe_tensor::BlockedDualStorage::from_coo(&m))
+        b.iter(|| sparsepipe_tensor::BlockedDualStorage::from_coo(&m));
     });
 }
 
@@ -88,10 +84,10 @@ fn bench_reorder(c: &mut Criterion) {
     let m = gen::power_law(10_000, 80_000, 1.0, 0.4, 3);
     let csr = m.to_csr();
     group.bench_function("graph_order", |b| {
-        b.iter(|| sparsepipe_tensor::reorder::graph_order(&csr, 64))
+        b.iter(|| sparsepipe_tensor::reorder::graph_order(&csr, 64));
     });
     group.bench_function("vanilla", |b| {
-        b.iter(|| sparsepipe_tensor::reorder::vanilla_triangular(&csr, 3))
+        b.iter(|| sparsepipe_tensor::reorder::vanilla_triangular(&csr, 3));
     });
     group.finish();
 }

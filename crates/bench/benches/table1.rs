@@ -10,7 +10,7 @@ fn bench_livesweep(c: &mut Criterion) {
     for id in [MatrixId::Ca, MatrixId::Gy, MatrixId::Bu] {
         let m = id.spec().generate(256);
         group.bench_with_input(BenchmarkId::from_parameter(id.code()), &m, |b, m| {
-            b.iter(|| livesweep::sweep(m))
+            b.iter(|| livesweep::sweep(m));
         });
     }
     group.finish();
@@ -21,7 +21,7 @@ fn bench_generation(c: &mut Criterion) {
     group.sample_size(10);
     for id in [MatrixId::Ca, MatrixId::Ro] {
         group.bench_with_input(BenchmarkId::from_parameter(id.code()), &id, |b, id| {
-            b.iter(|| id.spec().generate(256))
+            b.iter(|| id.spec().generate(256));
         });
     }
     group.finish();

@@ -1,7 +1,7 @@
 //! Regenerates the Sparsepipe paper's tables and figures.
 //!
 //! ```text
-//! experiments <artifact>... [--scale N] [--quick] [--json out.json] [--mtx DIR]
+//! experiments <artifact>... [--scale N] [--quick] [--json out.json] [--mtx DIR] [--lint]
 //!
 //! artifacts: all table1 table2 table3 fig14 fig15 fig16 fig17 fig18
 //!            fig19 fig20a fig20b fig21 fig22 fig23 ablation verify
@@ -11,6 +11,8 @@
 //!            reports) as JSON to F
 //! --mtx DIR  load real MatrixMarket matrices from DIR/<code>.mtx instead
 //!            of the synthetic stand-ins (use --scale 1 for full size)
+//! --lint     run the static verifier (sparsepipe-lint) over every
+//!            registered app first; exit non-zero on any lint error
 //! ```
 
 use std::process::ExitCode;
@@ -31,6 +33,16 @@ fn main() -> ExitCode {
     if opts.help {
         eprintln!("{}", cli::usage());
         return ExitCode::SUCCESS;
+    }
+    if opts.lint {
+        let (report, failing) = exp::lint_apps();
+        println!("{}", report.render());
+        if failing > 0 {
+            return ExitCode::FAILURE;
+        }
+        if opts.artifacts.is_empty() {
+            return ExitCode::SUCCESS;
+        }
     }
 
     let ctx = opts.context();

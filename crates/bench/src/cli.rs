@@ -7,8 +7,8 @@ use crate::datasets::{DataContext, DataSource, MatrixSet};
 
 /// Every artifact the harness can regenerate, in paper order.
 pub const ALL_ARTIFACTS: [&str; 17] = [
-    "table1", "table2", "table3", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-    "fig20a", "fig20b", "fig21", "fig22", "fig23", "ablation", "verify", "all",
+    "table1", "table2", "table3", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20a",
+    "fig20b", "fig21", "fig22", "fig23", "ablation", "verify", "all",
 ];
 
 /// Parsed command-line options.
@@ -24,6 +24,9 @@ pub struct CliOptions {
     pub json_out: Option<PathBuf>,
     /// Load real MatrixMarket matrices from this directory, if set.
     pub mtx_dir: Option<PathBuf>,
+    /// Run the static verifier over every registered app before any
+    /// artifact, failing the run on lint errors.
+    pub lint: bool,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -47,8 +50,7 @@ impl CliOptions {
             || self.artifacts.iter().any(|a| {
                 matches!(
                     a.as_str(),
-                    "fig14" | "fig16" | "fig17" | "fig18" | "fig20b" | "fig21" | "fig22"
-                        | "fig23"
+                    "fig14" | "fig16" | "fig17" | "fig18" | "fig20b" | "fig21" | "fig22" | "fig23"
                 )
             })
     }
@@ -67,6 +69,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         set: MatrixSet::Full,
         json_out: None,
         mtx_dir: None,
+        lint: false,
         help: false,
     };
     let mut i = 0;
@@ -83,8 +86,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             "--quick" => opts.set = MatrixSet::Quick,
             "--json" => {
                 i += 1;
-                opts.json_out =
-                    Some(args.get(i).ok_or("--json needs a file path")?.into());
+                opts.json_out = Some(args.get(i).ok_or("--json needs a file path")?.into());
             }
             "--mtx" => {
                 i += 1;
@@ -94,6 +96,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                         .into(),
                 );
             }
+            "--lint" => opts.lint = true,
             "--help" | "-h" => opts.help = true,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag: {flag}"));
@@ -110,11 +113,11 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     if opts.artifacts.iter().any(|a| a == "all") {
         opts.artifacts = ALL_ARTIFACTS[..ALL_ARTIFACTS.len() - 1]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
     }
-    if opts.artifacts.is_empty() && !opts.help {
-        return Err("no artifact requested (try `all` or `--help`)".into());
+    if opts.artifacts.is_empty() && !opts.help && !opts.lint {
+        return Err("no artifact requested (try `all`, `--lint`, or `--help`)".into());
     }
     Ok(opts)
 }
@@ -122,7 +125,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
 /// The usage string printed on `--help` or a parse error.
 pub fn usage() -> String {
     format!(
-        "usage: experiments <artifact>... [--scale N] [--quick] [--json out.json] [--mtx DIR]\n\
+        "usage: experiments <artifact>... [--scale N] [--quick] [--json out.json] [--mtx DIR] \
+         [--lint]\n\
          artifacts: {}",
         ALL_ARTIFACTS.join(" ")
     )
@@ -170,6 +174,17 @@ mod tests {
         assert!(parse(&args("--mtx")).is_err());
         assert!(parse(&args("--frobnicate table1")).is_err());
         assert!(parse(&args("")).is_err());
+    }
+
+    #[test]
+    fn lint_flag_needs_no_artifacts() {
+        let o = parse(&args("--lint")).unwrap();
+        assert!(o.lint);
+        assert!(o.artifacts.is_empty());
+        assert!(!o.needs_sweep());
+        let both = parse(&args("--lint table1")).unwrap();
+        assert!(both.lint);
+        assert_eq!(both.artifacts, vec!["table1"]);
     }
 
     #[test]

@@ -64,9 +64,7 @@ impl DataContext {
     pub fn load_one(&self, id: MatrixId) -> ScaledDataset {
         match &self.source {
             DataSource::Synthetic => ScaledDataset::load(id, self.scale),
-            DataSource::MatrixMarket(dir) => {
-                ScaledDataset::load_mtx(id, dir, self.scale)
-            }
+            DataSource::MatrixMarket(dir) => ScaledDataset::load_mtx(id, dir, self.scale),
         }
     }
 }

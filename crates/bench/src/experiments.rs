@@ -9,9 +9,9 @@ use sparsepipe_core::{simulate, MemoryConfig, Preprocessing, ReorderKind, Sparse
 use sparsepipe_tensor::{livesweep, BlockedDualStorage, DualStorage, MatrixId};
 
 use crate::datasets::DataContext;
+use crate::geomean;
 use crate::sweep::{self, Sweep};
 use crate::table::{fmt_pct, fmt_x, Table};
-use crate::geomean;
 
 /// A regenerated table/figure.
 #[derive(Debug, Clone)]
@@ -35,9 +35,17 @@ impl Report {
 pub fn table1(ctx: &DataContext) -> Report {
     let datasets = ctx.load();
     let mut t = Table::new(
-        ["matrix", "rows/cols", "nnz", "max (%)", "avg (%)", "paper max", "paper avg"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "matrix",
+            "rows/cols",
+            "nnz",
+            "max (%)",
+            "avg (%)",
+            "paper max",
+            "paper avg",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for d in &datasets {
         let stats = livesweep::sweep(&d.matrix);
@@ -65,9 +73,14 @@ pub fn table1(ctx: &DataContext) -> Report {
 /// **Table II** — evaluated memory configurations.
 pub fn table2() -> Report {
     let mut t = Table::new(
-        ["system", "bandwidth (GB/s)", "latency R/W (ns)", "DRAM tech"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "system",
+            "bandwidth (GB/s)",
+            "latency R/W (ns)",
+            "DRAM tech",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let rows: [(&str, MemoryConfig); 4] = [
         ("CPU (AMD 5800X3D)", MemoryConfig::ddr4()),
@@ -93,9 +106,15 @@ pub fn table2() -> Report {
 /// **Table III** — benchmark applications.
 pub fn table3() -> Report {
     let mut t = Table::new(
-        ["app", "vxm semiring", "reuse pattern", "domain", "OEI verified"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "app",
+            "vxm semiring",
+            "reuse pattern",
+            "domain",
+            "OEI verified",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for app in registry::all() {
         let program = app.compile().expect("apps compile");
@@ -144,7 +163,7 @@ pub fn fig14(sweep: &Sweep) -> Report {
         let g = geomean(&speedups);
         row.push(fmt_x(g));
         t.row(row);
-        if entries.first().map(|e| e.has_oei).unwrap_or(false) {
+        if entries.first().is_some_and(|e| e.has_oei) {
             oei_geo.push(g);
         }
         all_speedups.extend(speedups);
@@ -357,8 +376,7 @@ pub fn fig19(ctx: &DataContext) -> Report {
                     stats: &d.stats,
                     iterations: app.default_iterations,
                 };
-                let ideal =
-                    sparsepipe_baselines::ideal::IdealAccelerator::new(cfg).evaluate(&w);
+                let ideal = sparsepipe_baselines::ideal::IdealAccelerator::new(cfg).evaluate(&w);
                 speedups.push(ideal.runtime_s / sim.runtime_s);
             }
         }
@@ -366,11 +384,7 @@ pub fn fig19(ctx: &DataContext) -> Report {
     }
     let skeleton = per_variant[0].1;
     for (name, g) in &per_variant {
-        t.row(vec![
-            (*name).into(),
-            fmt_x(*g),
-            fmt_x(*g / skeleton),
-        ]);
+        t.row(vec![(*name).into(), fmt_x(*g), fmt_x(*g / skeleton)]);
     }
     Report {
         id: "fig19",
@@ -417,13 +431,17 @@ pub fn fig20a(ctx: &DataContext) -> Report {
 /// **Fig 20b** — relative performance per area.
 pub fn fig20b(sweep: &Sweep) -> Report {
     use sparsepipe_baselines::area;
-    let cpu_speedups: Vec<f64> = sweep.entries.iter().map(|e| e.speedup_vs_cpu()).collect();
+    let cpu_speedups: Vec<f64> = sweep
+        .entries
+        .iter()
+        .map(super::sweep::Entry::speedup_vs_cpu)
+        .collect();
     let gpu_subset = ["bfs", "kcore", "pr", "sssp"];
     let gpu_speedups: Vec<f64> = sweep
         .entries
         .iter()
         .filter(|e| gpu_subset.contains(&e.app))
-        .map(|e| e.speedup_vs_gpu())
+        .map(super::sweep::Entry::speedup_vs_gpu)
         .collect();
     let vs_cpu = geomean(&cpu_speedups);
     let vs_gpu = geomean(&gpu_speedups);
@@ -461,7 +479,11 @@ pub fn fig20b(sweep: &Sweep) -> Report {
 
 /// **Fig 21** — Sparsepipe bandwidth utilization.
 pub fn fig21(sweep: &Sweep) -> Report {
-    let mut t = Table::new(["app", "bw utilization (geomean)"].map(String::from).to_vec());
+    let mut t = Table::new(
+        ["app", "bw utilization (geomean)"]
+            .map(String::from)
+            .to_vec(),
+    );
     let mut all = Vec::new();
     let mut memory_bound = Vec::new();
     for app in sweep.app_names() {
@@ -526,9 +548,15 @@ pub fn fig22(sweep: &Sweep) -> Report {
 /// **Fig 23** — relative energy vs. the baseline accelerator.
 pub fn fig23(sweep: &Sweep) -> Report {
     let mut t = Table::new(
-        ["app", "total energy vs ideal", "memory", "buffer", "compute"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "app",
+            "total energy vs ideal",
+            "memory",
+            "buffer",
+            "compute",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut savings = Vec::new();
     let mut mem_savings = Vec::new();
@@ -583,7 +611,11 @@ pub fn ablation(ctx: &DataContext) -> Report {
     let pr = registry::by_name("pr").expect("known app");
     let pr_prog = pr.compile().expect("apps compile");
     let base = sweep::sparsepipe_config(&wi);
-    let mut t = Table::new(["sub-tensor T", "steps", "runtime (ms)", "bw util"].map(String::from).to_vec());
+    let mut t = Table::new(
+        ["sub-tensor T", "steps", "runtime (ms)", "bw util"]
+            .map(String::from)
+            .to_vec(),
+    );
     let auto = base.subtensor_auto(wi.reordered.ncols(), wi.reordered.nnz());
     for (label, cols) in [
         ("1".to_string(), 1usize),
@@ -596,8 +628,8 @@ pub fn ablation(ctx: &DataContext) -> Report {
             subtensor_cols: cols,
             ..base
         };
-        let r = simulate(&pr_prog, &wi.reordered, pr.default_iterations, &cfg)
-            .expect("square matrix");
+        let r =
+            simulate(&pr_prog, &wi.reordered, pr.default_iterations, &cfg).expect("square matrix");
         let eff = if cols == 0 { auto } else { cols };
         t.row(vec![
             label,
@@ -618,12 +650,22 @@ pub fn ablation(ctx: &DataContext) -> Report {
     let sssp_prog = sssp.compile().expect("apps compile");
     let pressured = sweep::sparsepipe_config(&bu).with_buffer(bu.buffer_bytes() / 4);
     let mut t = Table::new(
-        ["variant", "runtime (ms)", "refetch (MB)", "eager (MB)", "evictions"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "variant",
+            "runtime (ms)",
+            "refetch (MB)",
+            "eager (MB)",
+            "evictions",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for (name, eager, policy) in [
-        ("eager + highest-row-first", true, EvictionPolicy::HighestRowFirst),
+        (
+            "eager + highest-row-first",
+            true,
+            EvictionPolicy::HighestRowFirst,
+        ),
         ("no eager CSR", false, EvictionPolicy::HighestRowFirst),
         ("eager + oldest-first", true, EvictionPolicy::OldestFirst),
     ] {
@@ -631,8 +673,8 @@ pub fn ablation(ctx: &DataContext) -> Report {
             eviction: policy,
             ..pressured.with_eager_csr(eager)
         };
-        let r = simulate(&sssp_prog, &bu.matrix, sssp.default_iterations, &cfg)
-            .expect("square matrix");
+        let r =
+            simulate(&sssp_prog, &bu.matrix, sssp.default_iterations, &cfg).expect("square matrix");
         t.row(vec![
             name.into(),
             format!("{:.4}", r.runtime_s * 1e3),
@@ -655,8 +697,8 @@ pub fn ablation(ctx: &DataContext) -> Report {
             repack_threshold: thr,
             ..pressured
         };
-        let r = simulate(&sssp_prog, &bu.matrix, sssp.default_iterations, &cfg)
-            .expect("square matrix");
+        let r =
+            simulate(&sssp_prog, &bu.matrix, sssp.default_iterations, &cfg).expect("square matrix");
         t.row(vec![
             format!("{thr}"),
             format!("{:.4}", r.runtime_s * 1e3),
@@ -664,7 +706,9 @@ pub fn ablation(ctx: &DataContext) -> Report {
             r.evicted_elements.to_string(),
         ]);
     }
-    body.push_str("\n--- CSR-space repack threshold (sssp on bu (original order), quarter buffer) ---\n");
+    body.push_str(
+        "\n--- CSR-space repack threshold (sssp on bu (original order), quarter buffer) ---\n",
+    );
     body.push_str(&t.render());
 
     // --- D: buffer capacity (pr on bu) ---
@@ -676,8 +720,7 @@ pub fn ablation(ctx: &DataContext) -> Report {
     let full = bu.buffer_bytes();
     for frac in [8usize, 4, 2, 1] {
         let cfg = sweep::sparsepipe_config(&bu).with_buffer(full / frac);
-        let r = simulate(&pr_prog, &bu.matrix, pr.default_iterations, &cfg)
-            .expect("square matrix");
+        let r = simulate(&pr_prog, &bu.matrix, pr.default_iterations, &cfg).expect("square matrix");
         t.row(vec![
             format!("1/{frac} of scaled 64 MB"),
             format!("{:.4}", r.runtime_s * 1e3),
@@ -718,8 +761,7 @@ pub fn verify() -> Report {
     // 1. every app interprets and matches its Table-III classification
     let m = gen::uniform(48, 48, 280, 99);
     for app in registry::all() {
-        let interp_ok =
-            sparsepipe_frontend::interp::run(&app.graph, &app.bindings(&m), 3).is_ok();
+        let interp_ok = sparsepipe_frontend::interp::run(&app.graph, &app.bindings(&m), 3).is_ok();
         check(
             &mut t,
             &mut failures,
@@ -778,8 +820,7 @@ pub fn verify() -> Report {
             &mut t,
             &mut failures,
             format!("oei sub-tensor schedule == element schedule ({family})"),
-            wide.map(|w| w.y2.max_abs_diff(&reference.y2).unwrap_or(f64::MAX) < 1e-9)
-                .unwrap_or(false),
+            wide.is_ok_and(|w| w.y2.max_abs_diff(&reference.y2).unwrap_or(f64::MAX) < 1e-9),
         );
         for cap in [64 << 20, matrix.nnz() * 12 / 6] {
             let buffered = oei::fused_pass_buffered(
@@ -795,11 +836,9 @@ pub fn verify() -> Report {
                 &mut t,
                 &mut failures,
                 format!("oei buffered mechanism exact ({family}, {} KiB)", cap >> 10),
-                buffered
-                    .map(|(o, _)| {
-                        o.y2.max_abs_diff(&reference.y2).unwrap_or(f64::MAX) < 1e-9
-                    })
-                    .unwrap_or(false),
+                buffered.is_ok_and(|(o, _)| {
+                    o.y2.max_abs_diff(&reference.y2).unwrap_or(f64::MAX) < 1e-9
+                }),
             );
         }
     }
@@ -829,8 +868,7 @@ pub fn verify() -> Report {
         match (fused, via_interp) {
             (Ok((x, _)), Ok(out)) => out["pr"]
                 .as_vector()
-                .map(|pr| x.max_abs_diff(pr).unwrap_or(f64::MAX) < 1e-9)
-                .unwrap_or(false),
+                .is_some_and(|pr| x.max_abs_diff(pr).unwrap_or(f64::MAX) < 1e-9),
             _ => false,
         },
     );
@@ -840,6 +878,74 @@ pub fn verify() -> Report {
         title: format!("functional self-verification — {failures} check(s) failed"),
         body: t.render(),
     }
+}
+
+/// **--lint** — the static verifier over every registered app (graph
+/// well-formedness, shapes/semirings, the OEI oracle cross-check) plus a
+/// representative pass plan per feature width. Returns the report and the
+/// number of apps with lint errors.
+pub fn lint_apps() -> (Report, usize) {
+    let mut t = Table::new(
+        ["app", "errors", "warnings", "status"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut failing = 0usize;
+    let mut details = String::new();
+    let config = SparsepipeConfig::iso_gpu();
+    let matrix = sparsepipe_tensor::gen::power_law(512, 4096, 1.0, 0.4, 11);
+    for app in registry::all() {
+        // `StaApp::compile` already rejects lint errors; go through the raw
+        // frontend so findings are reported instead of swallowed into an
+        // `Uncompilable`.
+        let mut report = match sparsepipe_frontend::compile(&app.graph, app.feature_dim) {
+            Ok(program) => sparsepipe_lint::lint_program(&program),
+            Err(e) => {
+                failing += 1;
+                t.row(vec![
+                    app.name.into(),
+                    "-".into(),
+                    "-".into(),
+                    "NO COMPILE".into(),
+                ]);
+                details.push_str(&format!("{}: {e}\n", app.name));
+                continue;
+            }
+        };
+        let t_cols = config.subtensor_auto(matrix.ncols(), matrix.nnz());
+        let plan = sparsepipe_core::PassPlan::build(&matrix, t_cols);
+        let mut plan_report = sparsepipe_lint::LintReport::new();
+        sparsepipe_lint::plan_checks::check(&plan, &config, app.feature_dim, &mut plan_report);
+        report.merge(plan_report);
+        if report.has_errors() {
+            failing += 1;
+        }
+        if !report.diagnostics().is_empty() {
+            details.push_str(&format!("--- {} ---\n{report}\n", app.name));
+        }
+        t.row(vec![
+            app.name.into(),
+            report.error_count().to_string(),
+            report.warning_count().to_string(),
+            if report.has_errors() {
+                "FAIL".into()
+            } else {
+                "ok".into()
+            },
+        ]);
+    }
+    let mut body = t.render();
+    if !details.is_empty() {
+        body.push_str(&details);
+    }
+    (
+        Report {
+            id: "lint",
+            title: format!("static verification — {failing} app(s) failed"),
+            body,
+        },
+        failing,
+    )
 }
 
 #[cfg(test)]
@@ -869,7 +975,16 @@ mod tests {
     #[test]
     fn sweep_figures_render() {
         let s = tiny();
-        for report in [fig14(&s), fig16(&s), fig17(&s), fig18(&s), fig20b(&s), fig21(&s), fig22(&s), fig23(&s)] {
+        for report in [
+            fig14(&s),
+            fig16(&s),
+            fig17(&s),
+            fig18(&s),
+            fig20b(&s),
+            fig21(&s),
+            fig22(&s),
+            fig23(&s),
+        ] {
             assert!(!report.body.is_empty(), "{} empty", report.id);
         }
     }
@@ -883,6 +998,13 @@ mod tests {
 
 #[cfg(test)]
 mod verify_tests {
+    #[test]
+    fn lint_apps_is_all_green() {
+        let (report, failing) = super::lint_apps();
+        assert_eq!(failing, 0, "{}\n{}", report.title, report.body);
+        assert!(!report.body.contains("FAIL"));
+    }
+
     #[test]
     fn self_verification_is_all_green() {
         let report = super::verify();

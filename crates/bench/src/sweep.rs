@@ -245,7 +245,7 @@ mod tests {
                 e.speedup_vs_cpu()
             );
         }
-        let gpu_speedups: Vec<f64> = s.entries.iter().map(|e| e.speedup_vs_gpu()).collect();
+        let gpu_speedups: Vec<f64> = s.entries.iter().map(super::Entry::speedup_vs_gpu).collect();
         assert!(crate::geomean(&gpu_speedups) > 1.5);
     }
 
@@ -254,12 +254,7 @@ mod tests {
         let s = tiny_sweep();
         for e in &s.entries {
             let f = e.fraction_of_oracle();
-            assert!(
-                f <= 1.05,
-                "{}-{} exceeds oracle: {f}",
-                e.app,
-                e.matrix
-            );
+            assert!(f <= 1.05, "{}-{} exceeds oracle: {f}", e.app, e.matrix);
             assert!(f > 0.03, "{}-{} far from oracle: {f}", e.app, e.matrix);
         }
     }

@@ -20,6 +20,7 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use crate::config::EvictionPolicy;
+use crate::invariants::{self, Consumer, InvariantViolation};
 
 const LOADED: u8 = 0b0001;
 const OS_DONE: u8 = 0b0010;
@@ -27,22 +28,29 @@ const IS_DONE: u8 = 0b0100;
 const EVICTED: u8 = 0b1000;
 
 /// Per-element buffer state machine plus occupancy accounting.
+///
+/// Preconditions (no double load, consume only resident elements) are
+/// checked by the [`crate::invariants`] shadow checker: always in debug
+/// builds, and in release builds too when built
+/// [`with_validation`](BufferModel::with_validation).
 #[derive(Debug)]
 pub struct BufferModel {
-    state: Vec<u8>,
+    pub(crate) state: Vec<u8>,
     /// Resident element ids (row-major ids, so larger id = larger row).
-    resident: BTreeSet<u32>,
+    pub(crate) resident: BTreeSet<u32>,
     /// Load order, for the `OldestFirst` ablation policy.
     load_order: VecDeque<u32>,
-    policy: EvictionPolicy,
-    elem_bytes: f64,
-    capacity_bytes: f64,
-    resident_bytes: f64,
-    fragmented_bytes: f64,
+    pub(crate) policy: EvictionPolicy,
+    pub(crate) elem_bytes: f64,
+    pub(crate) capacity_bytes: f64,
+    pub(crate) resident_bytes: f64,
+    pub(crate) fragmented_bytes: f64,
     repack_threshold: f64,
     evicted_elements: u64,
     repack_events: u64,
     peak_bytes: f64,
+    /// Enforce invariants in release builds too (the shadow checker).
+    validate: bool,
 }
 
 impl BufferModel {
@@ -67,6 +75,27 @@ impl BufferModel {
             evicted_elements: 0,
             repack_events: 0,
             peak_bytes: 0.0,
+            validate: false,
+        }
+    }
+
+    /// Returns a copy enforcing the [`crate::invariants`] checks even in
+    /// release builds (debug builds always enforce them).
+    #[must_use]
+    pub fn with_validation(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
+    /// Panics on a violated invariant when checking is active: always in
+    /// debug builds (replacing the former ad-hoc `debug_assert!`s), and in
+    /// release builds when validation is on.
+    #[inline]
+    fn enforce(&self, check: Result<(), InvariantViolation>) {
+        if self.validate || cfg!(debug_assertions) {
+            if let Err(v) = check {
+                panic!("sparsepipe buffer invariant violated: {v}");
+            }
         }
     }
 
@@ -102,9 +131,11 @@ impl BufferModel {
     ///
     /// # Panics
     ///
-    /// Debug-asserts the element is not already resident.
+    /// When checking is active (debug builds, or
+    /// [`with_validation`](BufferModel::with_validation)), panics if the
+    /// element is already resident ([`invariants::check_load`]).
     pub fn load(&mut self, e: u32) -> bool {
-        debug_assert!(!self.is_resident(e), "double load of element {e}");
+        self.enforce(invariants::check_load(self, e));
         let refetch = self.state[e as usize] & EVICTED != 0;
         self.state[e as usize] = (self.state[e as usize] & !EVICTED) | LOADED;
         self.resident.insert(e);
@@ -119,7 +150,7 @@ impl BufferModel {
     /// Marks the OS consumption of a resident element; frees it if the IS
     /// core is already done (clean CSC-side free).
     pub fn consume_os(&mut self, e: u32) {
-        debug_assert!(self.is_resident(e), "OS consuming non-resident {e}");
+        self.enforce(invariants::check_consume(self, e, Consumer::Os));
         self.state[e as usize] |= OS_DONE;
         if self.state[e as usize] & IS_DONE != 0 {
             self.free(e, false);
@@ -129,7 +160,7 @@ impl BufferModel {
     /// Marks the IS consumption of a resident element; frees it if the OS
     /// core is already done (fragmenting CSR-side free).
     pub fn consume_is(&mut self, e: u32) {
-        debug_assert!(self.is_resident(e), "IS consuming non-resident {e}");
+        self.enforce(invariants::check_consume(self, e, Consumer::Is));
         self.state[e as usize] |= IS_DONE;
         if self.state[e as usize] & OS_DONE != 0 {
             self.free(e, true);
@@ -173,16 +204,16 @@ impl BufferModel {
                 EvictionPolicy::OldestFirst => loop {
                     match self.load_order.pop_front() {
                         Some(e) if self.is_resident(e) => break Some(e),
-                        Some(_) => continue,
+                        Some(_) => {}
                         None => break None,
                     }
                 },
             };
             let Some(victim) = victim else { break };
+            self.enforce(invariants::check_eviction_order(self, victim));
             self.resident.remove(&victim);
             self.resident_bytes -= self.elem_bytes;
-            self.state[victim as usize] =
-                (self.state[victim as usize] & !LOADED) | EVICTED;
+            self.state[victim as usize] = (self.state[victim as usize] & !LOADED) | EVICTED;
             self.evicted_elements += 1;
             evicted += 1;
         }

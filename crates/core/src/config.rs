@@ -133,6 +133,12 @@ pub struct SparsepipeConfig {
     /// analytic `bytes / peak-bandwidth` charge. Slower to simulate;
     /// captures row-miss penalties on refetch/gather traffic.
     pub detailed_memory: bool,
+    /// Run the [`crate::invariants`] shadow checker every pipeline step,
+    /// even in release builds: per-event buffer preconditions plus a
+    /// whole-buffer residency/accounting audit at each step end. Costs
+    /// O(nnz) per step; meant for tests and the verification harness, not
+    /// for sweeps.
+    pub validate: bool,
 }
 
 impl SparsepipeConfig {
@@ -149,6 +155,7 @@ impl SparsepipeConfig {
             preprocessing: Preprocessing::full(),
             repack_threshold: 0.5,
             detailed_memory: false,
+            validate: false,
         }
     }
 
@@ -179,6 +186,13 @@ impl SparsepipeConfig {
         self
     }
 
+    /// Returns a copy with the per-step shadow checker toggled (see
+    /// [`SparsepipeConfig::validate`]).
+    pub fn with_validation(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
     /// The sub-tensor width to use for a matrix: the explicit setting, or
     /// an automatic choice ("explore the optimal sub-tensor size in the
     /// initial steps of the OEI dataflow", §IV-F). The auto heuristic
@@ -191,8 +205,7 @@ impl SparsepipeConfig {
             return self.subtensor_cols;
         }
         let bpc = self.memory.bytes_per_cycle(self.clock_ghz);
-        let pass_bytes =
-            nnz as f64 * self.fetch_bytes_per_element() + 4.0 * ncols as f64 * 8.0;
+        let pass_bytes = nnz as f64 * self.fetch_bytes_per_element() + 4.0 * ncols as f64 * 8.0;
         let mem_cycles = pass_bytes / bpc;
         // Target ≥ 32 cycles of traffic per step so the per-step control/
         // latency floor (≈ one memory round trip) stays well amortized on
@@ -218,8 +231,7 @@ impl SparsepipeConfig {
     /// bandwidth (used when [`SparsepipeConfig::detailed_memory`] is on).
     pub fn memctrl_config(&self) -> crate::memctrl::MemControllerConfig {
         let mut c = crate::memctrl::MemControllerConfig::default();
-        c.bus_bytes_per_cycle =
-            self.memory.bytes_per_cycle(self.clock_ghz) / c.channels as f64;
+        c.bus_bytes_per_cycle = self.memory.bytes_per_cycle(self.clock_ghz) / c.channels as f64;
         c.row_miss_cycles = self.memory.read_latency_ns * self.clock_ghz * 2.0;
         c
     }

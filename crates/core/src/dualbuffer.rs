@@ -129,13 +129,8 @@ impl DualBuffer {
     /// Rows the IS core has already finished (`is_frontier > row`) are
     /// *not* converted — their consumer is gone; the caller applies the
     /// pending scatter directly (the deferred-IS path).
-    pub fn fetch_column<F>(
-        &mut self,
-        col: u32,
-        data: &[(u32, f64)],
-        is_frontier: u32,
-        row_total: F,
-    ) where
+    pub fn fetch_column<F>(&mut self, col: u32, data: &[(u32, f64)], is_frontier: u32, row_total: F)
+    where
         F: Fn(u32) -> usize,
     {
         self.stats.fetched_bytes += data.len() * ELEM_BYTES;
@@ -170,7 +165,7 @@ impl DualBuffer {
         // "allowing for consecutive and ascending storage of subsequently
         // fetched row data within its reserved space".
         debug_assert!(
-            entry.stored.last().map(|&(c, _)| c < col).unwrap_or(true),
+            entry.stored.last().is_none_or(|&(c, _)| c < col),
             "row {row}: column {col} arrived out of order"
         );
         entry.stored.push((col, val));
@@ -267,7 +262,7 @@ impl DualBuffer {
 
     /// Stored (convertible) entries currently held for `row`.
     pub fn stored_row_len(&self, row: u32) -> usize {
-        self.csr_rows.get(&row).map(|s| s.stored.len()).unwrap_or(0)
+        self.csr_rows.get(&row).map_or(0, |s| s.stored.len())
     }
 
     /// Is a reservation present for `row`?
@@ -366,7 +361,10 @@ mod tests {
         b.fetch_column(2, &[(5, 0.55), (3, 0.33)], 0, row_total_const(2));
         b.consume_column(2);
         let evicted = b.enforce_capacity(5);
-        assert!(evicted.is_empty(), "protected rows must survive: {evicted:?}");
+        assert!(
+            evicted.is_empty(),
+            "protected rows must survive: {evicted:?}"
+        );
     }
 
     #[test]

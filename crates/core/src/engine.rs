@@ -123,8 +123,7 @@ pub fn simulate(
             // A trailing single iteration with no partner to fuse with:
             // one OS-only sweep at roofline.
             let mbytes = nnz * fetch_b * profile.matrix_passes as f64;
-            let vbytes =
-                (profile.fused_vector_reads + profile.fused_vector_writes) * n * 8.0;
+            let vbytes = (profile.fused_vector_reads + profile.fused_vector_writes) * n * 8.0;
             let compute = (nnz * 2.0 * feature) / (2.0 * config.pes_per_core as f64)
                 + n * feature * (ewise_arith + profile.dense_flops_per_element)
                     / config.pes_per_core as f64;
@@ -144,12 +143,10 @@ pub fn simulate(
         // matrix operator per iteration in a single (row- or column-)
         // order — no dual storage needed. ----
         let mbytes = profile.matrix_passes as f64 * nnz * fetch_b;
-        let vbytes =
-            (profile.fused_vector_reads + profile.fused_vector_writes) * n * 8.0;
+        let vbytes = (profile.fused_vector_reads + profile.fused_vector_writes) * n * 8.0;
         let pes = config.pes_per_core as f64;
         let matrix_compute = profile.matrix_passes as f64 * nnz * 2.0 * feature / (2.0 * pes);
-        let ewise_compute =
-            n * feature * (ewise_arith + profile.dense_flops_per_element) / pes;
+        let ewise_compute = n * feature * (ewise_arith + profile.dense_flops_per_element) / pes;
         // Running a non-OEI schedule on the OEI pipeline still pays the
         // sub-tensor dispatch / synchronization overhead between stages —
         // this is why cg/bgs land at or slightly below the ideal
@@ -168,8 +165,7 @@ pub fn simulate(
         tally.sram(2.0 * (traffic.csc_bytes + traffic.vector_bytes + traffic.writeback_bytes));
         tally.compute(
             iterations as f64
-                * (profile.matrix_passes as f64 * nnz * 2.0 * feature
-                    + n * feature * ewise_arith),
+                * (profile.matrix_passes as f64 * nnz * 2.0 * feature + n * feature * ewise_arith),
         );
         bw_trace = vec![
             BwSample {
@@ -233,7 +229,9 @@ fn downsample_trace(pass: &PassResult, bpc: f64, buckets: usize) -> Vec<BwSample
     let mut out = Vec::with_capacity(buckets);
     for i in 0..buckets {
         let lo = i * steps.len() / buckets;
-        let hi = (((i + 1) * steps.len()) / buckets).max(lo + 1).min(steps.len());
+        let hi = (((i + 1) * steps.len()) / buckets)
+            .max(lo + 1)
+            .min(steps.len());
         let mut cycles = 0.0;
         let (mut csc, mut csr, mut vec_b) = (0.0, 0.0, 0.0);
         for s in &steps[lo..hi] {

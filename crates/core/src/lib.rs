@@ -57,8 +57,9 @@ pub mod buffer;
 mod config;
 pub mod dualbuffer;
 pub mod energy;
-pub mod memctrl;
 mod engine;
+pub mod invariants;
+pub mod memctrl;
 pub mod oei;
 pub mod pipeline;
 pub mod plan;
@@ -67,6 +68,7 @@ mod stats;
 pub use config::{EvictionPolicy, MemoryConfig, Preprocessing, ReorderKind, SparsepipeConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::simulate;
+pub use plan::PassPlan;
 pub use stats::{BwSample, SimReport, TrafficBreakdown};
 
 /// Errors produced by the simulator.

@@ -150,12 +150,11 @@ impl MemController {
             // channel interleaving at row granularity keeps streams on one
             // open page while spreading independent streams
             let channel = (row as usize) % c.channels;
-            let bank = ((a.addr / (c.row_bytes * c.channels as u64)) as usize)
-                % c.banks_per_channel;
+            let bank =
+                ((a.addr / (c.row_bytes * c.channels as u64)) as usize) % c.banks_per_channel;
             let slot = channel * c.banks_per_channel + bank;
             let bursts = a.bytes.div_ceil(c.burst_bytes).max(1);
-            let transfer =
-                (bursts * c.burst_bytes) as f64 / c.bus_bytes_per_cycle;
+            let transfer = (bursts * c.burst_bytes) as f64 / c.bus_bytes_per_cycle;
             if self.open_rows[slot] == row {
                 stats.row_hits += 1;
             } else {

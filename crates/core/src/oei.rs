@@ -274,9 +274,7 @@ where
         }
 
         // ---- OS core: dot of column c (read from the buffer). ----
-        let col_data = buffer
-            .consume_column(c)
-            .expect("column was just fetched");
+        let col_data = buffer.consume_column(c).expect("column was just fetched");
         let mut acc = os.zero();
         for &(r, v) in &col_data {
             acc = os.add(acc, os.mul(x[r as usize], v));
@@ -419,8 +417,7 @@ where
     let mut totals = crate::dualbuffer::DualBufferStats::default();
     let mut remaining = iterations;
     while remaining >= 2 {
-        let (pass, stats) =
-            fused_pass_buffered(csc, csr, &x, &mut ewise, os, is, capacity_bytes)?;
+        let (pass, stats) = fused_pass_buffered(csc, csr, &x, &mut ewise, os, is, capacity_bytes)?;
         totals.fetched_bytes += stats.fetched_bytes;
         totals.refetch_bytes += stats.refetch_bytes;
         totals.peak_bytes = totals.peak_bytes.max(stats.peak_bytes);
@@ -462,7 +459,13 @@ mod tests {
         let csr = m.to_csr();
         for s in SemiringOp::ALL {
             let x: DenseVector = (0..128)
-                .map(|i| if s == SemiringOp::AndOr { (i % 3 == 0) as u8 as f64 } else { (i % 7) as f64 * 0.25 })
+                .map(|i| {
+                    if s == SemiringOp::AndOr {
+                        (i % 3 == 0) as u8 as f64
+                    } else {
+                        (i % 7) as f64 * 0.25
+                    }
+                })
                 .collect();
             let ew = |_: usize, v: f64| {
                 if s == SemiringOp::AndOr {
@@ -697,10 +700,7 @@ mod tests {
                 let y = vxm_runtime(&csc, &seq, SemiringOp::MulAdd);
                 seq = y.iter().map(|&v| v * 0.5 + 0.1).collect();
             }
-            assert!(
-                fused.max_abs_diff(&seq).unwrap() < 1e-9,
-                "iters={iters}"
-            );
+            assert!(fused.max_abs_diff(&seq).unwrap() < 1e-9, "iters={iters}");
         }
     }
 
@@ -711,9 +711,16 @@ mod tests {
         let x0 = DenseVector::filled(80, 0.1);
         let ew = |_: usize, v: f64| v * 0.85 + 0.15;
         for iters in [1usize, 2, 5, 8] {
-            let plain =
-                run_fused(&csc, &csr, &x0, ew, SemiringOp::MulAdd, SemiringOp::MulAdd, iters)
-                    .unwrap();
+            let plain = run_fused(
+                &csc,
+                &csr,
+                &x0,
+                ew,
+                SemiringOp::MulAdd,
+                SemiringOp::MulAdd,
+                iters,
+            )
+            .unwrap();
             // cramped capacity: evictions occur, values must not change
             let cap = m.nnz() * crate::dualbuffer::ELEM_BYTES / 5;
             let (buffered, stats) = run_fused_buffered(
@@ -727,7 +734,10 @@ mod tests {
                 cap,
             )
             .unwrap();
-            assert!(plain.max_abs_diff(&buffered).unwrap() < 1e-9, "iters={iters}");
+            assert!(
+                plain.max_abs_diff(&buffered).unwrap() < 1e-9,
+                "iters={iters}"
+            );
             // each full pass fetches exactly one matrix image on demand
             let images = (iters / 2) + (iters % 2);
             assert_eq!(

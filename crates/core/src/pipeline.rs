@@ -17,6 +17,7 @@
 
 use crate::buffer::BufferModel;
 use crate::config::SparsepipeConfig;
+use crate::invariants;
 use crate::memctrl::{self, MemController};
 use crate::plan::PassPlan;
 use crate::stats::TrafficBreakdown;
@@ -110,7 +111,8 @@ pub fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
         config.buffer_bytes as f64,
         config.repack_threshold,
         config.eviction,
-    );
+    )
+    .with_validation(config.validate);
 
     let n = plan.n as f64;
     let vec_bytes_per_step =
@@ -143,8 +145,8 @@ pub fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
         // at half the buffer so matrix data always has some room (beyond
         // that point the vector windows spill and thrash, which manifests
         // as matrix evictions here).
-        let vec_reserved = (plan.vec_live[s] as f64 * 8.0 * params.feature)
-            .min(config.buffer_bytes as f64 * 0.5);
+        let vec_reserved =
+            (plan.vec_live[s] as f64 * 8.0 * params.feature).min(config.buffer_bytes as f64 * 0.5);
 
         let mut csc_bytes = 0.0f64;
         let mut refetch_bytes = 0.0f64;
@@ -270,6 +272,13 @@ pub fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
         buffer.enforce_capacity(vec_reserved);
         let repack_moved = buffer.maybe_repack();
 
+        // ---- Shadow checker: whole-buffer audit at step end ----
+        if config.validate {
+            if let Err(v) = invariants::check_step(&buffer) {
+                panic!("step {s}: buffer invariant violated: {v}");
+            }
+        }
+
         // ---- Accounting ----
         let fetched = csc_bytes + refetch_bytes + csr_bytes;
         // SRAM: every fetched byte is written once and read once by a
@@ -340,13 +349,17 @@ mod tests {
         let plan = PassPlan::build(&m, 4);
         let r = run_pass(&plan, &cfg(64 << 20), &params());
         let fetch_b = cfg(64 << 20).fetch_bytes_per_element();
-        let matrix_bytes = r.traffic.csc_bytes + r.traffic.csr_eager_bytes + r.traffic.refetch_bytes;
+        let matrix_bytes =
+            r.traffic.csc_bytes + r.traffic.csr_eager_bytes + r.traffic.refetch_bytes;
         let expected = m.nnz() as f64 * fetch_b;
         assert!(
             (matrix_bytes - expected).abs() < expected * 1e-9,
             "matrix bytes {matrix_bytes} != nnz bytes {expected}"
         );
-        assert_eq!(r.traffic.refetch_bytes, 0.0, "no ping-pong with a big buffer");
+        assert_eq!(
+            r.traffic.refetch_bytes, 0.0,
+            "no ping-pong with a big buffer"
+        );
         assert_eq!(r.evictions, 0);
     }
 
@@ -357,7 +370,10 @@ mod tests {
         // ~20k elements × 10.5 B ≈ 210 KB live peak ≈ 50%: give 32 KB.
         let r = run_pass(&plan, &cfg(32 << 10), &params());
         assert!(r.evictions > 0, "tiny buffer must evict");
-        assert!(r.traffic.refetch_bytes > 0.0, "evictions must cause refetches");
+        assert!(
+            r.traffic.refetch_bytes > 0.0,
+            "evictions must cause refetches"
+        );
     }
 
     #[test]
@@ -365,11 +381,7 @@ mod tests {
         let m = gen::uniform(2000, 2000, 20_000, 7);
         let plan = PassPlan::build(&m, 4);
         let with = run_pass(&plan, &cfg(64 << 20), &params());
-        let without = run_pass(
-            &plan,
-            &cfg(64 << 20).with_eager_csr(false),
-            &params(),
-        );
+        let without = run_pass(&plan, &cfg(64 << 20).with_eager_csr(false), &params());
         assert!(with.traffic.csr_eager_bytes > 0.0);
         assert_eq!(without.traffic.csr_eager_bytes, 0.0);
         // Same total matrix traffic either way (ample buffer)…
@@ -417,6 +429,24 @@ mod tests {
             bytes / (r.cycles * 504.0)
         };
         assert!(util(&heavy) < util(&light));
+    }
+
+    #[test]
+    fn shadow_checker_passes_under_pressure() {
+        // The validating run exercises every eviction/repack path on a
+        // tiny buffer and must (a) not trip any invariant and (b) produce
+        // byte-identical results to the unchecked run.
+        let m = gen::uniform(2000, 2000, 20_000, 7);
+        let plan = PassPlan::build(&m, 4);
+        let checked = run_pass(&plan, &cfg(32 << 10).with_validation(true), &params());
+        let unchecked = run_pass(&plan, &cfg(32 << 10), &params());
+        assert!(checked.evictions > 0, "pressure scenario must evict");
+        assert_eq!(checked.cycles, unchecked.cycles);
+        assert_eq!(
+            checked.traffic.total_bytes(),
+            unchecked.traffic.total_bytes()
+        );
+        assert_eq!(checked.evictions, unchecked.evictions);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Determinism and configuration-sensitivity tests of the simulator's
 //! public surface.
 
-use sparsepipe_core::{
-    simulate, EvictionPolicy, Preprocessing, ReorderKind, SparsepipeConfig,
-};
+use sparsepipe_core::{simulate, EvictionPolicy, Preprocessing, ReorderKind, SparsepipeConfig};
 use sparsepipe_frontend::{compile, GraphBuilder, SparsepipeProgram};
 use sparsepipe_semiring::{EwiseBinary, SemiringOp};
 use sparsepipe_tensor::gen;

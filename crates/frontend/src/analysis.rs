@@ -99,11 +99,7 @@ fn tainted_tensors(g: &DataflowGraph, matrix_ops: &[OpId]) -> Vec<TensorId> {
         .collect()
 }
 
-fn detect_oei(
-    g: &DataflowGraph,
-    matrix_ops: &[OpId],
-    tainted: &[TensorId],
-) -> Option<OeiSubgraph> {
+fn detect_oei(g: &DataflowGraph, matrix_ops: &[OpId], tainted: &[TensorId]) -> Option<OeiSubgraph> {
     let is_tainted = |t: TensorId| tainted.contains(&t);
 
     // BFS from each matrix op's output along sub-tensor-dependency ops,
@@ -114,7 +110,8 @@ fn detect_oei(
         let start = g.op(os_op).output;
         let mut queue: std::collections::VecDeque<(TensorId, bool, Vec<OpId>)> =
             std::collections::VecDeque::new();
-        let mut seen: std::collections::HashSet<(TensorId, bool)> = std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<(TensorId, bool)> =
+            std::collections::HashSet::new();
         queue.push_back((start, false, Vec::new()));
         seen.insert((start, false));
 

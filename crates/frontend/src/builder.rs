@@ -2,7 +2,9 @@
 
 use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
 
-use crate::graph::{DataflowGraph, OpId, OpKind, OpNode, TensorId, TensorKind, TensorNode, TensorRole};
+use crate::graph::{
+    DataflowGraph, OpId, OpKind, OpNode, TensorId, TensorKind, TensorNode, TensorRole,
+};
 use crate::FrontendError;
 
 /// Builder for [`DataflowGraph`]s — the programmer-facing API, mirroring a
@@ -41,7 +43,12 @@ impl GraphBuilder {
         GraphBuilder::default()
     }
 
-    fn add_tensor(&mut self, name: impl Into<String>, kind: TensorKind, role: TensorRole) -> TensorId {
+    fn add_tensor(
+        &mut self,
+        name: impl Into<String>,
+        kind: TensorKind,
+        role: TensorRole,
+    ) -> TensorId {
         self.tensors.push(TensorNode {
             name: name.into(),
             kind,
@@ -181,7 +188,11 @@ impl GraphBuilder {
     ) -> Result<TensorId, FrontendError> {
         self.expect_kind(x, TensorKind::DenseMatrix, "spmm input")?;
         self.expect_kind(a, TensorKind::SparseMatrix, "spmm matrix")?;
-        Ok(self.add_op(OpKind::SpMM { semiring }, vec![x, a], TensorKind::DenseMatrix))
+        Ok(self.add_op(
+            OpKind::SpMM { semiring },
+            vec![x, a],
+            TensorKind::DenseMatrix,
+        ))
     }
 
     /// `out = X · W` — dense matrix multiply (GCN's weight application).
@@ -268,11 +279,7 @@ impl GraphBuilder {
     ///
     /// Returns [`FrontendError::KindMismatch`] unless `a` is a vector or
     /// dense matrix.
-    pub fn ewise_unary(
-        &mut self,
-        op: EwiseUnary,
-        a: TensorId,
-    ) -> Result<TensorId, FrontendError> {
+    pub fn ewise_unary(&mut self, op: EwiseUnary, a: TensorId) -> Result<TensorId, FrontendError> {
         let ka = self.check(a)?.kind;
         if !matches!(ka, TensorKind::Vector | TensorKind::DenseMatrix) {
             return Err(FrontendError::KindMismatch {
@@ -327,10 +334,7 @@ impl GraphBuilder {
         }
         if from_node.kind != to_node.kind {
             return Err(FrontendError::InvalidCarry {
-                context: format!(
-                    "kind mismatch: {:?} -> {:?}",
-                    from_node.kind, to_node.kind
-                ),
+                context: format!("kind mismatch: {:?} -> {:?}", from_node.kind, to_node.kind),
             });
         }
         if from_node.carries_into.is_some() {
@@ -352,8 +356,22 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Returns [`FrontendError::Cycle`] if the combinational part of the
-    /// graph (ignoring loop-carried edges) is cyclic.
+    /// graph (ignoring loop-carried edges) is cyclic, or
+    /// [`FrontendError::DuplicateName`] if two caller-visible tensors
+    /// (inputs/constants) share a name.
     pub fn build(self) -> Result<DataflowGraph, FrontendError> {
+        let mut seen: Vec<&str> = Vec::new();
+        for t in &self.tensors {
+            if t.role == TensorRole::Produced {
+                continue;
+            }
+            if seen.contains(&t.name.as_str()) {
+                return Err(FrontendError::DuplicateName {
+                    name: t.name.clone(),
+                });
+            }
+            seen.push(&t.name);
+        }
         let topo_order = topo_sort(&self.tensors, &self.ops)?;
         Ok(DataflowGraph {
             tensors: self.tensors,

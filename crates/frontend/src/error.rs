@@ -38,6 +38,12 @@ pub enum FrontendError {
         /// Which binding and why.
         context: String,
     },
+    /// Two caller-visible tensors (inputs/constants) share a name, which
+    /// would make name-based binding and carry resolution ambiguous.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
 }
 
 impl fmt::Display for FrontendError {
@@ -52,6 +58,9 @@ impl fmt::Display for FrontendError {
             FrontendError::Cycle => write!(f, "combinational cycle in dataflow graph"),
             FrontendError::Uncompilable { context } => write!(f, "cannot compile: {context}"),
             FrontendError::BadBinding { context } => write!(f, "bad binding: {context}"),
+            FrontendError::DuplicateName { name } => {
+                write!(f, "duplicate tensor name {name:?} among inputs/constants")
+            }
         }
     }
 }

@@ -182,10 +182,10 @@ impl EwiseProgram {
                     n_regs = n_regs.max(dst as usize + 1);
                 }
                 EwInstr::Binary { a, b, dst, .. } => {
-                    n_regs = n_regs.max(a.max(b).max(dst) as usize + 1)
+                    n_regs = n_regs.max(a.max(b).max(dst) as usize + 1);
                 }
                 EwInstr::BinaryImm { a, dst, .. } => {
-                    n_regs = n_regs.max(a.max(dst) as usize + 1)
+                    n_regs = n_regs.max(a.max(dst) as usize + 1);
                 }
                 EwInstr::Unary { a, dst, .. } => n_regs = n_regs.max(a.max(dst) as usize + 1),
                 EwInstr::Store { slot, src } => {
@@ -193,7 +193,10 @@ impl EwiseProgram {
                     n_regs = n_regs.max(src as usize + 1);
                 }
                 EwInstr::Accumulate { slot, src, .. } => {
-                    assert!(slot < acc_init.len(), "accumulator slot {slot} out of range");
+                    assert!(
+                        slot < acc_init.len(),
+                        "accumulator slot {slot} out of range"
+                    );
                     n_regs = n_regs.max(src as usize + 1);
                 }
             }
@@ -262,15 +265,15 @@ impl EwiseProgram {
                 EwInstr::Load { slot, dst } => regs[dst as usize] = inputs[slot][lane],
                 EwInstr::LoadParam { idx, dst } => regs[dst as usize] = params[idx],
                 EwInstr::Binary { op, a, b, dst } => {
-                    regs[dst as usize] = op.apply(regs[a as usize], regs[b as usize])
+                    regs[dst as usize] = op.apply(regs[a as usize], regs[b as usize]);
                 }
                 EwInstr::BinaryImm { op, a, imm, dst } => {
-                    regs[dst as usize] = op.apply(regs[a as usize], imm)
+                    regs[dst as usize] = op.apply(regs[a as usize], imm);
                 }
                 EwInstr::Unary { op, a, dst } => regs[dst as usize] = op.apply(regs[a as usize]),
                 EwInstr::Store { slot, src } => outputs[slot][lane] = regs[src as usize],
                 EwInstr::Accumulate { slot, op, src } => {
-                    accs[slot] = op.apply(accs[slot], regs[src as usize])
+                    accs[slot] = op.apply(accs[slot], regs[src as usize]);
                 }
             }
         }
@@ -364,37 +367,36 @@ pub fn compile_group(
 
     // Resolves an operand tensor to a register, emitting Load/LoadParam for
     // group-external operands on first use.
-    let mut operand =
-        |t: TensorId,
-         instrs: &mut Vec<EwInstr>,
-         tensor_reg: &mut HashMap<TensorId, Reg>,
-         alloc_reg: &mut dyn FnMut() -> Result<Reg, FrontendError>|
-         -> Result<Reg, FrontendError> {
-            if let Some(&r) = tensor_reg.get(&t) {
-                return Ok(r);
+    let mut operand = |t: TensorId,
+                       instrs: &mut Vec<EwInstr>,
+                       tensor_reg: &mut HashMap<TensorId, Reg>,
+                       alloc_reg: &mut dyn FnMut() -> Result<Reg, FrontendError>|
+     -> Result<Reg, FrontendError> {
+        if let Some(&r) = tensor_reg.get(&t) {
+            return Ok(r);
+        }
+        let node = g.tensor(t);
+        let r = alloc_reg()?;
+        match node.kind {
+            crate::graph::TensorKind::Vector | crate::graph::TensorKind::DenseMatrix => {
+                let slot = input_tensors.len();
+                input_tensors.push(t);
+                instrs.push(EwInstr::Load { slot, dst: r });
             }
-            let node = g.tensor(t);
-            let r = alloc_reg()?;
-            match node.kind {
-                crate::graph::TensorKind::Vector | crate::graph::TensorKind::DenseMatrix => {
-                    let slot = input_tensors.len();
-                    input_tensors.push(t);
-                    instrs.push(EwInstr::Load { slot, dst: r });
-                }
-                crate::graph::TensorKind::Scalar => {
-                    let idx = param_tensors.len();
-                    param_tensors.push(t);
-                    instrs.push(EwInstr::LoadParam { idx, dst: r });
-                }
-                crate::graph::TensorKind::SparseMatrix => {
-                    return Err(FrontendError::Uncompilable {
-                        context: "sparse matrix operand inside an e-wise group".into(),
-                    });
-                }
+            crate::graph::TensorKind::Scalar => {
+                let idx = param_tensors.len();
+                param_tensors.push(t);
+                instrs.push(EwInstr::LoadParam { idx, dst: r });
             }
-            tensor_reg.insert(t, r);
-            Ok(r)
-        };
+            crate::graph::TensorKind::SparseMatrix => {
+                return Err(FrontendError::Uncompilable {
+                    context: "sparse matrix operand inside an e-wise group".into(),
+                });
+            }
+        }
+        tensor_reg.insert(t, r);
+        Ok(r)
+    };
 
     for &op_id in group {
         let op = g.op(op_id);
@@ -440,7 +442,11 @@ pub fn compile_group(
                 let slot = acc_tensors.len();
                 acc_tensors.push(op.output);
                 acc_init.push(reduce_identity(rop));
-                instrs.push(EwInstr::Accumulate { slot, op: rop, src: a });
+                instrs.push(EwInstr::Accumulate {
+                    slot,
+                    op: rop,
+                    src: a,
+                });
             }
             OpKind::Dot => {
                 let a = operand(op.inputs[0], &mut instrs, &mut tensor_reg, &mut alloc_reg)?;
@@ -476,8 +482,8 @@ pub fn compile_group(
         if g.tensor(out).kind == crate::graph::TensorKind::Scalar {
             continue;
         }
-        let escapes = g.carry_target(out).is_some()
-            || g.consumers(out).iter().any(|&c| !in_group(c));
+        let escapes =
+            g.carry_target(out).is_some() || g.consumers(out).iter().any(|&c| !in_group(c));
         if escapes {
             let slot = output_tensors.len();
             let src = tensor_reg[&out];
@@ -486,12 +492,8 @@ pub fn compile_group(
         }
     }
 
-    let program = EwiseProgram::from_instrs(
-        instrs,
-        input_tensors.len(),
-        output_tensors.len(),
-        acc_init,
-    );
+    let program =
+        EwiseProgram::from_instrs(instrs, input_tensors.len(), output_tensors.len(), acc_init);
     Ok((
         program,
         GroupInterface {
@@ -601,7 +603,9 @@ mod tests {
         let mut b = GraphBuilder::new();
         let v = b.input_vector("v");
         let a = b.ewise_scalar(EwiseBinary::Mul, v, 2.0).unwrap();
-        let c = b.ewise_unary(sparsepipe_semiring::EwiseUnary::Abs, a).unwrap();
+        let c = b
+            .ewise_unary(sparsepipe_semiring::EwiseUnary::Abs, a)
+            .unwrap();
         b.carry(c, v).unwrap();
         let g = b.build().unwrap();
         let fused = fusion::fuse(&g);

@@ -11,13 +11,42 @@
 use serde::{Deserialize, Serialize};
 use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
 
+use crate::FrontendError;
+
 /// Identifier of a tensor (data node) within one graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TensorId(pub(crate) usize);
 
+impl TensorId {
+    /// The raw index of this id within its graph's tensor table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds an id from a raw index. Intended for external verifiers and
+    /// tests that construct graphs via [`DataflowGraph::from_parts`]; an id
+    /// that does not point into the graph it is used with is *dangling* and
+    /// will be reported by `sparsepipe-lint` (or panic in the accessors).
+    pub fn from_raw(index: usize) -> Self {
+        TensorId(index)
+    }
+}
+
 /// Identifier of an operation node within one graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct OpId(pub(crate) usize);
+
+impl OpId {
+    /// The raw index of this id within its graph's op table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds an id from a raw index (see [`TensorId::from_raw`]).
+    pub fn from_raw(index: usize) -> Self {
+        OpId(index)
+    }
+}
 
 /// The shape class of a tensor node. Shapes are symbolic — the same graph
 /// runs on any matrix size.
@@ -171,10 +200,7 @@ impl OpKind {
     pub fn touches_matrix(&self) -> bool {
         matches!(
             self,
-            OpKind::Vxm { .. }
-                | OpKind::Mxv { .. }
-                | OpKind::SpMM { .. }
-                | OpKind::Mxm { .. }
+            OpKind::Vxm { .. } | OpKind::Mxv { .. } | OpKind::SpMM { .. } | OpKind::Mxm { .. }
         )
     }
 }
@@ -203,7 +229,10 @@ pub struct DataflowGraph {
 impl DataflowGraph {
     /// All tensor nodes.
     pub fn tensors(&self) -> impl Iterator<Item = (TensorId, &TensorNode)> {
-        self.tensors.iter().enumerate().map(|(i, t)| (TensorId(i), t))
+        self.tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TensorId(i), t))
     }
 
     /// All operation nodes.
@@ -215,18 +244,36 @@ impl DataflowGraph {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not from this graph.
+    /// Panics if `id` is not from this graph; use
+    /// [`DataflowGraph::try_tensor`] to get a diagnosable error instead.
     pub fn tensor(&self, id: TensorId) -> &TensorNode {
-        &self.tensors[id.0]
+        self.try_tensor(id)
+            .unwrap_or_else(|e| panic!("{e} (graph has {} tensors)", self.tensors.len()))
+    }
+
+    /// The tensor node for `id`, or [`FrontendError::UnknownTensor`] if the
+    /// id does not belong to this graph.
+    pub fn try_tensor(&self, id: TensorId) -> Result<&TensorNode, FrontendError> {
+        self.tensors
+            .get(id.0)
+            .ok_or(FrontendError::UnknownTensor(id))
     }
 
     /// The operation node for `id`.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not from this graph.
+    /// Panics if `id` is not from this graph; use [`DataflowGraph::try_op`]
+    /// to get a diagnosable error instead.
     pub fn op(&self, id: OpId) -> &OpNode {
-        &self.ops[id.0]
+        self.try_op(id)
+            .unwrap_or_else(|e| panic!("{e} (graph has {} ops)", self.ops.len()))
+    }
+
+    /// The operation node for `id`, or [`FrontendError::UnknownOp`] if the
+    /// id does not belong to this graph.
+    pub fn try_op(&self, id: OpId) -> Result<&OpNode, FrontendError> {
+        self.ops.get(id.0).ok_or(FrontendError::UnknownOp(id))
     }
 
     /// Number of operation nodes.
@@ -246,10 +293,7 @@ impl DataflowGraph {
 
     /// The operation that produces tensor `t`, if any.
     pub fn producer(&self, t: TensorId) -> Option<OpId> {
-        self.ops
-            .iter()
-            .position(|o| o.output == t)
-            .map(OpId)
+        self.ops.iter().position(|o| o.output == t).map(OpId)
     }
 
     /// All operations that consume tensor `t`.
@@ -291,6 +335,26 @@ impl DataflowGraph {
             .iter()
             .position(|t| t.kind == TensorKind::SparseMatrix && t.role == TensorRole::Constant)
             .map(TensorId)
+    }
+
+    /// Assembles a graph from raw node tables **without validation**.
+    ///
+    /// [`GraphBuilder`](crate::GraphBuilder) is the supported construction
+    /// path and upholds every structural invariant; this escape hatch
+    /// exists so external verifiers (`sparsepipe-lint`) and tests can
+    /// materialize deliberately malformed graphs — dangling ids, duplicate
+    /// producers, bogus topological orders — and check that they are
+    /// *detected* rather than executed.
+    pub fn from_parts(
+        tensors: Vec<TensorNode>,
+        ops: Vec<OpNode>,
+        topo_order: Vec<OpId>,
+    ) -> DataflowGraph {
+        DataflowGraph {
+            tensors,
+            ops,
+            topo_order,
+        }
     }
 }
 

@@ -92,11 +92,11 @@ pub fn run(
     for (id, node) in graph.tensors() {
         match node.role {
             TensorRole::Input | TensorRole::Constant => {
-                let v = bindings.get(&node.name).ok_or_else(|| {
-                    FrontendError::BadBinding {
+                let v = bindings
+                    .get(&node.name)
+                    .ok_or_else(|| FrontendError::BadBinding {
                         context: format!("missing binding for {:?}", node.name),
-                    }
-                })?;
+                    })?;
                 if v.kind() != node.kind {
                     return Err(FrontendError::BadBinding {
                         context: format!(
@@ -175,9 +175,12 @@ fn eval_op(
                 _ => return Err(bad("vxm matrix".into())),
             };
             let y = a
-                .vxm_with(x, semiring.zero(), |p, q| semiring.mul(p, q), |p, q| {
-                    semiring.add(p, q)
-                })
+                .vxm_with(
+                    x,
+                    semiring.zero(),
+                    |p, q| semiring.mul(p, q),
+                    |p, q| semiring.add(p, q),
+                )
                 .map_err(|e| bad(format!("vxm: {e}")))?;
             Value::Vector(y)
         }
@@ -199,8 +202,7 @@ fn eval_op(
             }
             let mut y = vec![semiring.zero(); a.nrows() as usize];
             for (r, c, v) in a.iter() {
-                y[r as usize] =
-                    semiring.add(y[r as usize], semiring.mul(v, x[c as usize]));
+                y[r as usize] = semiring.add(y[r as usize], semiring.mul(v, x[c as usize]));
             }
             Value::Vector(DenseVector::from(y))
         }
@@ -238,9 +240,12 @@ fn eval_op(
             for j in 0..f {
                 let col: DenseVector = (0..h.nrows()).map(|r| h.get(r, j)).collect();
                 let y = a
-                    .vxm_with(&col, semiring.zero(), |p, q| semiring.mul(p, q), |p, q| {
-                        semiring.add(p, q)
-                    })
+                    .vxm_with(
+                        &col,
+                        semiring.zero(),
+                        |p, q| semiring.mul(p, q),
+                        |p, q| semiring.add(p, q),
+                    )
                     .map_err(|e| bad(format!("spmm: {e}")))?;
                 for (r, &v) in y.as_slice().iter().enumerate() {
                     out.set(r, j, v);
@@ -249,8 +254,12 @@ fn eval_op(
             Value::Dense(out)
         }
         OpKind::DenseMM => {
-            let x = val(0)?.as_dense().ok_or_else(|| bad("dense_mm lhs".into()))?;
-            let w = val(1)?.as_dense().ok_or_else(|| bad("dense_mm rhs".into()))?;
+            let x = val(0)?
+                .as_dense()
+                .ok_or_else(|| bad("dense_mm lhs".into()))?;
+            let w = val(1)?
+                .as_dense()
+                .ok_or_else(|| bad("dense_mm rhs".into()))?;
             Value::Dense(x.matmul(w).map_err(|e| bad(format!("dense_mm: {e}")))?)
         }
         OpKind::EwiseBinary { op: bop } => match (val(0)?, val(1)?) {
@@ -287,9 +296,7 @@ fn eval_op(
                 .as_scalar()
                 .ok_or_else(|| bad("broadcast scalar".into()))?;
             match val(0)? {
-                Value::Vector(a) => {
-                    Value::Vector(a.iter().map(|&x| bop.apply(x, s)).collect())
-                }
+                Value::Vector(a) => Value::Vector(a.iter().map(|&x| bop.apply(x, s)).collect()),
                 Value::Dense(a) => {
                     let mut out = a.clone();
                     out.map_inplace(|x| bop.apply(x, s));
@@ -317,7 +324,9 @@ fn eval_op(
             _ => return Err(bad("ewise_unary input".into())),
         },
         OpKind::Reduce { op: rop } => {
-            let a = val(0)?.as_vector().ok_or_else(|| bad("reduce input".into()))?;
+            let a = val(0)?
+                .as_vector()
+                .ok_or_else(|| bad("reduce input".into()))?;
             let init = crate::ewise_vm::reduce_identity(rop);
             Value::Scalar(a.iter().fold(init, |acc, &v| rop.apply(acc, v)))
         }
@@ -350,16 +359,17 @@ mod tests {
         let m = gen::uniform(8, 8, 20, 4);
         let csc = m.to_csc();
         let mut bindings = Bindings::new();
-        bindings.insert("pr".into(), Value::Vector(DenseVector::filled(8, 1.0 / 8.0)));
+        bindings.insert(
+            "pr".into(),
+            Value::Vector(DenseVector::filled(8, 1.0 / 8.0)),
+        );
         bindings.insert("L".into(), Value::sparse(&m));
 
         let out = run(&g, &bindings, 3).unwrap();
         // Hand-rolled reference.
         let mut v = DenseVector::filled(8, 1.0 / 8.0);
         for _ in 0..3 {
-            let y = csc
-                .vxm::<sparsepipe_semiring::MulAdd>(&v)
-                .unwrap();
+            let y = csc.vxm::<sparsepipe_semiring::MulAdd>(&v).unwrap();
             v = y.iter().map(|&x| x * 0.85 + 0.15 / 8.0).collect();
         }
         let got = out["pr"].as_vector().unwrap();
@@ -451,8 +461,8 @@ mod tests {
         let g = b.build().unwrap();
 
         let adj = gen::uniform(6, 6, 12, 2);
-        let h0 = DenseMatrix::from_row_major(6, 2, (0..12).map(|i| i as f64 - 5.0).collect())
-            .unwrap();
+        let h0 =
+            DenseMatrix::from_row_major(6, 2, (0..12).map(|i| i as f64 - 5.0).collect()).unwrap();
         let w0 = DenseMatrix::from_row_major(2, 2, vec![1.0, -1.0, 0.5, 2.0]).unwrap();
         let mut bindings = Bindings::new();
         bindings.insert("H".into(), Value::Dense(h0.clone()));
@@ -504,10 +514,7 @@ mod mxv_tests {
                 _ => None,
             })
             .expect("mxv output present");
-        let expected = m
-            .to_csr()
-            .spmv::<sparsepipe_semiring::MulAdd>(&xv)
-            .unwrap();
+        let expected = m.to_csr().spmv::<sparsepipe_semiring::MulAdd>(&xv).unwrap();
         assert!(got.max_abs_diff(&expected).unwrap() < 1e-12);
     }
 
@@ -519,17 +526,15 @@ mod mxv_tests {
         let x = b.input_vector("x");
         let a = b.constant_matrix("A");
         let y = b.mxv(a, x, SemiringOp::MinAdd).unwrap();
-        let next = b.ewise(sparsepipe_semiring::EwiseBinary::Min, x, y).unwrap();
+        let next = b
+            .ewise(sparsepipe_semiring::EwiseBinary::Min, x, y)
+            .unwrap();
         b.carry(next, x).unwrap();
         let g = b.build().unwrap();
 
         // path 0 -> 1 -> 2 with weights; mxv relaxes along *incoming* rows
-        let m = sparsepipe_tensor::CooMatrix::from_entries(
-            3,
-            3,
-            vec![(1, 0, 2.0), (2, 1, 3.0)],
-        )
-        .unwrap();
+        let m = sparsepipe_tensor::CooMatrix::from_entries(3, 3, vec![(1, 0, 2.0), (2, 1, 3.0)])
+            .unwrap();
         let mut dist = DenseVector::filled(3, f64::INFINITY);
         dist[0] = 0.0;
         let mut bindings = Bindings::new();

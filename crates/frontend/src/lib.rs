@@ -66,5 +66,7 @@ pub mod program;
 
 pub use builder::GraphBuilder;
 pub use error::FrontendError;
-pub use graph::{DataflowGraph, OpId, OpKind, TensorId, TensorKind, TensorRole};
+pub use graph::{
+    DataflowGraph, OpId, OpKind, OpNode, TensorId, TensorKind, TensorNode, TensorRole,
+};
 pub use program::{compile, OperatorClass, OperatorSummary, SparsepipeProgram, WorkloadProfile};

@@ -137,7 +137,10 @@ impl SparsepipeProgram {
 ///
 /// Returns [`FrontendError::Uncompilable`] if the graph has no matrix
 /// operator, or an e-wise group fails to compile.
-pub fn compile(graph: &DataflowGraph, feature_dim: usize) -> Result<SparsepipeProgram, FrontendError> {
+pub fn compile(
+    graph: &DataflowGraph,
+    feature_dim: usize,
+) -> Result<SparsepipeProgram, FrontendError> {
     let analysis = analysis::analyze(graph);
     if analysis.matrix_ops.is_empty() {
         return Err(FrontendError::Uncompilable {
@@ -293,8 +296,7 @@ fn build_profile(
                         // staged on chip by the pipeline
                         graph
                             .producer(t)
-                            .map(|p| graph.op(p).kind.is_ewise())
-                            .unwrap_or(true)
+                            .is_none_or(|p| graph.op(p).kind.is_ewise())
                     }
                 }
             })
@@ -335,7 +337,7 @@ fn build_profile(
 
     WorkloadProfile {
         has_oei: analysis.oei.is_some(),
-        cross_iteration: analysis.oei.as_ref().map(|o| o.cross_iteration).unwrap_or(false),
+        cross_iteration: analysis.oei.as_ref().is_some_and(|o| o.cross_iteration),
         matrix_passes: analysis.matrix_ops.len(),
         feature_dim: feature_dim.max(1),
         ewise_flops_per_element: ewise_total.max(ewise_flops),

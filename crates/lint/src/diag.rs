@@ -1,0 +1,212 @@
+//! Structured diagnostics: codes, severities, and the report container.
+//!
+//! Every check in this crate reports through a [`Diagnostic`] rather than
+//! panicking, so callers (the bench CLI, app compilation, tests) can decide
+//! what to do with findings. Codes are grouped in families:
+//!
+//! | family | category |
+//! |---|---|
+//! | `SP-G…` | graph well-formedness |
+//! | `SP-S…` | shape & semiring consistency |
+//! | `SP-O…` | OEI fusion-legality oracle |
+//! | `SP-P…` | pass-plan feasibility |
+
+use std::fmt;
+
+use sparsepipe_frontend::{OpId, TensorId};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A hint that something may be suboptimal or degrade performance; the
+    /// artifact is still executable.
+    Warning,
+    /// The artifact violates an invariant the simulator/compiler relies on.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: a code, a severity, the graph entity it anchors to, and a
+/// span-style human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (e.g. `"SP-G003"`).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The operation the finding anchors to, if any.
+    pub op: Option<OpId>,
+    /// The tensor the finding anchors to, if any.
+    pub tensor: Option<TensorId>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        match (self.op, self.tensor) {
+            (Some(op), Some(t)) => write!(f, " at op #{} / tensor #{}", op.index(), t.index())?,
+            (Some(op), None) => write!(f, " at op #{}", op.index())?,
+            (None, Some(t)) => write!(f, " at tensor #{}", t.index())?,
+            (None, None) => {}
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of a lint run: every diagnostic, in check order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an error finding.
+    pub fn error(
+        &mut self,
+        code: &'static str,
+        op: Option<OpId>,
+        tensor: Option<TensorId>,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: Severity::Error,
+            op,
+            tensor,
+            message: message.into(),
+        });
+    }
+
+    /// Records a warning finding.
+    pub fn warning(
+        &mut self,
+        code: &'static str,
+        op: Option<OpId>,
+        tensor: Option<TensorId>,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: Severity::Warning,
+            op,
+            tensor,
+            message: message.into(),
+        });
+    }
+
+    /// All findings, in check order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// `true` when no error-severity finding was recorded (warnings are
+    /// allowed).
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// `true` when at least one error-severity finding was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// `true` when any finding (of any severity) carries `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// `true` when any finding's code starts with `prefix` (e.g. `"SP-G"`).
+    pub fn has_code_prefix(&self, prefix: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code.starts_with(prefix))
+    }
+
+    /// Merges another report's findings into this one.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "lint: clean");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "lint: {} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_display() {
+        let mut r = LintReport::new();
+        assert!(r.is_clean());
+        r.warning("SP-P007", None, None, "working set near capacity");
+        assert!(r.is_clean(), "warnings alone keep the report clean");
+        r.error("SP-G001", None, Some(TensorId::from_raw(3)), "dangling id");
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_code("SP-G001"));
+        assert!(r.has_code_prefix("SP-P"));
+        assert!(!r.has_code("SP-O001"));
+        let text = r.to_string();
+        assert!(text.contains("error[SP-G001] at tensor #3"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn diagnostic_display_spans() {
+        let d = Diagnostic {
+            code: "SP-S001",
+            severity: Severity::Error,
+            op: Some(OpId::from_raw(2)),
+            tensor: Some(TensorId::from_raw(5)),
+            message: "vxm input 0 must be a vector".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "error[SP-S001] at op #2 / tensor #5: vxm input 0 must be a vector"
+        );
+    }
+}

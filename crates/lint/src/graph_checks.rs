@@ -1,0 +1,508 @@
+//! Graph well-formedness checks (`SP-G…`).
+//!
+//! [`GraphBuilder`](sparsepipe_frontend::GraphBuilder) upholds these
+//! invariants by construction; this module re-verifies them on any
+//! [`DataflowGraph`] — including ones assembled through
+//! `DataflowGraph::from_parts` — so downstream passes (analysis, fusion,
+//! compilation, simulation) can assume them without panicking.
+//!
+//! | code | invariant |
+//! |---|---|
+//! | SP-G001 | every referenced `TensorId` points into the tensor table |
+//! | SP-G002 | every `OpId` in the topo order points into the op table |
+//! | SP-G003 | every tensor has at most one producer |
+//! | SP-G004 | producer existence matches the `Produced` role |
+//! | SP-G005 | the topo order is a permutation of all ops |
+//! | SP-G006 | the topo order schedules producers before consumers |
+//! | SP-G007 | the graph is acyclic modulo loop-carried edges |
+//! | SP-G008 | loop-carried edges connect `Produced` → `Input` of equal kind, one per target |
+
+use sparsepipe_frontend::{DataflowGraph, TensorRole};
+
+use crate::diag::LintReport;
+
+/// Runs every `SP-G` check on `g`, appending findings to `report`.
+pub fn check(g: &DataflowGraph, report: &mut LintReport) {
+    let dangling = check_dangling_ids(g, report);
+    if dangling {
+        // Index-based checks below would themselves dereference dangling
+        // ids; one structural error at a time.
+        return;
+    }
+    check_producers(g, report);
+    check_topo_order(g, report);
+    check_acyclic(g, report);
+    check_carries(g, report);
+}
+
+/// SP-G001 / SP-G002: dangling ids. Returns `true` if any were found.
+fn check_dangling_ids(g: &DataflowGraph, report: &mut LintReport) -> bool {
+    let mut found = false;
+    for (op_id, op) in g.ops() {
+        for &t in op.inputs.iter().chain(std::iter::once(&op.output)) {
+            if g.try_tensor(t).is_err() {
+                found = true;
+                report.error(
+                    "SP-G001",
+                    Some(op_id),
+                    Some(t),
+                    format!(
+                        "op #{} references tensor #{} but the graph has only {} tensors",
+                        op_id.index(),
+                        t.index(),
+                        g.n_tensors()
+                    ),
+                );
+            }
+        }
+    }
+    for (tid, node) in g.tensors() {
+        if let Some(dst) = node.carries_into {
+            if g.try_tensor(dst).is_err() {
+                found = true;
+                report.error(
+                    "SP-G001",
+                    None,
+                    Some(tid),
+                    format!(
+                        "tensor {:?} carries into tensor #{} which does not exist",
+                        node.name,
+                        dst.index()
+                    ),
+                );
+            }
+        }
+    }
+    for &op in g.topo_order() {
+        if g.try_op(op).is_err() {
+            found = true;
+            report.error(
+                "SP-G002",
+                Some(op),
+                None,
+                format!(
+                    "topological order references op #{} but the graph has only {} ops",
+                    op.index(),
+                    g.n_ops()
+                ),
+            );
+        }
+    }
+    found
+}
+
+/// SP-G003 / SP-G004: single-producer property and role consistency.
+fn check_producers(g: &DataflowGraph, report: &mut LintReport) {
+    let mut producers = vec![0usize; g.n_tensors()];
+    for (_, op) in g.ops() {
+        producers[op.output.index()] += 1;
+    }
+    for (tid, node) in g.tensors() {
+        let n = producers[tid.index()];
+        if n > 1 {
+            report.error(
+                "SP-G003",
+                None,
+                Some(tid),
+                format!(
+                    "tensor {:?} is produced by {n} operations (SSA requires one)",
+                    node.name
+                ),
+            );
+        }
+        let produced = n > 0;
+        let role_produced = node.role == TensorRole::Produced;
+        if produced != role_produced {
+            report.error(
+                "SP-G004",
+                None,
+                Some(tid),
+                if produced {
+                    format!(
+                        "tensor {:?} has role {:?} but is produced by an operation",
+                        node.name, node.role
+                    )
+                } else {
+                    format!(
+                        "tensor {:?} has role Produced but no operation produces it",
+                        node.name
+                    )
+                },
+            );
+        }
+    }
+}
+
+/// SP-G005 / SP-G006: the stored topo order is a valid schedule.
+fn check_topo_order(g: &DataflowGraph, report: &mut LintReport) {
+    let order = g.topo_order();
+    let mut seen = vec![false; g.n_ops()];
+    let mut valid_permutation = order.len() == g.n_ops();
+    for &op in order {
+        if seen[op.index()] {
+            valid_permutation = false;
+            report.error(
+                "SP-G005",
+                Some(op),
+                None,
+                format!(
+                    "op #{} appears more than once in the topological order",
+                    op.index()
+                ),
+            );
+        }
+        seen[op.index()] = true;
+    }
+    if !valid_permutation {
+        let missing: Vec<usize> = seen
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| !s)
+            .map(|(i, _)| i)
+            .collect();
+        report.error(
+            "SP-G005",
+            None,
+            None,
+            format!(
+                "topological order covers {}/{} ops (missing: {missing:?})",
+                order.len() - (order.len().saturating_sub(g.n_ops())),
+                g.n_ops()
+            ),
+        );
+        return; // position-based dependency check needs a permutation
+    }
+
+    let mut position = vec![0usize; g.n_ops()];
+    for (pos, &op) in order.iter().enumerate() {
+        position[op.index()] = pos;
+    }
+    for &op in order {
+        for &input in &g.op(op).inputs {
+            if let Some(producer) = g.producer(input) {
+                if position[producer.index()] >= position[op.index()] {
+                    report.error(
+                        "SP-G006",
+                        Some(op),
+                        Some(input),
+                        format!(
+                            "op #{} is scheduled before op #{}, which produces its input tensor #{}",
+                            op.index(),
+                            producer.index(),
+                            input.index()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// SP-G007: combinational acyclicity, re-derived with a fresh Kahn pass
+/// over producer→consumer edges (loop-carried edges are tensor attributes,
+/// not dataflow edges, so they are inherently excluded).
+fn check_acyclic(g: &DataflowGraph, report: &mut LintReport) {
+    let n = g.n_ops();
+    let mut indegree = vec![0usize; n];
+    // count distinct producer edges per consumer
+    for (cid, op) in g.ops() {
+        let mut producers: Vec<usize> = op
+            .inputs
+            .iter()
+            .filter_map(|&t| g.producer(t))
+            .map(sparsepipe_frontend::OpId::index)
+            .collect();
+        producers.sort_unstable();
+        producers.dedup();
+        indegree[cid.index()] = producers.len();
+    }
+    let mut ready: Vec<usize> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut scheduled = 0usize;
+    while let Some(op) = ready.pop() {
+        scheduled += 1;
+        let output = g.op(sparsepipe_frontend::OpId::from_raw(op)).output;
+        let mut consumers: Vec<usize> = g.consumers(output).iter().map(|c| c.index()).collect();
+        consumers.sort_unstable();
+        consumers.dedup();
+        for c in consumers {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    if scheduled != n {
+        let stuck: Vec<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(i, _)| i)
+            .collect();
+        report.error(
+            "SP-G007",
+            None,
+            None,
+            format!(
+                "combinational cycle: ops {stuck:?} can never be scheduled \
+                 (only loop-carried edges may close cycles)"
+            ),
+        );
+    }
+}
+
+/// SP-G008: loop-carried edge validity.
+fn check_carries(g: &DataflowGraph, report: &mut LintReport) {
+    let mut carried_into = vec![false; g.n_tensors()];
+    for (src, dst) in g.carries() {
+        let src_node = g.tensor(src);
+        let dst_node = g.tensor(dst);
+        if src_node.role != TensorRole::Produced {
+            report.error(
+                "SP-G008",
+                None,
+                Some(src),
+                format!(
+                    "carry source {:?} has role {:?}; only produced tensors carry forward",
+                    src_node.name, src_node.role
+                ),
+            );
+        }
+        if dst_node.role != TensorRole::Input {
+            report.error(
+                "SP-G008",
+                None,
+                Some(dst),
+                format!(
+                    "carry target {:?} has role {:?}; carries must feed next-iteration inputs",
+                    dst_node.name, dst_node.role
+                ),
+            );
+        }
+        if src_node.kind != dst_node.kind {
+            report.error(
+                "SP-G008",
+                None,
+                Some(src),
+                format!(
+                    "carry connects kind-incompatible tensors: {:?} is {:?} but {:?} is {:?}",
+                    src_node.name, src_node.kind, dst_node.name, dst_node.kind
+                ),
+            );
+        }
+        if carried_into[dst.index()] {
+            report.error(
+                "SP-G008",
+                None,
+                Some(dst),
+                format!(
+                    "tensor {:?} receives more than one loop-carried value",
+                    dst_node.name
+                ),
+            );
+        }
+        carried_into[dst.index()] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sparsepipe_frontend::{
+        DataflowGraph, GraphBuilder, OpId, OpKind, TensorId, TensorKind, TensorNode, TensorRole,
+    };
+    use sparsepipe_semiring::SemiringOp;
+
+    use super::*;
+
+    fn tensor(name: &str, kind: TensorKind, role: TensorRole) -> TensorNode {
+        TensorNode {
+            name: name.into(),
+            kind,
+            role,
+            carries_into: None,
+        }
+    }
+
+    fn vxm_op(input: usize, matrix: usize, output: usize) -> sparsepipe_frontend::OpNode {
+        sparsepipe_frontend::OpNode {
+            kind: OpKind::Vxm {
+                semiring: SemiringOp::MulAdd,
+            },
+            inputs: vec![TensorId::from_raw(input), TensorId::from_raw(matrix)],
+            output: TensorId::from_raw(output),
+        }
+    }
+
+    fn lint(g: &DataflowGraph) -> LintReport {
+        let mut r = LintReport::new();
+        check(g, &mut r);
+        r
+    }
+
+    #[test]
+    fn builder_graphs_are_clean() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(v, l, SemiringOp::MulAdd).unwrap();
+        b.carry(y, v).unwrap();
+        let g = b.build().unwrap();
+        let r = lint(&g);
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.diagnostics().len(), 0);
+    }
+
+    #[test]
+    fn dangling_tensor_id_is_sp_g001() {
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector, TensorRole::Input),
+                tensor("L", TensorKind::SparseMatrix, TensorRole::Constant),
+                tensor("y", TensorKind::Vector, TensorRole::Produced),
+            ],
+            vec![vxm_op(0, 7, 2)], // matrix id 7 does not exist
+            vec![OpId::from_raw(0)],
+        );
+        let r = lint(&g);
+        assert!(r.has_code("SP-G001"), "{r}");
+    }
+
+    #[test]
+    fn dangling_op_in_topo_order_is_sp_g002() {
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector, TensorRole::Input),
+                tensor("L", TensorKind::SparseMatrix, TensorRole::Constant),
+                tensor("y", TensorKind::Vector, TensorRole::Produced),
+            ],
+            vec![vxm_op(0, 1, 2)],
+            vec![OpId::from_raw(0), OpId::from_raw(9)],
+        );
+        assert!(lint(&g).has_code("SP-G002"));
+    }
+
+    #[test]
+    fn duplicate_producer_is_sp_g003() {
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector, TensorRole::Input),
+                tensor("L", TensorKind::SparseMatrix, TensorRole::Constant),
+                tensor("y", TensorKind::Vector, TensorRole::Produced),
+            ],
+            vec![vxm_op(0, 1, 2), vxm_op(0, 1, 2)], // both write y
+            vec![OpId::from_raw(0), OpId::from_raw(1)],
+        );
+        assert!(lint(&g).has_code("SP-G003"));
+    }
+
+    #[test]
+    fn role_mismatch_is_sp_g004() {
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector, TensorRole::Input),
+                tensor("L", TensorKind::SparseMatrix, TensorRole::Constant),
+                // produced by the op below, but declared Input
+                tensor("y", TensorKind::Vector, TensorRole::Input),
+                // declared Produced, but nothing writes it
+                tensor("ghost", TensorKind::Vector, TensorRole::Produced),
+            ],
+            vec![vxm_op(0, 1, 2)],
+            vec![OpId::from_raw(0)],
+        );
+        let r = lint(&g);
+        assert_eq!(
+            r.diagnostics()
+                .iter()
+                .filter(|d| d.code == "SP-G004")
+                .count(),
+            2,
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn incomplete_topo_order_is_sp_g005() {
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector, TensorRole::Input),
+                tensor("L", TensorKind::SparseMatrix, TensorRole::Constant),
+                tensor("y", TensorKind::Vector, TensorRole::Produced),
+                tensor("z", TensorKind::Vector, TensorRole::Produced),
+            ],
+            vec![vxm_op(0, 1, 2), vxm_op(2, 1, 3)],
+            vec![OpId::from_raw(1)], // op 0 missing
+        );
+        assert!(lint(&g).has_code("SP-G005"));
+    }
+
+    #[test]
+    fn consumer_before_producer_is_sp_g006() {
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector, TensorRole::Input),
+                tensor("L", TensorKind::SparseMatrix, TensorRole::Constant),
+                tensor("y", TensorKind::Vector, TensorRole::Produced),
+                tensor("z", TensorKind::Vector, TensorRole::Produced),
+            ],
+            vec![vxm_op(0, 1, 2), vxm_op(2, 1, 3)],
+            // op 1 consumes y (produced by op 0) but is scheduled first
+            vec![OpId::from_raw(1), OpId::from_raw(0)],
+        );
+        assert!(lint(&g).has_code("SP-G006"));
+    }
+
+    #[test]
+    fn combinational_cycle_is_sp_g007() {
+        // y = vxm(z, L); z = vxm(y, L): a two-op cycle with no carry.
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("L", TensorKind::SparseMatrix, TensorRole::Constant),
+                tensor("y", TensorKind::Vector, TensorRole::Produced),
+                tensor("z", TensorKind::Vector, TensorRole::Produced),
+            ],
+            vec![vxm_op(2, 0, 1), vxm_op(1, 0, 2)],
+            vec![OpId::from_raw(0), OpId::from_raw(1)],
+        );
+        let r = lint(&g);
+        assert!(r.has_code("SP-G007"), "{r}");
+    }
+
+    #[test]
+    fn kind_incompatible_carry_is_sp_g008() {
+        let mut y = tensor("y", TensorKind::Vector, TensorRole::Produced);
+        y.carries_into = Some(TensorId::from_raw(3)); // a Scalar input
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector, TensorRole::Input),
+                tensor("L", TensorKind::SparseMatrix, TensorRole::Constant),
+                y,
+                tensor("s", TensorKind::Scalar, TensorRole::Input),
+            ],
+            vec![vxm_op(0, 1, 2)],
+            vec![OpId::from_raw(0)],
+        );
+        assert!(lint(&g).has_code("SP-G008"));
+    }
+
+    #[test]
+    fn carry_from_constant_is_sp_g008() {
+        let mut l = tensor("L", TensorKind::SparseMatrix, TensorRole::Constant);
+        l.carries_into = Some(TensorId::from_raw(0));
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector, TensorRole::Input),
+                l,
+                tensor("y", TensorKind::Vector, TensorRole::Produced),
+            ],
+            vec![vxm_op(0, 1, 2)],
+            vec![OpId::from_raw(0)],
+        );
+        let r = lint(&g);
+        // source role (Constant) and kind mismatch (matrix→vector) both fire
+        assert!(r.has_code("SP-G008"), "{r}");
+    }
+}

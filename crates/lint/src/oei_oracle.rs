@@ -1,0 +1,485 @@
+//! Independent OEI fusion-legality oracle (`SP-O…`).
+//!
+//! `sparsepipe_frontend::analysis::analyze` decides, per graph, whether two
+//! matrix operators may fuse under the OEI dataflow. A wrong answer is
+//! costly in both directions: a false *positive* simulates an illegal
+//! schedule (the CG/BiCGSTAB scalar-reduction hazard), a false *negative*
+//! silently forfeits the paper's headline reuse. This module re-derives
+//! the legality conditions of §III-A **from scratch** — a taint fixpoint
+//! instead of the analyzer's worklist, a DFS pair enumeration instead of
+//! its first-hit BFS — and cross-checks the analyzer's published
+//! [`Analysis`] against the oracle's answer.
+//!
+//! The legality conditions re-derived here:
+//!
+//! 1. a path from the OS matrix op's output to the IS matrix op's vector
+//!    input, crossing **at most one** loop-carried edge;
+//! 2. every op on the path has *sub-tensor dependency*
+//!    ([`sparsepipe_frontend::OpKind::has_subtensor_dependency`]);
+//! 3. no op on the path takes a **side operand tainted** by a matrix op of
+//!    the same iteration (a scalar like CG's `α = rᵀr/pᵀAp` depends on
+//!    every element of the `vxm` output — the scalar-reduction blocker);
+//! 4. both matrix ops read the **same shared matrix** operand.
+//!
+//! | code | disagreement |
+//! |---|---|
+//! | SP-O001 | analysis claims OEI; the oracle finds no legal pair |
+//! | SP-O002 | the oracle finds a legal pair; analysis claims none |
+//! | SP-O003 | pair agreed, but the `cross_iteration` flag differs |
+//! | SP-O004 | the analysis's specific (os, is) pair is not legal |
+//! | SP-O005 | the reported e-wise path is broken or illegal |
+//! | SP-O006 | the analysis's taint set differs from the oracle's |
+
+use std::collections::HashSet;
+
+use sparsepipe_frontend::analysis::{Analysis, OeiSubgraph};
+use sparsepipe_frontend::{DataflowGraph, OpId, TensorId, TensorRole};
+
+use crate::diag::LintReport;
+
+/// One legal OEI pairing found by the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OraclePair {
+    /// The output-stationary matrix op.
+    pub os_op: OpId,
+    /// The input-stationary matrix op.
+    pub is_op: OpId,
+    /// Whether the connecting path crosses a loop-carried edge.
+    pub cross_iteration: bool,
+}
+
+/// Recomputes the tainted-tensor set as a dataflow fixpoint: a tensor is
+/// tainted when it is a matrix op's output or any of its producer's inputs
+/// is tainted (within one iteration — loop-carried edges do not propagate).
+pub fn derive_taint(g: &DataflowGraph) -> Vec<bool> {
+    let mut tainted = vec![false; g.n_tensors()];
+    loop {
+        let mut changed = false;
+        for (_, op) in g.ops() {
+            let out_tainted =
+                op.kind.touches_matrix() || op.inputs.iter().any(|&t| tainted[t.index()]);
+            if out_tainted && !tainted[op.output.index()] {
+                tainted[op.output.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return tainted;
+        }
+    }
+}
+
+/// Enumerates **every** legal OEI pairing in `g` by depth-first search
+/// from each matrix op's output.
+pub fn derive_pairs(g: &DataflowGraph) -> Vec<OraclePair> {
+    let tainted = derive_taint(g);
+    let matrix_ops: Vec<OpId> = g
+        .ops()
+        .filter(|(_, op)| op.kind.touches_matrix())
+        .map(|(id, _)| id)
+        .collect();
+
+    let mut pairs = Vec::new();
+    for &os_op in &matrix_ops {
+        let Some(&shared_matrix) = g.op(os_op).inputs.get(1) else {
+            continue;
+        };
+        let mut visited: HashSet<(TensorId, bool)> = HashSet::new();
+        let mut stack = vec![(g.op(os_op).output, false)];
+        visited.insert((g.op(os_op).output, false));
+        while let Some((cur, crossed)) = stack.pop() {
+            for consumer in g.consumers(cur) {
+                let node = g.op(consumer);
+                // Terminal: a matrix op reading `cur` as its vector operand
+                // over the same shared matrix.
+                if node.kind.touches_matrix()
+                    && node.inputs.first() == Some(&cur)
+                    && node.inputs.get(1) == Some(&shared_matrix)
+                    && (crossed || consumer != os_op)
+                {
+                    let pair = OraclePair {
+                        os_op,
+                        is_op: consumer,
+                        cross_iteration: crossed,
+                    };
+                    if !pairs.contains(&pair) {
+                        pairs.push(pair);
+                    }
+                }
+                // Extension: sub-tensor-dependency op with clean sides.
+                if node.kind.has_subtensor_dependency()
+                    && side_operands_clean(g, consumer, cur, &tainted)
+                    && visited.insert((node.output, crossed))
+                {
+                    stack.push((node.output, crossed));
+                }
+            }
+            if !crossed {
+                if let Some(next) = g.carry_target(cur) {
+                    if visited.insert((next, true)) {
+                        stack.push((next, true));
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Condition (3): every operand of `op` other than the path tensor must be
+/// available before the OS pass completes — a live-in, a constant, or an
+/// untainted intermediate.
+fn side_operands_clean(
+    g: &DataflowGraph,
+    op: OpId,
+    path_tensor: TensorId,
+    tainted: &[bool],
+) -> bool {
+    g.op(op).inputs.iter().all(|&input| {
+        input == path_tensor
+            || matches!(
+                g.tensor(input).role,
+                TensorRole::Input | TensorRole::Constant
+            )
+            || !tainted[input.index()]
+    })
+}
+
+/// Cross-checks `analysis` against the oracle, appending `SP-O`
+/// disagreements to `report`.
+///
+/// Assumes `g` passed the `SP-G` checks (ids are dereferenced).
+pub fn check(g: &DataflowGraph, analysis: &Analysis, report: &mut LintReport) {
+    check_taint(g, analysis, report);
+    let pairs = derive_pairs(g);
+    match (&analysis.oei, pairs.is_empty()) {
+        (None, true) => {}
+        (None, false) => {
+            let p = pairs[0];
+            report.error(
+                "SP-O002",
+                Some(p.os_op),
+                None,
+                format!(
+                    "analysis reports no OEI subgraph, but fusing op #{} (OS) with op #{} (IS, \
+                     cross_iteration={}) is legal — cross-iteration reuse forfeited",
+                    p.os_op.index(),
+                    p.is_op.index(),
+                    p.cross_iteration
+                ),
+            );
+        }
+        (Some(oei), true) => {
+            report.error(
+                "SP-O001",
+                Some(oei.os_op),
+                None,
+                format!(
+                    "analysis claims OEI fusion of op #{} with op #{}, but no legal pairing \
+                     exists (scalar-reduction or non-sub-tensor op on every path)",
+                    oei.os_op.index(),
+                    oei.is_op.index()
+                ),
+            );
+        }
+        (Some(oei), false) => {
+            let exact = pairs.iter().any(|p| {
+                p.os_op == oei.os_op
+                    && p.is_op == oei.is_op
+                    && p.cross_iteration == oei.cross_iteration
+            });
+            if !exact {
+                let same_ops = pairs
+                    .iter()
+                    .find(|p| p.os_op == oei.os_op && p.is_op == oei.is_op);
+                match same_ops {
+                    Some(p) => report.error(
+                        "SP-O003",
+                        Some(oei.os_op),
+                        None,
+                        format!(
+                            "analysis marks the op #{} → op #{} fusion cross_iteration={}, \
+                             but the only legal connection has cross_iteration={}",
+                            oei.os_op.index(),
+                            oei.is_op.index(),
+                            oei.cross_iteration,
+                            p.cross_iteration
+                        ),
+                    ),
+                    None => report.error(
+                        "SP-O004",
+                        Some(oei.os_op),
+                        None,
+                        format!(
+                            "analysis fuses op #{} with op #{}, which is not a legal OEI \
+                             pairing (legal pairings: {:?})",
+                            oei.os_op.index(),
+                            oei.is_op.index(),
+                            pairs
+                                .iter()
+                                .map(|p| (p.os_op.index(), p.is_op.index()))
+                                .collect::<Vec<_>>()
+                        ),
+                    ),
+                }
+            }
+            check_path(g, oei, report);
+        }
+    }
+}
+
+/// SP-O006: set-compare the analysis's taint list with the oracle's.
+fn check_taint(g: &DataflowGraph, analysis: &Analysis, report: &mut LintReport) {
+    let oracle: Vec<bool> = derive_taint(g);
+    let published: HashSet<usize> = analysis.tainted.iter().map(|t| t.index()).collect();
+    for (i, &t) in oracle.iter().enumerate() {
+        if t != published.contains(&i) {
+            report.error(
+                "SP-O006",
+                None,
+                Some(TensorId::from_raw(i)),
+                format!(
+                    "tensor {:?} is {} per the oracle but {} per the analysis",
+                    g.tensor(TensorId::from_raw(i)).name,
+                    if t { "tainted" } else { "clean" },
+                    if t { "clean" } else { "tainted" },
+                ),
+            );
+        }
+    }
+}
+
+/// SP-O005: re-walk the reported e-wise path edge by edge, verifying
+/// connectivity, sub-tensor dependency, side-operand cleanliness, at most
+/// one carry crossing, and that the walk terminates at the IS op's vector
+/// input with the claimed `cross_iteration` flag.
+fn check_path(g: &DataflowGraph, oei: &OeiSubgraph, report: &mut LintReport) {
+    let tainted = derive_taint(g);
+    let mut cur = g.op(oei.os_op).output;
+    let mut crossed = false;
+    for &step in &oei.path {
+        let node = g.op(step);
+        if !node.kind.has_subtensor_dependency() {
+            report.error(
+                "SP-O005",
+                Some(step),
+                None,
+                format!(
+                    "path op #{} ({:?}) lacks sub-tensor dependency — it cannot sit between \
+                     the fused matrix ops",
+                    step.index(),
+                    node.kind
+                ),
+            );
+            return;
+        }
+        // The path may hop through a loop-carried edge between ops.
+        let feeds = if node.inputs.contains(&cur) {
+            Some(cur)
+        } else if let Some(next) = g.carry_target(cur) {
+            if !crossed && node.inputs.contains(&next) {
+                crossed = true;
+                Some(next)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let Some(path_tensor) = feeds else {
+            report.error(
+                "SP-O005",
+                Some(step),
+                Some(cur),
+                format!(
+                    "path op #{} does not consume tensor #{} — the reported path is not \
+                     connected",
+                    step.index(),
+                    cur.index()
+                ),
+            );
+            return;
+        };
+        if !side_operands_clean(g, step, path_tensor, &tainted) {
+            report.error(
+                "SP-O005",
+                Some(step),
+                None,
+                format!(
+                    "path op #{} reads a side operand tainted by a matrix op of the same \
+                     iteration (the scalar-reduction blocker)",
+                    step.index()
+                ),
+            );
+            return;
+        }
+        cur = node.output;
+    }
+    // Terminus: `cur` (possibly through one more carry) must be the IS
+    // op's vector operand.
+    let is_input = g.op(oei.is_op).inputs.first().copied();
+    let reaches = if Some(cur) == is_input {
+        true
+    } else if let Some(next) = g.carry_target(cur) {
+        if !crossed && Some(next) == is_input {
+            crossed = true;
+            true
+        } else {
+            false
+        }
+    } else {
+        false
+    };
+    if !reaches {
+        report.error(
+            "SP-O005",
+            Some(oei.is_op),
+            Some(cur),
+            format!(
+                "the reported path ends at tensor #{}, which is not op #{}'s vector input",
+                cur.index(),
+                oei.is_op.index()
+            ),
+        );
+        return;
+    }
+    if crossed != oei.cross_iteration {
+        report.error(
+            "SP-O005",
+            Some(oei.os_op),
+            None,
+            format!(
+                "the reported path crosses {} loop-carried edge(s) but is flagged \
+                 cross_iteration={}",
+                usize::from(crossed),
+                oei.cross_iteration
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sparsepipe_frontend::analysis::analyze;
+    use sparsepipe_frontend::GraphBuilder;
+    use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+
+    use super::*;
+
+    fn pagerank() -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let pr = b.input_vector("pr");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(pr, l, SemiringOp::MulAdd).unwrap();
+        let s = b.ewise_scalar(EwiseBinary::Mul, y, 0.85).unwrap();
+        let next = b.ewise_scalar(EwiseBinary::Add, s, 0.15).unwrap();
+        b.carry(next, pr).unwrap();
+        b.build().unwrap()
+    }
+
+    fn cg() -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let p = b.input_vector("p");
+        let r = b.input_vector("r");
+        let a = b.constant_matrix("A");
+        let q = b.vxm(p, a, SemiringOp::MulAdd).unwrap();
+        let pq = b.dot(p, q).unwrap();
+        let step = b.ewise_broadcast(EwiseBinary::Mul, q, pq).unwrap();
+        let r_next = b.ewise(EwiseBinary::Sub, r, step).unwrap();
+        let p_next = b.ewise(EwiseBinary::Add, r_next, p).unwrap();
+        b.carry(p_next, p).unwrap();
+        b.carry(r_next, r).unwrap();
+        b.build().unwrap()
+    }
+
+    fn lint(g: &DataflowGraph, a: &Analysis) -> LintReport {
+        let mut r = LintReport::new();
+        check(g, a, &mut r);
+        r
+    }
+
+    #[test]
+    fn oracle_agrees_with_analysis_on_pagerank() {
+        let g = pagerank();
+        let a = analyze(&g);
+        assert!(a.oei.is_some());
+        let r = lint(&g, &a);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn oracle_agrees_with_analysis_on_cg() {
+        let g = cg();
+        let a = analyze(&g);
+        assert!(a.oei.is_none());
+        assert!(derive_pairs(&g).is_empty(), "CG has no legal pairing");
+        assert!(lint(&g, &a).is_clean());
+    }
+
+    #[test]
+    fn fabricated_oei_on_cg_is_sp_o001() {
+        let g = cg();
+        let mut a = analyze(&g);
+        let vxm = a.matrix_ops[0];
+        a.oei = Some(OeiSubgraph {
+            os_op: vxm,
+            is_op: vxm,
+            path: vec![],
+            cross_iteration: true,
+        });
+        let r = lint(&g, &a);
+        assert!(r.has_code("SP-O001"), "{r}");
+    }
+
+    #[test]
+    fn suppressed_oei_on_pagerank_is_sp_o002() {
+        let g = pagerank();
+        let mut a = analyze(&g);
+        a.oei = None;
+        let r = lint(&g, &a);
+        assert!(r.has_code("SP-O002"), "{r}");
+    }
+
+    #[test]
+    fn flipped_cross_iteration_flag_is_sp_o003() {
+        let g = pagerank();
+        let mut a = analyze(&g);
+        a.oei.as_mut().unwrap().cross_iteration = false;
+        let r = lint(&g, &a);
+        assert!(r.has_code("SP-O003"), "{r}");
+    }
+
+    #[test]
+    fn truncated_path_is_sp_o005() {
+        let g = pagerank();
+        let mut a = analyze(&g);
+        // Drop the first path op: the remaining path is disconnected from
+        // the OS output.
+        a.oei.as_mut().unwrap().path.remove(0);
+        let r = lint(&g, &a);
+        assert!(r.has_code("SP-O005"), "{r}");
+    }
+
+    #[test]
+    fn corrupted_taint_set_is_sp_o006() {
+        let g = pagerank();
+        let mut a = analyze(&g);
+        a.tainted.clear();
+        let r = lint(&g, &a);
+        assert!(r.has_code("SP-O006"), "{r}");
+    }
+
+    #[test]
+    fn taint_fixpoint_matches_expectations() {
+        let g = cg();
+        let t = derive_taint(&g);
+        let q = g.find_tensor("p").unwrap();
+        assert!(!t[q.index()], "live-in p is clean");
+        // every produced tensor in CG is downstream of the vxm
+        for (tid, node) in g.tensors() {
+            if node.role == TensorRole::Produced {
+                assert!(t[tid.index()], "{} should be tainted", node.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Pass-plan feasibility checks (`SP-P…`).
+//!
+//! A [`PassPlan`] is the simulator's schedule geometry for one OEI pass:
+//! per-element OS/IS steps, per-step element id ranges in both traversal
+//! orders, and the dense-vector working-set curve. The per-step loop in
+//! `sparsepipe_core::pipeline` indexes these arrays without bounds slack,
+//! so a malformed plan turns into out-of-bounds panics or — worse — a
+//! silently wrong cycle count. These checks validate every structural
+//! invariant the loop relies on.
+//!
+//! | code | invariant |
+//! |---|---|
+//! | SP-P001 | `steps == ceil(n / t_cols).max(1)` and `t_cols > 0` |
+//! | SP-P002 | `csc_ptr` has `steps + 1` entries, starts at 0, is monotone, ends at `nnz` |
+//! | SP-P003 | `csc_order` is a permutation of element ids grouped by `col_step` |
+//! | SP-P004 | `col_step` / `row_step` have `nnz` entries, all `< steps` |
+//! | SP-P005 | `row_ptr_by_step` is monotone, covers `nnz`, and groups by `row_step` |
+//! | SP-P006 | `vec_live` has one entry per step |
+//! | SP-P007 | peak vector working set exceeds the pipeline's 50% buffer cap (warning: the run degrades to a capped vector window) |
+
+use sparsepipe_core::{PassPlan, SparsepipeConfig};
+
+use crate::diag::LintReport;
+
+/// Runs every `SP-P` check on `plan`, appending findings to `report`.
+///
+/// `config` and `feature_dim` size the SP-P007 working-set warning the same
+/// way the pipeline sizes its vector reservation (8 bytes × feature dim per
+/// live element, capped at half the buffer).
+pub fn check(
+    plan: &PassPlan,
+    config: &SparsepipeConfig,
+    feature_dim: usize,
+    report: &mut LintReport,
+) {
+    check_geometry(plan, report);
+    check_csc(plan, report);
+    check_steps_arrays(plan, report);
+    check_row_ptr(plan, report);
+    check_working_set(plan, config, feature_dim, report);
+}
+
+/// SP-P001: step count consistent with `n` and `t_cols`.
+fn check_geometry(plan: &PassPlan, report: &mut LintReport) {
+    if plan.t_cols == 0 {
+        report.error("SP-P001", None, None, "sub-tensor width t_cols is zero");
+        return;
+    }
+    let expected = (plan.n as usize).div_ceil(plan.t_cols).max(1);
+    if plan.steps != expected {
+        report.error(
+            "SP-P001",
+            None,
+            None,
+            format!(
+                "plan has {} steps but ceil({} / {}) = {expected}",
+                plan.steps, plan.n, plan.t_cols
+            ),
+        );
+    }
+}
+
+/// SP-P002 + SP-P003: the CSC-order grouping structure.
+fn check_csc(plan: &PassPlan, report: &mut LintReport) {
+    let p = &plan.csc_ptr;
+    if p.len() != plan.steps + 1 {
+        report.error(
+            "SP-P002",
+            None,
+            None,
+            format!(
+                "csc_ptr has {} entries, expected steps + 1 = {}",
+                p.len(),
+                plan.steps + 1
+            ),
+        );
+        return;
+    }
+    if p[0] != 0 || p[plan.steps] != plan.nnz || p.windows(2).any(|w| w[0] > w[1]) {
+        report.error(
+            "SP-P002",
+            None,
+            None,
+            format!(
+                "csc_ptr must rise monotonically from 0 to nnz = {} (got first = {}, last = {})",
+                plan.nnz, p[0], p[plan.steps]
+            ),
+        );
+        return;
+    }
+    if plan.csc_order.len() != plan.nnz {
+        report.error(
+            "SP-P003",
+            None,
+            None,
+            format!(
+                "csc_order has {} entries, expected nnz = {}",
+                plan.csc_order.len(),
+                plan.nnz
+            ),
+        );
+        return;
+    }
+    let mut seen = vec![false; plan.nnz];
+    for (pos, &e) in plan.csc_order.iter().enumerate() {
+        let e = e as usize;
+        if e >= plan.nnz || seen[e] {
+            report.error(
+                "SP-P003",
+                None,
+                None,
+                format!(
+                    "csc_order is not a permutation of 0..nnz (element id {e} at position {pos})"
+                ),
+            );
+            return;
+        }
+        seen[e] = true;
+    }
+    if plan.col_step.len() == plan.nnz {
+        for s in 0..plan.steps {
+            for &e in &plan.csc_order[p[s]..p[s + 1]] {
+                if plan.col_step[e as usize] as usize != s {
+                    report.error(
+                        "SP-P003",
+                        None,
+                        None,
+                        format!(
+                            "element {e} is grouped under OS step {s} but col_step says {}",
+                            plan.col_step[e as usize]
+                        ),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// SP-P004: per-element step arrays sized and bounded.
+fn check_steps_arrays(plan: &PassPlan, report: &mut LintReport) {
+    for (name, arr) in [("col_step", &plan.col_step), ("row_step", &plan.row_step)] {
+        if arr.len() != plan.nnz {
+            report.error(
+                "SP-P004",
+                None,
+                None,
+                format!(
+                    "{name} has {} entries, expected nnz = {}",
+                    arr.len(),
+                    plan.nnz
+                ),
+            );
+            continue;
+        }
+        if let Some((e, &s)) = arr
+            .iter()
+            .enumerate()
+            .find(|&(_, &s)| s as usize >= plan.steps)
+        {
+            report.error(
+                "SP-P004",
+                None,
+                None,
+                format!(
+                    "{name}[{e}] = {s} is out of range for a {}-step plan",
+                    plan.steps
+                ),
+            );
+        }
+    }
+}
+
+/// SP-P005: row-major step pointers monotone, covering, and consistent
+/// with `row_step`.
+fn check_row_ptr(plan: &PassPlan, report: &mut LintReport) {
+    let p = &plan.row_ptr_by_step;
+    if p.len() != plan.steps + 1
+        || p[0] != 0
+        || *p.last().unwrap() != plan.nnz
+        || p.windows(2).any(|w| w[0] > w[1])
+    {
+        report.error(
+            "SP-P005",
+            None,
+            None,
+            format!(
+                "row_ptr_by_step must rise monotonically from 0 to nnz = {} over {} steps \
+                 (got {} entries)",
+                plan.nnz,
+                plan.steps,
+                p.len()
+            ),
+        );
+        return;
+    }
+    if plan.row_step.len() == plan.nnz {
+        for s in 0..plan.steps {
+            for e in p[s]..p[s + 1] {
+                if plan.row_step[e] as usize != s {
+                    report.error(
+                        "SP-P005",
+                        None,
+                        None,
+                        format!(
+                            "element {e} falls in IS step {s}'s range but row_step says {}",
+                            plan.row_step[e]
+                        ),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// SP-P006 + SP-P007: the working-set curve exists and fits — or the
+/// degradation is at least explicit.
+fn check_working_set(
+    plan: &PassPlan,
+    config: &SparsepipeConfig,
+    feature_dim: usize,
+    report: &mut LintReport,
+) {
+    if plan.vec_live.len() != plan.steps {
+        report.error(
+            "SP-P006",
+            None,
+            None,
+            format!(
+                "vec_live has {} entries, expected one per step ({})",
+                plan.vec_live.len(),
+                plan.steps
+            ),
+        );
+        return;
+    }
+    // The pipeline reserves vec_live[s] * 8 * feature_dim bytes for dense
+    // vectors, capped at half the buffer; beyond the cap the vector window
+    // spills and matrix residency shrinks. Surface that as a warning so
+    // "mysteriously high traffic" has a named cause.
+    let peak_elems = plan.vec_live.iter().copied().max().unwrap_or(0);
+    let peak_bytes = peak_elems as f64 * 8.0 * feature_dim.max(1) as f64;
+    let cap = config.buffer_bytes as f64 * 0.5;
+    if peak_bytes > cap {
+        report.warning(
+            "SP-P007",
+            None,
+            None,
+            format!(
+                "peak dense-vector working set ({:.1} KB at feature dim {}) exceeds half \
+                 the {:.1} KB buffer — the run degrades to a capped vector window",
+                peak_bytes / 1024.0,
+                feature_dim.max(1),
+                config.buffer_bytes as f64 / 1024.0
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sparsepipe_tensor::gen;
+
+    use super::*;
+
+    fn plan() -> PassPlan {
+        PassPlan::build(&gen::uniform(100, 100, 600, 7), 8)
+    }
+
+    fn lint(plan: &PassPlan) -> LintReport {
+        let mut r = LintReport::new();
+        check(plan, &SparsepipeConfig::iso_gpu(), 1, &mut r);
+        r
+    }
+
+    #[test]
+    fn built_plan_is_clean() {
+        let r = lint(&plan());
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.warning_count(), 0);
+    }
+
+    #[test]
+    fn wrong_step_count_is_sp_p001() {
+        let mut p = plan();
+        p.t_cols = 16; // steps no longer matches ceil(n / t_cols)
+        assert!(lint(&p).has_code("SP-P001"));
+    }
+
+    #[test]
+    fn truncated_csc_ptr_is_sp_p002() {
+        let mut p = plan();
+        *p.csc_ptr.last_mut().unwrap() -= 1; // no longer covers nnz
+        assert!(lint(&p).has_code("SP-P002"));
+    }
+
+    #[test]
+    fn duplicated_csc_order_entry_is_sp_p003() {
+        let mut p = plan();
+        p.csc_order[1] = p.csc_order[0]; // not a permutation any more
+        assert!(lint(&p).has_code("SP-P003"));
+    }
+
+    #[test]
+    fn out_of_range_col_step_is_sp_p004() {
+        let mut p = plan();
+        p.col_step[3] = p.steps as u32; // one past the last step
+        let r = lint(&p);
+        assert!(r.has_code("SP-P004"), "{r}");
+    }
+
+    #[test]
+    fn non_monotone_row_ptr_is_sp_p005() {
+        let mut p = plan();
+        p.row_ptr_by_step[2] = p.row_ptr_by_step[3] + 1;
+        assert!(lint(&p).has_code("SP-P005"));
+    }
+
+    #[test]
+    fn short_vec_live_is_sp_p006() {
+        let mut p = plan();
+        p.vec_live.pop();
+        assert!(lint(&p).has_code("SP-P006"));
+    }
+
+    #[test]
+    fn oversized_working_set_is_sp_p007_warning() {
+        let p = plan();
+        let tiny = SparsepipeConfig::iso_gpu().with_buffer(1024);
+        let mut r = LintReport::new();
+        check(&p, &tiny, 64, &mut r);
+        assert!(r.has_code("SP-P007"), "{r}");
+        assert!(r.is_clean(), "SP-P007 is a warning");
+    }
+}

@@ -1,0 +1,332 @@
+//! Shape and semiring consistency checks (`SP-S…`).
+//!
+//! Shapes in the IR are symbolic ([`TensorKind`] classes, not sizes), so
+//! "operand dimensions agree" means each operator sees the kind classes its
+//! semantics require — the same rules `GraphBuilder` enforces at
+//! construction, re-derived here for graphs from any source.
+//!
+//! | code | invariant |
+//! |---|---|
+//! | SP-S001 | operand/result tensor kinds match the operator's signature |
+//! | SP-S002 | operand count matches the operator's arity |
+//! | SP-S003 | the operator's semiring has working `⊕`/`⊗` identities |
+//! | SP-S004 | e-wise immediates are finite (warning) |
+
+use sparsepipe_frontend::{DataflowGraph, OpId, OpKind, TensorId, TensorKind};
+use sparsepipe_semiring::SemiringOp;
+
+use crate::diag::LintReport;
+
+/// Runs every `SP-S` check on `g`, appending findings to `report`.
+///
+/// Assumes `g` passed the `SP-G` dangling-id checks (ids are dereferenced).
+pub fn check(g: &DataflowGraph, report: &mut LintReport) {
+    for (op_id, op) in g.ops() {
+        check_signature(g, op_id, report);
+        if let Some(semiring) = semiring_of(&op.kind) {
+            check_semiring(semiring, op_id, report);
+        }
+        if let OpKind::EwiseImmediate { imm, .. } = op.kind {
+            if !imm.is_finite() {
+                report.warning(
+                    "SP-S004",
+                    Some(op_id),
+                    None,
+                    format!("e-wise immediate {imm} is not finite"),
+                );
+            }
+        }
+    }
+}
+
+fn semiring_of(kind: &OpKind) -> Option<SemiringOp> {
+    match *kind {
+        OpKind::Vxm { semiring }
+        | OpKind::Mxv { semiring }
+        | OpKind::SpMM { semiring }
+        | OpKind::Mxm { semiring } => Some(semiring),
+        _ => None,
+    }
+}
+
+/// One operand slot's accepted kind classes.
+#[derive(Clone, Copy)]
+enum Slot {
+    Exactly(TensorKind),
+    /// `Vector` or `DenseMatrix` — the element-wise operand class.
+    Elementwise,
+    /// Must equal whatever kind slot 0 resolved to.
+    SameAsFirst,
+}
+
+impl Slot {
+    fn describe(self) -> &'static str {
+        match self {
+            Slot::Exactly(TensorKind::Vector) => "a vector",
+            Slot::Exactly(TensorKind::SparseMatrix) => "a sparse matrix",
+            Slot::Exactly(TensorKind::DenseMatrix) => "a dense matrix",
+            Slot::Exactly(TensorKind::Scalar) => "a scalar",
+            Slot::Elementwise => "a vector or dense matrix",
+            Slot::SameAsFirst => "the same kind as operand 0",
+        }
+    }
+}
+
+/// The operator's symbolic signature: operand slots and result slot.
+fn signature(kind: &OpKind) -> (&'static str, Vec<Slot>, Slot) {
+    use Slot::{Elementwise, Exactly, SameAsFirst};
+    use TensorKind::{DenseMatrix, Scalar, SparseMatrix, Vector};
+    match kind {
+        OpKind::Vxm { .. } => (
+            "vxm",
+            vec![Exactly(Vector), Exactly(SparseMatrix)],
+            Exactly(Vector),
+        ),
+        OpKind::Mxv { .. } => (
+            "mxv",
+            vec![Exactly(Vector), Exactly(SparseMatrix)],
+            Exactly(Vector),
+        ),
+        OpKind::SpMM { .. } => (
+            "spmm",
+            vec![Exactly(DenseMatrix), Exactly(SparseMatrix)],
+            Exactly(DenseMatrix),
+        ),
+        OpKind::Mxm { .. } => (
+            "mxm",
+            vec![Exactly(SparseMatrix), Exactly(SparseMatrix)],
+            Exactly(SparseMatrix),
+        ),
+        OpKind::DenseMM => (
+            "dense_mm",
+            vec![Exactly(DenseMatrix), Exactly(DenseMatrix)],
+            Exactly(DenseMatrix),
+        ),
+        OpKind::EwiseBinary { .. } => ("ewise", vec![Elementwise, SameAsFirst], SameAsFirst),
+        OpKind::EwiseScalarBroadcast { .. } => (
+            "ewise_broadcast",
+            vec![Elementwise, Exactly(Scalar)],
+            SameAsFirst,
+        ),
+        OpKind::EwiseImmediate { .. } => ("ewise_scalar", vec![Elementwise], SameAsFirst),
+        OpKind::EwiseUnary { .. } => ("ewise_unary", vec![Elementwise], SameAsFirst),
+        OpKind::Reduce { .. } => ("reduce", vec![Exactly(Vector)], Exactly(Scalar)),
+        OpKind::Dot => (
+            "dot",
+            vec![Exactly(Vector), Exactly(Vector)],
+            Exactly(Scalar),
+        ),
+    }
+}
+
+/// SP-S001 / SP-S002 for one op.
+fn check_signature(g: &DataflowGraph, op_id: OpId, report: &mut LintReport) {
+    let op = g.op(op_id);
+    let (name, slots, result) = signature(&op.kind);
+    if op.inputs.len() != slots.len() {
+        report.error(
+            "SP-S002",
+            Some(op_id),
+            None,
+            format!(
+                "{name} takes {} operand(s) but op #{} has {}",
+                slots.len(),
+                op_id.index(),
+                op.inputs.len()
+            ),
+        );
+        return; // slot checks below index by position
+    }
+    let first_kind = op.inputs.first().map(|&t| g.tensor(t).kind);
+    let mut check_slot = |slot: Slot, actual: TensorKind, what: String, t: Option<TensorId>| {
+        let ok = match slot {
+            Slot::Exactly(k) => actual == k,
+            Slot::Elementwise => {
+                matches!(actual, TensorKind::Vector | TensorKind::DenseMatrix)
+            }
+            Slot::SameAsFirst => Some(actual) == first_kind,
+        };
+        if !ok {
+            report.error(
+                "SP-S001",
+                Some(op_id),
+                t,
+                format!(
+                    "{name} {what} must be {} but is {actual:?}",
+                    slot.describe()
+                ),
+            );
+        }
+    };
+    for (i, (&t, &slot)) in op.inputs.iter().zip(&slots).enumerate() {
+        check_slot(slot, g.tensor(t).kind, format!("operand {i}"), Some(t));
+    }
+    check_slot(
+        result,
+        g.tensor(op.output).kind,
+        "result".into(),
+        Some(op.output),
+    );
+}
+
+/// SP-S003: probe the semiring's algebraic identities on the boolean
+/// sub-domain (shared by all registered semirings): `zero ⊕ x = x` and
+/// `one ⊗ x = x` for `x ∈ {0, 1}`, plus `zero` absorbing under `⊗`.
+fn check_semiring(sr: SemiringOp, op_id: OpId, report: &mut LintReport) {
+    for x in [0.0f64, 1.0] {
+        let add = sr.add(sr.zero(), x);
+        if add != x {
+            report.error(
+                "SP-S003",
+                Some(op_id),
+                None,
+                format!(
+                    "semiring {} additive identity broken: zero ⊕ {x} = {add}",
+                    sr.mnemonic()
+                ),
+            );
+        }
+        let mul = sr.mul(sr.one(), x);
+        if mul != x {
+            report.error(
+                "SP-S003",
+                Some(op_id),
+                None,
+                format!(
+                    "semiring {} multiplicative identity broken: one ⊗ {x} = {mul}",
+                    sr.mnemonic()
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sparsepipe_frontend::{DataflowGraph, GraphBuilder, OpNode, TensorNode, TensorRole};
+    use sparsepipe_semiring::EwiseBinary;
+
+    use super::*;
+
+    fn tensor(name: &str, kind: TensorKind) -> TensorNode {
+        TensorNode {
+            name: name.into(),
+            kind,
+            role: if kind == TensorKind::SparseMatrix {
+                TensorRole::Constant
+            } else {
+                TensorRole::Input
+            },
+            carries_into: None,
+        }
+    }
+
+    fn lint(g: &DataflowGraph) -> LintReport {
+        let mut r = LintReport::new();
+        check(g, &mut r);
+        r
+    }
+
+    #[test]
+    fn all_semirings_pass_identity_probes() {
+        let mut r = LintReport::new();
+        for sr in SemiringOp::ALL {
+            check_semiring(sr, OpId::from_raw(0), &mut r);
+        }
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn builder_graph_is_shape_clean() {
+        let mut b = GraphBuilder::new();
+        let v = b.input_vector("v");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(v, l, SemiringOp::MinAdd).unwrap();
+        let z = b.ewise(EwiseBinary::Min, y, v).unwrap();
+        let _s = b.reduce(EwiseBinary::Add, z).unwrap();
+        let g = b.build().unwrap();
+        assert!(lint(&g).is_clean());
+    }
+
+    #[test]
+    fn scalar_fed_vxm_is_sp_s001() {
+        let mut scalar_y = tensor("y", TensorKind::Vector);
+        scalar_y.role = TensorRole::Produced;
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("s", TensorKind::Scalar), // wrong: vxm wants a vector
+                tensor("L", TensorKind::SparseMatrix),
+                scalar_y,
+            ],
+            vec![OpNode {
+                kind: OpKind::Vxm {
+                    semiring: SemiringOp::MulAdd,
+                },
+                inputs: vec![TensorId::from_raw(0), TensorId::from_raw(1)],
+                output: TensorId::from_raw(2),
+            }],
+            vec![OpId::from_raw(0)],
+        );
+        let r = lint(&g);
+        assert!(r.has_code("SP-S001"), "{r}");
+    }
+
+    #[test]
+    fn mixed_kind_ewise_is_sp_s001() {
+        let mut out = tensor("out", TensorKind::Vector);
+        out.role = TensorRole::Produced;
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector),
+                tensor("H", TensorKind::DenseMatrix), // kind differs from v
+                out,
+            ],
+            vec![OpNode {
+                kind: OpKind::EwiseBinary {
+                    op: EwiseBinary::Add,
+                },
+                inputs: vec![TensorId::from_raw(0), TensorId::from_raw(1)],
+                output: TensorId::from_raw(2),
+            }],
+            vec![OpId::from_raw(0)],
+        );
+        assert!(lint(&g).has_code("SP-S001"));
+    }
+
+    #[test]
+    fn wrong_arity_is_sp_s002() {
+        let mut out = tensor("out", TensorKind::Scalar);
+        out.role = TensorRole::Produced;
+        let g = DataflowGraph::from_parts(
+            vec![tensor("a", TensorKind::Vector), out],
+            vec![OpNode {
+                kind: OpKind::Dot, // dot wants two operands
+                inputs: vec![TensorId::from_raw(0)],
+                output: TensorId::from_raw(1),
+            }],
+            vec![OpId::from_raw(0)],
+        );
+        assert!(lint(&g).has_code("SP-S002"));
+    }
+
+    #[test]
+    fn non_finite_immediate_is_sp_s004_warning() {
+        let mut out = tensor("out", TensorKind::Vector);
+        out.role = TensorRole::Produced;
+        let g = DataflowGraph::from_parts(
+            vec![tensor("v", TensorKind::Vector), out],
+            vec![OpNode {
+                kind: OpKind::EwiseImmediate {
+                    op: EwiseBinary::Mul,
+                    imm: f64::NAN,
+                },
+                inputs: vec![TensorId::from_raw(0)],
+                output: TensorId::from_raw(1),
+            }],
+            vec![OpId::from_raw(0)],
+        );
+        let r = lint(&g);
+        assert!(r.has_code("SP-S004"));
+        assert!(r.is_clean(), "SP-S004 is a warning, not an error");
+    }
+}

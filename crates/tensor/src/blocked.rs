@@ -84,12 +84,7 @@ impl BlockedDualStorage {
         // column-major block order with column-major order inside blocks.
         let mut entries: Vec<(u32, u32, f64)> = coo.entries().to_vec();
         entries.sort_unstable_by_key(|&(r, c, _)| {
-            (
-                c / BLOCK_DIM,
-                r / BLOCK_DIM,
-                c % BLOCK_DIM,
-                r % BLOCK_DIM,
-            )
+            (c / BLOCK_DIM, r / BLOCK_DIM, c % BLOCK_DIM, r % BLOCK_DIM)
         });
 
         let mut local_r = Vec::with_capacity(entries.len());

@@ -164,7 +164,10 @@ impl CooMatrix {
             self.nrows as usize,
             "permutation length must equal nrows"
         );
-        assert_eq!(self.nrows, self.ncols, "symmetric permutation needs a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "symmetric permutation needs a square matrix"
+        );
         let entries = self
             .entries
             .iter()
@@ -199,10 +202,7 @@ mod tests {
             vec![(2, 1, 1.0), (0, 0, 1.0), (2, 1, 2.5), (1, 2, -1.0)],
         )
         .unwrap();
-        assert_eq!(
-            m.entries(),
-            &[(0, 0, 1.0), (1, 2, -1.0), (2, 1, 3.5)][..]
-        );
+        assert_eq!(m.entries(), &[(0, 0, 1.0), (1, 2, -1.0), (2, 1, 3.5)][..]);
     }
 
     #[test]

@@ -153,11 +153,7 @@ impl CscMatrix {
     {
         if x.len() != self.nrows as usize {
             return Err(TensorError::DimensionMismatch {
-                context: format!(
-                    "vxm: vector len {} vs matrix rows {}",
-                    x.len(),
-                    self.nrows
-                ),
+                context: format!("vxm: vector len {} vs matrix rows {}", x.len(), self.nrows),
             });
         }
         let mut y = Vec::with_capacity(self.ncols as usize);

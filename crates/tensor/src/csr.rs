@@ -74,18 +74,24 @@ impl CsrMatrix {
     ) -> Result<Self, TensorError> {
         let invalid = |line: usize, message: String| TensorError::Parse { line, message };
         if row_ptr.len() != nrows as usize + 1 {
-            return Err(invalid(0, format!(
-                "row_ptr has {} entries, expected nrows + 1 = {}",
-                row_ptr.len(),
-                nrows + 1
-            )));
+            return Err(invalid(
+                0,
+                format!(
+                    "row_ptr has {} entries, expected nrows + 1 = {}",
+                    row_ptr.len(),
+                    nrows + 1
+                ),
+            ));
         }
         if col_idx.len() != vals.len() {
-            return Err(invalid(0, format!(
-                "col_idx ({}) and vals ({}) lengths differ",
-                col_idx.len(),
-                vals.len()
-            )));
+            return Err(invalid(
+                0,
+                format!(
+                    "col_idx ({}) and vals ({}) lengths differ",
+                    col_idx.len(),
+                    vals.len()
+                ),
+            ));
         }
         if row_ptr[0] != 0 || *row_ptr.last().expect("non-empty") != col_idx.len() {
             return Err(invalid(0, "row_ptr must start at 0 and end at nnz".into()));
@@ -96,10 +102,10 @@ impl CsrMatrix {
             }
             for j in w[0]..w[1] {
                 if col_idx[j] >= ncols {
-                    return Err(invalid(j, format!(
-                        "column {} out of bounds ({} cols)",
-                        col_idx[j], ncols
-                    )));
+                    return Err(invalid(
+                        j,
+                        format!("column {} out of bounds ({} cols)", col_idx[j], ncols),
+                    ));
                 }
                 if j > w[0] && col_idx[j] <= col_idx[j - 1] {
                     return Err(invalid(
@@ -209,11 +215,7 @@ impl CsrMatrix {
     {
         if x.len() != self.ncols as usize {
             return Err(TensorError::DimensionMismatch {
-                context: format!(
-                    "spmv: vector len {} vs matrix cols {}",
-                    x.len(),
-                    self.ncols
-                ),
+                context: format!("spmv: vector len {} vs matrix cols {}", x.len(), self.ncols),
             });
         }
         let mut y = Vec::with_capacity(self.nrows as usize);
@@ -332,27 +334,11 @@ mod tests {
         // broken pointer array
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         // out-of-bounds column
-        assert!(
-            CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // non-ascending columns
-        assert!(CsrMatrix::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 1],
-            vec![1.0, 2.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err());
         // decreasing row_ptr
-        assert!(CsrMatrix::from_raw_parts(
-            2,
-            2,
-            vec![0, 1, 0],
-            vec![0],
-            vec![1.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
     }
 
     #[test]

@@ -170,11 +170,7 @@ impl DenseMatrix {
     ///
     /// Returns [`TensorError::DimensionMismatch`] if
     /// `data.len() != nrows * ncols`.
-    pub fn from_row_major(
-        nrows: usize,
-        ncols: usize,
-        data: Vec<f64>,
-    ) -> Result<Self, TensorError> {
+    pub fn from_row_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self, TensorError> {
         if data.len() != nrows * ncols {
             return Err(TensorError::DimensionMismatch {
                 context: format!(

@@ -340,7 +340,10 @@ mod tests {
             .sum::<f64>()
             / m.nnz() as f64;
         // |r - (n-1-r)| averages n/2 for uniform r.
-        assert!(mean_span > 350.0, "mean span {mean_span} too short for anti");
+        assert!(
+            mean_span > 350.0,
+            "mean span {mean_span} too short for anti"
+        );
     }
 
     #[test]

@@ -163,8 +163,7 @@ mod tests {
 
     #[test]
     fn symmetric_entries_overlap() {
-        let m =
-            CooMatrix::from_entries(4, 4, vec![(0, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let m = CooMatrix::from_entries(4, 4, vec![(0, 2, 1.0), (2, 0, 1.0)]).unwrap();
         assert_eq!(live_curve(&m), vec![2, 2, 2, 0]);
     }
 

@@ -199,8 +199,7 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_skipped() {
-        let text =
-            "%%MatrixMarket matrix coordinate real general\n% a\n\n% b\n2 2 1\n\n1 2 4.5\n";
+        let text = "%%MatrixMarket matrix coordinate real general\n% a\n\n% b\n2 2 1\n\n1 2 4.5\n";
         let m = read(text.as_bytes()).unwrap();
         assert_eq!(m.entries(), &[(0, 1, 4.5)][..]);
     }

@@ -58,10 +58,9 @@ pub fn graph_order(m: &CsrMatrix, window: usize) -> Vec<u32> {
 
     // Max-heap keyed by (score, degree). Entries go stale when scores
     // change; staleness is checked on pop.
-    let mut heap: std::collections::BinaryHeap<(usize, usize, std::cmp::Reverse<usize>)> =
-        (0..n)
-            .map(|v| (0usize, degree[v], std::cmp::Reverse(v)))
-            .collect();
+    let mut heap: std::collections::BinaryHeap<(usize, usize, std::cmp::Reverse<usize>)> = (0..n)
+        .map(|v| (0usize, degree[v], std::cmp::Reverse(v)))
+        .collect();
 
     for position in 0..n {
         // Pop until a fresh, unplaced vertex surfaces.
@@ -122,8 +121,7 @@ pub fn vanilla_triangular(m: &CsrMatrix, sweeps: usize) -> Vec<u32> {
                 if neigh.is_empty() {
                     position[v]
                 } else {
-                    neigh.iter().map(|&u| position[u as usize]).sum::<f64>()
-                        / neigh.len() as f64
+                    neigh.iter().map(|&u| position[u as usize]).sum::<f64>() / neigh.len() as f64
                 }
             })
             .collect();

@@ -137,10 +137,18 @@ mod tests {
         let a = gen::uniform(12, 12, 40, 1).to_csr();
         let b = gen::uniform(12, 12, 40, 2).to_csr();
         let c = gen::uniform(12, 12, 40, 3).to_csr();
-        let ab_c = spgemm(&spgemm(&a, &b, SemiringOp::MulAdd).unwrap(), &c, SemiringOp::MulAdd)
-            .unwrap();
-        let a_bc = spgemm(&a, &spgemm(&b, &c, SemiringOp::MulAdd).unwrap(), SemiringOp::MulAdd)
-            .unwrap();
+        let ab_c = spgemm(
+            &spgemm(&a, &b, SemiringOp::MulAdd).unwrap(),
+            &c,
+            SemiringOp::MulAdd,
+        )
+        .unwrap();
+        let a_bc = spgemm(
+            &a,
+            &spgemm(&b, &c, SemiringOp::MulAdd).unwrap(),
+            SemiringOp::MulAdd,
+        )
+        .unwrap();
         let (d1, d2) = (dense_of(&ab_c), dense_of(&a_bc));
         for i in 0..12 {
             for j in 0..12 {

@@ -1,9 +1,7 @@
 //! Property-based tests of the tensor substrate's structural invariants.
 
 use proptest::prelude::*;
-use sparsepipe_tensor::{
-    gen, livesweep, reorder, BlockedDualStorage, CooMatrix, DualStorage,
-};
+use sparsepipe_tensor::{gen, livesweep, reorder, BlockedDualStorage, CooMatrix, DualStorage};
 
 fn coo(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
     (2..max_n).prop_flat_map(move |n| {

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     println!("--- buffer capacity sweep (eviction ping-pong sets in when the live set spills) ---");
-    println!("{:>10} {:>12} {:>12} {:>14} {:>12}", "buffer", "runtime", "evictions", "refetch MB", "bw util");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "buffer", "runtime", "evictions", "refetch MB", "bw util"
+    );
     for mb in [1, 2, 4, 8, 16, 32] {
         let cfg = base.with_buffer(mb << 20);
         let r = simulate(&program, &matrix, 16, &cfg)?;
@@ -76,8 +79,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n--- eager CSR loading and eviction policy (2 MB buffer, skewed matrix) ---");
     let skewed = sparsepipe::tensor::gen::power_law(60_000, 1_200_000, 1.6, 0.5, 13);
     for (name, eager, policy) in [
-        ("eager + highest-row-first", true, EvictionPolicy::HighestRowFirst),
-        ("no eager CSR loading", false, EvictionPolicy::HighestRowFirst),
+        (
+            "eager + highest-row-first",
+            true,
+            EvictionPolicy::HighestRowFirst,
+        ),
+        (
+            "no eager CSR loading",
+            false,
+            EvictionPolicy::HighestRowFirst,
+        ),
         ("eager + oldest-first", true, EvictionPolicy::OldestFirst),
     ] {
         let cfg = SparsepipeConfig {

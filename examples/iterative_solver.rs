@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for iters in [4, 12, 24] {
         let x = sparsepipe::apps::cg::reference(&a, iters);
         let ax = a.to_csc().vxm::<sparsepipe::semiring::MulAdd>(&x)?;
-        let resid = ax
-            .iter()
-            .map(|v| (v - 1.0).abs())
-            .fold(0.0f64, f64::max);
+        let resid = ax.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
         println!("after {iters:>2} iterations: max residual {resid:.3e}");
     }
 

@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec_write_passes: 2.0,
     };
     let result = run_pass(&plan, &config, &params);
-    println!("timing: {:.0} cycles for one pass (= two fused iterations)", result.cycles);
+    println!(
+        "timing: {:.0} cycles for one pass (= two fused iterations)",
+        result.cycles
+    );
     println!("step | cycles | csc KB | eager KB | occupancy KB");
     for (i, s) in result.steps.iter().enumerate().step_by(plan.steps / 8) {
         println!(

@@ -10,11 +10,7 @@ use sparsepipe::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic power-law graph (64k vertices, ~10 edges/vertex).
     let graph = sparsepipe::tensor::gen::power_law(65_536, 655_360, 1.2, 0.4, 42);
-    println!(
-        "graph: {} vertices, {} edges",
-        graph.nrows(),
-        graph.nnz()
-    );
+    println!("graph: {} vertices, {} edges", graph.nrows(), graph.nnz());
 
     // 2. PageRank's inner loop as a dataflow graph (the apps crate builds
     //    it; see `sparsepipe::frontend::GraphBuilder` to write your own).

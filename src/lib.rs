@@ -19,6 +19,9 @@
 //! * [`core`] — the event-driven Sparsepipe performance/energy simulator.
 //! * [`baselines`] — ideal/oracle accelerator, CPU, and GPU cost models.
 //! * [`apps`] — the eleven benchmark STA applications.
+//! * [`lint`] — the static verifier: dataflow-graph well-formedness, an
+//!   independent OEI fusion-legality oracle, and pass-plan feasibility
+//!   checks, reported as structured diagnostics.
 //! * [`bench`] — the experiment harness that regenerates every table and
 //!   figure of the paper's evaluation.
 //!
@@ -47,6 +50,7 @@ pub use sparsepipe_baselines as baselines;
 pub use sparsepipe_bench as bench;
 pub use sparsepipe_core as core;
 pub use sparsepipe_frontend as frontend;
+pub use sparsepipe_lint as lint;
 pub use sparsepipe_semiring as semiring;
 pub use sparsepipe_tensor as tensor;
 

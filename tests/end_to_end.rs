@@ -78,7 +78,10 @@ fn bandwidth_scaling_is_monotone() {
     let slow = config();
     let mut fast = slow;
     fast.memory.bandwidth_gbps *= 2.0;
-    for app in [sparsepipe::apps::pagerank::app(10), sparsepipe::apps::cg::app(10)] {
+    for app in [
+        sparsepipe::apps::pagerank::app(10),
+        sparsepipe::apps::cg::app(10),
+    ] {
         let program = app.compile().expect("apps compile");
         let r_slow = simulate(&program, &m, 10, &slow).expect("square");
         let r_fast = simulate(&program, &m, 10, &fast).expect("square");

@@ -16,20 +16,17 @@ fn iteration_composition_for_all_apps() {
     let m = gen::uniform(40, 40, 240, 77);
     for app in registry::all() {
         let bindings = app.bindings(&m);
-        let all_at_once = interp::run(&app.graph, &bindings, 3)
-            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        let all_at_once =
+            interp::run(&app.graph, &bindings, 3).unwrap_or_else(|e| panic!("{}: {e}", app.name));
 
         // one iteration at a time, carrying state forward by re-binding
         let mut state = bindings.clone();
         for _ in 0..3 {
-            let out = interp::run(&app.graph, &state, 1)
-                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            let out =
+                interp::run(&app.graph, &state, 1).unwrap_or_else(|e| panic!("{}: {e}", app.name));
             for (id, node) in app.graph.tensors() {
                 let _ = id;
-                if matches!(
-                    node.role,
-                    sparsepipe::frontend::TensorRole::Input
-                ) {
+                if matches!(node.role, sparsepipe::frontend::TensorRole::Input) {
                     if let Some(v) = out.get(&node.name) {
                         state.insert(node.name.clone(), v.clone());
                     }
@@ -58,7 +55,7 @@ fn assert_values_close(a: &Value, b: &Value, ctx: &str) {
             }
         }
         (Value::Scalar(x), Value::Scalar(y)) => {
-            assert!((x - y).abs() < 1e-9, "{ctx}: {x} vs {y}")
+            assert!((x - y).abs() < 1e-9, "{ctx}: {x} vs {y}");
         }
         (Value::Dense(x), Value::Dense(y)) => {
             for (p, q) in x.as_slice().iter().zip(y.as_slice()) {
@@ -123,7 +120,9 @@ fn fused_pass_equivalence_across_dataset_families() {
         .unwrap_or_else(|e| panic!("{name}: {e}"));
         let y1 = csc.vxm::<sparsepipe::semiring::MulAdd>(&x).expect("square");
         let x2: DenseVector = y1.iter().map(|&v| v * 0.5 + 0.1).collect();
-        let y2 = csc.vxm::<sparsepipe::semiring::MulAdd>(&x2).expect("square");
+        let y2 = csc
+            .vxm::<sparsepipe::semiring::MulAdd>(&x2)
+            .expect("square");
         for (a, b) in out.y2.iter().zip(y2.iter()) {
             assert!((a - b).abs() < 1e-9, "{name}: {a} vs {b}");
         }

@@ -11,11 +11,9 @@ use sparsepipe::tensor::{livesweep, BlockedDualStorage, CooMatrix, DenseVector};
 /// Strategy: a random small square COO matrix.
 fn coo_matrix(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(
-            move |entries| {
-                CooMatrix::from_entries(n, n, entries).expect("coords in range")
-            },
-        )
+        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(move |entries| {
+            CooMatrix::from_entries(n, n, entries).expect("coords in range")
+        })
     })
 }
 

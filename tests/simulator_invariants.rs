@@ -12,9 +12,9 @@ use sparsepipe::tensor::CooMatrix;
 
 fn coo_matrix(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
     (8..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, 0.5f64..2.0), 1..max_nnz).prop_map(
-            move |entries| CooMatrix::from_entries(n, n, entries).expect("coords in range"),
-        )
+        proptest::collection::vec((0..n, 0..n, 0.5f64..2.0), 1..max_nnz).prop_map(move |entries| {
+            CooMatrix::from_entries(n, n, entries).expect("coords in range")
+        })
     })
 }
 

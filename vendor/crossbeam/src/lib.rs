@@ -1,0 +1,42 @@
+//! Offline stand-in for the `crossbeam` crate: `crossbeam::thread::scope`
+//! implemented over `std::thread::scope` (Rust ≥ 1.63).
+//!
+//! Only the scoped-thread API the workspace uses is provided. Semantics
+//! differ from real crossbeam in one way: a panicking spawned thread
+//! propagates its panic out of `scope` (std behavior) instead of being
+//! returned as an `Err`, which is strictly stricter — callers `.expect()`
+//! the result anyway.
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; spawned closures receive a reference to it,
+    /// mirroring crossbeam's `Scope` (the argument is conventionally
+    /// ignored as `|_|` in this workspace).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The join handle is intentionally not
+        /// returned: the scope joins all threads on exit, and this
+        /// workspace never joins individually.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope));
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the
+    /// environment can be spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

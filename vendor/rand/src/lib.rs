@@ -1,0 +1,283 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Backed by xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and statistically strong enough for the workspace's synthetic
+//! dataset generators and property tests. Only the API surface the
+//! workspace uses is provided: `StdRng`/`SmallRng`, [`SeedableRng`],
+//! [`Rng::gen`], `distributions::{Distribution, Standard, Uniform}`, and
+//! `seq::SliceRandom::shuffle`.
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of an inferred type from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples a value in `[low, high)` (convenience mirror of
+    /// `Uniform::new(low, high).sample(rng)`).
+    fn gen_range<T>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        T: distributions::SampleUniform,
+        Self: Sized,
+    {
+        use distributions::Distribution as _;
+        distributions::Uniform::new(range.start, range.end).sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The xoshiro256++ generator state.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    fn from_seed_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+
+    /// The default deterministic generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(Xoshiro256PlusPlus);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng(Xoshiro256PlusPlus::from_seed_u64(state))
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Small-footprint generator; identical to [`StdRng`] in this stub.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(Xoshiro256PlusPlus);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng(Xoshiro256PlusPlus::from_seed_u64(state))
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Distributions over value types.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types that can sample a `T` from an [`RngCore`].
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution per type: uniform unit interval for
+    /// floats, full range for integers, fair coin for bools.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    /// Marker + constructor support for [`Uniform`].
+    pub trait SampleUniform: Copy {
+        /// Samples uniformly from `[low, high)` (`inclusive` widens the
+        /// upper bound to `high` itself).
+        fn sample_range<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let span = (high as i128 - low as i128) + i128::from(inclusive);
+                    assert!(span > 0, "Uniform::new called with empty range");
+                    let v = (rng.next_u64() as u128 % span as u128) as i128;
+                    (low as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_range<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            low + (high - low) * unit
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_range<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            low + (high - low) * unit
+        }
+    }
+
+    /// Uniform distribution over a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<X: SampleUniform> {
+        low: X,
+        high: X,
+        inclusive: bool,
+    }
+
+    impl<X: SampleUniform> Uniform<X> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: X, high: X) -> Self {
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: X, high: X) -> Self {
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+            X::sample_range(self.low, self.high, self.inclusive, rng)
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}

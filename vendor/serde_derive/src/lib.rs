@@ -1,0 +1,260 @@
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in.
+//!
+//! The container environment cannot reach a registry, so `syn`/`quote` are
+//! unavailable; this macro parses the item's `TokenStream` directly. It
+//! supports the shapes this workspace derives on: named-field structs,
+//! tuple structs, unit structs, and enums whose variants are unit,
+//! tuple, or struct-like. Generic types are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Parsed shape of the item the derive is attached to.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` by lowering the value into a `serde::Value`
+/// tree (externally-tagged encoding for enums, like real serde's default).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("serde::Value::Map(vec![");
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "({f:?}.to_string(), serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            s.push_str("])");
+            s
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut s = String::from("serde::Value::Seq(vec![");
+            for i in 0..*n {
+                let _ = write!(s, "serde::Serialize::to_value(&self.{i}),");
+            }
+            s.push_str("])");
+            s
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let mut s = String::from("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(s, "{name}::{vn} => serde::Value::Str({vn:?}.to_string()),");
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let mut t = String::from("serde::Value::Seq(vec![");
+                            for b in &binds {
+                                let _ = write!(t, "serde::Serialize::to_value({b}),");
+                            }
+                            t.push_str("])");
+                            t
+                        };
+                        let _ = write!(
+                            s,
+                            "{name}::{vn}({bl}) => serde::Value::Map(vec![({vn:?}.to_string(), {inner})]),",
+                            bl = binds.join(", ")
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inner = String::from("serde::Value::Map(vec![");
+                        for f in fields {
+                            let _ = write!(
+                                inner,
+                                "({f:?}.to_string(), serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        inner.push_str("])");
+                        let _ = write!(
+                            s,
+                            "{name}::{vn} {{ {bl} }} => serde::Value::Map(vec![({vn:?}.to_string(), {inner})]),",
+                            bl = fields.join(", ")
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        {body}\n    }}\n}}\n",
+        name = item.name
+    );
+    out.parse()
+        .expect("derive(Serialize): generated impl parses")
+}
+
+/// Derives the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl<'de> serde::Deserialize<'de> for {} {{}}", item.name)
+        .parse()
+        .expect("derive(Deserialize): generated impl parses")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in: generic types are not supported (derived on `{name}`)");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: enum `{name}` has no body: {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Advances `i` past any leading `#[...]` attributes and a `pub` /
+/// `pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a field/variant list on top-level commas. Groups (`(..)`,
+/// `{..}`, `[..]`) arrive as single tokens, but `<`/`>` in generic types
+/// are plain puncts, so angle-bracket depth must be tracked explicitly.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field, &mut i);
+            match &field[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde derive: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|var| {
+            let mut i = 0;
+            skip_attrs_and_vis(&var, &mut i);
+            let name = match &var[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde derive: expected variant name, got {other}"),
+            };
+            i += 1;
+            let fields = match var.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(count_tuple_fields(g.stream()))
+                }
+                None => VariantFields::Unit,
+                Some(other) => {
+                    panic!("serde derive: unsupported variant syntax after `{name}`: {other}")
+                }
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
