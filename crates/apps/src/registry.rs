@@ -20,6 +20,12 @@ pub fn all() -> Vec<StaApp> {
     ]
 }
 
+/// All eleven applications as a shareable slice, for executors that fan
+/// the registry out across worker threads without cloning per point.
+pub fn shared() -> std::sync::Arc<[StaApp]> {
+    all().into()
+}
+
 /// The subset compared against the GPU baselines in Fig 17
 /// ("we chose bfs, kcore, pr, sssp").
 pub fn gpu_subset() -> Vec<StaApp> {
@@ -50,6 +56,22 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn shared_registry_is_sendable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let apps = shared();
+        assert_send_sync(&apps);
+        assert_eq!(apps.len(), 11);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let apps = std::sync::Arc::clone(&apps);
+                s.spawn(move || {
+                    assert!(apps.iter().all(|a| a.compile().is_ok()));
+                });
+            }
+        });
     }
 
     #[test]

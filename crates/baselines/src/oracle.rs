@@ -120,7 +120,12 @@ mod tests {
             iterations: 20,
         };
         let oracle = OracleAccelerator::new(cfg).evaluate(&w);
-        let sim = sparsepipe_core::simulate(&program, &m, 20, &cfg).unwrap();
+        let sim = sparsepipe_core::SimRequest::new(&program, &m)
+            .iterations(20)
+            .config(cfg)
+            .run()
+            .unwrap()
+            .report;
         assert!(
             oracle.runtime_s <= sim.runtime_s * 1.02,
             "oracle {} must not be slower than simulated {}",

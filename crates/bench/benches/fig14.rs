@@ -7,7 +7,7 @@ use sparsepipe_baselines::ideal::IdealAccelerator;
 use sparsepipe_baselines::WorkloadInstance;
 use sparsepipe_bench::datasets::ScaledDataset;
 use sparsepipe_bench::sweep;
-use sparsepipe_core::simulate;
+use sparsepipe_core::SimRequest;
 use sparsepipe_tensor::MatrixId;
 
 fn bench_simulate(c: &mut Criterion) {
@@ -23,7 +23,11 @@ fn bench_simulate(c: &mut Criterion) {
             &program,
             |b, program| {
                 b.iter(|| {
-                    simulate(program, &dataset.reordered, app.default_iterations, &cfg).unwrap()
+                    SimRequest::new(program, &dataset.reordered)
+                        .iterations(app.default_iterations)
+                        .config(cfg)
+                        .run()
+                        .unwrap()
                 });
             },
         );

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparsepipe_apps::registry;
 use sparsepipe_bench::datasets::ScaledDataset;
-use sparsepipe_core::{simulate, EvictionPolicy, Preprocessing, ReorderKind, SparsepipeConfig};
+use sparsepipe_core::{EvictionPolicy, Preprocessing, ReorderKind, SimRequest, SparsepipeConfig};
 use sparsepipe_tensor::MatrixId;
 
 fn base_cfg(dataset: &ScaledDataset) -> SparsepipeConfig {
@@ -29,7 +29,13 @@ fn bench_preprocessing_variants(c: &mut Criterion) {
             reorder: ReorderKind::None,
         });
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| simulate(&program, &dataset.matrix, 10, cfg).unwrap());
+            b.iter(|| {
+                SimRequest::new(&program, &dataset.matrix)
+                    .iterations(10)
+                    .config(*cfg)
+                    .run()
+                    .unwrap()
+            });
         });
     }
     group.finish();
@@ -47,7 +53,13 @@ fn bench_ablation_subtensor(c: &mut Criterion) {
             ..base_cfg(&dataset)
         };
         group.bench_with_input(BenchmarkId::from_parameter(t), &cfg, |b, cfg| {
-            b.iter(|| simulate(&program, &dataset.reordered, 10, cfg).unwrap());
+            b.iter(|| {
+                SimRequest::new(&program, &dataset.reordered)
+                    .iterations(10)
+                    .config(*cfg)
+                    .run()
+                    .unwrap()
+            });
         });
     }
     group.finish();
@@ -70,7 +82,13 @@ fn bench_ablation_eager_and_eviction(c: &mut Criterion) {
             ..base_cfg(&dataset).with_eager_csr(eager)
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| simulate(&program, &dataset.matrix, 10, cfg).unwrap());
+            b.iter(|| {
+                SimRequest::new(&program, &dataset.matrix)
+                    .iterations(10)
+                    .config(*cfg)
+                    .run()
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -1,97 +1,145 @@
 //! Regenerates the Sparsepipe paper's tables and figures.
 //!
 //! ```text
-//! experiments <artifact>... [--scale N] [--quick] [--json out.json] [--mtx DIR] [--lint]
+//! experiments <artifact>... [--scale N] [--quick] [--jobs N] [--json out.json]
+//!                           [--bench-json out.json] [--mtx DIR] [--lint]
 //!
 //! artifacts: all table1 table2 table3 fig14 fig15 fig16 fig17 fig18
 //!            fig19 fig20a fig20b fig21 fig22 fig23 ablation verify
-//! --scale N  dataset scale divisor (default 64; 1 = paper-size)
-//! --quick    three-matrix subset (ca, gy, bu) for smoke runs
-//! --json F   additionally dump the raw app x matrix sweep (all systems'
-//!            reports) as JSON to F
-//! --mtx DIR  load real MatrixMarket matrices from DIR/<code>.mtx instead
-//!            of the synthetic stand-ins (use --scale 1 for full size)
-//! --lint     run the static verifier (sparsepipe-lint) over every
-//!            registered app first; exit non-zero on any lint error
+//! --scale N       dataset scale divisor (default 64; 1 = paper-size)
+//! --quick         three-matrix subset (ca, gy, bu) for smoke runs
+//! --jobs N        worker threads for the sweep executor (default 0 = all
+//!                 cores; 1 = fully sequential). Output is byte-identical
+//!                 for every N.
+//! --json F        additionally dump the raw app x matrix sweep (all
+//!                 systems' reports) as JSON to F
+//! --bench-json F  write run telemetry (per-point wall clock, simulator
+//!                 step counts, peak working sets) to F instead of the
+//!                 default BENCH_experiments.json
+//! --mtx DIR       load real MatrixMarket matrices from DIR/<code>.mtx
+//!                 instead of the synthetic stand-ins (use --scale 1)
+//! --lint          run the static verifier (sparsepipe-lint) over every
+//!                 registered app first; exit non-zero on any lint error
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use sparsepipe_bench::cli;
+use sparsepipe_bench::error::BenchError;
+use sparsepipe_bench::executor::Executor;
 use sparsepipe_bench::experiments as exp;
 use sparsepipe_bench::sweep::Sweep;
 
 fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            let mut source = std::error::Error::source(&e);
+            while let Some(cause) = source {
+                eprintln!("  caused by: {cause}");
+                source = cause.source();
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn write_json(path: &Path, value: &impl serde::Serialize) -> Result<(), BenchError> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| BenchError::Json(e.to_string()))?;
+    std::fs::write(path, json).map_err(|source| BenchError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn run() -> Result<ExitCode, BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match cli::parse(&args) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("{e}\n{}", cli::usage());
-            return ExitCode::FAILURE;
+            return Err(BenchError::Cli(format!("{e}\n{}", cli::usage())));
         }
     };
     if opts.help {
         eprintln!("{}", cli::usage());
-        return ExitCode::SUCCESS;
+        return Ok(ExitCode::SUCCESS);
     }
     if opts.lint {
         let (report, failing) = exp::lint_apps();
         println!("{}", report.render());
         if failing > 0 {
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
         if opts.artifacts.is_empty() {
-            return ExitCode::SUCCESS;
+            return Ok(ExitCode::SUCCESS);
         }
     }
 
     let ctx = opts.context();
+    let exec = Executor::new(opts.jobs);
+    let wall_start = Instant::now();
     eprintln!(
-        "# sparsepipe experiments — scale 1/{}, {:?} matrices, source {:?}",
-        ctx.scale, ctx.set, ctx.source
+        "# sparsepipe experiments — scale 1/{}, {:?} matrices, source {:?}, {} worker(s)",
+        ctx.scale,
+        ctx.set,
+        ctx.source,
+        exec.jobs()
     );
     // Figures 14/16/17/18/20b/21/22/23 share one sweep; run it lazily.
     let sweep = if opts.needs_sweep() {
         eprintln!("# running app x matrix sweep …");
-        Some(Sweep::run(ctx.clone()))
+        Some(Sweep::run_with(ctx.clone(), &exec)?)
     } else {
         None
     };
     if let (Some(path), Some(sweep)) = (&opts.json_out, &sweep) {
-        match serde_json::to_string_pretty(sweep)
-            .map_err(std::io::Error::other)
-            .and_then(|j| std::fs::write(path, j))
-        {
-            Ok(()) => eprintln!("# wrote sweep JSON to {}", path.display()),
-            Err(e) => {
-                eprintln!("failed to write {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        }
+        write_json(path, sweep)?;
+        eprintln!("# wrote sweep JSON to {}", path.display());
     }
     let sweep_ref = || sweep.as_ref().expect("sweep computed above");
 
     for artifact in &opts.artifacts {
         let report = match artifact.as_str() {
-            "table1" => exp::table1(&ctx),
-            "table2" => exp::table2(),
-            "table3" => exp::table3(),
-            "fig14" => exp::fig14(sweep_ref()),
-            "fig15" => exp::fig15(&ctx),
-            "fig16" => exp::fig16(sweep_ref()),
-            "fig17" => exp::fig17(sweep_ref()),
-            "fig18" => exp::fig18(sweep_ref()),
-            "fig19" => exp::fig19(&ctx),
-            "fig20a" => exp::fig20a(&ctx),
-            "fig20b" => exp::fig20b(sweep_ref()),
-            "fig21" => exp::fig21(sweep_ref()),
-            "fig22" => exp::fig22(sweep_ref()),
-            "fig23" => exp::fig23(sweep_ref()),
-            "ablation" => exp::ablation(&ctx),
-            "verify" => exp::verify(),
+            "table1" => exp::table1(&ctx, &exec)?,
+            "table2" => exp::table2()?,
+            "table3" => exp::table3()?,
+            "fig14" => exp::fig14(sweep_ref())?,
+            "fig15" => exp::fig15(&ctx, &exec)?,
+            "fig16" => exp::fig16(sweep_ref())?,
+            "fig17" => exp::fig17(sweep_ref())?,
+            "fig18" => exp::fig18(sweep_ref())?,
+            "fig19" => exp::fig19(&ctx, &exec)?,
+            "fig20a" => exp::fig20a(&ctx, &exec)?,
+            "fig20b" => exp::fig20b(sweep_ref())?,
+            "fig21" => exp::fig21(sweep_ref())?,
+            "fig22" => exp::fig22(sweep_ref())?,
+            "fig23" => exp::fig23(sweep_ref())?,
+            "ablation" => exp::ablation(&ctx, &exec)?,
+            "verify" => exp::verify()?,
             other => unreachable!("cli::parse validated artifact {other}"),
         };
         println!("{}", report.render());
     }
-    ExitCode::SUCCESS
+
+    let telemetry = exec.finish();
+    if telemetry.points > 0 {
+        let path = opts
+            .bench_json
+            .clone()
+            .unwrap_or_else(|| "BENCH_experiments.json".into());
+        write_json(&path, &telemetry)?;
+        eprintln!(
+            "# {} simulation point(s), {:.2}s simulated wall clock across {} worker(s), \
+             {:.2}s elapsed — telemetry in {}",
+            telemetry.points,
+            telemetry.sim_wall_s_total,
+            telemetry.jobs,
+            wall_start.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }

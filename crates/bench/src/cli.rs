@@ -22,6 +22,11 @@ pub struct CliOptions {
     pub set: MatrixSet,
     /// Write the raw sweep as JSON here, if set.
     pub json_out: Option<PathBuf>,
+    /// Worker threads for the sweep executor (`0` = machine parallelism).
+    pub jobs: usize,
+    /// Where to write the run-telemetry JSON (default
+    /// `BENCH_experiments.json` in the working directory).
+    pub bench_json: Option<PathBuf>,
     /// Load real MatrixMarket matrices from this directory, if set.
     pub mtx_dir: Option<PathBuf>,
     /// Run the static verifier over every registered app before any
@@ -68,6 +73,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         scale: 64,
         set: MatrixSet::Full,
         json_out: None,
+        jobs: 0,
+        bench_json: None,
         mtx_dir: None,
         lint: false,
         help: false,
@@ -87,6 +94,17 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             "--json" => {
                 i += 1;
                 opts.json_out = Some(args.get(i).ok_or("--json needs a file path")?.into());
+            }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--jobs needs a non-negative integer (0 = all cores)")?;
+            }
+            "--bench-json" => {
+                i += 1;
+                opts.bench_json = Some(args.get(i).ok_or("--bench-json needs a file path")?.into());
             }
             "--mtx" => {
                 i += 1;
@@ -125,8 +143,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
 /// The usage string printed on `--help` or a parse error.
 pub fn usage() -> String {
     format!(
-        "usage: experiments <artifact>... [--scale N] [--quick] [--json out.json] [--mtx DIR] \
-         [--lint]\n\
+        "usage: experiments <artifact>... [--scale N] [--quick] [--jobs N] [--json out.json] \
+         [--bench-json out.json] [--mtx DIR] [--lint]\n\
          artifacts: {}",
         ALL_ARTIFACTS.join(" ")
     )
@@ -171,9 +189,25 @@ mod tests {
         assert!(parse(&args("--scale 0 table1")).is_err());
         assert!(parse(&args("--scale x table1")).is_err());
         assert!(parse(&args("--json")).is_err());
+        assert!(parse(&args("--jobs table1")).is_err());
+        assert!(parse(&args("--jobs -2 table1")).is_err());
+        assert!(parse(&args("--bench-json")).is_err());
         assert!(parse(&args("--mtx")).is_err());
         assert!(parse(&args("--frobnicate table1")).is_err());
         assert!(parse(&args("")).is_err());
+    }
+
+    #[test]
+    fn jobs_and_bench_json_parse() {
+        let o = parse(&args("fig14 --jobs 4 --bench-json bench.json")).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.bench_json, Some("bench.json".into()));
+        // defaults: auto-parallelism, default telemetry path
+        let d = parse(&args("fig14")).unwrap();
+        assert_eq!(d.jobs, 0);
+        assert_eq!(d.bench_json, None);
+        // 0 is explicitly allowed (= machine parallelism)
+        assert_eq!(parse(&args("fig14 --jobs 0")).unwrap().jobs, 0);
     }
 
     #[test]

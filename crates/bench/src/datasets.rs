@@ -2,6 +2,9 @@
 
 use sparsepipe_tensor::{reorder, CooMatrix, DatasetSpec, MatrixId, MatrixStats};
 
+use crate::error::BenchError;
+use crate::executor::Executor;
+
 /// Where experiment matrices come from.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub enum DataSource {
@@ -34,36 +37,27 @@ impl DataContext {
         }
     }
 
-    /// Loads all matrices in the context's set (in parallel).
+    /// Loads all matrices in the context's set, fanned across `exec`'s
+    /// worker pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a MatrixMarket file is missing or malformed — the CLI
-    /// surfaces this as an immediate, explicit failure.
-    pub fn load(&self) -> Vec<ScaledDataset> {
+    /// Returns [`BenchError::Dataset`] for a missing or malformed
+    /// MatrixMarket file.
+    pub fn load(&self, exec: &Executor) -> Result<Vec<ScaledDataset>, BenchError> {
         let ids = self.set.ids();
-        let mut out: Vec<Option<ScaledDataset>> = (0..ids.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|s| {
-            for (slot, &id) in out.iter_mut().zip(ids) {
-                s.spawn(move |_| {
-                    *slot = Some(self.load_one(id));
-                });
-            }
-        })
-        .expect("dataset loading threads must not panic");
-        out.into_iter()
-            .map(|d| d.expect("every slot filled"))
-            .collect()
+        exec.run(ids, |&id| self.load_one(id)).into_iter().collect()
     }
 
     /// Loads one matrix.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a missing/malformed MatrixMarket file.
-    pub fn load_one(&self, id: MatrixId) -> ScaledDataset {
+    /// Returns [`BenchError::Dataset`] for a missing or malformed
+    /// MatrixMarket file (synthetic generation is infallible).
+    pub fn load_one(&self, id: MatrixId) -> Result<ScaledDataset, BenchError> {
         match &self.source {
-            DataSource::Synthetic => ScaledDataset::load(id, self.scale),
+            DataSource::Synthetic => Ok(ScaledDataset::load(id, self.scale)),
             DataSource::MatrixMarket(dir) => ScaledDataset::load_mtx(id, dir, self.scale),
         }
     }
@@ -92,37 +86,39 @@ impl ScaledDataset {
     pub fn load(id: MatrixId, scale: u64) -> Self {
         let spec = id.spec();
         let matrix = spec.generate(scale);
-        let perm = reorder::graph_order(&matrix.to_csr(), 64);
-        let reordered = matrix.permute_symmetric(&perm);
-        let stats = MatrixStats::compute(&matrix);
-        ScaledDataset {
-            id,
-            scale,
-            matrix,
-            reordered,
-            stats,
-        }
+        Self::from_matrix(id, scale, matrix)
     }
 
     /// Loads one matrix from `<dir>/<code>.mtx` (real data; rows/cols must
     /// be square). The buffer still scales by `scale` (use 1 for full-size
     /// inputs).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the file is missing, malformed, or non-square.
-    pub fn load_mtx(id: MatrixId, dir: &std::path::Path, scale: u64) -> Self {
+    /// Returns [`BenchError::Dataset`] if the file is missing, malformed,
+    /// or non-square.
+    pub fn load_mtx(id: MatrixId, dir: &std::path::Path, scale: u64) -> Result<Self, BenchError> {
         let path = dir.join(format!("{}.mtx", id.code()));
+        let dataset_err = |message: String| BenchError::Dataset {
+            matrix: id,
+            message,
+        };
         let file = std::fs::File::open(&path)
-            .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+            .map_err(|e| dataset_err(format!("cannot open {}: {e}", path.display())))?;
         let matrix = sparsepipe_tensor::mm::read(std::io::BufReader::new(file))
-            .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
-        assert_eq!(
-            matrix.nrows(),
-            matrix.ncols(),
-            "{}: OEI experiments need square matrices",
-            path.display()
-        );
+            .map_err(|e| dataset_err(format!("cannot parse {}: {e}", path.display())))?;
+        if matrix.nrows() != matrix.ncols() {
+            return Err(dataset_err(format!(
+                "{}: OEI experiments need square matrices, got {}x{}",
+                path.display(),
+                matrix.nrows(),
+                matrix.ncols()
+            )));
+        }
+        Ok(Self::from_matrix(id, scale, matrix))
+    }
+
+    fn from_matrix(id: MatrixId, scale: u64, matrix: CooMatrix) -> Self {
         let perm = reorder::graph_order(&matrix.to_csr(), 64);
         let reordered = matrix.permute_symmetric(&perm);
         let stats = MatrixStats::compute(&matrix);
@@ -161,21 +157,9 @@ impl MatrixSet {
     }
 }
 
-/// Loads a set of datasets in parallel (one thread per matrix).
+/// Generates a set of synthetic datasets in parallel (machine-wide pool).
 pub fn load_all(set: MatrixSet, scale: u64) -> Vec<ScaledDataset> {
-    let ids = set.ids();
-    let mut out: Vec<Option<ScaledDataset>> = (0..ids.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (slot, &id) in out.iter_mut().zip(ids) {
-            s.spawn(move |_| {
-                *slot = Some(ScaledDataset::load(id, scale));
-            });
-        }
-    })
-    .expect("dataset generation threads must not panic");
-    out.into_iter()
-        .map(|d| d.expect("every slot filled"))
-        .collect()
+    Executor::new(0).run(set.ids(), |&id| ScaledDataset::load(id, scale))
 }
 
 #[cfg(test)]
@@ -197,5 +181,18 @@ mod tests {
         let d = ScaledDataset::load(MatrixId::Gy, 64);
         assert_eq!(d.matrix.nrows(), d.reordered.nrows());
         assert_eq!(d.matrix.nnz(), d.reordered.nnz());
+    }
+
+    #[test]
+    fn missing_mtx_is_a_dataset_error() {
+        let ctx = DataContext {
+            scale: 1,
+            set: MatrixSet::Quick,
+            source: DataSource::MatrixMarket("/nonexistent-mtx-dir".into()),
+        };
+        let err = ctx.load_one(MatrixId::Ca).unwrap_err();
+        assert!(matches!(err, BenchError::Dataset { matrix, .. } if matrix == MatrixId::Ca));
+        let err = ctx.load(&Executor::new(2)).unwrap_err();
+        assert!(matches!(err, BenchError::Dataset { .. }));
     }
 }

@@ -1,0 +1,114 @@
+//! Typed errors for the benchmark harness.
+//!
+//! Every `experiments::*` generator returns `Result<Report, BenchError>`;
+//! the `experiments` binary renders the error and exits non-zero instead
+//! of panicking mid-sweep.
+
+use std::path::PathBuf;
+
+use sparsepipe_core::CoreError;
+use sparsepipe_tensor::MatrixId;
+
+/// Everything that can go wrong while regenerating an artifact.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// Command-line arguments did not parse.
+    Cli(String),
+    /// An artifact referenced an app name missing from the registry.
+    UnknownApp(String),
+    /// An application's dataflow graph failed to compile.
+    Compile {
+        /// Application short name.
+        app: String,
+        /// The compiler's message.
+        message: String,
+    },
+    /// A dataset could not be loaded (missing/malformed/non-square
+    /// MatrixMarket file).
+    Dataset {
+        /// The Table-I matrix being loaded.
+        matrix: MatrixId,
+        /// What went wrong.
+        message: String,
+    },
+    /// The simulator rejected a (program, matrix, iterations) point.
+    Sim {
+        /// Application short name.
+        app: String,
+        /// The matrix the simulation ran on.
+        matrix: MatrixId,
+        /// The simulator's error.
+        source: CoreError,
+    },
+    /// A file read/write failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// JSON serialization failed.
+    Json(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Cli(msg) => write!(f, "invalid arguments: {msg}"),
+            BenchError::UnknownApp(name) => write!(f, "unknown application `{name}`"),
+            BenchError::Compile { app, message } => {
+                write!(f, "app `{app}` failed to compile: {message}")
+            }
+            BenchError::Dataset { matrix, message } => {
+                write!(f, "dataset `{}` failed to load: {message}", matrix.code())
+            }
+            BenchError::Sim {
+                app,
+                matrix,
+                source,
+            } => write!(
+                f,
+                "simulation of `{app}` on `{}` failed: {source}",
+                matrix.code()
+            ),
+            BenchError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            BenchError::Json(msg) => write!(f, "JSON serialization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Sim { source, .. } => Some(source),
+            BenchError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failing_point() {
+        let e = BenchError::Sim {
+            app: "pr".into(),
+            matrix: MatrixId::Bu,
+            source: CoreError::ZeroIterations,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("pr") && msg.contains("bu"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = BenchError::Dataset {
+            matrix: MatrixId::Eu,
+            message: "no such file".into(),
+        };
+        assert!(e.to_string().contains("eu"));
+    }
+}

@@ -1,0 +1,259 @@
+//! The parallel sweep executor: fans independent simulation points across
+//! a worker pool and reassembles results in input order.
+//!
+//! Every (app × matrix × config) point the harness evaluates is an
+//! independent pure function of its inputs (see `DESIGN.md` §9), so the
+//! executor can run any number of them concurrently and still produce
+//! byte-identical tables: workers pull points from a shared index, send
+//! `(index, result)` pairs back over a channel, and [`Executor::run`]
+//! reassembles the results in the order the points were submitted.
+//! `--jobs 1` bypasses the pool entirely and runs inline.
+//!
+//! The executor also collects per-point host telemetry ([`PointRecord`])
+//! which the `experiments` binary aggregates into `BENCH_experiments.json`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use serde::Serialize;
+
+/// Host-side telemetry for one executed simulation point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PointRecord {
+    /// What ran, e.g. `fig14:pr-eu` or `ablation:sssp-bu:no-eager`.
+    pub label: String,
+    /// Wall-clock seconds the host spent simulating this point.
+    pub wall_s: f64,
+    /// Pipeline steps the simulator executed.
+    pub sim_steps: u64,
+    /// Matrix sweeps the run modeled (including analytic repetitions).
+    pub modeled_passes: u64,
+    /// Peak modeled working set in bytes (buffer + dense vector window).
+    pub peak_working_set_bytes: f64,
+}
+
+impl PointRecord {
+    /// Builds a record from a labelled [`sparsepipe_core::SimTelemetry`].
+    pub fn from_telemetry(label: String, t: &sparsepipe_core::SimTelemetry) -> Self {
+        PointRecord {
+            label,
+            wall_s: t.wall_s,
+            sim_steps: t.sim_steps,
+            modeled_passes: t.modeled_passes,
+            peak_working_set_bytes: t.peak_working_set_bytes,
+        }
+    }
+}
+
+/// The aggregate telemetry written to `BENCH_experiments.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchTelemetry {
+    /// Worker threads the executor ran with.
+    pub jobs: usize,
+    /// Number of recorded simulation points.
+    pub points: usize,
+    /// Total wall-clock seconds across all points (CPU-time-like: points
+    /// overlap when `jobs > 1`).
+    pub sim_wall_s_total: f64,
+    /// Total pipeline steps executed across all points.
+    pub sim_steps_total: u64,
+    /// Total modeled matrix sweeps across all points.
+    pub modeled_passes_total: u64,
+    /// Largest per-point modeled working set seen, in bytes.
+    pub peak_working_set_bytes_max: f64,
+    /// Per-point records, in submission order.
+    pub records: Vec<PointRecord>,
+}
+
+/// A fixed-size worker pool over which sweeps fan their points.
+///
+/// Results always come back in input order regardless of the thread
+/// count, so anything rendered from them is byte-identical between
+/// `--jobs 1` and `--jobs N` (host wall-clock telemetry is the one
+/// intentionally non-deterministic output).
+#[derive(Debug)]
+pub struct Executor {
+    jobs: usize,
+    records: Mutex<Vec<PointRecord>>,
+}
+
+impl Executor {
+    /// Creates an executor with `jobs` workers; `0` selects the machine's
+    /// available parallelism.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            jobs
+        };
+        Executor {
+            jobs,
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The worker count this executor fans out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item, in parallel across the pool, and returns
+    /// the results **in input order**.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the pool threads are joined; a worker
+    /// panic fails the whole run rather than silently dropping points).
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.jobs == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let workers = self.jobs.min(items.len());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                s.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    if tx.send((i, f(item))).is_err() {
+                        break;
+                    }
+                });
+            }
+        })
+        .expect("executor workers must not panic");
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every point produced a result"))
+            .collect()
+    }
+
+    /// Appends one point's telemetry. Callers record results *after*
+    /// [`Executor::run`] returns (in input order), keeping the record
+    /// sequence deterministic across thread counts.
+    pub fn record(&self, record: PointRecord) {
+        self.records
+            .lock()
+            .expect("telemetry lock never poisoned")
+            .push(record);
+    }
+
+    /// Drains the collected records into the aggregate summary.
+    pub fn finish(&self) -> BenchTelemetry {
+        let records =
+            std::mem::take(&mut *self.records.lock().expect("telemetry lock never poisoned"));
+        BenchTelemetry {
+            jobs: self.jobs,
+            points: records.len(),
+            sim_wall_s_total: records.iter().map(|r| r.wall_s).sum(),
+            sim_steps_total: records.iter().map(|r| r.sim_steps).sum(),
+            modeled_passes_total: records.iter().map(|r| r.modeled_passes).sum(),
+            peak_working_set_bytes_max: records
+                .iter()
+                .map(|r| r.peak_working_set_bytes)
+                .fold(0.0, f64::max),
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for jobs in [1, 2, 4, 8] {
+            let exec = Executor::new(jobs);
+            let out = exec.run(&items, |&i| i * i);
+            assert_eq!(out, items.iter().map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_selects_available_parallelism() {
+        assert!(Executor::new(0).jobs() >= 1);
+        assert_eq!(Executor::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn uneven_work_still_reassembles() {
+        // items that take wildly different times must not reorder results
+        let items: Vec<u64> = (0..24).map(|i| (i * 7919) % 24).collect();
+        let exec = Executor::new(4);
+        let out = exec.run(&items, |&i| {
+            std::thread::sleep(std::time::Duration::from_micros(i * 50));
+            i
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn telemetry_aggregates() {
+        let exec = Executor::new(2);
+        for (i, label) in ["a", "b", "c"].iter().enumerate() {
+            exec.record(PointRecord {
+                label: (*label).into(),
+                wall_s: 0.5,
+                sim_steps: 10,
+                modeled_passes: i as u64,
+                peak_working_set_bytes: 100.0 * i as f64,
+            });
+        }
+        let t = exec.finish();
+        assert_eq!(t.points, 3);
+        assert_eq!(t.jobs, 2);
+        assert!((t.sim_wall_s_total - 1.5).abs() < 1e-12);
+        assert_eq!(t.sim_steps_total, 30);
+        assert_eq!(t.modeled_passes_total, 3);
+        assert_eq!(t.peak_working_set_bytes_max, 200.0);
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.records[0].label, "a");
+        // finish drains
+        assert_eq!(exec.finish().points, 0);
+    }
+
+    #[test]
+    fn pool_overlaps_blocking_work() {
+        // Sleep-bound points overlap even on a single-core host, so this
+        // asserts the pool genuinely runs points concurrently (the CPU-bound
+        // speedup depends on the machine's core count and is measured by the
+        // CI smoke sweep instead). 12 x 50ms sequentially is >= 600ms; a
+        // 12-wide pool must beat that by well over the 1.5x acceptance bar.
+        let items: Vec<u32> = (0..12).collect();
+        let exec = Executor::new(12);
+        let start = std::time::Instant::now();
+        let out = exec.run(&items, |&i| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            i
+        });
+        let elapsed = start.elapsed();
+        assert_eq!(out, items);
+        assert!(
+            elapsed < std::time::Duration::from_millis(400),
+            "pool did not overlap blocking work: {elapsed:?} for 12 x 50ms"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let exec = Executor::new(8);
+        assert!(exec.run(&Vec::<u32>::new(), |&x| x).is_empty());
+        assert_eq!(exec.run(&[41u32], |&x| x + 1), vec![42]);
+    }
+}

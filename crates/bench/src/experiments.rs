@@ -1,17 +1,51 @@
 //! One generator per table/figure of the paper's evaluation.
 //!
-//! Each function returns a [`Report`] whose `body` is the regenerated
-//! artifact as plain text. `EXPERIMENTS.md` records how each measured
-//! number compares with the paper's.
+//! Each generator returns `Result<`[`Report`]`, `[`BenchError`]`>` whose
+//! `body` is the regenerated artifact as plain text; simulation-heavy
+//! generators fan their points across the caller's [`Executor`].
+//! `EXPERIMENTS.md` records how each measured number compares with the
+//! paper's.
 
-use sparsepipe_apps::registry;
-use sparsepipe_core::{simulate, MemoryConfig, Preprocessing, ReorderKind, SparsepipeConfig};
-use sparsepipe_tensor::{livesweep, BlockedDualStorage, DualStorage, MatrixId};
+use sparsepipe_apps::{registry, StaApp};
+use sparsepipe_core::{MemoryConfig, Preprocessing, ReorderKind, SimOutcome, SparsepipeConfig};
+use sparsepipe_tensor::{livesweep, BlockedDualStorage, CooMatrix, DualStorage, MatrixId};
 
 use crate::datasets::DataContext;
+use crate::error::BenchError;
+use crate::executor::{Executor, PointRecord};
 use crate::geomean;
 use crate::sweep::{self, Sweep};
 use crate::table::{fmt_pct, fmt_x, Table};
+
+/// Looks an app up by name, compiling the registry miss into a
+/// [`BenchError::UnknownApp`].
+fn app_by_name(name: &str) -> Result<StaApp, BenchError> {
+    registry::by_name(name).ok_or_else(|| BenchError::UnknownApp(name.into()))
+}
+
+/// Runs one simulation point through the [`sparsepipe_core::SimRequest`]
+/// driver, mapping the simulator error to [`BenchError::Sim`].
+fn sim_point(
+    app: &StaApp,
+    matrix_id: MatrixId,
+    matrix: &CooMatrix,
+    iterations: usize,
+    cfg: SparsepipeConfig,
+) -> Result<SimOutcome, BenchError> {
+    let program = app.compile().map_err(|e| BenchError::Compile {
+        app: app.name.into(),
+        message: e.to_string(),
+    })?;
+    sparsepipe_core::SimRequest::new(&program, matrix)
+        .iterations(iterations)
+        .config(cfg)
+        .run()
+        .map_err(|source| BenchError::Sim {
+            app: app.name.into(),
+            matrix: matrix_id,
+            source,
+        })
+}
 
 /// A regenerated table/figure.
 #[derive(Debug, Clone)]
@@ -32,8 +66,12 @@ impl Report {
 }
 
 /// **Table I** — portion of the sparse matrix live on chip under OEI.
-pub fn table1(ctx: &DataContext) -> Report {
-    let datasets = ctx.load();
+///
+/// # Errors
+///
+/// Returns [`BenchError::Dataset`] if a matrix fails to load.
+pub fn table1(ctx: &DataContext, exec: &Executor) -> Result<Report, BenchError> {
+    let datasets = ctx.load(exec)?;
     let mut t = Table::new(
         [
             "matrix",
@@ -60,18 +98,22 @@ pub fn table1(ctx: &DataContext) -> Report {
             fmt_pct(spec.paper_avg_pct),
         ]);
     }
-    Report {
+    Ok(Report {
         id: "table1",
         title: format!(
             "on-chip live set under the OEI dataflow (scale 1/{})",
             ctx.scale
         ),
         body: t.render(),
-    }
+    })
 }
 
 /// **Table II** — evaluated memory configurations.
-pub fn table2() -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn table2() -> Result<Report, BenchError> {
     let mut t = Table::new(
         [
             "system",
@@ -96,15 +138,19 @@ pub fn table2() -> Report {
             m.tech.into(),
         ]);
     }
-    Report {
+    Ok(Report {
         id: "table2",
         title: "memory configurations evaluated".into(),
         body: t.render(),
-    }
+    })
 }
 
 /// **Table III** — benchmark applications.
-pub fn table3() -> Report {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Compile`] if a registered app fails to compile.
+pub fn table3() -> Result<Report, BenchError> {
     let mut t = Table::new(
         [
             "app",
@@ -117,7 +163,10 @@ pub fn table3() -> Report {
         .to_vec(),
     );
     for app in registry::all() {
-        let program = app.compile().expect("apps compile");
+        let program = app.compile().map_err(|e| BenchError::Compile {
+            app: app.name.into(),
+            message: e.to_string(),
+        })?;
         t.row(vec![
             app.name.into(),
             app.semiring.to_string(),
@@ -131,15 +180,19 @@ pub fn table3() -> Report {
             if program.profile.has_oei { "yes" } else { "no" }.into(),
         ]);
     }
-    Report {
+    Ok(Report {
         id: "table3",
         title: "benchmark STA applications".into(),
         body: t.render(),
-    }
+    })
 }
 
 /// **Fig 14** — Sparsepipe speedup over the idealized sparse accelerator.
-pub fn fig14(sweep: &Sweep) -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn fig14(sweep: &Sweep) -> Result<Report, BenchError> {
     let matrices = sweep.matrices();
     let mut header = vec!["app".to_string()];
     header.extend(matrices.iter().map(|m| m.code().to_string()));
@@ -176,30 +229,47 @@ pub fn fig14(sweep: &Sweep) -> Report {
         fmt_x(oei_geo.iter().copied().fold(f64::INFINITY, f64::min)),
         fmt_x(oei_geo.iter().copied().fold(0.0, f64::max)),
     );
-    Report {
+    Ok(Report {
         id: "fig14",
         title: "speedup of Sparsepipe over the baseline (ideal) accelerator".into(),
         body,
-    }
+    })
 }
 
 /// **Fig 15** — bandwidth utilization over execution for the four
-/// highlighted workloads (sampled at every 4%).
-pub fn fig15(ctx: &DataContext) -> Report {
+/// highlighted workloads (sampled at every 4%), simulated in parallel
+/// across `exec`'s pool.
+///
+/// # Errors
+///
+/// Returns the first dataset/compile/simulation error in pair order.
+pub fn fig15(ctx: &DataContext, exec: &Executor) -> Result<Report, BenchError> {
     let pairs = [
         ("sssp", MatrixId::Bu),
         ("knn", MatrixId::Eu),
         ("kcore", MatrixId::Eu),
         ("sssp", MatrixId::Wi),
     ];
-    let mut body = String::new();
-    for (app_name, matrix_id) in pairs {
-        let dataset = ctx.load_one(matrix_id);
-        let app = registry::by_name(app_name).expect("known app");
-        let program = app.compile().expect("apps compile");
+    let results = exec.run(&pairs, |&(app_name, matrix_id)| {
+        let dataset = ctx.load_one(matrix_id)?;
+        let app = app_by_name(app_name)?;
         let cfg = sweep::sparsepipe_config(&dataset);
-        let report = simulate(&program, &dataset.reordered, app.default_iterations, &cfg)
-            .expect("square matrix");
+        sim_point(
+            &app,
+            matrix_id,
+            &dataset.reordered,
+            app.default_iterations,
+            cfg,
+        )
+    });
+    let mut body = String::new();
+    for (result, (app_name, matrix_id)) in results.into_iter().zip(pairs) {
+        let outcome = result?;
+        exec.record(PointRecord::from_telemetry(
+            format!("fig15:{}-{}", app_name, matrix_id.code()),
+            &outcome.telemetry,
+        ));
+        let report = &outcome.report;
         body.push_str(&format!(
             "--- {}-{} (avg util {}) ---\n",
             app_name,
@@ -220,15 +290,19 @@ pub fn fig15(ctx: &DataContext) -> Report {
             ));
         }
     }
-    Report {
+    Ok(Report {
         id: "fig15",
         title: "memory bandwidth utilization during execution (4% samples)".into(),
         body,
-    }
+    })
 }
 
 /// **Fig 16** — speedup over the CPU implementation (iso-GPU and iso-CPU).
-pub fn fig16(sweep: &Sweep) -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn fig16(sweep: &Sweep) -> Result<Report, BenchError> {
     let matrices = sweep.matrices();
     let mut header = vec!["app".to_string()];
     header.extend(matrices.iter().map(|m| m.code().to_string()));
@@ -271,15 +345,19 @@ pub fn fig16(sweep: &Sweep) -> Report {
         fmt_x(iso_geos.iter().copied().fold(f64::INFINITY, f64::min)),
         fmt_x(iso_geos.iter().copied().fold(0.0, f64::max)),
     );
-    Report {
+    Ok(Report {
         id: "fig16",
         title: "speedup of Sparsepipe over the CPU STA framework".into(),
         body,
-    }
+    })
 }
 
 /// **Fig 17** — speedup over GPU frameworks (bfs, kcore, pr, sssp).
-pub fn fig17(sweep: &Sweep) -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn fig17(sweep: &Sweep) -> Result<Report, BenchError> {
     let subset = ["bfs", "kcore", "pr", "sssp"];
     let mut t = Table::new(["app", "geomean speedup vs GPU"].map(String::from).to_vec());
     let mut all = Vec::new();
@@ -298,15 +376,19 @@ pub fn fig17(sweep: &Sweep) -> Report {
         t.render(),
         fmt_x(geomean(&all))
     );
-    Report {
+    Ok(Report {
         id: "fig17",
         title: "speedup of Sparsepipe over GPU implementations".into(),
         body,
-    }
+    })
 }
 
 /// **Fig 18** — performance relative to the oracle accelerator.
-pub fn fig18(sweep: &Sweep) -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn fig18(sweep: &Sweep) -> Result<Report, BenchError> {
     let matrices = sweep.matrices();
     let mut header = vec!["app".to_string()];
     header.extend(matrices.iter().map(|m| m.code().to_string()));
@@ -327,7 +409,7 @@ pub fn fig18(sweep: &Sweep) -> Report {
         t.row(row);
     }
     let avg = all.iter().sum::<f64>() / all.len().max(1) as f64;
-    Report {
+    Ok(Report {
         id: "fig18",
         title: "performance vs. an accelerator with perfect inter-operator reuse".into(),
         body: format!(
@@ -335,12 +417,17 @@ pub fn fig18(sweep: &Sweep) -> Report {
             t.render(),
             fmt_pct(avg)
         ),
-    }
+    })
 }
 
-/// **Fig 19** — sensitivity to sparse tensor preprocessing.
-pub fn fig19(ctx: &DataContext) -> Report {
-    let datasets = ctx.load();
+/// **Fig 19** — sensitivity to sparse tensor preprocessing. The full
+/// variant × matrix × app grid runs as one parallel batch on `exec`.
+///
+/// # Errors
+///
+/// Returns the first dataset/compile/simulation error in grid order.
+pub fn fig19(ctx: &DataContext, exec: &Executor) -> Result<Report, BenchError> {
+    let datasets = ctx.load(exec)?;
     let apps = ["pr", "sssp", "kcore"];
     let variants: [(&str, bool, bool); 4] = [
         ("skeleton (no opt)", false, false),
@@ -348,56 +435,94 @@ pub fn fig19(ctx: &DataContext) -> Report {
         ("+reorder", false, true),
         ("+both", true, true),
     ];
+    // One flat grid, variant-major (matching the sequential layout), so a
+    // single executor batch covers every simulation of the figure.
+    let mut points = Vec::new();
+    for &(name, blocked, reorder) in &variants {
+        for d in &datasets {
+            for app_name in apps {
+                points.push((name, blocked, reorder, d, app_name));
+            }
+        }
+    }
+    let results = exec.run(&points, |&(_, blocked, reorder, d, app_name)| {
+        let matrix = if reorder { &d.reordered } else { &d.matrix };
+        let app = app_by_name(app_name)?;
+        let program = app.compile().map_err(|e| BenchError::Compile {
+            app: app.name.into(),
+            message: e.to_string(),
+        })?;
+        let cfg = SparsepipeConfig::iso_gpu()
+            .with_buffer(d.buffer_bytes())
+            .with_preprocessing(Preprocessing {
+                blocked,
+                reorder: ReorderKind::None,
+            });
+        let outcome = sparsepipe_core::SimRequest::new(&program, matrix)
+            .iterations(app.default_iterations)
+            .config(cfg)
+            .run()
+            .map_err(|source| BenchError::Sim {
+                app: app.name.into(),
+                matrix: d.id,
+                source,
+            })?;
+        let w = sparsepipe_baselines::WorkloadInstance {
+            profile: &program.profile,
+            n: d.matrix.nrows() as u64,
+            nnz: d.matrix.nnz() as u64,
+            stats: &d.stats,
+            iterations: app.default_iterations,
+        };
+        let ideal = sparsepipe_baselines::ideal::IdealAccelerator::new(cfg).evaluate(&w);
+        Ok((
+            ideal.runtime_s / outcome.report.runtime_s,
+            outcome.telemetry,
+        ))
+    });
+    let mut speedups_by_variant: Vec<Vec<f64>> = variants.iter().map(|_| Vec::new()).collect();
+    for (result, (name, blocked, _, d, app_name)) in results.into_iter().zip(&points) {
+        let (speedup, telemetry) = result?;
+        exec.record(PointRecord::from_telemetry(
+            format!("fig19:{}-{}:{}", app_name, d.id.code(), name),
+            &telemetry,
+        ));
+        let variant_idx = variants
+            .iter()
+            .position(|v| v.0 == *name && v.1 == *blocked)
+            .expect("point built from variants");
+        speedups_by_variant[variant_idx].push(speedup);
+    }
+    let per_variant: Vec<(&str, f64)> = variants
+        .iter()
+        .zip(&speedups_by_variant)
+        .map(|(&(name, _, _), speedups)| (name, geomean(speedups)))
+        .collect();
     let mut t = Table::new(
         ["variant", "geomean speedup vs ideal", "vs skeleton"]
             .map(String::from)
             .to_vec(),
     );
-    let mut per_variant = Vec::new();
-    for (name, blocked, reorder) in variants {
-        let mut speedups = Vec::new();
-        for d in &datasets {
-            let matrix = if reorder { &d.reordered } else { &d.matrix };
-            for app_name in apps {
-                let app = registry::by_name(app_name).expect("known app");
-                let program = app.compile().expect("apps compile");
-                let cfg = SparsepipeConfig::iso_gpu()
-                    .with_buffer(d.buffer_bytes())
-                    .with_preprocessing(Preprocessing {
-                        blocked,
-                        reorder: ReorderKind::None,
-                    });
-                let sim = simulate(&program, matrix, app.default_iterations, &cfg)
-                    .expect("square matrix");
-                let w = sparsepipe_baselines::WorkloadInstance {
-                    profile: &program.profile,
-                    n: d.matrix.nrows() as u64,
-                    nnz: d.matrix.nnz() as u64,
-                    stats: &d.stats,
-                    iterations: app.default_iterations,
-                };
-                let ideal = sparsepipe_baselines::ideal::IdealAccelerator::new(cfg).evaluate(&w);
-                speedups.push(ideal.runtime_s / sim.runtime_s);
-            }
-        }
-        per_variant.push((name, geomean(&speedups)));
-    }
     let skeleton = per_variant[0].1;
     for (name, g) in &per_variant {
         t.row(vec![(*name).into(), fmt_x(*g), fmt_x(*g / skeleton)]);
     }
-    Report {
+    Ok(Report {
         id: "fig19",
         title: format!(
             "preprocessing sensitivity, apps {apps:?} (paper: skeleton 1.37x; both 1.05x–1.34x over skeleton)"
         ),
         body: t.render(),
-    }
+    })
 }
 
 /// **Fig 20a** — storage improvement of the blocked dual format.
-pub fn fig20a(ctx: &DataContext) -> Report {
-    let datasets = ctx.load();
+///
+/// # Errors
+///
+/// Returns [`BenchError::Dataset`] if a matrix fails to load.
+pub fn fig20a(ctx: &DataContext, exec: &Executor) -> Result<Report, BenchError> {
+    let datasets = ctx.load(exec)?;
     let mut t = Table::new(
         ["matrix", "dual (MB)", "blocked dual (MB)", "ratio"]
             .map(String::from)
@@ -417,7 +542,7 @@ pub fn fig20a(ctx: &DataContext) -> Report {
         ]);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
-    Report {
+    Ok(Report {
         id: "fig20a",
         title: "blocked dual-storage size relative to naive dual storage".into(),
         body: format!(
@@ -425,11 +550,15 @@ pub fn fig20a(ctx: &DataContext) -> Report {
             t.render(),
             fmt_pct(avg * 100.0)
         ),
-    }
+    })
 }
 
 /// **Fig 20b** — relative performance per area.
-pub fn fig20b(sweep: &Sweep) -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn fig20b(sweep: &Sweep) -> Result<Report, BenchError> {
     use sparsepipe_baselines::area;
     let cpu_speedups: Vec<f64> = sweep
         .entries
@@ -470,15 +599,19 @@ pub fn fig20b(sweep: &Sweep) -> Report {
         fmt_x(vs_gpu),
         fmt_x(ppa_gpu),
     ]);
-    Report {
+    Ok(Report {
         id: "fig20b",
         title: "relative performance per area (paper: 5.38x vs GPU, 9.84x vs CPU)".into(),
         body: t.render(),
-    }
+    })
 }
 
 /// **Fig 21** — Sparsepipe bandwidth utilization.
-pub fn fig21(sweep: &Sweep) -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn fig21(sweep: &Sweep) -> Result<Report, BenchError> {
     let mut t = Table::new(
         ["app", "bw utilization (geomean)"]
             .map(String::from)
@@ -499,7 +632,7 @@ pub fn fig21(sweep: &Sweep) -> Report {
             memory_bound.push(g);
         }
     }
-    Report {
+    Ok(Report {
         id: "fig21",
         title: "Sparsepipe bandwidth utilization".into(),
         body: format!(
@@ -508,11 +641,15 @@ pub fn fig21(sweep: &Sweep) -> Report {
             fmt_pct(geomean(&all)),
             fmt_pct(geomean(&memory_bound))
         ),
-    }
+    })
 }
 
 /// **Fig 22** — CPU/GPU bandwidth utilization per matrix.
-pub fn fig22(sweep: &Sweep) -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn fig22(sweep: &Sweep) -> Result<Report, BenchError> {
     let matrices = sweep.matrices();
     let mut t = Table::new(
         ["matrix", "CPU util (geomean)", "GPU util (geomean)"]
@@ -538,15 +675,19 @@ pub fn fig22(sweep: &Sweep) -> Report {
             fmt_pct(geomean(&gpu)),
         ]);
     }
-    Report {
+    Ok(Report {
         id: "fig22",
         title: "CPU/GPU bandwidth utilization (lower on small, cached inputs)".into(),
         body: t.render(),
-    }
+    })
 }
 
 /// **Fig 23** — relative energy vs. the baseline accelerator.
-pub fn fig23(sweep: &Sweep) -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for a uniform generator signature.
+pub fn fig23(sweep: &Sweep) -> Result<Report, BenchError> {
     let mut t = Table::new(
         [
             "app",
@@ -586,7 +727,7 @@ pub fn fig23(sweep: &Sweep) -> Report {
         buf_savings.push(1.0 - buf);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
-    Report {
+    Ok(Report {
         id: "fig23",
         title: "relative energy consumption vs the baseline accelerator".into(),
         body: format!(
@@ -596,43 +737,89 @@ pub fn fig23(sweep: &Sweep) -> Report {
             fmt_pct(avg(&mem_savings)),
             fmt_pct(avg(&buf_savings)),
         ),
-    }
+    })
 }
 
 /// **Ablations** — the design-choice studies DESIGN.md §7 calls out:
 /// sub-tensor width, eager CSR loading, eviction policy, repack threshold,
-/// and buffer capacity.
-pub fn ablation(ctx: &DataContext) -> Report {
+/// and buffer capacity. Each study's configuration list runs as one
+/// parallel batch on `exec`.
+///
+/// # Errors
+///
+/// Returns the first dataset/compile/simulation error encountered.
+pub fn ablation(ctx: &DataContext, exec: &Executor) -> Result<Report, BenchError> {
     use sparsepipe_core::EvictionPolicy;
     let mut body = String::new();
 
+    let mut loaded = exec
+        .run(&[MatrixId::Wi, MatrixId::Bu], |&id| ctx.load_one(id))
+        .into_iter();
+    let wi = loaded.next().expect("two datasets requested")?;
+    let bu = loaded.next().expect("two datasets requested")?;
+    let pr = app_by_name("pr")?;
+    let sssp = app_by_name("sssp")?;
+
+    // A labelled batch of configs simulated in parallel; rows and
+    // telemetry are emitted in config order.
+    let study = |study: &str,
+                 app: &StaApp,
+                 matrix_id: MatrixId,
+                 matrix: &CooMatrix,
+                 configs: &[(String, SparsepipeConfig)]|
+     -> Result<Vec<sparsepipe_core::SimReport>, BenchError> {
+        let outcomes = exec.run(configs, |(_, cfg)| {
+            sim_point(app, matrix_id, matrix, app.default_iterations, *cfg)
+        });
+        let mut reports = Vec::with_capacity(configs.len());
+        for (outcome, (label, _)) in outcomes.into_iter().zip(configs) {
+            let outcome = outcome?;
+            exec.record(PointRecord::from_telemetry(
+                format!("ablation:{study}:{}-{}:{label}", app.name, matrix_id.code()),
+                &outcome.telemetry,
+            ));
+            reports.push(outcome.report);
+        }
+        Ok(reports)
+    };
+
     // --- A: sub-tensor width (pr on wi: skewed, large) ---
-    let wi = ctx.load_one(MatrixId::Wi);
-    let pr = registry::by_name("pr").expect("known app");
-    let pr_prog = pr.compile().expect("apps compile");
     let base = sweep::sparsepipe_config(&wi);
-    let mut t = Table::new(
-        ["sub-tensor T", "steps", "runtime (ms)", "bw util"]
-            .map(String::from)
-            .to_vec(),
-    );
     let auto = base.subtensor_auto(wi.reordered.ncols(), wi.reordered.nnz());
-    for (label, cols) in [
+    let configs: Vec<(String, SparsepipeConfig)> = [
         ("1".to_string(), 1usize),
         ("8".to_string(), 8),
         ("64".to_string(), 64),
         ("512".to_string(), 512),
         (format!("auto ({auto})"), 0),
-    ] {
-        let cfg = SparsepipeConfig {
-            subtensor_cols: cols,
-            ..base
-        };
-        let r =
-            simulate(&pr_prog, &wi.reordered, pr.default_iterations, &cfg).expect("square matrix");
-        let eff = if cols == 0 { auto } else { cols };
-        t.row(vec![
+    ]
+    .into_iter()
+    .map(|(label, cols)| {
+        (
             label,
+            SparsepipeConfig {
+                subtensor_cols: cols,
+                ..base
+            },
+        )
+    })
+    .collect();
+    let mut t = Table::new(
+        ["sub-tensor T", "steps", "runtime (ms)", "bw util"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (r, (label, cfg)) in study("subtensor", &pr, wi.id, &wi.reordered, &configs)?
+        .into_iter()
+        .zip(&configs)
+    {
+        let eff = if cfg.subtensor_cols == 0 {
+            auto
+        } else {
+            cfg.subtensor_cols
+        };
+        t.row(vec![
+            label.clone(),
             wi.reordered.ncols().div_ceil(eff as u32).to_string(),
             format!("{:.4}", r.runtime_s * 1e3),
             fmt_pct(r.avg_bw_utilization * 100.0),
@@ -645,10 +832,27 @@ pub fn ablation(ctx: &DataContext) -> Report {
     // Use the ORIGINAL (unreordered) bu: GraphOrder halves its live set
     // (the anti-diagonal mass relabels to near-diagonal), which would
     // remove the pressure this study needs. Quarter the buffer on top.
-    let bu = ctx.load_one(MatrixId::Bu);
-    let sssp = registry::by_name("sssp").expect("known app");
-    let sssp_prog = sssp.compile().expect("apps compile");
     let pressured = sweep::sparsepipe_config(&bu).with_buffer(bu.buffer_bytes() / 4);
+    let configs: Vec<(String, SparsepipeConfig)> = [
+        (
+            "eager + highest-row-first",
+            true,
+            EvictionPolicy::HighestRowFirst,
+        ),
+        ("no eager CSR", false, EvictionPolicy::HighestRowFirst),
+        ("eager + oldest-first", true, EvictionPolicy::OldestFirst),
+    ]
+    .into_iter()
+    .map(|(name, eager, policy)| {
+        (
+            name.to_string(),
+            SparsepipeConfig {
+                eviction: policy,
+                ..pressured.with_eager_csr(eager)
+            },
+        )
+    })
+    .collect();
     let mut t = Table::new(
         [
             "variant",
@@ -660,23 +864,12 @@ pub fn ablation(ctx: &DataContext) -> Report {
         .map(String::from)
         .to_vec(),
     );
-    for (name, eager, policy) in [
-        (
-            "eager + highest-row-first",
-            true,
-            EvictionPolicy::HighestRowFirst,
-        ),
-        ("no eager CSR", false, EvictionPolicy::HighestRowFirst),
-        ("eager + oldest-first", true, EvictionPolicy::OldestFirst),
-    ] {
-        let cfg = SparsepipeConfig {
-            eviction: policy,
-            ..pressured.with_eager_csr(eager)
-        };
-        let r =
-            simulate(&sssp_prog, &bu.matrix, sssp.default_iterations, &cfg).expect("square matrix");
+    for (r, (name, _)) in study("eager-eviction", &sssp, bu.id, &bu.matrix, &configs)?
+        .into_iter()
+        .zip(&configs)
+    {
         t.row(vec![
-            name.into(),
+            name.clone(),
             format!("{:.4}", r.runtime_s * 1e3),
             format!("{:.2}", r.traffic.refetch_bytes / 1e6),
             format!("{:.2}", r.traffic.csr_eager_bytes / 1e6),
@@ -687,20 +880,29 @@ pub fn ablation(ctx: &DataContext) -> Report {
     body.push_str(&t.render());
 
     // --- C: repack threshold ---
+    let configs: Vec<(String, SparsepipeConfig)> = [0.1, 0.5, 0.9]
+        .into_iter()
+        .map(|thr| {
+            (
+                format!("{thr}"),
+                SparsepipeConfig {
+                    repack_threshold: thr,
+                    ..pressured
+                },
+            )
+        })
+        .collect();
     let mut t = Table::new(
         ["repack threshold", "runtime (ms)", "repacks", "evictions"]
             .map(String::from)
             .to_vec(),
     );
-    for thr in [0.1, 0.5, 0.9] {
-        let cfg = SparsepipeConfig {
-            repack_threshold: thr,
-            ..pressured
-        };
-        let r =
-            simulate(&sssp_prog, &bu.matrix, sssp.default_iterations, &cfg).expect("square matrix");
+    for (r, (label, _)) in study("repack", &sssp, bu.id, &bu.matrix, &configs)?
+        .into_iter()
+        .zip(&configs)
+    {
         t.row(vec![
-            format!("{thr}"),
+            label.clone(),
             format!("{:.4}", r.runtime_s * 1e3),
             r.repack_events.to_string(),
             r.evicted_elements.to_string(),
@@ -712,17 +914,27 @@ pub fn ablation(ctx: &DataContext) -> Report {
     body.push_str(&t.render());
 
     // --- D: buffer capacity (pr on bu) ---
+    let full = bu.buffer_bytes();
+    let configs: Vec<(String, SparsepipeConfig)> = [8usize, 4, 2, 1]
+        .into_iter()
+        .map(|frac| {
+            (
+                format!("1/{frac} of scaled 64 MB"),
+                sweep::sparsepipe_config(&bu).with_buffer(full / frac),
+            )
+        })
+        .collect();
     let mut t = Table::new(
         ["buffer", "runtime (ms)", "refetch (MB)", "loads/iter"]
             .map(String::from)
             .to_vec(),
     );
-    let full = bu.buffer_bytes();
-    for frac in [8usize, 4, 2, 1] {
-        let cfg = sweep::sparsepipe_config(&bu).with_buffer(full / frac);
-        let r = simulate(&pr_prog, &bu.matrix, pr.default_iterations, &cfg).expect("square matrix");
+    for (r, (label, _)) in study("buffer", &pr, bu.id, &bu.matrix, &configs)?
+        .into_iter()
+        .zip(&configs)
+    {
         t.row(vec![
-            format!("1/{frac} of scaled 64 MB"),
+            label.clone(),
             format!("{:.4}", r.runtime_s * 1e3),
             format!("{:.2}", r.traffic.refetch_bytes / 1e6),
             format!("{:.3}", r.matrix_loads_per_iteration),
@@ -731,11 +943,11 @@ pub fn ablation(ctx: &DataContext) -> Report {
     body.push_str("\n--- buffer capacity (pr on bu) ---\n");
     body.push_str(&t.render());
 
-    Report {
+    Ok(Report {
         id: "ablation",
         title: format!("design-choice ablations (scale 1/{})", ctx.scale),
         body,
-    }
+    })
 }
 
 /// **Self-verification** — runs the stack's functional cross-checks on
@@ -744,7 +956,12 @@ pub fn ablation(ctx: &DataContext) -> Report {
 /// schedule (element, sub-tensor, and mechanism-level buffered variants)
 /// against sequential execution, and a fused multi-iteration PageRank
 /// against the interpreter.
-pub fn verify() -> Report {
+///
+/// # Errors
+///
+/// Infallible in practice (failed checks are reported as `FAIL` rows, not
+/// errors); `Result` for a uniform generator signature.
+pub fn verify() -> Result<Report, BenchError> {
     use sparsepipe_core::oei;
     use sparsepipe_semiring::SemiringOp;
     use sparsepipe_tensor::{gen, DenseVector};
@@ -873,11 +1090,11 @@ pub fn verify() -> Report {
         },
     );
 
-    Report {
+    Ok(Report {
         id: "verify",
         title: format!("functional self-verification — {failures} check(s) failed"),
         body: t.render(),
-    }
+    })
 }
 
 /// **--lint** — the static verifier over every registered app (graph
@@ -959,15 +1176,16 @@ mod tests {
 
     #[test]
     fn static_tables_render() {
-        assert!(table2().render().contains("GDDR6X"));
-        let t3 = table3();
+        assert!(table2().unwrap().render().contains("GDDR6X"));
+        let t3 = table3().unwrap();
         assert!(t3.body.contains("Aril-Add"));
         assert!(t3.body.contains("cross-iteration"));
     }
 
     #[test]
     fn table1_includes_paper_comparison() {
-        let r = table1(&DataContext::synthetic(MatrixSet::Quick, 512));
+        let ctx = DataContext::synthetic(MatrixSet::Quick, 512);
+        let r = table1(&ctx, &Executor::new(1)).unwrap();
         assert!(r.body.contains("ca"));
         assert!(r.body.contains("paper max"));
     }
@@ -976,14 +1194,14 @@ mod tests {
     fn sweep_figures_render() {
         let s = tiny();
         for report in [
-            fig14(&s),
-            fig16(&s),
-            fig17(&s),
-            fig18(&s),
-            fig20b(&s),
-            fig21(&s),
-            fig22(&s),
-            fig23(&s),
+            fig14(&s).unwrap(),
+            fig16(&s).unwrap(),
+            fig17(&s).unwrap(),
+            fig18(&s).unwrap(),
+            fig20b(&s).unwrap(),
+            fig21(&s).unwrap(),
+            fig22(&s).unwrap(),
+            fig23(&s).unwrap(),
         ] {
             assert!(!report.body.is_empty(), "{} empty", report.id);
         }
@@ -991,8 +1209,26 @@ mod tests {
 
     #[test]
     fn fig20a_shows_compression() {
-        let r = fig20a(&DataContext::synthetic(MatrixSet::Quick, 512));
+        let ctx = DataContext::synthetic(MatrixSet::Quick, 512);
+        let r = fig20a(&ctx, &Executor::new(2)).unwrap();
         assert!(r.body.contains("average"));
+    }
+
+    #[test]
+    fn unknown_app_is_an_error() {
+        let err = app_by_name("not-an-app").unwrap_err();
+        assert!(matches!(err, BenchError::UnknownApp(ref name) if name == "not-an-app"));
+    }
+
+    #[test]
+    fn fig15_records_labelled_telemetry() {
+        let ctx = DataContext::synthetic(MatrixSet::Quick, 512);
+        let exec = Executor::new(2);
+        let r = fig15(&ctx, &exec).unwrap();
+        assert!(!r.body.is_empty());
+        let t = exec.finish();
+        assert!(t.points > 0);
+        assert!(t.records.iter().all(|p| p.label.starts_with("fig15:")));
     }
 }
 
@@ -1007,7 +1243,7 @@ mod verify_tests {
 
     #[test]
     fn self_verification_is_all_green() {
-        let report = super::verify();
+        let report = super::verify().unwrap();
         assert!(
             report.title.contains("0 check(s) failed"),
             "{}\n{}",

@@ -18,6 +18,8 @@
 
 pub mod cli;
 pub mod datasets;
+pub mod error;
+pub mod executor;
 pub mod experiments;
 pub mod sweep;
 pub mod table;

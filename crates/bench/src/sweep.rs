@@ -1,15 +1,21 @@
 //! The app × matrix evaluation sweep shared by Figures 14–23.
 
+use std::sync::Arc;
+
 use sparsepipe_apps::{registry, StaApp};
 use sparsepipe_baselines::cpu::CpuModel;
 use sparsepipe_baselines::gpu::GpuModel;
 use sparsepipe_baselines::ideal::IdealAccelerator;
 use sparsepipe_baselines::oracle::OracleAccelerator;
 use sparsepipe_baselines::{BaselineReport, WorkloadInstance};
-use sparsepipe_core::{simulate, Preprocessing, ReorderKind, SimReport, SparsepipeConfig};
+use sparsepipe_core::{
+    Preprocessing, ReorderKind, SimReport, SimRequest, SimTelemetry, SparsepipeConfig,
+};
 use sparsepipe_tensor::MatrixId;
 
 use crate::datasets::{DataContext, ScaledDataset};
+use crate::error::BenchError;
+use crate::executor::{Executor, PointRecord};
 
 /// All evaluated systems' results for one (app, matrix) pair.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -63,6 +69,18 @@ impl Entry {
     }
 }
 
+/// One evaluated sweep point: the entry plus host-side telemetry for the
+/// two Sparsepipe simulations it ran.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The cross-system results.
+    pub entry: Entry,
+    /// Combined telemetry of the iso-GPU and iso-CPU simulations.
+    pub telemetry: SimTelemetry,
+    /// Scheduling diagnostics from the iso-GPU run.
+    pub diagnostics: Vec<String>,
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Sweep {
@@ -105,18 +123,41 @@ pub fn scaled_gpu(scale: u64) -> GpuModel {
 }
 
 /// Evaluates one app on one dataset across all systems.
-pub fn evaluate(app: &StaApp, dataset: &ScaledDataset, scale: u64) -> Entry {
-    let program = app.compile().expect("built-in apps compile");
+///
+/// # Errors
+///
+/// Returns [`BenchError::Compile`] if the app's graph does not compile and
+/// [`BenchError::Sim`] if the simulator rejects the point.
+pub fn evaluate(
+    app: &StaApp,
+    dataset: &ScaledDataset,
+    scale: u64,
+) -> Result<Evaluation, BenchError> {
+    let program = app.compile().map_err(|e| BenchError::Compile {
+        app: app.name.into(),
+        message: e.to_string(),
+    })?;
     let iterations = app.default_iterations;
     let cfg = sparsepipe_config(dataset);
-    let sim = simulate(&program, &dataset.reordered, iterations, &cfg)
-        .expect("square generated matrices");
+    let sim_err = |source| BenchError::Sim {
+        app: app.name.into(),
+        matrix: dataset.id,
+        source,
+    };
+    let outcome = SimRequest::new(&program, &dataset.reordered)
+        .iterations(iterations)
+        .config(cfg)
+        .run()
+        .map_err(sim_err)?;
     let cfg_cpu = SparsepipeConfig {
         memory: sparsepipe_core::MemoryConfig::ddr4(),
         ..cfg
     };
-    let sim_iso_cpu = simulate(&program, &dataset.reordered, iterations, &cfg_cpu)
-        .expect("square generated matrices");
+    let iso_cpu = SimRequest::new(&program, &dataset.reordered)
+        .iterations(iterations)
+        .config(cfg_cpu)
+        .run()
+        .map_err(sim_err)?;
 
     let w = WorkloadInstance {
         profile: &program.profile,
@@ -130,42 +171,73 @@ pub fn evaluate(app: &StaApp, dataset: &ScaledDataset, scale: u64) -> Entry {
     let cpu = scaled_cpu(scale).evaluate(&w);
     let gpu = scaled_gpu(scale).evaluate(&w);
 
-    Entry {
-        app: app.name,
-        matrix: dataset.id,
-        has_oei: program.profile.has_oei,
-        iterations,
-        sim,
-        sim_iso_cpu,
-        ideal,
-        oracle,
-        cpu,
-        gpu,
-    }
+    Ok(Evaluation {
+        entry: Entry {
+            app: app.name,
+            matrix: dataset.id,
+            has_oei: program.profile.has_oei,
+            iterations,
+            sim: outcome.report,
+            sim_iso_cpu: iso_cpu.report,
+            ideal,
+            oracle,
+            cpu,
+            gpu,
+        },
+        telemetry: SimTelemetry {
+            wall_s: outcome.telemetry.wall_s + iso_cpu.telemetry.wall_s,
+            sim_steps: outcome.telemetry.sim_steps + iso_cpu.telemetry.sim_steps,
+            modeled_passes: outcome.telemetry.modeled_passes + iso_cpu.telemetry.modeled_passes,
+            peak_working_set_bytes: outcome
+                .telemetry
+                .peak_working_set_bytes
+                .max(iso_cpu.telemetry.peak_working_set_bytes),
+        },
+        diagnostics: outcome.diagnostics,
+    })
 }
 
 impl Sweep {
-    /// Runs the full sweep (parallel over matrices).
+    /// Runs the full sweep on a machine-wide worker pool (convenience for
+    /// tests and callers without an [`Executor`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dataset fails to load or an app fails to compile —
+    /// impossible for the built-in synthetic contexts.
     pub fn run(context: DataContext) -> Sweep {
-        let datasets = context.load();
-        let apps = registry::all();
+        Sweep::run_with(context, &Executor::new(0)).expect("built-in sweep points cannot fail")
+    }
+
+    /// Runs the full sweep: every (app, matrix) point fanned across
+    /// `exec`'s worker pool, entries reassembled in deterministic
+    /// (matrix-major, registry-order) order, one telemetry record per
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in point order) [`BenchError`] from dataset
+    /// loading, app compilation, or simulation.
+    pub fn run_with(context: DataContext, exec: &Executor) -> Result<Sweep, BenchError> {
+        let datasets: Vec<Arc<ScaledDataset>> =
+            context.load(exec)?.into_iter().map(Arc::new).collect();
+        let apps: Arc<[StaApp]> = registry::shared();
         let scale = context.scale;
-        let mut buckets: Vec<Vec<Entry>> = (0..datasets.len()).map(|_| Vec::new()).collect();
-        crossbeam::thread::scope(|s| {
-            for (bucket, dataset) in buckets.iter_mut().zip(&datasets) {
-                let apps = &apps;
-                s.spawn(move |_| {
-                    for app in apps {
-                        bucket.push(evaluate(app, dataset, scale));
-                    }
-                });
-            }
-        })
-        .expect("sweep threads must not panic");
-        Sweep {
-            context,
-            entries: buckets.into_iter().flatten().collect(),
+        let points: Vec<(Arc<ScaledDataset>, &StaApp)> = datasets
+            .iter()
+            .flat_map(|d| apps.iter().map(move |a| (Arc::clone(d), a)))
+            .collect();
+        let results = exec.run(&points, |(dataset, app)| evaluate(app, dataset, scale));
+        let mut entries = Vec::with_capacity(points.len());
+        for (result, (dataset, app)) in results.into_iter().zip(&points) {
+            let ev = result?;
+            exec.record(PointRecord::from_telemetry(
+                format!("sweep:{}-{}", app.name, dataset.id.code()),
+                &ev.telemetry,
+            ));
+            entries.push(ev.entry);
         }
+        Ok(Sweep { context, entries })
     }
 
     /// Entries for one app, in matrix order.
@@ -214,13 +286,25 @@ mod tests {
     }
 
     #[test]
+    fn sweep_records_one_telemetry_point_per_pair() {
+        let exec = Executor::new(2);
+        let s = Sweep::run_with(DataContext::synthetic(MatrixSet::Quick, 128), &exec).unwrap();
+        let t = exec.finish();
+        assert_eq!(t.points, s.entries.len());
+        assert!(t.sim_steps_total > 0);
+        assert!(t.modeled_passes_total > 0);
+        assert!(t.peak_working_set_bytes_max > 0.0);
+        assert_eq!(t.records[0].label, "sweep:pr-ca");
+    }
+
+    #[test]
     fn oei_apps_beat_ideal_on_friendly_matrices() {
         // On eu (tiny live set, memory-bound, large enough that pipeline
         // fill is negligible), pr must beat the ideal baseline thanks to
         // cross-iteration reuse.
         let dataset = crate::datasets::ScaledDataset::load(MatrixId::Eu, 512);
         let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
-        let pr_eu = evaluate(&pr, &dataset, 512);
+        let pr_eu = evaluate(&pr, &dataset, 512).unwrap().entry;
         assert!(
             pr_eu.speedup_vs_ideal() > 1.4,
             "pr/eu speedup {} too small",
@@ -228,9 +312,19 @@ mod tests {
         );
         // and the non-OEI cg stays near parity (0.6–1.4x)
         let cg = sparsepipe_apps::registry::by_name("cg").unwrap();
-        let cg_eu = evaluate(&cg, &dataset, 512);
+        let cg_eu = evaluate(&cg, &dataset, 512).unwrap().entry;
         let sp = cg_eu.speedup_vs_ideal();
         assert!((0.6..1.4).contains(&sp), "cg/eu speedup {sp} out of band");
+    }
+
+    #[test]
+    fn evaluation_carries_telemetry_and_diagnostics() {
+        let dataset = crate::datasets::ScaledDataset::load(MatrixId::Ca, 512);
+        let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
+        let ev = evaluate(&pr, &dataset, 512).unwrap();
+        assert!(ev.telemetry.sim_steps > 0);
+        assert!(ev.telemetry.modeled_passes > 0);
+        assert!(!ev.diagnostics.is_empty());
     }
 
     #[test]

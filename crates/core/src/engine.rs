@@ -6,10 +6,25 @@ use sparsepipe_tensor::{reorder, CooMatrix};
 
 use crate::config::{ReorderKind, SparsepipeConfig};
 use crate::energy::{EnergyModel, EnergyTally};
-use crate::pipeline::{self, PassParams, PassResult};
+use crate::pipeline::{PassParams, PassRequest, PassResult};
 use crate::plan::PassPlan;
 use crate::stats::{BwSample, SimReport, TrafficBreakdown};
 use crate::CoreError;
+
+/// Everything one engine run produces: the report plus the host-side
+/// counters [`crate::SimRequest::run`] folds into [`crate::SimTelemetry`].
+pub(crate) struct EngineRun {
+    pub report: SimReport,
+    /// Pipeline steps actually executed (analytically scaled passes count
+    /// their steps once; closed-form sweeps count 1 each).
+    pub sim_steps: u64,
+    /// Matrix sweeps the run models, including scaled repetitions.
+    pub modeled_passes: u64,
+    /// Peak modeled working set (buffer occupancy + dense vector window).
+    pub peak_working_set_bytes: f64,
+    /// Scheduling-path notes surfaced through [`crate::SimOutcome`].
+    pub diagnostics: Vec<String>,
+}
 
 /// Simulates `iterations` loop iterations of the compiled `program` on
 /// `matrix` under `config`, returning timing, traffic, and energy.
@@ -28,12 +43,27 @@ use crate::CoreError;
 ///
 /// Returns [`CoreError::NonSquareMatrix`] for rectangular inputs and
 /// [`CoreError::ZeroIterations`] when `iterations == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `sparsepipe_core::SimRequest` builder, which also returns run telemetry and diagnostics"
+)]
 pub fn simulate(
     program: &SparsepipeProgram,
     matrix: &CooMatrix,
     iterations: usize,
     config: &SparsepipeConfig,
 ) -> Result<SimReport, CoreError> {
+    simulate_inner(program, matrix, iterations, config).map(|run| run.report)
+}
+
+/// The engine proper: shared by the deprecated [`simulate`] shim and the
+/// [`crate::SimRequest`] driver.
+pub(crate) fn simulate_inner(
+    program: &SparsepipeProgram,
+    matrix: &CooMatrix,
+    iterations: usize,
+    config: &SparsepipeConfig,
+) -> Result<EngineRun, CoreError> {
     if matrix.nrows() != matrix.ncols() {
         return Err(CoreError::NonSquareMatrix {
             nrows: matrix.nrows(),
@@ -44,6 +74,11 @@ pub fn simulate(
         return Err(CoreError::ZeroIterations);
     }
 
+    let mut diagnostics: Vec<String> = Vec::new();
+    let mut sim_steps = 0u64;
+    let mut modeled_passes = 0u64;
+    let mut peak_working_set = 0.0f64;
+
     // ---- Offline preprocessing (§IV-E; not part of the timed run) ----
     let reordered;
     let matrix = match config.preprocessing.reorder {
@@ -51,11 +86,13 @@ pub fn simulate(
         ReorderKind::GraphOrder => {
             let perm = reorder::graph_order(&matrix.to_csr(), 64);
             reordered = matrix.permute_symmetric(&perm);
+            diagnostics.push("offline preprocessing: GraphOrder reordering applied".into());
             &reordered
         }
         ReorderKind::Vanilla => {
             let perm = reorder::vanilla_triangular(&matrix.to_csr(), 3);
             reordered = matrix.permute_symmetric(&perm);
+            diagnostics.push("offline preprocessing: vanilla triangular reordering applied".into());
             &reordered
         }
     };
@@ -79,10 +116,17 @@ pub fn simulate(
 
     if profile.has_oei {
         let (full_passes, remainder_iters, ewise_iterations) = if profile.cross_iteration {
+            diagnostics.push(format!(
+                "cross-iteration OEI: {} fused pass(es), each covering 2 iterations",
+                iterations / 2
+            ));
             (iterations / 2, iterations % 2, 2.0)
         } else {
             // within-iteration fusion (e.g. KNN's two vxm): one pass per
             // iteration, both matrix operators on one sweep
+            diagnostics.push(format!(
+                "within-iteration OEI: {iterations} pass(es), both matrix operators on one sweep"
+            ));
             (iterations, 0, 1.0)
         };
 
@@ -104,7 +148,7 @@ pub fn simulate(
                 vec_read_passes: profile.fused_vector_reads + feature,
                 vec_write_passes: profile.fused_vector_writes + feature,
             };
-            let pass = pipeline::run_pass(&plan, config, &params);
+            let pass = PassRequest::new(&plan, config).params(params).run();
             accumulate_pass(
                 &pass,
                 full_passes as f64,
@@ -117,9 +161,16 @@ pub fn simulate(
             buffer_peak = pass.buffer_peak_bytes;
             buffer_avg = pass.buffer_avg_bytes;
             bw_trace = downsample_trace(&pass, bpc, 25);
+            sim_steps += pass.steps.len() as u64;
+            modeled_passes += full_passes as u64;
+            peak_working_set = peak_working_set.max(pass.buffer_peak_bytes + n * 8.0 * feature);
         }
 
         if remainder_iters > 0 {
+            diagnostics
+                .push("odd iteration count: trailing iteration runs unfused at roofline".into());
+            sim_steps += 1;
+            modeled_passes += 1;
             // A trailing single iteration with no partner to fuse with:
             // one OS-only sweep at roofline.
             let mbytes = nnz * fetch_b * profile.matrix_passes as f64;
@@ -142,6 +193,12 @@ pub fn simulate(
         // fusion only (CG/BiCGSTAB class). The matrix is streamed once per
         // matrix operator per iteration in a single (row- or column-)
         // order — no dual storage needed. ----
+        diagnostics.push(format!(
+            "no OEI: {iterations} sequential iteration(s), producer-consumer fusion only"
+        ));
+        sim_steps += iterations as u64;
+        modeled_passes += (iterations * profile.matrix_passes) as u64;
+        peak_working_set = peak_working_set.max(2.0 * n * 8.0 * feature);
         let mbytes = profile.matrix_passes as f64 * nnz * fetch_b;
         let vbytes = (profile.fused_vector_reads + profile.fused_vector_writes) * n * 8.0;
         let pes = config.pes_per_core as f64;
@@ -183,20 +240,26 @@ pub fn simulate(
     let matrix_read_bytes = traffic.csc_bytes + traffic.csr_eager_bytes + traffic.refetch_bytes;
     let runtime_s = total_cycles / (config.clock_ghz * 1e9);
 
-    Ok(SimReport {
-        total_cycles: total_cycles.ceil() as u64,
-        runtime_s,
-        traffic,
-        avg_bw_utilization,
-        bw_trace,
-        buffer_peak_bytes: buffer_peak,
-        buffer_avg_bytes: buffer_avg,
-        evicted_elements: evicted,
-        repack_events: repacks,
-        energy: tally.breakdown(),
-        matrix_loads_per_iteration: matrix_read_bytes
-            / (nnz * fetch_b * profile.matrix_passes as f64 * iterations as f64),
-        iterations,
+    Ok(EngineRun {
+        report: SimReport {
+            total_cycles: total_cycles.ceil() as u64,
+            runtime_s,
+            traffic,
+            avg_bw_utilization,
+            bw_trace,
+            buffer_peak_bytes: buffer_peak,
+            buffer_avg_bytes: buffer_avg,
+            evicted_elements: evicted,
+            repack_events: repacks,
+            energy: tally.breakdown(),
+            matrix_loads_per_iteration: matrix_read_bytes
+                / (nnz * fetch_b * profile.matrix_passes as f64 * iterations as f64),
+            iterations,
+        },
+        sim_steps,
+        modeled_passes,
+        peak_working_set_bytes: peak_working_set,
+        diagnostics,
     })
 }
 
@@ -257,6 +320,21 @@ mod tests {
     use sparsepipe_frontend::{compile, GraphBuilder};
     use sparsepipe_semiring::{EwiseBinary, SemiringOp};
     use sparsepipe_tensor::gen;
+
+    /// Shadows the deprecated free function: every engine test goes
+    /// through the [`crate::SimRequest`] driver.
+    fn simulate(
+        program: &SparsepipeProgram,
+        matrix: &CooMatrix,
+        iterations: usize,
+        config: &SparsepipeConfig,
+    ) -> Result<SimReport, CoreError> {
+        crate::driver::SimRequest::new(program, matrix)
+            .iterations(iterations)
+            .config(*config)
+            .run()
+            .map(|o| o.report)
+    }
 
     fn pagerank_program() -> SparsepipeProgram {
         let mut b = GraphBuilder::new();
@@ -386,6 +464,20 @@ mod gcn_tests {
     use sparsepipe_frontend::{compile, GraphBuilder};
     use sparsepipe_semiring::SemiringOp;
     use sparsepipe_tensor::gen;
+
+    /// Shadows the deprecated free function (see `tests::simulate`).
+    fn simulate(
+        program: &SparsepipeProgram,
+        matrix: &CooMatrix,
+        iterations: usize,
+        config: &SparsepipeConfig,
+    ) -> Result<SimReport, CoreError> {
+        crate::driver::SimRequest::new(program, matrix)
+            .iterations(iterations)
+            .config(*config)
+            .run()
+            .map(|o| o.report)
+    }
 
     fn gcn_program(features: usize) -> sparsepipe_frontend::SparsepipeProgram {
         let mut b = GraphBuilder::new();

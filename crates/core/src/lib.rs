@@ -26,7 +26,7 @@
 //! # Example
 //!
 //! ```
-//! use sparsepipe_core::{simulate, SparsepipeConfig};
+//! use sparsepipe_core::{SimRequest, SparsepipeConfig};
 //! use sparsepipe_frontend::{compile, GraphBuilder};
 //! use sparsepipe_semiring::{EwiseBinary, SemiringOp};
 //! use sparsepipe_tensor::gen;
@@ -44,8 +44,11 @@
 //!
 //! // …simulated on a synthetic graph for 20 iterations.
 //! let graph = gen::power_law(2000, 16_000, 1.0, 0.4, 7);
-//! let report = simulate(&program, &graph, 20, &SparsepipeConfig::iso_gpu())?;
-//! assert!(report.matrix_loads_per_iteration < 0.6); // cross-iteration reuse!
+//! let outcome = SimRequest::new(&program, &graph)
+//!     .iterations(20)
+//!     .config(SparsepipeConfig::iso_gpu())
+//!     .run()?;
+//! assert!(outcome.report.matrix_loads_per_iteration < 0.6); // cross-iteration reuse!
 //! # Ok(())
 //! # }
 //! ```
@@ -55,6 +58,7 @@
 
 pub mod buffer;
 mod config;
+pub mod driver;
 pub mod dualbuffer;
 pub mod energy;
 mod engine;
@@ -66,7 +70,9 @@ pub mod plan;
 mod stats;
 
 pub use config::{EvictionPolicy, MemoryConfig, Preprocessing, ReorderKind, SparsepipeConfig};
+pub use driver::{SimOutcome, SimRequest, SimTelemetry};
 pub use energy::{EnergyBreakdown, EnergyModel};
+#[allow(deprecated)]
 pub use engine::simulate;
 pub use plan::PassPlan;
 pub use stats::{BwSample, SimReport, TrafficBreakdown};

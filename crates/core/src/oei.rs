@@ -635,7 +635,7 @@ mod tests {
     /// buffer; both refetch under the same pressure.
     #[test]
     fn buffered_stats_cross_validate_timing_model() {
-        use crate::pipeline::{run_pass, PassParams};
+        use crate::pipeline::{PassParams, PassRequest};
         use crate::plan::PassPlan;
         let m = gen::uniform(400, 400, 4000, 5);
         let (csc, csr) = (m.to_csc(), m.to_csr());
@@ -669,7 +669,7 @@ mod tests {
             )
             .unwrap();
             let plan = PassPlan::build(&m, 1);
-            let abstract_model = run_pass(&plan, &cfg_of(buf), &params);
+            let abstract_model = PassRequest::new(&plan, &cfg_of(buf)).params(params).run();
             let mech_pressure = mech.refetch_bytes > 0;
             let model_pressure = abstract_model.traffic.refetch_bytes > 0.0;
             assert_eq!(

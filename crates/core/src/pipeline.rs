@@ -43,6 +43,76 @@ pub struct PassParams {
     pub vec_write_passes: f64,
 }
 
+impl Default for PassParams {
+    /// A single plain `vxm` sweep: feature width 1, one iteration's worth
+    /// of e-wise work, no dense-MM stage, no vector streaming.
+    fn default() -> Self {
+        PassParams {
+            feature: 1.0,
+            ewise_arith_per_elem: 0.0,
+            ewise_iterations: 1.0,
+            dense_flops_per_element: 0.0,
+            vec_read_passes: 0.0,
+            vec_write_passes: 0.0,
+        }
+    }
+}
+
+/// Builder for one OEI pass over a [`PassPlan`] — the pass-level analogue
+/// of [`crate::SimRequest`]. Defaults to [`PassParams::default`].
+///
+/// ```
+/// use sparsepipe_core::pipeline::{PassParams, PassRequest};
+/// use sparsepipe_core::{PassPlan, SparsepipeConfig};
+/// use sparsepipe_tensor::gen;
+///
+/// let m = gen::uniform(500, 500, 3000, 2);
+/// let plan = PassPlan::build(&m, 4);
+/// let config = SparsepipeConfig::iso_gpu();
+/// let result = PassRequest::new(&plan, &config)
+///     .params(PassParams {
+///         vec_read_passes: 2.0,
+///         vec_write_passes: 1.0,
+///         ..PassParams::default()
+///     })
+///     .run();
+/// assert_eq!(result.steps.len(), plan.steps);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PassRequest<'a> {
+    plan: &'a PassPlan,
+    config: &'a SparsepipeConfig,
+    params: PassParams,
+}
+
+impl<'a> PassRequest<'a> {
+    /// Starts a request for one pass over `plan` under `config`.
+    pub fn new(plan: &'a PassPlan, config: &'a SparsepipeConfig) -> Self {
+        PassRequest {
+            plan,
+            config,
+            params: PassParams::default(),
+        }
+    }
+
+    /// Replaces the workload parameters (default [`PassParams::default`]).
+    #[must_use]
+    pub fn params(mut self, params: PassParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The workload parameters this request will run with.
+    pub fn params_ref(&self) -> &PassParams {
+        &self.params
+    }
+
+    /// Executes the pass.
+    pub fn run(self) -> PassResult {
+        execute_pass(self.plan, self.config, &self.params)
+    }
+}
+
 /// Per-step sample retained for bandwidth traces.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepSample {
@@ -99,7 +169,17 @@ const PREFETCH_LOOKAHEAD_STEPS: u32 = 16;
 const PIPELINE_STAGES: f64 = 3.0;
 
 /// Runs one OEI pass over the plan.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `sparsepipe_core::pipeline::PassRequest` builder"
+)]
 pub fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams) -> PassResult {
+    execute_pass(plan, config, params)
+}
+
+/// The pass loop proper, shared by [`PassRequest::run`] and the deprecated
+/// [`run_pass`] shim.
+fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams) -> PassResult {
     let bpc = config.memory.bytes_per_cycle(config.clock_ghz);
     let fetch_b = config.fetch_bytes_per_element();
     let elem_b = config.buffer_bytes_per_element();
@@ -327,6 +407,12 @@ pub fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
 mod tests {
     use super::*;
     use sparsepipe_tensor::gen;
+
+    /// Shadows the deprecated free function: every pipeline test goes
+    /// through the [`PassRequest`] builder.
+    fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams) -> PassResult {
+        PassRequest::new(plan, config).params(*params).run()
+    }
 
     fn params() -> PassParams {
         PassParams {

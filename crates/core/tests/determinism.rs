@@ -1,10 +1,25 @@
 //! Determinism and configuration-sensitivity tests of the simulator's
 //! public surface.
 
-use sparsepipe_core::{simulate, EvictionPolicy, Preprocessing, ReorderKind, SparsepipeConfig};
+use sparsepipe_core::{
+    EvictionPolicy, Preprocessing, ReorderKind, SimReport, SimRequest, SparsepipeConfig,
+};
 use sparsepipe_frontend::{compile, GraphBuilder, SparsepipeProgram};
 use sparsepipe_semiring::{EwiseBinary, SemiringOp};
-use sparsepipe_tensor::gen;
+use sparsepipe_tensor::{gen, CooMatrix};
+
+fn simulate(
+    program: &SparsepipeProgram,
+    matrix: &CooMatrix,
+    iterations: usize,
+    config: &SparsepipeConfig,
+) -> Result<SimReport, sparsepipe_core::CoreError> {
+    SimRequest::new(program, matrix)
+        .iterations(iterations)
+        .config(*config)
+        .run()
+        .map(|o| o.report)
+}
 
 fn pagerank_program() -> SparsepipeProgram {
     let mut b = GraphBuilder::new();

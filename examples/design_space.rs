@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for mb in [1, 2, 4, 8, 16, 32] {
         let cfg = base.with_buffer(mb << 20);
-        let r = simulate(&program, &matrix, 16, &cfg)?;
+        let r = SimRequest::new(&program, &matrix)
+            .iterations(16)
+            .config(cfg)
+            .run()?
+            .report;
         println!(
             "{:>7} MB {:>9.3} ms {:>12} {:>14.2} {:>11.1}%",
             mb,
@@ -64,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             subtensor_cols: t,
             ..base.with_buffer(8 << 20)
         };
-        let r = simulate(&program, &matrix, 16, &cfg)?;
+        let r = SimRequest::new(&program, &matrix)
+            .iterations(16)
+            .config(cfg)
+            .run()?
+            .report;
         println!(
             "{:>8} {:>9.3} ms {:>10}",
             t,
@@ -95,7 +103,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eviction: policy,
             ..base.with_buffer(2 << 20).with_eager_csr(eager)
         };
-        let r = simulate(&program, &skewed, 16, &cfg)?;
+        let r = SimRequest::new(&program, &skewed)
+            .iterations(16)
+            .config(cfg)
+            .run()?
+            .report;
         println!(
             "{:<28} {:>9.3} ms  (refetch {:>7.2} MB, eager {:>7.2} MB)",
             name,

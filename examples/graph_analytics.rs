@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sparsepipe::apps::kcore::app(16),
     ] {
         let program = app.compile()?;
-        let report = simulate(&program, &graph, app.default_iterations, &config)?;
+        let report = SimRequest::new(&program, &graph)
+            .iterations(app.default_iterations)
+            .config(config)
+            .run()?
+            .report;
         let w = WorkloadInstance {
             profile: &program.profile,
             n: graph.nrows() as u64,

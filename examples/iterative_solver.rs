@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // (c) simulation: the matrix streams once per iteration
-    let report = simulate(&program, &a, 24, &SparsepipeConfig::iso_gpu())?;
+    let report = SimRequest::new(&program, &a).iterations(24).run()?.report;
     println!(
         "\nsimulated 24 iterations: {:.3} ms, matrix loads/iteration = {:.2} (no cross-iteration reuse)",
         report.runtime_s * 1e3,
@@ -51,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // contrast with an OEI app on the same matrix
     let pr = sparsepipe::apps::pagerank::app(24);
-    let pr_report = simulate(&pr.compile()?, &a, 24, &SparsepipeConfig::iso_gpu())?;
+    let pr_prog = pr.compile()?;
+    let pr_report = SimRequest::new(&pr_prog, &a).iterations(24).run()?.report;
     println!(
         "PageRank on the same matrix: matrix loads/iteration = {:.2} (OEI halves it)",
         pr_report.matrix_loads_per_iteration

@@ -9,7 +9,7 @@
 //! ```
 
 use sparsepipe::core::oei;
-use sparsepipe::core::pipeline::{run_pass, PassParams};
+use sparsepipe::core::pipeline::{PassParams, PassRequest};
 use sparsepipe::core::plan::PassPlan;
 use sparsepipe::core::{Preprocessing, ReorderKind, SparsepipeConfig};
 use sparsepipe::semiring::SemiringOp;
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec_read_passes: 3.0,
         vec_write_passes: 2.0,
     };
-    let result = run_pass(&plan, &config, &params);
+    let result = PassRequest::new(&plan, &config).params(params).run();
     println!(
         "timing: {:.0} cycles for one pass (= two fused iterations)",
         result.cycles

@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Performance simulation on the Sparsepipe architecture.
     let config = SparsepipeConfig::iso_gpu();
-    let report = simulate(&program, &graph, 20, &config)?;
+    let outcome = SimRequest::new(&program, &graph)
+        .iterations(20)
+        .config(config)
+        .run()?;
+    let report = outcome.report;
     println!("\n--- Sparsepipe (iso-GPU, 64 MB buffer) ---");
     println!("cycles:              {}", report.total_cycles);
     println!("runtime:             {:.3} ms", report.runtime_s * 1e3);
@@ -58,6 +62,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "energy:              {:.3} mJ ({:.0}% memory)",
         report.energy.total_j() * 1e3,
         100.0 * report.energy.memory_pj / report.energy.total_pj()
+    );
+    for note in &outcome.diagnostics {
+        println!("schedule:            {note}");
+    }
+    println!(
+        "host:                {:.1} ms wall, {} pipeline steps, {} modeled passes",
+        outcome.telemetry.wall_s * 1e3,
+        outcome.telemetry.sim_steps,
+        outcome.telemetry.modeled_passes
     );
     Ok(())
 }

@@ -53,12 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let program = app.compile()?;
-    let report = simulate(
-        &program,
-        &reordered,
-        20,
-        &SparsepipeConfig::iso_gpu().with_buffer(256 << 10),
-    )?;
+    let report = SimRequest::new(&program, &reordered)
+        .iterations(20)
+        .config(SparsepipeConfig::iso_gpu().with_buffer(256 << 10))
+        .run()?
+        .report;
     println!(
         "simulated on Sparsepipe: {:.1} µs, {:.2} matrix loads/iteration, {:.0}% bandwidth",
         report.runtime_s * 1e6,

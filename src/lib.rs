@@ -36,9 +36,12 @@
 //! // Run PageRank through the Sparsepipe simulator.
 //! let app = sparsepipe::apps::pagerank::app(8);
 //! let program = app.compile()?;
-//! let report = simulate(&program, &graph, app.default_iterations, &SparsepipeConfig::iso_gpu())?;
-//! assert!(report.total_cycles > 0);
-//! assert!(report.matrix_loads_per_iteration < 0.7); // cross-iteration reuse
+//! let outcome = SimRequest::new(&program, &graph)
+//!     .iterations(app.default_iterations)
+//!     .config(SparsepipeConfig::iso_gpu())
+//!     .run()?;
+//! assert!(outcome.report.total_cycles > 0);
+//! assert!(outcome.report.matrix_loads_per_iteration < 0.7); // cross-iteration reuse
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -57,7 +60,9 @@ pub use sparsepipe_tensor as tensor;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use sparsepipe_apps::StaApp;
-    pub use sparsepipe_core::{simulate, SimReport, SparsepipeConfig};
+    #[allow(deprecated)]
+    pub use sparsepipe_core::simulate;
+    pub use sparsepipe_core::{SimOutcome, SimReport, SimRequest, SimTelemetry, SparsepipeConfig};
     pub use sparsepipe_frontend::{DataflowGraph, GraphBuilder};
     pub use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
     pub use sparsepipe_tensor::{

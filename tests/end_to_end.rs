@@ -2,8 +2,21 @@
 //! multiple dataset families, must exhibit the paper's headline behaviors.
 
 use sparsepipe::apps::{registry, ReusePattern};
-use sparsepipe::core::{simulate, Preprocessing, ReorderKind, SparsepipeConfig};
+use sparsepipe::core::{Preprocessing, ReorderKind, SimRequest, SparsepipeConfig};
 use sparsepipe::tensor::gen;
+
+fn simulate(
+    program: &sparsepipe::frontend::SparsepipeProgram,
+    matrix: &sparsepipe::tensor::CooMatrix,
+    iterations: usize,
+    config: &SparsepipeConfig,
+) -> Result<sparsepipe::core::SimReport, sparsepipe::core::CoreError> {
+    SimRequest::new(program, matrix)
+        .iterations(iterations)
+        .config(*config)
+        .run()
+        .map(|o| o.report)
+}
 
 fn config() -> SparsepipeConfig {
     SparsepipeConfig::iso_gpu()

@@ -4,11 +4,15 @@
 
 use proptest::prelude::*;
 use sparsepipe::core::{
-    pipeline::{run_pass, PassParams},
+    pipeline::{PassParams, PassRequest, PassResult},
     plan::PassPlan,
     Preprocessing, ReorderKind, SparsepipeConfig,
 };
 use sparsepipe::tensor::CooMatrix;
+
+fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams) -> PassResult {
+    PassRequest::new(plan, config).params(*params).run()
+}
 
 fn coo_matrix(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
     (8..max_n).prop_flat_map(move |n| {
