@@ -1,0 +1,69 @@
+//! Criterion benchmark of trace-sink overhead on the simulator hot path.
+//!
+//! Three instantiations of the same simulation point:
+//!
+//! * `null` — the default `NullSink` (`ENABLED == false`), which must
+//!   match the pre-instrumentation simulator: every emission site is
+//!   compiled out, so this group doubles as a regression guard on the
+//!   untraced throughput the tentpole promised to preserve.
+//! * `memory` — a `MemorySink` collecting every event.
+//! * `jsonl-devnull` — a streaming `JsonlSink` into `std::io::sink()`,
+//!   isolating the encode cost from file I/O.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparsepipe_core::{Preprocessing, ReorderKind, SimRequest, SparsepipeConfig};
+use sparsepipe_tensor::gen;
+use sparsepipe_trace::{JsonlSink, MemorySink};
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let app = sparsepipe_apps::registry::by_name("pr").unwrap();
+    let program = app.compile().unwrap();
+    let matrix = gen::power_law(20_000, 160_000, 1.0, 0.4, 7);
+    let cfg = SparsepipeConfig::iso_gpu()
+        .with_buffer(1 << 20)
+        .with_preprocessing(Preprocessing {
+            blocked: true,
+            reorder: ReorderKind::None,
+        });
+    let iterations = app.default_iterations;
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    group.bench_function("null", |b| {
+        b.iter(|| {
+            SimRequest::new(&program, &matrix)
+                .iterations(iterations)
+                .config(cfg)
+                .run()
+                .unwrap()
+        });
+    });
+    group.bench_function("memory", |b| {
+        b.iter(|| {
+            let mut sink = MemorySink::new();
+            let outcome = SimRequest::new(&program, &matrix)
+                .iterations(iterations)
+                .config(cfg)
+                .trace(&mut sink)
+                .run()
+                .unwrap();
+            (outcome, sink.len())
+        });
+    });
+    group.bench_function("jsonl-devnull", |b| {
+        b.iter(|| {
+            let mut sink = JsonlSink::new(std::io::sink());
+            let outcome = SimRequest::new(&program, &matrix)
+                .iterations(iterations)
+                .config(cfg)
+                .trace(&mut sink)
+                .run()
+                .unwrap();
+            (outcome, sink.lines_written())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

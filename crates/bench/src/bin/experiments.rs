@@ -3,6 +3,8 @@
 //! ```text
 //! experiments <artifact>... [--scale N] [--quick] [--jobs N] [--json out.json]
 //!                           [--bench-json out.json] [--mtx DIR] [--lint]
+//!                           [--trace-dir DIR]
+//! experiments trace [--app NAME] [--matrix CODE] [--trace-dir DIR]
 //!
 //! artifacts: all table1 table2 table3 fig14 fig15 fig16 fig17 fig18
 //!            fig19 fig20a fig20b fig21 fig22 fig23 ablation verify
@@ -20,6 +22,13 @@
 //!                 instead of the synthetic stand-ins (use --scale 1)
 //! --lint          run the static verifier (sparsepipe-lint) over every
 //!                 registered app first; exit non-zero on any lint error
+//! --trace-dir DIR with sweep artifacts: trace every sweep point, audit
+//!                 each stream against its report bit-for-bit, and write
+//!                 per-point JSONL traces to DIR. With the `trace`
+//!                 subcommand: where the exports go (default trace-out)
+//! trace           trace one (app, matrix) point (--app, --matrix; default
+//!                 pr on ca) and export trace.jsonl, a Perfetto-loadable
+//!                 chrome-trace.json, and reuse/occupancy/traffic CSVs
 //! ```
 
 use std::path::Path;
@@ -90,8 +99,16 @@ fn run() -> Result<ExitCode, BenchError> {
     );
     // Figures 14/16/17/18/20b/21/22/23 share one sweep; run it lazily.
     let sweep = if opts.needs_sweep() {
-        eprintln!("# running app x matrix sweep …");
-        Some(Sweep::run_with(ctx.clone(), &exec)?)
+        if let Some(dir) = &opts.trace_dir {
+            eprintln!(
+                "# running app x matrix sweep with tracing (streams in {}) …",
+                dir.display()
+            );
+            Some(Sweep::run_traced(ctx.clone(), &exec, dir)?)
+        } else {
+            eprintln!("# running app x matrix sweep …");
+            Some(Sweep::run_with(ctx.clone(), &exec)?)
+        }
     } else {
         None
     };
@@ -119,6 +136,13 @@ fn run() -> Result<ExitCode, BenchError> {
             "fig23" => exp::fig23(sweep_ref())?,
             "ablation" => exp::ablation(&ctx, &exec)?,
             "verify" => exp::verify()?,
+            "trace" => exp::trace_point(
+                &ctx,
+                &exec,
+                &opts.trace_app,
+                opts.trace_matrix,
+                &opts.trace_dir(),
+            )?,
             other => unreachable!("cli::parse validated artifact {other}"),
         };
         println!("{}", report.render());

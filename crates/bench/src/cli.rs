@@ -3,6 +3,8 @@
 
 use std::path::PathBuf;
 
+use sparsepipe_tensor::MatrixId;
+
 use crate::datasets::{DataContext, DataSource, MatrixSet};
 
 /// Every artifact the harness can regenerate, in paper order.
@@ -34,6 +36,14 @@ pub struct CliOptions {
     pub lint: bool,
     /// `--help` was requested.
     pub help: bool,
+    /// Trace output directory (`--trace-dir`). When set, sweep-backed
+    /// artifacts run with per-point tracing; the `trace` subcommand
+    /// writes its exports here (default `trace-out`).
+    pub trace_dir: Option<PathBuf>,
+    /// App short name for the `trace` subcommand (`--app`, default `pr`).
+    pub trace_app: String,
+    /// Matrix for the `trace` subcommand (`--matrix`, default `ca`).
+    pub trace_matrix: MatrixId,
 }
 
 impl CliOptions {
@@ -47,6 +57,14 @@ impl CliOptions {
                 None => DataSource::Synthetic,
             },
         }
+    }
+
+    /// The effective trace output directory (`trace-out` unless
+    /// `--trace-dir` overrides it).
+    pub fn trace_dir(&self) -> PathBuf {
+        self.trace_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("trace-out"))
     }
 
     /// Whether any requested artifact needs the app × matrix sweep.
@@ -78,6 +96,9 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         mtx_dir: None,
         lint: false,
         help: false,
+        trace_dir: None,
+        trace_app: "pr".to_string(),
+        trace_matrix: MatrixId::Ca,
     };
     let mut i = 0;
     while i < args.len() {
@@ -114,13 +135,45 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                         .into(),
                 );
             }
+            "--trace-dir" => {
+                i += 1;
+                opts.trace_dir = Some(
+                    args.get(i)
+                        .ok_or("--trace-dir needs an output directory")?
+                        .into(),
+                );
+            }
+            "--app" => {
+                i += 1;
+                opts.trace_app = args
+                    .get(i)
+                    .ok_or("--app needs an app short name (e.g. pr)")?
+                    .clone();
+            }
+            "--matrix" => {
+                i += 1;
+                let code = args
+                    .get(i)
+                    .ok_or("--matrix needs a Table-I matrix code (e.g. ca)")?;
+                opts.trace_matrix = MatrixId::ALL
+                    .into_iter()
+                    .find(|m| m.code() == code)
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown matrix code `{code}` (known: {})",
+                            MatrixId::ALL.map(MatrixId::code).join(" ")
+                        )
+                    })?;
+            }
             "--lint" => opts.lint = true,
             "--help" | "-h" => opts.help = true,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag: {flag}"));
             }
             artifact => {
-                if !ALL_ARTIFACTS.contains(&artifact) {
+                // `trace` is a subcommand, not a paper artifact: valid to
+                // request explicitly, never pulled in by `all`.
+                if !ALL_ARTIFACTS.contains(&artifact) && artifact != "trace" {
                     return Err(format!("unknown artifact: {artifact}"));
                 }
                 opts.artifacts.push(artifact.to_string());
@@ -144,8 +197,10 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
 pub fn usage() -> String {
     format!(
         "usage: experiments <artifact>... [--scale N] [--quick] [--jobs N] [--json out.json] \
-         [--bench-json out.json] [--mtx DIR] [--lint]\n\
-         artifacts: {}",
+         [--bench-json out.json] [--mtx DIR] [--lint] [--trace-dir DIR]\n\
+         artifacts: {}\n\
+         trace subcommand: experiments trace [--app NAME] [--matrix CODE] [--trace-dir DIR]\n\
+         (--trace-dir with sweep artifacts also records per-point JSONL traces)",
         ALL_ARTIFACTS.join(" ")
     )
 }
@@ -226,6 +281,36 @@ mod tests {
         let o = parse(&args("--help")).unwrap();
         assert!(o.help);
         assert!(usage().contains("fig23"));
+    }
+
+    #[test]
+    fn trace_subcommand_and_flags_parse() {
+        let o = parse(&args("trace --app sssp --matrix eu --trace-dir /tmp/tr")).unwrap();
+        assert_eq!(o.artifacts, vec!["trace"]);
+        assert_eq!(o.trace_app, "sssp");
+        assert_eq!(o.trace_matrix, MatrixId::Eu);
+        assert_eq!(o.trace_dir(), PathBuf::from("/tmp/tr"));
+        assert!(!o.needs_sweep());
+        // defaults
+        let d = parse(&args("trace")).unwrap();
+        assert_eq!(d.trace_app, "pr");
+        assert_eq!(d.trace_matrix, MatrixId::Ca);
+        assert_eq!(d.trace_dir(), PathBuf::from("trace-out"));
+        // `all` must not pull the subcommand in
+        assert!(!parse(&args("all"))
+            .unwrap()
+            .artifacts
+            .iter()
+            .any(|a| a == "trace"));
+        // sweeps accept --trace-dir too
+        let s = parse(&args("fig14 --trace-dir t")).unwrap();
+        assert!(s.needs_sweep());
+        assert_eq!(s.trace_dir, Some(PathBuf::from("t")));
+        // errors
+        assert!(parse(&args("trace --matrix zz")).is_err());
+        assert!(parse(&args("trace --matrix")).is_err());
+        assert!(parse(&args("trace --app")).is_err());
+        assert!(parse(&args("--trace-dir")).is_err());
     }
 
     #[test]

@@ -50,6 +50,16 @@ pub enum BenchError {
     },
     /// JSON serialization failed.
     Json(String),
+    /// A trace audit failed: the replayed event stream did not reproduce
+    /// the simulator's traffic report bit-for-bit.
+    Trace {
+        /// Application short name.
+        app: String,
+        /// The matrix the traced simulation ran on.
+        matrix: MatrixId,
+        /// The audit's mismatch description.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for BenchError {
@@ -76,6 +86,15 @@ impl std::fmt::Display for BenchError {
                 write!(f, "I/O error on {}: {source}", path.display())
             }
             BenchError::Json(msg) => write!(f, "JSON serialization failed: {msg}"),
+            BenchError::Trace {
+                app,
+                matrix,
+                message,
+            } => write!(
+                f,
+                "trace audit of `{app}` on `{}` failed: {message}",
+                matrix.code()
+            ),
         }
     }
 }

@@ -17,8 +17,23 @@ use std::sync::{mpsc, Mutex};
 
 use serde::Serialize;
 
+/// Trace-derived counters for one simulation point, present only when the
+/// point ran with tracing enabled (`--trace-dir`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TraceCounters {
+    /// Events the point's trace stream recorded.
+    pub events: u64,
+    /// Median matrix-element reuse distance (the paper's `|r − c|`), in
+    /// pipeline steps.
+    pub reuse_median: u32,
+    /// 95th-percentile reuse distance, in pipeline steps.
+    pub reuse_p95: u32,
+    /// Peak buffer occupancy observed by the trace, in bytes.
+    pub peak_occupancy_bytes: f64,
+}
+
 /// Host-side telemetry for one executed simulation point.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointRecord {
     /// What ran, e.g. `fig14:pr-eu` or `ablation:sssp-bu:no-eager`.
     pub label: String,
@@ -30,6 +45,30 @@ pub struct PointRecord {
     pub modeled_passes: u64,
     /// Peak modeled working set in bytes (buffer + dense vector window).
     pub peak_working_set_bytes: f64,
+    /// Trace-derived counters, when the point ran traced.
+    pub trace: Option<TraceCounters>,
+}
+
+// Hand-written so an untraced run's telemetry JSON is byte-identical to
+// the pre-trace schema: the `trace` key is omitted entirely (not null)
+// when the point ran without a sink.
+impl Serialize for PointRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("wall_s".to_string(), self.wall_s.to_value()),
+            ("sim_steps".to_string(), self.sim_steps.to_value()),
+            ("modeled_passes".to_string(), self.modeled_passes.to_value()),
+            (
+                "peak_working_set_bytes".to_string(),
+                self.peak_working_set_bytes.to_value(),
+            ),
+        ];
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), trace.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
 }
 
 impl PointRecord {
@@ -41,7 +80,15 @@ impl PointRecord {
             sim_steps: t.sim_steps,
             modeled_passes: t.modeled_passes,
             peak_working_set_bytes: t.peak_working_set_bytes,
+            trace: None,
         }
+    }
+
+    /// Attaches trace-derived counters to the record.
+    #[must_use]
+    pub fn with_trace(mut self, counters: TraceCounters) -> Self {
+        self.trace = Some(counters);
+        self
     }
 }
 
@@ -213,6 +260,7 @@ mod tests {
                 sim_steps: 10,
                 modeled_passes: i as u64,
                 peak_working_set_bytes: 100.0 * i as f64,
+                trace: None,
             });
         }
         let t = exec.finish();
@@ -248,6 +296,34 @@ mod tests {
             elapsed < std::time::Duration::from_millis(400),
             "pool did not overlap blocking work: {elapsed:?} for 12 x 50ms"
         );
+    }
+
+    #[test]
+    fn untraced_record_serializes_without_trace_key() {
+        let record = PointRecord {
+            label: "p".into(),
+            wall_s: 0.25,
+            sim_steps: 7,
+            modeled_passes: 3,
+            peak_working_set_bytes: 64.0,
+            trace: None,
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(
+            !json.contains("trace"),
+            "untraced records must keep the pre-trace schema: {json}"
+        );
+        let traced = record.with_trace(TraceCounters {
+            events: 120,
+            reuse_median: 4,
+            reuse_p95: 19,
+            peak_occupancy_bytes: 4096.0,
+        });
+        let json = serde_json::to_string(&traced).unwrap();
+        assert!(json.contains("\"trace\":{"), "{json}");
+        assert!(json.contains("\"reuse_median\":4"), "{json}");
+        assert!(json.contains("\"reuse_p95\":19"), "{json}");
+        assert!(json.contains("\"peak_occupancy_bytes\":4096"), "{json}");
     }
 
     #[test]

@@ -1097,6 +1097,135 @@ pub fn verify() -> Result<Report, BenchError> {
     })
 }
 
+/// **trace** — event-level trace of a single (app, matrix) point.
+///
+/// Runs the point with an in-memory sink, audits the replayed stream
+/// against the traffic report bit-for-bit, and writes four exports into
+/// `trace_dir`: the raw `trace.jsonl` stream, a Perfetto-loadable
+/// `chrome-trace.json`, and `reuse.csv` / `occupancy.csv` /
+/// `traffic.csv` analyzer tables. The report summarizes the audit
+/// verdict and the trace-derived statistics.
+///
+/// # Errors
+///
+/// Returns [`BenchError::UnknownApp`] for an unregistered app name,
+/// [`BenchError::Dataset`] / [`BenchError::Compile`] / [`BenchError::Sim`]
+/// from the point itself, [`BenchError::Trace`] on an audit mismatch,
+/// and [`BenchError::Io`] if an export cannot be written.
+pub fn trace_point(
+    ctx: &DataContext,
+    exec: &Executor,
+    app_name: &str,
+    matrix_id: MatrixId,
+    trace_dir: &std::path::Path,
+) -> Result<Report, BenchError> {
+    use sparsepipe_trace::{
+        chrome, jsonl, MemorySink, OccupancyTimeline, ReuseHistogram, StageTraffic, TraceAudit,
+        TrafficTimeline,
+    };
+
+    let app = app_by_name(app_name)?;
+    let dataset = ctx.load_one(matrix_id)?;
+    let program = app.compile().map_err(|e| BenchError::Compile {
+        app: app.name.into(),
+        message: e.to_string(),
+    })?;
+    let cfg = sweep::sparsepipe_config(&dataset);
+    let mut sink = MemorySink::new();
+    let outcome = sparsepipe_core::SimRequest::new(&program, &dataset.reordered)
+        .iterations(app.default_iterations)
+        .config(cfg)
+        .trace(&mut sink)
+        .run()
+        .map_err(|source| BenchError::Sim {
+            app: app.name.into(),
+            matrix: matrix_id,
+            source,
+        })?;
+    let events = sink.events();
+    TraceAudit::replay(events)
+        .check(&outcome.report.traffic.audit_totals())
+        .map_err(|e| BenchError::Trace {
+            app: app.name.into(),
+            matrix: matrix_id,
+            message: e.to_string(),
+        })?;
+
+    std::fs::create_dir_all(trace_dir).map_err(|e| BenchError::Io {
+        path: trace_dir.to_path_buf(),
+        source: e,
+    })?;
+    let io_err =
+        |path: std::path::PathBuf| move |e: std::io::Error| BenchError::Io { path, source: e };
+    let jsonl_path = trace_dir.join("trace.jsonl");
+    jsonl::write_events(&jsonl_path, events).map_err(io_err(jsonl_path.clone()))?;
+    let chrome_path = trace_dir.join("chrome-trace.json");
+    chrome::write(&chrome_path, events).map_err(io_err(chrome_path.clone()))?;
+    let reuse = ReuseHistogram::from_events(events);
+    let reuse_path = trace_dir.join("reuse.csv");
+    std::fs::write(&reuse_path, reuse.to_csv()).map_err(io_err(reuse_path.clone()))?;
+    let occupancy = OccupancyTimeline::from_events(events);
+    let occ_path = trace_dir.join("occupancy.csv");
+    std::fs::write(&occ_path, occupancy.to_csv()).map_err(io_err(occ_path.clone()))?;
+    let traffic_path = trace_dir.join("traffic.csv");
+    std::fs::write(&traffic_path, TrafficTimeline::from_events(events).to_csv())
+        .map_err(io_err(traffic_path.clone()))?;
+
+    let counters = sweep::trace_counters(events);
+    exec.record(
+        PointRecord::from_telemetry(
+            format!("trace:{}-{}", app.name, matrix_id.code()),
+            &outcome.telemetry,
+        )
+        .with_trace(counters),
+    );
+
+    let stage = StageTraffic::from_events(events);
+    let mut body = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        body,
+        "point      : {} on {} ({} iterations, scale {})",
+        app.name,
+        matrix_id.code(),
+        app.default_iterations,
+        ctx.scale
+    );
+    let _ = writeln!(body, "events     : {}", events.len());
+    let _ = writeln!(
+        body,
+        "audit      : exact — replayed DRAM bytes equal the report bitwise"
+    );
+    let _ = writeln!(
+        body,
+        "reuse |r-c|: median {} steps, p95 {} steps ({} OS/IS pairs)",
+        counters.reuse_median,
+        counters.reuse_p95,
+        reuse.total()
+    );
+    let _ = writeln!(
+        body,
+        "occupancy  : peak {:.0} B, mean {:.1} B",
+        occupancy.peak_bytes(),
+        occupancy.mean_bytes()
+    );
+    let _ = writeln!(
+        body,
+        "dram bytes : demand {:.0}, prefetch {:.0}, vector {:.0}, writeback {:.0}",
+        stage.demand_bytes, stage.prefetch_bytes, stage.vector_bytes, stage.writeback_bytes
+    );
+    let _ = writeln!(
+        body,
+        "exports    : {} (+ chrome-trace.json for Perfetto, reuse/occupancy/traffic CSVs)",
+        jsonl_path.display()
+    );
+    Ok(Report {
+        id: "trace",
+        title: format!("event trace of {} on {}", app.name, matrix_id.code()),
+        body,
+    })
+}
+
 /// **--lint** — the static verifier over every registered app (graph
 /// well-formedness, shapes/semirings, the OEI oracle cross-check) plus a
 /// representative pass plan per feature width. Returns the report and the
@@ -1188,6 +1317,34 @@ mod tests {
         let r = table1(&ctx, &Executor::new(1)).unwrap();
         assert!(r.body.contains("ca"));
         assert!(r.body.contains("paper max"));
+    }
+
+    #[test]
+    fn trace_point_audits_and_writes_exports() {
+        let dir =
+            std::env::temp_dir().join(format!("sparsepipe-trace-point-{}", std::process::id()));
+        let ctx = DataContext::synthetic(MatrixSet::Quick, 512);
+        let exec = Executor::new(1);
+        let r = trace_point(&ctx, &exec, "pr", sparsepipe_tensor::MatrixId::Ca, &dir).unwrap();
+        assert!(r.body.contains("audit      : exact"), "{}", r.body);
+        assert!(r.body.contains("reuse |r-c|"), "{}", r.body);
+        for name in [
+            "trace.jsonl",
+            "chrome-trace.json",
+            "reuse.csv",
+            "occupancy.csv",
+            "traffic.csv",
+        ] {
+            assert!(dir.join(name).is_file(), "missing export {name}");
+        }
+        let t = exec.finish();
+        assert_eq!(t.points, 1);
+        assert!(t.records[0].trace.is_some());
+        assert!(matches!(
+            trace_point(&ctx, &exec, "nosuch", sparsepipe_tensor::MatrixId::Ca, &dir),
+            Err(BenchError::UnknownApp(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

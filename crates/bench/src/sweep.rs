@@ -12,10 +12,14 @@ use sparsepipe_core::{
     Preprocessing, ReorderKind, SimReport, SimRequest, SimTelemetry, SparsepipeConfig,
 };
 use sparsepipe_tensor::MatrixId;
+use sparsepipe_trace::{
+    jsonl, MemorySink, NullSink, OccupancyTimeline, ReuseHistogram, TraceAudit, TraceEvent,
+    TraceSink,
+};
 
 use crate::datasets::{DataContext, ScaledDataset};
 use crate::error::BenchError;
-use crate::executor::{Executor, PointRecord};
+use crate::executor::{Executor, PointRecord, TraceCounters};
 
 /// All evaluated systems' results for one (app, matrix) pair.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -133,6 +137,53 @@ pub fn evaluate(
     dataset: &ScaledDataset,
     scale: u64,
 ) -> Result<Evaluation, BenchError> {
+    evaluate_with_sink(app, dataset, scale, &mut NullSink)
+}
+
+/// Derives the telemetry counters attached to a traced point's
+/// [`PointRecord`] from its recorded event stream.
+pub fn trace_counters(events: &[TraceEvent]) -> TraceCounters {
+    let reuse = ReuseHistogram::from_events(events);
+    let occupancy = OccupancyTimeline::from_events(events);
+    TraceCounters {
+        events: events.len() as u64,
+        reuse_median: reuse.median().unwrap_or(0),
+        reuse_p95: reuse.p95().unwrap_or(0),
+        peak_occupancy_bytes: occupancy.peak_bytes(),
+    }
+}
+
+/// [`evaluate`] with the iso-GPU simulation traced into a fresh
+/// [`MemorySink`], whose stream is audited against the run's traffic
+/// report with bitwise `f64` equality before being returned.
+///
+/// # Errors
+///
+/// Everything [`evaluate`] returns, plus [`BenchError::Trace`] when the
+/// replayed stream does not reproduce the report exactly.
+pub fn evaluate_traced(
+    app: &StaApp,
+    dataset: &ScaledDataset,
+    scale: u64,
+) -> Result<(Evaluation, MemorySink), BenchError> {
+    let mut sink = MemorySink::new();
+    let ev = evaluate_with_sink(app, dataset, scale, &mut sink)?;
+    TraceAudit::replay(sink.events())
+        .check(&ev.entry.sim.traffic.audit_totals())
+        .map_err(|e| BenchError::Trace {
+            app: app.name.into(),
+            matrix: dataset.id,
+            message: e.to_string(),
+        })?;
+    Ok((ev, sink))
+}
+
+fn evaluate_with_sink<S: TraceSink>(
+    app: &StaApp,
+    dataset: &ScaledDataset,
+    scale: u64,
+    sink: &mut S,
+) -> Result<Evaluation, BenchError> {
     let program = app.compile().map_err(|e| BenchError::Compile {
         app: app.name.into(),
         message: e.to_string(),
@@ -147,6 +198,7 @@ pub fn evaluate(
     let outcome = SimRequest::new(&program, &dataset.reordered)
         .iterations(iterations)
         .config(cfg)
+        .trace(&mut *sink)
         .run()
         .map_err(sim_err)?;
     let cfg_cpu = SparsepipeConfig {
@@ -240,6 +292,64 @@ impl Sweep {
         Ok(Sweep { context, entries })
     }
 
+    /// [`Sweep::run_with`], with every point's iso-GPU simulation traced:
+    /// each point's stream is audited bit-for-bit against its report,
+    /// written to `trace_dir` as `sweep-<app>-<matrix>.trace.jsonl`, and
+    /// summarized into the point's telemetry record
+    /// ([`TraceCounters`]).
+    ///
+    /// The entries produced are identical to an untraced sweep's —
+    /// tracing only observes.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Sweep::run_with`] returns, plus [`BenchError::Trace`]
+    /// on an audit mismatch and [`BenchError::Io`] if a trace file cannot
+    /// be written.
+    pub fn run_traced(
+        context: DataContext,
+        exec: &Executor,
+        trace_dir: &std::path::Path,
+    ) -> Result<Sweep, BenchError> {
+        std::fs::create_dir_all(trace_dir).map_err(|e| BenchError::Io {
+            path: trace_dir.to_path_buf(),
+            source: e,
+        })?;
+        let datasets: Vec<Arc<ScaledDataset>> =
+            context.load(exec)?.into_iter().map(Arc::new).collect();
+        let apps: Arc<[StaApp]> = registry::shared();
+        let scale = context.scale;
+        let points: Vec<(Arc<ScaledDataset>, &StaApp)> = datasets
+            .iter()
+            .flat_map(|d| apps.iter().map(move |a| (Arc::clone(d), a)))
+            .collect();
+        let results = exec.run(&points, |(dataset, app)| {
+            evaluate_traced(app, dataset, scale)
+        });
+        let mut entries = Vec::with_capacity(points.len());
+        for (result, (dataset, app)) in results.into_iter().zip(&points) {
+            let (ev, sink) = result?;
+            let path = trace_dir.join(format!(
+                "sweep-{}-{}.trace.jsonl",
+                app.name,
+                dataset.id.code()
+            ));
+            jsonl::write_events(&path, sink.events()).map_err(|e| BenchError::Io {
+                path: path.clone(),
+                source: e,
+            })?;
+            exec.record(
+                PointRecord::from_telemetry(
+                    format!("sweep:{}-{}", app.name, dataset.id.code()),
+                    &ev.telemetry,
+                )
+                .with_trace(trace_counters(sink.events())),
+            );
+            entries.push(ev.entry);
+        }
+        Ok(Sweep { context, entries })
+    }
+
     /// Entries for one app, in matrix order.
     pub fn by_app(&self, app: &str) -> Vec<&Entry> {
         self.entries.iter().filter(|e| e.app == app).collect()
@@ -295,6 +405,27 @@ mod tests {
         assert!(t.modeled_passes_total > 0);
         assert!(t.peak_working_set_bytes_max > 0.0);
         assert_eq!(t.records[0].label, "sweep:pr-ca");
+    }
+
+    #[test]
+    fn traced_sweep_matches_untraced_and_writes_streams() {
+        let dir =
+            std::env::temp_dir().join(format!("sparsepipe-traced-sweep-{}", std::process::id()));
+        let exec = Executor::new(2);
+        let traced =
+            Sweep::run_traced(DataContext::synthetic(MatrixSet::Quick, 128), &exec, &dir).unwrap();
+        let untraced = tiny_sweep();
+        assert_eq!(traced.entries.len(), untraced.entries.len());
+        for (t, u) in traced.entries.iter().zip(&untraced.entries) {
+            assert_eq!(t.sim, u.sim, "tracing perturbed {}-{}", t.app, t.matrix);
+            assert_eq!(t.sim_iso_cpu, u.sim_iso_cpu);
+        }
+        let telem = exec.finish();
+        assert_eq!(telem.points, traced.entries.len());
+        assert!(telem.records.iter().all(|r| r.trace.is_some()));
+        assert!(telem.records[0].trace.unwrap().events > 0);
+        assert!(dir.join("sweep-pr-ca.trace.jsonl").is_file());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -193,6 +193,17 @@ impl BufferModel {
     /// fits the capacity. Runs a repack first if fragmentation alone can
     /// make room. Returns the number of elements evicted.
     pub fn enforce_capacity(&mut self, reserved_bytes: f64) -> u64 {
+        self.enforce_capacity_with(reserved_bytes, |_| {})
+    }
+
+    /// Like [`BufferModel::enforce_capacity`], but reports each victim's
+    /// element id through `on_evict` — the hook the tracing layer uses to
+    /// emit `BufferEvict` events without burdening the untraced path.
+    pub fn enforce_capacity_with(
+        &mut self,
+        reserved_bytes: f64,
+        mut on_evict: impl FnMut(u32),
+    ) -> u64 {
         let budget = (self.capacity_bytes - reserved_bytes).max(0.0);
         if self.occupancy_bytes() > budget && self.fragmented_bytes > 0.0 {
             self.repack();
@@ -216,6 +227,7 @@ impl BufferModel {
             self.state[victim as usize] = (self.state[victim as usize] & !LOADED) | EVICTED;
             self.evicted_elements += 1;
             evicted += 1;
+            on_evict(victim);
         }
         evicted
     }
@@ -322,6 +334,21 @@ mod tests {
         assert_eq!(evicted, 1);
         assert!(b.is_evicted(4), "highest id (row) evicted first");
         assert!(b.is_resident(0));
+    }
+
+    #[test]
+    fn enforce_capacity_with_reports_each_victim() {
+        let mut b = model(10, 45.0); // fits 4 elements
+        for e in 0..7 {
+            b.load(e);
+        }
+        let mut victims = Vec::new();
+        let evicted = b.enforce_capacity_with(0.0, |e| victims.push(e));
+        assert_eq!(evicted as usize, victims.len());
+        assert_eq!(victims, vec![6, 5, 4], "highest rows first, in order");
+        for &v in &victims {
+            assert!(b.is_evicted(v));
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@
 use serde::Serialize;
 use sparsepipe_frontend::SparsepipeProgram;
 use sparsepipe_tensor::CooMatrix;
+use sparsepipe_trace::{NullSink, TraceSink};
 
 use crate::config::SparsepipeConfig;
 use crate::engine;
@@ -80,16 +81,18 @@ pub struct SimOutcome {
 
 /// Builder for one simulation run.
 ///
-/// Defaults: 1 iteration, [`SparsepipeConfig::iso_gpu`], validation off.
+/// Defaults: 1 iteration, [`SparsepipeConfig::iso_gpu`], validation off,
+/// tracing off ([`NullSink`] — zero overhead, see `DESIGN.md` §10).
 /// All setters move `self`, so requests chain fluently; the request
 /// borrows its program and matrix immutably and is `Send + Sync`
-/// whenever they are.
+/// whenever its inputs and sink are.
 #[derive(Debug, Clone, Copy)]
-pub struct SimRequest<'a> {
+pub struct SimRequest<'a, S: TraceSink = NullSink> {
     program: &'a SparsepipeProgram,
     matrix: &'a CooMatrix,
     iterations: usize,
     config: SparsepipeConfig,
+    sink: S,
 }
 
 impl<'a> SimRequest<'a> {
@@ -100,9 +103,12 @@ impl<'a> SimRequest<'a> {
             matrix,
             iterations: 1,
             config: SparsepipeConfig::iso_gpu(),
+            sink: NullSink,
         }
     }
+}
 
+impl<'a, S: TraceSink> SimRequest<'a, S> {
     /// Sets the number of loop iterations to simulate (default 1; 0 is
     /// rejected by [`SimRequest::run`] with [`CoreError::ZeroIterations`]).
     #[must_use]
@@ -138,15 +144,41 @@ impl<'a> SimRequest<'a> {
         self.iterations
     }
 
+    /// Attaches a trace sink: every simulator event (pass boundaries,
+    /// per-step DRAM transfers, buffer inserts/hits/evictions, e-wise
+    /// fires) is emitted into `sink` during [`SimRequest::run`].
+    ///
+    /// Pass `&mut sink` to keep ownership of the sink (the blanket
+    /// `impl TraceSink for &mut S` forwards events), or move an owned
+    /// sink in. Tracing never changes the simulation result — the
+    /// untraced [`NullSink`] instantiation is the same code with every
+    /// emission compiled out.
+    #[must_use]
+    pub fn trace<T: TraceSink>(self, sink: T) -> SimRequest<'a, T> {
+        SimRequest {
+            program: self.program,
+            matrix: self.matrix,
+            iterations: self.iterations,
+            config: self.config,
+            sink,
+        }
+    }
+
     /// Executes the simulation.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::NonSquareMatrix`] for rectangular inputs and
     /// [`CoreError::ZeroIterations`] when `iterations == 0`.
-    pub fn run(self) -> Result<SimOutcome, CoreError> {
+    pub fn run(mut self) -> Result<SimOutcome, CoreError> {
         let start = std::time::Instant::now();
-        let run = engine::simulate_inner(self.program, self.matrix, self.iterations, &self.config)?;
+        let run = engine::simulate_inner(
+            self.program,
+            self.matrix,
+            self.iterations,
+            &self.config,
+            &mut self.sink,
+        )?;
         let wall_s = start.elapsed().as_secs_f64();
         Ok(SimOutcome {
             telemetry: SimTelemetry {
@@ -244,6 +276,41 @@ mod tests {
             SimRequest::new(&program, &sq).iterations(0).run(),
             Err(CoreError::ZeroIterations)
         ));
+    }
+
+    #[test]
+    fn traced_run_is_byte_identical_and_audits_exactly() {
+        use sparsepipe_trace::{MemorySink, TraceAudit};
+        let program = pagerank_program();
+        let m = gen::power_law(1500, 12_000, 1.0, 0.4, 19);
+        let cfg = SparsepipeConfig::iso_gpu()
+            .with_buffer(256 << 10)
+            .with_preprocessing(crate::config::Preprocessing::none());
+        // Both even and odd iteration counts: the odd case exercises the
+        // analytic unfused-tail pass, which must audit exactly too.
+        for iters in [10usize, 11] {
+            let untraced = SimRequest::new(&program, &m)
+                .iterations(iters)
+                .config(cfg)
+                .run()
+                .unwrap();
+            let mut sink = MemorySink::new();
+            let traced = SimRequest::new(&program, &m)
+                .iterations(iters)
+                .config(cfg)
+                .trace(&mut sink)
+                .run()
+                .unwrap();
+            assert_eq!(
+                traced.report, untraced.report,
+                "tracing must not perturb the simulation (iters={iters})"
+            );
+            assert!(!sink.events().is_empty());
+            let audit = TraceAudit::replay(sink.events());
+            audit
+                .check(&traced.report.traffic.audit_totals())
+                .unwrap_or_else(|e| panic!("audit mismatch at iters={iters}: {e}"));
+        }
     }
 
     #[test]

@@ -31,6 +31,8 @@
 
 use std::collections::BTreeMap;
 
+use sparsepipe_trace::{NullSink, PipeStage, TraceEvent, TraceSink, TrafficClass, WHOLE_ROW};
+
 /// Bytes per stored element in the (unblocked) buffer spaces: a 4-byte
 /// coordinate and an 8-byte value.
 pub const ELEM_BYTES: usize = 12;
@@ -70,8 +72,13 @@ pub struct DualBufferStats {
 }
 
 /// The dual-storage buffer: CSC space + CSR space sharing one capacity.
+///
+/// Generic over a [`TraceSink`]: the default [`NullSink`] instantiation is
+/// the untraced buffer with every emission compiled out; attach a live
+/// sink with [`DualBuffer::with_sink`] to observe every fetch, insert,
+/// consumption, and eviction at element granularity.
 #[derive(Debug)]
-pub struct DualBuffer {
+pub struct DualBuffer<S: TraceSink = NullSink> {
     capacity_bytes: usize,
     repack_threshold: f64,
     /// CSC space: fetched, not-yet-consumed columns.
@@ -87,13 +94,24 @@ pub struct DualBuffer {
     /// reclaimed (awaiting repack).
     fragmented_bytes: usize,
     stats: DualBufferStats,
+    sink: S,
 }
 
 impl DualBuffer {
-    /// Creates a buffer with the given capacity and repack threshold
-    /// (fraction of occupied space that may be fragmentation before a
-    /// repack triggers).
+    /// Creates an untraced buffer with the given capacity and repack
+    /// threshold (fraction of occupied space that may be fragmentation
+    /// before a repack triggers).
     pub fn new(capacity_bytes: usize, repack_threshold: f64) -> Self {
+        DualBuffer::with_sink(capacity_bytes, repack_threshold, NullSink)
+    }
+}
+
+impl<S: TraceSink> DualBuffer<S> {
+    /// Creates a buffer that emits a [`TraceEvent`] for every fetch,
+    /// insert, hit, and eviction into `sink` (pass `&mut sink` to keep
+    /// ownership, or move an owned sink in and recover it with
+    /// [`DualBuffer::into_sink`]).
+    pub fn with_sink(capacity_bytes: usize, repack_threshold: f64, sink: S) -> Self {
         DualBuffer {
             capacity_bytes,
             repack_threshold,
@@ -103,7 +121,14 @@ impl DualBuffer {
             csr_reserved_bytes: 0,
             fragmented_bytes: 0,
             stats: DualBufferStats::default(),
+            sink,
         }
+    }
+
+    /// Consumes the buffer, returning its sink (e.g. to inspect a
+    /// [`sparsepipe_trace::MemorySink`]'s captured events).
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// Current occupancy in bytes (CSC space + CSR reservations +
@@ -134,11 +159,28 @@ impl DualBuffer {
         F: Fn(u32) -> usize,
     {
         self.stats.fetched_bytes += data.len() * ELEM_BYTES;
+        if S::ENABLED {
+            self.sink.emit(TraceEvent::DramRead {
+                addr: u64::from(col) * ELEM_BYTES as u64,
+                bytes: (data.len() * ELEM_BYTES) as f64,
+                class: TrafficClass::CscDemand,
+                step: col,
+            });
+        }
         self.csc_cols.insert(col, data.to_vec());
         self.csc_bytes += data.len() * ELEM_BYTES;
         for &(row, val) in data {
             if row < is_frontier {
                 continue; // deferred-IS: consumed by the caller directly
+            }
+            if S::ENABLED {
+                self.sink.emit(TraceEvent::BufferInsert {
+                    row,
+                    col,
+                    step: col,
+                    refetch: false,
+                    bytes: ELEM_BYTES as f64,
+                });
             }
             self.store_converted(row, col, val, &row_total);
         }
@@ -176,6 +218,16 @@ impl DualBuffer {
     pub fn consume_column(&mut self, col: u32) -> Option<Vec<(u32, f64)>> {
         let data = self.csc_cols.remove(&col)?;
         self.csc_bytes -= data.len() * ELEM_BYTES;
+        if S::ENABLED {
+            for &(row, _) in &data {
+                self.sink.emit(TraceEvent::BufferHit {
+                    row,
+                    col,
+                    stage: PipeStage::Os,
+                    step: col,
+                });
+            }
+        }
         Some(data)
     }
 
@@ -190,6 +242,16 @@ impl DualBuffer {
         };
         let taken: Vec<(u32, f64)> = space.stored.drain(..).collect();
         space.consumed += taken.len();
+        if S::ENABLED {
+            for &(col, _) in &taken {
+                self.sink.emit(TraceEvent::BufferHit {
+                    row,
+                    col,
+                    stage: PipeStage::Is,
+                    step: row,
+                });
+            }
+        }
         if space.fully_consumed() {
             let bytes = space.reserved_elems * ELEM_BYTES;
             self.csr_rows.remove(&row);
@@ -250,6 +312,15 @@ impl DualBuffer {
             let space = self.csr_rows.remove(&row).expect("key just observed");
             self.csr_reserved_bytes -= space.reserved_elems * ELEM_BYTES;
             self.stats.evicted_rows += 1;
+            if S::ENABLED {
+                // The whole reservation goes at once — a row-granular
+                // eviction, marked with the WHOLE_ROW column sentinel.
+                self.sink.emit(TraceEvent::BufferEvict {
+                    row,
+                    col: WHOLE_ROW,
+                    step: protect_below,
+                });
+            }
             evicted.push(row);
         }
         evicted
@@ -258,6 +329,14 @@ impl DualBuffer {
     /// Charges a re-fetch of `elems` elements after an eviction.
     pub fn charge_refetch(&mut self, elems: usize) {
         self.stats.refetch_bytes += elems * ELEM_BYTES;
+        if S::ENABLED && elems > 0 {
+            self.sink.emit(TraceEvent::DramRead {
+                addr: 1 << 40,
+                bytes: (elems * ELEM_BYTES) as f64,
+                class: TrafficClass::Refetch,
+                step: 0,
+            });
+        }
     }
 
     /// Stored (convertible) entries currently held for `row`.
@@ -365,6 +444,115 @@ mod tests {
             evicted.is_empty(),
             "protected rows must survive: {evicted:?}"
         );
+    }
+
+    #[test]
+    fn traced_capacity_one_element_buffer_evicts_immediately() {
+        use sparsepipe_trace::MemorySink;
+        // Capacity of a single element: the CSC copy plus the CSR
+        // reservation of the same element already overflow it, so the
+        // reservation must be evicted the moment capacity is enforced.
+        let mut sink = MemorySink::new();
+        {
+            let mut b = DualBuffer::with_sink(ELEM_BYTES, 0.5, &mut sink);
+            b.fetch_column(0, &[(5, 1.0)], 0, row_total_const(2));
+            b.consume_column(0);
+            assert_eq!(b.enforce_capacity(0), vec![5]);
+            assert_eq!(b.occupancy_bytes(), 0);
+            assert_eq!(b.stats().evicted_rows, 1);
+        }
+        let evicts: Vec<_> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::BufferEvict { row, col, .. } => Some((row, col)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            evicts,
+            vec![(5, WHOLE_ROW)],
+            "row-granular eviction carries the WHOLE_ROW sentinel"
+        );
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::BufferInsert { row: 5, col: 0, .. })));
+    }
+
+    #[test]
+    fn traced_second_element_of_resident_row_reuses_reservation() {
+        use sparsepipe_trace::MemorySink;
+        let mut sink = MemorySink::new();
+        {
+            let mut b = DualBuffer::with_sink(10_000, 0.5, &mut sink);
+            b.fetch_column(0, &[(9, 1.0)], 0, row_total_const(2));
+            b.consume_column(0);
+            b.fetch_column(1, &[(9, 2.0)], 0, row_total_const(2));
+            b.consume_column(1);
+            // second element of row 9 lands in the existing reservation
+            assert_eq!(b.stats().reservations, 1);
+            assert_eq!(b.stored_row_len(9), 2);
+        }
+        let inserts: Vec<_> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::BufferInsert { row, col, .. } => Some((row, col)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            inserts,
+            vec![(9, 0), (9, 1)],
+            "both elements of the row insert, in ascending column order"
+        );
+    }
+
+    #[test]
+    fn traced_eviction_of_next_needed_row_causes_refetch() {
+        use sparsepipe_trace::MemorySink;
+        let mut sink = MemorySink::new();
+        {
+            // room for the CSC copy plus one 2-element reservation only
+            let mut b = DualBuffer::with_sink(3 * ELEM_BYTES, 0.5, &mut sink);
+            b.fetch_column(0, &[(2, 0.2), (6, 0.6)], 0, row_total_const(2));
+            b.consume_column(0);
+            // Protection is below row 6, so the highest row — exactly the
+            // one holding data the IS stage will need — is evicted.
+            assert_eq!(b.enforce_capacity(1), vec![6]);
+            // IS reaches row 6: nothing stored, the caller must re-fetch.
+            assert!(b.consume_row(6).is_empty());
+            b.charge_refetch(2);
+            assert_eq!(b.stats().refetch_bytes, 2 * ELEM_BYTES);
+        }
+        let events = sink.events();
+        let evict_pos = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::BufferEvict { row: 6, .. }))
+            .expect("eviction of row 6 must be traced");
+        let refetch_pos = events
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    TraceEvent::DramRead {
+                        class: TrafficClass::Refetch,
+                        ..
+                    }
+                )
+            })
+            .expect("refetch after eviction must be traced");
+        assert!(
+            evict_pos < refetch_pos,
+            "stream order: eviction precedes its refetch"
+        );
+        // the surviving row's consumption still registers as an IS hit
+        let mut b2 = DualBuffer::new(3 * ELEM_BYTES, 0.5);
+        b2.fetch_column(0, &[(2, 0.2), (6, 0.6)], 0, row_total_const(2));
+        b2.consume_column(0);
+        b2.enforce_capacity(1);
+        assert_eq!(b2.consume_row(2).len(), 1, "untraced buffer agrees");
     }
 
     #[test]

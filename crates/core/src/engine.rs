@@ -3,6 +3,7 @@
 
 use sparsepipe_frontend::SparsepipeProgram;
 use sparsepipe_tensor::{reorder, CooMatrix};
+use sparsepipe_trace::{NullSink, TraceEvent, TraceSink, TrafficClass};
 
 use crate::config::{ReorderKind, SparsepipeConfig};
 use crate::energy::{EnergyModel, EnergyTally};
@@ -53,16 +54,18 @@ pub fn simulate(
     iterations: usize,
     config: &SparsepipeConfig,
 ) -> Result<SimReport, CoreError> {
-    simulate_inner(program, matrix, iterations, config).map(|run| run.report)
+    simulate_inner(program, matrix, iterations, config, &mut NullSink).map(|run| run.report)
 }
 
 /// The engine proper: shared by the deprecated [`simulate`] shim and the
-/// [`crate::SimRequest`] driver.
-pub(crate) fn simulate_inner(
+/// [`crate::SimRequest`] driver. Generic over the trace sink; the
+/// default [`NullSink`] instantiation is the untraced engine.
+pub(crate) fn simulate_inner<S: TraceSink>(
     program: &SparsepipeProgram,
     matrix: &CooMatrix,
     iterations: usize,
     config: &SparsepipeConfig,
+    sink: &mut S,
 ) -> Result<EngineRun, CoreError> {
     if matrix.nrows() != matrix.ncols() {
         return Err(CoreError::NonSquareMatrix {
@@ -148,7 +151,16 @@ pub(crate) fn simulate_inner(
                 vec_read_passes: profile.fused_vector_reads + feature,
                 vec_write_passes: profile.fused_vector_writes + feature,
             };
-            let pass = PassRequest::new(&plan, config).params(params).run();
+            if S::ENABLED {
+                sink.emit(TraceEvent::PassBoundary {
+                    pass: 0,
+                    repeats: full_passes as u64,
+                    steps: plan.steps as u32,
+                });
+            }
+            let pass = PassRequest::new(&plan, config)
+                .params(params)
+                .run_traced(sink);
             accumulate_pass(
                 &pass,
                 full_passes as f64,
@@ -175,16 +187,53 @@ pub(crate) fn simulate_inner(
             // one OS-only sweep at roofline.
             let mbytes = nnz * fetch_b * profile.matrix_passes as f64;
             let vbytes = (profile.fused_vector_reads + profile.fused_vector_writes) * n * 8.0;
+            let vec_read_b = vbytes * 0.6;
+            let vec_write_b = vbytes * 0.4;
             let compute = (nnz * 2.0 * feature) / (2.0 * config.pes_per_core as f64)
                 + n * feature * (ewise_arith + profile.dense_flops_per_element)
                     / config.pes_per_core as f64;
             let cycles = ((mbytes + vbytes) / bpc).max(compute);
             total_cycles += cycles;
             traffic.csc_bytes += mbytes;
-            traffic.vector_bytes += vbytes * 0.6;
-            traffic.writeback_bytes += vbytes * 0.4;
-            tally.dram_read(mbytes + vbytes * 0.6);
-            tally.dram_write(vbytes * 0.4);
+            traffic.vector_bytes += vec_read_b;
+            traffic.writeback_bytes += vec_write_b;
+            if S::ENABLED {
+                // An analytic sweep: one pass (repeats = 1) whose events
+                // carry the exact closed-form totals added to `traffic`
+                // above — re-deriving them per-iteration would reorder
+                // the f64 arithmetic and break the audit's bitwise match.
+                sink.emit(TraceEvent::PassBoundary {
+                    pass: u32::from(full_passes > 0),
+                    repeats: 1,
+                    steps: 1,
+                });
+                if mbytes > 0.0 {
+                    sink.emit(TraceEvent::DramRead {
+                        addr: 0,
+                        bytes: mbytes,
+                        class: TrafficClass::CscDemand,
+                        step: 0,
+                    });
+                }
+                if vec_read_b > 0.0 {
+                    sink.emit(TraceEvent::DramRead {
+                        addr: 1 << 36,
+                        bytes: vec_read_b,
+                        class: TrafficClass::VectorRead,
+                        step: 0,
+                    });
+                }
+                if vec_write_b > 0.0 {
+                    sink.emit(TraceEvent::DramWrite {
+                        addr: 1 << 36,
+                        bytes: vec_write_b,
+                        class: TrafficClass::Writeback,
+                        step: 0,
+                    });
+                }
+            }
+            tally.dram_read(mbytes + vec_read_b);
+            tally.dram_write(vec_write_b);
             tally.sram(2.0 * (mbytes + vbytes));
             tally.compute(nnz * 2.0 * feature + n * feature * ewise_arith);
         }
@@ -212,11 +261,49 @@ pub(crate) fn simulate_inner(
         let per_iter_cycles =
             ((mbytes + vbytes) / bpc).max(matrix_compute + ewise_compute) * DISPATCH_OVERHEAD;
         total_cycles = per_iter_cycles * iterations as f64;
-        traffic.csc_bytes = mbytes * iterations as f64;
         let reads = profile.fused_vector_reads
             / (profile.fused_vector_reads + profile.fused_vector_writes).max(1e-9);
-        traffic.vector_bytes = vbytes * iterations as f64 * reads;
-        traffic.writeback_bytes = vbytes * iterations as f64 * (1.0 - reads);
+        let csc_total = mbytes * iterations as f64;
+        let vec_total_read = vbytes * iterations as f64 * reads;
+        let vec_total_write = vbytes * iterations as f64 * (1.0 - reads);
+        traffic.csc_bytes = csc_total;
+        traffic.vector_bytes = vec_total_read;
+        traffic.writeback_bytes = vec_total_write;
+        if S::ENABLED {
+            // Closed-form sweep: a single pass whose events carry the full
+            // computed totals (never per-iteration values × iters — f64
+            // multiplication is not associative across that split, and the
+            // audit compares bit patterns).
+            sink.emit(TraceEvent::PassBoundary {
+                pass: 0,
+                repeats: 1,
+                steps: 1,
+            });
+            if csc_total > 0.0 {
+                sink.emit(TraceEvent::DramRead {
+                    addr: 0,
+                    bytes: csc_total,
+                    class: TrafficClass::CscDemand,
+                    step: 0,
+                });
+            }
+            if vec_total_read > 0.0 {
+                sink.emit(TraceEvent::DramRead {
+                    addr: 1 << 36,
+                    bytes: vec_total_read,
+                    class: TrafficClass::VectorRead,
+                    step: 0,
+                });
+            }
+            if vec_total_write > 0.0 {
+                sink.emit(TraceEvent::DramWrite {
+                    addr: 1 << 36,
+                    bytes: vec_total_write,
+                    class: TrafficClass::Writeback,
+                    step: 0,
+                });
+            }
+        }
         tally.dram_read(traffic.csc_bytes + traffic.vector_bytes);
         tally.dram_write(traffic.writeback_bytes);
         tally.sram(2.0 * (traffic.csc_bytes + traffic.vector_bytes + traffic.writeback_bytes));
@@ -252,8 +339,14 @@ pub(crate) fn simulate_inner(
             evicted_elements: evicted,
             repack_events: repacks,
             energy: tally.breakdown(),
-            matrix_loads_per_iteration: matrix_read_bytes
-                / (nnz * fetch_b * profile.matrix_passes as f64 * iterations as f64),
+            matrix_loads_per_iteration: {
+                let denom = nnz * fetch_b * profile.matrix_passes as f64 * iterations as f64;
+                if denom > 0.0 {
+                    matrix_read_bytes / denom
+                } else {
+                    0.0
+                }
+            },
             iterations,
         },
         sim_steps,

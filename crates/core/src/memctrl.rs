@@ -107,11 +107,15 @@ pub struct ServiceStats {
 
 impl ServiceStats {
     /// Achieved fraction of the configured peak bandwidth.
+    ///
+    /// Degenerate inputs (no cycles elapsed, or a configuration with
+    /// zero peak bandwidth) report 0.0 instead of dividing by zero.
     pub fn utilization(&self, config: &MemControllerConfig) -> f64 {
-        if self.cycles <= 0.0 {
+        let denom = self.cycles * config.peak_bytes_per_cycle();
+        if denom <= 0.0 {
             return 0.0;
         }
-        self.bytes as f64 / (self.cycles * config.peak_bytes_per_cycle())
+        self.bytes as f64 / denom
     }
 }
 
@@ -142,6 +146,40 @@ impl MemController {
     /// in order per channel) and returns the timing/locality statistics.
     /// Bank state persists across batches.
     pub fn service(&mut self, accesses: &[Access]) -> ServiceStats {
+        self.service_traced(accesses, &mut sparsepipe_trace::NullSink, 0)
+    }
+
+    /// Like [`MemController::service`], but emits one bank-level
+    /// `DramRead`/`DramWrite` event per access (class
+    /// [`sparsepipe_trace::TrafficClass::BankLevel`], ignored by the
+    /// audit — these are a re-timing of bytes already counted by the
+    /// pipeline's per-step aggregate events).
+    pub fn service_traced<S: sparsepipe_trace::TraceSink>(
+        &mut self,
+        accesses: &[Access],
+        sink: &mut S,
+        step: u32,
+    ) -> ServiceStats {
+        if S::ENABLED {
+            for a in accesses {
+                let ev = if a.write {
+                    sparsepipe_trace::TraceEvent::DramWrite {
+                        addr: a.addr,
+                        bytes: f64::from(a.bytes),
+                        class: sparsepipe_trace::TrafficClass::BankLevel,
+                        step,
+                    }
+                } else {
+                    sparsepipe_trace::TraceEvent::DramRead {
+                        addr: a.addr,
+                        bytes: f64::from(a.bytes),
+                        class: sparsepipe_trace::TrafficClass::BankLevel,
+                        step,
+                    }
+                };
+                sink.emit(ev);
+            }
+        }
         let c = self.config;
         let mut channel_busy = vec![0.0f64; c.channels];
         let mut stats = ServiceStats::default();
@@ -258,6 +296,52 @@ mod tests {
         let mut ctrl = MemController::new(cfg);
         let stats = ctrl.service(&[Access::read(0, 1)]);
         assert_eq!(stats.bytes, cfg.burst_bytes as u64);
+    }
+
+    #[test]
+    fn utilization_guards_zero_denominators() {
+        // No cycles elapsed (empty batch) → 0, not NaN.
+        let cfg = MemControllerConfig::default();
+        let empty = ServiceStats::default();
+        assert_eq!(empty.utilization(&cfg), 0.0);
+        // Degenerate config with zero peak bandwidth → 0, not inf.
+        let dead = MemControllerConfig {
+            bus_bytes_per_cycle: 0.0,
+            ..cfg
+        };
+        let stats = ServiceStats {
+            cycles: 10.0,
+            bytes: 640,
+            ..ServiceStats::default()
+        };
+        assert_eq!(stats.utilization(&dead), 0.0);
+        assert!(stats.utilization(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn service_traced_emits_bank_level_events() {
+        let cfg = MemControllerConfig::default();
+        let mut ctrl = MemController::new(cfg);
+        let mut sink = sparsepipe_trace::MemorySink::new();
+        let accesses = [Access::read(0, 32), Access::write(64, 32)];
+        let traced = ctrl.service_traced(&accesses, &mut sink, 7);
+        assert_eq!(sink.len(), 2);
+        assert!(matches!(
+            sink.events()[0],
+            sparsepipe_trace::TraceEvent::DramRead {
+                class: sparsepipe_trace::TrafficClass::BankLevel,
+                step: 7,
+                ..
+            }
+        ));
+        assert!(matches!(
+            sink.events()[1],
+            sparsepipe_trace::TraceEvent::DramWrite { .. }
+        ));
+        // Timing is identical with and without tracing.
+        let mut ctrl2 = MemController::new(cfg);
+        let untraced = ctrl2.service(&accesses);
+        assert_eq!(traced, untraced);
     }
 
     #[test]

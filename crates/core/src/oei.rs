@@ -225,13 +225,50 @@ pub fn fused_pass_buffered<F>(
     csc: &CscMatrix,
     csr: &CsrMatrix,
     x: &DenseVector,
-    mut ewise: F,
+    ewise: F,
     os: SemiringOp,
     is: SemiringOp,
     capacity_bytes: usize,
 ) -> Result<(FusedPassOutput, crate::dualbuffer::DualBufferStats), TensorError>
 where
     F: FnMut(usize, f64) -> f64,
+{
+    fused_pass_buffered_traced(
+        csc,
+        csr,
+        x,
+        ewise,
+        os,
+        is,
+        capacity_bytes,
+        sparsepipe_trace::NullSink,
+    )
+}
+
+/// [`fused_pass_buffered`] with a live [`TraceSink`](sparsepipe_trace::TraceSink):
+/// the dual buffer emits an event for every column fetch, element insert,
+/// OS/IS consumption, row eviction, and re-fetch, so offline analyzers
+/// (reuse-distance histograms, occupancy timelines) can observe the
+/// mechanism-level pass at element granularity. Pass `&mut sink` to keep
+/// ownership of the sink across the call.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on inconsistent shapes.
+#[allow(clippy::too_many_arguments)] // mirrors fused_pass_buffered + sink; same 1:1 correspondence
+pub fn fused_pass_buffered_traced<F, S>(
+    csc: &CscMatrix,
+    csr: &CsrMatrix,
+    x: &DenseVector,
+    mut ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+    capacity_bytes: usize,
+    sink: S,
+) -> Result<(FusedPassOutput, crate::dualbuffer::DualBufferStats), TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+    S: sparsepipe_trace::TraceSink,
 {
     use std::collections::HashSet;
 
@@ -253,7 +290,7 @@ where
         });
     }
 
-    let mut buffer = crate::dualbuffer::DualBuffer::new(capacity_bytes, 0.5);
+    let mut buffer = crate::dualbuffer::DualBuffer::with_sink(capacity_bytes, 0.5, sink);
     let mut evicted: HashSet<u32> = HashSet::new();
     let mut y1 = DenseVector::zeros(n);
     let mut x2 = DenseVector::zeros(n);

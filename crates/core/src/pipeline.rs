@@ -15,6 +15,8 @@
 //! row-order scan fills rows between the IS frontier `S` and the loaded
 //! frontier `E` evenly, because earlier rows are always filled first).
 
+use sparsepipe_trace::{NullSink, PipeStage, TraceEvent, TraceSink, TrafficClass};
+
 use crate::buffer::BufferModel;
 use crate::config::SparsepipeConfig;
 use crate::invariants;
@@ -111,6 +113,17 @@ impl<'a> PassRequest<'a> {
     pub fn run(self) -> PassResult {
         execute_pass(self.plan, self.config, &self.params)
     }
+
+    /// Executes the pass, streaming trace events into `sink`.
+    ///
+    /// With the default [`NullSink`] this monomorphizes to exactly
+    /// [`PassRequest::run`]; any other sink sees per-step
+    /// `StepBegin`/`StepEnd`, per-element buffer events, and per-step
+    /// aggregate DRAM events whose byte payloads are the exact `f64`
+    /// increments added to the returned traffic totals.
+    pub fn run_traced<S: TraceSink>(self, sink: &mut S) -> PassResult {
+        execute_pass_traced(self.plan, self.config, &self.params, sink)
+    }
 }
 
 /// Per-step sample retained for bandwidth traces.
@@ -180,6 +193,19 @@ pub fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
 /// The pass loop proper, shared by [`PassRequest::run`] and the deprecated
 /// [`run_pass`] shim.
 fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams) -> PassResult {
+    execute_pass_traced(plan, config, params, &mut NullSink)
+}
+
+/// The instrumented pass loop. Every emission site is guarded by
+/// `S::ENABLED`, so the `NullSink` instantiation compiles to the
+/// untraced loop and traced/untraced runs produce bit-identical
+/// [`PassResult`]s.
+pub(crate) fn execute_pass_traced<S: TraceSink>(
+    plan: &PassPlan,
+    config: &SparsepipeConfig,
+    params: &PassParams,
+    sink: &mut S,
+) -> PassResult {
     let bpc = config.memory.bytes_per_cycle(config.clock_ghz);
     let fetch_b = config.fetch_bytes_per_element();
     let elem_b = config.buffer_bytes_per_element();
@@ -219,6 +245,11 @@ fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
     // read sequentially ACROSS steps, so open DRAM pages carry over.
     let mut csc_addr: u64 = 0;
     let mut vec_addr: u64 = 1 << 36;
+    // Separate trace-only address cursors (the ones above belong to the
+    // detailed memory model and must not double-advance).
+    let mut ev_csc_addr: u64 = 0;
+    let mut ev_csr_addr: u64 = 1 << 38;
+    let mut ev_vec_addr: u64 = 1 << 36;
 
     for s in 0..plan.steps {
         // Dense-vector working set sharing the buffer; cap its reservation
@@ -234,6 +265,12 @@ fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
         let mut is_elems = 0usize;
 
         // ---- OS stage demand: columns of sub-tensor `s` ----
+        if S::ENABLED {
+            sink.emit(TraceEvent::StepBegin {
+                stage: PipeStage::Os,
+                step: s as u32,
+            });
+        }
         for &e in plan.os_elements(s) {
             os_elems += 1;
             if buffer.is_resident(e) {
@@ -243,25 +280,73 @@ fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
                     // deferred IS work now completes too
                     is_elems += 1;
                     buffer.consume_is(e);
+                    if S::ENABLED {
+                        sink.emit(TraceEvent::BufferHit {
+                            row: plan.rows[e as usize],
+                            col: plan.cols[e as usize],
+                            stage: PipeStage::Is,
+                            step: s as u32,
+                        });
+                    }
                 }
                 buffer.consume_os(e);
+                if S::ENABLED {
+                    sink.emit(TraceEvent::BufferHit {
+                        row: plan.rows[e as usize],
+                        col: plan.cols[e as usize],
+                        stage: PipeStage::Os,
+                        step: s as u32,
+                    });
+                }
             } else {
-                if buffer.load(e) {
+                let refetch = buffer.load(e);
+                if refetch {
                     refetch_bytes += fetch_b;
                 } else {
                     csc_bytes += fetch_b;
+                }
+                if S::ENABLED {
+                    sink.emit(TraceEvent::BufferInsert {
+                        row: plan.rows[e as usize],
+                        col: plan.cols[e as usize],
+                        step: s as u32,
+                        refetch,
+                        bytes: elem_b,
+                    });
                 }
                 if plan.row_step[e as usize] < s as u32 {
                     // IS passed this row already: apply the pending
                     // scatter immediately (deferred-IS path).
                     is_elems += 1;
                     buffer.consume_is(e);
+                    if S::ENABLED {
+                        sink.emit(TraceEvent::BufferHit {
+                            row: plan.rows[e as usize],
+                            col: plan.cols[e as usize],
+                            stage: PipeStage::Is,
+                            step: s as u32,
+                        });
+                    }
                 }
                 buffer.consume_os(e);
+                if S::ENABLED {
+                    sink.emit(TraceEvent::BufferHit {
+                        row: plan.rows[e as usize],
+                        col: plan.cols[e as usize],
+                        stage: PipeStage::Os,
+                        step: s as u32,
+                    });
+                }
             }
         }
 
         // ---- IS stage demand: rows of sub-tensor `s` ----
+        if S::ENABLED {
+            sink.emit(TraceEvent::StepBegin {
+                stage: PipeStage::Is,
+                step: s as u32,
+            });
+        }
         for e in plan.is_elements(s) {
             if buffer.is_done(e) {
                 continue;
@@ -269,6 +354,14 @@ fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
             if buffer.is_resident(e) {
                 is_elems += 1;
                 buffer.consume_is(e);
+                if S::ENABLED {
+                    sink.emit(TraceEvent::BufferHit {
+                        row: plan.rows[e as usize],
+                        col: plan.cols[e as usize],
+                        stage: PipeStage::Is,
+                        step: s as u32,
+                    });
+                }
             } else if buffer.is_evicted(e) && plan.col_step[e as usize] <= s as u32 {
                 // The OS already passed this column; nothing else will
                 // bring the element back — refetch now (memory ping-pong).
@@ -276,6 +369,21 @@ fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
                 refetch_bytes += fetch_b;
                 is_elems += 1;
                 buffer.consume_is(e);
+                if S::ENABLED {
+                    sink.emit(TraceEvent::BufferInsert {
+                        row: plan.rows[e as usize],
+                        col: plan.cols[e as usize],
+                        step: s as u32,
+                        refetch: true,
+                        bytes: elem_b,
+                    });
+                    sink.emit(TraceEvent::BufferHit {
+                        row: plan.rows[e as usize],
+                        col: plan.cols[e as usize],
+                        stage: PipeStage::Is,
+                        step: s as u32,
+                    });
+                }
             }
             // NotLoaded (or evicted with a future column step): defer —
             // the CSC loader will bring it at `col_step` and the pending
@@ -300,8 +408,17 @@ fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
                 (refetch_bytes / 96.0).ceil() as usize,
                 96,
             ));
-            ctrl.service(&accesses).cycles
+            ctrl.service_traced(&accesses, &mut *sink, s as u32).cycles
         });
+        if S::ENABLED {
+            // The E-Wise core processes this step's column block of the
+            // dense operand vectors (fewer lanes on a ragged last step).
+            let lanes = plan.t_cols.min(plan.n as usize - s * plan.t_cols) as u64;
+            sink.emit(TraceEvent::EwiseFire {
+                step: s as u32,
+                lanes,
+            });
+        }
         let step_os_ops = os_elems as f64 * params.feature * 2.0;
         let step_ew_ops = plan.t_cols as f64
             * params.feature
@@ -343,13 +460,32 @@ fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
                     csr_bytes += fetch_b;
                     budget -= fetch_b;
                     room -= elem_b;
+                    if S::ENABLED {
+                        sink.emit(TraceEvent::BufferInsert {
+                            row: plan.rows[e as usize],
+                            col: plan.cols[e as usize],
+                            step: s as u32,
+                            refetch: false,
+                            bytes: elem_b,
+                        });
+                    }
                 }
                 prefetch_cursor += 1;
             }
         }
 
         // ---- Capacity enforcement & repacking ----
-        buffer.enforce_capacity(vec_reserved);
+        if S::ENABLED {
+            buffer.enforce_capacity_with(vec_reserved, |e| {
+                sink.emit(TraceEvent::BufferEvict {
+                    row: plan.rows[e as usize],
+                    col: plan.cols[e as usize],
+                    step: s as u32,
+                });
+            });
+        } else {
+            buffer.enforce_capacity(vec_reserved);
+        }
         let repack_moved = buffer.maybe_repack();
 
         // ---- Shadow checker: whole-buffer audit at step end ----
@@ -365,16 +501,77 @@ fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
         // core; vectors stream through the buffer similarly; repacks move
         // resident data (read + write).
         sram_bytes += 2.0 * fetched + 2.0 * vec_b + 2.0 * repack_moved;
+        let vec_read_b = vec_b * (1.0 - vec_write_fraction);
+        let vec_write_b = vec_b * vec_write_fraction;
         traffic.csc_bytes += csc_bytes;
         traffic.refetch_bytes += refetch_bytes;
         traffic.csr_eager_bytes += csr_bytes;
-        traffic.vector_bytes += vec_b * (1.0 - vec_write_fraction);
-        traffic.writeback_bytes += vec_b * vec_write_fraction;
+        traffic.vector_bytes += vec_read_b;
+        traffic.writeback_bytes += vec_write_b;
+        if S::ENABLED {
+            // Per-step aggregate DRAM events: each payload is the exact
+            // `f64` increment just added to `traffic`, emitted in the
+            // same order, so the TraceAudit replay reproduces the pass
+            // totals bitwise (zero increments are skipped — adding 0.0
+            // is an identity). See DESIGN.md §10.
+            let step = s as u32;
+            if csc_bytes > 0.0 {
+                sink.emit(TraceEvent::DramRead {
+                    addr: ev_csc_addr,
+                    bytes: csc_bytes,
+                    class: TrafficClass::CscDemand,
+                    step,
+                });
+                ev_csc_addr += csc_bytes as u64;
+            }
+            if refetch_bytes > 0.0 {
+                sink.emit(TraceEvent::DramRead {
+                    addr: 1 << 40,
+                    bytes: refetch_bytes,
+                    class: TrafficClass::Refetch,
+                    step,
+                });
+            }
+            if csr_bytes > 0.0 {
+                sink.emit(TraceEvent::DramRead {
+                    addr: ev_csr_addr,
+                    bytes: csr_bytes,
+                    class: TrafficClass::CsrEager,
+                    step,
+                });
+                ev_csr_addr += csr_bytes as u64;
+            }
+            if vec_read_b > 0.0 {
+                sink.emit(TraceEvent::DramRead {
+                    addr: ev_vec_addr,
+                    bytes: vec_read_b,
+                    class: TrafficClass::VectorRead,
+                    step,
+                });
+                ev_vec_addr += vec_read_b as u64;
+            }
+            if vec_write_b > 0.0 {
+                sink.emit(TraceEvent::DramWrite {
+                    addr: ev_vec_addr,
+                    bytes: vec_write_b,
+                    class: TrafficClass::Writeback,
+                    step,
+                });
+                ev_vec_addr += vec_write_b as u64;
+            }
+        }
         os_ops += step_os_ops;
         ew_ops += step_ew_ops;
         is_ops += step_is_ops;
         total_cycles += step_cycles;
         occupancy_sum += buffer.occupancy_bytes();
+        if S::ENABLED {
+            sink.emit(TraceEvent::StepEnd {
+                step: s as u32,
+                cycles: step_cycles,
+                occupancy_bytes: buffer.occupancy_bytes(),
+            });
+        }
         steps_out.push(StepSample {
             cycles: step_cycles,
             csc_bytes: csc_bytes + refetch_bytes,

@@ -27,6 +27,11 @@ pub struct PassPlan {
     pub t_cols: usize,
     /// Pipeline steps per pass (`ceil(n / t_cols)`).
     pub steps: usize,
+    /// For element id `e` (row-major order): its row coordinate. Kept so
+    /// trace events can carry real element coordinates.
+    pub rows: Vec<u32>,
+    /// For element id `e`: its column coordinate.
+    pub cols: Vec<u32>,
     /// For element id `e` (row-major order): the step at which the OS core
     /// consumes it.
     pub col_step: Vec<u32>,
@@ -65,9 +70,13 @@ impl PassPlan {
         let steps = (n as usize).div_ceil(t_cols).max(1);
         let t = t_cols as u32;
 
+        let mut rows = Vec::with_capacity(nnz);
+        let mut cols = Vec::with_capacity(nnz);
         let mut col_step = Vec::with_capacity(nnz);
         let mut row_step = Vec::with_capacity(nnz);
         for &(r, c, _) in matrix.entries() {
+            rows.push(r);
+            cols.push(c);
             col_step.push(c / t);
             row_step.push(r / t);
         }
@@ -103,6 +112,8 @@ impl PassPlan {
             nnz,
             t_cols,
             steps,
+            rows,
+            cols,
             col_step,
             row_step,
             csc_order,
@@ -191,9 +202,11 @@ mod tests {
         for s in 0..plan.steps {
             for &e in plan.os_elements(s) {
                 assert_eq!(plan.col_step[e as usize], s as u32);
+                assert_eq!(plan.cols[e as usize] / 4, s as u32, "coords match steps");
             }
             for e in plan.is_elements(s) {
                 assert_eq!(plan.row_step[e as usize], s as u32);
+                assert_eq!(plan.rows[e as usize] / 4, s as u32, "coords match steps");
             }
         }
     }

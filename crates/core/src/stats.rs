@@ -39,6 +39,20 @@ impl TrafficBreakdown {
         self.vector_bytes += other.vector_bytes;
         self.writeback_bytes += other.writeback_bytes;
     }
+
+    /// The same totals as a [`sparsepipe_trace::AuditTotals`], the form
+    /// [`sparsepipe_trace::TraceAudit::check`] compares against. Field
+    /// values are copied verbatim, so the audit's bitwise comparison is
+    /// against exactly what the engine reported.
+    pub fn audit_totals(&self) -> sparsepipe_trace::AuditTotals {
+        sparsepipe_trace::AuditTotals {
+            csc_bytes: self.csc_bytes,
+            csr_eager_bytes: self.csr_eager_bytes,
+            refetch_bytes: self.refetch_bytes,
+            vector_bytes: self.vector_bytes,
+            writeback_bytes: self.writeback_bytes,
+        }
+    }
 }
 
 /// One sampled point of the execution's bandwidth profile (Fig 15 samples
@@ -89,19 +103,97 @@ pub struct SimReport {
 
 impl SimReport {
     /// Achieved effective bandwidth in GB/s.
+    ///
+    /// A non-finite or non-positive `peak_gbps` (or a report whose
+    /// utilization came out non-finite) yields 0.0 rather than
+    /// propagating NaN/∞ into downstream tables.
     pub fn achieved_gbps(&self, peak_gbps: f64) -> f64 {
-        self.avg_bw_utilization * peak_gbps
+        let v = self.avg_bw_utilization * peak_gbps;
+        if peak_gbps.is_finite() && peak_gbps > 0.0 && v.is_finite() {
+            v.max(0.0)
+        } else {
+            0.0
+        }
     }
 
     /// Speedup of this run over another report of the same workload.
+    ///
+    /// Degenerate runtimes are well-defined instead of NaN: two zero
+    /// runtimes compare equal (1.0), and a zero-runtime `self` against a
+    /// real runtime is reported as `f64::INFINITY`.
     pub fn speedup_over(&self, other: &SimReport) -> f64 {
-        other.runtime_s / self.runtime_s
+        if self.runtime_s > 0.0 {
+            other.runtime_s / self.runtime_s
+        } else if other.runtime_s > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn report(runtime_s: f64, util: f64) -> SimReport {
+        SimReport {
+            total_cycles: 0,
+            runtime_s,
+            traffic: TrafficBreakdown::default(),
+            avg_bw_utilization: util,
+            bw_trace: Vec::new(),
+            buffer_peak_bytes: 0.0,
+            buffer_avg_bytes: 0.0,
+            evicted_elements: 0,
+            repack_events: 0,
+            energy: crate::energy::EnergyBreakdown::default(),
+            matrix_loads_per_iteration: 0.0,
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn speedup_over_guards_zero_runtimes() {
+        let real = report(2.0, 0.5);
+        let faster = report(1.0, 0.5);
+        assert_eq!(faster.speedup_over(&real), 2.0);
+        let zero = report(0.0, 0.5);
+        assert_eq!(zero.speedup_over(&real), f64::INFINITY);
+        assert_eq!(zero.speedup_over(&zero), 1.0, "0/0 compares equal");
+        assert_eq!(real.speedup_over(&zero), 0.0, "real run vs instant run");
+        assert!(real.speedup_over(&real).is_finite());
+    }
+
+    #[test]
+    fn achieved_gbps_guards_degenerate_peaks() {
+        let r = report(1.0, 0.5);
+        assert_eq!(r.achieved_gbps(504.0), 252.0);
+        assert_eq!(r.achieved_gbps(0.0), 0.0);
+        assert_eq!(r.achieved_gbps(-10.0), 0.0);
+        assert_eq!(r.achieved_gbps(f64::NAN), 0.0);
+        assert_eq!(r.achieved_gbps(f64::INFINITY), 0.0);
+        let nan_util = report(1.0, f64::NAN);
+        assert_eq!(nan_util.achieved_gbps(504.0), 0.0);
+    }
+
+    #[test]
+    fn audit_totals_mirror_traffic_fields() {
+        let t = TrafficBreakdown {
+            csc_bytes: 100.5,
+            csr_eager_bytes: 50.25,
+            refetch_bytes: 10.0,
+            vector_bytes: 20.0,
+            writeback_bytes: 5.0,
+        };
+        let a = t.audit_totals();
+        assert_eq!(a.csc_bytes.to_bits(), t.csc_bytes.to_bits());
+        assert_eq!(a.csr_eager_bytes.to_bits(), t.csr_eager_bytes.to_bits());
+        assert_eq!(a.refetch_bytes.to_bits(), t.refetch_bytes.to_bits());
+        assert_eq!(a.vector_bytes.to_bits(), t.vector_bytes.to_bits());
+        assert_eq!(a.writeback_bytes.to_bits(), t.writeback_bytes.to_bits());
+        assert_eq!(a.total_bytes(), t.total_bytes());
+    }
 
     #[test]
     fn traffic_totals() {

@@ -1,0 +1,379 @@
+//! Offline analyzers over a recorded event stream.
+//!
+//! All analyzers are pure functions of `&[TraceEvent]` (or any event
+//! iterator): record once with a `MemorySink`, then derive as many
+//! views as needed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::audit::{replay_passes, PassTraffic};
+use crate::event::{PipeStage, TraceEvent, WHOLE_ROW};
+
+/// Histogram of matrix-element reuse distances — the paper's `|r − c|`
+/// residency quantity, measured as the step gap between a buffer
+/// element's OS-side and IS-side consumptions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl ReuseHistogram {
+    /// Builds the histogram from `BufferHit` pairs: for each element
+    /// coordinate, the distance between its OS hit step and its IS hit
+    /// step. Elements consumed by only one stage (or tracked at row
+    /// granularity) contribute nothing.
+    pub fn from_events<'a, I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceEvent>,
+    {
+        let mut pending: BTreeMap<(u32, u32), (Option<u32>, Option<u32>)> = BTreeMap::new();
+        let mut hist = ReuseHistogram::default();
+        for ev in events {
+            if let TraceEvent::BufferHit {
+                row,
+                col,
+                stage,
+                step,
+            } = *ev
+            {
+                if col == WHOLE_ROW {
+                    continue;
+                }
+                let entry = pending.entry((row, col)).or_insert((None, None));
+                match stage {
+                    PipeStage::Os => entry.0 = Some(step),
+                    PipeStage::Is => entry.1 = Some(step),
+                }
+                if let (Some(os), Some(is)) = *entry {
+                    hist.record(os.abs_diff(is));
+                    pending.remove(&(row, col));
+                }
+            }
+        }
+        hist
+    }
+
+    /// Adds one observation of `distance` steps.
+    pub fn record(&mut self, distance: u32) {
+        *self.counts.entry(distance).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of (OS, IS) pairs observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The per-distance counts, ascending by distance.
+    pub fn counts(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&d, &c)| (d, c))
+    }
+
+    /// The `q`-quantile distance (0.0 ≤ q ≤ 1.0) by cumulative count,
+    /// or `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, ceil'd so that
+        // quantile(1.0) is the maximum and quantile(0.0) the minimum.
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&d, &c) in &self.counts {
+            seen += c;
+            if seen >= target {
+                return Some(d);
+            }
+        }
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Median reuse distance.
+    pub fn median(&self) -> Option<u32> {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile reuse distance.
+    pub fn p95(&self) -> Option<u32> {
+        self.quantile(0.95)
+    }
+
+    /// CSV rendering (`distance,count` with a header), suitable for a
+    /// Fig-5-style reuse-distance plot.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("distance,count\n");
+        for (&d, &c) in &self.counts {
+            let _ = writeln!(out, "{d},{c}");
+        }
+        out
+    }
+}
+
+/// Buffer-occupancy timeline: one sample per retired pipeline step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OccupancyTimeline {
+    samples: Vec<(u32, f64)>,
+}
+
+impl OccupancyTimeline {
+    /// Extracts `(step, occupancy_bytes)` samples from `StepEnd` events
+    /// in stream order.
+    pub fn from_events<'a, I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceEvent>,
+    {
+        let samples = events
+            .into_iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::StepEnd {
+                    step,
+                    occupancy_bytes,
+                    ..
+                } => Some((step, occupancy_bytes)),
+                _ => None,
+            })
+            .collect();
+        OccupancyTimeline { samples }
+    }
+
+    /// The `(step, bytes)` samples in stream order.
+    pub fn samples(&self) -> &[(u32, f64)] {
+        &self.samples
+    }
+
+    /// Peak occupancy over the run (0.0 when empty).
+    pub fn peak_bytes(&self) -> f64 {
+        self.samples.iter().map(|&(_, b)| b).fold(0.0, f64::max)
+    }
+
+    /// Mean occupancy over the samples (0.0 when empty).
+    pub fn mean_bytes(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.samples.iter().map(|&(_, b)| b).sum();
+        sum / self.samples.len() as f64
+    }
+
+    /// CSV rendering (`step,occupancy_bytes` with a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("step,occupancy_bytes\n");
+        for &(s, b) in &self.samples {
+            let _ = writeln!(out, "{s},{b}");
+        }
+        out
+    }
+}
+
+/// Per-pass, per-class DRAM traffic breakdown derived from the stream
+/// (unscaled per pass, with the analytic `repeats` kept alongside).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficTimeline {
+    passes: Vec<PassTraffic>,
+}
+
+impl TrafficTimeline {
+    /// Splits the stream into per-pass traffic totals.
+    pub fn from_events<'a, I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceEvent>,
+    {
+        TrafficTimeline {
+            passes: replay_passes(events),
+        }
+    }
+
+    /// Per-pass traffic in stream order.
+    pub fn passes(&self) -> &[PassTraffic] {
+        &self.passes
+    }
+
+    /// CSV rendering: one row per pass with per-class byte columns
+    /// (unscaled) and the pass's analytic repeat factor.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "pass,repeats,steps,csc_bytes,csr_eager_bytes,refetch_bytes,vector_bytes,writeback_bytes\n",
+        );
+        for p in &self.passes {
+            let t = p.traffic;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                p.pass,
+                p.repeats,
+                p.steps,
+                t.csc_bytes,
+                t.csr_eager_bytes,
+                t.refetch_bytes,
+                t.vector_bytes,
+                t.writeback_bytes
+            );
+        }
+        out
+    }
+}
+
+/// Per-stage DRAM byte totals (scaled by pass repeats), splitting reads
+/// by the stage that demanded them: CSC demand + refetch feed the OS/IS
+/// buffer path, eager CSR feeds the prefetcher, vector reads feed the
+/// e-wise unit, writebacks drain it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTraffic {
+    /// Demand matrix bytes (CSC + refetch), scaled.
+    pub demand_bytes: f64,
+    /// Eager CSR prefetch bytes, scaled.
+    pub prefetch_bytes: f64,
+    /// Vector read bytes, scaled.
+    pub vector_bytes: f64,
+    /// Writeback bytes, scaled.
+    pub writeback_bytes: f64,
+}
+
+impl StageTraffic {
+    /// Aggregates scaled per-stage totals from the stream.
+    pub fn from_events<'a, I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceEvent>,
+    {
+        let mut out = StageTraffic::default();
+        for p in replay_passes(events) {
+            let r = p.repeats as f64;
+            out.demand_bytes += (p.traffic.csc_bytes + p.traffic.refetch_bytes) * r;
+            out.prefetch_bytes += p.traffic.csr_eager_bytes * r;
+            out.vector_bytes += p.traffic.vector_bytes * r;
+            out.writeback_bytes += p.traffic.writeback_bytes * r;
+        }
+        out
+    }
+
+    /// Sum over all stages.
+    pub fn total_bytes(&self) -> f64 {
+        self.demand_bytes + self.prefetch_bytes + self.vector_bytes + self.writeback_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TrafficClass;
+
+    fn hit(row: u32, col: u32, stage: PipeStage, step: u32) -> TraceEvent {
+        TraceEvent::BufferHit {
+            row,
+            col,
+            stage,
+            step,
+        }
+    }
+
+    #[test]
+    fn reuse_histogram_pairs_os_and_is_hits() {
+        let events = vec![
+            hit(5, 2, PipeStage::Os, 2),
+            hit(9, 2, PipeStage::Os, 2),
+            hit(5, 2, PipeStage::Is, 5),
+            hit(9, 2, PipeStage::Is, 9),
+            // IS before OS (deferred consumption) still pairs.
+            hit(1, 3, PipeStage::Is, 3),
+            hit(1, 3, PipeStage::Os, 3),
+            // Row-granular hit contributes nothing.
+            hit(4, WHOLE_ROW, PipeStage::Is, 4),
+            // Unpaired OS hit contributes nothing.
+            hit(8, 0, PipeStage::Os, 0),
+        ];
+        let h = ReuseHistogram::from_events(&events);
+        assert_eq!(h.total(), 3);
+        let counts: Vec<_> = h.counts().collect();
+        assert_eq!(counts, vec![(0, 1), (3, 1), (7, 1)]);
+        assert_eq!(h.median(), Some(3));
+        assert_eq!(h.p95(), Some(7));
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(7));
+        let csv = h.to_csv();
+        assert!(csv.starts_with("distance,count\n"));
+        assert!(csv.contains("7,1\n"));
+    }
+
+    #[test]
+    fn reuse_histogram_empty() {
+        let h = ReuseHistogram::from_events(std::iter::empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.median(), None);
+        assert_eq!(h.p95(), None);
+    }
+
+    #[test]
+    fn occupancy_timeline_tracks_step_ends() {
+        let events = vec![
+            TraceEvent::StepEnd {
+                step: 0,
+                cycles: 1.0,
+                occupancy_bytes: 24.0,
+            },
+            TraceEvent::StepEnd {
+                step: 1,
+                cycles: 1.0,
+                occupancy_bytes: 48.0,
+            },
+            TraceEvent::StepEnd {
+                step: 2,
+                cycles: 1.0,
+                occupancy_bytes: 12.0,
+            },
+        ];
+        let t = OccupancyTimeline::from_events(&events);
+        assert_eq!(t.samples().len(), 3);
+        assert_eq!(t.peak_bytes(), 48.0);
+        assert_eq!(t.mean_bytes(), 28.0);
+        assert!(t.to_csv().contains("1,48\n"));
+        let empty = OccupancyTimeline::from_events(std::iter::empty());
+        assert_eq!(empty.peak_bytes(), 0.0);
+        assert_eq!(empty.mean_bytes(), 0.0);
+    }
+
+    #[test]
+    fn stage_traffic_scales_by_repeats() {
+        let events = vec![
+            TraceEvent::PassBoundary {
+                pass: 0,
+                repeats: 4,
+                steps: 1,
+            },
+            TraceEvent::DramRead {
+                addr: 0,
+                bytes: 10.0,
+                class: TrafficClass::CscDemand,
+                step: 0,
+            },
+            TraceEvent::DramRead {
+                addr: 0,
+                bytes: 2.0,
+                class: TrafficClass::Refetch,
+                step: 0,
+            },
+            TraceEvent::DramRead {
+                addr: 0,
+                bytes: 5.0,
+                class: TrafficClass::CsrEager,
+                step: 0,
+            },
+            TraceEvent::DramWrite {
+                addr: 0,
+                bytes: 3.0,
+                class: TrafficClass::Writeback,
+                step: 0,
+            },
+        ];
+        let s = StageTraffic::from_events(&events);
+        assert_eq!(s.demand_bytes, 48.0);
+        assert_eq!(s.prefetch_bytes, 20.0);
+        assert_eq!(s.writeback_bytes, 12.0);
+        assert_eq!(s.total_bytes(), 80.0);
+        let tl = TrafficTimeline::from_events(&events);
+        assert_eq!(tl.passes().len(), 1);
+        assert!(tl.to_csv().contains("0,4,1,10,5,2,0,3\n"));
+    }
+}

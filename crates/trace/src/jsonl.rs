@@ -1,0 +1,207 @@
+//! JSONL (one JSON object per line) encoding of trace events.
+//!
+//! Hand-rolled on purpose: the encoder is a dozen `write!` calls, needs
+//! no derive machinery, and keeps `sparsepipe-trace` dependency-free so
+//! it can sit below `sparsepipe-core` in the workspace graph.
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+
+/// Formats `f` as a JSON number (shortest round-trip form; non-finite
+/// values become `null`, which keeps every line parseable).
+fn num(f: f64) -> String {
+    if f.is_finite() {
+        format!("{f}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Encodes one event as a single JSON line, terminated by `\n`.
+///
+/// The `ev` field names the variant; remaining fields mirror the
+/// variant's payload. Example:
+/// `{"ev":"dram_read","step":3,"class":"csc","addr":64,"bytes":10.5}`.
+pub fn line(event: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    match *event {
+        TraceEvent::PassBoundary {
+            pass,
+            repeats,
+            steps,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"ev\":\"pass\",\"pass\":{pass},\"repeats\":{repeats},\"steps\":{steps}}}"
+            );
+        }
+        TraceEvent::StepBegin { stage, step } => {
+            let _ = write!(
+                s,
+                "{{\"ev\":\"step_begin\",\"stage\":\"{}\",\"step\":{step}}}",
+                stage.label()
+            );
+        }
+        TraceEvent::StepEnd {
+            step,
+            cycles,
+            occupancy_bytes,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"ev\":\"step_end\",\"step\":{step},\"cycles\":{},\"occupancy_bytes\":{}}}",
+                num(cycles),
+                num(occupancy_bytes)
+            );
+        }
+        TraceEvent::DramRead {
+            addr,
+            bytes,
+            class,
+            step,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"ev\":\"dram_read\",\"step\":{step},\"class\":\"{}\",\"addr\":{addr},\"bytes\":{}}}",
+                class.label(),
+                num(bytes)
+            );
+        }
+        TraceEvent::DramWrite {
+            addr,
+            bytes,
+            class,
+            step,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"ev\":\"dram_write\",\"step\":{step},\"class\":\"{}\",\"addr\":{addr},\"bytes\":{}}}",
+                class.label(),
+                num(bytes)
+            );
+        }
+        TraceEvent::BufferInsert {
+            row,
+            col,
+            step,
+            refetch,
+            bytes,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"ev\":\"buf_insert\",\"step\":{step},\"row\":{row},\"col\":{col},\"refetch\":{refetch},\"bytes\":{}}}",
+                num(bytes)
+            );
+        }
+        TraceEvent::BufferHit {
+            row,
+            col,
+            stage,
+            step,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"ev\":\"buf_hit\",\"step\":{step},\"row\":{row},\"col\":{col},\"stage\":\"{}\"}}",
+                stage.label()
+            );
+        }
+        TraceEvent::BufferEvict { row, col, step } => {
+            let _ = write!(
+                s,
+                "{{\"ev\":\"buf_evict\",\"step\":{step},\"row\":{row},\"col\":{col}}}"
+            );
+        }
+        TraceEvent::EwiseFire { step, lanes } => {
+            let _ = write!(s, "{{\"ev\":\"ewise\",\"step\":{step},\"lanes\":{lanes}}}");
+        }
+    }
+    s.push('\n');
+    s
+}
+
+/// Writes `events` to `path` as JSONL (one line per event).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_events(path: &std::path::Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    use std::io::Write;
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for ev in events {
+        w.write_all(line(ev).as_bytes())?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{PipeStage, TrafficClass};
+
+    #[test]
+    fn lines_are_single_json_objects() {
+        let events = [
+            TraceEvent::PassBoundary {
+                pass: 1,
+                repeats: 10,
+                steps: 5,
+            },
+            TraceEvent::StepBegin {
+                stage: PipeStage::Is,
+                step: 2,
+            },
+            TraceEvent::StepEnd {
+                step: 2,
+                cycles: 3.25,
+                occupancy_bytes: 144.0,
+            },
+            TraceEvent::DramWrite {
+                addr: 1 << 36,
+                bytes: 8.0,
+                class: TrafficClass::Writeback,
+                step: 2,
+            },
+            TraceEvent::BufferInsert {
+                row: 7,
+                col: 2,
+                step: 2,
+                refetch: true,
+                bytes: 12.0,
+            },
+            TraceEvent::BufferHit {
+                row: 7,
+                col: 2,
+                stage: PipeStage::Os,
+                step: 2,
+            },
+            TraceEvent::BufferEvict {
+                row: 7,
+                col: u32::MAX,
+                step: 3,
+            },
+            TraceEvent::EwiseFire { step: 2, lanes: 64 },
+        ];
+        for ev in &events {
+            let l = line(ev);
+            assert!(l.ends_with('}') || l.ends_with("}\n"), "line: {l}");
+            assert_eq!(l.matches('\n').count(), 1, "one newline per line");
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+            assert!(l.starts_with("{\"ev\":\""));
+        }
+        assert!(line(&events[3]).contains("\"class\":\"writeback\""));
+        assert!(line(&events[4]).contains("\"refetch\":true"));
+    }
+
+    #[test]
+    fn non_finite_bytes_encode_as_null() {
+        let l = line(&TraceEvent::StepEnd {
+            step: 0,
+            cycles: f64::NAN,
+            occupancy_bytes: f64::INFINITY,
+        });
+        assert!(l.contains("\"cycles\":null"));
+        assert!(l.contains("\"occupancy_bytes\":null"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `sparsepipe-trace`: event-level observability for the Sparsepipe
+//! simulator.
+//!
+//! The simulator's inner loops are generic over a [`TraceSink`] and
+//! emit typed [`TraceEvent`]s — DRAM transfers with exact byte
+//! payloads, buffer inserts/hits/evictions with element coordinates,
+//! per-step pipeline timing, and pass boundaries carrying the engine's
+//! analytic scaling factors. Three sinks cover the use cases:
+//!
+//! * [`NullSink`] (the default) — `ENABLED == false`, so instrumented
+//!   code monomorphizes to the untraced hot path; untraced runs stay
+//!   byte-identical to the pre-instrumentation simulator.
+//! * [`MemorySink`] — collects events for tests and the analyzers.
+//! * [`JsonlSink`] — streams one JSON line per event for long runs.
+//!
+//! On top of a recorded stream sit offline analyzers ([`ReuseHistogram`]
+//! for the paper's `|r − c|` residency distribution, an
+//! [`OccupancyTimeline`], per-pass/per-stage traffic breakdowns) and a
+//! [`chrome`] exporter producing Perfetto-loadable JSON. The
+//! [`TraceAudit`] replays the stream's DRAM events and checks the byte
+//! totals against the engine's reported `TrafficBreakdown` with
+//! **bitwise** `f64` equality, making every trace a correctness oracle
+//! for the cost model (see `DESIGN.md` §10 for the exactness protocol).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod audit;
+pub mod chrome;
+mod event;
+pub mod jsonl;
+mod sink;
+
+pub use analyze::{OccupancyTimeline, ReuseHistogram, StageTraffic, TrafficTimeline};
+pub use audit::{replay_passes, AuditMismatch, AuditTotals, PassTraffic, TraceAudit};
+pub use event::{PipeStage, TraceEvent, TrafficClass, WHOLE_ROW};
+pub use sink::{JsonlSink, MemorySink, NullSink, TeeSink, TraceSink};

@@ -1,0 +1,330 @@
+//! Trace sinks: where the simulator's event stream goes.
+//!
+//! The simulator is generic over [`TraceSink`], and every instrumented
+//! inner loop guards event construction with `if S::ENABLED { .. }`.
+//! With the default [`NullSink`] that constant is `false`, so the
+//! monomorphized hot path contains no tracing code at all — untraced
+//! runs stay byte-identical to the pre-instrumentation simulator.
+
+use std::io::Write;
+
+use crate::event::TraceEvent;
+use crate::jsonl;
+
+/// A consumer of simulator trace events.
+///
+/// Implementations must be cheap per call; the simulator may emit an
+/// event per matrix element. The trait is deliberately not object-safe
+/// (it carries an associated `const`): sinks are threaded through the
+/// simulator by monomorphization, never by dynamic dispatch.
+pub trait TraceSink {
+    /// Whether this sink actually consumes events. Instrumented code
+    /// checks this constant before *constructing* events, so a sink
+    /// with `ENABLED == false` compiles to the untraced path.
+    const ENABLED: bool = true;
+
+    /// Consumes one event.
+    fn emit(&mut self, event: TraceEvent);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush_sink(&mut self) {}
+}
+
+/// Mutable references forward to the underlying sink, so callers can
+/// keep ownership: `request.trace(&mut sink)` leaves `sink` readable
+/// after the run.
+impl<S: TraceSink> TraceSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn emit(&mut self, event: TraceEvent) {
+        (**self).emit(event);
+    }
+
+    fn flush_sink(&mut self) {
+        (**self).flush_sink();
+    }
+}
+
+/// The default sink: discards everything, and — because
+/// `ENABLED == false` — makes the instrumented simulator compile to
+/// the untraced code path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: TraceEvent) {}
+}
+
+/// An in-memory sink for tests and offline analysis: collects every
+/// event into a `Vec` in emission order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the collected events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops all collected events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl TraceSink for MemorySink {
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A streaming sink that encodes each event as one JSON line (JSONL),
+/// for long runs whose traces should not live in memory.
+///
+/// I/O errors cannot surface through [`TraceSink::emit`], so the first
+/// error is latched and subsequent writes are skipped; check
+/// [`JsonlSink::io_error`] (or [`JsonlSink::finish`]) after the run.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    lines: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer. Callers streaming to a file should hand in a
+    /// `BufWriter` (or use [`JsonlSink::create`]).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error hit while writing, if any.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the writer, or the first error encountered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched write error, or the flush error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) `path` and streams JSONL into it through a
+    /// `BufWriter`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the file.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = jsonl::line(&event);
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Fans each event out to two sinks — e.g. a streaming [`JsonlSink`]
+/// for the raw trace plus a [`MemorySink`] feeding the analyzers.
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B> {
+    /// First destination.
+    pub a: A,
+    /// Second destination.
+    pub b: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Combines two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+
+    /// Splits the tee back into its parts.
+    pub fn into_parts(self) -> (A, B) {
+        (self.a, self.b)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if A::ENABLED {
+            self.a.emit(event);
+        }
+        if B::ENABLED {
+            self.b.emit(event);
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        self.a.flush_sink();
+        self.b.flush_sink();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{PipeStage, TrafficClass};
+
+    // Reading ENABLED through a generic fn keeps the assertions below
+    // from tripping clippy's constant-assertion lint.
+    fn enabled<S: TraceSink>() -> bool {
+        S::ENABLED
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PassBoundary {
+                pass: 0,
+                repeats: 3,
+                steps: 2,
+            },
+            TraceEvent::StepBegin {
+                stage: PipeStage::Os,
+                step: 0,
+            },
+            TraceEvent::DramRead {
+                addr: 64,
+                bytes: 10.5,
+                class: TrafficClass::CscDemand,
+                step: 0,
+            },
+            TraceEvent::StepEnd {
+                step: 0,
+                cycles: 4.0,
+                occupancy_bytes: 24.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!enabled::<NullSink>());
+        let mut s = NullSink;
+        for ev in sample() {
+            s.emit(ev);
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut s = MemorySink::new();
+        assert!(s.is_empty());
+        for ev in sample() {
+            s.emit(ev);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.events(), sample().as_slice());
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn mut_ref_forwards_and_preserves_enabled() {
+        let mut inner = MemorySink::new();
+        {
+            let mut fwd = &mut inner;
+            assert!(enabled::<&mut MemorySink>());
+            <&mut MemorySink as TraceSink>::emit(&mut fwd, sample()[0]);
+        }
+        assert_eq!(inner.len(), 1);
+        assert!(!enabled::<&mut NullSink>());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut s = JsonlSink::new(Vec::new());
+        for ev in sample() {
+            s.emit(ev);
+        }
+        assert_eq!(s.lines_written(), 4);
+        let buf = s.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        for line in text.lines() {
+            assert!(line.starts_with("{\"ev\":\""), "bad line: {line}");
+            assert!(line.ends_with('}'), "bad line: {line}");
+        }
+        assert!(text.contains("\"class\":\"csc\""));
+    }
+
+    #[test]
+    fn tee_sink_duplicates_events() {
+        let mut tee = TeeSink::new(MemorySink::new(), MemorySink::new());
+        assert!(enabled::<TeeSink<MemorySink, MemorySink>>());
+        assert!(!enabled::<TeeSink<NullSink, NullSink>>());
+        for ev in sample() {
+            tee.emit(ev);
+        }
+        let (a, b) = tee.into_parts();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 4);
+    }
+}
