@@ -13,9 +13,10 @@
 //! which the `experiments` binary aggregates into `BENCH_experiments.json`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 
 use serde::Serialize;
+use sparsepipe_core::MatrixCache;
 
 /// Trace-derived counters for one simulation point, present only when the
 /// point ran with tracing enabled (`--trace-dir`).
@@ -122,6 +123,7 @@ pub struct BenchTelemetry {
 pub struct Executor {
     jobs: usize,
     records: Mutex<Vec<PointRecord>>,
+    cache: Arc<MatrixCache>,
 }
 
 impl Executor {
@@ -136,12 +138,20 @@ impl Executor {
         Executor {
             jobs,
             records: Mutex::new(Vec::new()),
+            cache: Arc::new(MatrixCache::new()),
         }
     }
 
     /// The worker count this executor fans out to.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The sweep-level [`MatrixCache`] shared by every point this executor
+    /// runs: derived per-matrix artifacts (reordered matrix, pass plans,
+    /// CSR/CSC arenas) are built once and reused across the whole sweep.
+    pub fn cache(&self) -> &Arc<MatrixCache> {
+        &self.cache
     }
 
     /// Applies `f` to every item, in parallel across the pool, and returns

@@ -137,7 +137,25 @@ pub fn evaluate(
     dataset: &ScaledDataset,
     scale: u64,
 ) -> Result<Evaluation, BenchError> {
-    evaluate_with_sink(app, dataset, scale, &mut NullSink)
+    evaluate_with_sink(app, dataset, scale, &mut NullSink, None)
+}
+
+/// [`evaluate`] with derived per-matrix artifacts (pass plans, CSR/CSC
+/// arenas) shared through `cache`, keyed by the dataset's matrix id. The
+/// entry produced is identical to [`evaluate`]'s — the cache only avoids
+/// re-deriving immutable artifacts when many apps sweep the same matrix.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_cached(
+    app: &StaApp,
+    dataset: &ScaledDataset,
+    scale: u64,
+    cache: &sparsepipe_core::MatrixCache,
+) -> Result<Evaluation, BenchError> {
+    let key = sparsepipe_core::MatrixCache::key_for(dataset.id.code(), &dataset.reordered);
+    evaluate_with_sink(app, dataset, scale, &mut NullSink, Some((cache, key)))
 }
 
 /// Derives the telemetry counters attached to a traced point's
@@ -166,8 +184,32 @@ pub fn evaluate_traced(
     dataset: &ScaledDataset,
     scale: u64,
 ) -> Result<(Evaluation, MemorySink), BenchError> {
+    evaluate_traced_impl(app, dataset, scale, None)
+}
+
+/// [`evaluate_traced`] with the [`evaluate_cached`] artifact sharing.
+///
+/// # Errors
+///
+/// Same as [`evaluate_traced`].
+pub fn evaluate_traced_cached(
+    app: &StaApp,
+    dataset: &ScaledDataset,
+    scale: u64,
+    cache: &sparsepipe_core::MatrixCache,
+) -> Result<(Evaluation, MemorySink), BenchError> {
+    let key = sparsepipe_core::MatrixCache::key_for(dataset.id.code(), &dataset.reordered);
+    evaluate_traced_impl(app, dataset, scale, Some((cache, key)))
+}
+
+fn evaluate_traced_impl(
+    app: &StaApp,
+    dataset: &ScaledDataset,
+    scale: u64,
+    cache: Option<(&sparsepipe_core::MatrixCache, u64)>,
+) -> Result<(Evaluation, MemorySink), BenchError> {
     let mut sink = MemorySink::new();
-    let ev = evaluate_with_sink(app, dataset, scale, &mut sink)?;
+    let ev = evaluate_with_sink(app, dataset, scale, &mut sink, cache)?;
     TraceAudit::replay(sink.events())
         .check(&ev.entry.sim.traffic.audit_totals())
         .map_err(|e| BenchError::Trace {
@@ -183,6 +225,7 @@ fn evaluate_with_sink<S: TraceSink>(
     dataset: &ScaledDataset,
     scale: u64,
     sink: &mut S,
+    cache: Option<(&sparsepipe_core::MatrixCache, u64)>,
 ) -> Result<Evaluation, BenchError> {
     let program = app.compile().map_err(|e| BenchError::Compile {
         app: app.name.into(),
@@ -195,21 +238,24 @@ fn evaluate_with_sink<S: TraceSink>(
         matrix: dataset.id,
         source,
     };
-    let outcome = SimRequest::new(&program, &dataset.reordered)
+    let mut request = SimRequest::new(&program, &dataset.reordered)
         .iterations(iterations)
-        .config(cfg)
-        .trace(&mut *sink)
-        .run()
-        .map_err(sim_err)?;
+        .config(cfg);
+    if let Some((cache, key)) = cache {
+        request = request.cache(cache, key);
+    }
+    let outcome = request.trace(&mut *sink).run().map_err(sim_err)?;
     let cfg_cpu = SparsepipeConfig {
         memory: sparsepipe_core::MemoryConfig::ddr4(),
         ..cfg
     };
-    let iso_cpu = SimRequest::new(&program, &dataset.reordered)
+    let mut request_cpu = SimRequest::new(&program, &dataset.reordered)
         .iterations(iterations)
-        .config(cfg_cpu)
-        .run()
-        .map_err(sim_err)?;
+        .config(cfg_cpu);
+    if let Some((cache, key)) = cache {
+        request_cpu = request_cpu.cache(cache, key);
+    }
+    let iso_cpu = request_cpu.run().map_err(sim_err)?;
 
     let w = WorkloadInstance {
         profile: &program.profile,
@@ -279,7 +325,10 @@ impl Sweep {
             .iter()
             .flat_map(|d| apps.iter().map(move |a| (Arc::clone(d), a)))
             .collect();
-        let results = exec.run(&points, |(dataset, app)| evaluate(app, dataset, scale));
+        let cache = Arc::clone(exec.cache());
+        let results = exec.run(&points, |(dataset, app)| {
+            evaluate_cached(app, dataset, scale, &cache)
+        });
         let mut entries = Vec::with_capacity(points.len());
         for (result, (dataset, app)) in results.into_iter().zip(&points) {
             let ev = result?;
@@ -323,8 +372,9 @@ impl Sweep {
             .iter()
             .flat_map(|d| apps.iter().map(move |a| (Arc::clone(d), a)))
             .collect();
+        let cache = Arc::clone(exec.cache());
         let results = exec.run(&points, |(dataset, app)| {
-            evaluate_traced(app, dataset, scale)
+            evaluate_traced_cached(app, dataset, scale, &cache)
         });
         let mut entries = Vec::with_capacity(points.len());
         for (result, (dataset, app)) in results.into_iter().zip(&points) {

@@ -1,0 +1,73 @@
+//! App-level half of the differential harness: every registered
+//! application, evaluated with and without the sweep-level
+//! [`MatrixCache`], must produce identical reports — and its traced,
+//! cached run must still pass the bitwise [`TraceAudit`] that
+//! `evaluate_traced_cached` performs internally.
+//!
+//! (The element-level legacy-vs-arena comparison lives in
+//! `crates/core/tests/dualbuffer_differential.rs`; this suite covers the
+//! scheduling paths only real app graphs exercise.)
+
+use sparsepipe_bench::datasets::ScaledDataset;
+use sparsepipe_bench::sweep::{evaluate, evaluate_cached, evaluate_traced, evaluate_traced_cached};
+use sparsepipe_core::MatrixCache;
+use sparsepipe_tensor::MatrixId;
+
+#[test]
+fn cached_evaluation_is_identical_for_every_app() {
+    let dataset = ScaledDataset::load(MatrixId::Gy, 64);
+    let cache = MatrixCache::new();
+    let apps = sparsepipe_apps::registry::shared();
+    assert_eq!(apps.len(), 11, "registry should hold the paper's 11 apps");
+    for app in apps.iter() {
+        let plain = evaluate(app, &dataset, 64)
+            .unwrap_or_else(|e| panic!("{} failed uncached evaluation: {e}", app.name));
+        let cached = evaluate_cached(app, &dataset, 64, &cache)
+            .unwrap_or_else(|e| panic!("{} failed cached evaluation: {e}", app.name));
+        assert_eq!(
+            plain.entry.sim, cached.entry.sim,
+            "{}: cache perturbed the iso-GPU report",
+            app.name
+        );
+        assert_eq!(
+            plain.entry.sim_iso_cpu, cached.entry.sim_iso_cpu,
+            "{}: cache perturbed the iso-CPU report",
+            app.name
+        );
+    }
+    // 11 apps × 2 configs on one matrix: everything after the first
+    // derivation of each artifact must hit.
+    assert!(cache.misses() > 0, "cache never built anything");
+    assert!(
+        cache.hits() > cache.misses(),
+        "cache mostly missed: {} hits vs {} misses",
+        cache.hits(),
+        cache.misses()
+    );
+}
+
+#[test]
+fn traced_cached_evaluation_audits_and_matches_for_every_app() {
+    let dataset = ScaledDataset::load(MatrixId::Bu, 64);
+    let cache = MatrixCache::new();
+    for app in sparsepipe_apps::registry::shared().iter() {
+        // evaluate_traced_cached replays the stream against the traffic
+        // report with bitwise f64 equality and fails on any mismatch.
+        let (cached_ev, cached_sink) = evaluate_traced_cached(app, &dataset, 64, &cache)
+            .unwrap_or_else(|e| panic!("{} failed traced cached evaluation: {e}", app.name));
+        let (plain_ev, plain_sink) = evaluate_traced(app, &dataset, 64)
+            .unwrap_or_else(|e| panic!("{} failed traced evaluation: {e}", app.name));
+        assert!(
+            !cached_sink.events().is_empty(),
+            "{} produced an empty trace",
+            app.name
+        );
+        assert_eq!(
+            plain_sink.events(),
+            cached_sink.events(),
+            "{}: cache perturbed the event stream",
+            app.name
+        );
+        assert_eq!(plain_ev.entry.sim, cached_ev.entry.sim);
+    }
+}

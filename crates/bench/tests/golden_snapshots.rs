@@ -1,0 +1,66 @@
+//! Golden-snapshot tests: checked-in renders of the headline figures and
+//! the raw sweep JSON, compared byte-for-byte against a fresh Quick-set
+//! sweep. Any change to the simulator, the cache, or the renderers that
+//! moves a single character of output fails here with a diffable path.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sparsepipe-bench --test golden_snapshots
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use sparsepipe_bench::datasets::{DataContext, MatrixSet};
+use sparsepipe_bench::executor::Executor;
+use sparsepipe_bench::experiments;
+use sparsepipe_bench::sweep::Sweep;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("golden snapshot {name} unreadable ({e}); bless with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        expected, actual,
+        "render of {name} drifted from tests/golden/{name}; if the change \
+         is intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn figure_renders_match_golden_snapshots() {
+    // Quick set (3 matrices) × 11 apps at scale 64: small enough to run
+    // in a unit test, large enough that every figure has real series.
+    let exec = Executor::new(0);
+    let sweep = Sweep::run_with(DataContext::synthetic(MatrixSet::Quick, 64), &exec)
+        .expect("built-in quick sweep cannot fail");
+    for (name, report) in [
+        ("fig14.txt", experiments::fig14(&sweep)),
+        ("fig16.txt", experiments::fig16(&sweep)),
+        ("fig17.txt", experiments::fig17(&sweep)),
+        ("fig18.txt", experiments::fig18(&sweep)),
+        ("fig21.txt", experiments::fig21(&sweep)),
+    ] {
+        check(name, &report.expect("figure renders from a sweep").render());
+    }
+    check(
+        "sweep.json",
+        &format!(
+            "{}\n",
+            serde_json::to_string(&sweep).expect("sweep serializes")
+        ),
+    );
+}

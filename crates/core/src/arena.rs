@@ -1,0 +1,348 @@
+//! Flat per-matrix slice tables ("arena") backing the fast dual-buffer
+//! model, plus the bitset residency set shared with the timing-model
+//! buffer.
+//!
+//! The arena precomputes, once per matrix, everything the simulators
+//! repeatedly re-derive: the CSC column slices, the CSR row slices, and
+//! their offset tables — all in contiguous `Vec`s (`u32` offsets, `u32`
+//! coordinates, `f64` values). The mechanism-level
+//! [`crate::dualbuffer::DualBuffer`] then never allocates on its hot
+//! path: a fetched column *is* an arena slice, a stored row is a window
+//! `[win_lo, win_hi)` into the row's arena slice, and residency is a
+//! [`RowSet`] bitset plus epoch stamps instead of `BTreeMap`
+//! insert/remove. See DESIGN.md §11.
+
+use sparsepipe_tensor::{CooMatrix, CscMatrix, CsrMatrix};
+
+/// Precomputed CSC + CSR slice tables for one square matrix.
+///
+/// Offsets are `u32` positions into the coordinate/value arrays (the
+/// simulator's matrices stay far below `u32::MAX` non-zeros). Build it
+/// once — directly from a [`CooMatrix`], or from already-derived
+/// [`CscMatrix`]/[`CsrMatrix`] pair — and share it via
+/// [`crate::MatrixCache`] or an `Arc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixArena {
+    n: u32,
+    /// CSC column offsets, length `n + 1`.
+    csc_ptr: Vec<u32>,
+    /// Row coordinate of each element, in CSC (column-major) order.
+    csc_rows: Vec<u32>,
+    /// Value of each element, in CSC order.
+    csc_vals: Vec<f64>,
+    /// CSR row offsets, length `n + 1`.
+    csr_ptr: Vec<u32>,
+    /// Column coordinate of each element, in CSR (row-major) order.
+    csr_cols: Vec<u32>,
+    /// Value of each element, in CSR order.
+    csr_vals: Vec<f64>,
+}
+
+impl MatrixArena {
+    /// Builds the arena from a COO matrix (one CSC and one CSR
+    /// derivation; the matrix must be square).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or has `u32::MAX` or more
+    /// non-zeros.
+    pub fn from_coo(m: &CooMatrix) -> Self {
+        Self::from_parts(&m.to_csc(), &m.to_csr())
+    }
+
+    /// Builds the arena from already-derived CSC/CSR forms of the same
+    /// square matrix (cheaper than [`MatrixArena::from_coo`] when the
+    /// caller holds both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two forms disagree in shape, the matrix is not
+    /// square, or it has `u32::MAX` or more non-zeros.
+    pub fn from_parts(csc: &CscMatrix, csr: &CsrMatrix) -> Self {
+        assert_eq!(csc.nrows(), csc.ncols(), "arena matrices must be square");
+        assert_eq!(csc.nrows(), csr.nrows(), "csc/csr shape mismatch");
+        assert_eq!(csc.nnz(), csr.nnz(), "csc/csr nnz mismatch");
+        assert!(
+            csc.nnz() < u32::MAX as usize,
+            "arena offsets are u32: nnz {} too large",
+            csc.nnz()
+        );
+        let narrow = |ptr: &[usize]| ptr.iter().map(|&p| p as u32).collect();
+        MatrixArena {
+            n: csc.ncols(),
+            csc_ptr: narrow(csc.col_ptr()),
+            csc_rows: csc.row_idx().to_vec(),
+            csc_vals: csc.vals().to_vec(),
+            csr_ptr: narrow(csr.row_ptr()),
+            csr_cols: csr.col_idx().to_vec(),
+            csr_vals: csr.vals().to_vec(),
+        }
+    }
+
+    /// Matrix dimension (square).
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.csc_rows.len()
+    }
+
+    /// Column `c` as `(row_coords, values)` slices in ascending row
+    /// order.
+    pub fn col(&self, c: u32) -> (&[u32], &[f64]) {
+        let lo = self.csc_ptr[c as usize] as usize;
+        let hi = self.csc_ptr[c as usize + 1] as usize;
+        (&self.csc_rows[lo..hi], &self.csc_vals[lo..hi])
+    }
+
+    /// Row `r` as `(col_coords, values)` slices in ascending column
+    /// order.
+    pub fn row(&self, r: u32) -> (&[u32], &[f64]) {
+        let (lo, hi) = self.row_range(r);
+        (&self.csr_cols[lo..hi], &self.csr_vals[lo..hi])
+    }
+
+    /// Row `r`'s absolute position range in the CSR coordinate/value
+    /// arrays.
+    pub fn row_range(&self, r: u32) -> (usize, usize) {
+        (
+            self.csr_ptr[r as usize] as usize,
+            self.csr_ptr[r as usize + 1] as usize,
+        )
+    }
+
+    /// Non-zeros of row `r`.
+    pub fn row_nnz(&self, r: u32) -> usize {
+        (self.csr_ptr[r as usize + 1] - self.csr_ptr[r as usize]) as usize
+    }
+
+    /// Non-zeros of column `c`.
+    pub fn col_nnz(&self, c: u32) -> usize {
+        (self.csc_ptr[c as usize + 1] - self.csc_ptr[c as usize]) as usize
+    }
+
+    /// Column coordinates of the CSR array positions `range` (an
+    /// absolute window returned by the dual buffer).
+    pub fn csr_cols_at(&self, range: std::ops::Range<usize>) -> &[u32] {
+        &self.csr_cols[range]
+    }
+
+    /// Values of the CSR array positions `range`.
+    pub fn csr_vals_at(&self, range: std::ops::Range<usize>) -> &[f64] {
+        &self.csr_vals[range]
+    }
+
+    /// Absolute CSR position of column `col` within row `r`'s slice.
+    /// `col` must be present in the row (the element exists).
+    pub(crate) fn csr_position(&self, r: u32, col: u32) -> usize {
+        let (lo, hi) = self.row_range(r);
+        let cols = &self.csr_cols[lo..hi];
+        lo + cols.partition_point(|&c| c < col)
+    }
+}
+
+/// A fixed-capacity set of `u32` ids on a `u64`-word bitset, with the
+/// operations the buffer models need: O(1) insert/remove/contains, a
+/// running length, and an amortized-O(1) `highest()` for
+/// highest-row-first eviction (a downward word scan from a monotone
+/// hint).
+///
+/// Replaces the `BTreeSet<u32>` residency sets: membership flips are a
+/// word OR/AND instead of tree rebalancing, and the iteration order the
+/// timing model relies on (highest element first for eviction) is a
+/// leading-zeros scan.
+#[derive(Debug, Clone, Default)]
+pub struct RowSet {
+    words: Vec<u64>,
+    len: usize,
+    /// Highest word index that may contain a set bit. Monotone under
+    /// inserts; `highest()` walks it back down past cleared words.
+    hint: usize,
+}
+
+impl RowSet {
+    /// An empty set able to hold ids `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RowSet {
+            words: vec![0; capacity.div_ceil(64)],
+            len: 0,
+            hint: 0,
+        }
+    }
+
+    /// Inserts `id`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.len += 1;
+        self.hint = self.hint.max(w);
+        true
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        w < self.words.len() && self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The largest id in the set, scanning down from the hint word —
+    /// the bitset equivalent of `BTreeSet::iter().next_back()`. Also
+    /// walks the hint down past cleared words (amortizing later calls).
+    pub fn highest(&mut self) -> Option<u32> {
+        let top = self.peek_highest();
+        if let Some(id) = top {
+            self.hint = id as usize / 64;
+        }
+        top
+    }
+
+    /// Non-mutating [`RowSet::highest`]: the same downward scan without
+    /// advancing the shared hint — for shadow checkers holding `&self`.
+    pub fn peek_highest(&self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut w = self.hint;
+        loop {
+            let word = self.words[w];
+            if word != 0 {
+                let bit = 63 - word.leading_zeros();
+                return Some((w as u32) * 64 + bit);
+            }
+            debug_assert!(w > 0, "len > 0 but no set word found");
+            w -= 1;
+        }
+    }
+
+    /// Removes every id.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+        self.hint = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn arena_slices_match_csc_csr() {
+        let m = gen::power_law(96, 700, 1.0, 0.4, 5);
+        let (csc, csr) = (m.to_csc(), m.to_csr());
+        let arena = MatrixArena::from_coo(&m);
+        assert_eq!(arena.n(), 96);
+        assert_eq!(arena.nnz(), m.nnz());
+        for c in 0..96u32 {
+            let (ar, av) = arena.col(c);
+            let (mr, mv) = csc.col(c);
+            assert_eq!(ar, mr, "col {c} rows");
+            assert_eq!(av, mv, "col {c} vals");
+            assert_eq!(arena.col_nnz(c), csc.col_nnz(c));
+        }
+        for r in 0..96u32 {
+            let (ac, av) = arena.row(r);
+            let (mc, mv) = csr.row(r);
+            assert_eq!(ac, mc, "row {r} cols");
+            assert_eq!(av, mv, "row {r} vals");
+            assert_eq!(arena.row_nnz(r), csr.row_nnz(r));
+        }
+        assert_eq!(arena, MatrixArena::from_parts(&csc, &csr));
+    }
+
+    #[test]
+    fn csr_position_finds_every_element() {
+        let m = gen::uniform(40, 40, 300, 9);
+        let arena = MatrixArena::from_coo(&m);
+        for r in 0..40u32 {
+            let (lo, _) = arena.row_range(r);
+            let (cols, _) = arena.row(r);
+            for (i, &c) in cols.iter().enumerate() {
+                assert_eq!(arena.csr_position(r, c), lo + i);
+            }
+        }
+    }
+
+    #[test]
+    fn row_set_matches_btreeset_semantics() {
+        use std::collections::BTreeSet;
+        let mut rs = RowSet::with_capacity(300);
+        let mut bt = BTreeSet::new();
+        // deterministic pseudo-random op sequence
+        let mut x = 0x9e3779b9u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let id = ((x >> 33) % 300) as u32;
+            if x & 1 == 0 {
+                assert_eq!(rs.insert(id), bt.insert(id), "insert {id}");
+            } else {
+                assert_eq!(rs.remove(id), bt.remove(&id), "remove {id}");
+            }
+            assert_eq!(rs.len(), bt.len());
+            assert_eq!(rs.peek_highest(), bt.iter().next_back().copied());
+            assert_eq!(rs.highest(), bt.iter().next_back().copied());
+            assert_eq!(rs.contains(id), bt.contains(&id));
+        }
+        rs.clear();
+        assert!(rs.is_empty());
+        assert_eq!(rs.highest(), None);
+    }
+
+    #[test]
+    fn row_set_grows_beyond_initial_capacity() {
+        let mut rs = RowSet::with_capacity(1);
+        assert!(rs.insert(1000));
+        assert!(rs.contains(1000));
+        assert_eq!(rs.highest(), Some(1000));
+        assert!(!rs.remove(2000));
+    }
+
+    #[test]
+    fn empty_rows_and_cols_have_empty_slices() {
+        // explicit empty-row/col structure
+        let m = CooMatrix::from_entries(6, 6, vec![(0, 0, 1.0), (5, 0, 2.0), (0, 5, 3.0)])
+            .expect("coords in range");
+        let arena = MatrixArena::from_coo(&m);
+        for i in 1..5u32 {
+            assert_eq!(arena.row_nnz(i), 0);
+            assert_eq!(arena.col_nnz(i), 0);
+            assert!(arena.row(i).0.is_empty());
+            assert!(arena.col(i).0.is_empty());
+        }
+    }
+}

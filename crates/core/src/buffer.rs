@@ -17,8 +17,9 @@
 //! element) and only becomes reusable after a repacking pass; OS-side
 //! (whole-column CSC) frees are clean.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
+use crate::arena::RowSet;
 use crate::config::EvictionPolicy;
 use crate::invariants::{self, Consumer, InvariantViolation};
 
@@ -36,8 +37,9 @@ const EVICTED: u8 = 0b1000;
 #[derive(Debug)]
 pub struct BufferModel {
     pub(crate) state: Vec<u8>,
-    /// Resident element ids (row-major ids, so larger id = larger row).
-    pub(crate) resident: BTreeSet<u32>,
+    /// Resident element ids (row-major ids, so larger id = larger row),
+    /// on the same bitset the dual buffer's residency runs on.
+    pub(crate) resident: RowSet,
     /// Load order, for the `OldestFirst` ablation policy.
     load_order: VecDeque<u32>,
     pub(crate) policy: EvictionPolicy,
@@ -64,7 +66,7 @@ impl BufferModel {
     ) -> Self {
         BufferModel {
             state: vec![0; nnz],
-            resident: BTreeSet::new(),
+            resident: RowSet::with_capacity(nnz),
             load_order: VecDeque::new(),
             policy,
             elem_bytes,
@@ -169,7 +171,7 @@ impl BufferModel {
 
     fn free(&mut self, e: u32, via_is: bool) {
         self.state[e as usize] &= !LOADED;
-        self.resident.remove(&e);
+        self.resident.remove(e);
         self.resident_bytes -= self.elem_bytes;
         if via_is {
             // CSR space frees one element inside a packed row: the hole is
@@ -211,7 +213,7 @@ impl BufferModel {
         let mut evicted = 0u64;
         while self.occupancy_bytes() > budget {
             let victim = match self.policy {
-                EvictionPolicy::HighestRowFirst => self.resident.iter().next_back().copied(),
+                EvictionPolicy::HighestRowFirst => self.resident.highest(),
                 EvictionPolicy::OldestFirst => loop {
                     match self.load_order.pop_front() {
                         Some(e) if self.is_resident(e) => break Some(e),
@@ -222,7 +224,7 @@ impl BufferModel {
             };
             let Some(victim) = victim else { break };
             self.enforce(invariants::check_eviction_order(self, victim));
-            self.resident.remove(&victim);
+            self.resident.remove(victim);
             self.resident_bytes -= self.elem_bytes;
             self.state[victim as usize] = (self.state[victim as usize] & !LOADED) | EVICTED;
             self.evicted_elements += 1;

@@ -1,0 +1,214 @@
+//! Sweep-level cache of per-matrix derived artifacts.
+//!
+//! Every sweep point re-derives the same expensive, *pure* functions of
+//! its dataset matrix: the reordered matrix (GraphOrder / Vanilla
+//! preprocessing), the [`PassPlan`] at the configuration's sub-tensor
+//! width, and the [`MatrixArena`] slice tables. A [`MatrixCache`] shared
+//! (via `Arc`) across the sweep executor's workers computes each of them
+//! once per `(matrix, parameter)` key and hands out `Arc` clones —
+//! results are bit-identical to the uncached path because every cached
+//! function is deterministic in its key.
+//!
+//! Keys are caller-derived ([`MatrixCache::key_for`]) rather than deep
+//! matrix hashes: the sweep labels each dataset once and folds the
+//! matrix's shape and population into the key, so distinct matrices
+//! cannot collide in practice while lookups stay O(1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sparsepipe_tensor::CooMatrix;
+
+use crate::arena::MatrixArena;
+use crate::config::ReorderKind;
+use crate::plan::PassPlan;
+
+fn reorder_tag(kind: ReorderKind) -> u8 {
+    match kind {
+        ReorderKind::None => 0,
+        ReorderKind::GraphOrder => 1,
+        ReorderKind::Vanilla => 2,
+    }
+}
+
+/// Shared cache of reordered matrices, pass plans, and arenas, keyed by
+/// a caller-stable matrix key. Thread-safe: the sweep executor clones
+/// one `Arc<MatrixCache>` into every worker.
+#[derive(Debug, Default)]
+pub struct MatrixCache {
+    reordered: Mutex<HashMap<(u64, u8), Arc<CooMatrix>>>,
+    plans: Mutex<HashMap<(u64, u8, usize), Arc<PassPlan>>>,
+    arenas: Mutex<HashMap<u64, Arc<MatrixArena>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MatrixCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MatrixCache::default()
+    }
+
+    /// Derives a cache key for `matrix` labelled `label` (e.g. the
+    /// dataset code): FNV-1a over the label with the matrix's shape and
+    /// non-zero count folded in, so re-used labels with different
+    /// scaling cannot alias.
+    pub fn key_for(label: &str, matrix: &CooMatrix) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in label.bytes() {
+            eat(b);
+        }
+        for b in matrix
+            .nrows()
+            .to_le_bytes()
+            .into_iter()
+            .chain(matrix.ncols().to_le_bytes())
+            .chain((matrix.nnz() as u64).to_le_bytes())
+        {
+            eat(b);
+        }
+        h
+    }
+
+    /// The matrix `key` reordered under `kind`, building it with `build`
+    /// on first request. `build` must be a pure function of the key —
+    /// it runs outside the cache lock, so concurrent first requests may
+    /// build redundantly (the first inserted wins; all results are
+    /// identical by purity).
+    pub fn reordered<F>(&self, key: u64, kind: ReorderKind, build: F) -> Arc<CooMatrix>
+    where
+        F: FnOnce() -> CooMatrix,
+    {
+        let k = (key, reorder_tag(kind));
+        if let Some(hit) = self.reordered.lock().expect("cache lock").get(&k) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        Arc::clone(
+            self.reordered
+                .lock()
+                .expect("cache lock")
+                .entry(k)
+                .or_insert(built),
+        )
+    }
+
+    /// The [`PassPlan`] of matrix `key` (under reordering `kind`) at
+    /// sub-tensor width `t_cols`, building on first request. Same purity
+    /// contract as [`MatrixCache::reordered`].
+    pub fn plan<F>(&self, key: u64, kind: ReorderKind, t_cols: usize, build: F) -> Arc<PassPlan>
+    where
+        F: FnOnce() -> PassPlan,
+    {
+        let k = (key, reorder_tag(kind), t_cols);
+        if let Some(hit) = self.plans.lock().expect("cache lock").get(&k) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        Arc::clone(
+            self.plans
+                .lock()
+                .expect("cache lock")
+                .entry(k)
+                .or_insert(built),
+        )
+    }
+
+    /// The [`MatrixArena`] of matrix `key`, building on first request.
+    /// Same purity contract as [`MatrixCache::reordered`].
+    pub fn arena<F>(&self, key: u64, build: F) -> Arc<MatrixArena>
+    where
+        F: FnOnce() -> MatrixArena,
+    {
+        if let Some(hit) = self.arenas.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        Arc::clone(
+            self.arenas
+                .lock()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn plan_is_built_once_per_key_and_width() {
+        let m = gen::uniform(64, 64, 300, 3);
+        let cache = MatrixCache::new();
+        let key = MatrixCache::key_for("t", &m);
+        let a = cache.plan(key, ReorderKind::None, 8, || PassPlan::build(&m, 8));
+        let b = cache.plan(key, ReorderKind::None, 8, || panic!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        // a different width is a different artifact
+        let c = cache.plan(key, ReorderKind::None, 16, || PassPlan::build(&m, 16));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn reorder_kinds_do_not_alias() {
+        let m = gen::uniform(32, 32, 100, 5);
+        let cache = MatrixCache::new();
+        let key = MatrixCache::key_for("t", &m);
+        let plain = cache.reordered(key, ReorderKind::None, || m.clone());
+        let tagged = cache.reordered(key, ReorderKind::GraphOrder, || m.transpose());
+        assert!(!Arc::ptr_eq(&plain, &tagged));
+    }
+
+    #[test]
+    fn keys_separate_labels_and_shapes() {
+        let a = gen::uniform(32, 32, 100, 5);
+        let b = gen::uniform(64, 64, 100, 5);
+        assert_ne!(
+            MatrixCache::key_for("x", &a),
+            MatrixCache::key_for("y", &a),
+            "labels must separate keys"
+        );
+        assert_ne!(
+            MatrixCache::key_for("x", &a),
+            MatrixCache::key_for("x", &b),
+            "shapes must separate keys"
+        );
+    }
+
+    #[test]
+    fn arena_round_trips() {
+        let m = gen::uniform(48, 48, 200, 7);
+        let cache = MatrixCache::new();
+        let key = MatrixCache::key_for("t", &m);
+        let a = cache.arena(key, || MatrixArena::from_coo(&m));
+        let b = cache.arena(key, || panic!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.nnz(), m.nnz());
+    }
+}

@@ -93,6 +93,7 @@ pub struct SimRequest<'a, S: TraceSink = NullSink> {
     iterations: usize,
     config: SparsepipeConfig,
     sink: S,
+    cache: Option<(&'a crate::MatrixCache, u64)>,
 }
 
 impl<'a> SimRequest<'a> {
@@ -104,6 +105,7 @@ impl<'a> SimRequest<'a> {
             iterations: 1,
             config: SparsepipeConfig::iso_gpu(),
             sink: NullSink,
+            cache: None,
         }
     }
 }
@@ -144,6 +146,19 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
         self.iterations
     }
 
+    /// Attaches a shared [`MatrixCache`](crate::MatrixCache): the engine
+    /// reuses the reordered matrix and pass plan cached under `key`
+    /// (derive it with
+    /// [`MatrixCache::key_for`](crate::MatrixCache::key_for) for this
+    /// request's matrix) instead of re-deriving them. Results are
+    /// identical with or without the cache — the cached artifacts are
+    /// pure functions of the key.
+    #[must_use]
+    pub fn cache(mut self, cache: &'a crate::MatrixCache, key: u64) -> Self {
+        self.cache = Some((cache, key));
+        self
+    }
+
     /// Attaches a trace sink: every simulator event (pass boundaries,
     /// per-step DRAM transfers, buffer inserts/hits/evictions, e-wise
     /// fires) is emitted into `sink` during [`SimRequest::run`].
@@ -161,6 +176,7 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
             iterations: self.iterations,
             config: self.config,
             sink,
+            cache: self.cache,
         }
     }
 
@@ -178,6 +194,7 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
             self.iterations,
             &self.config,
             &mut self.sink,
+            self.cache,
         )?;
         let wall_s = start.elapsed().as_secs_f64();
         Ok(SimOutcome {

@@ -25,34 +25,31 @@
 //!   are evicted first and their data must be re-fetched when the IS
 //!   stage needs it.
 //!
+//! The primary [`DualBuffer`] runs on a shared [`MatrixArena`]: column
+//! and row payloads are arena slices, CSC residency is an epoch stamp per
+//! column, and CSR residency is a [`RowSet`] bitset plus a contiguous
+//! stored window `[win_lo, win_hi)` of absolute arena positions per row —
+//! no per-element container traffic on the hot path. The pre-arena
+//! `BTreeMap` implementation survives as [`legacy::LegacyDualBuffer`]
+//! behind the `legacy-dualbuffer` feature; it is the oracle the
+//! differential harness (`tests/dualbuffer_differential.rs`) replays
+//! against, asserting identical stats and event streams. DESIGN.md §11
+//! documents the layout and the window-contiguity argument that makes
+//! the flat representation exact.
+//!
 //! [`crate::oei::fused_pass_buffered`] drives this structure through a
 //! full OEI pass, producing both the functional result *and* a traffic
 //! trace that the tests cross-validate against the abstract timing model.
 
-use std::collections::BTreeMap;
+use std::ops::Range;
 
 use sparsepipe_trace::{NullSink, PipeStage, TraceEvent, TraceSink, TrafficClass, WHOLE_ROW};
+
+use crate::arena::{MatrixArena, RowSet};
 
 /// Bytes per stored element in the (unblocked) buffer spaces: a 4-byte
 /// coordinate and an 8-byte value.
 pub const ELEM_BYTES: usize = 12;
-
-/// Per-row CSR-space state.
-#[derive(Debug, Clone)]
-struct RowSpace {
-    /// Total non-zeros of this row (the reservation size).
-    reserved_elems: usize,
-    /// Entries stored so far, in ascending column order: `(col, val)`.
-    stored: Vec<(u32, f64)>,
-    /// How many stored entries the IS core has consumed.
-    consumed: usize,
-}
-
-impl RowSpace {
-    fn fully_consumed(&self) -> bool {
-        self.consumed == self.reserved_elems
-    }
-}
 
 /// Statistics of one buffered pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -71,22 +68,39 @@ pub struct DualBufferStats {
     pub reservations: usize,
 }
 
-/// The dual-storage buffer: CSC space + CSR space sharing one capacity.
+/// The dual-storage buffer: CSC space + CSR space sharing one capacity,
+/// backed by a [`MatrixArena`].
+///
+/// Residency is pure bookkeeping over the arena's immutable slice
+/// tables: a resident column is `csc_epoch[col] == epoch`, a resident
+/// row is a bit in [`RowSet`] plus its stored window of absolute CSR
+/// positions. Consumers receive arena slices (`&'a`), so reading never
+/// copies element data.
 ///
 /// Generic over a [`TraceSink`]: the default [`NullSink`] instantiation is
 /// the untraced buffer with every emission compiled out; attach a live
 /// sink with [`DualBuffer::with_sink`] to observe every fetch, insert,
-/// consumption, and eviction at element granularity.
+/// consumption, and eviction at element granularity. Event streams and
+/// statistics are bit-identical to the legacy implementation's — the
+/// differential suite holds both to that contract.
 #[derive(Debug)]
-pub struct DualBuffer<S: TraceSink = NullSink> {
+pub struct DualBuffer<'a, S: TraceSink = NullSink> {
+    arena: &'a MatrixArena,
     capacity_bytes: usize,
     repack_threshold: f64,
-    /// CSC space: fetched, not-yet-consumed columns.
-    csc_cols: BTreeMap<u32, Vec<(u32, f64)>>,
+    /// Current pass epoch; `csc_epoch[c] == epoch` means column `c` is
+    /// resident in CSC space. `0` is the never-resident sentinel.
+    epoch: u32,
+    csc_epoch: Vec<u32>,
     csc_bytes: usize,
-    /// CSR space: per-row reserved regions (keyed by row, so
-    /// highest-row-first eviction is a `last_key_value`).
-    csr_rows: BTreeMap<u32, RowSpace>,
+    /// Rows with a live CSR-space reservation.
+    reserved: RowSet,
+    /// Per-row stored window: absolute arena CSR positions
+    /// `[win_lo, win_hi)` currently held (valid only while reserved).
+    win_lo: Vec<u32>,
+    win_hi: Vec<u32>,
+    /// Per-row elements the IS core has consumed (valid while reserved).
+    consumed: Vec<u32>,
     /// Reserved (not merely stored) CSR bytes — reservation is what
     /// occupies space, per the paper's design.
     csr_reserved_bytes: usize,
@@ -97,27 +111,38 @@ pub struct DualBuffer<S: TraceSink = NullSink> {
     sink: S,
 }
 
-impl DualBuffer {
-    /// Creates an untraced buffer with the given capacity and repack
-    /// threshold (fraction of occupied space that may be fragmentation
-    /// before a repack triggers).
-    pub fn new(capacity_bytes: usize, repack_threshold: f64) -> Self {
-        DualBuffer::with_sink(capacity_bytes, repack_threshold, NullSink)
+impl<'a> DualBuffer<'a> {
+    /// Creates an untraced buffer over `arena` with the given capacity
+    /// and repack threshold (fraction of occupied space that may be
+    /// fragmentation before a repack triggers).
+    pub fn new(arena: &'a MatrixArena, capacity_bytes: usize, repack_threshold: f64) -> Self {
+        DualBuffer::with_sink(arena, capacity_bytes, repack_threshold, NullSink)
     }
 }
 
-impl<S: TraceSink> DualBuffer<S> {
+impl<'a, S: TraceSink> DualBuffer<'a, S> {
     /// Creates a buffer that emits a [`TraceEvent`] for every fetch,
     /// insert, hit, and eviction into `sink` (pass `&mut sink` to keep
     /// ownership, or move an owned sink in and recover it with
     /// [`DualBuffer::into_sink`]).
-    pub fn with_sink(capacity_bytes: usize, repack_threshold: f64, sink: S) -> Self {
+    pub fn with_sink(
+        arena: &'a MatrixArena,
+        capacity_bytes: usize,
+        repack_threshold: f64,
+        sink: S,
+    ) -> Self {
+        let n = arena.n() as usize;
         DualBuffer {
+            arena,
             capacity_bytes,
             repack_threshold,
-            csc_cols: BTreeMap::new(),
+            epoch: 1,
+            csc_epoch: vec![0; n],
             csc_bytes: 0,
-            csr_rows: BTreeMap::new(),
+            reserved: RowSet::with_capacity(n),
+            win_lo: vec![0; n],
+            win_hi: vec![0; n],
+            consumed: vec![0; n],
             csr_reserved_bytes: 0,
             fragmented_bytes: 0,
             stats: DualBufferStats::default(),
@@ -129,6 +154,34 @@ impl<S: TraceSink> DualBuffer<S> {
     /// [`sparsepipe_trace::MemorySink`]'s captured events).
     pub fn into_sink(self) -> S {
         self.sink
+    }
+
+    /// The arena this buffer reads from.
+    pub fn arena(&self) -> &'a MatrixArena {
+        self.arena
+    }
+
+    /// Resets the buffer for a fresh pass without reallocating: bumps the
+    /// CSC epoch (invalidating all column residency in O(1)), zeroes the
+    /// statistics and byte counters, and asserts the CSR space drained —
+    /// a completed pass consumes every reservation it makes.
+    pub fn begin_pass(&mut self) {
+        debug_assert!(
+            self.reserved.is_empty(),
+            "pass ended with live reservations"
+        );
+        debug_assert_eq!(self.csc_bytes, 0, "pass ended with resident columns");
+        if self.epoch == u32::MAX {
+            self.csc_epoch.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.reserved.clear();
+        self.csc_bytes = 0;
+        self.csr_reserved_bytes = 0;
+        self.fragmented_bytes = 0;
+        self.stats = DualBufferStats::default();
     }
 
     /// Current occupancy in bytes (CSC space + CSR reservations +
@@ -147,29 +200,33 @@ impl<S: TraceSink> DualBuffer<S> {
     }
 
     /// Fetches column `col` from DRAM into the CSC space, and runs the
-    /// col-row converter: each `(row, val)` is offered to the CSR space.
-    /// `row_total(r)` must return row `r`'s full non-zero count (the CSR
-    /// index array the loader consults for reservation sizing).
+    /// col-row converter: each `(row, val)` of the arena's column slice is
+    /// offered to the CSR space (the reservation size comes from the
+    /// arena's CSR offsets — the "CSR index array" the paper's loader
+    /// consults).
     ///
     /// Rows the IS core has already finished (`is_frontier > row`) are
     /// *not* converted — their consumer is gone; the caller applies the
     /// pending scatter directly (the deferred-IS path).
-    pub fn fetch_column<F>(&mut self, col: u32, data: &[(u32, f64)], is_frontier: u32, row_total: F)
-    where
-        F: Fn(u32) -> usize,
-    {
-        self.stats.fetched_bytes += data.len() * ELEM_BYTES;
+    pub fn fetch_column(&mut self, col: u32, is_frontier: u32) {
+        // Copy out the `&'a` arena reference: slices borrowed through it
+        // are independent of `self`, so the sink and window state stay
+        // mutable inside the loop.
+        let arena = self.arena;
+        let (rows, _) = arena.col(col);
+        let len = rows.len();
+        self.stats.fetched_bytes += len * ELEM_BYTES;
         if S::ENABLED {
             self.sink.emit(TraceEvent::DramRead {
                 addr: u64::from(col) * ELEM_BYTES as u64,
-                bytes: (data.len() * ELEM_BYTES) as f64,
+                bytes: (len * ELEM_BYTES) as f64,
                 class: TrafficClass::CscDemand,
                 step: col,
             });
         }
-        self.csc_cols.insert(col, data.to_vec());
-        self.csc_bytes += data.len() * ELEM_BYTES;
-        for &(row, val) in data {
+        self.csc_epoch[col as usize] = self.epoch;
+        self.csc_bytes += len * ELEM_BYTES;
+        for &row in rows {
             if row < is_frontier {
                 continue; // deferred-IS: consumed by the caller directly
             }
@@ -182,44 +239,53 @@ impl<S: TraceSink> DualBuffer<S> {
                     bytes: ELEM_BYTES as f64,
                 });
             }
-            self.store_converted(row, col, val, &row_total);
+            self.store_converted(row, col);
         }
         self.note_peak();
     }
 
     /// Stores one converted element into the CSR space, reserving the
-    /// row's full region on first contact.
-    fn store_converted<F>(&mut self, row: u32, col: u32, val: f64, row_total: &F)
-    where
-        F: Fn(u32) -> usize,
-    {
-        let entry = self.csr_rows.entry(row).or_insert_with(|| {
-            let reserved = row_total(row);
+    /// row's full region on first contact. Only the window bounds move:
+    /// the payload already sits at its arena position.
+    fn store_converted(&mut self, row: u32, col: u32) {
+        let r = row as usize;
+        if self.reserved.insert(row) {
+            let reserved = self.arena.row_nnz(row);
             self.csr_reserved_bytes += reserved * ELEM_BYTES;
             self.stats.reservations += 1;
-            RowSpace {
-                reserved_elems: reserved,
-                stored: Vec::with_capacity(reserved),
-                consumed: 0,
-            }
-        });
-        // Columns arrive in ascending order, so appends stay sorted —
-        // "allowing for consecutive and ascending storage of subsequently
-        // fetched row data within its reserved space".
-        debug_assert!(
-            entry.stored.last().is_none_or(|&(c, _)| c < col),
-            "row {row}: column {col} arrived out of order"
+            self.consumed[r] = 0;
+            // First contact (possibly after an eviction): locate the
+            // element's absolute CSR position; the window restarts there.
+            let p = self.arena.csr_position(row, col) as u32;
+            self.win_lo[r] = p;
+            self.win_hi[r] = p;
+        }
+        // Columns arrive in ascending order and every intervening element
+        // of the row is stored too, so arrivals extend the window by
+        // exactly one position — "allowing for consecutive and ascending
+        // storage of subsequently fetched row data within its reserved
+        // space".
+        debug_assert_eq!(
+            self.arena
+                .csr_cols_at(self.win_hi[r] as usize..self.win_hi[r] as usize + 1)[0],
+            col,
+            "row {row}: column {col} arrived out of window order"
         );
-        entry.stored.push((col, val));
+        self.win_hi[r] += 1;
     }
 
-    /// The OS core consumes column `col`: returns its entries and frees
-    /// the CSC region immediately.
-    pub fn consume_column(&mut self, col: u32) -> Option<Vec<(u32, f64)>> {
-        let data = self.csc_cols.remove(&col)?;
-        self.csc_bytes -= data.len() * ELEM_BYTES;
+    /// The OS core consumes column `col`: returns its `(rows, vals)`
+    /// arena slices and frees the CSC region immediately.
+    pub fn consume_column(&mut self, col: u32) -> Option<(&'a [u32], &'a [f64])> {
+        if self.csc_epoch[col as usize] != self.epoch {
+            return None;
+        }
+        self.csc_epoch[col as usize] = 0;
+        let arena = self.arena;
+        let (rows, vals) = arena.col(col);
+        self.csc_bytes -= rows.len() * ELEM_BYTES;
         if S::ENABLED {
-            for &(row, _) in &data {
+            for &row in rows {
                 self.sink.emit(TraceEvent::BufferHit {
                     row,
                     col,
@@ -228,22 +294,28 @@ impl<S: TraceSink> DualBuffer<S> {
                 });
             }
         }
-        Some(data)
+        Some((rows, vals))
     }
 
     /// The IS core consumes all currently stored entries of `row`,
-    /// returning them. Entries that have not arrived yet (columns still to
-    /// be fetched) remain the caller's responsibility (deferred path).
-    /// A fully-consumed row's reservation becomes fragmentation until the
+    /// returning their absolute arena CSR positions (read the payload via
+    /// [`MatrixArena::csr_cols_at`]/[`MatrixArena::csr_vals_at`]).
+    /// Entries that have not arrived yet (columns still to be fetched)
+    /// remain the caller's responsibility (deferred path). A
+    /// fully-consumed row's reservation becomes fragmentation until the
     /// next repack.
-    pub fn consume_row(&mut self, row: u32) -> Vec<(u32, f64)> {
-        let Some(space) = self.csr_rows.get_mut(&row) else {
-            return Vec::new();
-        };
-        let taken: Vec<(u32, f64)> = space.stored.drain(..).collect();
-        space.consumed += taken.len();
+    pub fn consume_row(&mut self, row: u32) -> Range<usize> {
+        if !self.reserved.contains(row) {
+            return 0..0;
+        }
+        let r = row as usize;
+        let arena = self.arena;
+        let window = self.win_lo[r] as usize..self.win_hi[r] as usize;
+        let taken = window.len() as u32;
+        self.win_lo[r] = self.win_hi[r];
+        self.consumed[r] += taken;
         if S::ENABLED {
-            for &(col, _) in &taken {
+            for &col in arena.csr_cols_at(window.clone()) {
                 self.sink.emit(TraceEvent::BufferHit {
                     row,
                     col,
@@ -252,24 +324,25 @@ impl<S: TraceSink> DualBuffer<S> {
                 });
             }
         }
-        if space.fully_consumed() {
-            let bytes = space.reserved_elems * ELEM_BYTES;
-            self.csr_rows.remove(&row);
+        if self.consumed[r] as usize == self.arena.row_nnz(row) {
+            let bytes = self.arena.row_nnz(row) * ELEM_BYTES;
+            self.reserved.remove(row);
             self.csr_reserved_bytes -= bytes;
             self.fragmented_bytes += bytes;
         }
         self.maybe_repack();
-        taken
+        window
     }
 
     /// Marks `consumed_late` additional elements of `row` as consumed via
     /// the deferred path (they never entered the CSR space).
     pub fn consume_deferred(&mut self, row: u32, consumed_late: usize) {
-        if let Some(space) = self.csr_rows.get_mut(&row) {
-            space.consumed += consumed_late;
-            if space.fully_consumed() {
-                let bytes = space.reserved_elems * ELEM_BYTES;
-                self.csr_rows.remove(&row);
+        if self.reserved.contains(row) {
+            let r = row as usize;
+            self.consumed[r] += consumed_late as u32;
+            if self.consumed[r] as usize == self.arena.row_nnz(row) {
+                let bytes = self.arena.row_nnz(row) * ELEM_BYTES;
+                self.reserved.remove(row);
                 self.csr_reserved_bytes -= bytes;
                 self.fragmented_bytes += bytes;
                 self.maybe_repack();
@@ -296,6 +369,13 @@ impl<S: TraceSink> DualBuffer<S> {
     /// via [`DualBuffer::charge_refetch`]).
     pub fn enforce_capacity(&mut self, protect_below: u32) -> Vec<u32> {
         let mut evicted = Vec::new();
+        self.enforce_capacity_into(protect_below, &mut evicted);
+        evicted
+    }
+
+    /// [`DualBuffer::enforce_capacity`] appending into a caller-reused
+    /// `Vec` — the allocation-free form the pass driver loops on.
+    pub fn enforce_capacity_into(&mut self, protect_below: u32, evicted: &mut Vec<u32>) {
         while self.occupancy_bytes() > self.capacity_bytes {
             // repack first if fragmentation alone can make room
             if self.fragmented_bytes > 0 {
@@ -303,14 +383,14 @@ impl<S: TraceSink> DualBuffer<S> {
                 self.stats.repacks += 1;
                 continue;
             }
-            let Some((&row, _)) = self.csr_rows.last_key_value() else {
+            let Some(row) = self.reserved.highest() else {
                 break;
             };
             if row <= protect_below {
                 break;
             }
-            let space = self.csr_rows.remove(&row).expect("key just observed");
-            self.csr_reserved_bytes -= space.reserved_elems * ELEM_BYTES;
+            self.reserved.remove(row);
+            self.csr_reserved_bytes -= self.arena.row_nnz(row) * ELEM_BYTES;
             self.stats.evicted_rows += 1;
             if S::ENABLED {
                 // The whole reservation goes at once — a row-granular
@@ -323,7 +403,6 @@ impl<S: TraceSink> DualBuffer<S> {
             }
             evicted.push(row);
         }
-        evicted
     }
 
     /// Charges a re-fetch of `elems` elements after an eviction.
@@ -341,69 +420,598 @@ impl<S: TraceSink> DualBuffer<S> {
 
     /// Stored (convertible) entries currently held for `row`.
     pub fn stored_row_len(&self, row: u32) -> usize {
-        self.csr_rows.get(&row).map_or(0, |s| s.stored.len())
+        if self.reserved.contains(row) {
+            (self.win_hi[row as usize] - self.win_lo[row as usize]) as usize
+        } else {
+            0
+        }
     }
 
     /// Is a reservation present for `row`?
     pub fn has_reservation(&self, row: u32) -> bool {
-        self.csr_rows.contains_key(&row)
+        self.reserved.contains(row)
+    }
+}
+
+/// The pre-arena `BTreeMap` implementation, kept verbatim behind the
+/// `legacy-dualbuffer` feature as the oracle for the differential
+/// harness: same statistics, same trace-event contract, element payloads
+/// owned per container instead of borrowed from an arena.
+#[cfg(feature = "legacy-dualbuffer")]
+pub mod legacy {
+    use std::collections::BTreeMap;
+
+    use sparsepipe_trace::{NullSink, PipeStage, TraceEvent, TraceSink, TrafficClass, WHOLE_ROW};
+
+    use super::{DualBufferStats, ELEM_BYTES};
+
+    /// Per-row CSR-space state.
+    #[derive(Debug, Clone)]
+    struct RowSpace {
+        /// Total non-zeros of this row (the reservation size).
+        reserved_elems: usize,
+        /// Entries stored so far, in ascending column order: `(col, val)`.
+        stored: Vec<(u32, f64)>,
+        /// How many stored entries the IS core has consumed.
+        consumed: usize,
+    }
+
+    impl RowSpace {
+        fn fully_consumed(&self) -> bool {
+            self.consumed == self.reserved_elems
+        }
+    }
+
+    /// The original dual-storage buffer: CSC space + CSR space sharing
+    /// one capacity, on `BTreeMap`s with owned element payloads.
+    ///
+    /// Kept as the differential oracle — its observable behaviour
+    /// (statistics, event streams, returned data) defines correctness
+    /// for the arena-backed [`DualBuffer`](super::DualBuffer).
+    #[derive(Debug)]
+    pub struct LegacyDualBuffer<S: TraceSink = NullSink> {
+        capacity_bytes: usize,
+        repack_threshold: f64,
+        /// CSC space: fetched, not-yet-consumed columns.
+        csc_cols: BTreeMap<u32, Vec<(u32, f64)>>,
+        csc_bytes: usize,
+        /// CSR space: per-row reserved regions (keyed by row, so
+        /// highest-row-first eviction is a `last_key_value`).
+        csr_rows: BTreeMap<u32, RowSpace>,
+        /// Reserved (not merely stored) CSR bytes — reservation is what
+        /// occupies space, per the paper's design.
+        csr_reserved_bytes: usize,
+        /// Bytes inside reservations already freed by consumption but not
+        /// yet reclaimed (awaiting repack).
+        fragmented_bytes: usize,
+        stats: DualBufferStats,
+        sink: S,
+    }
+
+    impl LegacyDualBuffer {
+        /// Creates an untraced buffer with the given capacity and repack
+        /// threshold (fraction of occupied space that may be fragmentation
+        /// before a repack triggers).
+        pub fn new(capacity_bytes: usize, repack_threshold: f64) -> Self {
+            LegacyDualBuffer::with_sink(capacity_bytes, repack_threshold, NullSink)
+        }
+    }
+
+    impl<S: TraceSink> LegacyDualBuffer<S> {
+        /// Creates a buffer that emits a [`TraceEvent`] for every fetch,
+        /// insert, hit, and eviction into `sink`.
+        pub fn with_sink(capacity_bytes: usize, repack_threshold: f64, sink: S) -> Self {
+            LegacyDualBuffer {
+                capacity_bytes,
+                repack_threshold,
+                csc_cols: BTreeMap::new(),
+                csc_bytes: 0,
+                csr_rows: BTreeMap::new(),
+                csr_reserved_bytes: 0,
+                fragmented_bytes: 0,
+                stats: DualBufferStats::default(),
+                sink,
+            }
+        }
+
+        /// Consumes the buffer, returning its sink.
+        pub fn into_sink(self) -> S {
+            self.sink
+        }
+
+        /// Current occupancy in bytes (CSC space + CSR reservations +
+        /// unreclaimed fragmentation).
+        pub fn occupancy_bytes(&self) -> usize {
+            self.csc_bytes + self.csr_reserved_bytes + self.fragmented_bytes
+        }
+
+        /// Pass statistics so far.
+        pub fn stats(&self) -> DualBufferStats {
+            self.stats
+        }
+
+        fn note_peak(&mut self) {
+            self.stats.peak_bytes = self.stats.peak_bytes.max(self.occupancy_bytes());
+        }
+
+        /// Fetches column `col` from DRAM into the CSC space, and runs the
+        /// col-row converter: each `(row, val)` is offered to the CSR
+        /// space. `row_total(r)` must return row `r`'s full non-zero count
+        /// (the CSR index array the loader consults for reservation
+        /// sizing).
+        ///
+        /// Rows the IS core has already finished (`is_frontier > row`) are
+        /// *not* converted — their consumer is gone; the caller applies
+        /// the pending scatter directly (the deferred-IS path).
+        pub fn fetch_column<F>(
+            &mut self,
+            col: u32,
+            data: &[(u32, f64)],
+            is_frontier: u32,
+            row_total: F,
+        ) where
+            F: Fn(u32) -> usize,
+        {
+            self.stats.fetched_bytes += data.len() * ELEM_BYTES;
+            if S::ENABLED {
+                self.sink.emit(TraceEvent::DramRead {
+                    addr: u64::from(col) * ELEM_BYTES as u64,
+                    bytes: (data.len() * ELEM_BYTES) as f64,
+                    class: TrafficClass::CscDemand,
+                    step: col,
+                });
+            }
+            self.csc_cols.insert(col, data.to_vec());
+            self.csc_bytes += data.len() * ELEM_BYTES;
+            for &(row, val) in data {
+                if row < is_frontier {
+                    continue; // deferred-IS: consumed by the caller directly
+                }
+                if S::ENABLED {
+                    self.sink.emit(TraceEvent::BufferInsert {
+                        row,
+                        col,
+                        step: col,
+                        refetch: false,
+                        bytes: ELEM_BYTES as f64,
+                    });
+                }
+                self.store_converted(row, col, val, &row_total);
+            }
+            self.note_peak();
+        }
+
+        /// Stores one converted element into the CSR space, reserving the
+        /// row's full region on first contact.
+        fn store_converted<F>(&mut self, row: u32, col: u32, val: f64, row_total: &F)
+        where
+            F: Fn(u32) -> usize,
+        {
+            let entry = self.csr_rows.entry(row).or_insert_with(|| {
+                let reserved = row_total(row);
+                self.csr_reserved_bytes += reserved * ELEM_BYTES;
+                self.stats.reservations += 1;
+                RowSpace {
+                    reserved_elems: reserved,
+                    stored: Vec::with_capacity(reserved),
+                    consumed: 0,
+                }
+            });
+            // Columns arrive in ascending order, so appends stay sorted —
+            // "allowing for consecutive and ascending storage of
+            // subsequently fetched row data within its reserved space".
+            debug_assert!(
+                entry.stored.last().is_none_or(|&(c, _)| c < col),
+                "row {row}: column {col} arrived out of order"
+            );
+            entry.stored.push((col, val));
+        }
+
+        /// The OS core consumes column `col`: returns its entries and
+        /// frees the CSC region immediately.
+        pub fn consume_column(&mut self, col: u32) -> Option<Vec<(u32, f64)>> {
+            let data = self.csc_cols.remove(&col)?;
+            self.csc_bytes -= data.len() * ELEM_BYTES;
+            if S::ENABLED {
+                for &(row, _) in &data {
+                    self.sink.emit(TraceEvent::BufferHit {
+                        row,
+                        col,
+                        stage: PipeStage::Os,
+                        step: col,
+                    });
+                }
+            }
+            Some(data)
+        }
+
+        /// The IS core consumes all currently stored entries of `row`,
+        /// returning them. Entries that have not arrived yet (columns
+        /// still to be fetched) remain the caller's responsibility
+        /// (deferred path). A fully-consumed row's reservation becomes
+        /// fragmentation until the next repack.
+        pub fn consume_row(&mut self, row: u32) -> Vec<(u32, f64)> {
+            let Some(space) = self.csr_rows.get_mut(&row) else {
+                return Vec::new();
+            };
+            let taken: Vec<(u32, f64)> = space.stored.drain(..).collect();
+            space.consumed += taken.len();
+            if S::ENABLED {
+                for &(col, _) in &taken {
+                    self.sink.emit(TraceEvent::BufferHit {
+                        row,
+                        col,
+                        stage: PipeStage::Is,
+                        step: row,
+                    });
+                }
+            }
+            if space.fully_consumed() {
+                let bytes = space.reserved_elems * ELEM_BYTES;
+                self.csr_rows.remove(&row);
+                self.csr_reserved_bytes -= bytes;
+                self.fragmented_bytes += bytes;
+            }
+            self.maybe_repack();
+            taken
+        }
+
+        /// Marks `consumed_late` additional elements of `row` as consumed
+        /// via the deferred path (they never entered the CSR space).
+        pub fn consume_deferred(&mut self, row: u32, consumed_late: usize) {
+            if let Some(space) = self.csr_rows.get_mut(&row) {
+                space.consumed += consumed_late;
+                if space.fully_consumed() {
+                    let bytes = space.reserved_elems * ELEM_BYTES;
+                    self.csr_rows.remove(&row);
+                    self.csr_reserved_bytes -= bytes;
+                    self.fragmented_bytes += bytes;
+                    self.maybe_repack();
+                }
+            }
+        }
+
+        fn maybe_repack(&mut self) {
+            let occupied = self.occupancy_bytes();
+            if self.fragmented_bytes > 0
+                && (self.fragmented_bytes as f64) > self.repack_threshold * occupied as f64
+            {
+                // "discards fully computed sub-tensors and places remaining
+                // sub-tensors in a contiguous CSR space"
+                self.fragmented_bytes = 0;
+                self.stats.repacks += 1;
+            }
+        }
+
+        /// Enforces capacity: evicts rows with the highest `row_idx` first
+        /// (never rows at or below `protect_below`, which the IS core is
+        /// about to need). Returns the evicted rows.
+        pub fn enforce_capacity(&mut self, protect_below: u32) -> Vec<u32> {
+            let mut evicted = Vec::new();
+            while self.occupancy_bytes() > self.capacity_bytes {
+                // repack first if fragmentation alone can make room
+                if self.fragmented_bytes > 0 {
+                    self.fragmented_bytes = 0;
+                    self.stats.repacks += 1;
+                    continue;
+                }
+                let Some((&row, _)) = self.csr_rows.last_key_value() else {
+                    break;
+                };
+                if row <= protect_below {
+                    break;
+                }
+                let space = self.csr_rows.remove(&row).expect("key just observed");
+                self.csr_reserved_bytes -= space.reserved_elems * ELEM_BYTES;
+                self.stats.evicted_rows += 1;
+                if S::ENABLED {
+                    // The whole reservation goes at once — a row-granular
+                    // eviction, marked with the WHOLE_ROW column sentinel.
+                    self.sink.emit(TraceEvent::BufferEvict {
+                        row,
+                        col: WHOLE_ROW,
+                        step: protect_below,
+                    });
+                }
+                evicted.push(row);
+            }
+            evicted
+        }
+
+        /// Charges a re-fetch of `elems` elements after an eviction.
+        pub fn charge_refetch(&mut self, elems: usize) {
+            self.stats.refetch_bytes += elems * ELEM_BYTES;
+            if S::ENABLED && elems > 0 {
+                self.sink.emit(TraceEvent::DramRead {
+                    addr: 1 << 40,
+                    bytes: (elems * ELEM_BYTES) as f64,
+                    class: TrafficClass::Refetch,
+                    step: 0,
+                });
+            }
+        }
+
+        /// Stored (convertible) entries currently held for `row`.
+        pub fn stored_row_len(&self, row: u32) -> usize {
+            self.csr_rows.get(&row).map_or(0, |s| s.stored.len())
+        }
+
+        /// Is a reservation present for `row`?
+        pub fn has_reservation(&self, row: u32) -> bool {
+            self.csr_rows.contains_key(&row)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn row_total_const(n: usize) -> impl Fn(u32) -> usize {
+            move |_| n
+        }
+
+        #[test]
+        fn column_fetch_and_conversion() {
+            let mut b = LegacyDualBuffer::new(10_000, 0.5);
+            b.fetch_column(0, &[(3, 1.0), (5, 2.0)], 0, row_total_const(2));
+            // CSC space holds the column; CSR space reserved both rows fully
+            assert_eq!(b.occupancy_bytes(), 2 * ELEM_BYTES + 2 * 2 * ELEM_BYTES);
+            assert!(b.has_reservation(3));
+            assert_eq!(b.stored_row_len(3), 1);
+            let col = b.consume_column(0).expect("column present");
+            assert_eq!(col, vec![(3, 1.0), (5, 2.0)]);
+            // CSC space freed immediately
+            assert_eq!(b.occupancy_bytes(), 2 * 2 * ELEM_BYTES);
+        }
+
+        #[test]
+        fn reservation_happens_once_at_full_row_size() {
+            let mut b = LegacyDualBuffer::new(10_000, 0.5);
+            b.fetch_column(0, &[(7, 1.0)], 0, row_total_const(5));
+            let after_first = b.occupancy_bytes();
+            b.consume_column(0);
+            b.fetch_column(1, &[(7, 2.0)], 0, row_total_const(5));
+            b.consume_column(1);
+            // second element did not grow the reservation
+            assert_eq!(
+                b.occupancy_bytes(),
+                after_first - ELEM_BYTES, // only the CSC copy of col 0 freed
+            );
+            assert_eq!(b.stats().reservations, 1);
+            assert_eq!(b.stored_row_len(7), 2);
+        }
+
+        #[test]
+        fn ascending_column_order_is_kept() {
+            let mut b = LegacyDualBuffer::new(10_000, 0.5);
+            for col in 0..4u32 {
+                b.fetch_column(col, &[(9, col as f64)], 0, row_total_const(4));
+                b.consume_column(col);
+            }
+            let taken = b.consume_row(9);
+            assert_eq!(taken, vec![(0, 0.0), (1, 1.0), (2, 2.0), (3, 3.0)]);
+        }
+
+        #[test]
+        fn full_consumption_frees_reservation_via_repack() {
+            let mut b = LegacyDualBuffer::new(10_000, 0.0); // immediate repack
+            b.fetch_column(0, &[(2, 1.0)], 0, row_total_const(1));
+            b.consume_column(0);
+            assert!(b.has_reservation(2));
+            let taken = b.consume_row(2);
+            assert_eq!(taken.len(), 1);
+            assert!(!b.has_reservation(2));
+            assert_eq!(b.occupancy_bytes(), 0);
+            assert!(b.stats().repacks >= 1);
+        }
+
+        #[test]
+        fn deferred_rows_are_not_converted() {
+            let mut b = LegacyDualBuffer::new(10_000, 0.5);
+            // IS frontier is at row 5: rows below it defer
+            b.fetch_column(7, &[(2, 1.0), (8, 2.0)], 5, row_total_const(1));
+            assert!(!b.has_reservation(2), "row below the frontier must defer");
+            assert!(b.has_reservation(8));
+        }
+
+        #[test]
+        fn eviction_prefers_highest_rows_and_respects_protection() {
+            // capacity for ~3 reservations of 2 elements
+            let mut b = LegacyDualBuffer::new(7 * ELEM_BYTES, 0.5);
+            b.fetch_column(0, &[(1, 0.1), (5, 0.5), (9, 0.9)], 0, row_total_const(2));
+            b.consume_column(0);
+            // 3 reservations × 2 elems = 6 elems of CSR space: fits (42 < 84)
+            assert_eq!(b.enforce_capacity(0), Vec::<u32>::new());
+            b.fetch_column(1, &[(3, 0.3)], 0, row_total_const(2));
+            b.consume_column(1);
+            // 4 reservations = 8 elems > 7: evict highest row (9)
+            let evicted = b.enforce_capacity(0);
+            assert_eq!(evicted, vec![9]);
+            assert!(b.has_reservation(1) && b.has_reservation(3) && b.has_reservation(5));
+            // protection: nothing at or below the protect mark is evicted
+            b.fetch_column(2, &[(5, 0.55), (3, 0.33)], 0, row_total_const(2));
+            b.consume_column(2);
+            let evicted = b.enforce_capacity(5);
+            assert!(
+                evicted.is_empty(),
+                "protected rows must survive: {evicted:?}"
+            );
+        }
+
+        #[test]
+        fn traced_capacity_one_element_buffer_evicts_immediately() {
+            use sparsepipe_trace::MemorySink;
+            // Capacity of a single element: the CSC copy plus the CSR
+            // reservation of the same element already overflow it, so the
+            // reservation must be evicted the moment capacity is enforced.
+            let mut sink = MemorySink::new();
+            {
+                let mut b = LegacyDualBuffer::with_sink(ELEM_BYTES, 0.5, &mut sink);
+                b.fetch_column(0, &[(5, 1.0)], 0, row_total_const(2));
+                b.consume_column(0);
+                assert_eq!(b.enforce_capacity(0), vec![5]);
+                assert_eq!(b.occupancy_bytes(), 0);
+                assert_eq!(b.stats().evicted_rows, 1);
+            }
+            let evicts: Vec<_> = sink
+                .events()
+                .iter()
+                .filter_map(|e| match *e {
+                    TraceEvent::BufferEvict { row, col, .. } => Some((row, col)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                evicts,
+                vec![(5, WHOLE_ROW)],
+                "row-granular eviction carries the WHOLE_ROW sentinel"
+            );
+            assert!(sink
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::BufferInsert { row: 5, col: 0, .. })));
+        }
+
+        #[test]
+        fn traced_second_element_of_resident_row_reuses_reservation() {
+            use sparsepipe_trace::MemorySink;
+            let mut sink = MemorySink::new();
+            {
+                let mut b = LegacyDualBuffer::with_sink(10_000, 0.5, &mut sink);
+                b.fetch_column(0, &[(9, 1.0)], 0, row_total_const(2));
+                b.consume_column(0);
+                b.fetch_column(1, &[(9, 2.0)], 0, row_total_const(2));
+                b.consume_column(1);
+                // second element of row 9 lands in the existing reservation
+                assert_eq!(b.stats().reservations, 1);
+                assert_eq!(b.stored_row_len(9), 2);
+            }
+            let inserts: Vec<_> = sink
+                .events()
+                .iter()
+                .filter_map(|e| match *e {
+                    TraceEvent::BufferInsert { row, col, .. } => Some((row, col)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                inserts,
+                vec![(9, 0), (9, 1)],
+                "both elements of the row insert, in ascending column order"
+            );
+        }
+
+        #[test]
+        fn traced_eviction_of_next_needed_row_causes_refetch() {
+            use sparsepipe_trace::MemorySink;
+            let mut sink = MemorySink::new();
+            {
+                // room for the CSC copy plus one 2-element reservation only
+                let mut b = LegacyDualBuffer::with_sink(3 * ELEM_BYTES, 0.5, &mut sink);
+                b.fetch_column(0, &[(2, 0.2), (6, 0.6)], 0, row_total_const(2));
+                b.consume_column(0);
+                // Protection is below row 6, so the highest row — exactly
+                // the one holding data the IS stage will need — is evicted.
+                assert_eq!(b.enforce_capacity(1), vec![6]);
+                // IS reaches row 6: nothing stored, the caller must
+                // re-fetch.
+                assert!(b.consume_row(6).is_empty());
+                b.charge_refetch(2);
+                assert_eq!(b.stats().refetch_bytes, 2 * ELEM_BYTES);
+            }
+            let events = sink.events();
+            let evict_pos = events
+                .iter()
+                .position(|e| matches!(e, TraceEvent::BufferEvict { row: 6, .. }))
+                .expect("eviction of row 6 must be traced");
+            let refetch_pos = events
+                .iter()
+                .position(|e| {
+                    matches!(
+                        e,
+                        TraceEvent::DramRead {
+                            class: TrafficClass::Refetch,
+                            ..
+                        }
+                    )
+                })
+                .expect("refetch after eviction must be traced");
+            assert!(
+                evict_pos < refetch_pos,
+                "stream order: eviction precedes its refetch"
+            );
+            // the surviving row's consumption still registers as an IS hit
+            let mut b2 = LegacyDualBuffer::new(3 * ELEM_BYTES, 0.5);
+            b2.fetch_column(0, &[(2, 0.2), (6, 0.6)], 0, row_total_const(2));
+            b2.consume_column(0);
+            b2.enforce_capacity(1);
+            assert_eq!(b2.consume_row(2).len(), 1, "untraced buffer agrees");
+        }
+
+        #[test]
+        fn stats_accumulate() {
+            let mut b = LegacyDualBuffer::new(1_000_000, 0.5);
+            b.fetch_column(0, &[(1, 1.0), (2, 2.0)], 0, row_total_const(1));
+            b.charge_refetch(3);
+            let s = b.stats();
+            assert_eq!(s.fetched_bytes, 2 * ELEM_BYTES);
+            assert_eq!(s.refetch_bytes, 3 * ELEM_BYTES);
+            assert!(s.peak_bytes > 0);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sparsepipe_tensor::CooMatrix;
 
-    fn row_total_const(n: usize) -> impl Fn(u32) -> usize {
-        move |_| n
+    /// Arena for a hand-built matrix whose structure the tests control.
+    fn arena_of(n: u32, entries: &[(u32, u32, f64)]) -> MatrixArena {
+        let m = CooMatrix::from_entries(n, n, entries.to_vec()).expect("coords in range");
+        MatrixArena::from_coo(&m)
     }
 
     #[test]
     fn column_fetch_and_conversion() {
-        let mut b = DualBuffer::new(10_000, 0.5);
-        b.fetch_column(0, &[(3, 1.0), (5, 2.0)], 0, row_total_const(2));
+        // column 0 holds rows 3 and 5; rows 3 and 5 have 2 elements each
+        let arena = arena_of(6, &[(3, 0, 1.0), (5, 0, 2.0), (3, 4, 1.5), (5, 4, 2.5)]);
+        let mut b = DualBuffer::new(&arena, 10_000, 0.5);
+        b.fetch_column(0, 0);
         // CSC space holds the column; CSR space reserved both rows fully
         assert_eq!(b.occupancy_bytes(), 2 * ELEM_BYTES + 2 * 2 * ELEM_BYTES);
         assert!(b.has_reservation(3));
         assert_eq!(b.stored_row_len(3), 1);
-        let col = b.consume_column(0).expect("column present");
-        assert_eq!(col, vec![(3, 1.0), (5, 2.0)]);
-        // CSC space freed immediately
+        let (rows, vals) = b.consume_column(0).expect("column present");
+        assert_eq!(rows, &[3, 5]);
+        assert_eq!(vals, &[1.0, 2.0]);
+        // CSC space freed immediately, double-consume yields None
         assert_eq!(b.occupancy_bytes(), 2 * 2 * ELEM_BYTES);
+        assert!(b.consume_column(0).is_none());
     }
 
     #[test]
-    fn reservation_happens_once_at_full_row_size() {
-        let mut b = DualBuffer::new(10_000, 0.5);
-        b.fetch_column(0, &[(7, 1.0)], 0, row_total_const(5));
-        let after_first = b.occupancy_bytes();
-        b.consume_column(0);
-        b.fetch_column(1, &[(7, 2.0)], 0, row_total_const(5));
-        b.consume_column(1);
-        // second element did not grow the reservation
-        assert_eq!(
-            b.occupancy_bytes(),
-            after_first - ELEM_BYTES, // only the CSC copy of col 0 freed
-        );
-        assert_eq!(b.stats().reservations, 1);
-        assert_eq!(b.stored_row_len(7), 2);
-    }
-
-    #[test]
-    fn ascending_column_order_is_kept() {
-        let mut b = DualBuffer::new(10_000, 0.5);
+    fn window_tracks_ascending_arrivals_and_consume_drains() {
+        // row 9 spans columns 0..4
+        let arena = arena_of(10, &[(9, 0, 0.0), (9, 1, 1.0), (9, 2, 2.0), (9, 3, 3.0)]);
+        let mut b = DualBuffer::new(&arena, 10_000, 0.5);
         for col in 0..4u32 {
-            b.fetch_column(col, &[(9, col as f64)], 0, row_total_const(4));
+            b.fetch_column(col, 0);
             b.consume_column(col);
         }
-        let taken = b.consume_row(9);
-        assert_eq!(taken, vec![(0, 0.0), (1, 1.0), (2, 2.0), (3, 3.0)]);
+        assert_eq!(b.stats().reservations, 1);
+        assert_eq!(b.stored_row_len(9), 4);
+        let window = b.consume_row(9);
+        assert_eq!(arena.csr_cols_at(window.clone()), &[0, 1, 2, 3]);
+        assert_eq!(arena.csr_vals_at(window), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(b.stored_row_len(9), 0);
     }
 
     #[test]
     fn full_consumption_frees_reservation_via_repack() {
-        let mut b = DualBuffer::new(10_000, 0.0); // immediate repack
-        b.fetch_column(0, &[(2, 1.0)], 0, row_total_const(1));
+        let arena = arena_of(3, &[(2, 0, 1.0)]);
+        let mut b = DualBuffer::new(&arena, 10_000, 0.0); // immediate repack
+        b.fetch_column(0, 0);
         b.consume_column(0);
         assert!(b.has_reservation(2));
         let taken = b.consume_row(2);
@@ -415,29 +1023,45 @@ mod tests {
 
     #[test]
     fn deferred_rows_are_not_converted() {
-        let mut b = DualBuffer::new(10_000, 0.5);
+        let arena = arena_of(9, &[(2, 7, 1.0), (8, 7, 2.0)]);
+        let mut b = DualBuffer::new(&arena, 10_000, 0.5);
         // IS frontier is at row 5: rows below it defer
-        b.fetch_column(7, &[(2, 1.0), (8, 2.0)], 5, row_total_const(1));
+        b.fetch_column(7, 5);
         assert!(!b.has_reservation(2), "row below the frontier must defer");
         assert!(b.has_reservation(8));
     }
 
     #[test]
     fn eviction_prefers_highest_rows_and_respects_protection() {
+        // col 0 → rows {1, 5, 9}, col 1 → row 3, col 2 → rows {3, 5};
+        // every touched row has exactly 2 elements in total.
+        let arena = arena_of(
+            10,
+            &[
+                (1, 0, 0.1),
+                (5, 0, 0.5),
+                (9, 0, 0.9),
+                (3, 1, 0.3),
+                (3, 2, 0.33),
+                (5, 2, 0.55),
+                (1, 4, 0.11),
+                (9, 4, 0.99),
+            ],
+        );
         // capacity for ~3 reservations of 2 elements
-        let mut b = DualBuffer::new(7 * ELEM_BYTES, 0.5);
-        b.fetch_column(0, &[(1, 0.1), (5, 0.5), (9, 0.9)], 0, row_total_const(2));
+        let mut b = DualBuffer::new(&arena, 7 * ELEM_BYTES, 0.5);
+        b.fetch_column(0, 0);
         b.consume_column(0);
         // 3 reservations × 2 elems = 6 elems of CSR space: fits (42 < 84)
         assert_eq!(b.enforce_capacity(0), Vec::<u32>::new());
-        b.fetch_column(1, &[(3, 0.3)], 0, row_total_const(2));
+        b.fetch_column(1, 0);
         b.consume_column(1);
         // 4 reservations = 8 elems > 7: evict highest row (9)
         let evicted = b.enforce_capacity(0);
         assert_eq!(evicted, vec![9]);
         assert!(b.has_reservation(1) && b.has_reservation(3) && b.has_reservation(5));
         // protection: nothing at or below the protect mark is evicted
-        b.fetch_column(2, &[(5, 0.55), (3, 0.33)], 0, row_total_const(2));
+        b.fetch_column(2, 0);
         b.consume_column(2);
         let evicted = b.enforce_capacity(5);
         assert!(
@@ -447,76 +1071,14 @@ mod tests {
     }
 
     #[test]
-    fn traced_capacity_one_element_buffer_evicts_immediately() {
+    fn traced_eviction_and_refetch_events_match_contract() {
         use sparsepipe_trace::MemorySink;
-        // Capacity of a single element: the CSC copy plus the CSR
-        // reservation of the same element already overflow it, so the
-        // reservation must be evicted the moment capacity is enforced.
-        let mut sink = MemorySink::new();
-        {
-            let mut b = DualBuffer::with_sink(ELEM_BYTES, 0.5, &mut sink);
-            b.fetch_column(0, &[(5, 1.0)], 0, row_total_const(2));
-            b.consume_column(0);
-            assert_eq!(b.enforce_capacity(0), vec![5]);
-            assert_eq!(b.occupancy_bytes(), 0);
-            assert_eq!(b.stats().evicted_rows, 1);
-        }
-        let evicts: Vec<_> = sink
-            .events()
-            .iter()
-            .filter_map(|e| match *e {
-                TraceEvent::BufferEvict { row, col, .. } => Some((row, col)),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(
-            evicts,
-            vec![(5, WHOLE_ROW)],
-            "row-granular eviction carries the WHOLE_ROW sentinel"
-        );
-        assert!(sink
-            .events()
-            .iter()
-            .any(|e| matches!(e, TraceEvent::BufferInsert { row: 5, col: 0, .. })));
-    }
-
-    #[test]
-    fn traced_second_element_of_resident_row_reuses_reservation() {
-        use sparsepipe_trace::MemorySink;
-        let mut sink = MemorySink::new();
-        {
-            let mut b = DualBuffer::with_sink(10_000, 0.5, &mut sink);
-            b.fetch_column(0, &[(9, 1.0)], 0, row_total_const(2));
-            b.consume_column(0);
-            b.fetch_column(1, &[(9, 2.0)], 0, row_total_const(2));
-            b.consume_column(1);
-            // second element of row 9 lands in the existing reservation
-            assert_eq!(b.stats().reservations, 1);
-            assert_eq!(b.stored_row_len(9), 2);
-        }
-        let inserts: Vec<_> = sink
-            .events()
-            .iter()
-            .filter_map(|e| match *e {
-                TraceEvent::BufferInsert { row, col, .. } => Some((row, col)),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(
-            inserts,
-            vec![(9, 0), (9, 1)],
-            "both elements of the row insert, in ascending column order"
-        );
-    }
-
-    #[test]
-    fn traced_eviction_of_next_needed_row_causes_refetch() {
-        use sparsepipe_trace::MemorySink;
+        let arena = arena_of(7, &[(2, 0, 0.2), (6, 0, 0.6), (2, 3, 0.22), (6, 3, 0.66)]);
         let mut sink = MemorySink::new();
         {
             // room for the CSC copy plus one 2-element reservation only
-            let mut b = DualBuffer::with_sink(3 * ELEM_BYTES, 0.5, &mut sink);
-            b.fetch_column(0, &[(2, 0.2), (6, 0.6)], 0, row_total_const(2));
+            let mut b = DualBuffer::with_sink(&arena, 3 * ELEM_BYTES, 0.5, &mut sink);
+            b.fetch_column(0, 0);
             b.consume_column(0);
             // Protection is below row 6, so the highest row — exactly the
             // one holding data the IS stage will need — is evicted.
@@ -525,12 +1087,15 @@ mod tests {
             assert!(b.consume_row(6).is_empty());
             b.charge_refetch(2);
             assert_eq!(b.stats().refetch_bytes, 2 * ELEM_BYTES);
+            assert_eq!(b.stats().evicted_rows, 1);
         }
         let events = sink.events();
         let evict_pos = events
             .iter()
-            .position(|e| matches!(e, TraceEvent::BufferEvict { row: 6, .. }))
-            .expect("eviction of row 6 must be traced");
+            .position(
+                |e| matches!(e, TraceEvent::BufferEvict { row: 6, col, .. } if *col == WHOLE_ROW),
+            )
+            .expect("eviction of row 6 must carry the WHOLE_ROW sentinel");
         let refetch_pos = events
             .iter()
             .position(|e| {
@@ -547,18 +1112,33 @@ mod tests {
             evict_pos < refetch_pos,
             "stream order: eviction precedes its refetch"
         );
-        // the surviving row's consumption still registers as an IS hit
-        let mut b2 = DualBuffer::new(3 * ELEM_BYTES, 0.5);
-        b2.fetch_column(0, &[(2, 0.2), (6, 0.6)], 0, row_total_const(2));
-        b2.consume_column(0);
-        b2.enforce_capacity(1);
-        assert_eq!(b2.consume_row(2).len(), 1, "untraced buffer agrees");
+    }
+
+    #[test]
+    fn begin_pass_resets_for_reuse_without_reallocation() {
+        let arena = arena_of(4, &[(2, 0, 1.0), (3, 1, 2.0)]);
+        let mut b = DualBuffer::new(&arena, 10_000, 0.5);
+        for _ in 0..3 {
+            b.begin_pass();
+            for c in 0..4u32 {
+                b.fetch_column(c, c);
+                b.consume_column(c);
+                let w = b.consume_row(c);
+                let arrived = w.len();
+                b.consume_deferred(c, arena.row_nnz(c) - arrived);
+                b.enforce_capacity(c);
+            }
+            // per-pass stats, not accumulated
+            assert_eq!(b.stats().fetched_bytes, 2 * ELEM_BYTES);
+            assert_eq!(b.stats().reservations, 2);
+        }
     }
 
     #[test]
     fn stats_accumulate() {
-        let mut b = DualBuffer::new(1_000_000, 0.5);
-        b.fetch_column(0, &[(1, 1.0), (2, 2.0)], 0, row_total_const(1));
+        let arena = arena_of(3, &[(1, 0, 1.0), (2, 0, 2.0)]);
+        let mut b = DualBuffer::new(&arena, 1_000_000, 0.5);
+        b.fetch_column(0, 0);
         b.charge_refetch(3);
         let s = b.stats();
         assert_eq!(s.fetched_bytes, 2 * ELEM_BYTES);

@@ -54,18 +54,24 @@ pub fn simulate(
     iterations: usize,
     config: &SparsepipeConfig,
 ) -> Result<SimReport, CoreError> {
-    simulate_inner(program, matrix, iterations, config, &mut NullSink).map(|run| run.report)
+    simulate_inner(program, matrix, iterations, config, &mut NullSink, None).map(|run| run.report)
 }
 
 /// The engine proper: shared by the deprecated [`simulate`] shim and the
 /// [`crate::SimRequest`] driver. Generic over the trace sink; the
 /// default [`NullSink`] instantiation is the untraced engine.
+///
+/// `cache` (a [`MatrixCache`](crate::MatrixCache) plus this matrix's
+/// key) lets repeated runs over the same matrix share the reordered
+/// matrix and pass plan; the cached artifacts are pure functions of the
+/// key, so results are identical with or without it.
 pub(crate) fn simulate_inner<S: TraceSink>(
     program: &SparsepipeProgram,
     matrix: &CooMatrix,
     iterations: usize,
     config: &SparsepipeConfig,
     sink: &mut S,
+    cache: Option<(&crate::MatrixCache, u64)>,
 ) -> Result<EngineRun, CoreError> {
     if matrix.nrows() != matrix.ncols() {
         return Err(CoreError::NonSquareMatrix {
@@ -83,20 +89,35 @@ pub(crate) fn simulate_inner<S: TraceSink>(
     let mut peak_working_set = 0.0f64;
 
     // ---- Offline preprocessing (§IV-E; not part of the timed run) ----
-    let reordered;
-    let matrix = match config.preprocessing.reorder {
-        ReorderKind::None => matrix,
-        ReorderKind::GraphOrder => {
-            let perm = reorder::graph_order(&matrix.to_csr(), 64);
-            reordered = matrix.permute_symmetric(&perm);
-            diagnostics.push("offline preprocessing: GraphOrder reordering applied".into());
-            &reordered
-        }
-        ReorderKind::Vanilla => {
-            let perm = reorder::vanilla_triangular(&matrix.to_csr(), 3);
-            reordered = matrix.permute_symmetric(&perm);
-            diagnostics.push("offline preprocessing: vanilla triangular reordering applied".into());
-            &reordered
+    let reorder_kind = config.preprocessing.reorder;
+    let reordered_local;
+    let reordered_shared;
+    let matrix = if reorder_kind == ReorderKind::None {
+        matrix
+    } else {
+        // Reordering is a pure function of (matrix, kind): cacheable.
+        let build = || {
+            let perm = match reorder_kind {
+                ReorderKind::GraphOrder => reorder::graph_order(&matrix.to_csr(), 64),
+                _ => reorder::vanilla_triangular(&matrix.to_csr(), 3),
+            };
+            matrix.permute_symmetric(&perm)
+        };
+        diagnostics.push(match reorder_kind {
+            ReorderKind::GraphOrder => {
+                "offline preprocessing: GraphOrder reordering applied".into()
+            }
+            _ => "offline preprocessing: vanilla triangular reordering applied".into(),
+        });
+        match cache {
+            Some((cache, key)) => {
+                reordered_shared = cache.reordered(key, reorder_kind, build);
+                &*reordered_shared
+            }
+            None => {
+                reordered_local = build();
+                &reordered_local
+            }
         }
     };
 
@@ -135,7 +156,19 @@ pub(crate) fn simulate_inner<S: TraceSink>(
 
         if full_passes > 0 {
             let t = config.subtensor_auto(matrix.ncols(), matrix.nnz());
-            let plan = PassPlan::build(matrix, t);
+            // The plan depends only on (matrix, reordering, t): cacheable.
+            let plan_local;
+            let plan_shared;
+            let plan: &PassPlan = match cache {
+                Some((cache, key)) => {
+                    plan_shared = cache.plan(key, reorder_kind, t, || PassPlan::build(matrix, t));
+                    &plan_shared
+                }
+                None => {
+                    plan_local = PassPlan::build(matrix, t);
+                    &plan_local
+                }
+            };
             let params = PassParams {
                 feature,
                 ewise_arith_per_elem: ewise_arith + profile.dense_flops_per_element,
@@ -158,7 +191,7 @@ pub(crate) fn simulate_inner<S: TraceSink>(
                     steps: plan.steps as u32,
                 });
             }
-            let pass = PassRequest::new(&plan, config)
+            let pass = PassRequest::new(plan, config)
                 .params(params)
                 .run_traced(sink);
             accumulate_pass(

@@ -178,8 +178,8 @@ pub fn check_eviction_order(buf: &BufferModel, victim: u32) -> Result<(), Invari
     if buf.policy != EvictionPolicy::HighestRowFirst {
         return Ok(());
     }
-    match buf.resident.iter().next_back() {
-        Some(&highest) if highest > victim => Err(InvariantViolation::EvictionOrder {
+    match buf.resident.peek_highest() {
+        Some(highest) if highest > victim => Err(InvariantViolation::EvictionOrder {
             victim,
             highest_resident: highest,
         }),
@@ -208,7 +208,7 @@ pub fn check_step(buf: &BufferModel) -> Result<(), InvariantViolation> {
         });
     }
     for e in 0..buf.state.len() as u32 {
-        if buf.is_resident(e) != buf.resident.contains(&e) {
+        if buf.is_resident(e) != buf.resident.contains(e) {
             return Err(InvariantViolation::StateSetMismatch { element: e });
         }
     }

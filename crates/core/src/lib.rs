@@ -56,7 +56,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod buffer;
+pub mod cache;
 mod config;
 pub mod driver;
 pub mod dualbuffer;
@@ -69,6 +71,8 @@ pub mod pipeline;
 pub mod plan;
 mod stats;
 
+pub use arena::{MatrixArena, RowSet};
+pub use cache::MatrixCache;
 pub use config::{EvictionPolicy, MemoryConfig, Preprocessing, ReorderKind, SparsepipeConfig};
 pub use driver::{SimOutcome, SimRequest, SimTelemetry};
 pub use energy::{EnergyBreakdown, EnergyModel};

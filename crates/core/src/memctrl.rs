@@ -221,6 +221,14 @@ pub fn effective_utilization(config: MemControllerConfig, accesses: &[Access]) -
 /// in `chunk`-byte requests.
 pub fn stream_accesses(base: u64, total_bytes: u64, chunk: u32) -> Vec<Access> {
     let mut out = Vec::new();
+    stream_accesses_into(base, total_bytes, chunk, &mut out);
+    out
+}
+
+/// [`stream_accesses`] appending into a caller-reused `Vec` — the
+/// allocation-free form the pipeline's per-step detailed-memory path
+/// loops on.
+pub fn stream_accesses_into(base: u64, total_bytes: u64, chunk: u32, out: &mut Vec<Access>) {
     let mut addr = base;
     let end = base + total_bytes;
     while addr < end {
@@ -228,19 +236,29 @@ pub fn stream_accesses(base: u64, total_bytes: u64, chunk: u32) -> Vec<Access> {
         out.push(Access::read(addr, n));
         addr += n as u64;
     }
-    out
 }
 
 /// Synthesizes a scattered (gather-like) pattern: `count` requests of
 /// `bytes` each, spread pseudo-randomly over a `span`-byte region
 /// (deterministic; no RNG dependency).
 pub fn scattered_accesses(base: u64, span: u64, count: usize, bytes: u32) -> Vec<Access> {
-    (0..count)
-        .map(|i| {
-            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            Access::read(base + (h % span.max(1)), bytes)
-        })
-        .collect()
+    let mut out = Vec::new();
+    scattered_accesses_into(base, span, count, bytes, &mut out);
+    out
+}
+
+/// [`scattered_accesses`] appending into a caller-reused `Vec`.
+pub fn scattered_accesses_into(
+    base: u64,
+    span: u64,
+    count: usize,
+    bytes: u32,
+    out: &mut Vec<Access>,
+) {
+    out.extend((0..count).map(|i| {
+        let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        Access::read(base + (h % span.max(1)), bytes)
+    }));
 }
 
 #[cfg(test)]

@@ -218,6 +218,11 @@ where
 /// cross-check for the abstract timing model in
 /// [`crate::pipeline::run_pass`].
 ///
+/// Convenience wrapper: builds a [`MatrixArena`](crate::MatrixArena)
+/// from the two storage forms and runs [`fused_pass_arena`]. Callers
+/// looping over passes (or points) should build the arena once and call
+/// the arena entry points directly.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::DimensionMismatch`] on inconsistent shapes.
@@ -233,16 +238,9 @@ pub fn fused_pass_buffered<F>(
 where
     F: FnMut(usize, f64) -> f64,
 {
-    fused_pass_buffered_traced(
-        csc,
-        csr,
-        x,
-        ewise,
-        os,
-        is,
-        capacity_bytes,
-        sparsepipe_trace::NullSink,
-    )
+    check_square(csc, csr, "fused_pass_buffered")?;
+    let arena = crate::MatrixArena::from_parts(csc, csr);
+    fused_pass_arena(&arena, x, ewise, os, is, capacity_bytes)
 }
 
 /// [`fused_pass_buffered`] with a live [`TraceSink`](sparsepipe_trace::TraceSink):
@@ -260,6 +258,218 @@ pub fn fused_pass_buffered_traced<F, S>(
     csc: &CscMatrix,
     csr: &CsrMatrix,
     x: &DenseVector,
+    ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+    capacity_bytes: usize,
+    sink: S,
+) -> Result<(FusedPassOutput, crate::dualbuffer::DualBufferStats), TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+    S: sparsepipe_trace::TraceSink,
+{
+    check_square(csc, csr, "fused_pass_buffered")?;
+    let arena = crate::MatrixArena::from_parts(csc, csr);
+    fused_pass_arena_traced(&arena, x, ewise, os, is, capacity_bytes, sink)
+}
+
+fn check_square(csc: &CscMatrix, csr: &CsrMatrix, what: &str) -> Result<(), TensorError> {
+    if csc.nrows() != csc.ncols() || csr.nrows() != csc.nrows() {
+        return Err(TensorError::DimensionMismatch {
+            context: format!(
+                "{what}: csc {}x{}, csr {}x{}",
+                csc.nrows(),
+                csc.ncols(),
+                csr.nrows(),
+                csr.ncols()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// One fused buffered OEI pass over a prebuilt
+/// [`MatrixArena`](crate::MatrixArena) — the untraced arena entry point.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] if `x` does not match the
+/// arena's dimension.
+pub fn fused_pass_arena<F>(
+    arena: &crate::MatrixArena,
+    x: &DenseVector,
+    ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+    capacity_bytes: usize,
+) -> Result<(FusedPassOutput, crate::dualbuffer::DualBufferStats), TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+{
+    fused_pass_arena_traced(
+        arena,
+        x,
+        ewise,
+        os,
+        is,
+        capacity_bytes,
+        sparsepipe_trace::NullSink,
+    )
+}
+
+/// [`fused_pass_arena`] with a live
+/// [`TraceSink`](sparsepipe_trace::TraceSink) — builds a fresh
+/// [`DualBuffer`](crate::dualbuffer::DualBuffer) for one pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] if `x` does not match the
+/// arena's dimension.
+pub fn fused_pass_arena_traced<F, S>(
+    arena: &crate::MatrixArena,
+    x: &DenseVector,
+    ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+    capacity_bytes: usize,
+    sink: S,
+) -> Result<(FusedPassOutput, crate::dualbuffer::DualBufferStats), TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+    S: sparsepipe_trace::TraceSink,
+{
+    let mut buffer = crate::dualbuffer::DualBuffer::with_sink(arena, capacity_bytes, 0.5, sink);
+    fused_pass_with(&mut buffer, x, ewise, os, is)
+}
+
+/// The fused buffered pass driver over a reusable
+/// [`DualBuffer`](crate::dualbuffer::DualBuffer): resets the buffer
+/// ([`DualBuffer::begin_pass`](crate::dualbuffer::DualBuffer::begin_pass))
+/// and sweeps every column through the OS → e-wise → IS stages, with the
+/// deferred-IS, refetch-after-eviction, and capacity-enforcement paths
+/// of the hardware loader. Loop drivers keep one buffer alive across
+/// passes so the hot path never allocates.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] if `x` does not match the
+/// buffer's arena dimension.
+pub fn fused_pass_with<F, S>(
+    buffer: &mut crate::dualbuffer::DualBuffer<'_, S>,
+    x: &DenseVector,
+    mut ewise: F,
+    os: SemiringOp,
+    is: SemiringOp,
+) -> Result<(FusedPassOutput, crate::dualbuffer::DualBufferStats), TensorError>
+where
+    F: FnMut(usize, f64) -> f64,
+    S: sparsepipe_trace::TraceSink,
+{
+    let arena = buffer.arena();
+    let n = arena.n() as usize;
+    if x.len() != n {
+        return Err(TensorError::DimensionMismatch {
+            context: format!("fused_pass_buffered: x len {} vs n {n}", x.len()),
+        });
+    }
+
+    buffer.begin_pass();
+    let mut evicted = crate::arena::RowSet::with_capacity(n);
+    let mut evicted_now: Vec<u32> = Vec::new();
+    let mut y1 = DenseVector::zeros(n);
+    let mut x2 = DenseVector::zeros(n);
+    let mut y2 = DenseVector::filled(n, is.zero());
+
+    for c in 0..n as u32 {
+        // ---- CSC loader: fetch column c; the converter routes each
+        // element to the CSR space (rows ≥ c) or the deferred path. ----
+        buffer.fetch_column(c, c);
+        // deferred-IS: rows the IS stage already passed scatter now
+        let (rows, vals) = arena.col(c);
+        for (&r, &v) in rows.iter().zip(vals) {
+            if r < c {
+                let cell = &mut y2[c as usize];
+                *cell = is.add(*cell, is.mul(x2[r as usize], v));
+            }
+        }
+
+        // ---- OS core: dot of column c (read from the buffer). ----
+        let (os_rows, os_vals) = buffer.consume_column(c).expect("column was just fetched");
+        let mut acc = os.zero();
+        for (&r, &v) in os_rows.iter().zip(os_vals) {
+            acc = os.add(acc, os.mul(x[r as usize], v));
+        }
+        y1[c as usize] = acc;
+
+        // ---- E-Wise core. ----
+        let e = ewise(c as usize, acc);
+        x2[c as usize] = e;
+
+        // ---- IS core: scatter row c from the CSR space. ----
+        let window = buffer.consume_row(c);
+        let arrived = window.len();
+        for (&col, &v) in arena
+            .csr_cols_at(window.clone())
+            .iter()
+            .zip(arena.csr_vals_at(window.clone()))
+        {
+            let cell = &mut y2[col as usize];
+            *cell = is.add(*cell, is.mul(e, v));
+        }
+        // If this row was evicted earlier, its already-passed columns were
+        // lost from the CSR space: re-fetch exactly the missing ones. The
+        // stored window grows contiguously, so the missing elements are
+        // exactly the positions before it (all with column < c); with
+        // nothing re-stored, they are every position with column < c.
+        if evicted.remove(c) {
+            let (row_start, _) = arena.row_range(c);
+            let miss_end = if arrived == 0 {
+                row_start + arena.row(c).0.partition_point(|&col| col < c)
+            } else {
+                window.start
+            };
+            for (&col, &v) in arena
+                .csr_cols_at(row_start..miss_end)
+                .iter()
+                .zip(arena.csr_vals_at(row_start..miss_end))
+            {
+                let cell = &mut y2[col as usize];
+                *cell = is.add(*cell, is.mul(e, v));
+            }
+            buffer.charge_refetch(miss_end - row_start);
+        }
+        // Elements of row c in columns > c arrive later through the
+        // deferred path; release their share of the reservation now.
+        let total = arena.row_nnz(c);
+        buffer.consume_deferred(c, total.saturating_sub(arrived));
+
+        // ---- Capacity enforcement (protect the current frontier). ----
+        evicted_now.clear();
+        buffer.enforce_capacity_into(c, &mut evicted_now);
+        for &r in &evicted_now {
+            evicted.insert(r);
+        }
+    }
+
+    Ok((FusedPassOutput { y1, x2, y2 }, buffer.stats()))
+}
+
+/// The pre-arena pass driver, verbatim over
+/// [`legacy::LegacyDualBuffer`](crate::dualbuffer::legacy::LegacyDualBuffer) —
+/// the oracle half of the differential harness
+/// (`tests/dualbuffer_differential.rs`): its functional output,
+/// statistics, and event stream define what the arena fast path must
+/// reproduce exactly.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on inconsistent shapes.
+#[cfg(feature = "legacy-dualbuffer")]
+#[allow(clippy::too_many_arguments)] // mirrors fused_pass_buffered_traced exactly
+pub fn fused_pass_buffered_legacy_traced<F, S>(
+    csc: &CscMatrix,
+    csr: &CsrMatrix,
+    x: &DenseVector,
     mut ewise: F,
     os: SemiringOp,
     is: SemiringOp,
@@ -273,24 +483,15 @@ where
     use std::collections::HashSet;
 
     let n = csc.ncols() as usize;
-    if csc.nrows() != csc.ncols() || csr.nrows() != csc.nrows() {
-        return Err(TensorError::DimensionMismatch {
-            context: format!(
-                "fused_pass_buffered: csc {}x{}, csr {}x{}",
-                csc.nrows(),
-                csc.ncols(),
-                csr.nrows(),
-                csr.ncols()
-            ),
-        });
-    }
+    check_square(csc, csr, "fused_pass_buffered")?;
     if x.len() != n {
         return Err(TensorError::DimensionMismatch {
             context: format!("fused_pass_buffered: x len {} vs n {n}", x.len()),
         });
     }
 
-    let mut buffer = crate::dualbuffer::DualBuffer::with_sink(capacity_bytes, 0.5, sink);
+    let mut buffer =
+        crate::dualbuffer::legacy::LegacyDualBuffer::with_sink(capacity_bytes, 0.5, sink);
     let mut evicted: HashSet<u32> = HashSet::new();
     let mut y1 = DenseVector::zeros(n);
     let mut x2 = DenseVector::zeros(n);
@@ -450,11 +651,16 @@ pub fn run_fused_buffered<F>(
 where
     F: FnMut(usize, f64) -> f64,
 {
+    check_square(csc, csr, "run_fused_buffered")?;
+    // One arena + one buffer for the whole loop: passes only reset
+    // residency bookkeeping, never reallocate or re-derive slice tables.
+    let arena = crate::MatrixArena::from_parts(csc, csr);
+    let mut buffer = crate::dualbuffer::DualBuffer::new(&arena, capacity_bytes, 0.5);
     let mut x = x0.clone();
     let mut totals = crate::dualbuffer::DualBufferStats::default();
     let mut remaining = iterations;
     while remaining >= 2 {
-        let (pass, stats) = fused_pass_buffered(csc, csr, &x, &mut ewise, os, is, capacity_bytes)?;
+        let (pass, stats) = fused_pass_with(&mut buffer, &x, &mut ewise, os, is)?;
         totals.fetched_bytes += stats.fetched_bytes;
         totals.refetch_bytes += stats.refetch_bytes;
         totals.peak_bytes = totals.peak_bytes.max(stats.peak_bytes);

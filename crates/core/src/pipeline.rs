@@ -250,6 +250,9 @@ pub(crate) fn execute_pass_traced<S: TraceSink>(
     let mut ev_csc_addr: u64 = 0;
     let mut ev_csr_addr: u64 = 1 << 38;
     let mut ev_vec_addr: u64 = 1 << 36;
+    // Detailed-memory request batch, reused across steps so the
+    // bank-level path allocates once per pass, not once per step.
+    let mut accesses: Vec<memctrl::Access> = Vec::new();
 
     for s in 0..plan.steps {
         // Dense-vector working set sharing the buffer; cap its reservation
@@ -398,16 +401,18 @@ pub(crate) fn execute_pass_traced<S: TraceSink>(
         // scattered across the matrix image (row misses) — this is where
         // the bank model charges more than the analytic roofline.
         let detailed_mem_cycles = memctrl.as_mut().map(|ctrl| {
-            let mut accesses = memctrl::stream_accesses(csc_addr, csc_bytes as u64, 256);
+            accesses.clear();
+            memctrl::stream_accesses_into(csc_addr, csc_bytes as u64, 256, &mut accesses);
             csc_addr += csc_bytes as u64;
-            accesses.extend(memctrl::stream_accesses(vec_addr, vec_b as u64, 256));
+            memctrl::stream_accesses_into(vec_addr, vec_b as u64, 256, &mut accesses);
             vec_addr += vec_b as u64;
-            accesses.extend(memctrl::scattered_accesses(
+            memctrl::scattered_accesses_into(
                 1 << 40,
                 plan.nnz as u64 * 12,
                 (refetch_bytes / 96.0).ceil() as usize,
                 96,
-            ));
+                &mut accesses,
+            );
             ctrl.service_traced(&accesses, &mut *sink, s as u32).cycles
         });
         if S::ENABLED {

@@ -7,6 +7,7 @@ use sparsepipe_core::{
 use sparsepipe_frontend::{compile, GraphBuilder, SparsepipeProgram};
 use sparsepipe_semiring::{EwiseBinary, SemiringOp};
 use sparsepipe_tensor::{gen, CooMatrix};
+use sparsepipe_testutil::corpus;
 
 fn simulate(
     program: &SparsepipeProgram,
@@ -44,7 +45,7 @@ fn cfg() -> SparsepipeConfig {
 /// The simulator is a pure function of (program, matrix, config).
 #[test]
 fn repeated_runs_are_bit_identical() {
-    let m = gen::power_law(8000, 64_000, 1.3, 0.4, 7);
+    let m = corpus::power_law(8000, 64_000, 1.3, 0.4, 7);
     let program = pagerank_program();
     let a = simulate(&program, &m, 12, &cfg()).unwrap();
     let b = simulate(&program, &m, 12, &cfg()).unwrap();
@@ -54,7 +55,7 @@ fn repeated_runs_are_bit_identical() {
 /// Reordering inside simulate() is deterministic too.
 #[test]
 fn reordering_runs_are_deterministic() {
-    let m = gen::uniform(4000, 4000, 30_000, 5);
+    let m = corpus::uniform(4000, 30_000, 5);
     let program = pagerank_program();
     for kind in [ReorderKind::GraphOrder, ReorderKind::Vanilla] {
         let c = cfg().with_preprocessing(Preprocessing {
@@ -70,7 +71,7 @@ fn reordering_runs_are_deterministic() {
 /// Iterations scale runtime near-linearly for the fused steady state.
 #[test]
 fn iterations_scale_linearly() {
-    let m = gen::uniform(8000, 8000, 64_000, 3);
+    let m = corpus::uniform(8000, 64_000, 3);
     let program = pagerank_program();
     let r10 = simulate(&program, &m, 10, &cfg()).unwrap();
     let r40 = simulate(&program, &m, 40, &cfg()).unwrap();
@@ -82,7 +83,7 @@ fn iterations_scale_linearly() {
 /// memory-bound workload.
 #[test]
 fn iso_cpu_is_bandwidth_limited() {
-    let m = gen::uniform(8000, 8000, 64_000, 3);
+    let m = corpus::uniform(8000, 64_000, 3);
     let program = pagerank_program();
     let gpu = simulate(&program, &m, 10, &cfg()).unwrap();
     let cpu_cfg = SparsepipeConfig {
@@ -102,7 +103,7 @@ fn iso_cpu_is_bandwidth_limited() {
 #[test]
 fn eviction_policy_ordering() {
     // anti-diagonal mass: worst-case reuse distance
-    let m = gen::locality_mix(
+    let m = corpus::locality_mix(
         20_000,
         300_000,
         gen::LocalityMix {
@@ -139,7 +140,7 @@ fn eviction_policy_ordering() {
 /// choice is within 10% of the best explicit width tried.
 #[test]
 fn auto_subtensor_is_competitive() {
-    let m = gen::power_law(16_000, 160_000, 1.2, 0.4, 11);
+    let m = corpus::power_law(16_000, 160_000, 1.2, 0.4, 11);
     let program = pagerank_program();
     let auto = simulate(&program, &m, 10, &cfg()).unwrap();
     let mut best = f64::INFINITY;
@@ -163,7 +164,7 @@ fn auto_subtensor_is_competitive() {
 /// than the analytic roofline charge, and stays within a sane factor.
 #[test]
 fn detailed_memory_brackets_analytic_model() {
-    let m = gen::power_law(10_000, 90_000, 1.2, 0.4, 17);
+    let m = corpus::power_law(10_000, 90_000, 1.2, 0.4, 17);
     let program = pagerank_program();
     let analytic = simulate(&program, &m, 10, &cfg()).unwrap();
     let detailed_cfg = SparsepipeConfig {

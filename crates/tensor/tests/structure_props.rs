@@ -1,17 +1,12 @@
 //! Property-based tests of the tensor substrate's structural invariants.
 
 use proptest::prelude::*;
-use sparsepipe_tensor::{gen, livesweep, reorder, BlockedDualStorage, CooMatrix, DualStorage};
-
-fn coo(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, 0.1f64..4.0), 0..max_nnz)
-            .prop_map(move |e| CooMatrix::from_entries(n, n, e).expect("in range"))
-    })
-}
+use sparsepipe_tensor::{gen, livesweep, reorder, BlockedDualStorage, DualStorage};
+// the shared strictly-positive-values strategy (duplicates never cancel)
+use sparsepipe_testutil::coo_matrix_positive as coo;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(sparsepipe_testutil::config())]
 
     /// CSR row access agrees with a brute-force scan of the triplets.
     #[test]

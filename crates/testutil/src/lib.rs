@@ -1,0 +1,452 @@
+//! Shared test utilities for the Sparsepipe workspace.
+//!
+//! Every crate's property suites previously carried their own copies of
+//! the same COO-matrix strategy and hard-coded proptest case counts.
+//! This crate centralizes them:
+//!
+//! * [`config`] / [`config_with`] — the workspace-wide proptest
+//!   configuration, overridable via the `PROPTEST_CASES` environment
+//!   variable (CI bumps it without touching source);
+//! * [`coo_matrix`] / [`coo_matrix_positive`] / [`vector`] — the shared
+//!   proptest strategies for random square sparse matrices and dense
+//!   vectors;
+//! * [`corpus`] — seeded, deterministic matrix builders (banded,
+//!   power-law, uniform, block-diagonal, empty-row/col edge cases) and
+//!   an [`edge_case_suite`](corpus::edge_case_suite) bundling the
+//!   structures that historically break buffer models;
+//! * [`benchjson`] — a tiny flat-JSON recorder for `BENCH_*.json`
+//!   telemetry files (the vendored `serde_json` stand-in cannot parse,
+//!   so merging is done with a purpose-built top-level scanner).
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+use sparsepipe_tensor::{CooMatrix, DenseVector};
+
+/// The workspace-wide default number of proptest cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// The proptest configuration shared by every suite: [`DEFAULT_CASES`]
+/// cases, overridable by setting the `PROPTEST_CASES` environment
+/// variable to a positive integer.
+pub fn config() -> ProptestConfig {
+    config_with(DEFAULT_CASES)
+}
+
+/// Like [`config`], but with a per-suite default other than
+/// [`DEFAULT_CASES`] (e.g. the differential harness defaults to 256).
+/// `PROPTEST_CASES` still overrides the default when set.
+pub fn config_with(default_cases: u32) -> ProptestConfig {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(default_cases);
+    ProptestConfig::with_cases(cases)
+}
+
+fn coo_matrix_with_values(
+    max_n: u32,
+    max_nnz: usize,
+    values: std::ops::Range<f64>,
+) -> impl Strategy<Value = CooMatrix> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, values.clone()), 0..max_nnz).prop_map(
+            move |entries| CooMatrix::from_entries(n, n, entries).expect("coords in range"),
+        )
+    })
+}
+
+/// Strategy: a random square COO matrix with up to `max_nnz` raw entries
+/// (duplicates merge by addition), dimension in `2..max_n`, and values in
+/// `-4.0..4.0`.
+pub fn coo_matrix(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    coo_matrix_with_values(max_n, max_nnz, -4.0..4.0)
+}
+
+/// Like [`coo_matrix`], but with strictly positive values in `0.1..4.0`
+/// so that duplicate entries can never cancel to zero.
+pub fn coo_matrix_positive(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    coo_matrix_with_values(max_n, max_nnz, 0.1..4.0)
+}
+
+/// Strategy: a dense vector of length `n` with values in `-4.0..4.0`.
+pub fn vector(n: usize) -> impl Strategy<Value = DenseVector> {
+    proptest::collection::vec(-4.0f64..4.0, n).prop_map(DenseVector::from)
+}
+
+pub mod corpus {
+    //! Seeded, deterministic sparse-matrix builders shared by tests and
+    //! benches. The `banded`/`power_law`/`uniform`/`locality_mix`
+    //! wrappers delegate to [`sparsepipe_tensor::gen`] so existing seeds
+    //! keep producing bit-identical matrices; `block_diagonal` and
+    //! `with_empty_rows_and_cols` cover structures the generators lack.
+
+    use sparsepipe_tensor::{gen, CooMatrix};
+
+    /// SplitMix64: a tiny, dependency-free deterministic generator for
+    /// the builders that are not backed by [`gen`].
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn new(seed: u64) -> Self {
+            SplitMix64(seed)
+        }
+
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, bound: u32) -> u32 {
+            debug_assert!(bound > 0);
+            (self.next() % u64::from(bound)) as u32
+        }
+
+        fn unit_f64(&mut self) -> f64 {
+            (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A banded matrix: see [`gen::banded`].
+    pub fn banded(n: u32, nnz: usize, bandwidth: u32, seed: u64) -> CooMatrix {
+        gen::banded(n, nnz, bandwidth, seed)
+    }
+
+    /// A power-law (scale-free) matrix: see [`gen::power_law`].
+    pub fn power_law(n: u32, nnz: usize, skew: f64, locality: f64, seed: u64) -> CooMatrix {
+        gen::power_law(n, nnz, skew, locality, seed)
+    }
+
+    /// A uniformly random square matrix: see [`gen::uniform`].
+    pub fn uniform(n: u32, nnz: usize, seed: u64) -> CooMatrix {
+        gen::uniform(n, n, nnz, seed)
+    }
+
+    /// A locality-mix matrix: see [`gen::locality_mix`].
+    pub fn locality_mix(n: u32, nnz: usize, mix: gen::LocalityMix, seed: u64) -> CooMatrix {
+        gen::locality_mix(n, nnz, mix, seed)
+    }
+
+    /// A block-diagonal matrix: `n.div_ceil(block)` square blocks of
+    /// side `block` along the diagonal, populated with up to `nnz`
+    /// entries (duplicates merge). Exercises perfectly clustered reuse —
+    /// the best case for the dual buffer's CSR window.
+    pub fn block_diagonal(n: u32, block: u32, nnz: usize, seed: u64) -> CooMatrix {
+        assert!(n > 0 && block > 0, "block_diagonal needs n > 0, block > 0");
+        let mut rng = SplitMix64::new(seed ^ 0xb10c_d1a6_0000_0000);
+        let nblocks = n.div_ceil(block);
+        let mut entries = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let base = rng.below(nblocks) * block;
+            let extent = block.min(n - base);
+            let r = base + rng.below(extent);
+            let c = base + rng.below(extent);
+            entries.push((r, c, 0.1 + 3.9 * rng.unit_f64()));
+        }
+        CooMatrix::from_entries(n, n, entries).expect("coords in range")
+    }
+
+    /// A uniformly random matrix in which every index `i` with
+    /// `i % 4 == 3` has a completely empty row *and* column. Exercises
+    /// the empty-slice paths of CSR/CSC iteration and buffer residency.
+    pub fn with_empty_rows_and_cols(n: u32, nnz: usize, seed: u64) -> CooMatrix {
+        assert!(n > 0, "with_empty_rows_and_cols needs n > 0");
+        let live: Vec<u32> = (0..n).filter(|i| i % 4 != 3).collect();
+        assert!(!live.is_empty(), "no live indices at n = {n}");
+        let mut rng = SplitMix64::new(seed ^ 0x0e3b_2070_0000_0000);
+        let pick = |rng: &mut SplitMix64| live[rng.below(live.len() as u32) as usize];
+        let mut entries = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let r = pick(&mut rng);
+            let c = pick(&mut rng);
+            entries.push((r, c, 0.1 + 3.9 * rng.unit_f64()));
+        }
+        CooMatrix::from_entries(n, n, entries).expect("coords in range")
+    }
+
+    /// The named edge-case structures that historically break sparse
+    /// buffer models, all square of dimension `scale`: empty matrix,
+    /// pure diagonal, pure anti-diagonal (worst-case reuse distance), a
+    /// dense first row + column (hub), plus seeded banded / power-law /
+    /// block-diagonal / empty-row-col instances.
+    pub fn edge_case_suite(scale: u32) -> Vec<(&'static str, CooMatrix)> {
+        assert!(scale >= 4, "edge_case_suite needs scale >= 4");
+        let n = scale;
+        let nnz = (n as usize) * 4;
+        let diag: Vec<(u32, u32, f64)> = (0..n).map(|i| (i, i, 1.0 + f64::from(i))).collect();
+        let anti: Vec<(u32, u32, f64)> =
+            (0..n).map(|i| (i, n - 1 - i, 0.5 + f64::from(i))).collect();
+        let mut hub: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 0..n {
+            hub.push((0, i, 1.0 + f64::from(i)));
+            hub.push((i, 0, 2.0 + f64::from(i)));
+        }
+        vec![
+            (
+                "empty",
+                CooMatrix::from_entries(n, n, Vec::new()).expect("empty"),
+            ),
+            (
+                "diagonal",
+                CooMatrix::from_entries(n, n, diag).expect("in range"),
+            ),
+            (
+                "anti_diagonal",
+                CooMatrix::from_entries(n, n, anti).expect("in range"),
+            ),
+            (
+                "hub_row_col",
+                CooMatrix::from_entries(n, n, hub).expect("in range"),
+            ),
+            ("banded", banded(n, nnz, n / 8 + 1, 1)),
+            ("power_law", power_law(n, nnz + nnz / 2, 1.2, 0.4, 2)),
+            ("block_diagonal", block_diagonal(n, n / 4 + 1, nnz, 3)),
+            ("empty_rows_cols", with_empty_rows_and_cols(n, nnz, 4)),
+        ]
+    }
+}
+
+pub mod benchjson {
+    //! Flat-JSON telemetry recording for `BENCH_*.json` files.
+    //!
+    //! The vendored `serde_json` stand-in serializes but cannot parse,
+    //! so merging a new key into an existing telemetry file is done with
+    //! a purpose-built scanner over the top-level object: each call to
+    //! [`record`] upserts one `"key": value` pair and rewrites the file
+    //! with stable two-space indentation.
+
+    use std::io;
+    use std::path::Path;
+
+    /// Upserts `"key": value_json` into the flat JSON object stored at
+    /// `path` (creating the file if missing) and rewrites it. `value_json`
+    /// must already be valid JSON text (number, string, object, …); it is
+    /// stored verbatim. Returns `InvalidData` if the existing file is not
+    /// a JSON object.
+    pub fn record(path: &Path, key: &str, value_json: &str) -> io::Result<()> {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut pairs = parse_flat(&existing).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a flat JSON object", path.display()),
+            )
+        })?;
+        match pairs.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value_json.to_string(),
+            None => pairs.push((key.to_string(), value_json.to_string())),
+        }
+        std::fs::write(path, render(&pairs))
+    }
+
+    /// Splits the top-level object in `src` into `(key, raw value text)`
+    /// pairs. Returns `None` if `src` is not a JSON object (an empty or
+    /// whitespace-only file counts as the empty object).
+    fn parse_flat(src: &str) -> Option<Vec<(String, String)>> {
+        let s = src.trim();
+        if s.is_empty() {
+            return Some(Vec::new());
+        }
+        if !s.starts_with('{') || !s.ends_with('}') {
+            return None;
+        }
+        let inner = &s[1..s.len() - 1];
+        let b = inner.as_bytes();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < b.len() {
+            while i < b.len() && (b[i].is_ascii_whitespace() || b[i] == b',') {
+                i += 1;
+            }
+            if i >= b.len() {
+                break;
+            }
+            let (key, after_key) = scan_string(inner, i)?;
+            i = after_key;
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= b.len() || b[i] != b':' {
+                return None;
+            }
+            i += 1;
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            let start = i;
+            let mut depth = 0u32;
+            while i < b.len() {
+                match b[i] {
+                    b'"' => {
+                        let (_, after) = scan_string(inner, i)?;
+                        i = after;
+                        continue;
+                    }
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => depth = depth.checked_sub(1)?,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            if i == start {
+                return None;
+            }
+            pairs.push((key, inner[start..i].trim_end().to_string()));
+        }
+        Some(pairs)
+    }
+
+    /// Scans the JSON string literal starting at byte offset `at` (the
+    /// opening quote); returns its unescaped-enough content (escape
+    /// sequences are kept verbatim) and the offset just past the closing
+    /// quote.
+    fn scan_string(s: &str, at: usize) -> Option<(String, usize)> {
+        let b = s.as_bytes();
+        if b.get(at) != Some(&b'"') {
+            return None;
+        }
+        let mut i = at + 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => return Some((s[at + 1..i].to_string(), i + 1)),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+
+    fn render(pairs: &[(String, String)]) -> String {
+        if pairs.is_empty() {
+            return "{}\n".to_string();
+        }
+        let mut out = String::from("{\n");
+        for (idx, (k, v)) in pairs.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(k);
+            out.push_str("\": ");
+            out.push_str(v);
+            if idx + 1 < pairs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::{parse_flat, render};
+
+        #[test]
+        fn empty_and_missing_files_are_the_empty_object() {
+            assert_eq!(parse_flat("").unwrap(), Vec::new());
+            assert_eq!(parse_flat("  \n").unwrap(), Vec::new());
+            assert_eq!(render(&[]), "{}\n");
+        }
+
+        #[test]
+        fn nested_values_survive_a_round_trip() {
+            let src =
+                "{\n  \"a\": 1,\n  \"b\": {\"x\": [1, 2], \"y\": \"s,}\"},\n  \"c\": -0.5\n}\n";
+            let pairs = parse_flat(src).unwrap();
+            assert_eq!(pairs.len(), 3);
+            assert_eq!(pairs[0], ("a".to_string(), "1".to_string()));
+            assert_eq!(pairs[1].1, "{\"x\": [1, 2], \"y\": \"s,}\"}");
+            assert_eq!(parse_flat(&render(&pairs)).unwrap(), pairs);
+        }
+
+        #[test]
+        fn non_objects_are_rejected() {
+            assert!(parse_flat("[1, 2]").is_none());
+            assert!(parse_flat("{\"a\" 1}").is_none());
+        }
+
+        #[test]
+        fn record_upserts_in_place() {
+            let dir = std::env::temp_dir().join("sparsepipe-testutil-benchjson");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("bench.json");
+            let _ = std::fs::remove_file(&path);
+            super::record(&path, "alpha", "1").unwrap();
+            super::record(&path, "beta", "{\"w\": 2.5}").unwrap();
+            super::record(&path, "alpha", "3").unwrap();
+            let back = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(back, "{\n  \"alpha\": 3,\n  \"beta\": {\"w\": 2.5}\n}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_respect_bounds() {
+        let mut rng = proptest::TestRng::deterministic("testutil::strategies_respect_bounds");
+        for _ in 0..32 {
+            let m = coo_matrix(24, 60).sample_value(&mut rng);
+            assert!(m.nrows() >= 2 && m.nrows() < 24);
+            assert_eq!(m.nrows(), m.ncols());
+            for &(r, c, v) in m.entries() {
+                assert!(r < m.nrows() && c < m.ncols());
+                assert!(v.abs() < 60.0 * 4.0);
+            }
+            let p = coo_matrix_positive(24, 60).sample_value(&mut rng);
+            for &(_, _, v) in p.entries() {
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_builders_are_deterministic_and_in_bounds() {
+        let a = corpus::block_diagonal(64, 16, 200, 9);
+        let b = corpus::block_diagonal(64, 16, 200, 9);
+        assert_eq!(a, b);
+        for &(r, c, _) in a.entries() {
+            assert_eq!(r / 16, c / 16, "entry ({r},{c}) crosses a block");
+        }
+        let e = corpus::with_empty_rows_and_cols(64, 200, 9);
+        for &(r, c, _) in e.entries() {
+            assert_ne!(r % 4, 3);
+            assert_ne!(c % 4, 3);
+        }
+        assert!(e.nnz() > 0);
+    }
+
+    #[test]
+    fn edge_case_suite_covers_the_named_structures() {
+        let suite = corpus::edge_case_suite(32);
+        let names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"empty"));
+        assert!(names.contains(&"anti_diagonal"));
+        assert!(names.contains(&"block_diagonal"));
+        assert!(names.contains(&"empty_rows_cols"));
+        for (name, m) in &suite {
+            assert_eq!(m.nrows(), 32, "{name}");
+            assert_eq!(m.ncols(), 32, "{name}");
+        }
+        let empty = suite.iter().find(|(n, _)| *n == "empty").unwrap();
+        assert_eq!(empty.1.nnz(), 0);
+    }
+
+    #[test]
+    fn config_with_prefers_env_override() {
+        // Can't mutate the environment safely in a parallel test binary;
+        // just check the defaults thread through.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(config().cases, DEFAULT_CASES);
+            assert_eq!(config_with(256).cases, 256);
+        }
+    }
+}

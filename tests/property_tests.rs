@@ -7,22 +7,11 @@ use sparsepipe::core::oei;
 use sparsepipe::frontend::{fusion, GraphBuilder};
 use sparsepipe::semiring::{EwiseBinary, EwiseUnary, SemiringOp};
 use sparsepipe::tensor::{livesweep, BlockedDualStorage, CooMatrix, DenseVector};
-
-/// Strategy: a random small square COO matrix.
-fn coo_matrix(max_n: u32, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(move |entries| {
-            CooMatrix::from_entries(n, n, entries).expect("coords in range")
-        })
-    })
-}
-
-fn vector(n: usize) -> impl Strategy<Value = DenseVector> {
-    proptest::collection::vec(-4.0f64..4.0, n).prop_map(DenseVector::from)
-}
+// the workspace-shared matrix/vector strategies and case-count config
+use sparsepipe_testutil::{coo_matrix, vector};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(sparsepipe_testutil::config())]
 
     /// COO → CSR → COO and COO → CSC → COO are lossless.
     #[test]
