@@ -12,7 +12,7 @@ use std::time::Instant;
 use sparsepipe_apps::registry;
 use sparsepipe_bench::datasets::{DataContext, MatrixSet};
 use sparsepipe_bench::executor::Executor;
-use sparsepipe_bench::sweep::{evaluate, evaluate_cached, Entry};
+use sparsepipe_bench::sweep::{Entry, EvalRequest};
 use sparsepipe_core::MatrixCache;
 
 const SCALE: u64 = 64;
@@ -42,7 +42,13 @@ fn main() {
     let (uncached_s, plain) = best_of(|| {
         points
             .iter()
-            .map(|(d, a)| evaluate(a, d, SCALE).expect("point evaluates").entry)
+            .map(|(d, a)| {
+                EvalRequest::new(a, d, SCALE)
+                    .run()
+                    .expect("point evaluates")
+                    .evaluation
+                    .entry
+            })
             .collect()
     });
     let (cached_s, cached) = best_of(|| {
@@ -50,8 +56,11 @@ fn main() {
         points
             .iter()
             .map(|(d, a)| {
-                evaluate_cached(a, d, SCALE, &cache)
+                EvalRequest::new(a, d, SCALE)
+                    .cache(&cache)
+                    .run()
                     .expect("point evaluates")
+                    .evaluation
                     .entry
             })
             .collect()

@@ -29,6 +29,17 @@
 //! trace           trace one (app, matrix) point (--app, --matrix; default
 //!                 pr on ca) and export trace.jsonl, a Perfetto-loadable
 //!                 chrome-trace.json, and reuse/occupancy/traffic CSVs
+//!
+//! fault tolerance (routes sweeps through the isolated executor; a failed
+//! point is reported and skipped instead of aborting the run, and the
+//! process exits 2 when any point failed):
+//! --deadline-ms N    per-point wall-clock budget
+//! --retries N        attempts beyond the first per failed point
+//! --backoff-ms N     deterministic doubling backoff base between retries
+//! --checkpoint F     append each completed point to journal F (fsync'd)
+//! --resume           restore completed points from F instead of re-running
+//! --inject SPEC      deterministic fault injection for tests/CI, e.g.
+//!                    panic@pr-ca, timeout@sssp-bu, transient@pr-ca:2
 //! ```
 
 use std::path::Path;
@@ -39,6 +50,7 @@ use sparsepipe_bench::cli;
 use sparsepipe_bench::error::BenchError;
 use sparsepipe_bench::executor::Executor;
 use sparsepipe_bench::experiments as exp;
+use sparsepipe_bench::fault::FaultInjector;
 use sparsepipe_bench::sweep::Sweep;
 
 fn main() -> ExitCode {
@@ -98,6 +110,7 @@ fn run() -> Result<ExitCode, BenchError> {
         exec.jobs()
     );
     // Figures 14/16/17/18/20b/21/22/23 share one sweep; run it lazily.
+    let mut sweep_failures = 0usize;
     let sweep = if opts.needs_sweep() {
         if let Some(dir) = &opts.trace_dir {
             eprintln!(
@@ -105,6 +118,27 @@ fn run() -> Result<ExitCode, BenchError> {
                 dir.display()
             );
             Some(Sweep::run_traced(ctx.clone(), &exec, dir)?)
+        } else if opts.uses_fault_tolerance() {
+            let injector = FaultInjector::from_specs(&opts.inject).map_err(BenchError::Cli)?;
+            eprintln!("# running fault-tolerant app x matrix sweep …");
+            let outcome = Sweep::run_checked(ctx.clone(), &exec, &opts.sweep_options(), &injector)?;
+            if outcome.resumed > 0 {
+                eprintln!(
+                    "# resumed {} completed point(s) from the checkpoint journal, executed {}",
+                    outcome.resumed, outcome.executed
+                );
+            }
+            sweep_failures = outcome.failures.len();
+            for failure in outcome.failures {
+                eprintln!("point failed: {failure}");
+                let mut source = std::error::Error::source(&failure);
+                while let Some(cause) = source {
+                    eprintln!("  caused by: {cause}");
+                    source = cause.source();
+                }
+                exec.record_failure(failure);
+            }
+            Some(outcome.sweep)
         } else {
             eprintln!("# running app x matrix sweep …");
             Some(Sweep::run_with(ctx.clone(), &exec)?)
@@ -164,6 +198,13 @@ fn run() -> Result<ExitCode, BenchError> {
             wall_start.elapsed().as_secs_f64(),
             path.display()
         );
+    }
+    if sweep_failures > 0 {
+        eprintln!(
+            "# {sweep_failures} sweep point(s) failed — details in the telemetry JSON \
+             (`failed_points`); successful points are unaffected"
+        );
+        return Ok(ExitCode::from(2));
     }
     Ok(ExitCode::SUCCESS)
 }

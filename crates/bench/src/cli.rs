@@ -44,6 +44,18 @@ pub struct CliOptions {
     pub trace_app: String,
     /// Matrix for the `trace` subcommand (`--matrix`, default `ca`).
     pub trace_matrix: MatrixId,
+    /// Per-point wall-clock budget in milliseconds (`--deadline-ms`).
+    pub deadline_ms: Option<u64>,
+    /// Retries per failed point (`--retries`, default 0).
+    pub retries: u32,
+    /// Base backoff between retries in milliseconds (`--backoff-ms`).
+    pub backoff_ms: u64,
+    /// Checkpoint journal path (`--checkpoint`).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume completed points from the checkpoint journal (`--resume`).
+    pub resume: bool,
+    /// Fault-injection specs (`--inject`, repeatable; test/CI harness).
+    pub inject: Vec<String>,
 }
 
 impl CliOptions {
@@ -65,6 +77,27 @@ impl CliOptions {
         self.trace_dir
             .clone()
             .unwrap_or_else(|| PathBuf::from("trace-out"))
+    }
+
+    /// The [`SweepOptions`](crate::sweep::SweepOptions) these options
+    /// select for the fault-tolerant sweep.
+    pub fn sweep_options(&self) -> crate::sweep::SweepOptions {
+        crate::sweep::SweepOptions {
+            deadline: self.deadline_ms.map(std::time::Duration::from_millis),
+            retry: crate::fault::RetryPolicy::with_retries(self.retries, self.backoff_ms),
+            checkpoint: self.checkpoint.clone(),
+            resume: self.resume,
+        }
+    }
+
+    /// Whether any fault-tolerance flag was given (these route sweeps
+    /// through [`Sweep::run_checked`](crate::sweep::Sweep::run_checked)).
+    pub fn uses_fault_tolerance(&self) -> bool {
+        self.deadline_ms.is_some()
+            || self.retries > 0
+            || self.checkpoint.is_some()
+            || self.resume
+            || !self.inject.is_empty()
     }
 
     /// Whether any requested artifact needs the app × matrix sweep.
@@ -99,6 +132,12 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         trace_dir: None,
         trace_app: "pr".to_string(),
         trace_matrix: MatrixId::Ca,
+        deadline_ms: None,
+        retries: 0,
+        backoff_ms: 0,
+        checkpoint: None,
+        resume: false,
+        inject: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -165,6 +204,45 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                         )
                     })?;
             }
+            "--deadline-ms" => {
+                i += 1;
+                opts.deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--deadline-ms needs a millisecond budget")?,
+                );
+            }
+            "--retries" => {
+                i += 1;
+                opts.retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--retries needs a non-negative integer")?;
+            }
+            "--backoff-ms" => {
+                i += 1;
+                opts.backoff_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--backoff-ms needs a millisecond base delay")?;
+            }
+            "--checkpoint" => {
+                i += 1;
+                opts.checkpoint = Some(
+                    args.get(i)
+                        .ok_or("--checkpoint needs a journal file path")?
+                        .into(),
+                );
+            }
+            "--resume" => opts.resume = true,
+            "--inject" => {
+                i += 1;
+                opts.inject.push(
+                    args.get(i)
+                        .ok_or("--inject needs a spec like panic@pr-ca")?
+                        .clone(),
+                );
+            }
             "--lint" => opts.lint = true,
             "--help" | "-h" => opts.help = true,
             flag if flag.starts_with('-') => {
@@ -190,6 +268,18 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     if opts.artifacts.is_empty() && !opts.help && !opts.lint {
         return Err("no artifact requested (try `all`, `--lint`, or `--help`)".into());
     }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
+    }
+    if opts.uses_fault_tolerance() && opts.trace_dir.is_some() {
+        return Err(
+            "fault-tolerance flags (--deadline-ms/--retries/--checkpoint/--resume/--inject) \
+             are not supported with --trace-dir"
+                .into(),
+        );
+    }
+    // Reject malformed specs at parse time, not mid-sweep.
+    crate::fault::FaultInjector::from_specs(&opts.inject).map_err(|e| format!("--inject {e}"))?;
     Ok(opts)
 }
 
@@ -198,6 +288,8 @@ pub fn usage() -> String {
     format!(
         "usage: experiments <artifact>... [--scale N] [--quick] [--jobs N] [--json out.json] \
          [--bench-json out.json] [--mtx DIR] [--lint] [--trace-dir DIR]\n\
+         fault tolerance: [--deadline-ms N] [--retries N] [--backoff-ms N] \
+         [--checkpoint journal.jsonl] [--resume] [--inject kind@app-matrix[:n]]\n\
          artifacts: {}\n\
          trace subcommand: experiments trace [--app NAME] [--matrix CODE] [--trace-dir DIR]\n\
          (--trace-dir with sweep artifacts also records per-point JSONL traces)",
@@ -311,6 +403,46 @@ mod tests {
         assert!(parse(&args("trace --matrix")).is_err());
         assert!(parse(&args("trace --app")).is_err());
         assert!(parse(&args("--trace-dir")).is_err());
+    }
+
+    #[test]
+    fn fault_tolerance_flags_parse() {
+        let o = parse(&args(
+            "fig14 --deadline-ms 5000 --retries 2 --backoff-ms 10 \
+             --checkpoint j.jsonl --resume --inject panic@pr-ca --inject transient@cg-gy:2",
+        ))
+        .unwrap();
+        assert_eq!(o.deadline_ms, Some(5000));
+        assert_eq!(o.retries, 2);
+        assert_eq!(o.backoff_ms, 10);
+        assert_eq!(o.checkpoint, Some("j.jsonl".into()));
+        assert!(o.resume);
+        assert_eq!(o.inject.len(), 2);
+        assert!(o.uses_fault_tolerance());
+        let so = o.sweep_options();
+        assert_eq!(so.deadline, Some(std::time::Duration::from_millis(5000)));
+        assert_eq!(so.retry.max_attempts, 3);
+        assert_eq!(so.retry.backoff_base_ms, 10);
+        assert!(so.resume);
+        // defaults: fault tolerance off, single attempt
+        let d = parse(&args("fig14")).unwrap();
+        assert!(!d.uses_fault_tolerance());
+        assert_eq!(d.sweep_options().retry.max_attempts, 1);
+        assert_eq!(d.sweep_options().deadline, None);
+    }
+
+    #[test]
+    fn fault_tolerance_flags_are_validated() {
+        assert!(parse(&args("fig14 --resume")).is_err(), "--resume alone");
+        assert!(
+            parse(&args("fig14 --trace-dir t --retries 1")).is_err(),
+            "fault flags conflict with tracing"
+        );
+        assert!(parse(&args("fig14 --inject frob@pr-ca")).is_err());
+        assert!(parse(&args("fig14 --inject")).is_err());
+        assert!(parse(&args("fig14 --deadline-ms")).is_err());
+        assert!(parse(&args("fig14 --retries -1")).is_err());
+        assert!(parse(&args("fig14 --checkpoint")).is_err());
     }
 
     #[test]

@@ -60,6 +60,22 @@ pub enum BenchError {
         /// The audit's mismatch description.
         message: String,
     },
+    /// The checkpoint journal could not be written, read, or validated
+    /// (`--checkpoint` / `--resume`).
+    Checkpoint {
+        /// The journal path.
+        path: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+    /// A [`FaultInjector`](crate::fault::FaultInjector) injected a
+    /// transient error at this point (test/CI harness paths only).
+    Injected {
+        /// The `app-matrix` label of the injected point.
+        label: String,
+        /// Which attempt the fault fired on (1-based).
+        attempt: u32,
+    },
 }
 
 impl std::fmt::Display for BenchError {
@@ -95,6 +111,15 @@ impl std::fmt::Display for BenchError {
                 "trace audit of `{app}` on `{}` failed: {message}",
                 matrix.code()
             ),
+            BenchError::Checkpoint { path, message } => {
+                write!(f, "checkpoint journal {}: {message}", path.display())
+            }
+            BenchError::Injected { label, attempt } => {
+                write!(
+                    f,
+                    "injected transient fault at `{label}` (attempt {attempt})"
+                )
+            }
         }
     }
 }
@@ -106,6 +131,121 @@ impl std::error::Error for BenchError {
             BenchError::Io { source, .. } => Some(source),
             _ => None,
         }
+    }
+}
+
+/// The identity of one sweep point, carried by every fault-tolerance
+/// artifact (failure reports, checkpoint records, injector rules).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PointKey {
+    /// Application short name (e.g. `pr`).
+    pub app: String,
+    /// Matrix code (e.g. `ca` — [`MatrixId::code`] form).
+    pub matrix: String,
+    /// Dataset scale divisor the sweep ran at.
+    pub scale: u64,
+}
+
+impl PointKey {
+    /// The `app-matrix` label used in telemetry and injector specs.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.app, self.matrix)
+    }
+}
+
+impl std::fmt::Display for PointKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}@{}", self.app, self.matrix, self.scale)
+    }
+}
+
+impl serde::Serialize for PointKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("app".to_string(), self.app.to_value()),
+            ("matrix".to_string(), self.matrix.to_value()),
+            ("scale".to_string(), self.scale.to_value()),
+        ])
+    }
+}
+
+/// How a sweep point failed.
+#[derive(Debug)]
+pub enum PointErrorKind {
+    /// The point's evaluation panicked; the payload is the panic message.
+    Panic(String),
+    /// The point exceeded its per-point wall-clock deadline.
+    Timeout {
+        /// The budget the point was given, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The point's evaluation returned an error.
+    Sim(BenchError),
+}
+
+impl PointErrorKind {
+    /// The stable kind tag used in telemetry JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PointErrorKind::Panic(_) => "panic",
+            PointErrorKind::Timeout { .. } => "timeout",
+            PointErrorKind::Sim(_) => "error",
+        }
+    }
+}
+
+/// A failed sweep point: what failed, how, and after how many attempts.
+/// Rendered into `BENCH_experiments.json` (`failed_points`) and the CLI
+/// error chain; the sweep completes around it.
+#[derive(Debug)]
+pub struct PointError {
+    /// How the point failed (last attempt's outcome).
+    pub kind: PointErrorKind,
+    /// Which point failed.
+    pub point: PointKey,
+    /// Attempts made before giving up (≥ 1).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "point {} failed after {} attempt(s): ",
+            self.point, self.attempts
+        )?;
+        match &self.kind {
+            PointErrorKind::Panic(msg) => write!(f, "panicked: {msg}"),
+            PointErrorKind::Timeout { budget_ms } => {
+                write!(f, "exceeded its {budget_ms} ms deadline")
+            }
+            PointErrorKind::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            PointErrorKind::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl serde::Serialize for PointError {
+    fn to_value(&self) -> serde::Value {
+        let detail = match &self.kind {
+            PointErrorKind::Panic(msg) => msg.clone(),
+            PointErrorKind::Timeout { budget_ms } => format!("deadline {budget_ms} ms"),
+            PointErrorKind::Sim(e) => e.to_string(),
+        };
+        serde::Value::Map(vec![
+            ("point".to_string(), self.point.to_value()),
+            ("kind".to_string(), self.kind.tag().to_value()),
+            ("detail".to_string(), detail.to_value()),
+            ("attempts".to_string(), self.attempts.to_value()),
+        ])
     }
 }
 
@@ -129,5 +269,57 @@ mod tests {
             message: "no such file".into(),
         };
         assert!(e.to_string().contains("eu"));
+    }
+
+    #[test]
+    fn point_error_names_point_kind_and_attempts() {
+        let key = PointKey {
+            app: "pr".into(),
+            matrix: "ca".into(),
+            scale: 64,
+        };
+        assert_eq!(key.label(), "pr-ca");
+        assert_eq!(key.to_string(), "pr-ca@64");
+
+        let e = PointError {
+            kind: PointErrorKind::Timeout { budget_ms: 250 },
+            point: key.clone(),
+            attempts: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("pr-ca@64") && msg.contains("3 attempt") && msg.contains("250"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = PointError {
+            kind: PointErrorKind::Sim(BenchError::UnknownApp("zz".into())),
+            point: key.clone(),
+            attempts: 1,
+        };
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = PointError {
+            kind: PointErrorKind::Panic("index out of bounds".into()),
+            point: key,
+            attempts: 2,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"panic\""), "{json}");
+        assert!(json.contains("\"app\":\"pr\""), "{json}");
+        assert!(json.contains("\"attempts\":2"), "{json}");
+        assert!(json.contains("index out of bounds"), "{json}");
+    }
+
+    #[test]
+    fn new_bench_variants_render() {
+        let e = BenchError::Checkpoint {
+            path: "/tmp/j.jsonl".into(),
+            message: "digest mismatch".into(),
+        };
+        assert!(e.to_string().contains("digest mismatch"));
+        let e = BenchError::Injected {
+            label: "pr-ca".into(),
+            attempt: 2,
+        };
+        assert!(e.to_string().contains("pr-ca") && e.to_string().contains("2"));
     }
 }

@@ -13,10 +13,13 @@
 //! which the `experiments` binary aggregates into `BENCH_experiments.json`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 
 use serde::Serialize;
 use sparsepipe_core::MatrixCache;
+
+use crate::error::{BenchError, PointError, PointErrorKind, PointKey};
+use crate::fault::{classify, RetryPolicy};
 
 /// Trace-derived counters for one simulation point, present only when the
 /// point ran with tracing enabled (`--trace-dir`).
@@ -48,11 +51,14 @@ pub struct PointRecord {
     pub peak_working_set_bytes: f64,
     /// Trace-derived counters, when the point ran traced.
     pub trace: Option<TraceCounters>,
+    /// Attempts the point took to succeed (≥ 1; > 1 only after retries).
+    pub attempts: u32,
 }
 
-// Hand-written so an untraced run's telemetry JSON is byte-identical to
-// the pre-trace schema: the `trace` key is omitted entirely (not null)
-// when the point ran without a sink.
+// Hand-written so an untraced, first-try run's telemetry JSON is
+// byte-identical to the pre-trace, pre-retry schema: the `trace` key is
+// omitted entirely (not null) when the point ran without a sink, and
+// `attempts` is omitted when it is 1.
 impl Serialize for PointRecord {
     fn to_value(&self) -> serde::Value {
         let mut fields = vec![
@@ -68,6 +74,9 @@ impl Serialize for PointRecord {
         if let Some(trace) = &self.trace {
             fields.push(("trace".to_string(), trace.to_value()));
         }
+        if self.attempts > 1 {
+            fields.push(("attempts".to_string(), self.attempts.to_value()));
+        }
         serde::Value::Map(fields)
     }
 }
@@ -82,6 +91,7 @@ impl PointRecord {
             modeled_passes: t.modeled_passes,
             peak_working_set_bytes: t.peak_working_set_bytes,
             trace: None,
+            attempts: 1,
         }
     }
 
@@ -91,10 +101,17 @@ impl PointRecord {
         self.trace = Some(counters);
         self
     }
+
+    /// Sets the attempt count the point took to succeed.
+    #[must_use]
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.attempts = attempts;
+        self
+    }
 }
 
 /// The aggregate telemetry written to `BENCH_experiments.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug)]
 pub struct BenchTelemetry {
     /// Worker threads the executor ran with.
     pub jobs: usize,
@@ -111,6 +128,76 @@ pub struct BenchTelemetry {
     pub peak_working_set_bytes_max: f64,
     /// Per-point records, in submission order.
     pub records: Vec<PointRecord>,
+    /// Points that exhausted their retries, in submission order. Empty on
+    /// a clean run (and omitted from the JSON so clean-run telemetry keeps
+    /// the pre-fault-tolerance schema byte-for-byte).
+    pub failed_points: Vec<PointError>,
+}
+
+impl Serialize for BenchTelemetry {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("jobs".to_string(), self.jobs.to_value()),
+            ("points".to_string(), self.points.to_value()),
+            (
+                "sim_wall_s_total".to_string(),
+                self.sim_wall_s_total.to_value(),
+            ),
+            (
+                "sim_steps_total".to_string(),
+                self.sim_steps_total.to_value(),
+            ),
+            (
+                "modeled_passes_total".to_string(),
+                self.modeled_passes_total.to_value(),
+            ),
+            (
+                "peak_working_set_bytes_max".to_string(),
+                self.peak_working_set_bytes_max.to_value(),
+            ),
+            ("records".to_string(), self.records.to_value()),
+        ];
+        if !self.failed_points.is_empty() {
+            fields.push(("failed_points".to_string(), self.failed_points.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+/// How one isolated point ended: a value, or a structured failure the
+/// sweep completes around.
+#[derive(Debug)]
+pub enum PointOutcome<R> {
+    /// The point produced a result (possibly after retries).
+    Ok {
+        /// The point's result.
+        value: R,
+        /// Attempts taken (≥ 1).
+        attempts: u32,
+    },
+    /// The point exhausted its attempts; the last failure is recorded.
+    Failed(PointError),
+}
+
+impl<R> PointOutcome<R> {
+    /// The failure, if the point failed.
+    pub fn failure(&self) -> Option<&PointError> {
+        match self {
+            PointOutcome::Ok { .. } => None,
+            PointOutcome::Failed(e) => Some(e),
+        }
+    }
+}
+
+/// A best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// A fixed-size worker pool over which sweeps fan their points.
@@ -123,6 +210,7 @@ pub struct BenchTelemetry {
 pub struct Executor {
     jobs: usize,
     records: Mutex<Vec<PointRecord>>,
+    failures: Mutex<Vec<PointError>>,
     cache: Arc<MatrixCache>,
 }
 
@@ -138,6 +226,7 @@ impl Executor {
         Executor {
             jobs,
             records: Mutex::new(Vec::new()),
+            failures: Mutex::new(Vec::new()),
             cache: Arc::new(MatrixCache::new()),
         }
     }
@@ -199,20 +288,133 @@ impl Executor {
             .collect()
     }
 
+    /// [`Executor::run`] with per-point fault isolation: each attempt runs
+    /// under `catch_unwind`, failed attempts are retried on `retry`'s
+    /// deterministic schedule, and a point that exhausts its attempts
+    /// becomes [`PointOutcome::Failed`] instead of taking the sweep down.
+    ///
+    /// `f` receives the item and the 1-based attempt number (so fault
+    /// hooks and deadline bookkeeping can act per attempt). `on_result`
+    /// fires once per point on the calling thread, in **completion**
+    /// order, while other points are still running — this is where the
+    /// checkpoint journal appends, so a killed sweep keeps every point
+    /// that finished. The returned vector is in input order, making
+    /// everything rendered from it byte-identical across `--jobs N`.
+    pub fn run_isolated<T, R, K, F>(
+        &self,
+        items: &[T],
+        retry: &RetryPolicy,
+        key_of: K,
+        f: F,
+        mut on_result: impl FnMut(usize, &PointOutcome<R>),
+    ) -> Vec<PointOutcome<R>>
+    where
+        T: Sync,
+        R: Send,
+        K: Fn(&T) -> PointKey + Sync,
+        F: Fn(&T, u32) -> Result<R, BenchError> + Sync,
+    {
+        let run_point = |item: &T| -> PointOutcome<R> {
+            let mut attempt = 1u32;
+            loop {
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item, attempt)));
+                let kind = match caught {
+                    Ok(Ok(value)) => {
+                        return PointOutcome::Ok {
+                            value,
+                            attempts: attempt,
+                        }
+                    }
+                    Ok(Err(e)) => classify(e),
+                    Err(payload) => PointErrorKind::Panic(panic_message(payload.as_ref())),
+                };
+                match retry.backoff_after(attempt) {
+                    Some(delay) => {
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        attempt += 1;
+                    }
+                    None => {
+                        return PointOutcome::Failed(PointError {
+                            kind,
+                            point: key_of(item),
+                            attempts: attempt,
+                        })
+                    }
+                }
+            }
+        };
+
+        if self.jobs == 1 || items.len() <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let outcome = run_point(item);
+                    on_result(i, &outcome);
+                    outcome
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, PointOutcome<R>)>();
+        let workers = self.jobs.min(items.len());
+        let mut slots: Vec<Option<PointOutcome<R>>> = (0..items.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let run_point = &run_point;
+                s.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    if tx.send((i, run_point(item))).is_err() {
+                        break;
+                    }
+                });
+            }
+            // Receive on the caller's thread *while workers run*, so
+            // `on_result` (journal appends) lands incrementally.
+            drop(tx);
+            for (i, outcome) in rx {
+                on_result(i, &outcome);
+                slots[i] = Some(outcome);
+            }
+        })
+        .expect("executor workers must not panic");
+        slots
+            .into_iter()
+            .map(|r| r.expect("every point produced an outcome"))
+            .collect()
+    }
+
     /// Appends one point's telemetry. Callers record results *after*
     /// [`Executor::run`] returns (in input order), keeping the record
     /// sequence deterministic across thread counts.
     pub fn record(&self, record: PointRecord) {
         self.records
             .lock()
-            .expect("telemetry lock never poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(record);
+    }
+
+    /// Appends one point's failure. Like [`Executor::record`], callers
+    /// report failures in input order after the fan-out returns.
+    pub fn record_failure(&self, failure: PointError) {
+        self.failures
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(failure);
     }
 
     /// Drains the collected records into the aggregate summary.
     pub fn finish(&self) -> BenchTelemetry {
         let records =
-            std::mem::take(&mut *self.records.lock().expect("telemetry lock never poisoned"));
+            std::mem::take(&mut *self.records.lock().unwrap_or_else(PoisonError::into_inner));
+        let failed_points =
+            std::mem::take(&mut *self.failures.lock().unwrap_or_else(PoisonError::into_inner));
         BenchTelemetry {
             jobs: self.jobs,
             points: records.len(),
@@ -224,6 +426,7 @@ impl Executor {
                 .map(|r| r.peak_working_set_bytes)
                 .fold(0.0, f64::max),
             records,
+            failed_points,
         }
     }
 }
@@ -271,6 +474,7 @@ mod tests {
                 modeled_passes: i as u64,
                 peak_working_set_bytes: 100.0 * i as f64,
                 trace: None,
+                attempts: 1,
             });
         }
         let t = exec.finish();
@@ -317,11 +521,23 @@ mod tests {
             modeled_passes: 3,
             peak_working_set_bytes: 64.0,
             trace: None,
+            attempts: 1,
         };
         let json = serde_json::to_string(&record).unwrap();
         assert!(
             !json.contains("trace"),
             "untraced records must keep the pre-trace schema: {json}"
+        );
+        assert!(
+            !json.contains("attempts"),
+            "first-try records must keep the pre-retry schema: {json}"
+        );
+        let retried = record.clone().with_attempts(3);
+        assert!(
+            serde_json::to_string(&retried)
+                .unwrap()
+                .contains("\"attempts\":3"),
+            "retried records carry their attempt count"
         );
         let traced = record.with_trace(TraceCounters {
             events: 120,
@@ -341,5 +557,153 @@ mod tests {
         let exec = Executor::new(8);
         assert!(exec.run(&Vec::<u32>::new(), |&x| x).is_empty());
         assert_eq!(exec.run(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    fn key_of(i: &u32) -> PointKey {
+        PointKey {
+            app: format!("app{i}"),
+            matrix: "ca".into(),
+            scale: 64,
+        }
+    }
+
+    #[test]
+    fn isolated_panic_fails_one_point_and_spares_the_rest() {
+        let items: Vec<u32> = (0..9).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        for jobs in [1, 4] {
+            let exec = Executor::new(jobs);
+            let outcomes = exec.run_isolated(
+                &items,
+                &RetryPolicy::default(),
+                key_of,
+                |&i, _attempt| {
+                    if i == 4 {
+                        panic!("boom at {i}");
+                    }
+                    Ok(i * i)
+                },
+                |_, _| {},
+            );
+            for (i, o) in outcomes.iter().enumerate() {
+                if i == 4 {
+                    let e = o.failure().expect("point 4 must fail");
+                    assert!(matches!(&e.kind, PointErrorKind::Panic(m) if m.contains("boom")));
+                    assert_eq!(e.attempts, 1);
+                    assert_eq!(e.point.app, "app4");
+                } else {
+                    assert!(
+                        matches!(o, PointOutcome::Ok { value, attempts: 1 } if *value == (i * i) as u32),
+                        "point {i} perturbed by the failure at jobs={jobs}"
+                    );
+                }
+            }
+        }
+        std::panic::set_hook(hook);
+    }
+
+    #[test]
+    fn transient_errors_recover_within_the_retry_budget() {
+        let attempts_seen = Mutex::new(Vec::new());
+        let exec = Executor::new(1);
+        let outcomes = exec.run_isolated(
+            &[7u32],
+            &RetryPolicy {
+                max_attempts: 3,
+                backoff_base_ms: 0,
+                backoff_cap_ms: 0,
+            },
+            key_of,
+            |&i, attempt| {
+                attempts_seen.lock().unwrap().push(attempt);
+                if attempt < 3 {
+                    Err(BenchError::Injected {
+                        label: format!("app{i}-ca"),
+                        attempt,
+                    })
+                } else {
+                    Ok(i)
+                }
+            },
+            |_, _| {},
+        );
+        assert!(matches!(
+            outcomes[0],
+            PointOutcome::Ok {
+                value: 7,
+                attempts: 3
+            }
+        ));
+        assert_eq!(*attempts_seen.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_last_error() {
+        let exec = Executor::new(2);
+        let outcomes = exec.run_isolated(
+            &[1u32, 2],
+            &RetryPolicy {
+                max_attempts: 2,
+                backoff_base_ms: 0,
+                backoff_cap_ms: 0,
+            },
+            key_of,
+            |&i, attempt| -> Result<u32, BenchError> {
+                if i == 2 {
+                    return Ok(i);
+                }
+                Err(BenchError::Injected {
+                    label: format!("app{i}-ca"),
+                    attempt,
+                })
+            },
+            |_, _| {},
+        );
+        let e = outcomes[0].failure().expect("point 1 must fail");
+        assert_eq!(e.attempts, 2);
+        assert!(
+            matches!(
+                &e.kind,
+                PointErrorKind::Sim(BenchError::Injected { attempt: 2, .. })
+            ),
+            "last attempt's error is the one reported: {e}"
+        );
+        assert!(outcomes[1].failure().is_none());
+    }
+
+    #[test]
+    fn on_result_fires_once_per_point_while_running() {
+        let items: Vec<u32> = (0..12).collect();
+        for jobs in [1, 4] {
+            let exec = Executor::new(jobs);
+            let mut seen = Vec::new();
+            let outcomes = exec.run_isolated(
+                &items,
+                &RetryPolicy::default(),
+                key_of,
+                |&i, _| Ok(i),
+                |i, o| seen.push((i, o.failure().is_none())),
+            );
+            assert_eq!(outcomes.len(), items.len());
+            seen.sort_unstable();
+            let expect: Vec<(usize, bool)> = (0..items.len()).map(|i| (i, true)).collect();
+            assert_eq!(seen, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn failed_points_reach_telemetry_only_when_present() {
+        let exec = Executor::new(1);
+        let clean = serde_json::to_string(&exec.finish()).unwrap();
+        assert!(!clean.contains("failed_points"), "{clean}");
+        exec.record_failure(PointError {
+            kind: PointErrorKind::Panic("boom".into()),
+            point: key_of(&3),
+            attempts: 2,
+        });
+        let dirty = serde_json::to_string(&exec.finish()).unwrap();
+        assert!(dirty.contains("\"failed_points\":[{"), "{dirty}");
+        assert!(dirty.contains("\"app\":\"app3\""), "{dirty}");
     }
 }

@@ -16,11 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cli;
 pub mod datasets;
 pub mod error;
 pub mod executor;
 pub mod experiments;
+pub mod fault;
 pub mod sweep;
 pub mod table;
 

@@ -17,9 +17,11 @@ use sparsepipe_trace::{
     TraceSink,
 };
 
+use crate::checkpoint::Journal;
 use crate::datasets::{DataContext, ScaledDataset};
-use crate::error::BenchError;
-use crate::executor::{Executor, PointRecord, TraceCounters};
+use crate::error::{BenchError, PointError, PointKey};
+use crate::executor::{Executor, PointOutcome, PointRecord, TraceCounters};
+use crate::fault::{FaultHook, InjectedFault, RetryPolicy};
 
 /// All evaluated systems' results for one (app, matrix) pair.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -94,6 +96,34 @@ pub struct Sweep {
     pub entries: Vec<Entry>,
 }
 
+/// Fault-tolerance knobs for [`Sweep::run_checked`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Per-point wall-clock budget (`--deadline-ms`); `None` is unbounded.
+    pub deadline: Option<std::time::Duration>,
+    /// Retry schedule for failed points (`--retries` / `--backoff-ms`).
+    pub retry: RetryPolicy,
+    /// Checkpoint journal path (`--checkpoint`); `None` disables
+    /// journaling.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Restore completed points from an existing journal (`--resume`).
+    pub resume: bool,
+}
+
+/// What [`Sweep::run_checked`] produces: the (possibly partial) sweep
+/// plus a structured account of what failed and what was skipped.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The completed sweep; failed points' entries are absent.
+    pub sweep: Sweep,
+    /// Points that exhausted their attempts, in submission order.
+    pub failures: Vec<PointError>,
+    /// Points restored from the checkpoint journal instead of re-run.
+    pub resumed: usize,
+    /// Points actually executed this run.
+    pub executed: usize,
+}
+
 /// The Sparsepipe configuration used by the sweep for a dataset: blocked
 /// format on, reordering pre-applied to the input (so the per-run
 /// simulation does not repeat the offline preprocessing).
@@ -126,38 +156,6 @@ pub fn scaled_gpu(scale: u64) -> GpuModel {
     m
 }
 
-/// Evaluates one app on one dataset across all systems.
-///
-/// # Errors
-///
-/// Returns [`BenchError::Compile`] if the app's graph does not compile and
-/// [`BenchError::Sim`] if the simulator rejects the point.
-pub fn evaluate(
-    app: &StaApp,
-    dataset: &ScaledDataset,
-    scale: u64,
-) -> Result<Evaluation, BenchError> {
-    evaluate_with_sink(app, dataset, scale, &mut NullSink, None)
-}
-
-/// [`evaluate`] with derived per-matrix artifacts (pass plans, CSR/CSC
-/// arenas) shared through `cache`, keyed by the dataset's matrix id. The
-/// entry produced is identical to [`evaluate`]'s — the cache only avoids
-/// re-deriving immutable artifacts when many apps sweep the same matrix.
-///
-/// # Errors
-///
-/// Same as [`evaluate`].
-pub fn evaluate_cached(
-    app: &StaApp,
-    dataset: &ScaledDataset,
-    scale: u64,
-    cache: &sparsepipe_core::MatrixCache,
-) -> Result<Evaluation, BenchError> {
-    let key = sparsepipe_core::MatrixCache::key_for(dataset.id.code(), &dataset.reordered);
-    evaluate_with_sink(app, dataset, scale, &mut NullSink, Some((cache, key)))
-}
-
 /// Derives the telemetry counters attached to a traced point's
 /// [`PointRecord`] from its recorded event stream.
 pub fn trace_counters(events: &[TraceEvent]) -> TraceCounters {
@@ -171,53 +169,271 @@ pub fn trace_counters(events: &[TraceEvent]) -> TraceCounters {
     }
 }
 
-/// [`evaluate`] with the iso-GPU simulation traced into a fresh
-/// [`MemorySink`], whose stream is audited against the run's traffic
-/// report with bitwise `f64` equality before being returned.
+/// The unified single-point evaluation API: one builder in place of the
+/// former `evaluate` / `evaluate_cached` / `evaluate_traced` /
+/// `evaluate_traced_cached` quartet.
+///
+/// ```no_run
+/// # use sparsepipe_bench::datasets::ScaledDataset;
+/// # use sparsepipe_bench::sweep::EvalRequest;
+/// # use sparsepipe_tensor::MatrixId;
+/// let dataset = ScaledDataset::load(MatrixId::Ca, 64);
+/// let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
+/// let cache = sparsepipe_core::MatrixCache::new();
+/// let outcome = EvalRequest::new(&pr, &dataset, 64)
+///     .cache(&cache)
+///     .trace(sparsepipe_trace::MemorySink::new())
+///     .deadline(std::time::Duration::from_secs(60))
+///     .run()
+///     .unwrap();
+/// println!("{}", outcome.evaluation.entry.speedup_vs_ideal());
+/// ```
+///
+/// Every option only observes or bounds the run — the [`Entry`] produced
+/// is byte-identical across any combination of `cache`/`trace` (tracing
+/// is audited against the run's traffic report before the outcome is
+/// returned, and the cache only shares immutable derived artifacts).
+#[derive(Debug)]
+pub struct EvalRequest<'a> {
+    app: &'a StaApp,
+    dataset: &'a ScaledDataset,
+    scale: u64,
+    cache: Option<&'a sparsepipe_core::MatrixCache>,
+    sink: Option<MemorySink>,
+    deadline: Option<std::time::Duration>,
+    retry: crate::fault::RetryPolicy,
+}
+
+/// What [`EvalRequest::run`] produces.
+#[derive(Debug)]
+pub struct EvalOutcome {
+    /// The point's cross-system results and host telemetry.
+    pub evaluation: Evaluation,
+    /// The audited trace sink, when the request was [`EvalRequest::trace`]d.
+    pub trace: Option<MemorySink>,
+    /// Attempts taken (> 1 only with [`EvalRequest::retry`]).
+    pub attempts: u32,
+}
+
+impl<'a> EvalRequest<'a> {
+    /// Starts a request evaluating `app` on `dataset` at `scale`.
+    pub fn new(app: &'a StaApp, dataset: &'a ScaledDataset, scale: u64) -> Self {
+        EvalRequest {
+            app,
+            dataset,
+            scale,
+            cache: None,
+            sink: None,
+            deadline: None,
+            retry: crate::fault::RetryPolicy::default(),
+        }
+    }
+
+    /// Shares derived per-matrix artifacts (pass plans, CSR/CSC arenas)
+    /// through `cache`, keyed by the dataset's matrix id. The entry
+    /// produced is unchanged — the cache only avoids re-deriving
+    /// immutable artifacts when many apps sweep the same matrix.
+    #[must_use]
+    pub fn cache(mut self, cache: &'a sparsepipe_core::MatrixCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Traces the iso-GPU simulation into `sink`; the recorded stream is
+    /// audited against the run's traffic report with bitwise `f64`
+    /// equality before the outcome is returned, and handed back as
+    /// [`EvalOutcome::trace`].
+    #[must_use]
+    pub fn trace(mut self, sink: MemorySink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Bounds the point's wall-clock time. The iso-GPU simulation gets
+    /// the full budget; the iso-CPU simulation gets whatever remains of
+    /// it. An expired budget surfaces as
+    /// [`sparsepipe_core::CoreError::DeadlineExceeded`] wrapped in
+    /// [`BenchError::Sim`].
+    #[must_use]
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Retries failed attempts on `policy`'s deterministic schedule.
+    /// This is a plain error-retry loop (panics are not caught here —
+    /// point *isolation* lives in
+    /// [`Executor::run_isolated`](crate::executor::Executor::run_isolated)).
+    #[must_use]
+    pub fn retry(mut self, policy: crate::fault::RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Runs the evaluation.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Compile`] if the app's graph does not compile,
+    /// [`BenchError::Sim`] if the simulator rejects the point (including
+    /// deadline expiry), and [`BenchError::Trace`] when a traced stream
+    /// does not reproduce the run's report exactly.
+    pub fn run(mut self) -> Result<EvalOutcome, BenchError> {
+        let retry = self.retry;
+        let mut attempt = 1u32;
+        loop {
+            match self.attempt_once() {
+                Ok(evaluation) => {
+                    return Ok(EvalOutcome {
+                        evaluation,
+                        trace: self.sink,
+                        attempts: attempt,
+                    })
+                }
+                Err(e) => match retry.backoff_after(attempt) {
+                    Some(delay) => {
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        attempt += 1;
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
+    }
+
+    fn attempt_once(&mut self) -> Result<Evaluation, BenchError> {
+        let cache_kv = self.cache.map(|cache| {
+            let key = sparsepipe_core::MatrixCache::key_for(
+                self.dataset.id.code(),
+                &self.dataset.reordered,
+            );
+            (cache, key)
+        });
+        match &mut self.sink {
+            Some(sink) => {
+                sink.clear();
+                let ev = evaluate_with_sink(
+                    self.app,
+                    self.dataset,
+                    self.scale,
+                    sink,
+                    cache_kv,
+                    self.deadline,
+                )?;
+                TraceAudit::replay(sink.events())
+                    .check(&ev.entry.sim.traffic.audit_totals())
+                    .map_err(|e| BenchError::Trace {
+                        app: self.app.name.into(),
+                        matrix: self.dataset.id,
+                        message: e.to_string(),
+                    })?;
+                Ok(ev)
+            }
+            None => evaluate_with_sink(
+                self.app,
+                self.dataset,
+                self.scale,
+                &mut NullSink,
+                cache_kv,
+                self.deadline,
+            ),
+        }
+    }
+}
+
+/// Evaluates one app on one dataset across all systems.
 ///
 /// # Errors
 ///
-/// Everything [`evaluate`] returns, plus [`BenchError::Trace`] when the
-/// replayed stream does not reproduce the report exactly.
+/// Returns [`BenchError::Compile`] if the app's graph does not compile and
+/// [`BenchError::Sim`] if the simulator rejects the point.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `EvalRequest::new(app, dataset, scale).run()`"
+)]
+pub fn evaluate(
+    app: &StaApp,
+    dataset: &ScaledDataset,
+    scale: u64,
+) -> Result<Evaluation, BenchError> {
+    EvalRequest::new(app, dataset, scale)
+        .run()
+        .map(|o| o.evaluation)
+}
+
+/// [`EvalRequest`] with artifact sharing, as a free function.
+///
+/// # Errors
+///
+/// Same as [`EvalRequest::run`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use `EvalRequest::new(...).cache(cache).run()`"
+)]
+pub fn evaluate_cached(
+    app: &StaApp,
+    dataset: &ScaledDataset,
+    scale: u64,
+    cache: &sparsepipe_core::MatrixCache,
+) -> Result<Evaluation, BenchError> {
+    EvalRequest::new(app, dataset, scale)
+        .cache(cache)
+        .run()
+        .map(|o| o.evaluation)
+}
+
+/// Traced evaluation, as a free function.
+///
+/// # Errors
+///
+/// Same as [`EvalRequest::run`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use `EvalRequest::new(...).trace(MemorySink::new()).run()`"
+)]
 pub fn evaluate_traced(
     app: &StaApp,
     dataset: &ScaledDataset,
     scale: u64,
 ) -> Result<(Evaluation, MemorySink), BenchError> {
-    evaluate_traced_impl(app, dataset, scale, None)
+    EvalRequest::new(app, dataset, scale)
+        .trace(MemorySink::new())
+        .run()
+        .map(|o| {
+            (
+                o.evaluation,
+                o.trace.expect("traced request returns its sink"),
+            )
+        })
 }
 
-/// [`evaluate_traced`] with the [`evaluate_cached`] artifact sharing.
+/// Traced evaluation with artifact sharing, as a free function.
 ///
 /// # Errors
 ///
-/// Same as [`evaluate_traced`].
+/// Same as [`EvalRequest::run`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use `EvalRequest::new(...).cache(cache).trace(MemorySink::new()).run()`"
+)]
 pub fn evaluate_traced_cached(
     app: &StaApp,
     dataset: &ScaledDataset,
     scale: u64,
     cache: &sparsepipe_core::MatrixCache,
 ) -> Result<(Evaluation, MemorySink), BenchError> {
-    let key = sparsepipe_core::MatrixCache::key_for(dataset.id.code(), &dataset.reordered);
-    evaluate_traced_impl(app, dataset, scale, Some((cache, key)))
-}
-
-fn evaluate_traced_impl(
-    app: &StaApp,
-    dataset: &ScaledDataset,
-    scale: u64,
-    cache: Option<(&sparsepipe_core::MatrixCache, u64)>,
-) -> Result<(Evaluation, MemorySink), BenchError> {
-    let mut sink = MemorySink::new();
-    let ev = evaluate_with_sink(app, dataset, scale, &mut sink, cache)?;
-    TraceAudit::replay(sink.events())
-        .check(&ev.entry.sim.traffic.audit_totals())
-        .map_err(|e| BenchError::Trace {
-            app: app.name.into(),
-            matrix: dataset.id,
-            message: e.to_string(),
-        })?;
-    Ok((ev, sink))
+    EvalRequest::new(app, dataset, scale)
+        .cache(cache)
+        .trace(MemorySink::new())
+        .run()
+        .map(|o| {
+            (
+                o.evaluation,
+                o.trace.expect("traced request returns its sink"),
+            )
+        })
 }
 
 fn evaluate_with_sink<S: TraceSink>(
@@ -226,6 +442,7 @@ fn evaluate_with_sink<S: TraceSink>(
     scale: u64,
     sink: &mut S,
     cache: Option<(&sparsepipe_core::MatrixCache, u64)>,
+    deadline: Option<std::time::Duration>,
 ) -> Result<Evaluation, BenchError> {
     let program = app.compile().map_err(|e| BenchError::Compile {
         app: app.name.into(),
@@ -238,11 +455,15 @@ fn evaluate_with_sink<S: TraceSink>(
         matrix: dataset.id,
         source,
     };
+    let started = std::time::Instant::now();
     let mut request = SimRequest::new(&program, &dataset.reordered)
         .iterations(iterations)
         .config(cfg);
     if let Some((cache, key)) = cache {
         request = request.cache(cache, key);
+    }
+    if let Some(budget) = deadline {
+        request = request.deadline(budget);
     }
     let outcome = request.trace(&mut *sink).run().map_err(sim_err)?;
     let cfg_cpu = SparsepipeConfig {
@@ -254,6 +475,11 @@ fn evaluate_with_sink<S: TraceSink>(
         .config(cfg_cpu);
     if let Some((cache, key)) = cache {
         request_cpu = request_cpu.cache(cache, key);
+    }
+    if let Some(budget) = deadline {
+        // The iso-CPU run gets whatever wall-clock remains of the point's
+        // budget; a spent budget fails at the run's first deadline check.
+        request_cpu = request_cpu.deadline(budget.saturating_sub(started.elapsed()));
     }
     let iso_cpu = request_cpu.run().map_err(sim_err)?;
 
@@ -327,7 +553,10 @@ impl Sweep {
             .collect();
         let cache = Arc::clone(exec.cache());
         let results = exec.run(&points, |(dataset, app)| {
-            evaluate_cached(app, dataset, scale, &cache)
+            EvalRequest::new(app, dataset, scale)
+                .cache(&cache)
+                .run()
+                .map(|o| o.evaluation)
         });
         let mut entries = Vec::with_capacity(points.len());
         for (result, (dataset, app)) in results.into_iter().zip(&points) {
@@ -374,11 +603,18 @@ impl Sweep {
             .collect();
         let cache = Arc::clone(exec.cache());
         let results = exec.run(&points, |(dataset, app)| {
-            evaluate_traced_cached(app, dataset, scale, &cache)
+            EvalRequest::new(app, dataset, scale)
+                .cache(&cache)
+                .trace(MemorySink::new())
+                .run()
         });
         let mut entries = Vec::with_capacity(points.len());
         for (result, (dataset, app)) in results.into_iter().zip(&points) {
-            let (ev, sink) = result?;
+            let outcome = result?;
+            let (ev, sink) = (
+                outcome.evaluation,
+                outcome.trace.expect("traced request returns its sink"),
+            );
             let path = trace_dir.join(format!(
                 "sweep-{}-{}.trace.jsonl",
                 app.name,
@@ -398,6 +634,151 @@ impl Sweep {
             entries.push(ev.entry);
         }
         Ok(Sweep { context, entries })
+    }
+
+    /// [`Sweep::run_with`], hardened for long unattended runs: every
+    /// point is isolated ([`Executor::run_isolated`]), retried on
+    /// `opts.retry`'s schedule, bounded by `opts.deadline`, and — when a
+    /// checkpoint journal is configured — persisted as soon as it
+    /// completes, so a killed sweep resumes where it left off.
+    ///
+    /// A point that exhausts its attempts does **not** fail the sweep: it
+    /// is reported in [`SweepOutcome::failures`] (submission order) and
+    /// its entry is simply absent. Successful points are byte-identical
+    /// to an unhardened sweep's at any `--jobs N`, and a resumed sweep's
+    /// entries are byte-identical to an uninterrupted one's (the journal
+    /// digest-checks every restored record to enforce this).
+    ///
+    /// `injector` deterministically perturbs attempts for the fault
+    /// integration tests and the CI smoke job; production callers pass
+    /// [`crate::fault::NoFaults`].
+    ///
+    /// # Errors
+    ///
+    /// Dataset loading and checkpoint journal failures remain hard errors
+    /// — they compromise the whole sweep, not one point.
+    pub fn run_checked(
+        context: DataContext,
+        exec: &Executor,
+        opts: &SweepOptions,
+        injector: &dyn FaultHook,
+    ) -> Result<SweepOutcome, BenchError> {
+        let datasets: Vec<Arc<ScaledDataset>> =
+            context.load(exec)?.into_iter().map(Arc::new).collect();
+        let apps: Arc<[StaApp]> = registry::shared();
+        let scale = context.scale;
+        let points: Vec<(Arc<ScaledDataset>, &StaApp)> = datasets
+            .iter()
+            .flat_map(|d| apps.iter().map(move |a| (Arc::clone(d), a)))
+            .collect();
+        let keys: Vec<PointKey> = points
+            .iter()
+            .map(|(dataset, app)| PointKey {
+                app: app.name.to_string(),
+                matrix: dataset.id.code().to_string(),
+                scale,
+            })
+            .collect();
+
+        // Restore journaled points, then open (or start) the journal.
+        let mut journal = None;
+        let mut slots: Vec<Option<Entry>> = (0..points.len()).map(|_| None).collect();
+        let mut resumed = 0usize;
+        if let Some(path) = &opts.checkpoint {
+            let (j, restored) = if opts.resume {
+                Journal::resume(path, &context)?
+            } else {
+                (Journal::create(path, &context)?, Vec::new())
+            };
+            for (key, entry) in restored {
+                if let Some(i) = keys.iter().position(|k| *k == key) {
+                    if slots[i].is_none() {
+                        slots[i] = Some(entry);
+                        resumed += 1;
+                    }
+                }
+            }
+            journal = Some(j);
+        }
+
+        let work: Vec<usize> = (0..points.len()).filter(|i| slots[*i].is_none()).collect();
+        let cache = Arc::clone(exec.cache());
+        let deadline_ms = opts.deadline.map_or(0, |d| d.as_millis() as u64);
+        let mut journal_err: Option<BenchError> = None;
+        let outcomes = exec.run_isolated(
+            &work,
+            &opts.retry,
+            |&i| keys[i].clone(),
+            |&i, attempt| {
+                let (dataset, app) = &points[i];
+                let key = &keys[i];
+                match injector.inject(key, attempt) {
+                    Some(InjectedFault::Panic) => panic!("injected panic at {key}"),
+                    Some(InjectedFault::Timeout) => {
+                        return Err(BenchError::Sim {
+                            app: app.name.into(),
+                            matrix: dataset.id,
+                            source: sparsepipe_core::CoreError::DeadlineExceeded {
+                                budget_ms: deadline_ms,
+                            },
+                        })
+                    }
+                    Some(InjectedFault::Transient) => {
+                        return Err(BenchError::Injected {
+                            label: key.label(),
+                            attempt,
+                        })
+                    }
+                    None => {}
+                }
+                let mut request = EvalRequest::new(app, dataset, scale).cache(&cache);
+                if let Some(budget) = opts.deadline {
+                    request = request.deadline(budget);
+                }
+                request.run().map(|o| o.evaluation)
+            },
+            |w, outcome| {
+                // Journal completions as they land, so a killed sweep
+                // keeps every finished point.
+                if let (Some(j), PointOutcome::Ok { value, .. }) = (&mut journal, outcome) {
+                    if journal_err.is_none() {
+                        if let Err(e) = j.append(&keys[work[w]], &value.entry) {
+                            journal_err = Some(e);
+                        }
+                    }
+                }
+            },
+        );
+        if let Some(e) = journal_err {
+            return Err(e);
+        }
+
+        // Reassemble in point order; report failures in the same order.
+        let mut failures = Vec::new();
+        let executed = work.len();
+        for (&i, outcome) in work.iter().zip(outcomes) {
+            let (dataset, app) = &points[i];
+            match outcome {
+                PointOutcome::Ok { value, attempts } => {
+                    exec.record(
+                        PointRecord::from_telemetry(
+                            format!("sweep:{}-{}", app.name, dataset.id.code()),
+                            &value.telemetry,
+                        )
+                        .with_attempts(attempts),
+                    );
+                    slots[i] = Some(value.entry);
+                }
+                PointOutcome::Failed(e) => failures.push(e),
+            }
+        }
+        let entries = slots.into_iter().flatten().collect();
+        Ok(SweepOutcome {
+            sweep: Sweep { context, entries },
+            failures,
+            resumed,
+            executed,
+        })
     }
 
     /// Entries for one app, in matrix order.
@@ -485,7 +866,11 @@ mod tests {
         // cross-iteration reuse.
         let dataset = crate::datasets::ScaledDataset::load(MatrixId::Eu, 512);
         let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
-        let pr_eu = evaluate(&pr, &dataset, 512).unwrap().entry;
+        let pr_eu = EvalRequest::new(&pr, &dataset, 512)
+            .run()
+            .unwrap()
+            .evaluation
+            .entry;
         assert!(
             pr_eu.speedup_vs_ideal() > 1.4,
             "pr/eu speedup {} too small",
@@ -493,7 +878,11 @@ mod tests {
         );
         // and the non-OEI cg stays near parity (0.6–1.4x)
         let cg = sparsepipe_apps::registry::by_name("cg").unwrap();
-        let cg_eu = evaluate(&cg, &dataset, 512).unwrap().entry;
+        let cg_eu = EvalRequest::new(&cg, &dataset, 512)
+            .run()
+            .unwrap()
+            .evaluation
+            .entry;
         let sp = cg_eu.speedup_vs_ideal();
         assert!((0.6..1.4).contains(&sp), "cg/eu speedup {sp} out of band");
     }
@@ -502,7 +891,10 @@ mod tests {
     fn evaluation_carries_telemetry_and_diagnostics() {
         let dataset = crate::datasets::ScaledDataset::load(MatrixId::Ca, 512);
         let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
-        let ev = evaluate(&pr, &dataset, 512).unwrap();
+        let ev = EvalRequest::new(&pr, &dataset, 512)
+            .run()
+            .unwrap()
+            .evaluation;
         assert!(ev.telemetry.sim_steps > 0);
         assert!(ev.telemetry.modeled_passes > 0);
         assert!(!ev.diagnostics.is_empty());

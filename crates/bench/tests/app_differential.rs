@@ -1,17 +1,18 @@
 //! App-level half of the differential harness: every registered
 //! application, evaluated with and without the sweep-level
 //! [`MatrixCache`], must produce identical reports — and its traced,
-//! cached run must still pass the bitwise [`TraceAudit`] that
-//! `evaluate_traced_cached` performs internally.
+//! cached run must still pass the bitwise [`TraceAudit`] that a traced
+//! `EvalRequest` performs internally.
 //!
 //! (The element-level legacy-vs-arena comparison lives in
 //! `crates/core/tests/dualbuffer_differential.rs`; this suite covers the
 //! scheduling paths only real app graphs exercise.)
 
 use sparsepipe_bench::datasets::ScaledDataset;
-use sparsepipe_bench::sweep::{evaluate, evaluate_cached, evaluate_traced, evaluate_traced_cached};
+use sparsepipe_bench::sweep::EvalRequest;
 use sparsepipe_core::MatrixCache;
 use sparsepipe_tensor::MatrixId;
+use sparsepipe_trace::MemorySink;
 
 #[test]
 fn cached_evaluation_is_identical_for_every_app() {
@@ -20,10 +21,15 @@ fn cached_evaluation_is_identical_for_every_app() {
     let apps = sparsepipe_apps::registry::shared();
     assert_eq!(apps.len(), 11, "registry should hold the paper's 11 apps");
     for app in apps.iter() {
-        let plain = evaluate(app, &dataset, 64)
-            .unwrap_or_else(|e| panic!("{} failed uncached evaluation: {e}", app.name));
-        let cached = evaluate_cached(app, &dataset, 64, &cache)
-            .unwrap_or_else(|e| panic!("{} failed cached evaluation: {e}", app.name));
+        let plain = EvalRequest::new(app, &dataset, 64)
+            .run()
+            .unwrap_or_else(|e| panic!("{} failed uncached evaluation: {e}", app.name))
+            .evaluation;
+        let cached = EvalRequest::new(app, &dataset, 64)
+            .cache(&cache)
+            .run()
+            .unwrap_or_else(|e| panic!("{} failed cached evaluation: {e}", app.name))
+            .evaluation;
         assert_eq!(
             plain.entry.sim, cached.entry.sim,
             "{}: cache perturbed the iso-GPU report",
@@ -51,12 +57,25 @@ fn traced_cached_evaluation_audits_and_matches_for_every_app() {
     let dataset = ScaledDataset::load(MatrixId::Bu, 64);
     let cache = MatrixCache::new();
     for app in sparsepipe_apps::registry::shared().iter() {
-        // evaluate_traced_cached replays the stream against the traffic
+        // A traced EvalRequest replays the stream against the traffic
         // report with bitwise f64 equality and fails on any mismatch.
-        let (cached_ev, cached_sink) = evaluate_traced_cached(app, &dataset, 64, &cache)
+        let cached_out = EvalRequest::new(app, &dataset, 64)
+            .cache(&cache)
+            .trace(MemorySink::new())
+            .run()
             .unwrap_or_else(|e| panic!("{} failed traced cached evaluation: {e}", app.name));
-        let (plain_ev, plain_sink) = evaluate_traced(app, &dataset, 64)
+        let plain_out = EvalRequest::new(app, &dataset, 64)
+            .trace(MemorySink::new())
+            .run()
             .unwrap_or_else(|e| panic!("{} failed traced evaluation: {e}", app.name));
+        let (cached_ev, cached_sink) = (
+            cached_out.evaluation,
+            cached_out.trace.expect("traced request returns its sink"),
+        );
+        let (plain_ev, plain_sink) = (
+            plain_out.evaluation,
+            plain_out.trace.expect("traced request returns its sink"),
+        );
         assert!(
             !cached_sink.events().is_empty(),
             "{} produced an empty trace",

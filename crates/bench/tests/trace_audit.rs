@@ -1,13 +1,13 @@
 //! End-to-end audit: for every registered application, a traced run's
 //! replayed event stream must reproduce the simulator's traffic report
-//! with bitwise `f64` equality (`DESIGN.md` §10). `evaluate_traced`
-//! performs the audit internally and fails with `BenchError::Trace` on
-//! any mismatch, so this test sweeping the full registry is the
-//! acceptance check that the exactness protocol holds on every
-//! scheduling path an app can take.
+//! with bitwise `f64` equality (`DESIGN.md` §10). A traced
+//! `EvalRequest` performs the audit internally and fails with
+//! `BenchError::Trace` on any mismatch, so this test sweeping the full
+//! registry is the acceptance check that the exactness protocol holds on
+//! every scheduling path an app can take.
 
 use sparsepipe_bench::datasets::ScaledDataset;
-use sparsepipe_bench::sweep::evaluate_traced;
+use sparsepipe_bench::sweep::EvalRequest;
 use sparsepipe_core::{Preprocessing, ReorderKind, SimRequest, SparsepipeConfig};
 use sparsepipe_tensor::MatrixId;
 use sparsepipe_trace::{MemorySink, TraceAudit};
@@ -18,14 +18,17 @@ fn every_registry_app_audits_exactly() {
     let apps = sparsepipe_apps::registry::shared();
     assert_eq!(apps.len(), 11, "registry should hold the paper's 11 apps");
     for app in apps.iter() {
-        let (ev, sink) = evaluate_traced(app, &dataset, 256)
+        let outcome = EvalRequest::new(app, &dataset, 256)
+            .trace(MemorySink::new())
+            .run()
             .unwrap_or_else(|e| panic!("{} failed traced evaluation: {e}", app.name));
+        let sink = outcome.trace.expect("traced request returns its sink");
         assert!(
             !sink.events().is_empty(),
             "{} produced an empty trace",
             app.name
         );
-        assert!(ev.entry.sim.total_cycles > 0);
+        assert!(outcome.evaluation.entry.sim.total_cycles > 0);
     }
 }
 

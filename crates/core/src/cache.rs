@@ -85,7 +85,12 @@ impl MatrixCache {
         F: FnOnce() -> CooMatrix,
     {
         let k = (key, reorder_tag(kind));
-        if let Some(hit) = self.reordered.lock().expect("cache lock").get(&k) {
+        if let Some(hit) = self
+            .reordered
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&k)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
@@ -108,7 +113,12 @@ impl MatrixCache {
         F: FnOnce() -> PassPlan,
     {
         let k = (key, reorder_tag(kind), t_cols);
-        if let Some(hit) = self.plans.lock().expect("cache lock").get(&k) {
+        if let Some(hit) = self
+            .plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&k)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
@@ -129,7 +139,12 @@ impl MatrixCache {
     where
         F: FnOnce() -> MatrixArena,
     {
-        if let Some(hit) = self.arenas.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = self
+            .arenas
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }

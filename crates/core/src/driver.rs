@@ -94,6 +94,7 @@ pub struct SimRequest<'a, S: TraceSink = NullSink> {
     config: SparsepipeConfig,
     sink: S,
     cache: Option<(&'a crate::MatrixCache, u64)>,
+    deadline: Option<std::time::Duration>,
 }
 
 impl<'a> SimRequest<'a> {
@@ -106,6 +107,7 @@ impl<'a> SimRequest<'a> {
             config: SparsepipeConfig::iso_gpu(),
             sink: NullSink,
             cache: None,
+            deadline: None,
         }
     }
 }
@@ -159,6 +161,19 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
         self
     }
 
+    /// Gives the run a wall-clock budget, measured from the moment
+    /// [`SimRequest::run`] is called. The engine checks the deadline
+    /// cooperatively — between scheduling phases and every few thousand
+    /// pipeline steps — and aborts with [`CoreError::DeadlineExceeded`],
+    /// so long sweeps can bound the damage one pathological point does.
+    /// The check compares wall-clock instants only; it never perturbs the
+    /// simulated result of a run that finishes in time.
+    #[must_use]
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
     /// Attaches a trace sink: every simulator event (pass boundaries,
     /// per-step DRAM transfers, buffer inserts/hits/evictions, e-wise
     /// fires) is emitted into `sink` during [`SimRequest::run`].
@@ -177,6 +192,7 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
             config: self.config,
             sink,
             cache: self.cache,
+            deadline: self.deadline,
         }
     }
 
@@ -188,6 +204,10 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
     /// [`CoreError::ZeroIterations`] when `iterations == 0`.
     pub fn run(mut self) -> Result<SimOutcome, CoreError> {
         let start = std::time::Instant::now();
+        let deadline = self.deadline.map(|budget| engine::Deadline {
+            at: start + budget,
+            budget_ms: budget.as_millis() as u64,
+        });
         let run = engine::simulate_inner(
             self.program,
             self.matrix,
@@ -195,6 +215,7 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
             &self.config,
             &mut self.sink,
             self.cache,
+            deadline.as_ref(),
         )?;
         let wall_s = start.elapsed().as_secs_f64();
         Ok(SimOutcome {
@@ -331,17 +352,38 @@ mod tests {
     }
 
     #[test]
-    fn outcome_equals_deprecated_simulate() {
+    fn zero_deadline_fails_deterministically() {
         let program = pagerank_program();
         let m = gen::uniform(1000, 1000, 8000, 4);
         let cfg = SparsepipeConfig::iso_gpu().with_buffer(1 << 20);
-        let outcome = SimRequest::new(&program, &m)
+        let err = SimRequest::new(&program, &m)
+            .iterations(8)
+            .config(cfg)
+            .deadline(std::time::Duration::ZERO)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::DeadlineExceeded { budget_ms: 0 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_the_run() {
+        let program = pagerank_program();
+        let m = gen::uniform(1000, 1000, 8000, 4);
+        let cfg = SparsepipeConfig::iso_gpu().with_buffer(1 << 20);
+        let plain = SimRequest::new(&program, &m)
             .iterations(8)
             .config(cfg)
             .run()
             .unwrap();
-        #[allow(deprecated)]
-        let legacy = crate::engine::simulate(&program, &m, 8, &cfg).unwrap();
-        assert_eq!(outcome.report, legacy);
+        let timed = SimRequest::new(&program, &m)
+            .iterations(8)
+            .config(cfg)
+            .deadline(std::time::Duration::from_secs(3600))
+            .run()
+            .unwrap();
+        assert_eq!(plain.report, timed.report);
     }
 }

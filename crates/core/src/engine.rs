@@ -3,14 +3,44 @@
 
 use sparsepipe_frontend::SparsepipeProgram;
 use sparsepipe_tensor::{reorder, CooMatrix};
-use sparsepipe_trace::{NullSink, TraceEvent, TraceSink, TrafficClass};
+use sparsepipe_trace::{TraceEvent, TraceSink, TrafficClass};
 
 use crate::config::{ReorderKind, SparsepipeConfig};
 use crate::energy::{EnergyModel, EnergyTally};
-use crate::pipeline::{PassParams, PassRequest, PassResult};
+use crate::pipeline::{PassParams, PassResult};
 use crate::plan::PassPlan;
 use crate::stats::{BwSample, SimReport, TrafficBreakdown};
 use crate::CoreError;
+
+/// A resolved wall-clock deadline for one simulation run, carried through
+/// the engine so cooperative checks can name the original budget in the
+/// error they raise.
+pub(crate) struct Deadline {
+    /// The instant past which the run must abort.
+    pub at: std::time::Instant,
+    /// The budget that produced `at`, in milliseconds (reported in
+    /// [`CoreError::DeadlineExceeded`]).
+    pub budget_ms: u64,
+}
+
+impl Deadline {
+    /// Fails with [`CoreError::DeadlineExceeded`] once the wall clock has
+    /// reached the deadline.
+    pub fn check(&self) -> Result<(), CoreError> {
+        if std::time::Instant::now() >= self.at {
+            Err(CoreError::DeadlineExceeded {
+                budget_ms: self.budget_ms,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Checks an optional deadline (no deadline always passes).
+fn check_deadline(deadline: Option<&Deadline>) -> Result<(), CoreError> {
+    deadline.map_or(Ok(()), Deadline::check)
+}
 
 /// Everything one engine run produces: the report plus the host-side
 /// counters [`crate::SimRequest::run`] folds into [`crate::SimTelemetry`].
@@ -27,8 +57,10 @@ pub(crate) struct EngineRun {
     pub diagnostics: Vec<String>,
 }
 
-/// Simulates `iterations` loop iterations of the compiled `program` on
-/// `matrix` under `config`, returning timing, traffic, and energy.
+/// The engine proper, behind the [`crate::SimRequest`] driver — the sole
+/// compile-and-simulate entry since the deprecated `simulate` free
+/// function was removed. Generic over the trace sink; the default
+/// [`NullSink`] instantiation is the untraced engine.
 ///
 /// Scheduling follows the program's OEI analysis:
 ///
@@ -39,27 +71,6 @@ pub(crate) struct EngineRun {
 ///   share one sweep;
 /// * **no OEI** (CG-class): every iteration re-streams the matrix; only
 ///   producer-consumer (e-wise fusion) reuse applies.
-///
-/// # Errors
-///
-/// Returns [`CoreError::NonSquareMatrix`] for rectangular inputs and
-/// [`CoreError::ZeroIterations`] when `iterations == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `sparsepipe_core::SimRequest` builder, which also returns run telemetry and diagnostics"
-)]
-pub fn simulate(
-    program: &SparsepipeProgram,
-    matrix: &CooMatrix,
-    iterations: usize,
-    config: &SparsepipeConfig,
-) -> Result<SimReport, CoreError> {
-    simulate_inner(program, matrix, iterations, config, &mut NullSink, None).map(|run| run.report)
-}
-
-/// The engine proper: shared by the deprecated [`simulate`] shim and the
-/// [`crate::SimRequest`] driver. Generic over the trace sink; the
-/// default [`NullSink`] instantiation is the untraced engine.
 ///
 /// `cache` (a [`MatrixCache`](crate::MatrixCache) plus this matrix's
 /// key) lets repeated runs over the same matrix share the reordered
@@ -72,6 +83,7 @@ pub(crate) fn simulate_inner<S: TraceSink>(
     config: &SparsepipeConfig,
     sink: &mut S,
     cache: Option<(&crate::MatrixCache, u64)>,
+    deadline: Option<&Deadline>,
 ) -> Result<EngineRun, CoreError> {
     if matrix.nrows() != matrix.ncols() {
         return Err(CoreError::NonSquareMatrix {
@@ -82,6 +94,7 @@ pub(crate) fn simulate_inner<S: TraceSink>(
     if iterations == 0 {
         return Err(CoreError::ZeroIterations);
     }
+    check_deadline(deadline)?;
 
     let mut diagnostics: Vec<String> = Vec::new();
     let mut sim_steps = 0u64;
@@ -120,6 +133,7 @@ pub(crate) fn simulate_inner<S: TraceSink>(
             }
         }
     };
+    check_deadline(deadline)?;
 
     let profile = &program.profile;
     let feature = profile.feature_dim as f64;
@@ -169,6 +183,7 @@ pub(crate) fn simulate_inner<S: TraceSink>(
                     &plan_local
                 }
             };
+            check_deadline(deadline)?;
             let params = PassParams {
                 feature,
                 ewise_arith_per_elem: ewise_arith + profile.dense_flops_per_element,
@@ -191,9 +206,7 @@ pub(crate) fn simulate_inner<S: TraceSink>(
                     steps: plan.steps as u32,
                 });
             }
-            let pass = PassRequest::new(plan, config)
-                .params(params)
-                .run_traced(sink);
+            let pass = crate::pipeline::execute_pass_traced(plan, config, &params, sink, deadline)?;
             accumulate_pass(
                 &pass,
                 full_passes as f64,

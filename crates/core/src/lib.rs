@@ -76,8 +76,6 @@ pub use cache::MatrixCache;
 pub use config::{EvictionPolicy, MemoryConfig, Preprocessing, ReorderKind, SparsepipeConfig};
 pub use driver::{SimOutcome, SimRequest, SimTelemetry};
 pub use energy::{EnergyBreakdown, EnergyModel};
-#[allow(deprecated)]
-pub use engine::simulate;
 pub use plan::PassPlan;
 pub use stats::{BwSample, SimReport, TrafficBreakdown};
 
@@ -94,6 +92,14 @@ pub enum CoreError {
     },
     /// At least one iteration must be simulated.
     ZeroIterations,
+    /// The run's wall-clock deadline ([`SimRequest::deadline`]) expired
+    /// before the simulation finished. The engine checks the deadline
+    /// cooperatively (between passes and every few thousand pipeline
+    /// steps), so the overshoot past the budget is bounded.
+    DeadlineExceeded {
+        /// The wall-clock budget the run was given, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -103,6 +109,12 @@ impl std::fmt::Display for CoreError {
                 write!(f, "matrix must be square, got {nrows}x{ncols}")
             }
             CoreError::ZeroIterations => write!(f, "iterations must be positive"),
+            CoreError::DeadlineExceeded { budget_ms } => {
+                write!(
+                    f,
+                    "simulation exceeded its {budget_ms} ms wall-clock deadline"
+                )
+            }
         }
     }
 }

@@ -216,7 +216,7 @@ where
 /// evictions, re-fetches, and repacking. Returns the functional result
 /// *and* the buffer's traffic statistics — the mechanism-level
 /// cross-check for the abstract timing model in
-/// [`crate::pipeline::run_pass`].
+/// [`crate::pipeline::PassRequest`].
 ///
 /// Convenience wrapper: builds a [`MatrixArena`](crate::MatrixArena)
 /// from the two storage forms and runs [`fused_pass_arena`]. Callers

@@ -19,6 +19,7 @@ use sparsepipe_trace::{NullSink, PipeStage, TraceEvent, TraceSink, TrafficClass}
 
 use crate::buffer::BufferModel;
 use crate::config::SparsepipeConfig;
+use crate::engine::Deadline;
 use crate::invariants;
 use crate::memctrl::{self, MemController};
 use crate::plan::PassPlan;
@@ -122,7 +123,22 @@ impl<'a> PassRequest<'a> {
     /// aggregate DRAM events whose byte payloads are the exact `f64`
     /// increments added to the returned traffic totals.
     pub fn run_traced<S: TraceSink>(self, sink: &mut S) -> PassResult {
-        execute_pass_traced(self.plan, self.config, &self.params, sink)
+        infallible(execute_pass_traced(
+            self.plan,
+            self.config,
+            &self.params,
+            sink,
+            None,
+        ))
+    }
+}
+
+/// Unwraps a deadline-free pass result: without a [`Deadline`] the pass
+/// loop cannot fail.
+fn infallible(result: Result<PassResult, crate::CoreError>) -> PassResult {
+    match result {
+        Ok(r) => r,
+        Err(_) => unreachable!("pass loop only fails when given a deadline"),
     }
 }
 
@@ -193,19 +209,36 @@ pub fn run_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams)
 /// The pass loop proper, shared by [`PassRequest::run`] and the deprecated
 /// [`run_pass`] shim.
 fn execute_pass(plan: &PassPlan, config: &SparsepipeConfig, params: &PassParams) -> PassResult {
-    execute_pass_traced(plan, config, params, &mut NullSink)
+    infallible(execute_pass_traced(
+        plan,
+        config,
+        params,
+        &mut NullSink,
+        None,
+    ))
 }
+
+/// How many pipeline steps run between cooperative deadline checks: the
+/// check costs one `Instant::now()` syscall, so it is amortized over a
+/// few thousand steps while still bounding a timed-out pass's overshoot.
+const DEADLINE_CHECK_STEPS: usize = 4096;
 
 /// The instrumented pass loop. Every emission site is guarded by
 /// `S::ENABLED`, so the `NullSink` instantiation compiles to the
 /// untraced loop and traced/untraced runs produce bit-identical
 /// [`PassResult`]s.
+///
+/// With a `deadline`, the loop checks the wall clock every
+/// [`DEADLINE_CHECK_STEPS`] steps (including before the first) and bails
+/// with [`crate::CoreError::DeadlineExceeded`]; without one it cannot
+/// fail.
 pub(crate) fn execute_pass_traced<S: TraceSink>(
     plan: &PassPlan,
     config: &SparsepipeConfig,
     params: &PassParams,
     sink: &mut S,
-) -> PassResult {
+    deadline: Option<&Deadline>,
+) -> Result<PassResult, crate::CoreError> {
     let bpc = config.memory.bytes_per_cycle(config.clock_ghz);
     let fetch_b = config.fetch_bytes_per_element();
     let elem_b = config.buffer_bytes_per_element();
@@ -255,6 +288,11 @@ pub(crate) fn execute_pass_traced<S: TraceSink>(
     let mut accesses: Vec<memctrl::Access> = Vec::new();
 
     for s in 0..plan.steps {
+        if s % DEADLINE_CHECK_STEPS == 0 {
+            if let Some(d) = deadline {
+                d.check()?;
+            }
+        }
         // Dense-vector working set sharing the buffer; cap its reservation
         // at half the buffer so matrix data always has some room (beyond
         // that point the vector windows spill and thrash, which manifests
@@ -590,7 +628,7 @@ pub(crate) fn execute_pass_traced<S: TraceSink>(
     let avg_step = total_cycles / plan.steps as f64;
     total_cycles += PIPELINE_STAGES * avg_step;
 
-    PassResult {
+    Ok(PassResult {
         cycles: total_cycles,
         traffic,
         steps: steps_out,
@@ -602,7 +640,7 @@ pub(crate) fn execute_pass_traced<S: TraceSink>(
         ew_ops,
         is_ops,
         sram_bytes,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -60,8 +60,6 @@ pub use sparsepipe_tensor as tensor;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use sparsepipe_apps::StaApp;
-    #[allow(deprecated)]
-    pub use sparsepipe_core::simulate;
     pub use sparsepipe_core::{SimOutcome, SimReport, SimRequest, SimTelemetry, SparsepipeConfig};
     pub use sparsepipe_frontend::{DataflowGraph, GraphBuilder};
     pub use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
