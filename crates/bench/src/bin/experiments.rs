@@ -5,6 +5,7 @@
 //!                           [--bench-json out.json] [--mtx DIR] [--lint]
 //!                           [--trace-dir DIR]
 //! experiments trace [--app NAME] [--matrix CODE] [--trace-dir DIR]
+//! experiments analyze [--app NAME] [--matrix CODE]
 //!
 //! artifacts: all table1 table2 table3 fig14 fig15 fig16 fig17 fig18
 //!            fig19 fig20a fig20b fig21 fig22 fig23 ablation verify
@@ -29,6 +30,11 @@
 //! trace           trace one (app, matrix) point (--app, --matrix; default
 //!                 pr on ca) and export trace.jsonl, a Perfetto-loadable
 //!                 chrome-trace.json, and reuse/occupancy/traffic CSVs
+//! analyze         run the static cost & reuse analyzer (--app filters to
+//!                 one app, default all; --matrix picks the input) and
+//!                 verify every traffic/occupancy bound against an audited
+//!                 simulator trace; writes analyze-report.json and exits
+//!                 3 on any bound violation
 //!
 //! fault tolerance (routes sweeps through the isolated executor; a failed
 //! point is reported and skipped instead of aborting the run, and the
@@ -40,6 +46,10 @@
 //! --resume           restore completed points from F instead of re-running
 //! --inject SPEC      deterministic fault injection for tests/CI, e.g.
 //!                    panic@pr-ca, timeout@sssp-bu, transient@pr-ca:2
+//! --prune-static N   skip sweep points whose statically *provable* DRAM
+//!                    traffic lower bound exceeds N bytes (recorded as
+//!                    `pruned_points` in the telemetry; an in-budget point
+//!                    is never pruned)
 //! ```
 
 use std::path::Path;
@@ -101,6 +111,7 @@ fn run() -> Result<ExitCode, BenchError> {
 
     let ctx = opts.context();
     let exec = Executor::new(opts.jobs);
+    // determinism: allow (host wall-clock telemetry, not simulated state)
     let wall_start = Instant::now();
     eprintln!(
         "# sparsepipe experiments — scale 1/{}, {:?} matrices, source {:?}, {} worker(s)",
@@ -111,6 +122,7 @@ fn run() -> Result<ExitCode, BenchError> {
     );
     // Figures 14/16/17/18/20b/21/22/23 share one sweep; run it lazily.
     let mut sweep_failures = 0usize;
+    let mut bound_violations = 0usize;
     let sweep = if opts.needs_sweep() {
         if let Some(dir) = &opts.trace_dir {
             eprintln!(
@@ -173,10 +185,21 @@ fn run() -> Result<ExitCode, BenchError> {
             "trace" => exp::trace_point(
                 &ctx,
                 &exec,
-                &opts.trace_app,
+                opts.trace_app(),
                 opts.trace_matrix,
                 &opts.trace_dir(),
             )?,
+            "analyze" => {
+                let (report, violations) = exp::analyze(
+                    &ctx,
+                    &exec,
+                    opts.app.as_deref(),
+                    opts.trace_matrix,
+                    Path::new("analyze-report.json"),
+                )?;
+                bound_violations += violations;
+                report
+            }
             other => unreachable!("cli::parse validated artifact {other}"),
         };
         println!("{}", report.render());
@@ -205,6 +228,13 @@ fn run() -> Result<ExitCode, BenchError> {
              (`failed_points`); successful points are unaffected"
         );
         return Ok(ExitCode::from(2));
+    }
+    if bound_violations > 0 {
+        eprintln!(
+            "# {bound_violations} static bound violation(s) — the analyzer's proofs do not \
+             hold against the audited trace (details in analyze-report.json)"
+        );
+        return Ok(ExitCode::from(3));
     }
     Ok(ExitCode::SUCCESS)
 }

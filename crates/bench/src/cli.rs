@@ -40,9 +40,11 @@ pub struct CliOptions {
     /// artifacts run with per-point tracing; the `trace` subcommand
     /// writes its exports here (default `trace-out`).
     pub trace_dir: Option<PathBuf>,
-    /// App short name for the `trace` subcommand (`--app`, default `pr`).
-    pub trace_app: String,
-    /// Matrix for the `trace` subcommand (`--matrix`, default `ca`).
+    /// App short name (`--app`): the `trace` subcommand's point (default
+    /// `pr`), or the `analyze` subcommand's filter (default: all apps).
+    pub app: Option<String>,
+    /// Matrix for the `trace`/`analyze` subcommands (`--matrix`, default
+    /// `ca`).
     pub trace_matrix: MatrixId,
     /// Per-point wall-clock budget in milliseconds (`--deadline-ms`).
     pub deadline_ms: Option<u64>,
@@ -56,6 +58,10 @@ pub struct CliOptions {
     pub resume: bool,
     /// Fault-injection specs (`--inject`, repeatable; test/CI harness).
     pub inject: Vec<String>,
+    /// Static pre-flight pruning budget in bytes (`--prune-static`):
+    /// sweep points whose provable traffic lower bound exceeds it are
+    /// skipped and recorded as `pruned_points` in the telemetry.
+    pub prune_static: Option<f64>,
 }
 
 impl CliOptions {
@@ -69,6 +75,12 @@ impl CliOptions {
                 None => DataSource::Synthetic,
             },
         }
+    }
+
+    /// The app the `trace` subcommand targets (`pr` unless `--app`
+    /// overrides it).
+    pub fn trace_app(&self) -> &str {
+        self.app.as_deref().unwrap_or("pr")
     }
 
     /// The effective trace output directory (`trace-out` unless
@@ -87,6 +99,7 @@ impl CliOptions {
             retry: crate::fault::RetryPolicy::with_retries(self.retries, self.backoff_ms),
             checkpoint: self.checkpoint.clone(),
             resume: self.resume,
+            prune_static: self.prune_static,
         }
     }
 
@@ -98,6 +111,7 @@ impl CliOptions {
             || self.checkpoint.is_some()
             || self.resume
             || !self.inject.is_empty()
+            || self.prune_static.is_some()
     }
 
     /// Whether any requested artifact needs the app × matrix sweep.
@@ -130,7 +144,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         lint: false,
         help: false,
         trace_dir: None,
-        trace_app: "pr".to_string(),
+        app: None,
         trace_matrix: MatrixId::Ca,
         deadline_ms: None,
         retries: 0,
@@ -138,6 +152,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         checkpoint: None,
         resume: false,
         inject: Vec::new(),
+        prune_static: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -184,10 +199,11 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             }
             "--app" => {
                 i += 1;
-                opts.trace_app = args
-                    .get(i)
-                    .ok_or("--app needs an app short name (e.g. pr)")?
-                    .clone();
+                opts.app = Some(
+                    args.get(i)
+                        .ok_or("--app needs an app short name (e.g. pr)")?
+                        .clone(),
+                );
             }
             "--matrix" => {
                 i += 1;
@@ -235,6 +251,15 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 );
             }
             "--resume" => opts.resume = true,
+            "--prune-static" => {
+                i += 1;
+                opts.prune_static = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|&v| v.is_finite() && v > 0.0)
+                        .ok_or("--prune-static needs a positive byte budget (e.g. 2.5e9)")?,
+                );
+            }
             "--inject" => {
                 i += 1;
                 opts.inject.push(
@@ -249,9 +274,13 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 return Err(format!("unknown flag: {flag}"));
             }
             artifact => {
-                // `trace` is a subcommand, not a paper artifact: valid to
-                // request explicitly, never pulled in by `all`.
-                if !ALL_ARTIFACTS.contains(&artifact) && artifact != "trace" {
+                // `trace` and `analyze` are subcommands, not paper
+                // artifacts: valid to request explicitly, never pulled in
+                // by `all`.
+                if !ALL_ARTIFACTS.contains(&artifact)
+                    && artifact != "trace"
+                    && artifact != "analyze"
+                {
                     return Err(format!("unknown artifact: {artifact}"));
                 }
                 opts.artifacts.push(artifact.to_string());
@@ -273,8 +302,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     }
     if opts.uses_fault_tolerance() && opts.trace_dir.is_some() {
         return Err(
-            "fault-tolerance flags (--deadline-ms/--retries/--checkpoint/--resume/--inject) \
-             are not supported with --trace-dir"
+            "fault-tolerance flags (--deadline-ms/--retries/--checkpoint/--resume/--inject\
+             /--prune-static) are not supported with --trace-dir"
                 .into(),
         );
     }
@@ -289,9 +318,12 @@ pub fn usage() -> String {
         "usage: experiments <artifact>... [--scale N] [--quick] [--jobs N] [--json out.json] \
          [--bench-json out.json] [--mtx DIR] [--lint] [--trace-dir DIR]\n\
          fault tolerance: [--deadline-ms N] [--retries N] [--backoff-ms N] \
-         [--checkpoint journal.jsonl] [--resume] [--inject kind@app-matrix[:n]]\n\
+         [--checkpoint journal.jsonl] [--resume] [--inject kind@app-matrix[:n]] \
+         [--prune-static BYTES]\n\
          artifacts: {}\n\
          trace subcommand: experiments trace [--app NAME] [--matrix CODE] [--trace-dir DIR]\n\
+         analyze subcommand: experiments analyze [--app NAME] [--matrix CODE] — static \
+         traffic/occupancy bounds, differentially verified against the simulator\n\
          (--trace-dir with sweep artifacts also records per-point JSONL traces)",
         ALL_ARTIFACTS.join(" ")
     )
@@ -379,13 +411,14 @@ mod tests {
     fn trace_subcommand_and_flags_parse() {
         let o = parse(&args("trace --app sssp --matrix eu --trace-dir /tmp/tr")).unwrap();
         assert_eq!(o.artifacts, vec!["trace"]);
-        assert_eq!(o.trace_app, "sssp");
+        assert_eq!(o.trace_app(), "sssp");
         assert_eq!(o.trace_matrix, MatrixId::Eu);
         assert_eq!(o.trace_dir(), PathBuf::from("/tmp/tr"));
         assert!(!o.needs_sweep());
         // defaults
         let d = parse(&args("trace")).unwrap();
-        assert_eq!(d.trace_app, "pr");
+        assert_eq!(d.trace_app(), "pr");
+        assert_eq!(d.app, None);
         assert_eq!(d.trace_matrix, MatrixId::Ca);
         assert_eq!(d.trace_dir(), PathBuf::from("trace-out"));
         // `all` must not pull the subcommand in
@@ -403,6 +436,45 @@ mod tests {
         assert!(parse(&args("trace --matrix")).is_err());
         assert!(parse(&args("trace --app")).is_err());
         assert!(parse(&args("--trace-dir")).is_err());
+    }
+
+    #[test]
+    fn analyze_subcommand_parses() {
+        let o = parse(&args("analyze --app gcn --matrix gy --scale 256")).unwrap();
+        assert_eq!(o.artifacts, vec!["analyze"]);
+        assert_eq!(o.app, Some("gcn".to_string()));
+        assert_eq!(o.trace_matrix, MatrixId::Gy);
+        assert!(!o.needs_sweep());
+        // default: no app filter (= all registered apps)
+        assert_eq!(parse(&args("analyze")).unwrap().app, None);
+        // `all` must not pull the subcommand in
+        assert!(!parse(&args("all"))
+            .unwrap()
+            .artifacts
+            .iter()
+            .any(|a| a == "analyze"));
+    }
+
+    #[test]
+    fn prune_static_parses_and_validates() {
+        let o = parse(&args("fig14 --prune-static 2.5e9")).unwrap();
+        assert_eq!(o.prune_static, Some(2.5e9));
+        assert!(
+            o.uses_fault_tolerance(),
+            "pruning must route through the isolated sweep"
+        );
+        assert_eq!(o.sweep_options().prune_static, Some(2.5e9));
+        let d = parse(&args("fig14")).unwrap();
+        assert_eq!(d.prune_static, None);
+        assert_eq!(d.sweep_options().prune_static, None);
+        assert!(parse(&args("fig14 --prune-static")).is_err());
+        assert!(parse(&args("fig14 --prune-static 0")).is_err());
+        assert!(parse(&args("fig14 --prune-static -5")).is_err());
+        assert!(parse(&args("fig14 --prune-static nan")).is_err());
+        assert!(
+            parse(&args("fig14 --prune-static 1e9 --trace-dir t")).is_err(),
+            "pruning conflicts with tracing like the other run_checked flags"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 
 use serde::Serialize;
-use sparsepipe_core::MatrixCache;
+use sparsepipe_core::{CacheBytes, MatrixCache};
 
 use crate::error::{BenchError, PointError, PointErrorKind, PointKey};
 use crate::fault::{classify, RetryPolicy};
@@ -110,6 +110,62 @@ impl PointRecord {
     }
 }
 
+/// A sweep point skipped by the static pre-flight pruner
+/// (`--prune-static`): its provable traffic lower bound already exceeded
+/// the configured budget, so running it could not have met the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunedPoint {
+    /// The point that was skipped.
+    pub point: PointKey,
+    /// The static DRAM-traffic lower bound, in bytes.
+    pub lower_bound_bytes: f64,
+    /// The budget the bound exceeded, in bytes.
+    pub budget_bytes: f64,
+}
+
+impl Serialize for PrunedPoint {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("point".to_string(), self.point.to_value()),
+            (
+                "lower_bound_bytes".to_string(),
+                self.lower_bound_bytes.to_value(),
+            ),
+            ("budget_bytes".to_string(), self.budget_bytes.to_value()),
+        ])
+    }
+}
+
+/// Sweep-level [`MatrixCache`] counters surfaced in the telemetry: how
+/// often derived artifacts were reused, and how many bytes each artifact
+/// class retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheTelemetry {
+    /// Artifact lookups served from the cache.
+    pub hits: u64,
+    /// Artifact lookups that had to build.
+    pub misses: u64,
+    /// Retained bytes per artifact class.
+    pub bytes: CacheBytes,
+}
+
+impl Serialize for CacheTelemetry {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("hits".to_string(), self.hits.to_value()),
+            ("misses".to_string(), self.misses.to_value()),
+            (
+                "reordered_bytes".to_string(),
+                self.bytes.reordered.to_value(),
+            ),
+            ("plan_bytes".to_string(), self.bytes.plans.to_value()),
+            ("arena_bytes".to_string(), self.bytes.arenas.to_value()),
+            ("profile_bytes".to_string(), self.bytes.profiles.to_value()),
+            ("total_bytes".to_string(), self.bytes.total().to_value()),
+        ])
+    }
+}
+
 /// The aggregate telemetry written to `BENCH_experiments.json`.
 #[derive(Debug)]
 pub struct BenchTelemetry {
@@ -132,6 +188,14 @@ pub struct BenchTelemetry {
     /// a clean run (and omitted from the JSON so clean-run telemetry keeps
     /// the pre-fault-tolerance schema byte-for-byte).
     pub failed_points: Vec<PointError>,
+    /// Points skipped by the static pre-flight pruner, in submission
+    /// order. Empty — and omitted from the JSON — unless `--prune-static`
+    /// pruned something.
+    pub pruned_points: Vec<PrunedPoint>,
+    /// Sweep-level matrix-cache counters; omitted from the JSON when the
+    /// cache was never touched (keeping cache-free telemetry on the prior
+    /// schema).
+    pub matrix_cache: Option<CacheTelemetry>,
 }
 
 impl Serialize for BenchTelemetry {
@@ -159,6 +223,12 @@ impl Serialize for BenchTelemetry {
         ];
         if !self.failed_points.is_empty() {
             fields.push(("failed_points".to_string(), self.failed_points.to_value()));
+        }
+        if !self.pruned_points.is_empty() {
+            fields.push(("pruned_points".to_string(), self.pruned_points.to_value()));
+        }
+        if let Some(cache) = &self.matrix_cache {
+            fields.push(("matrix_cache".to_string(), cache.to_value()));
         }
         serde::Value::Map(fields)
     }
@@ -211,6 +281,7 @@ pub struct Executor {
     jobs: usize,
     records: Mutex<Vec<PointRecord>>,
     failures: Mutex<Vec<PointError>>,
+    pruned: Mutex<Vec<PrunedPoint>>,
     cache: Arc<MatrixCache>,
 }
 
@@ -227,6 +298,7 @@ impl Executor {
             jobs,
             records: Mutex::new(Vec::new()),
             failures: Mutex::new(Vec::new()),
+            pruned: Mutex::new(Vec::new()),
             cache: Arc::new(MatrixCache::new()),
         }
     }
@@ -409,12 +481,29 @@ impl Executor {
             .push(failure);
     }
 
+    /// Appends one point the static pruner skipped. Like
+    /// [`Executor::record`], callers report pruned points in input order.
+    pub fn record_pruned(&self, pruned: PrunedPoint) {
+        self.pruned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(pruned);
+    }
+
     /// Drains the collected records into the aggregate summary.
     pub fn finish(&self) -> BenchTelemetry {
         let records =
             std::mem::take(&mut *self.records.lock().unwrap_or_else(PoisonError::into_inner));
         let failed_points =
             std::mem::take(&mut *self.failures.lock().unwrap_or_else(PoisonError::into_inner));
+        let pruned_points =
+            std::mem::take(&mut *self.pruned.lock().unwrap_or_else(PoisonError::into_inner));
+        let (hits, misses, bytes) = (self.cache.hits(), self.cache.misses(), self.cache.bytes());
+        let matrix_cache = (hits + misses > 0).then_some(CacheTelemetry {
+            hits,
+            misses,
+            bytes,
+        });
         BenchTelemetry {
             jobs: self.jobs,
             points: records.len(),
@@ -427,6 +516,8 @@ impl Executor {
                 .fold(0.0, f64::max),
             records,
             failed_points,
+            pruned_points,
+            matrix_cache,
         }
     }
 }
@@ -690,6 +781,59 @@ mod tests {
             let expect: Vec<(usize, bool)> = (0..items.len()).map(|i| (i, true)).collect();
             assert_eq!(seen, expect, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn pruned_points_and_cache_stats_reach_telemetry_only_when_present() {
+        let exec = Executor::new(1);
+        let clean = serde_json::to_string(&exec.finish()).unwrap();
+        assert!(!clean.contains("pruned_points"), "{clean}");
+        assert!(
+            !clean.contains("matrix_cache"),
+            "an untouched cache must keep the prior schema: {clean}"
+        );
+        exec.record_pruned(PrunedPoint {
+            point: key_of(&5),
+            lower_bound_bytes: 2.0e9,
+            budget_bytes: 1.0e9,
+        });
+        let dirty = serde_json::to_string(&exec.finish()).unwrap();
+        assert!(dirty.contains("\"pruned_points\":[{"), "{dirty}");
+        assert!(dirty.contains("\"app\":\"app5\""), "{dirty}");
+        assert!(
+            dirty.contains("\"lower_bound_bytes\":2000000000"),
+            "{dirty}"
+        );
+        assert!(dirty.contains("\"budget_bytes\":1000000000"), "{dirty}");
+    }
+
+    #[test]
+    fn cache_use_surfaces_hit_miss_and_byte_counters() {
+        let exec = Executor::new(1);
+        let m = sparsepipe_tensor::CooMatrix::from_entries(4, 4, vec![(0, 1, 1.0), (2, 3, 1.0)])
+            .unwrap();
+        let key = MatrixCache::key_for("t", &m);
+        let kind = sparsepipe_core::ReorderKind::None;
+        for _ in 0..2 {
+            exec.cache()
+                .plan(key, kind, 2, || sparsepipe_core::PassPlan::build(&m, 2));
+        }
+        let t = exec.finish();
+        let cache = t.matrix_cache.expect("cache was touched");
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+        assert!(cache.bytes.plans > 0);
+        assert_eq!(
+            cache.bytes.total(),
+            cache.bytes.reordered + cache.bytes.plans + cache.bytes.arenas + cache.bytes.profiles
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(
+            json.contains("\"matrix_cache\":{\"hits\":1,\"misses\":1"),
+            "{json}"
+        );
+        assert!(json.contains("\"plan_bytes\":"), "{json}");
+        assert!(json.contains("\"total_bytes\":"), "{json}");
     }
 
     #[test]

@@ -1226,6 +1226,256 @@ pub fn trace_point(
     })
 }
 
+/// **analyze** — the static cost & reuse analyzer, differentially
+/// verified against the simulator.
+///
+/// For each selected app (all registered apps unless `app_filter` names
+/// one), the analyzer (`sparsepipe_lint::analysis_cost`) derives traffic
+/// and occupancy bounds from the dataflow graph and the matrix profile
+/// alone; the same point is then simulated with an audited trace, and
+/// every per-pass, per-category bound is checked against the replayed
+/// actuals (`lower ≤ actual ≤ upper`). The table summarizes one app per
+/// row; the full per-pass comparison is written to `json_path`. The
+/// returned count is the number of bound violations (0 on a sound run —
+/// CI fails otherwise).
+///
+/// # Errors
+///
+/// Returns [`BenchError::UnknownApp`] for an unregistered `app_filter`,
+/// [`BenchError::Dataset`] / [`BenchError::Compile`] / [`BenchError::Sim`]
+/// from the points themselves, [`BenchError::Trace`] on an audit
+/// mismatch, and [`BenchError::Io`] if the JSON report cannot be written.
+pub fn analyze(
+    ctx: &DataContext,
+    exec: &Executor,
+    app_filter: Option<&str>,
+    matrix_id: MatrixId,
+    json_path: &std::path::Path,
+) -> Result<(Report, usize), BenchError> {
+    use serde::Serialize as _;
+    use sparsepipe_lint::analysis_cost;
+    use sparsepipe_trace::{replay_passes, MemorySink, TraceAudit};
+
+    let apps: Vec<StaApp> = match app_filter {
+        Some(name) => vec![app_by_name(name)?],
+        None => registry::all(),
+    };
+    let dataset = ctx.load_one(matrix_id)?;
+    let cfg = sweep::sparsepipe_config(&dataset);
+
+    let mut t = Table::new(
+        [
+            "app",
+            "passes",
+            "lower (MB)",
+            "actual (MB)",
+            "upper (MB)",
+            "occupancy peak",
+            "reuse",
+            "diags",
+            "bounds",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut violations = 0usize;
+    let mut apps_json: Vec<serde::Value> = Vec::new();
+    let mb = |b: f64| format!("{:.2}", b / 1e6);
+
+    for app in &apps {
+        let program = app.compile().map_err(|e| BenchError::Compile {
+            app: app.name.into(),
+            message: e.to_string(),
+        })?;
+        let iterations = app.default_iterations;
+        let cost = analysis_cost::analyze_matrix(&program, &dataset.reordered, &cfg, iterations);
+
+        let mut sink = MemorySink::new();
+        let outcome = sparsepipe_core::SimRequest::new(&program, &dataset.reordered)
+            .iterations(iterations)
+            .config(cfg)
+            .cache(
+                exec.cache(),
+                sparsepipe_core::MatrixCache::key_for(dataset.id.code(), &dataset.reordered),
+            )
+            .trace(&mut sink)
+            .run()
+            .map_err(|source| BenchError::Sim {
+                app: app.name.into(),
+                matrix: matrix_id,
+                source,
+            })?;
+        // Ground truth: the trace must reproduce the report bitwise
+        // before it is allowed to judge the static bounds.
+        TraceAudit::replay(sink.events())
+            .check(&outcome.report.traffic.audit_totals())
+            .map_err(|e| BenchError::Trace {
+                app: app.name.into(),
+                matrix: matrix_id,
+                message: e.to_string(),
+            })?;
+        exec.record(PointRecord::from_telemetry(
+            format!("analyze:{}-{}", app.name, matrix_id.code()),
+            &outcome.telemetry,
+        ));
+
+        // Per-pass, per-category verdicts.
+        let actual_passes = replay_passes(sink.events());
+        let mut app_violations = 0usize;
+        let mut passes_json: Vec<serde::Value> = Vec::new();
+        if actual_passes.len() != cost.passes.len() {
+            app_violations += 1;
+        }
+        for (sp, ap) in cost.passes.iter().zip(&actual_passes) {
+            let actuals = [
+                ap.traffic.csc_bytes,
+                ap.traffic.csr_eager_bytes,
+                ap.traffic.refetch_bytes,
+                ap.traffic.vector_bytes,
+                ap.traffic.writeback_bytes,
+            ];
+            let mut cats: Vec<(String, serde::Value)> = Vec::new();
+            for ((name, bound), actual) in sp.traffic.categories().iter().zip(actuals) {
+                let ok = bound.contains(actual);
+                if !ok {
+                    app_violations += 1;
+                }
+                cats.push((
+                    (*name).to_string(),
+                    serde::Value::Map(vec![
+                        ("lower".into(), bound.lower.to_value()),
+                        ("actual".into(), actual.to_value()),
+                        ("upper".into(), bound.upper.to_value()),
+                        ("ok".into(), ok.to_value()),
+                    ]),
+                ));
+            }
+            passes_json.push(serde::Value::Map(vec![
+                ("pass".into(), sp.pass.to_value()),
+                ("kind".into(), sp.kind.label().to_value()),
+                ("repeats".into(), sp.repeats.to_value()),
+                ("steps".into(), sp.steps.to_value()),
+                ("categories".into(), serde::Value::Map(cats)),
+            ]));
+        }
+        let actual_total = outcome.report.traffic.total_bytes();
+        let total = cost.traffic.total();
+        if !total.contains(actual_total) {
+            app_violations += 1;
+        }
+        let occupancy_ok = cost
+            .occupancy_bytes
+            .contains(outcome.report.buffer_peak_bytes);
+        if !occupancy_ok {
+            app_violations += 1;
+        }
+        violations += app_violations;
+
+        t.row(vec![
+            app.name.into(),
+            cost.passes.len().to_string(),
+            mb(total.lower),
+            mb(actual_total),
+            mb(total.upper),
+            format!(
+                "{:.0} in [{:.0}, {:.0}]",
+                outcome.report.buffer_peak_bytes,
+                cost.occupancy_bytes.lower,
+                cost.occupancy_bytes.upper
+            ),
+            format!("{:.2}", cost.reuse_score),
+            cost.diagnostics.diagnostics().len().to_string(),
+            if app_violations == 0 {
+                "ok".into()
+            } else {
+                format!("{app_violations} VIOLATION(S)")
+            },
+        ]);
+        apps_json.push(serde::Value::Map(vec![
+            ("app".into(), app.name.to_value()),
+            ("matrix".into(), matrix_id.code().to_value()),
+            ("iterations".into(), iterations.to_value()),
+            ("has_oei".into(), cost.has_oei.to_value()),
+            ("cross_iteration".into(), cost.cross_iteration.to_value()),
+            ("reuse_score".into(), cost.reuse_score.to_value()),
+            (
+                "no_eviction_guaranteed".into(),
+                cost.no_eviction_guaranteed.to_value(),
+            ),
+            (
+                "thrash_guaranteed".into(),
+                cost.thrash_guaranteed.to_value(),
+            ),
+            ("passes".into(), serde::Value::Seq(passes_json)),
+            (
+                "total".into(),
+                serde::Value::Map(vec![
+                    ("lower".into(), total.lower.to_value()),
+                    ("actual".into(), actual_total.to_value()),
+                    ("upper".into(), total.upper.to_value()),
+                ]),
+            ),
+            (
+                "occupancy".into(),
+                serde::Value::Map(vec![
+                    ("lower".into(), cost.occupancy_bytes.lower.to_value()),
+                    ("actual".into(), outcome.report.buffer_peak_bytes.to_value()),
+                    ("upper".into(), cost.occupancy_bytes.upper.to_value()),
+                    ("ok".into(), occupancy_ok.to_value()),
+                ]),
+            ),
+            (
+                "diagnostics".into(),
+                serde::Value::Seq(
+                    cost.diagnostics
+                        .diagnostics()
+                        .iter()
+                        .map(|d| d.to_string().to_value())
+                        .collect(),
+                ),
+            ),
+            ("violations".into(), app_violations.to_value()),
+        ]));
+    }
+
+    let json = serde::Value::Map(vec![
+        ("matrix".into(), matrix_id.code().to_value()),
+        ("scale".into(), ctx.scale.to_value()),
+        ("violations".into(), violations.to_value()),
+        ("apps".into(), serde::Value::Seq(apps_json)),
+    ]);
+    let text = serde_json::to_string_pretty(&json).map_err(|e| BenchError::Json(e.to_string()))?;
+    std::fs::write(json_path, text).map_err(|source| BenchError::Io {
+        path: json_path.to_path_buf(),
+        source,
+    })?;
+
+    let mut body = t.render();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        body,
+        "bounds     : {} (per-pass, per-category, vs bit-audited trace replay)",
+        if violations == 0 {
+            "all sound".to_string()
+        } else {
+            format!("{violations} VIOLATION(S)")
+        }
+    );
+    let _ = writeln!(body, "json report: {}", json_path.display());
+    Ok((
+        Report {
+            id: "analyze",
+            title: format!(
+                "static traffic/occupancy bounds vs simulator on {} (scale 1/{})",
+                matrix_id.code(),
+                ctx.scale
+            ),
+            body,
+        },
+        violations,
+    ))
+}
+
 /// **--lint** — the static verifier over every registered app (graph
 /// well-formedness, shapes/semirings, the OEI oracle cross-check) plus a
 /// representative pass plan per feature width. Returns the report and the

@@ -24,7 +24,7 @@ use crate::executor::{Executor, PointOutcome, PointRecord, TraceCounters};
 use crate::fault::{FaultHook, InjectedFault, RetryPolicy};
 
 /// All evaluated systems' results for one (app, matrix) pair.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct Entry {
     /// Application short name.
     pub app: &'static str,
@@ -108,6 +108,14 @@ pub struct SweepOptions {
     pub checkpoint: Option<std::path::PathBuf>,
     /// Restore completed points from an existing journal (`--resume`).
     pub resume: bool,
+    /// Static pre-flight pruning budget in bytes (`--prune-static`):
+    /// points whose *provable* DRAM-traffic lower bound (see
+    /// `sparsepipe_lint::analysis_cost`) exceeds the budget are skipped
+    /// without simulating, and recorded as
+    /// [`PrunedPoint`](crate::executor::PrunedPoint)s. Because the bound
+    /// is a proven lower bound, a pruned point could never have come in
+    /// under budget — in-budget points are never pruned.
+    pub prune_static: Option<f64>,
 }
 
 /// What [`Sweep::run_checked`] produces: the (possibly partial) sweep
@@ -122,6 +130,8 @@ pub struct SweepOutcome {
     pub resumed: usize,
     /// Points actually executed this run.
     pub executed: usize,
+    /// Points the static pruner skipped, in submission order.
+    pub pruned: Vec<crate::executor::PrunedPoint>,
 }
 
 /// The Sparsepipe configuration used by the sweep for a dataset: blocked
@@ -455,6 +465,7 @@ fn evaluate_with_sink<S: TraceSink>(
         matrix: dataset.id,
         source,
     };
+    // determinism: allow (wall-clock deadline bookkeeping, not simulated state)
     let started = std::time::Instant::now();
     let mut request = SimRequest::new(&program, &dataset.reordered)
         .iterations(iterations)
@@ -701,8 +712,69 @@ impl Sweep {
             journal = Some(j);
         }
 
-        let work: Vec<usize> = (0..points.len()).filter(|i| slots[*i].is_none()).collect();
+        let unfilled: Vec<usize> = (0..points.len()).filter(|i| slots[*i].is_none()).collect();
         let cache = Arc::clone(exec.cache());
+
+        // Static pre-flight pruning: a point whose *provable* traffic
+        // lower bound exceeds the budget cannot come in under it, so it
+        // is skipped without simulating. Apps compile once; plans and
+        // profiles land in the sweep cache, so nothing here is wasted
+        // even for points that survive.
+        let mut pruned = Vec::new();
+        let work: Vec<usize> = match opts.prune_static {
+            None => unfilled,
+            Some(budget) => {
+                let mut kept = Vec::new();
+                let mut programs: Vec<(&str, Option<Arc<sparsepipe_frontend::SparsepipeProgram>>)> =
+                    Vec::new();
+                for &i in &unfilled {
+                    let (dataset, app) = &points[i];
+                    let program = match programs.iter().find(|(n, _)| *n == app.name) {
+                        Some((_, p)) => p.clone(),
+                        None => {
+                            let p = app.compile().ok().map(Arc::new);
+                            programs.push((app.name, p.clone()));
+                            p
+                        }
+                    };
+                    // A non-compiling app is never pruned — the normal
+                    // execution path owns reporting that failure.
+                    let Some(program) = program else {
+                        kept.push(i);
+                        continue;
+                    };
+                    let cfg = sparsepipe_config(dataset);
+                    let matrix = &dataset.reordered;
+                    let key = sparsepipe_core::MatrixCache::key_for(dataset.id.code(), matrix);
+                    let t = cfg.subtensor_auto(matrix.ncols(), matrix.nnz());
+                    let profile = cache.profile(key, cfg.preprocessing.reorder, t, || {
+                        let plan = cache.plan(key, cfg.preprocessing.reorder, t, || {
+                            sparsepipe_core::PassPlan::build(matrix, t)
+                        });
+                        sparsepipe_core::MatrixProfile::build(&plan)
+                    });
+                    let report = sparsepipe_lint::analysis_cost::analyze(
+                        &program,
+                        &profile,
+                        &cfg,
+                        app.default_iterations,
+                    );
+                    let lower = report.traffic.total().lower;
+                    if lower > budget {
+                        let p = crate::executor::PrunedPoint {
+                            point: keys[i].clone(),
+                            lower_bound_bytes: lower,
+                            budget_bytes: budget,
+                        };
+                        exec.record_pruned(p.clone());
+                        pruned.push(p);
+                    } else {
+                        kept.push(i);
+                    }
+                }
+                kept
+            }
+        };
         let deadline_ms = opts.deadline.map_or(0, |d| d.as_millis() as u64);
         let mut journal_err: Option<BenchError> = None;
         let outcomes = exec.run_isolated(
@@ -778,6 +850,7 @@ impl Sweep {
             failures,
             resumed,
             executed,
+            pruned,
         })
     }
 
@@ -857,6 +930,92 @@ mod tests {
         assert!(telem.records[0].trace.unwrap().events > 0);
         assert!(dir.join("sweep-pr-ca.trace.jsonl").is_file());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn static_pruning_never_drops_in_budget_points() {
+        // Ground truth: the unpruned sweep's actual traffic per point.
+        let baseline = tiny_sweep();
+        let mut totals: Vec<f64> = baseline
+            .entries
+            .iter()
+            .map(|e| e.sim.traffic.total_bytes())
+            .collect();
+        totals.sort_by(f64::total_cmp);
+        // A mid-range budget so the pruner has both kinds of point.
+        let budget = totals[totals.len() / 2];
+
+        let opts = SweepOptions {
+            prune_static: Some(budget),
+            ..SweepOptions::default()
+        };
+        let mut reference: Option<(Vec<Entry>, Vec<crate::executor::PrunedPoint>)> = None;
+        for jobs in [1, 4] {
+            let exec = Executor::new(jobs);
+            let outcome = Sweep::run_checked(
+                DataContext::synthetic(MatrixSet::Quick, 128),
+                &exec,
+                &opts,
+                &crate::fault::NoFaults,
+            )
+            .unwrap();
+            assert!(outcome.failures.is_empty());
+            assert!(
+                !outcome.pruned.is_empty() && outcome.pruned.len() < baseline.entries.len(),
+                "a mid-range budget must prune some points but not all: {} of {}",
+                outcome.pruned.len(),
+                baseline.entries.len()
+            );
+            assert_eq!(
+                outcome.sweep.entries.len() + outcome.pruned.len(),
+                baseline.entries.len()
+            );
+            // Soundness: every pruned point's *actual* traffic exceeds the
+            // budget (the pruner must never skip an in-budget point), and
+            // its recorded lower bound is itself under the actual.
+            for p in &outcome.pruned {
+                let actual = baseline
+                    .entries
+                    .iter()
+                    .find(|e| e.app == p.point.app && e.matrix.code() == p.point.matrix)
+                    .map(|e| e.sim.traffic.total_bytes())
+                    .expect("pruned point exists in the baseline");
+                assert!(p.lower_bound_bytes > budget);
+                assert!(
+                    actual > budget,
+                    "{}: pruned but actual {actual} <= budget {budget}",
+                    p.point
+                );
+                assert!(
+                    p.lower_bound_bytes <= actual,
+                    "{}: recorded bound {} above actual {actual}",
+                    p.point,
+                    p.lower_bound_bytes
+                );
+            }
+            // Surviving entries are byte-identical to the unpruned run's.
+            for e in &outcome.sweep.entries {
+                let b = baseline
+                    .entries
+                    .iter()
+                    .find(|x| x.app == e.app && x.matrix == e.matrix)
+                    .unwrap();
+                assert_eq!(e.sim, b.sim, "{}-{} perturbed by pruning", e.app, e.matrix);
+            }
+            // Pruned points appear in the telemetry; the pruner's
+            // plan/profile work lands in the shared cache counters.
+            let telem = exec.finish();
+            assert_eq!(telem.pruned_points, outcome.pruned);
+            assert!(telem.matrix_cache.is_some());
+            // And the whole outcome is identical across thread counts.
+            match &reference {
+                None => reference = Some((outcome.sweep.entries, outcome.pruned)),
+                Some((entries, pruned)) => {
+                    assert_eq!(*entries, outcome.sweep.entries, "jobs={jobs}");
+                    assert_eq!(*pruned, outcome.pruned, "jobs={jobs}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! The static analyzer's acceptance gate: for every registered app at
+//! scale 256, every per-pass, per-category traffic bound and the
+//! occupancy bound must bracket the simulator's audited actuals
+//! (`lower ≤ actual ≤ upper`). `experiments::analyze` performs the
+//! comparison itself (against a bit-audited trace replay) and reports a
+//! violation count; this test runs it over the Quick matrix set and
+//! requires zero.
+
+use sparsepipe_bench::datasets::{DataContext, MatrixSet};
+use sparsepipe_bench::executor::Executor;
+use sparsepipe_bench::experiments;
+use sparsepipe_tensor::MatrixId;
+
+#[test]
+fn static_bounds_hold_for_all_apps_at_scale_256() {
+    let ctx = DataContext::synthetic(MatrixSet::Quick, 256);
+    let exec = Executor::new(0);
+    let dir = std::env::temp_dir().join(format!("sparsepipe-analyze-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for matrix in [MatrixId::Ca, MatrixId::Gy, MatrixId::Bu] {
+        let json_path = dir.join(format!("analyze-{}.json", matrix.code()));
+        let (report, violations) =
+            experiments::analyze(&ctx, &exec, None, matrix, &json_path).unwrap();
+        assert_eq!(
+            violations,
+            0,
+            "static bounds violated on {}:\n{}",
+            matrix.code(),
+            report.render()
+        );
+        // The JSON artifact round-trips and covers every registered app.
+        let json = serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        let apps = match json.get("apps") {
+            Some(serde::Value::Seq(apps)) => apps,
+            other => panic!("apps missing from the JSON report: {other:?}"),
+        };
+        assert_eq!(apps.len(), 11, "one entry per registered app");
+        for app in apps {
+            assert_eq!(
+                app.get("violations").and_then(serde::Value::as_u64),
+                Some(0)
+            );
+        }
+        assert_eq!(
+            json.get("violations").and_then(serde::Value::as_u64),
+            Some(0)
+        );
+    }
+    // A single-app filtered run works and stays sound too.
+    let json_path = dir.join("analyze-pr.json");
+    let (_, violations) =
+        experiments::analyze(&ctx, &exec, Some("pr"), MatrixId::Ca, &json_path).unwrap();
+    assert_eq!(violations, 0);
+    assert!(
+        experiments::analyze(&ctx, &exec, Some("nope"), MatrixId::Ca, &json_path).is_err(),
+        "unknown app names are rejected"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -64,3 +64,32 @@ fn figure_renders_match_golden_snapshots() {
         ),
     );
 }
+
+#[test]
+fn analyze_report_matches_golden_snapshot() {
+    // The static analyzer's rendered report for the default point (all
+    // apps on ca at scale 64) is fully deterministic: any drift in the
+    // bounds, the pass structure, or the simulator's actuals lands here.
+    let exec = Executor::new(0);
+    let json = std::env::temp_dir().join(format!(
+        "sparsepipe-analyze-golden-{}.json",
+        std::process::id()
+    ));
+    let (report, violations) = experiments::analyze(
+        &DataContext::synthetic(MatrixSet::Quick, 64),
+        &exec,
+        None,
+        sparsepipe_tensor::MatrixId::Ca,
+        &json,
+    )
+    .expect("analyze cannot fail on the built-in quick set");
+    std::fs::remove_file(&json).ok();
+    assert_eq!(violations, 0, "golden analyze run must be sound");
+    // The json path line varies by tmpdir/pid; golden only the table part.
+    let render = report.render();
+    let stable = render
+        .split("json report:")
+        .next()
+        .expect("render contains the json path line");
+    check("analyze.txt", stable);
+}

@@ -23,6 +23,7 @@ use sparsepipe_tensor::CooMatrix;
 use crate::arena::MatrixArena;
 use crate::config::ReorderKind;
 use crate::plan::PassPlan;
+use crate::profile::MatrixProfile;
 
 fn reorder_tag(kind: ReorderKind) -> u8 {
     match kind {
@@ -40,8 +41,54 @@ pub struct MatrixCache {
     reordered: Mutex<HashMap<(u64, u8), Arc<CooMatrix>>>,
     plans: Mutex<HashMap<(u64, u8, usize), Arc<PassPlan>>>,
     arenas: Mutex<HashMap<u64, Arc<MatrixArena>>>,
+    profiles: Mutex<HashMap<(u64, u8, usize), Arc<MatrixProfile>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    reordered_bytes: AtomicU64,
+    plan_bytes: AtomicU64,
+    arena_bytes: AtomicU64,
+    profile_bytes: AtomicU64,
+}
+
+/// Estimated heap bytes held by each cache family (per-entry sizes are
+/// accumulated at insert time; there is no eviction yet, so totals only
+/// grow). The groundwork for ROADMAP item 1's LRU: eviction decisions
+/// need measured sizes before a budget means anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheBytes {
+    /// Bytes held by cached reordered matrices.
+    pub reordered: u64,
+    /// Bytes held by cached pass plans.
+    pub plans: u64,
+    /// Bytes held by cached arenas.
+    pub arenas: u64,
+    /// Bytes held by cached matrix profiles.
+    pub profiles: u64,
+}
+
+impl CacheBytes {
+    /// Total bytes across all families.
+    pub fn total(&self) -> u64 {
+        self.reordered + self.plans + self.arenas + self.profiles
+    }
+}
+
+fn coo_heap_bytes(m: &CooMatrix) -> u64 {
+    (m.nnz() * std::mem::size_of::<(u32, u32, f64)>()) as u64
+}
+
+fn plan_heap_bytes(p: &PassPlan) -> u64 {
+    // five nnz-length u32 arrays, two (steps+1) usize pointer arrays,
+    // one steps-length usize curve
+    (5 * p.nnz * std::mem::size_of::<u32>()
+        + (2 * (p.steps + 1) + p.steps) * std::mem::size_of::<usize>()) as u64
+}
+
+fn arena_heap_bytes(a: &MatrixArena) -> u64 {
+    // CSC + CSR: each one (n+1) u32 pointer array plus nnz coordinates
+    // (u32) and values (f64)
+    (2 * ((a.n() as usize + 1) * std::mem::size_of::<u32>()
+        + a.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>()))) as u64
 }
 
 impl MatrixCache {
@@ -96,13 +143,14 @@ impl MatrixCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build());
-        Arc::clone(
-            self.reordered
-                .lock()
-                .expect("cache lock")
-                .entry(k)
-                .or_insert(built),
-        )
+        match self.reordered.lock().expect("cache lock").entry(k) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.reordered_bytes
+                    .fetch_add(coo_heap_bytes(&built), Ordering::Relaxed);
+                Arc::clone(v.insert(built))
+            }
+        }
     }
 
     /// The [`PassPlan`] of matrix `key` (under reordering `kind`) at
@@ -124,13 +172,49 @@ impl MatrixCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build());
-        Arc::clone(
-            self.plans
-                .lock()
-                .expect("cache lock")
-                .entry(k)
-                .or_insert(built),
-        )
+        match self.plans.lock().expect("cache lock").entry(k) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.plan_bytes
+                    .fetch_add(plan_heap_bytes(&built), Ordering::Relaxed);
+                Arc::clone(v.insert(built))
+            }
+        }
+    }
+
+    /// The [`MatrixProfile`] of matrix `key` (under reordering `kind`) at
+    /// sub-tensor width `t_cols`, building on first request. Same purity
+    /// contract as [`MatrixCache::reordered`].
+    pub fn profile<F>(
+        &self,
+        key: u64,
+        kind: ReorderKind,
+        t_cols: usize,
+        build: F,
+    ) -> Arc<MatrixProfile>
+    where
+        F: FnOnce() -> MatrixProfile,
+    {
+        let k = (key, reorder_tag(kind), t_cols);
+        if let Some(hit) = self
+            .profiles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&k)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        match self.profiles.lock().expect("cache lock").entry(k) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.profile_bytes
+                    .fetch_add(built.heap_bytes(), Ordering::Relaxed);
+                Arc::clone(v.insert(built))
+            }
+        }
     }
 
     /// The [`MatrixArena`] of matrix `key`, building on first request.
@@ -150,13 +234,14 @@ impl MatrixCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build());
-        Arc::clone(
-            self.arenas
-                .lock()
-                .expect("cache lock")
-                .entry(key)
-                .or_insert(built),
-        )
+        match self.arenas.lock().expect("cache lock").entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.arena_bytes
+                    .fetch_add(arena_heap_bytes(&built), Ordering::Relaxed);
+                Arc::clone(v.insert(built))
+            }
+        }
     }
 
     /// Lookups answered from the cache so far.
@@ -167,6 +252,17 @@ impl MatrixCache {
     /// Lookups that had to build.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes held per cache family (accumulated per entry at
+    /// insert time; the cache never evicts, so this only grows).
+    pub fn bytes(&self) -> CacheBytes {
+        CacheBytes {
+            reordered: self.reordered_bytes.load(Ordering::Relaxed),
+            plans: self.plan_bytes.load(Ordering::Relaxed),
+            arenas: self.arena_bytes.load(Ordering::Relaxed),
+            profiles: self.profile_bytes.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -213,6 +309,31 @@ mod tests {
             MatrixCache::key_for("x", &a),
             MatrixCache::key_for("x", &b),
             "shapes must separate keys"
+        );
+    }
+
+    #[test]
+    fn byte_accounting_counts_each_entry_once() {
+        let m = gen::uniform(64, 64, 300, 3);
+        let cache = MatrixCache::new();
+        assert_eq!(cache.bytes().total(), 0);
+        let key = MatrixCache::key_for("t", &m);
+        cache.plan(key, ReorderKind::None, 8, || PassPlan::build(&m, 8));
+        let after_plan = cache.bytes();
+        assert!(after_plan.plans > 0);
+        assert_eq!(after_plan.total(), after_plan.plans);
+        // hits do not grow the accounted bytes
+        cache.plan(key, ReorderKind::None, 8, || panic!("must hit"));
+        assert_eq!(cache.bytes(), after_plan);
+        cache.reordered(key, ReorderKind::None, || m.clone());
+        cache.arena(key, || MatrixArena::from_coo(&m));
+        let plan = cache.plan(key, ReorderKind::None, 8, || panic!("must hit"));
+        cache.profile(key, ReorderKind::None, 8, || MatrixProfile::build(&plan));
+        let all = cache.bytes();
+        assert!(all.reordered > 0 && all.arenas > 0 && all.profiles > 0);
+        assert_eq!(
+            all.total(),
+            all.reordered + all.plans + all.arenas + all.profiles
         );
     }
 

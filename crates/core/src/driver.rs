@@ -203,6 +203,7 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
     /// Returns [`CoreError::NonSquareMatrix`] for rectangular inputs and
     /// [`CoreError::ZeroIterations`] when `iterations == 0`.
     pub fn run(mut self) -> Result<SimOutcome, CoreError> {
+        // determinism: allow (host telemetry + deadline anchor, not simulated state)
         let start = std::time::Instant::now();
         let deadline = self.deadline.map(|budget| engine::Deadline {
             at: start + budget,

@@ -27,6 +27,7 @@ impl Deadline {
     /// Fails with [`CoreError::DeadlineExceeded`] once the wall clock has
     /// reached the deadline.
     pub fn check(&self) -> Result<(), CoreError> {
+        // determinism: allow (the Deadline module is the sanctioned clock reader)
         if std::time::Instant::now() >= self.at {
             Err(CoreError::DeadlineExceeded {
                 budget_ms: self.budget_ms,

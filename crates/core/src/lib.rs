@@ -69,14 +69,16 @@ pub mod memctrl;
 pub mod oei;
 pub mod pipeline;
 pub mod plan;
+pub mod profile;
 mod stats;
 
 pub use arena::{MatrixArena, RowSet};
-pub use cache::MatrixCache;
+pub use cache::{CacheBytes, MatrixCache};
 pub use config::{EvictionPolicy, MemoryConfig, Preprocessing, ReorderKind, SparsepipeConfig};
 pub use driver::{SimOutcome, SimRequest, SimTelemetry};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use plan::PassPlan;
+pub use profile::MatrixProfile;
 pub use stats::{BwSample, SimReport, TrafficBreakdown};
 
 /// Errors produced by the simulator.

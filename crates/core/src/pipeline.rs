@@ -192,7 +192,7 @@ const SCATTER_FACTOR: f64 = 1.1;
 /// simulator's stand-in for the paper's traffic-estimator parameter `R`,
 /// which "conservatively fetches up to R row data" to keep the IS stage
 /// aligned with near-future work instead of flooding the buffer.
-const PREFETCH_LOOKAHEAD_STEPS: u32 = 16;
+pub(crate) const PREFETCH_LOOKAHEAD_STEPS: u32 = 16;
 
 /// Pipeline fill/drain steps (CSC load → OS → E-Wise → IS).
 const PIPELINE_STAGES: f64 = 3.0;

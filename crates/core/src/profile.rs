@@ -1,0 +1,238 @@
+//! Config-independent schedule geometry statistics for static analysis.
+//!
+//! A [`MatrixProfile`] condenses a [`PassPlan`] into the per-step counts
+//! the static cost analyzer (`sparsepipe-lint`'s `analysis_cost` family)
+//! needs to bound the simulator's behaviour without running it:
+//!
+//! * how many elements the eager CSR prefetcher is geometrically *able*
+//!   to load ahead of demand (and therefore how far the CSC/CSR traffic
+//!   split can swing);
+//! * the worst-case resident-element curve, under both the eager and the
+//!   demand-only loading disciplines — if it fits the buffer at every
+//!   step, the run provably never evicts;
+//! * per-step coresidency floors that lower-bound the occupancy peak and
+//!   the eviction count under a given capacity.
+//!
+//! Everything here is a pure function of the plan (matrix × sub-tensor
+//! width); buffer capacity, element sizes, and the eager-CSR switch are
+//! applied by the analyzer, so one profile serves every configuration.
+
+use crate::pipeline::PREFETCH_LOOKAHEAD_STEPS;
+use crate::plan::PassPlan;
+
+/// Schedule geometry statistics derived from one [`PassPlan`].
+///
+/// All step-indexed vectors have `steps` entries. "Element" means one
+/// stored non-zero; multiply counts by the configuration's
+/// per-element byte sizes to get bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixProfile {
+    /// Matrix dimension (square).
+    pub n: u32,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Sub-tensor width the plan was built at.
+    pub t_cols: usize,
+    /// Pipeline steps per pass.
+    pub steps: usize,
+    /// Elements the eager CSR loader can geometrically prefetch: there
+    /// exists a step `s` with `max(0, row_step - lookahead) <= s` and
+    /// `s < min(col_step, row_step)` at which the element is within the
+    /// prefetch horizon, ahead of the cursor, and not yet demand-loaded.
+    pub eager_loadable: usize,
+    /// Elements whose IS consumption follows their OS consumption
+    /// (`col_step < row_step`) — an eviction between the two consumptions
+    /// forces an IS-side refetch.
+    pub refetch_candidates: usize,
+    /// Elements whose two consumptions land on different steps
+    /// (`col_step != row_step`, either order). Each can suffer at most
+    /// one demand refetch between its consumptions; together with one
+    /// possible post-eager-eviction reload per eager-loadable element,
+    /// this caps the refetch count.
+    pub deferred_consumptions: usize,
+    /// `max over steps s` of the number of elements with
+    /// `col_step == s && row_step >= s`: all of them are provably
+    /// resident together at the end of step `s`'s OS phase, so this
+    /// floors the buffer occupancy peak.
+    pub peak_coresident: usize,
+    /// `max over steps s` of the demand burst `|os_elements(s)| +
+    /// |is_elements(s)|` — the most elements any single step can load
+    /// on top of an already-enforced buffer.
+    pub demand_burst_peak: usize,
+    /// Per step `s`: elements with `col_step == s && row_step > s`.
+    /// They are provably resident when capacity is enforced at the end
+    /// of step `s`; if they alone exceed the enforcement budget, some
+    /// are certainly evicted and later refetched.
+    pub os_live_at_enforce: Vec<usize>,
+    /// Per step `s`: worst-case resident elements at the end-of-step
+    /// enforcement assuming no prior eviction, with eager prefetch on
+    /// (elements join at their earliest possible load step and leave
+    /// when fully consumed). If `worst_live_eager[s] * elem_bytes` fits
+    /// the enforcement budget at every `s`, no eviction ever happens.
+    pub worst_live_eager: Vec<usize>,
+    /// Same curve under demand-only loading (eager CSR off): elements
+    /// join at their first consuming step, `min(col_step, row_step)`.
+    pub worst_live_demand: Vec<usize>,
+    /// The plan's dense-vector working set per step, in vector elements
+    /// (copied from [`PassPlan::vec_live`]).
+    pub vec_live: Vec<usize>,
+}
+
+impl MatrixProfile {
+    /// Derives the profile from a plan in `O(nnz + steps)`.
+    pub fn build(plan: &PassPlan) -> Self {
+        let steps = plan.steps;
+        let look = PREFETCH_LOOKAHEAD_STEPS;
+        let mut eager_loadable = 0usize;
+        let mut refetch_candidates = 0usize;
+        let mut deferred_consumptions = 0usize;
+        let mut coresident = vec![0usize; steps];
+        let mut os_live_at_enforce = vec![0usize; steps];
+        // Interval deltas for the two worst-case residency curves: an
+        // element occupies [first_load_step, full_consumption_step) —
+        // it is freed *during* its last consuming step, before that
+        // step's capacity enforcement runs.
+        let mut delta_eager = vec![0i64; steps + 1];
+        let mut delta_demand = vec![0i64; steps + 1];
+        for e in 0..plan.nnz {
+            let cs = plan.col_step[e];
+            let rs = plan.row_step[e];
+            // Eager loads at step `s` require s >= row_step - lookahead
+            // (horizon), s < row_step (cursor has moved past earlier
+            // rows), and s < col_step (still unloaded): non-empty iff
+            // row_step >= 1 and col_step + lookahead > row_step.
+            let loadable = rs >= 1 && cs + look > rs;
+            if loadable {
+                eager_loadable += 1;
+            }
+            if cs < rs {
+                refetch_candidates += 1;
+            }
+            if cs != rs {
+                deferred_consumptions += 1;
+            }
+            if rs >= cs {
+                coresident[cs as usize] += 1;
+            }
+            if rs > cs {
+                os_live_at_enforce[cs as usize] += 1;
+            }
+            // Demand loading pulls the element in at its *first* consuming
+            // step (the IS loader demand-loads too, so an element whose
+            // row precedes its column joins at `row_step`); eager loading
+            // can additionally pull it in up to `lookahead` steps before
+            // its IS consumption.
+            let freed = cs.max(rs) as usize;
+            let earliest_demand = cs.min(rs) as usize;
+            let earliest_eager = if loadable {
+                rs.saturating_sub(look) as usize
+            } else {
+                earliest_demand
+            };
+            if freed > earliest_eager {
+                delta_eager[earliest_eager] += 1;
+                delta_eager[freed] -= 1;
+            }
+            if freed > earliest_demand {
+                delta_demand[earliest_demand] += 1;
+                delta_demand[freed] -= 1;
+            }
+        }
+        let prefix = |delta: &[i64]| {
+            let mut live = 0i64;
+            let mut curve = Vec::with_capacity(steps);
+            for d in delta.iter().take(steps) {
+                live += d;
+                curve.push(live.max(0) as usize);
+            }
+            curve
+        };
+        let worst_live_eager = prefix(&delta_eager);
+        let worst_live_demand = prefix(&delta_demand);
+        let demand_burst_peak = (0..steps)
+            .map(|s| plan.os_elements(s).len() + plan.is_elements(s).len())
+            .max()
+            .unwrap_or(0);
+        MatrixProfile {
+            n: plan.n,
+            nnz: plan.nnz,
+            t_cols: plan.t_cols,
+            steps,
+            eager_loadable,
+            refetch_candidates,
+            deferred_consumptions,
+            peak_coresident: coresident.iter().copied().max().unwrap_or(0),
+            demand_burst_peak,
+            os_live_at_enforce,
+            worst_live_eager,
+            worst_live_demand,
+            vec_live: plan.vec_live.clone(),
+        }
+    }
+
+    /// Approximate heap footprint of this profile, for cache accounting.
+    pub fn heap_bytes(&self) -> u64 {
+        ((self.os_live_at_enforce.len()
+            + self.worst_live_eager.len()
+            + self.worst_live_demand.len()
+            + self.vec_live.len())
+            * std::mem::size_of::<usize>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_tensor::gen;
+
+    #[test]
+    fn counts_are_consistent() {
+        let m = gen::uniform(200, 200, 2_000, 7);
+        let plan = PassPlan::build(&m, 8);
+        let p = MatrixProfile::build(&plan);
+        assert_eq!(p.steps, plan.steps);
+        assert!(p.eager_loadable <= p.nnz);
+        assert!(p.refetch_candidates <= p.deferred_consumptions);
+        assert!(p.deferred_consumptions <= p.nnz);
+        assert!(p.peak_coresident <= p.nnz);
+        assert!(
+            p.peak_coresident >= 1,
+            "some element has row_step >= col_step"
+        );
+        // the worst-case curves never exceed nnz and eager >= demand
+        for s in 0..p.steps {
+            assert!(p.worst_live_eager[s] <= p.nnz);
+            assert!(
+                p.worst_live_eager[s] >= p.worst_live_demand[s],
+                "eager loading can only widen residency at step {s}"
+            );
+            assert!(p.os_live_at_enforce[s] <= p.worst_live_demand[s].max(1));
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_has_no_refetch_candidates() {
+        // On a diagonal matrix col_step == row_step for every element:
+        // nothing can be refetched, nothing outlives its own step.
+        let entries: Vec<(u32, u32, f64)> = (0..64).map(|i| (i, i, 1.0)).collect();
+        let m = sparsepipe_tensor::CooMatrix::from_entries(64, 64, entries).unwrap();
+        let plan = PassPlan::build(&m, 4);
+        let p = MatrixProfile::build(&plan);
+        assert_eq!(p.refetch_candidates, 0);
+        assert_eq!(p.deferred_consumptions, 0);
+        assert!(p.os_live_at_enforce.iter().all(|&c| c == 0));
+        assert!(p.worst_live_demand.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn lower_triangle_defers_is_consumption() {
+        // Strictly lower-triangular: every element has row > col, so with
+        // a 1-wide sub-tensor every element is a refetch candidate.
+        let entries: Vec<(u32, u32, f64)> = (1..64).map(|i| (i, i - 1, 1.0)).collect();
+        let m = sparsepipe_tensor::CooMatrix::from_entries(64, 64, entries).unwrap();
+        let plan = PassPlan::build(&m, 1);
+        let p = MatrixProfile::build(&plan);
+        assert_eq!(p.refetch_candidates, p.nnz);
+        assert!(p.peak_coresident >= 1);
+    }
+}

@@ -10,6 +10,10 @@
 //! | `SP-S…` | shape & semiring consistency |
 //! | `SP-O…` | OEI fusion-legality oracle |
 //! | `SP-P…` | pass-plan feasibility |
+//! | `SP-C…` | static cost & reuse analysis |
+//!
+//! The full code catalog lives in [`crate::codes::CATALOG`] and is
+//! documented in `LINTS.md`.
 
 use std::fmt;
 

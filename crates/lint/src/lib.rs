@@ -18,6 +18,13 @@
 //!   scratch and cross-checks `analysis::analyze`'s answer.
 //! * [`plan_checks`] (`SP-P…`) — [`PassPlan`] array invariants and the
 //!   working-set-vs-buffer warning.
+//! * [`analysis_cost`] (`SP-C…`) — the static cost & reuse analyzer:
+//!   abstract interpretation that brackets DRAM traffic and buffer
+//!   occupancy per pass, scores cross-iteration reuse, and warns on
+//!   statically-unprofitable fusion or guaranteed thrashing.
+//!
+//! Every code the crate can emit is listed in [`codes::CATALOG`] and
+//! documented in `LINTS.md` at the repository root.
 //!
 //! The fifth check category — the per-step buffer shadow checker — lives
 //! in `sparsepipe_core::invariants`, gated by
@@ -48,6 +55,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis_cost;
+pub mod codes;
 pub mod diag;
 pub mod graph_checks;
 pub mod oei_oracle;
@@ -81,9 +90,9 @@ pub fn lint_analysis(g: &DataflowGraph, analysis: &Analysis) -> LintReport {
     report
 }
 
-/// Lints a compiled program: the graph checks plus the OEI oracle over
-/// the program's embedded analysis. This is what `--lint` and app
-/// compilation run.
+/// Lints a compiled program: the graph checks, the OEI oracle over the
+/// program's embedded analysis, and the matrix-free fusion-profitability
+/// advisory (`SP-C003`). This is what `--lint` and app compilation run.
 pub fn lint_program(program: &SparsepipeProgram) -> LintReport {
     let mut report = lint_graph(&program.graph);
     if report.has_errors() {
@@ -92,6 +101,7 @@ pub fn lint_program(program: &SparsepipeProgram) -> LintReport {
         return report;
     }
     report.merge(lint_analysis(&program.graph, &program.analysis));
+    report.merge(analysis_cost::lint_fusion_profile(&program.profile));
     report
 }
 

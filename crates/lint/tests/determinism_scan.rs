@@ -1,0 +1,229 @@
+//! Workspace determinism lint: scans every crate's non-test sources for
+//! nondeterminism hazards in simulator-path code.
+//!
+//! The simulator's contract is bit-for-bit reproducibility across runs
+//! and thread counts (DESIGN.md §9), which a single stray
+//! `HashMap`-iteration or wall-clock read can silently break. This scan
+//! fails the build on:
+//!
+//! * iteration over a `HashMap`/`HashSet` (`.iter()`, `.keys()`,
+//!   `.values()`, `.drain()`, `.into_iter()`, `for … in`) — keyed
+//!   lookup and membership tests are fine, order-dependent walks are
+//!   not;
+//! * `Instant::now` / `SystemTime` — wall-clock reads, legitimate only
+//!   for host telemetry and deadline bookkeeping;
+//! * `thread_rng` — unseeded randomness;
+//! * `static mut` — shared mutable state.
+//!
+//! Legitimate sites carry an inline allowlist marker on the same or the
+//! preceding line:
+//!
+//! ```text
+//! // determinism: allow (host wall-clock telemetry, not simulated state)
+//! let start = std::time::Instant::now();
+//! ```
+//!
+//! Everything after the first `#[cfg(test)]` in a file is skipped: test
+//! code may measure time freely.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const ALLOW_MARKER: &str = "determinism: allow";
+
+/// Hazard tokens that are never acceptable without a marker.
+const ABSOLUTE_HAZARDS: &[&str] = &["Instant::now", "SystemTime", "thread_rng", "static mut"];
+
+/// Order-sensitive methods that are hazardous when the receiver is a
+/// `HashMap`/`HashSet` declared in the same file (`BTreeMap` iteration
+/// is ordered and fine, so the check is scoped by receiver, not by
+/// method name alone).
+const ITERATION_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain()",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Names bound to a `HashMap`/`HashSet` in this file: `let x: HashMap…`,
+/// `let mut x = HashMap::new()`, struct fields `x: Mutex<HashMap…>`.
+fn hash_bound_names(lines: &[&str]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in lines {
+        if !(line.contains("HashMap") || line.contains("HashSet")) {
+            continue;
+        }
+        // The identifier is the last word before the first `:` or `=`
+        // that precedes the Hash token.
+        let hash_at = line
+            .find("HashMap")
+            .or_else(|| line.find("HashSet"))
+            .unwrap();
+        let head = &line[..hash_at];
+        let Some(sep) = head.rfind([':', '=']) else {
+            continue;
+        };
+        let ident: String = head[..sep]
+            .trim_end()
+            .chars()
+            .rev()
+            .take_while(|&c| is_ident_char(c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !ident.is_empty() && !ident.chars().next().unwrap().is_ascii_digit() {
+            names.insert(ident);
+        }
+    }
+    names
+}
+
+/// Whether `line` calls `method` with `name` as the receiver
+/// (`name.iter()` or `&name.iter()`, not `other_name.iter()`).
+fn calls_on(line: &str, name: &str, method: &str) -> bool {
+    let needle = format!("{name}{method}");
+    line.match_indices(&needle)
+        .any(|(i, _)| i == 0 || !is_ident_char(line[..i].chars().next_back().unwrap()))
+}
+
+/// Whether `line` iterates `name` with a `for … in` loop.
+fn for_loop_over(line: &str, name: &str) -> bool {
+    let Some(pos) = line.find(" in ") else {
+        return false;
+    };
+    let tail = line[pos + 4..].trim_start().trim_start_matches(['&', ' ']);
+    tail.starts_with(name) && !tail[name.len()..].chars().next().is_some_and(is_ident_char)
+}
+
+fn scan_file(path: &Path, findings: &mut String) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let all_lines: Vec<&str> = text.lines().collect();
+    // Test modules are out of scope: cut at the first #[cfg(test)].
+    let cut = all_lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(all_lines.len());
+    let lines = &all_lines[..cut];
+    let hash_names = hash_bound_names(lines);
+
+    for (i, raw) in lines.iter().enumerate() {
+        let line = raw.trim_start();
+        if line.starts_with("//") || line.starts_with("#!") {
+            continue;
+        }
+        let allowed =
+            raw.contains(ALLOW_MARKER) || (i > 0 && all_lines[i - 1].contains(ALLOW_MARKER));
+        if allowed {
+            continue;
+        }
+        let mut hazards: Vec<String> = Vec::new();
+        for h in ABSOLUTE_HAZARDS {
+            if line.contains(h) {
+                hazards.push(format!("`{h}`"));
+            }
+        }
+        for name in &hash_names {
+            for m in ITERATION_METHODS {
+                if calls_on(line, name, m) {
+                    hazards.push(format!("iteration `{name}{m}` over a hash collection"));
+                }
+            }
+            if for_loop_over(line, name) {
+                hazards.push(format!("`for … in {name}` over a hash collection"));
+            }
+        }
+        for hazard in hazards {
+            writeln!(
+                findings,
+                "{}:{}: {hazard}\n    {line}",
+                path.display(),
+                i + 1
+            )
+            .unwrap();
+        }
+    }
+}
+
+fn rust_sources_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read_dir {dir:?}: {e}")) {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            rust_sources_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn simulator_path_sources_are_deterministic() {
+    let crates_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .canonicalize()
+        .expect("crates/ root");
+    let mut sources = Vec::new();
+    for entry in std::fs::read_dir(&crates_root).unwrap() {
+        let src = entry.unwrap().path().join("src");
+        if src.is_dir() {
+            rust_sources_under(&src, &mut sources);
+        }
+    }
+    sources.sort();
+    assert!(
+        sources.len() > 20,
+        "scan found only {} sources under {crates_root:?} — wrong root?",
+        sources.len()
+    );
+
+    let mut findings = String::new();
+    for path in &sources {
+        scan_file(path, &mut findings);
+    }
+    assert!(
+        findings.is_empty(),
+        "nondeterminism hazards in simulator-path code (annotate legitimate \
+         sites with `// {ALLOW_MARKER} (<reason>)`):\n{findings}"
+    );
+}
+
+#[test]
+fn scanner_catches_seeded_hazards() {
+    // The scanner must actually detect each hazard class, or the clean
+    // run above proves nothing.
+    let dir = std::env::temp_dir().join(format!("det-scan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("hazard.rs");
+    std::fs::write(
+        &file,
+        "fn f() {\n\
+         let t = std::time::Instant::now();\n\
+         let mut m: HashMap<u32, u32> = HashMap::new();\n\
+         for (k, v) in &m { let _ = (k, v); }\n\
+         let _ = m.keys();\n\
+         let _ = m.iter();\n\
+         // determinism: allow (scanner self-test)\n\
+         let ok = std::time::Instant::now();\n\
+         }\n",
+    )
+    .unwrap();
+    let mut findings = String::new();
+    scan_file(&file, &mut findings);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(findings.contains("Instant::now"), "{findings}");
+    assert!(findings.contains("for … in m"), "{findings}");
+    assert!(findings.contains("m.keys()"), "{findings}");
+    assert!(findings.contains("m.iter()"), "{findings}");
+    assert!(
+        !findings.contains(":8:"),
+        "the allow-marked line (8) must not be reported: {findings}"
+    );
+}
