@@ -1,0 +1,70 @@
+//! Workload replay client for `sparsepipe-serve`.
+//!
+//! ```text
+//! serve-loadgen --addr HOST:PORT [--clients N] [--repeat N] [--scale N]
+//!               [--matrices quick|full] [--deadline-ms N]
+//!               [--out BENCH_serve.json] [--shutdown]
+//! ```
+//!
+//! Replays the app × matrix workload at the requested concurrency,
+//! writes latency percentiles, throughput, and the daemon's cache
+//! hit-rate to `--out`, and exits nonzero if any request failed —
+//! a daemon killed mid-load shows up as clean client errors, not hangs.
+
+use std::process::ExitCode;
+
+use sparsepipe_bench::serve::loadgen;
+use sparsepipe_bench::serve::opts::{loadgen_usage, parse_loadgen};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_loadgen(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", loadgen_usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.help {
+        println!("{}", loadgen_usage());
+        return ExitCode::SUCCESS;
+    }
+    let report = match loadgen::run(&opts.config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: could not connect to {}: {e}", opts.config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = report.write(&opts.out) {
+        eprintln!("error: writing {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "replayed {} requests over {} clients in {:.2}s: {} ok, {} errors, \
+         {:.1} req/s, p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms, cache hit-rate {:.0}%",
+        report.requests,
+        report.clients,
+        report.wall_s,
+        report.ok,
+        report.errors,
+        report.throughput_rps,
+        report.latency_ms.p50,
+        report.latency_ms.p95,
+        report.latency_ms.p99,
+        report.stats.hit_rate() * 100.0
+    );
+    for sample in &report.error_samples {
+        eprintln!("error sample: {sample}");
+    }
+    println!("report written to {}", opts.out.display());
+    if report.errors > 0 {
+        eprintln!(
+            "error: {} of {} requests failed",
+            report.errors, report.requests
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+//! The resident evaluation daemon.
+//!
+//! ```text
+//! sparsepipe-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!                  [--cache-bytes BYTES] [--max-frame BYTES]
+//! ```
+//!
+//! Binds, prints `listening on <addr>` (port 0 resolves to the actual
+//! ephemeral port — scripts parse this line), and serves `EvalRequest`s
+//! over the versioned length-prefixed JSON protocol until a wire
+//! shutdown request arrives; then drains admitted work and exits.
+//! `--cache-bytes` bounds the shared matrix cache with LRU eviction.
+
+use std::process::ExitCode;
+
+use sparsepipe_bench::serve::opts::{parse_serve, serve_usage};
+use sparsepipe_bench::serve::server::Server;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_serve(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", serve_usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.help {
+        println!("{}", serve_usage());
+        return ExitCode::SUCCESS;
+    }
+    let server = match Server::start(opts.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.wait_for_shutdown();
+    println!("draining");
+    server.shutdown();
+    println!("bye");
+    ExitCode::SUCCESS
+}

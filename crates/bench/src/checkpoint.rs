@@ -248,29 +248,29 @@ fn decode_record(record: &Value) -> Result<(PointKey, Entry), String> {
     Ok((key, entry))
 }
 
-fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+pub(crate) fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
     v.get(key).ok_or_else(|| format!("missing field `{key}`"))
 }
 
-fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+pub(crate) fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
     field(v, key)?
         .as_f64()
         .ok_or_else(|| format!("field `{key}` is not a number"))
 }
 
-fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+pub(crate) fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
     field(v, key)?
         .as_u64()
         .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
 }
 
-fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+pub(crate) fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
     field(v, key)?
         .as_str()
         .ok_or_else(|| format!("field `{key}` is not a string"))
 }
 
-fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+pub(crate) fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
     field(v, key)?
         .as_bool()
         .ok_or_else(|| format!("field `{key}` is not a boolean"))
@@ -344,7 +344,7 @@ fn matrix_from_variant(name: &str) -> Result<MatrixId, String> {
 
 /// Decodes a journaled [`Entry`]. The `app` string must name a registry
 /// app (the registry owns the `&'static str`).
-fn decode_entry(v: &Value) -> Result<Entry, String> {
+pub(crate) fn decode_entry(v: &Value) -> Result<Entry, String> {
     let app_name = str_field(v, "app")?;
     let app = sparsepipe_apps::registry::by_name(app_name)
         .ok_or_else(|| format!("unknown app `{app_name}`"))?;

@@ -78,6 +78,28 @@ pub enum BenchError {
     },
 }
 
+impl BenchError {
+    /// The stable, wire-safe string code for this error family, used by
+    /// the serve protocol envelope (DESIGN.md §14). Codes are part of
+    /// the wire contract: existing codes never change meaning, and the
+    /// enum is `#[non_exhaustive]` so new variants (with new codes) are
+    /// not semver breaks.
+    pub fn code(&self) -> &'static str {
+        match self {
+            BenchError::Cli(_) => "cli",
+            BenchError::UnknownApp(_) => "unknown-app",
+            BenchError::Compile { .. } => "compile",
+            BenchError::Dataset { .. } => "dataset",
+            BenchError::Sim { .. } => "sim",
+            BenchError::Io { .. } => "io",
+            BenchError::Json(_) => "json",
+            BenchError::Trace { .. } => "trace",
+            BenchError::Checkpoint { .. } => "checkpoint",
+            BenchError::Injected { .. } => "injected",
+        }
+    }
+}
+
 impl std::fmt::Display for BenchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -171,6 +193,7 @@ impl serde::Serialize for PointKey {
 
 /// How a sweep point failed.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PointErrorKind {
     /// The point's evaluation panicked; the payload is the panic message.
     Panic(String),
@@ -192,6 +215,18 @@ impl PointErrorKind {
             PointErrorKind::Sim(_) => "error",
         }
     }
+
+    /// The stable wire code: `panic`/`timeout` for isolation failures,
+    /// the underlying [`BenchError::code`] for simulation errors. Unlike
+    /// [`PointErrorKind::tag`] (coarse telemetry bucket), this names the
+    /// precise failure family for protocol clients.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PointErrorKind::Panic(_) => "panic",
+            PointErrorKind::Timeout { .. } => "timeout",
+            PointErrorKind::Sim(e) => e.code(),
+        }
+    }
 }
 
 /// A failed sweep point: what failed, how, and after how many attempts.
@@ -205,6 +240,14 @@ pub struct PointError {
     pub point: PointKey,
     /// Attempts made before giving up (≥ 1).
     pub attempts: u32,
+}
+
+impl PointError {
+    /// The stable wire code for this failure (see
+    /// [`PointErrorKind::code`]).
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
 }
 
 impl std::fmt::Display for PointError {
@@ -243,6 +286,7 @@ impl serde::Serialize for PointError {
         serde::Value::Map(vec![
             ("point".to_string(), self.point.to_value()),
             ("kind".to_string(), self.kind.tag().to_value()),
+            ("code".to_string(), self.code().to_value()),
             ("detail".to_string(), detail.to_value()),
             ("attempts".to_string(), self.attempts.to_value()),
         ])
@@ -304,9 +348,84 @@ mod tests {
         };
         let json = serde_json::to_string(&e).unwrap();
         assert!(json.contains("\"kind\":\"panic\""), "{json}");
+        assert!(json.contains("\"code\":\"panic\""), "{json}");
         assert!(json.contains("\"app\":\"pr\""), "{json}");
         assert!(json.contains("\"attempts\":2"), "{json}");
         assert!(json.contains("index out of bounds"), "{json}");
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_distinct() {
+        // The wire contract (DESIGN.md §14): these exact strings are
+        // frozen — clients dispatch on them.
+        let cases: Vec<(BenchError, &str)> = vec![
+            (BenchError::Cli("x".into()), "cli"),
+            (BenchError::UnknownApp("x".into()), "unknown-app"),
+            (
+                BenchError::Compile {
+                    app: "pr".into(),
+                    message: String::new(),
+                },
+                "compile",
+            ),
+            (
+                BenchError::Dataset {
+                    matrix: MatrixId::Ca,
+                    message: String::new(),
+                },
+                "dataset",
+            ),
+            (
+                BenchError::Sim {
+                    app: "pr".into(),
+                    matrix: MatrixId::Ca,
+                    source: CoreError::ZeroIterations,
+                },
+                "sim",
+            ),
+            (
+                BenchError::Io {
+                    path: "/x".into(),
+                    source: std::io::Error::other("x"),
+                },
+                "io",
+            ),
+            (BenchError::Json("x".into()), "json"),
+            (
+                BenchError::Trace {
+                    app: "pr".into(),
+                    matrix: MatrixId::Ca,
+                    message: String::new(),
+                },
+                "trace",
+            ),
+            (
+                BenchError::Checkpoint {
+                    path: "/x".into(),
+                    message: String::new(),
+                },
+                "checkpoint",
+            ),
+            (
+                BenchError::Injected {
+                    label: "pr-ca".into(),
+                    attempt: 1,
+                },
+                "injected",
+            ),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (err, code) in &cases {
+            assert_eq!(err.code(), *code);
+            assert!(seen.insert(*code), "duplicate wire code {code}");
+        }
+        // PointErrorKind::code refines tag() with the BenchError family
+        assert_eq!(PointErrorKind::Panic("p".into()).code(), "panic");
+        assert_eq!(PointErrorKind::Timeout { budget_ms: 1 }.code(), "timeout");
+        assert_eq!(
+            PointErrorKind::Sim(BenchError::UnknownApp("z".into())).code(),
+            "unknown-app"
+        );
     }
 
     #[test]

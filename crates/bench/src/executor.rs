@@ -147,10 +147,14 @@ pub struct CacheTelemetry {
     pub misses: u64,
     /// Retained bytes per artifact class.
     pub bytes: CacheBytes,
+    /// Entries evicted to stay within a byte budget (0 when unbounded).
+    pub evictions: u64,
 }
 
 impl Serialize for CacheTelemetry {
     fn to_value(&self) -> serde::Value {
+        // `evictions` is appended after the pre-eviction fields so
+        // existing schema-prefix consumers keep matching.
         serde::Value::Map(vec![
             ("hits".to_string(), self.hits.to_value()),
             ("misses".to_string(), self.misses.to_value()),
@@ -162,6 +166,7 @@ impl Serialize for CacheTelemetry {
             ("arena_bytes".to_string(), self.bytes.arenas.to_value()),
             ("profile_bytes".to_string(), self.bytes.profiles.to_value()),
             ("total_bytes".to_string(), self.bytes.total().to_value()),
+            ("evictions".to_string(), self.evictions.to_value()),
         ])
     }
 }
@@ -270,6 +275,52 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Runs one point's attempt loop in isolation: each attempt executes
+/// under `catch_unwind`, failed attempts retry on `retry`'s deterministic
+/// schedule, and exhaustion yields [`PointOutcome::Failed`] carrying the
+/// last attempt's classified error.
+///
+/// This is the per-point half of [`Executor::run_isolated`], exposed so
+/// other fan-out surfaces — the serve daemon's worker pool in particular
+/// — share the exact isolation/classification/retry semantics of the
+/// sweep path. `attempt_fn` receives the 1-based attempt number;
+/// `key_of` is only invoked on failure.
+pub fn isolate_point<R>(
+    retry: &RetryPolicy,
+    key_of: impl FnOnce() -> PointKey,
+    mut attempt_fn: impl FnMut(u32) -> Result<R, BenchError>,
+) -> PointOutcome<R> {
+    let mut attempt = 1u32;
+    loop {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| attempt_fn(attempt)));
+        let kind = match caught {
+            Ok(Ok(value)) => {
+                return PointOutcome::Ok {
+                    value,
+                    attempts: attempt,
+                }
+            }
+            Ok(Err(e)) => classify(e),
+            Err(payload) => PointErrorKind::Panic(panic_message(payload.as_ref())),
+        };
+        match retry.backoff_after(attempt) {
+            Some(delay) => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+            }
+            None => {
+                return PointOutcome::Failed(PointError {
+                    kind,
+                    point: key_of(),
+                    attempts: attempt,
+                })
+            }
+        }
+    }
+}
+
 /// A fixed-size worker pool over which sweeps fan their points.
 ///
 /// Results always come back in input order regardless of the thread
@@ -294,12 +345,25 @@ impl Executor {
         } else {
             jobs
         };
+        Executor::with_shared_cache(jobs, Arc::new(MatrixCache::new()))
+    }
+
+    /// Like [`Executor::new`], but sharing an externally owned
+    /// [`MatrixCache`] — e.g. a budgeted cache the serve daemon keeps
+    /// warm across many requests, or one shared between successive
+    /// sweeps. `jobs == 0` selects the machine's available parallelism.
+    pub fn with_shared_cache(jobs: usize, cache: Arc<MatrixCache>) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            jobs
+        };
         Executor {
             jobs,
             records: Mutex::new(Vec::new()),
             failures: Mutex::new(Vec::new()),
             pruned: Mutex::new(Vec::new()),
-            cache: Arc::new(MatrixCache::new()),
+            cache,
         }
     }
 
@@ -387,36 +451,7 @@ impl Executor {
         F: Fn(&T, u32) -> Result<R, BenchError> + Sync,
     {
         let run_point = |item: &T| -> PointOutcome<R> {
-            let mut attempt = 1u32;
-            loop {
-                let caught =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item, attempt)));
-                let kind = match caught {
-                    Ok(Ok(value)) => {
-                        return PointOutcome::Ok {
-                            value,
-                            attempts: attempt,
-                        }
-                    }
-                    Ok(Err(e)) => classify(e),
-                    Err(payload) => PointErrorKind::Panic(panic_message(payload.as_ref())),
-                };
-                match retry.backoff_after(attempt) {
-                    Some(delay) => {
-                        if !delay.is_zero() {
-                            std::thread::sleep(delay);
-                        }
-                        attempt += 1;
-                    }
-                    None => {
-                        return PointOutcome::Failed(PointError {
-                            kind,
-                            point: key_of(item),
-                            attempts: attempt,
-                        })
-                    }
-                }
-            }
+            isolate_point(retry, || key_of(item), |attempt| f(item, attempt))
         };
 
         if self.jobs == 1 || items.len() <= 1 {
@@ -503,6 +538,7 @@ impl Executor {
             hits,
             misses,
             bytes,
+            evictions: self.cache.evictions(),
         });
         BenchTelemetry {
             jobs: self.jobs,

@@ -23,6 +23,7 @@ pub mod error;
 pub mod executor;
 pub mod experiments;
 pub mod fault;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 

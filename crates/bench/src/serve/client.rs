@@ -1,0 +1,235 @@
+//! Synchronous client for the serve protocol.
+//!
+//! One [`ServeClient`] owns one connection and keeps exactly one
+//! request in flight, so responses always match the request just sent
+//! (the daemon itself supports many concurrent connections — loadgen
+//! opens one client per worker thread).
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::serve::proto::{read_frame, write_frame, MAX_FRAME_DEFAULT};
+use crate::serve::wire::{EvalSpec, Request, Response, ServeStats};
+use crate::sweep::Entry;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (refused, reset, timed out, torn stream).
+    Io(io::Error),
+    /// The server sent something that is not a valid reply to the
+    /// request in flight.
+    Protocol(String),
+    /// The server answered with an error response.
+    Server {
+        /// Stable failure code
+        /// ([`codes`](crate::serve::wire::codes) or
+        /// [`BenchError::code`](crate::error::BenchError::code)).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+        /// Attempts the server made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server {
+                code,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "server error [{code}] after {attempts} attempts: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful evaluation as seen over the wire.
+#[derive(Debug, Clone)]
+pub struct EvalReply {
+    /// Attempts the evaluation took (≥ 1).
+    pub attempts: u32,
+    /// The entry as a JSON tree, exactly as the daemon serialized it.
+    pub entry: Value,
+}
+
+impl EvalReply {
+    /// The entry rendered back to compact JSON — byte-identical to
+    /// `serde_json::to_string` of the in-process [`Entry`], which is
+    /// how the e2e suite proves daemon answers equal serial ones.
+    pub fn entry_json(&self) -> String {
+        serde_json::to_string(&self.entry).expect("value trees always render")
+    }
+
+    /// Decodes the reply into a typed [`Entry`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing/ill-typed field.
+    pub fn entry(&self) -> Result<Entry, String> {
+        crate::serve::wire::entry_from_value(&self.entry)
+    }
+}
+
+/// A blocking, one-request-at-a-time connection to a daemon.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl ServeClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Whatever connecting reports.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            stream,
+            next_id: 0,
+            max_frame: MAX_FRAME_DEFAULT,
+        })
+    }
+
+    /// Bounds how long a call may block waiting for a reply
+    /// (`None` = forever).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the socket reports.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let text = read_frame(&mut self.stream, self.max_frame)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))
+        })?;
+        Response::decode(&text).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn check_id(&self, got: u64, want: u64) -> Result<(), ClientError> {
+        // id 0 marks a server-side decode failure with no id recovered;
+        // with one request in flight it can only refer to ours
+        if got == want || got == 0 {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "response id {got} does not match request id {want}"
+            )))
+        }
+    }
+
+    /// Evaluates one spec on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carries the stable failure code for an
+    /// evaluation or admission failure; see [`ClientError`] for the
+    /// transport cases.
+    pub fn eval(&mut self, spec: &EvalSpec) -> Result<EvalReply, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let resp = self.round_trip(&Request::Eval {
+            id,
+            spec: spec.clone(),
+        })?;
+        match resp {
+            Response::Entry {
+                id: got,
+                attempts,
+                entry,
+            } => {
+                self.check_id(got, id)?;
+                Ok(EvalReply { attempts, entry })
+            }
+            Response::Error {
+                id: got,
+                code,
+                message,
+                attempts,
+            } => {
+                self.check_id(got, id)?;
+                Err(ClientError::Server {
+                    code,
+                    message,
+                    attempts,
+                })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected an entry or error response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Samples the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        match self.round_trip(&Request::Stats { id })? {
+            Response::Stats { id: got, stats } => {
+                self.check_id(got, id)?;
+                Ok(stats)
+            }
+            Response::Error {
+                code,
+                message,
+                attempts,
+                ..
+            } => Err(ClientError::Server {
+                code,
+                message,
+                attempts,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and shut down; returns once the daemon
+    /// acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        match self.round_trip(&Request::Shutdown { id })? {
+            Response::Bye { id: got } => self.check_id(got, id),
+            other => Err(ClientError::Protocol(format!(
+                "expected a bye response, got {other:?}"
+            ))),
+        }
+    }
+}

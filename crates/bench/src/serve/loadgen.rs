@@ -1,0 +1,429 @@
+//! Workload replay against a running daemon.
+//!
+//! `serve-loadgen` opens N client connections and replays the harness's
+//! app × matrix sweep workload `repeat` times each, recording per-request
+//! wall-clock latency. Each client starts at a different rotation of the
+//! same spec list, so at any moment the daemon sees a mix of points —
+//! and because every client ultimately requests the *same* points, a
+//! warm [`MatrixCache`](sparsepipe_core::MatrixCache) turns the overlap
+//! into hits (the replay's hit-rate lands in `BENCH_serve.json`).
+
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde::{Serialize, Value};
+
+use crate::datasets::MatrixSet;
+use crate::serve::client::{ClientError, ServeClient};
+use crate::serve::wire::{EvalSpec, ServeStats};
+use sparsepipe_tensor::MatrixId;
+
+/// What a replay run looks like.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:7341`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Full passes over the workload per client.
+    pub repeat: usize,
+    /// Dataset scale divisor for every spec.
+    pub scale: u64,
+    /// Matrix subset the workload sweeps.
+    pub set: MatrixSet,
+    /// Per-request deadline forwarded in each spec.
+    pub deadline_ms: Option<u64>,
+    /// Ask the daemon to drain and exit after the replay.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7341".into(),
+            clients: 4,
+            repeat: 3,
+            scale: 256,
+            set: MatrixSet::Quick,
+            deadline_ms: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// The replayed workload: every registered app on every matrix in the
+/// set, in deterministic (matrix-major) order.
+pub fn workload(set: MatrixSet, scale: u64, deadline_ms: Option<u64>) -> Vec<EvalSpec> {
+    let mut specs = Vec::new();
+    for &matrix in set.ids() {
+        for app in sparsepipe_apps::registry::all() {
+            let mut spec = EvalSpec::new(app.name, matrix.code(), scale);
+            spec.deadline_ms = deadline_ms;
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (`p` in
+/// `(0, 100]`); 0 for an empty sample.
+pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Latency distribution over every successful request, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Worst observed.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut ms: Vec<f64>) -> Self {
+        if ms.is_empty() {
+            return LatencySummary::default();
+        }
+        ms.sort_by(f64::total_cmp);
+        LatencySummary {
+            p50: percentile(&ms, 50.0),
+            p95: percentile(&ms, 95.0),
+            p99: percentile(&ms, 99.0),
+            mean: ms.iter().sum::<f64>() / ms.len() as f64,
+            max: *ms.last().expect("non-empty"),
+        }
+    }
+}
+
+impl Serialize for LatencySummary {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("p50".to_string(), self.p50.to_value()),
+            ("p95".to_string(), self.p95.to_value()),
+            ("p99".to_string(), self.p99.to_value()),
+            ("mean".to_string(), self.mean.to_value()),
+            ("max".to_string(), self.max.to_value()),
+        ])
+    }
+}
+
+/// Everything a replay measured; serializes as the `BENCH_serve.json`
+/// schema (one `serve` section).
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Client connections replaying.
+    pub clients: u64,
+    /// Requests attempted across all clients.
+    pub requests: u64,
+    /// Requests answered with an entry.
+    pub ok: u64,
+    /// Requests that failed (server errors, rejections, transport).
+    pub errors: u64,
+    /// First few error messages, for humans reading the report.
+    pub error_samples: Vec<String>,
+    /// Replay wall-clock in seconds.
+    pub wall_s: f64,
+    /// Successful requests per second of replay wall-clock.
+    pub throughput_rps: f64,
+    /// Latency distribution of successful requests.
+    pub latency_ms: LatencySummary,
+    /// Daemon counters sampled after the replay (zeros when the daemon
+    /// was unreachable — e.g. it was killed mid-load).
+    pub stats: ServeStats,
+    /// Whether `stats` is a real post-replay sample.
+    pub stats_sampled: bool,
+}
+
+impl Serialize for LoadgenReport {
+    fn to_value(&self) -> Value {
+        let cache = Value::Map(vec![
+            ("hits".to_string(), self.stats.cache_hits.to_value()),
+            ("misses".to_string(), self.stats.cache_misses.to_value()),
+            (
+                "evictions".to_string(),
+                self.stats.cache_evictions.to_value(),
+            ),
+            (
+                "resident_bytes".to_string(),
+                self.stats.cache_resident_bytes.to_value(),
+            ),
+            (
+                "budget_bytes".to_string(),
+                self.stats.cache_budget_bytes.to_value(),
+            ),
+            ("hit_rate".to_string(), self.stats.hit_rate().to_value()),
+        ]);
+        let server = Value::Map(vec![
+            ("served".to_string(), self.stats.served.to_value()),
+            ("failed".to_string(), self.stats.failed.to_value()),
+            ("rejected".to_string(), self.stats.rejected.to_value()),
+            ("workers".to_string(), self.stats.workers.to_value()),
+            ("sampled".to_string(), self.stats_sampled.to_value()),
+        ]);
+        let serve = Value::Map(vec![
+            ("clients".to_string(), self.clients.to_value()),
+            ("requests".to_string(), self.requests.to_value()),
+            ("ok".to_string(), self.ok.to_value()),
+            ("errors".to_string(), self.errors.to_value()),
+            ("error_samples".to_string(), self.error_samples.to_value()),
+            ("wall_s".to_string(), self.wall_s.to_value()),
+            ("throughput_rps".to_string(), self.throughput_rps.to_value()),
+            ("latency_ms".to_string(), self.latency_ms.to_value()),
+            ("matrix_cache".to_string(), cache),
+            ("server".to_string(), server),
+        ]);
+        Value::Map(vec![("serve".to_string(), serve)])
+    }
+}
+
+impl LoadgenReport {
+    /// Writes the report as pretty JSON (the `BENCH_serve.json`
+    /// artifact).
+    ///
+    /// # Errors
+    ///
+    /// Whatever writing the file reports.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let mut text = serde_json::to_string_pretty(&self.to_value())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+#[derive(Default)]
+struct ClientTally {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    errors: u64,
+    samples: Vec<String>,
+}
+
+const ERROR_SAMPLE_CAP: usize = 5;
+
+fn replay_client(
+    cfg: &LoadgenConfig,
+    specs: &[EvalSpec],
+    client_idx: usize,
+) -> io::Result<ClientTally> {
+    let mut tally = ClientTally::default();
+    let mut client = ServeClient::connect(&cfg.addr)?;
+    // rotate each client's starting point so concurrent clients hit a
+    // mix of specs rather than marching in lockstep
+    let start = (client_idx * specs.len()) / cfg.clients.max(1);
+    for _round in 0..cfg.repeat {
+        for j in 0..specs.len() {
+            let spec = &specs[(start + j) % specs.len()];
+            // determinism: allow (host latency telemetry, not simulated time)
+            let t0 = std::time::Instant::now();
+            match client.eval(spec) {
+                Ok(_reply) => {
+                    tally.ok += 1;
+                    tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                Err(e) => {
+                    tally.errors += 1;
+                    if tally.samples.len() < ERROR_SAMPLE_CAP {
+                        tally.samples.push(format!("{}: {e}", spec.key().label()));
+                    }
+                    if matches!(e, ClientError::Io(_)) {
+                        // the connection is gone; the rest of this
+                        // client's replay cannot be delivered
+                        return Ok(tally);
+                    }
+                }
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// Replays the workload against the daemon and summarizes the run.
+///
+/// Client-side failures (rejections, evaluation errors, a daemon killed
+/// mid-load) are *counted*, not fatal: the report's `errors` field says
+/// how the replay went.
+///
+/// # Errors
+///
+/// Only an up-front failure to connect any client is an `Err`; once a
+/// client is connected its failures land in the report.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let specs = workload(cfg.set, cfg.scale, cfg.deadline_ms);
+    let clients = cfg.clients.max(1);
+    let tallies: Mutex<Vec<ClientTally>> = Mutex::new(Vec::new());
+    let connect_errors: Mutex<Vec<io::Error>> = Mutex::new(Vec::new());
+    // determinism: allow (host latency telemetry, not simulated time)
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for idx in 0..clients {
+            let specs = &specs;
+            let tallies = &tallies;
+            let connect_errors = &connect_errors;
+            scope.spawn(move || match replay_client(cfg, specs, idx) {
+                Ok(tally) => tallies.lock().expect("tally lock").push(tally),
+                Err(e) => connect_errors.lock().expect("tally lock").push(e),
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    if let Some(e) = connect_errors
+        .into_inner()
+        .expect("tally lock")
+        .into_iter()
+        .next()
+    {
+        return Err(e);
+    }
+    let tallies = tallies.into_inner().expect("tally lock");
+    let mut latencies = Vec::new();
+    let mut ok = 0;
+    let mut errors = 0;
+    let mut error_samples = Vec::new();
+    for mut tally in tallies {
+        latencies.append(&mut tally.latencies_ms);
+        ok += tally.ok;
+        errors += tally.errors;
+        for s in tally.samples {
+            if error_samples.len() < ERROR_SAMPLE_CAP {
+                error_samples.push(s);
+            }
+        }
+    }
+    let (stats, stats_sampled) = sample_stats(cfg);
+    let requests = (clients * cfg.repeat * specs.len()) as u64;
+    debug_assert!(ok + errors <= requests);
+    Ok(LoadgenReport {
+        clients: clients as u64,
+        requests,
+        ok,
+        // a dead connection's undelivered remainder counts as errors
+        errors: requests - ok,
+        error_samples,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            ok as f64 / wall_s
+        } else {
+            0.0
+        },
+        latency_ms: LatencySummary::from_samples(latencies),
+        stats,
+        stats_sampled,
+    })
+}
+
+fn sample_stats(cfg: &LoadgenConfig) -> (ServeStats, bool) {
+    let Ok(mut client) = ServeClient::connect(&cfg.addr) else {
+        return (ServeStats::default(), false);
+    };
+    let Ok(stats) = client.stats() else {
+        return (ServeStats::default(), false);
+    };
+    if cfg.shutdown {
+        let _ = client.shutdown_server();
+    }
+    (stats, true)
+}
+
+/// The matrix codes a `--matrices` flag accepts (`quick` or `full`).
+pub fn parse_set(name: &str) -> Result<MatrixSet, String> {
+    match name {
+        "quick" => Ok(MatrixSet::Quick),
+        "full" => Ok(MatrixSet::Full),
+        other => Err(format!("unknown matrix set `{other}` (quick or full)")),
+    }
+}
+
+/// Sanity: every workload matrix code resolves to a real [`MatrixId`].
+pub fn workload_is_resolvable(specs: &[EvalSpec]) -> bool {
+    specs.iter().all(|s| {
+        MatrixId::ALL.iter().any(|m| m.code() == s.matrix)
+            && sparsepipe_apps::registry::by_name(&s.app).is_some()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_covers_apps_by_matrices_deterministically() {
+        let specs = workload(MatrixSet::Quick, 256, Some(10_000));
+        assert_eq!(specs.len(), 3 * 11, "3 quick matrices x 11 apps");
+        assert!(workload_is_resolvable(&specs));
+        assert!(specs.iter().all(|s| s.deadline_ms == Some(10_000)));
+        assert_eq!(specs, workload(MatrixSet::Quick, 256, Some(10_000)));
+        // matrix-major: the first 11 specs share the first quick matrix
+        assert!(specs[..11].iter().all(|s| s.matrix == "ca"));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let ms: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&ms, 50.0), 50.0);
+        assert_eq!(percentile(&ms, 95.0), 95.0);
+        assert_eq!(percentile(&ms, 99.0), 99.0);
+        assert_eq!(percentile(&ms, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        let summary = LatencySummary::from_samples(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(summary.p50, 2.0);
+        assert_eq!(summary.max, 4.0);
+        assert_eq!(summary.mean, 2.5);
+    }
+
+    #[test]
+    fn report_serializes_the_bench_schema() {
+        let report = LoadgenReport {
+            clients: 4,
+            requests: 132,
+            ok: 130,
+            errors: 2,
+            error_samples: vec!["pr-ca: server error".into()],
+            wall_s: 1.5,
+            throughput_rps: 86.7,
+            latency_ms: LatencySummary::from_samples(vec![1.0, 2.0, 3.0]),
+            stats: ServeStats {
+                served: 130,
+                cache_hits: 90,
+                cache_misses: 30,
+                ..ServeStats::default()
+            },
+            stats_sampled: true,
+        };
+        let text = serde_json::to_string(&report.to_value()).unwrap();
+        for key in [
+            r#""serve""#,
+            r#""clients""#,
+            r#""throughput_rps""#,
+            r#""p50""#,
+            r#""p95""#,
+            r#""p99""#,
+            r#""matrix_cache""#,
+            r#""hit_rate""#,
+            r#""server""#,
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        assert!(text.contains("0.75"), "hit rate 90/120: {text}");
+    }
+
+    #[test]
+    fn matrix_set_flag_parses() {
+        assert_eq!(parse_set("quick").unwrap(), MatrixSet::Quick);
+        assert_eq!(parse_set("full").unwrap(), MatrixSet::Full);
+        assert!(parse_set("smol").is_err());
+    }
+}

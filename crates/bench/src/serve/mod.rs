@@ -1,0 +1,40 @@
+//! `sparsepipe-serve`: a resident evaluation daemon and its wire API.
+//!
+//! The harness's batch path (`experiments` → [`Sweep`](crate::sweep))
+//! pays dataset generation and matrix preprocessing per process. This
+//! module keeps those warm in one long-running daemon:
+//!
+//! * [`proto`] — length-prefixed JSON framing over `TcpStream`;
+//! * [`wire`] — the versioned `{"v":1,...}` envelope: [`wire::EvalSpec`]
+//!   (the owned, serializable form of an
+//!   [`EvalRequest`](crate::sweep::EvalRequest)), responses with stable
+//!   error codes, daemon counters;
+//! * [`queue`] — bounded admission with per-client round-robin fairness;
+//! * [`server`] — the daemon: acceptor, per-connection readers, a worker
+//!   pool running the same isolation machinery as the batch executor
+//!   over one shared, optionally byte-budgeted
+//!   [`MatrixCache`](sparsepipe_core::MatrixCache), graceful drain;
+//! * [`client`] — a blocking client, one request in flight;
+//! * [`loadgen`] — workload replay + `BENCH_serve.json` reporting;
+//! * [`opts`] — CLI parsing for both binaries.
+//!
+//! The contract that makes the daemon trustworthy: a served entry is
+//! **byte-identical** to what a serial in-process evaluation of the
+//! same spec produces (`tests/serve_e2e.rs` proves it), because workers
+//! run [`wire::EvalSpec::run_local`] — the very
+//! [`EvalRequest`](crate::sweep::EvalRequest) path the batch harness
+//! uses — not a reimplementation.
+
+pub mod client;
+pub mod loadgen;
+pub mod opts;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, EvalReply, ServeClient};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use queue::{AdmissionQueue, PushError};
+pub use server::{ServeConfig, Server};
+pub use wire::{EvalSpec, Request, Response, ServeStats, WireError, WIRE_VERSION};

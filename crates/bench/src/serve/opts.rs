@@ -1,0 +1,261 @@
+//! Argument parsing for the `sparsepipe-serve` and `serve-loadgen`
+//! binaries (kept in the library so it is unit-testable, like
+//! [`cli`](crate::cli) for `experiments`).
+
+use std::path::PathBuf;
+
+use crate::serve::loadgen::{parse_set, LoadgenConfig};
+use crate::serve::proto::MAX_FRAME_DEFAULT;
+use crate::serve::server::ServeConfig;
+
+/// Parsed `sparsepipe-serve` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// The daemon's provisioning.
+    pub config: ServeConfig,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+/// Parses `sparsepipe-serve` arguments (without the program name).
+///
+/// # Errors
+///
+/// A human-readable message for unknown flags or bad values.
+pub fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions {
+        config: ServeConfig::default(),
+        help: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                opts.config.addr = args
+                    .get(i)
+                    .ok_or("--addr needs a bind address like 127.0.0.1:7341")?
+                    .clone();
+            }
+            "--workers" => {
+                i += 1;
+                opts.config.workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--workers needs a non-negative integer (0 = all cores)")?;
+            }
+            "--queue-depth" => {
+                i += 1;
+                opts.config.queue_depth = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v: &usize| v > 0)
+                    .ok_or("--queue-depth needs a positive integer")?;
+            }
+            "--cache-bytes" => {
+                i += 1;
+                opts.config.cache_bytes = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&v: &u64| v > 0)
+                        .ok_or("--cache-bytes needs a positive byte budget")?,
+                );
+            }
+            "--max-frame" => {
+                i += 1;
+                opts.config.max_frame = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v: &usize| v >= 64)
+                    .ok_or("--max-frame needs a byte limit of at least 64")?;
+            }
+            "--help" | "-h" => opts.help = true,
+            flag => return Err(format!("unknown flag: {flag}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// The `sparsepipe-serve` usage string.
+pub fn serve_usage() -> String {
+    format!(
+        "usage: sparsepipe-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--cache-bytes BYTES] [--max-frame BYTES]\n\
+         defaults: --addr 127.0.0.1:0 (ephemeral; the bound address is printed), \
+         --workers 0 (all cores), --queue-depth 64, unbounded cache, \
+         --max-frame {MAX_FRAME_DEFAULT}\n\
+         The daemon prints `listening on <addr>` once ready and serves until a wire \
+         shutdown request, then drains admitted work and exits."
+    )
+}
+
+/// Parsed `serve-loadgen` options.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// The replay's shape.
+    pub config: LoadgenConfig,
+    /// Where to write `BENCH_serve.json`.
+    pub out: PathBuf,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+/// Parses `serve-loadgen` arguments (without the program name).
+///
+/// # Errors
+///
+/// A human-readable message for unknown flags or bad values.
+pub fn parse_loadgen(args: &[String]) -> Result<LoadgenOptions, String> {
+    let mut opts = LoadgenOptions {
+        config: LoadgenConfig::default(),
+        out: PathBuf::from("BENCH_serve.json"),
+        help: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                opts.config.addr = args
+                    .get(i)
+                    .ok_or("--addr needs the daemon address like 127.0.0.1:7341")?
+                    .clone();
+            }
+            "--clients" => {
+                i += 1;
+                opts.config.clients = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v: &usize| v > 0)
+                    .ok_or("--clients needs a positive integer")?;
+            }
+            "--repeat" => {
+                i += 1;
+                opts.config.repeat = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v: &usize| v > 0)
+                    .ok_or("--repeat needs a positive integer")?;
+            }
+            "--scale" => {
+                i += 1;
+                opts.config.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v: &u64| v > 0)
+                    .ok_or("--scale needs a positive integer")?;
+            }
+            "--matrices" => {
+                i += 1;
+                opts.config.set =
+                    parse_set(args.get(i).ok_or("--matrices needs `quick` or `full`")?)?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                opts.config.deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--deadline-ms needs a millisecond budget")?,
+                );
+            }
+            "--out" => {
+                i += 1;
+                opts.out = args.get(i).ok_or("--out needs a file path")?.into();
+            }
+            "--shutdown" => opts.config.shutdown = true,
+            "--help" | "-h" => opts.help = true,
+            flag => return Err(format!("unknown flag: {flag}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// The `serve-loadgen` usage string.
+pub fn loadgen_usage() -> &'static str {
+    "usage: serve-loadgen --addr HOST:PORT [--clients N] [--repeat N] [--scale N] \
+     [--matrices quick|full] [--deadline-ms N] [--out BENCH_serve.json] [--shutdown]\n\
+     Replays the app x matrix workload against a running sparsepipe-serve daemon,\n\
+     records p50/p95/p99 latency, throughput, and the daemon's cache hit-rate into\n\
+     the --out report, and exits nonzero if any request failed.\n\
+     --shutdown asks the daemon to drain and exit after the replay."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::MatrixSet;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let d = parse_serve(&args("")).unwrap();
+        assert_eq!(d.config.addr, "127.0.0.1:0");
+        assert_eq!(d.config.workers, 0);
+        assert_eq!(d.config.queue_depth, 64);
+        assert_eq!(d.config.cache_bytes, None);
+        assert_eq!(d.config.max_frame, MAX_FRAME_DEFAULT);
+        assert!(!d.help);
+        let o = parse_serve(&args(
+            "--addr 0.0.0.0:7341 --workers 3 --queue-depth 16 --cache-bytes 1000000 --max-frame 4096",
+        ))
+        .unwrap();
+        assert_eq!(o.config.addr, "0.0.0.0:7341");
+        assert_eq!(o.config.workers, 3);
+        assert_eq!(o.config.queue_depth, 16);
+        assert_eq!(o.config.cache_bytes, Some(1_000_000));
+        assert_eq!(o.config.max_frame, 4096);
+        assert!(parse_serve(&args("--help")).unwrap().help);
+        assert!(serve_usage().contains("listening on"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_input() {
+        assert!(parse_serve(&args("--addr")).is_err());
+        assert!(parse_serve(&args("--workers x")).is_err());
+        assert!(parse_serve(&args("--queue-depth 0")).is_err());
+        assert!(parse_serve(&args("--cache-bytes 0")).is_err());
+        assert!(parse_serve(&args("--max-frame 1")).is_err());
+        assert!(parse_serve(&args("--frobnicate")).is_err());
+        assert!(parse_serve(&args("positional")).is_err());
+    }
+
+    #[test]
+    fn loadgen_defaults_and_flags() {
+        let d = parse_loadgen(&args("")).unwrap();
+        assert_eq!(d.config.clients, 4);
+        assert_eq!(d.config.repeat, 3);
+        assert_eq!(d.config.set, MatrixSet::Quick);
+        assert_eq!(d.out, PathBuf::from("BENCH_serve.json"));
+        assert!(!d.config.shutdown);
+        let o = parse_loadgen(&args(
+            "--addr 127.0.0.1:9000 --clients 8 --repeat 2 --scale 512 --matrices full \
+             --deadline-ms 30000 --out /tmp/serve.json --shutdown",
+        ))
+        .unwrap();
+        assert_eq!(o.config.addr, "127.0.0.1:9000");
+        assert_eq!(o.config.clients, 8);
+        assert_eq!(o.config.repeat, 2);
+        assert_eq!(o.config.scale, 512);
+        assert_eq!(o.config.set, MatrixSet::Full);
+        assert_eq!(o.config.deadline_ms, Some(30_000));
+        assert_eq!(o.out, PathBuf::from("/tmp/serve.json"));
+        assert!(o.config.shutdown);
+        assert!(loadgen_usage().contains("BENCH_serve.json"));
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_input() {
+        assert!(parse_loadgen(&args("--clients 0")).is_err());
+        assert!(parse_loadgen(&args("--repeat 0")).is_err());
+        assert!(parse_loadgen(&args("--scale 0")).is_err());
+        assert!(parse_loadgen(&args("--matrices smol")).is_err());
+        assert!(parse_loadgen(&args("--out")).is_err());
+        assert!(parse_loadgen(&args("--deadline-ms x")).is_err());
+        assert!(parse_loadgen(&args("wat")).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! The resident evaluation daemon.
+//!
+//! One acceptor thread admits TCP connections; one reader thread per
+//! connection decodes frames and enqueues evaluation jobs onto the
+//! [`AdmissionQueue`]; a fixed worker pool pops jobs fairly across
+//! clients and evaluates them through the exact in-process path
+//! ([`EvalSpec::run_local`] under
+//! [`executor::isolate_point`](crate::executor::isolate_point)), so a
+//! daemon answer is byte-identical to a serial evaluation of the same
+//! spec. Derived matrix artifacts stay warm across requests in one
+//! shared [`MatrixCache`], optionally bounded by `--cache-bytes`
+//! (LRU eviction keeps resident bytes at the budget).
+//!
+//! Shutdown is graceful: a wire `shutdown` frame (or
+//! [`Server::begin_shutdown`]) stops admission — late eval frames get
+//! [`codes::DRAINING`] errors — lets the workers finish everything
+//! already admitted, then closes connections and joins every thread.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use serde::Serialize as _;
+use sparsepipe_core::MatrixCache;
+use sparsepipe_tensor::MatrixId;
+
+use crate::datasets::ScaledDataset;
+use crate::executor::{isolate_point, PointOutcome};
+use crate::fault::RetryPolicy;
+use crate::serve::proto::{read_frame, write_frame, MAX_FRAME_DEFAULT};
+use crate::serve::queue::{AdmissionQueue, PushError};
+use crate::serve::wire::{codes, EvalSpec, Request, Response, ServeStats};
+
+/// How a [`Server`] is provisioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads; 0 selects the machine's available parallelism.
+    pub workers: usize,
+    /// Global admission-queue depth cap; pushes beyond it are refused
+    /// with [`codes::OVERLOADED`].
+    pub queue_depth: usize,
+    /// Matrix-cache byte budget (`--cache-bytes`); `None` = unbounded.
+    pub cache_bytes: Option<u64>,
+    /// Per-frame size limit for reads.
+    pub max_frame: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_depth: 64,
+            cache_bytes: None,
+            max_frame: MAX_FRAME_DEFAULT,
+        }
+    }
+}
+
+/// One admitted evaluation: what to run and where to write the answer.
+#[derive(Debug)]
+struct Job {
+    id: u64,
+    spec: EvalSpec,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    max_frame: usize,
+    workers: u64,
+    cache: Arc<MatrixCache>,
+    /// Warm datasets, one per `(matrix, scale)` ever requested (keyed
+    /// lookups only; the synthetic generator is pure, so first-insert
+    /// wins is safe).
+    datasets: Mutex<HashMap<(MatrixId, u64), Arc<ScaledDataset>>>,
+    queue: AdmissionQueue<Job>,
+    served: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    shutdown: AtomicBool,
+    gate: Mutex<bool>,
+    gate_cv: Condvar,
+    conns: Mutex<Vec<Arc<Mutex<TcpStream>>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.drain();
+        *self.gate.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.gate_cv.notify_all();
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_len: self.queue.len() as u64,
+            workers: self.workers,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            cache_resident_bytes: self.cache.bytes().total(),
+            cache_budget_bytes: self.cache.budget().unwrap_or(0),
+        }
+    }
+
+    fn dataset(&self, id: MatrixId, scale: u64) -> Arc<ScaledDataset> {
+        if let Some(d) = self
+            .datasets
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(id, scale))
+        {
+            return Arc::clone(d);
+        }
+        // build outside the lock (generation is pure; first insert wins)
+        let built = Arc::new(ScaledDataset::load(id, scale));
+        Arc::clone(
+            self.datasets
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry((id, scale))
+                .or_insert(built),
+        )
+    }
+}
+
+/// Writes one response, ignoring I/O errors (a vanished client is the
+/// client's problem; the daemon keeps serving).
+fn respond(out: &Mutex<TcpStream>, resp: &Response) {
+    let text = resp.encode();
+    let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = write_frame(&mut *w, &text);
+}
+
+fn error_response(id: u64, code: &str, message: String, attempts: u32) -> Response {
+    Response::Error {
+        id,
+        code: code.to_string(),
+        message,
+        attempts,
+    }
+}
+
+fn handle_job(shared: &Shared, job: Job) {
+    let Job { id, spec, out } = job;
+    let Some(matrix) = spec.matrix_id() else {
+        shared.failed.fetch_add(1, Ordering::Relaxed);
+        respond(
+            &out,
+            &error_response(
+                id,
+                "dataset",
+                format!("unknown matrix code `{}`", spec.matrix),
+                0,
+            ),
+        );
+        return;
+    };
+    let dataset = shared.dataset(matrix, spec.scale);
+    let retry = RetryPolicy {
+        max_attempts: spec.retries.saturating_add(1),
+        backoff_base_ms: 0,
+        backoff_cap_ms: 0,
+    };
+    let outcome = isolate_point(
+        &retry,
+        || spec.key(),
+        |_attempt| {
+            spec.run_local(&dataset, &shared.cache)
+                .map(|o| o.evaluation)
+        },
+    );
+    match outcome {
+        PointOutcome::Ok { value, attempts } => {
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            respond(
+                &out,
+                &Response::Entry {
+                    id,
+                    attempts,
+                    entry: value.entry.to_value(),
+                },
+            );
+        }
+        PointOutcome::Failed(e) => {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            let attempts = e.attempts;
+            respond(&out, &error_response(id, e.code(), e.to_string(), attempts));
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        handle_job(shared, job);
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream, client: u64) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Arc::clone(&writer));
+    let mut reader = stream;
+    // loop until clean close, torn stream, or our own shutdown closing
+    // the socket — the connection is done either way
+    while let Ok(Some(text)) = read_frame(&mut reader, shared.max_frame) {
+        match Request::decode(&text) {
+            Err(e) => {
+                // no id recovered — echo 0 so the client can at least
+                // fail its oldest in-flight request
+                respond(&writer, &error_response(0, e.code(), e.to_string(), 0));
+            }
+            Ok(Request::Stats { id }) => {
+                respond(
+                    &writer,
+                    &Response::Stats {
+                        id,
+                        stats: shared.stats(),
+                    },
+                );
+            }
+            Ok(Request::Shutdown { id }) => {
+                respond(&writer, &Response::Bye { id });
+                shared.begin_shutdown();
+            }
+            Ok(Request::Eval { id, spec }) => {
+                let job = Job {
+                    id,
+                    spec,
+                    out: Arc::clone(&writer),
+                };
+                match shared.queue.push(client, job) {
+                    Ok(()) => {}
+                    Err(refusal) => {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        let (code, why) = match refusal {
+                            PushError::Full => (codes::OVERLOADED, "admission queue at depth cap"),
+                            PushError::Draining => {
+                                (codes::DRAINING, "daemon is draining for shutdown")
+                            }
+                        };
+                        respond(&writer, &error_response(id, code, why.to_string(), 0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut next_client = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                next_client += 1;
+                let client = next_client;
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("serve-conn-{client}"))
+                    .spawn(move || serve_connection(&conn_shared, stream, client))
+                    .expect("spawn connection reader");
+                shared
+                    .readers
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // nonblocking accept doubles as the shutdown poll
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// A running `sparsepipe-serve` daemon (also embeddable in-process —
+/// the e2e suite starts one per test).
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and acceptor, and returns
+    /// immediately; the daemon serves until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Whatever binding the listener reports.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let worker_count = if cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            cfg.workers
+        };
+        let cache = Arc::new(match cfg.cache_bytes {
+            Some(budget) => MatrixCache::with_budget(budget),
+            None => MatrixCache::new(),
+        });
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            max_frame: cfg.max_frame,
+            workers: worker_count as u64,
+            cache,
+            datasets: Mutex::new(HashMap::new()),
+            queue: AdmissionQueue::new(cfg.queue_depth),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            gate: Mutex::new(false),
+            gate_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let worker_shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || acceptor_loop(&acceptor_shared, &listener))
+            .expect("spawn acceptor");
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's shared artifact cache.
+    pub fn cache(&self) -> &Arc<MatrixCache> {
+        &self.shared.cache
+    }
+
+    /// A point-in-time sample of the daemon's counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until a shutdown is requested (wire frame or
+    /// [`Server::begin_shutdown`]).
+    pub fn wait_for_shutdown(&self) {
+        let mut requested = self
+            .shared
+            .gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !*requested {
+            requested = self
+                .shared
+                .gate_cv
+                .wait(requested)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Requests shutdown without waiting for the drain (the programmatic
+    /// equivalent of a wire `shutdown` frame).
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Drains and tears down: stops admission, finishes every admitted
+    /// job, then closes connections and joins all daemon threads.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // workers exit once the queue hands them None (drained + empty)
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // unblock the per-connection readers by closing the sockets
+        let conns = std::mem::take(
+            &mut *self
+                .shared
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for conn in conns {
+            let stream = conn.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let readers = std::mem::take(
+            &mut *self
+                .shared
+                .readers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for reader in readers {
+            let _ = reader.join();
+        }
+    }
+}

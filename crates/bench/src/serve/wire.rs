@@ -1,0 +1,683 @@
+//! The versioned serve envelope: typed requests/responses and their
+//! JSON wire form.
+//!
+//! Every frame carries `{"v": 1, "id": N, "type": "...", ...}`. The
+//! envelope is:
+//!
+//! * **versioned** — `v` is checked first; an unsupported version is
+//!   rejected with the stable code [`codes::VERSION`] before anything
+//!   else is interpreted, so the field set of future versions is
+//!   unconstrained;
+//! * **unknown-field-tolerant** — decoding walks the JSON tree for the
+//!   fields it needs and ignores the rest, so a v1 server and a v1
+//!   client can each grow optional fields without breaking the other;
+//! * **shared between paths** — [`EvalSpec::run_local`] is the same
+//!   code the daemon's workers run, so an in-process evaluation and a
+//!   network round-trip of the same spec produce byte-identical
+//!   entries (`serve_e2e` proves it).
+//!
+//! Error responses carry a stable string `code` ([`BenchError::code`] /
+//! [`PointErrorKind::code`](crate::error::PointErrorKind::code) for
+//! evaluation failures, the [`codes`] constants for protocol-level
+//! rejections) so clients dispatch on codes, never on message text.
+
+use serde::{Serialize, Value};
+use sparsepipe_tensor::MatrixId;
+
+use crate::datasets::ScaledDataset;
+use crate::error::{BenchError, PointKey};
+use crate::sweep::{Entry, EvalOutcome, EvalRequest};
+
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Stable protocol-level error codes (evaluation failures use
+/// [`BenchError::code`] instead). Frozen: clients dispatch on these.
+pub mod codes {
+    /// The request's `v` field named an unsupported protocol version.
+    pub const VERSION: &str = "version";
+    /// The frame parsed as JSON but required envelope fields were
+    /// missing or ill-typed.
+    pub const MALFORMED: &str = "malformed";
+    /// The admission queue was at its depth cap; retry later.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The daemon is draining for shutdown and admits no new work.
+    pub const DRAINING: &str = "draining";
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The envelope named a version this build does not speak.
+    Version {
+        /// The version the peer sent.
+        got: u64,
+    },
+    /// The frame was not a valid envelope of the negotiated version.
+    Malformed(String),
+}
+
+impl WireError {
+    /// The stable wire code for this decode failure.
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::Version { .. } => codes::VERSION,
+            WireError::Malformed(_) => codes::MALFORMED,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Version { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The owned, serializable form of an [`EvalRequest`]: everything a
+/// caller chooses about a single-point evaluation, free of borrows so
+/// it can cross the wire (the in-process builder borrows its app and
+/// dataset; the daemon resolves both from this spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalSpec {
+    /// Application short name (registry form, e.g. `pr`).
+    pub app: String,
+    /// Matrix code ([`MatrixId::code`] form, e.g. `ca`).
+    pub matrix: String,
+    /// Dataset scale divisor.
+    pub scale: u64,
+    /// Per-request wall-clock budget, mapped onto
+    /// [`EvalRequest::deadline`] (and through it
+    /// `SimRequest::deadline`); `None` = unbounded.
+    pub deadline_ms: Option<u64>,
+    /// Extra attempts after a failed one (0 = single attempt), run on
+    /// the executor's deterministic retry schedule.
+    pub retries: u32,
+}
+
+impl EvalSpec {
+    /// A spec with no deadline and no retries.
+    pub fn new(app: impl Into<String>, matrix: impl Into<String>, scale: u64) -> Self {
+        EvalSpec {
+            app: app.into(),
+            matrix: matrix.into(),
+            scale,
+            deadline_ms: None,
+            retries: 0,
+        }
+    }
+
+    /// The point identity this spec evaluates.
+    pub fn key(&self) -> PointKey {
+        PointKey {
+            app: self.app.clone(),
+            matrix: self.matrix.clone(),
+            scale: self.scale,
+        }
+    }
+
+    /// The [`MatrixId`] named by [`EvalSpec::matrix`], if any.
+    pub fn matrix_id(&self) -> Option<MatrixId> {
+        MatrixId::ALL
+            .iter()
+            .copied()
+            .find(|m| m.code() == self.matrix)
+    }
+
+    /// Runs this spec in-process — the exact code path the daemon's
+    /// workers execute per request, exposed so serial evaluation and a
+    /// network round-trip are the same computation. `dataset` must be
+    /// the [`ScaledDataset`] for [`EvalSpec::matrix`]/[`EvalSpec::scale`]
+    /// (the daemon keeps these warm per `(matrix, scale)`).
+    ///
+    /// Retries are *not* applied here: panic isolation and the retry
+    /// loop wrap this via
+    /// [`executor::isolate_point`](crate::executor::isolate_point).
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::UnknownApp`] for an unregistered app,
+    /// [`BenchError::Dataset`] when `dataset` does not match the spec,
+    /// and whatever [`EvalRequest::run`] reports.
+    pub fn run_local(
+        &self,
+        dataset: &ScaledDataset,
+        cache: &sparsepipe_core::MatrixCache,
+    ) -> Result<EvalOutcome, BenchError> {
+        let app = sparsepipe_apps::registry::by_name(&self.app)
+            .ok_or_else(|| BenchError::UnknownApp(self.app.clone()))?;
+        if dataset.id.code() != self.matrix || dataset.scale != self.scale {
+            return Err(BenchError::Dataset {
+                matrix: dataset.id,
+                message: format!(
+                    "dataset is {}@{}, spec wants {}@{}",
+                    dataset.id.code(),
+                    dataset.scale,
+                    self.matrix,
+                    self.scale
+                ),
+            });
+        }
+        let mut req = EvalRequest::new(&app, dataset, self.scale).cache(cache);
+        if let Some(ms) = self.deadline_ms {
+            req = req.deadline(std::time::Duration::from_millis(ms));
+        }
+        req.run()
+    }
+
+    fn to_fields(&self, fields: &mut Vec<(String, Value)>) {
+        fields.push(("app".to_string(), self.app.to_value()));
+        fields.push(("matrix".to_string(), self.matrix.to_value()));
+        fields.push(("scale".to_string(), self.scale.to_value()));
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), ms.to_value()));
+        }
+        if self.retries > 0 {
+            fields.push(("retries".to_string(), self.retries.to_value()));
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, WireError> {
+        let app = require_str(v, "app")?.to_string();
+        let matrix = require_str(v, "matrix")?.to_string();
+        let scale = require_u64(v, "scale")?;
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(ms) => Some(ms.as_u64().ok_or_else(|| {
+                WireError::Malformed("`deadline_ms` is not an unsigned integer".into())
+            })?),
+        };
+        let retries = match v.get("retries") {
+            None => 0,
+            Some(r) => u32::try_from(r.as_u64().ok_or_else(|| {
+                WireError::Malformed("`retries` is not an unsigned integer".into())
+            })?)
+            .map_err(|_| WireError::Malformed("`retries` exceeds u32".into()))?,
+        };
+        Ok(EvalSpec {
+            app,
+            matrix,
+            scale,
+            deadline_ms,
+            retries,
+        })
+    }
+}
+
+/// A client → server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate one point.
+    Eval {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// What to evaluate.
+        spec: EvalSpec,
+    },
+    /// Report daemon and cache counters.
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Begin graceful drain: stop admitting, finish queued work, exit.
+    Shutdown {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// Encodes the request as one envelope-framed JSON text.
+    pub fn encode(&self) -> String {
+        let mut fields = vec![("v".to_string(), WIRE_VERSION.to_value())];
+        match self {
+            Request::Eval { id, spec } => {
+                fields.push(("id".to_string(), id.to_value()));
+                fields.push(("type".to_string(), "eval".to_value()));
+                spec.to_fields(&mut fields);
+            }
+            Request::Stats { id } => {
+                fields.push(("id".to_string(), id.to_value()));
+                fields.push(("type".to_string(), "stats".to_value()));
+            }
+            Request::Shutdown { id } => {
+                fields.push(("id".to_string(), id.to_value()));
+                fields.push(("type".to_string(), "shutdown".to_value()));
+            }
+        }
+        render(Value::Map(fields))
+    }
+
+    /// Decodes one frame's JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Version`] for an unsupported `v`,
+    /// [`WireError::Malformed`] for anything else wrong.
+    pub fn decode(text: &str) -> Result<Self, WireError> {
+        let v = parse(text)?;
+        check_version(&v)?;
+        let id = require_u64(&v, "id")?;
+        match require_str(&v, "type")? {
+            "eval" => Ok(Request::Eval {
+                id,
+                spec: EvalSpec::from_value(&v)?,
+            }),
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(WireError::Malformed(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Daemon/cache counters returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Eval requests answered with an entry.
+    pub served: u64,
+    /// Eval requests answered with an evaluation failure.
+    pub failed: u64,
+    /// Eval requests refused at admission (queue full or draining).
+    pub rejected: u64,
+    /// Requests queued but not yet completed at sample time.
+    pub queue_len: u64,
+    /// Worker threads evaluating requests.
+    pub workers: u64,
+    /// Matrix-cache lookups served from the cache.
+    pub cache_hits: u64,
+    /// Matrix-cache lookups that had to build.
+    pub cache_misses: u64,
+    /// Matrix-cache entries evicted under the byte budget.
+    pub cache_evictions: u64,
+    /// Matrix-cache resident bytes at sample time.
+    pub cache_resident_bytes: u64,
+    /// Matrix-cache byte budget (0 = unbounded).
+    pub cache_budget_bytes: u64,
+}
+
+impl ServeStats {
+    const FIELDS: [&'static str; 10] = [
+        "served",
+        "failed",
+        "rejected",
+        "queue_len",
+        "workers",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "cache_resident_bytes",
+        "cache_budget_bytes",
+    ];
+
+    fn values(&self) -> [u64; 10] {
+        [
+            self.served,
+            self.failed,
+            self.rejected,
+            self.queue_len,
+            self.workers,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_resident_bytes,
+            self.cache_budget_bytes,
+        ]
+    }
+
+    fn from_value(v: &Value) -> Result<Self, WireError> {
+        let mut vals = [0u64; 10];
+        for (slot, name) in vals.iter_mut().zip(Self::FIELDS) {
+            *slot = require_u64(v, name)?;
+        }
+        let [served, failed, rejected, queue_len, workers, cache_hits, cache_misses, cache_evictions, cache_resident_bytes, cache_budget_bytes] =
+            vals;
+        Ok(ServeStats {
+            served,
+            failed,
+            rejected,
+            queue_len,
+            workers,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_resident_bytes,
+            cache_budget_bytes,
+        })
+    }
+
+    /// The cache hit rate in `[0, 1]`, or 0 when untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl Serialize for ServeStats {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Self::FIELDS
+                .iter()
+                .zip(self.values())
+                .map(|(name, val)| ((*name).to_string(), val.to_value()))
+                .collect(),
+        )
+    }
+}
+
+/// A server → client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful evaluation: the point's [`Entry`] as a JSON tree.
+    Entry {
+        /// Echo of the request id.
+        id: u64,
+        /// Attempts the evaluation took (≥ 1).
+        attempts: u32,
+        /// The entry, as produced by [`Entry`]'s serialization — kept
+        /// as a `Value` so clients can re-render it byte-identically
+        /// to an in-process `serde_json::to_string(&entry)`.
+        entry: Value,
+    },
+    /// The request failed; `code` is stable, `message` is for humans.
+    Error {
+        /// Echo of the request id (0 when the frame itself was
+        /// undecodable and no id was recovered).
+        id: u64,
+        /// Stable failure code ([`codes`] or [`BenchError::code`]).
+        code: String,
+        /// Human-readable detail; never dispatch on this.
+        message: String,
+        /// Attempts made before giving up (0 when the request never
+        /// reached evaluation).
+        attempts: u32,
+    },
+    /// Counters for a [`Request::Stats`].
+    Stats {
+        /// Echo of the request id.
+        id: u64,
+        /// The sampled counters.
+        stats: ServeStats,
+    },
+    /// Acknowledges a [`Request::Shutdown`]; the daemon then drains.
+    Bye {
+        /// Echo of the request id.
+        id: u64,
+    },
+}
+
+impl Response {
+    /// Encodes the response as one envelope-framed JSON text.
+    pub fn encode(&self) -> String {
+        let mut fields = vec![("v".to_string(), WIRE_VERSION.to_value())];
+        match self {
+            Response::Entry {
+                id,
+                attempts,
+                entry,
+            } => {
+                fields.push(("id".to_string(), id.to_value()));
+                fields.push(("type".to_string(), "entry".to_value()));
+                fields.push(("attempts".to_string(), attempts.to_value()));
+                fields.push(("entry".to_string(), entry.clone()));
+            }
+            Response::Error {
+                id,
+                code,
+                message,
+                attempts,
+            } => {
+                fields.push(("id".to_string(), id.to_value()));
+                fields.push(("type".to_string(), "error".to_value()));
+                fields.push(("code".to_string(), code.to_value()));
+                fields.push(("message".to_string(), message.to_value()));
+                fields.push(("attempts".to_string(), attempts.to_value()));
+            }
+            Response::Stats { id, stats } => {
+                fields.push(("id".to_string(), id.to_value()));
+                fields.push(("type".to_string(), "stats".to_value()));
+                fields.push(("stats".to_string(), stats.to_value()));
+            }
+            Response::Bye { id } => {
+                fields.push(("id".to_string(), id.to_value()));
+                fields.push(("type".to_string(), "bye".to_value()));
+            }
+        }
+        render(Value::Map(fields))
+    }
+
+    /// Decodes one frame's JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Request::decode`].
+    pub fn decode(text: &str) -> Result<Self, WireError> {
+        let v = parse(text)?;
+        check_version(&v)?;
+        let id = require_u64(&v, "id")?;
+        match require_str(&v, "type")? {
+            "entry" => Ok(Response::Entry {
+                id,
+                attempts: require_u32(&v, "attempts")?,
+                entry: v
+                    .get("entry")
+                    .ok_or_else(|| WireError::Malformed("missing `entry`".into()))?
+                    .clone(),
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                code: require_str(&v, "code")?.to_string(),
+                message: require_str(&v, "message")?.to_string(),
+                attempts: require_u32(&v, "attempts")?,
+            }),
+            "stats" => Ok(Response::Stats {
+                id,
+                stats: ServeStats::from_value(
+                    v.get("stats")
+                        .ok_or_else(|| WireError::Malformed("missing `stats`".into()))?,
+                )?,
+            }),
+            "bye" => Ok(Response::Bye { id }),
+            other => Err(WireError::Malformed(format!(
+                "unknown response type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Decodes an `entry` payload ([`Response::Entry`]) into a typed
+/// [`Entry`] — the same decoder the checkpoint journal resumes through.
+///
+/// # Errors
+///
+/// A description of the first missing/ill-typed field.
+pub fn entry_from_value(v: &Value) -> Result<Entry, String> {
+    crate::checkpoint::decode_entry(v)
+}
+
+fn render(v: Value) -> String {
+    serde_json::to_string(&v).expect("value trees always render")
+}
+
+fn parse(text: &str) -> Result<Value, WireError> {
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+fn check_version(v: &Value) -> Result<(), WireError> {
+    let got = require_u64(v, "v")?;
+    if got != WIRE_VERSION {
+        return Err(WireError::Version { got });
+    }
+    Ok(())
+}
+
+fn require_u64(v: &Value, key: &str) -> Result<u64, WireError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| WireError::Malformed(format!("missing or ill-typed `{key}`")))
+}
+
+fn require_u32(v: &Value, key: &str) -> Result<u32, WireError> {
+    u32::try_from(require_u64(v, key)?)
+        .map_err(|_| WireError::Malformed(format!("`{key}` exceeds u32")))
+}
+
+fn require_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, WireError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::Malformed(format!("missing or ill-typed `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Eval {
+                id: 3,
+                spec: EvalSpec {
+                    app: "pr".into(),
+                    matrix: "ca".into(),
+                    scale: 256,
+                    deadline_ms: Some(30_000),
+                    retries: 2,
+                },
+            },
+            Request::Eval {
+                id: 4,
+                spec: EvalSpec::new("bfs", "gy", 64),
+            },
+            Request::Stats { id: 9 },
+            Request::Shutdown { id: 10 },
+        ];
+        for req in reqs {
+            let text = req.encode();
+            assert!(text.starts_with(r#"{"v":1,"#), "{text}");
+            assert_eq!(Request::decode(&text).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let entry = Value::Map(vec![("app".to_string(), "pr".to_value())]);
+        let resps = [
+            Response::Entry {
+                id: 3,
+                attempts: 2,
+                entry,
+            },
+            Response::Error {
+                id: 4,
+                code: codes::OVERLOADED.into(),
+                message: "queue at depth cap".into(),
+                attempts: 0,
+            },
+            Response::Stats {
+                id: 5,
+                stats: ServeStats {
+                    served: 10,
+                    failed: 1,
+                    rejected: 2,
+                    queue_len: 3,
+                    workers: 4,
+                    cache_hits: 100,
+                    cache_misses: 20,
+                    cache_evictions: 5,
+                    cache_resident_bytes: 1 << 20,
+                    cache_budget_bytes: 1 << 21,
+                },
+            },
+            Response::Bye { id: 6 },
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let text = r#"{"v":1,"id":7,"type":"eval","app":"pr","matrix":"ca","scale":64,
+                       "future_knob":true,"nested":{"x":[1,2,3]}}"#;
+        let req = Request::decode(text).unwrap();
+        assert_eq!(
+            req,
+            Request::Eval {
+                id: 7,
+                spec: EvalSpec::new("pr", "ca", 64),
+            }
+        );
+    }
+
+    #[test]
+    fn version_is_checked_before_anything_else() {
+        // v2 with an otherwise-garbled body must still be a Version error
+        let err = Request::decode(r#"{"v":2,"nonsense":true}"#).unwrap_err();
+        assert_eq!(err, WireError::Version { got: 2 });
+        assert_eq!(err.code(), codes::VERSION);
+        let err = Response::decode(r#"{"v":99,"id":1,"type":"bye"}"#).unwrap_err();
+        assert_eq!(err, WireError::Version { got: 99 });
+    }
+
+    #[test]
+    fn malformed_frames_name_the_problem() {
+        for (text, needle) in [
+            ("{", ""),
+            (r#"{"id":1,"type":"stats"}"#, "`v`"),
+            (r#"{"v":1,"type":"stats"}"#, "`id`"),
+            (r#"{"v":1,"id":1}"#, "`type`"),
+            (r#"{"v":1,"id":1,"type":"teapot"}"#, "teapot"),
+            (
+                r#"{"v":1,"id":1,"type":"eval","matrix":"ca","scale":64}"#,
+                "`app`",
+            ),
+            (
+                r#"{"v":1,"id":1,"type":"eval","app":"pr","matrix":"ca","scale":"big"}"#,
+                "`scale`",
+            ),
+        ] {
+            let err = Request::decode(text).unwrap_err();
+            assert_eq!(err.code(), codes::MALFORMED, "{text}");
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn spec_key_and_matrix_resolution() {
+        let spec = EvalSpec::new("pr", "ca", 64);
+        let key = spec.key();
+        assert_eq!(key.label(), "pr-ca");
+        assert_eq!(key.scale, 64);
+        assert_eq!(spec.matrix_id(), Some(sparsepipe_tensor::MatrixId::Ca));
+        assert_eq!(EvalSpec::new("pr", "zz", 64).matrix_id(), None);
+    }
+
+    #[test]
+    fn run_local_rejects_unknown_app_and_mismatched_dataset() {
+        let cache = sparsepipe_core::MatrixCache::new();
+        let dataset = ScaledDataset::load(sparsepipe_tensor::MatrixId::Ca, 512);
+        let err = EvalSpec::new("nope", "ca", 512)
+            .run_local(&dataset, &cache)
+            .unwrap_err();
+        assert_eq!(err.code(), "unknown-app");
+        let err = EvalSpec::new("pr", "gy", 512)
+            .run_local(&dataset, &cache)
+            .unwrap_err();
+        assert_eq!(err.code(), "dataset");
+    }
+}

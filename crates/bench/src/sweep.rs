@@ -353,99 +353,6 @@ impl<'a> EvalRequest<'a> {
     }
 }
 
-/// Evaluates one app on one dataset across all systems.
-///
-/// # Errors
-///
-/// Returns [`BenchError::Compile`] if the app's graph does not compile and
-/// [`BenchError::Sim`] if the simulator rejects the point.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `EvalRequest::new(app, dataset, scale).run()`"
-)]
-pub fn evaluate(
-    app: &StaApp,
-    dataset: &ScaledDataset,
-    scale: u64,
-) -> Result<Evaluation, BenchError> {
-    EvalRequest::new(app, dataset, scale)
-        .run()
-        .map(|o| o.evaluation)
-}
-
-/// [`EvalRequest`] with artifact sharing, as a free function.
-///
-/// # Errors
-///
-/// Same as [`EvalRequest::run`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use `EvalRequest::new(...).cache(cache).run()`"
-)]
-pub fn evaluate_cached(
-    app: &StaApp,
-    dataset: &ScaledDataset,
-    scale: u64,
-    cache: &sparsepipe_core::MatrixCache,
-) -> Result<Evaluation, BenchError> {
-    EvalRequest::new(app, dataset, scale)
-        .cache(cache)
-        .run()
-        .map(|o| o.evaluation)
-}
-
-/// Traced evaluation, as a free function.
-///
-/// # Errors
-///
-/// Same as [`EvalRequest::run`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use `EvalRequest::new(...).trace(MemorySink::new()).run()`"
-)]
-pub fn evaluate_traced(
-    app: &StaApp,
-    dataset: &ScaledDataset,
-    scale: u64,
-) -> Result<(Evaluation, MemorySink), BenchError> {
-    EvalRequest::new(app, dataset, scale)
-        .trace(MemorySink::new())
-        .run()
-        .map(|o| {
-            (
-                o.evaluation,
-                o.trace.expect("traced request returns its sink"),
-            )
-        })
-}
-
-/// Traced evaluation with artifact sharing, as a free function.
-///
-/// # Errors
-///
-/// Same as [`EvalRequest::run`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use `EvalRequest::new(...).cache(cache).trace(MemorySink::new()).run()`"
-)]
-pub fn evaluate_traced_cached(
-    app: &StaApp,
-    dataset: &ScaledDataset,
-    scale: u64,
-    cache: &sparsepipe_core::MatrixCache,
-) -> Result<(Evaluation, MemorySink), BenchError> {
-    EvalRequest::new(app, dataset, scale)
-        .cache(cache)
-        .trace(MemorySink::new())
-        .run()
-        .map(|o| {
-            (
-                o.evaluation,
-                o.trace.expect("traced request returns its sink"),
-            )
-        })
-}
-
 fn evaluate_with_sink<S: TraceSink>(
     app: &StaApp,
     dataset: &ScaledDataset,

@@ -1,0 +1,352 @@
+//! End-to-end tests of the serve daemon over real TCP connections:
+//! concurrent network answers are bitwise-identical to serial in-process
+//! evaluation, the byte-budgeted cache stays provably bounded while
+//! still earning hits, overload and drain surface as stable error codes,
+//! and a daemon going away mid-load produces clean client errors —
+//! never hangs.
+
+use std::collections::BTreeMap;
+
+use sparsepipe_bench::datasets::{MatrixSet, ScaledDataset};
+use sparsepipe_bench::serve::loadgen::{self, LoadgenConfig};
+use sparsepipe_bench::serve::wire::EvalSpec;
+use sparsepipe_bench::serve::{ClientError, ServeClient, ServeConfig, Server};
+use sparsepipe_core::MatrixCache;
+
+const SCALE: u64 = 512;
+
+fn quick_workload() -> Vec<EvalSpec> {
+    loadgen::workload(MatrixSet::Quick, SCALE, None)
+}
+
+/// Serial ground truth: each spec evaluated in-process, rendered to the
+/// exact JSON the daemon's `entry` payload must reproduce.
+fn serial_entries(specs: &[EvalSpec]) -> BTreeMap<String, String> {
+    let cache = MatrixCache::new();
+    let mut datasets: BTreeMap<(String, u64), ScaledDataset> = BTreeMap::new();
+    specs
+        .iter()
+        .map(|spec| {
+            let dataset = datasets
+                .entry((spec.matrix.clone(), spec.scale))
+                .or_insert_with(|| {
+                    ScaledDataset::load(spec.matrix_id().expect("quick matrix"), spec.scale)
+                });
+            let outcome = spec.run_local(dataset, &cache).expect("serial evaluation");
+            let json = serde_json::to_string(&outcome.evaluation.entry).unwrap();
+            (spec.key().label(), json)
+        })
+        .collect()
+}
+
+fn start(cfg: ServeConfig) -> Server {
+    Server::start(cfg).expect("bind an ephemeral port")
+}
+
+#[test]
+fn concurrent_clients_match_serial_evaluation_bitwise() {
+    let specs = quick_workload();
+    let expected = serial_entries(&specs);
+    let server = start(ServeConfig {
+        workers: 3,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    const CLIENTS: usize = 4;
+    std::thread::scope(|scope| {
+        for idx in 0..CLIENTS {
+            let specs = &specs;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                // each client walks the workload from a different offset
+                for j in 0..specs.len() {
+                    let spec = &specs[(j + idx * 7) % specs.len()];
+                    let reply = client.eval(spec).expect("eval over the wire");
+                    assert_eq!(reply.attempts, 1);
+                    assert_eq!(
+                        reply.entry_json(),
+                        expected[&spec.key().label()],
+                        "daemon answer for {} must be byte-identical to serial",
+                        spec.key().label()
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.served, (CLIENTS * specs.len()) as u64);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected, 0);
+    assert!(
+        stats.hit_rate() > 0.5,
+        "4 clients replaying the same 33 points must mostly hit: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn budgeted_cache_stays_bounded_and_still_earns_hits() {
+    let specs = quick_workload();
+    // measure the unbounded footprint of the whole workload, then
+    // provision the daemon with ~60% of it so eviction must happen
+    let unbounded = MatrixCache::new();
+    {
+        let mut datasets: BTreeMap<String, ScaledDataset> = BTreeMap::new();
+        for spec in &specs {
+            let dataset = datasets
+                .entry(spec.matrix.clone())
+                .or_insert_with(|| ScaledDataset::load(spec.matrix_id().unwrap(), spec.scale));
+            spec.run_local(dataset, &unbounded).unwrap();
+        }
+    }
+    let full_footprint = unbounded.bytes().total();
+    assert!(full_footprint > 0);
+    let budget = full_footprint * 3 / 5;
+
+    let server = start(ServeConfig {
+        workers: 2,
+        cache_bytes: Some(budget),
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    for _round in 0..3 {
+        for spec in &specs {
+            client.eval(spec).expect("eval over the wire");
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.cache_budget_bytes, budget);
+    assert!(
+        stats.cache_resident_bytes <= budget,
+        "resident {} exceeds the {budget}-byte budget",
+        stats.cache_resident_bytes
+    );
+    assert!(
+        stats.cache_evictions > 0,
+        "a {budget}-byte budget under a {full_footprint}-byte workload must evict"
+    );
+    assert!(
+        stats.cache_hits > 0,
+        "a repeating workload must still earn hits under eviction: {stats:?}"
+    );
+    // the bound holds on the live cache too, and its books balance
+    server.cache().audit_accounting();
+    assert!(server.cache().bytes().total() <= budget);
+    server.shutdown();
+}
+
+#[test]
+fn overload_is_a_stable_error_code() {
+    // depth 0 makes every admission fail deterministically
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_depth: 0,
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    match client.eval(&EvalSpec::new("pr", "ca", SCALE)) {
+        Err(ClientError::Server { code, attempts, .. }) => {
+            assert_eq!(code, "overloaded");
+            assert_eq!(attempts, 0);
+        }
+        other => panic!("expected an overloaded rejection, got {other:?}"),
+    }
+    assert_eq!(server.stats().rejected, 1);
+    assert_eq!(server.stats().served, 0);
+    server.shutdown();
+}
+
+#[test]
+fn evaluation_failures_carry_their_bench_error_codes() {
+    let server = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    match client.eval(&EvalSpec::new("frobnicate", "ca", SCALE)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "unknown-app"),
+        other => panic!("expected unknown-app, got {other:?}"),
+    }
+    match client.eval(&EvalSpec::new("pr", "zz", SCALE)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "dataset"),
+        other => panic!("expected dataset, got {other:?}"),
+    }
+    // the daemon keeps serving after failures
+    client
+        .eval(&EvalSpec::new("pr", "ca", SCALE))
+        .expect("healthy point");
+    let stats = server.stats();
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.served, 1);
+    server.shutdown();
+}
+
+#[test]
+fn draining_daemon_rejects_new_work_then_disconnects_cleanly() {
+    let server = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .eval(&EvalSpec::new("pr", "ca", SCALE))
+        .expect("pre-drain eval");
+
+    // a second client requests shutdown over the wire
+    let mut closer = ServeClient::connect(addr).expect("connect closer");
+    closer.shutdown_server().expect("acknowledged shutdown");
+    server.wait_for_shutdown();
+
+    // the still-open connection gets a stable draining error, not a hang
+    match client.eval(&EvalSpec::new("pr", "ca", SCALE)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "draining"),
+        other => panic!("expected draining, got {other:?}"),
+    }
+
+    server.shutdown();
+    // after teardown the socket is gone: clean I/O error, still no hang
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    match client.eval(&EvalSpec::new("pr", "ca", SCALE)) {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected an I/O error after teardown, got {other:?}"),
+    }
+}
+
+#[test]
+fn killed_daemon_mid_load_yields_clean_client_errors() {
+    let server = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let specs = quick_workload();
+
+    // run one warm pass, then tear the daemon down while clients keep
+    // replaying: every client must finish with an error, never block
+    let mut warm = ServeClient::connect(addr).expect("connect");
+    for spec in &specs {
+        warm.eval(spec).expect("warm pass");
+    }
+
+    let barrier = std::sync::Barrier::new(3);
+    std::thread::scope(|scope| {
+        for idx in 0..2 {
+            let specs = &specs;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                client
+                    .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                    .unwrap();
+                barrier.wait();
+                let mut saw_error = false;
+                for round in 0..1_000 {
+                    let spec = &specs[(round + idx) % specs.len()];
+                    match client.eval(spec) {
+                        Ok(_) => {}
+                        Err(ClientError::Server { code, .. }) => {
+                            assert!(
+                                code == "draining" || code == "overloaded",
+                                "unexpected server code {code}"
+                            );
+                            saw_error = true;
+                            break;
+                        }
+                        Err(ClientError::Io(_)) => {
+                            saw_error = true;
+                            break;
+                        }
+                        Err(ClientError::Protocol(p)) => panic!("protocol error: {p}"),
+                    }
+                }
+                assert!(
+                    saw_error,
+                    "client outlived 1000 requests against a dying daemon"
+                );
+            });
+        }
+        barrier.wait();
+        // let the replay get going, then pull the rug
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        server.shutdown();
+    });
+}
+
+#[test]
+fn loadgen_replay_reports_the_bench_schema() {
+    let server = start(ServeConfig {
+        workers: 3,
+        ..ServeConfig::default()
+    });
+    let cfg = LoadgenConfig {
+        addr: server.addr().to_string(),
+        clients: 3,
+        repeat: 2,
+        scale: SCALE,
+        set: MatrixSet::Quick,
+        deadline_ms: None,
+        shutdown: true,
+    };
+    let report = loadgen::run(&cfg).expect("replay");
+    assert_eq!(report.clients, 3);
+    assert_eq!(report.requests, 3 * 2 * 33);
+    assert_eq!(
+        report.ok, report.requests,
+        "errors: {:?}",
+        report.error_samples
+    );
+    assert_eq!(report.errors, 0);
+    assert!(report.stats_sampled);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.latency_ms.p50 > 0.0);
+    assert!(report.latency_ms.p99 >= report.latency_ms.p95);
+    assert!(report.latency_ms.max >= report.latency_ms.p99);
+    assert!(
+        report.stats.hit_rate() > 0.5,
+        "a repeating workload must be warm: {:?}",
+        report.stats
+    );
+
+    // the written artifact parses and carries the schema CI validates
+    let dir = std::env::temp_dir().join("sparsepipe-serve-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_serve.json");
+    report.write(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = serde_json::from_str(&text).unwrap();
+    let serve = v.get("serve").expect("serve section");
+    for key in [
+        "clients",
+        "requests",
+        "ok",
+        "errors",
+        "wall_s",
+        "throughput_rps",
+    ] {
+        assert!(serve.get(key).is_some(), "missing {key}");
+    }
+    let latency = serve.get("latency_ms").expect("latency section");
+    for key in ["p50", "p95", "p99", "mean", "max"] {
+        assert!(latency.get(key).is_some(), "missing latency {key}");
+    }
+    let cache = serve.get("matrix_cache").expect("cache section");
+    assert!(
+        cache
+            .get("hit_rate")
+            .and_then(serde::Value::as_f64)
+            .unwrap()
+            > 0.5
+    );
+    std::fs::remove_file(&path).ok();
+
+    // --shutdown asked the daemon to drain
+    server.wait_for_shutdown();
+    server.shutdown();
+}

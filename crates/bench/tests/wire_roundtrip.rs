@@ -1,0 +1,202 @@
+//! Property tests of the serve wire envelope: every encodable frame
+//! decodes back to itself, unknown fields never break decoding, and
+//! version checking fires before anything else — the compatibility
+//! contract `DESIGN.md` §14 promises for the v1 protocol.
+
+use proptest::prelude::*;
+use sparsepipe_bench::serve::wire::{
+    codes, entry_from_value, EvalSpec, Request, Response, ServeStats, WireError, WIRE_VERSION,
+};
+use sparsepipe_bench::serve::ServeClient;
+
+/// An alphabet that exercises JSON string escaping: quotes, backslashes,
+/// control characters, and multi-byte UTF-8.
+const NASTY: &[char] = &[
+    'a', 'z', '0', '-', '_', ' ', '"', '\\', '/', '\n', '\t', 'α', '❤',
+];
+
+fn nasty_string(picks: &[usize]) -> String {
+    picks.iter().map(|&i| NASTY[i % NASTY.len()]).collect()
+}
+
+fn spec_from(
+    app_picks: &[usize],
+    mat_idx: usize,
+    scale: u64,
+    deadline_ms: u64,
+    retries: u32,
+) -> EvalSpec {
+    // half the time a real registry app / matrix code, half the time a
+    // hostile string — the envelope must carry both faithfully
+    let app = if app_picks.len().is_multiple_of(2) {
+        let apps = sparsepipe_apps::registry::all();
+        apps[app_picks.first().copied().unwrap_or(0) % apps.len()]
+            .name
+            .to_string()
+    } else {
+        nasty_string(app_picks)
+    };
+    let matrix = if mat_idx < sparsepipe_tensor::MatrixId::ALL.len() {
+        sparsepipe_tensor::MatrixId::ALL[mat_idx].code().to_string()
+    } else {
+        format!("m{mat_idx}")
+    };
+    EvalSpec {
+        app,
+        matrix,
+        scale,
+        deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        retries,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode is the identity on every request shape.
+    #[test]
+    fn requests_round_trip(
+        id in any::<u64>(),
+        app_picks in proptest::collection::vec(0usize..64, 1..8),
+        mat_idx in 0usize..16,
+        knobs in (1u64..1_000_000, 0u64..100_000, 0u32..8),
+        kind in 0u8..3,
+    ) {
+        let (scale, deadline_ms, retries) = knobs;
+        let req = match kind {
+            0 => Request::Eval { id, spec: spec_from(&app_picks, mat_idx, scale, deadline_ms, retries) },
+            1 => Request::Stats { id },
+            _ => Request::Shutdown { id },
+        };
+        let text = req.encode();
+        prop_assert!(text.starts_with(&format!(r#"{{"v":{WIRE_VERSION},"#)), "{text}");
+        prop_assert_eq!(Request::decode(&text).unwrap(), req);
+    }
+
+    /// encode ∘ decode is the identity on every response shape,
+    /// including stats counters at arbitrary magnitudes.
+    #[test]
+    fn responses_round_trip(
+        id in any::<u64>(),
+        attempts in 0u32..10,
+        counters in proptest::collection::vec(0u64..u64::MAX / 2, 10),
+        msg_picks in proptest::collection::vec(0usize..64, 0..12),
+        kind in 0u8..4,
+    ) {
+        let resp = match kind {
+            0 => Response::Entry {
+                id,
+                attempts,
+                entry: serde_json::from_str(
+                    r#"{"app":"pr","matrix":"ca","nested":[1,2.5,{"deep":true}]}"#,
+                )
+                .unwrap(),
+            },
+            1 => Response::Error {
+                id,
+                code: codes::OVERLOADED.into(),
+                message: nasty_string(&msg_picks),
+                attempts,
+            },
+            2 => Response::Stats {
+                id,
+                stats: ServeStats {
+                    served: counters[0],
+                    failed: counters[1],
+                    rejected: counters[2],
+                    queue_len: counters[3],
+                    workers: counters[4],
+                    cache_hits: counters[5],
+                    cache_misses: counters[6],
+                    cache_evictions: counters[7],
+                    cache_resident_bytes: counters[8],
+                    cache_budget_bytes: counters[9],
+                },
+            },
+            _ => Response::Bye { id },
+        };
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// Injecting unknown fields anywhere in the envelope never changes
+    /// what a v1 decoder extracts — the forward-compatibility contract.
+    #[test]
+    fn unknown_fields_never_change_decoding(
+        id in any::<u64>(),
+        app_picks in proptest::collection::vec(0usize..64, 1..6),
+        mat_idx in 0usize..16,
+        scale in 1u64..100_000,
+        extra_key in proptest::collection::vec(0usize..5, 1..6),
+    ) {
+        let req = Request::Eval {
+            id,
+            spec: spec_from(&app_picks, mat_idx, scale, 0, 0),
+        };
+        let text = req.encode();
+        // splice a future field (scalar, array, and object shapes)
+        // before the closing brace
+        let key: String = extra_key.iter().map(|&i| char::from(b'k' + i as u8)).collect();
+        let spliced = format!(
+            r#"{},"{key}":{{"nested":[1,"two",3.5,null,true]}}}}"#,
+            &text[..text.len() - 1]
+        );
+        prop_assert_eq!(Request::decode(&spliced).unwrap(), req);
+    }
+
+    /// Any `v` other than [`WIRE_VERSION`] is rejected with the stable
+    /// `version` code, before the rest of the frame is interpreted.
+    #[test]
+    fn foreign_versions_are_rejected_first(v in 0u64..1_000, id in any::<u64>()) {
+        // a frame that is garbage except for its version field
+        let text = format!(r#"{{"v":{v},"id":{id},"type":"teapot","junk":[[[]]]}}"#);
+        let result = Request::decode(&text);
+        if v == WIRE_VERSION {
+            // well-versioned garbage is malformed, not a version error
+            prop_assert_eq!(result.unwrap_err().code(), codes::MALFORMED);
+        } else {
+            let err = result.unwrap_err();
+            prop_assert_eq!(err.clone(), WireError::Version { got: v });
+            prop_assert_eq!(err.code(), codes::VERSION);
+        }
+    }
+}
+
+/// A real entry survives the wire envelope byte-identically: rendering
+/// the decoded `entry` payload equals `serde_json::to_string` of the
+/// in-process `Entry`, and the typed decoder reproduces the struct.
+#[test]
+fn entry_payloads_cross_the_envelope_byte_identically() {
+    let cache = sparsepipe_core::MatrixCache::new();
+    let spec = EvalSpec::new("pr", "ca", 512);
+    let dataset =
+        sparsepipe_bench::datasets::ScaledDataset::load(sparsepipe_tensor::MatrixId::Ca, 512);
+    use serde::Serialize as _;
+    let outcome = spec.run_local(&dataset, &cache).unwrap();
+    let entry = outcome.evaluation.entry;
+    let direct = serde_json::to_string(&entry).unwrap();
+
+    let resp = Response::Entry {
+        id: 42,
+        attempts: 1,
+        entry: entry.to_value(),
+    };
+    let Response::Entry { entry: wired, .. } = Response::decode(&resp.encode()).unwrap() else {
+        panic!("entry response decoded to a different shape");
+    };
+    assert_eq!(serde_json::to_string(&wired).unwrap(), direct);
+    let typed = entry_from_value(&wired).unwrap();
+    assert_eq!(serde_json::to_string(&typed).unwrap(), direct);
+}
+
+/// The one non-network fact about the client worth pinning here: its
+/// connect error is an `io::Error`, so scripts get "connection refused"
+/// rather than a protocol-shaped failure.
+#[test]
+fn connecting_to_nothing_is_an_io_error() {
+    // a listener we immediately drop: the port is closed again
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    assert!(ServeClient::connect(("127.0.0.1", port)).is_err());
+}

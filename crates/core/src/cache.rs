@@ -1,4 +1,5 @@
-//! Sweep-level cache of per-matrix derived artifacts.
+//! Sweep-level cache of per-matrix derived artifacts, with optional
+//! LRU eviction under a byte budget.
 //!
 //! Every sweep point re-derives the same expensive, *pure* functions of
 //! its dataset matrix: the reordered matrix (GraphOrder / Vanilla
@@ -13,10 +14,29 @@
 //! matrix hashes: the sweep labels each dataset once and folds the
 //! matrix's shape and population into the key, so distinct matrices
 //! cannot collide in practice while lookups stay O(1).
+//!
+//! # Bounding and eviction
+//!
+//! A cache built with [`MatrixCache::with_budget`] evicts
+//! least-recently-used entries (across all four artifact families, by a
+//! global logical clock) whenever an insert pushes the resident total
+//! over the budget. The entry being inserted is never its own victim,
+//! so a single artifact larger than the budget still caches (and is
+//! evicted by the next insert): resident bytes never exceed
+//! `max(budget, largest single artifact)`. The default
+//! [`MatrixCache::new`] cache is unbounded and never evicts, preserving
+//! the historical behaviour.
+//!
+//! All bookkeeping — the four artifact maps, the LRU index, hit/miss/
+//! eviction counters, and per-family byte totals — lives behind one
+//! mutex, so counters cannot drift from residency under concurrent
+//! insert+evict (the races that separate atomics permitted). Artifact
+//! *builds* still run outside the lock: concurrent first requests may
+//! build redundantly and the first insert wins, which is safe because
+//! every cached function is pure.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use sparsepipe_tensor::CooMatrix;
 
@@ -33,27 +53,117 @@ fn reorder_tag(kind: ReorderKind) -> u8 {
     }
 }
 
-/// Shared cache of reordered matrices, pass plans, and arenas, keyed by
-/// a caller-stable matrix key. Thread-safe: the sweep executor clones
-/// one `Arc<MatrixCache>` into every worker.
-#[derive(Debug, Default)]
-pub struct MatrixCache {
-    reordered: Mutex<HashMap<(u64, u8), Arc<CooMatrix>>>,
-    plans: Mutex<HashMap<(u64, u8, usize), Arc<PassPlan>>>,
-    arenas: Mutex<HashMap<u64, Arc<MatrixArena>>>,
-    profiles: Mutex<HashMap<(u64, u8, usize), Arc<MatrixProfile>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    reordered_bytes: AtomicU64,
-    plan_bytes: AtomicU64,
-    arena_bytes: AtomicU64,
-    profile_bytes: AtomicU64,
+/// One resident cache entry: the artifact, its accounted heap size, and
+/// the logical-clock stamp of its most recent use (the LRU key).
+#[derive(Debug)]
+struct Slot<T> {
+    value: Arc<T>,
+    bytes: u64,
+    stamp: u64,
 }
 
-/// Estimated heap bytes held by each cache family (per-entry sizes are
-/// accumulated at insert time; there is no eviction yet, so totals only
-/// grow). The groundwork for ROADMAP item 1's LRU: eviction decisions
-/// need measured sizes before a budget means anything.
+/// Which artifact family a resident LRU index entry points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKey {
+    Reordered((u64, u8)),
+    Plan((u64, u8, usize)),
+    Arena(u64),
+    Profile((u64, u8, usize)),
+}
+
+/// Everything the cache tracks, behind a single lock so residency and
+/// counters stay mutually coherent.
+#[derive(Debug, Default)]
+struct CacheState {
+    reordered: HashMap<(u64, u8), Slot<CooMatrix>>,
+    plans: HashMap<(u64, u8, usize), Slot<PassPlan>>,
+    arenas: HashMap<u64, Slot<MatrixArena>>,
+    profiles: HashMap<(u64, u8, usize), Slot<MatrixProfile>>,
+    /// Least-recently-used index: use-stamp → resident entry. Stamps are
+    /// unique (the logical clock only ticks under the lock), so the
+    /// smallest key is *the* least recently used entry.
+    lru: BTreeMap<u64, SlotKey>,
+    bytes: CacheBytes,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    tick: u64,
+}
+
+impl CacheState {
+    /// Re-stamps a just-used entry to the front of the LRU order and
+    /// returns the fresh stamp (the caller writes it into the slot).
+    fn retouch(&mut self, old_stamp: u64, key: SlotKey) -> u64 {
+        self.lru.remove(&old_stamp);
+        self.tick += 1;
+        self.lru.insert(self.tick, key);
+        self.tick
+    }
+
+    /// Allocates a fresh use-stamp for a new entry and indexes it.
+    fn stamp_new(&mut self, key: SlotKey) -> u64 {
+        self.tick += 1;
+        self.lru.insert(self.tick, key);
+        self.tick
+    }
+
+    /// Drops the resident entry `key`, reclaiming its accounted bytes.
+    fn remove_slot(&mut self, key: SlotKey) {
+        let (stamp, bytes) = match key {
+            SlotKey::Reordered(k) => {
+                let s = self.reordered.remove(&k).expect("lru index is resident");
+                self.bytes.reordered -= s.bytes;
+                (s.stamp, s.bytes)
+            }
+            SlotKey::Plan(k) => {
+                let s = self.plans.remove(&k).expect("lru index is resident");
+                self.bytes.plans -= s.bytes;
+                (s.stamp, s.bytes)
+            }
+            SlotKey::Arena(k) => {
+                let s = self.arenas.remove(&k).expect("lru index is resident");
+                self.bytes.arenas -= s.bytes;
+                (s.stamp, s.bytes)
+            }
+            SlotKey::Profile(k) => {
+                let s = self.profiles.remove(&k).expect("lru index is resident");
+                self.bytes.profiles -= s.bytes;
+                (s.stamp, s.bytes)
+            }
+        };
+        let _ = bytes;
+        self.lru.remove(&stamp);
+        self.evictions += 1;
+    }
+
+    /// Evicts least-recently-used entries until the resident total fits
+    /// `budget`, never evicting the just-inserted entry (`protect`).
+    fn evict_over_budget(&mut self, budget: u64, protect: u64) {
+        while self.bytes.total() > budget {
+            let victim = self
+                .lru
+                .iter()
+                .find(|(&stamp, _)| stamp != protect)
+                .map(|(_, &key)| key);
+            let Some(key) = victim else { break };
+            self.remove_slot(key);
+        }
+    }
+}
+
+/// Shared cache of reordered matrices, pass plans, arenas, and matrix
+/// profiles, keyed by a caller-stable matrix key. Thread-safe: the sweep
+/// executor and the serve daemon clone one `Arc<MatrixCache>` into every
+/// worker. Unbounded by default; see [`MatrixCache::with_budget`].
+#[derive(Debug, Default)]
+pub struct MatrixCache {
+    state: Mutex<CacheState>,
+    budget: Option<u64>,
+}
+
+/// Estimated heap bytes held by each cache family. Sizes are accounted
+/// at insert time and reclaimed at eviction, so under a budget the
+/// totals track *resident* bytes, not lifetime inserts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheBytes {
     /// Bytes held by cached reordered matrices.
@@ -92,9 +202,32 @@ fn arena_heap_bytes(a: &MatrixArena) -> u64 {
 }
 
 impl MatrixCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (never evicts).
     pub fn new() -> Self {
         MatrixCache::default()
+    }
+
+    /// An empty cache that evicts least-recently-used artifacts whenever
+    /// an insert pushes the resident total over `budget_bytes`. The
+    /// entry being inserted is exempt from its own eviction pass, so
+    /// resident bytes are bounded by `max(budget_bytes, largest single
+    /// artifact)`.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        MatrixCache {
+            state: Mutex::new(CacheState::default()),
+            budget: Some(budget_bytes),
+        }
+    }
+
+    /// The eviction budget in bytes, or `None` for an unbounded cache.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Derives a cache key for `matrix` labelled `label` (e.g. the
@@ -132,25 +265,41 @@ impl MatrixCache {
         F: FnOnce() -> CooMatrix,
     {
         let k = (key, reorder_tag(kind));
-        if let Some(hit) = self
-            .reordered
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&k)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(build());
-        match self.reordered.lock().expect("cache lock").entry(k) {
-            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                self.reordered_bytes
-                    .fetch_add(coo_heap_bytes(&built), Ordering::Relaxed);
-                Arc::clone(v.insert(built))
+            let mut s = self.lock();
+            if let Some(slot) = s.reordered.get(&k) {
+                let (value, old) = (Arc::clone(&slot.value), slot.stamp);
+                s.hits += 1;
+                let fresh = s.retouch(old, SlotKey::Reordered(k));
+                s.reordered.get_mut(&k).expect("just seen").stamp = fresh;
+                return value;
             }
+            s.misses += 1;
         }
+        let built = Arc::new(build());
+        let mut s = self.lock();
+        if let Some(slot) = s.reordered.get(&k) {
+            // A racing build won the insert; results are identical.
+            let (value, old) = (Arc::clone(&slot.value), slot.stamp);
+            let fresh = s.retouch(old, SlotKey::Reordered(k));
+            s.reordered.get_mut(&k).expect("just seen").stamp = fresh;
+            return value;
+        }
+        let cost = coo_heap_bytes(&built);
+        let stamp = s.stamp_new(SlotKey::Reordered(k));
+        s.reordered.insert(
+            k,
+            Slot {
+                value: Arc::clone(&built),
+                bytes: cost,
+                stamp,
+            },
+        );
+        s.bytes.reordered += cost;
+        if let Some(budget) = self.budget {
+            s.evict_over_budget(budget, stamp);
+        }
+        built
     }
 
     /// The [`PassPlan`] of matrix `key` (under reordering `kind`) at
@@ -161,25 +310,40 @@ impl MatrixCache {
         F: FnOnce() -> PassPlan,
     {
         let k = (key, reorder_tag(kind), t_cols);
-        if let Some(hit) = self
-            .plans
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&k)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(build());
-        match self.plans.lock().expect("cache lock").entry(k) {
-            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                self.plan_bytes
-                    .fetch_add(plan_heap_bytes(&built), Ordering::Relaxed);
-                Arc::clone(v.insert(built))
+            let mut s = self.lock();
+            if let Some(slot) = s.plans.get(&k) {
+                let (value, old) = (Arc::clone(&slot.value), slot.stamp);
+                s.hits += 1;
+                let fresh = s.retouch(old, SlotKey::Plan(k));
+                s.plans.get_mut(&k).expect("just seen").stamp = fresh;
+                return value;
             }
+            s.misses += 1;
         }
+        let built = Arc::new(build());
+        let mut s = self.lock();
+        if let Some(slot) = s.plans.get(&k) {
+            let (value, old) = (Arc::clone(&slot.value), slot.stamp);
+            let fresh = s.retouch(old, SlotKey::Plan(k));
+            s.plans.get_mut(&k).expect("just seen").stamp = fresh;
+            return value;
+        }
+        let cost = plan_heap_bytes(&built);
+        let stamp = s.stamp_new(SlotKey::Plan(k));
+        s.plans.insert(
+            k,
+            Slot {
+                value: Arc::clone(&built),
+                bytes: cost,
+                stamp,
+            },
+        );
+        s.bytes.plans += cost;
+        if let Some(budget) = self.budget {
+            s.evict_over_budget(budget, stamp);
+        }
+        built
     }
 
     /// The [`MatrixProfile`] of matrix `key` (under reordering `kind`) at
@@ -196,25 +360,40 @@ impl MatrixCache {
         F: FnOnce() -> MatrixProfile,
     {
         let k = (key, reorder_tag(kind), t_cols);
-        if let Some(hit) = self
-            .profiles
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&k)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(build());
-        match self.profiles.lock().expect("cache lock").entry(k) {
-            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                self.profile_bytes
-                    .fetch_add(built.heap_bytes(), Ordering::Relaxed);
-                Arc::clone(v.insert(built))
+            let mut s = self.lock();
+            if let Some(slot) = s.profiles.get(&k) {
+                let (value, old) = (Arc::clone(&slot.value), slot.stamp);
+                s.hits += 1;
+                let fresh = s.retouch(old, SlotKey::Profile(k));
+                s.profiles.get_mut(&k).expect("just seen").stamp = fresh;
+                return value;
             }
+            s.misses += 1;
         }
+        let built = Arc::new(build());
+        let mut s = self.lock();
+        if let Some(slot) = s.profiles.get(&k) {
+            let (value, old) = (Arc::clone(&slot.value), slot.stamp);
+            let fresh = s.retouch(old, SlotKey::Profile(k));
+            s.profiles.get_mut(&k).expect("just seen").stamp = fresh;
+            return value;
+        }
+        let cost = built.heap_bytes();
+        let stamp = s.stamp_new(SlotKey::Profile(k));
+        s.profiles.insert(
+            k,
+            Slot {
+                value: Arc::clone(&built),
+                bytes: cost,
+                stamp,
+            },
+        );
+        s.bytes.profiles += cost;
+        if let Some(budget) = self.budget {
+            s.evict_over_budget(budget, stamp);
+        }
+        built
     }
 
     /// The [`MatrixArena`] of matrix `key`, building on first request.
@@ -223,45 +402,113 @@ impl MatrixCache {
     where
         F: FnOnce() -> MatrixArena,
     {
-        if let Some(hit) = self
-            .arenas
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(build());
-        match self.arenas.lock().expect("cache lock").entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                self.arena_bytes
-                    .fetch_add(arena_heap_bytes(&built), Ordering::Relaxed);
-                Arc::clone(v.insert(built))
+            let mut s = self.lock();
+            if let Some(slot) = s.arenas.get(&key) {
+                let (value, old) = (Arc::clone(&slot.value), slot.stamp);
+                s.hits += 1;
+                let fresh = s.retouch(old, SlotKey::Arena(key));
+                s.arenas.get_mut(&key).expect("just seen").stamp = fresh;
+                return value;
             }
+            s.misses += 1;
         }
+        let built = Arc::new(build());
+        let mut s = self.lock();
+        if let Some(slot) = s.arenas.get(&key) {
+            let (value, old) = (Arc::clone(&slot.value), slot.stamp);
+            let fresh = s.retouch(old, SlotKey::Arena(key));
+            s.arenas.get_mut(&key).expect("just seen").stamp = fresh;
+            return value;
+        }
+        let cost = arena_heap_bytes(&built);
+        let stamp = s.stamp_new(SlotKey::Arena(key));
+        s.arenas.insert(
+            key,
+            Slot {
+                value: Arc::clone(&built),
+                bytes: cost,
+                stamp,
+            },
+        );
+        s.bytes.arenas += cost;
+        if let Some(budget) = self.budget {
+            s.evict_over_budget(budget, stamp);
+        }
+        built
     }
 
     /// Lookups answered from the cache so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.lock().hits
     }
 
     /// Lookups that had to build.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.lock().misses
     }
 
-    /// Estimated bytes held per cache family (accumulated per entry at
-    /// insert time; the cache never evicts, so this only grows).
+    /// Entries evicted to stay within the byte budget (always 0 for an
+    /// unbounded cache).
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+
+    /// Estimated resident bytes per cache family. Accounted at insert,
+    /// reclaimed at eviction; with no budget this only grows.
     pub fn bytes(&self) -> CacheBytes {
-        CacheBytes {
-            reordered: self.reordered_bytes.load(Ordering::Relaxed),
-            plans: self.plan_bytes.load(Ordering::Relaxed),
-            arenas: self.arena_bytes.load(Ordering::Relaxed),
-            profiles: self.profile_bytes.load(Ordering::Relaxed),
+        self.lock().bytes
+    }
+
+    /// Number of resident entries across all families (the LRU index
+    /// length); primarily for tests and stats reporting.
+    pub fn resident_entries(&self) -> usize {
+        self.lock().lru.len()
+    }
+
+    /// Audits the incremental accounting against ground truth: under the
+    /// lock, recomputes per-family byte totals from the resident slots
+    /// and checks the LRU index is exactly the resident set. Panics on
+    /// any drift. O(resident entries); a test and diagnostics aid —
+    /// the stress suite calls it after concurrent insert+evict storms.
+    pub fn audit_accounting(&self) {
+        let s = self.lock();
+        let mut recomputed = CacheBytes::default();
+        let mut stamps: Vec<u64> = Vec::with_capacity(s.lru.len());
+        // determinism: allow (order-insensitive accounting audit)
+        for slot in s.reordered.values() {
+            recomputed.reordered += slot.bytes;
+            stamps.push(slot.stamp);
+        }
+        // determinism: allow (order-insensitive accounting audit)
+        for slot in s.plans.values() {
+            recomputed.plans += slot.bytes;
+            stamps.push(slot.stamp);
+        }
+        // determinism: allow (order-insensitive accounting audit)
+        for slot in s.arenas.values() {
+            recomputed.arenas += slot.bytes;
+            stamps.push(slot.stamp);
+        }
+        // determinism: allow (order-insensitive accounting audit)
+        for slot in s.profiles.values() {
+            recomputed.profiles += slot.bytes;
+            stamps.push(slot.stamp);
+        }
+        assert_eq!(
+            recomputed, s.bytes,
+            "accounted bytes drifted from resident slots"
+        );
+        assert_eq!(
+            s.lru.len(),
+            stamps.len(),
+            "LRU index length does not match resident entries"
+        );
+        for stamp in stamps {
+            assert!(
+                s.lru.contains_key(&stamp),
+                "resident slot stamp {stamp} missing from LRU index"
+            );
         }
     }
 }
@@ -346,5 +593,96 @@ mod tests {
         let b = cache.arena(key, || panic!("must hit"));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = MatrixCache::new();
+        assert_eq!(cache.budget(), None);
+        for i in 0..16u64 {
+            let m = gen::uniform(32, 32, 100 + i as usize, i);
+            cache.reordered(i, ReorderKind::None, || m);
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.resident_entries(), 16);
+    }
+
+    #[test]
+    fn budgeted_cache_evicts_lru_and_reclaims_bytes() {
+        let m = gen::uniform(64, 64, 300, 3);
+        let one = coo_heap_bytes(&m);
+        // room for exactly two reordered copies
+        let cache = MatrixCache::with_budget(2 * one);
+        assert_eq!(cache.budget(), Some(2 * one));
+        cache.reordered(1, ReorderKind::None, || m.clone());
+        cache.reordered(2, ReorderKind::None, || m.clone());
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.bytes().total(), 2 * one);
+        // key 1 is LRU → inserting key 3 evicts it
+        cache.reordered(3, ReorderKind::None, || m.clone());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.bytes().total(), 2 * one);
+        assert_eq!(cache.resident_entries(), 2);
+        // key 2 survived (hit), key 1 rebuilds (miss)
+        let before = cache.misses();
+        cache.reordered(2, ReorderKind::None, || panic!("must hit"));
+        cache.reordered(1, ReorderKind::None, || m.clone());
+        assert_eq!(cache.misses(), before + 1);
+    }
+
+    #[test]
+    fn touching_updates_lru_order() {
+        let m = gen::uniform(64, 64, 300, 3);
+        let one = coo_heap_bytes(&m);
+        let cache = MatrixCache::with_budget(2 * one);
+        cache.reordered(1, ReorderKind::None, || m.clone());
+        cache.reordered(2, ReorderKind::None, || m.clone());
+        // touch 1 so 2 becomes the LRU victim
+        cache.reordered(1, ReorderKind::None, || panic!("must hit"));
+        cache.reordered(3, ReorderKind::None, || m.clone());
+        cache.reordered(1, ReorderKind::None, || panic!("1 must survive"));
+        let before = cache.misses();
+        cache.reordered(2, ReorderKind::None, || m.clone());
+        assert_eq!(cache.misses(), before + 1, "2 must have been evicted");
+    }
+
+    #[test]
+    fn oversized_entry_still_caches_and_is_bounded_by_itself() {
+        let m = gen::uniform(64, 64, 300, 3);
+        let one = coo_heap_bytes(&m);
+        let cache = MatrixCache::with_budget(one / 2);
+        cache.reordered(1, ReorderKind::None, || m.clone());
+        // the oversized entry is protected from its own insert pass
+        assert_eq!(cache.resident_entries(), 1);
+        assert_eq!(cache.bytes().total(), one);
+        // ... but is evicted by the next insert
+        cache.reordered(2, ReorderKind::None, || m.clone());
+        assert_eq!(cache.resident_entries(), 1);
+        assert!(cache.evictions() >= 1);
+        let miss_before = cache.misses();
+        cache.reordered(1, ReorderKind::None, || m.clone());
+        assert_eq!(cache.misses(), miss_before + 1);
+    }
+
+    #[test]
+    fn eviction_crosses_families_by_global_lru() {
+        let m = gen::uniform(64, 64, 300, 3);
+        let coo = coo_heap_bytes(&m);
+        let arena = arena_heap_bytes(&MatrixArena::from_coo(&m));
+        assert!(coo <= arena, "test relies on arena >= coo");
+        let cache = MatrixCache::with_budget(2 * arena);
+        cache.arena(1, || MatrixArena::from_coo(&m));
+        cache.reordered(1, ReorderKind::None, || m.clone());
+        assert_eq!(cache.evictions(), 0);
+        // inserting a new arena evicts the globally-oldest entry — the
+        // first arena — not the younger reordered matrix in the other
+        // family
+        cache.arena(2, || MatrixArena::from_coo(&m));
+        assert_eq!(cache.evictions(), 1);
+        cache.reordered(1, ReorderKind::None, || panic!("reordered 1 must survive"));
+        let before = cache.misses();
+        cache.arena(1, || MatrixArena::from_coo(&m));
+        assert_eq!(cache.misses(), before + 1, "arena 1 must be evicted");
+        assert!(cache.bytes().total() <= 2 * arena + coo);
     }
 }
