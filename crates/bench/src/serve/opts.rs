@@ -6,7 +6,7 @@ use std::path::PathBuf;
 
 use crate::serve::loadgen::{parse_set, LoadgenConfig};
 use crate::serve::proto::MAX_FRAME_DEFAULT;
-use crate::serve::server::ServeConfig;
+use crate::serve::server::{ServeConfig, DATASET_SLOTS_DEFAULT};
 
 /// Parsed `sparsepipe-serve` options.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +69,14 @@ pub fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
                     .filter(|&v: &usize| v >= 64)
                     .ok_or("--max-frame needs a byte limit of at least 64")?;
             }
+            "--dataset-slots" => {
+                i += 1;
+                opts.config.dataset_slots = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v: &usize| v > 0)
+                    .ok_or("--dataset-slots needs a positive integer")?;
+            }
             "--help" | "-h" => opts.help = true,
             flag => return Err(format!("unknown flag: {flag}")),
         }
@@ -81,10 +89,11 @@ pub fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
 pub fn serve_usage() -> String {
     format!(
         "usage: sparsepipe-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--cache-bytes BYTES] [--max-frame BYTES]\n\
+         [--cache-bytes BYTES] [--max-frame BYTES] [--dataset-slots N]\n\
          defaults: --addr 127.0.0.1:0 (ephemeral; the bound address is printed), \
          --workers 0 (all cores), --queue-depth 64, unbounded cache, \
-         --max-frame {MAX_FRAME_DEFAULT}\n\
+         --max-frame {MAX_FRAME_DEFAULT}, \
+         --dataset-slots {DATASET_SLOTS_DEFAULT} (LRU cap on warm (matrix, scale) datasets)\n\
          The daemon prints `listening on <addr>` once ready and serves until a wire \
          shutdown request, then drains admitted work and exits."
     )
@@ -199,9 +208,11 @@ mod tests {
         assert_eq!(d.config.queue_depth, 64);
         assert_eq!(d.config.cache_bytes, None);
         assert_eq!(d.config.max_frame, MAX_FRAME_DEFAULT);
+        assert_eq!(d.config.dataset_slots, DATASET_SLOTS_DEFAULT);
         assert!(!d.help);
         let o = parse_serve(&args(
-            "--addr 0.0.0.0:7341 --workers 3 --queue-depth 16 --cache-bytes 1000000 --max-frame 4096",
+            "--addr 0.0.0.0:7341 --workers 3 --queue-depth 16 --cache-bytes 1000000 --max-frame 4096 \
+             --dataset-slots 4",
         ))
         .unwrap();
         assert_eq!(o.config.addr, "0.0.0.0:7341");
@@ -209,6 +220,7 @@ mod tests {
         assert_eq!(o.config.queue_depth, 16);
         assert_eq!(o.config.cache_bytes, Some(1_000_000));
         assert_eq!(o.config.max_frame, 4096);
+        assert_eq!(o.config.dataset_slots, 4);
         assert!(parse_serve(&args("--help")).unwrap().help);
         assert!(serve_usage().contains("listening on"));
     }
@@ -220,6 +232,7 @@ mod tests {
         assert!(parse_serve(&args("--queue-depth 0")).is_err());
         assert!(parse_serve(&args("--cache-bytes 0")).is_err());
         assert!(parse_serve(&args("--max-frame 1")).is_err());
+        assert!(parse_serve(&args("--dataset-slots 0")).is_err());
         assert!(parse_serve(&args("--frobnicate")).is_err());
         assert!(parse_serve(&args("positional")).is_err());
     }

@@ -12,7 +12,7 @@
 //! [`codes::DRAINING`](crate::serve::wire::codes::DRAINING) response,
 //! rather than blocking the client's reader thread.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a push was refused.
@@ -34,6 +34,27 @@ struct Lanes<T> {
     cursor: usize,
     len: usize,
     draining: bool,
+    /// Clients whose connection is gone but whose lane still holds
+    /// items: the lane is removed once its last item pops, so departed
+    /// clients never leak lanes under connection churn.
+    departed: HashSet<u64>,
+}
+
+impl<T> Lanes<T> {
+    /// Removes the lane at `i`, keeping the round-robin cursor on the
+    /// lane that was next in service order.
+    fn remove_lane(&mut self, i: usize) {
+        let (client, _) = self.lanes.remove(i);
+        self.departed.remove(&client);
+        if i < self.cursor {
+            self.cursor -= 1;
+        }
+        if self.lanes.is_empty() {
+            self.cursor = 0;
+        } else {
+            self.cursor %= self.lanes.len();
+        }
+    }
 }
 
 /// A bounded, draining-aware, client-fair MPMC queue.
@@ -53,6 +74,7 @@ impl<T> AdmissionQueue<T> {
                 cursor: 0,
                 len: 0,
                 draining: false,
+                departed: HashSet::new(),
             }),
             ready: Condvar::new(),
             depth_cap,
@@ -104,6 +126,9 @@ impl<T> AdmissionQueue<T> {
                     if let Some(item) = s.lanes[i].1.pop_front() {
                         s.cursor = (i + 1) % lanes;
                         s.len -= 1;
+                        if s.lanes[i].1.is_empty() && s.departed.contains(&s.lanes[i].0) {
+                            s.remove_lane(i);
+                        }
                         return Some(item);
                     }
                 }
@@ -121,6 +146,26 @@ impl<T> AdmissionQueue<T> {
     pub fn drain(&self) {
         self.lock().draining = true;
         self.ready.notify_all();
+    }
+
+    /// Releases `client`'s lane: immediately if it is empty, otherwise
+    /// once its last queued item pops. Call when the client's
+    /// connection goes away so churned clients do not accumulate lanes.
+    pub fn remove_client(&self, client: u64) {
+        let mut s = self.lock();
+        if let Some(i) = s.lanes.iter().position(|(c, _)| *c == client) {
+            if s.lanes[i].1.is_empty() {
+                s.remove_lane(i);
+            } else {
+                s.departed.insert(client);
+            }
+        }
+    }
+
+    /// Lanes currently tracked (live clients plus departed clients with
+    /// undrained items) — an observability hook for leak tests.
+    pub fn lane_count(&self) -> usize {
+        self.lock().lanes.len()
     }
 
     /// Items admitted but not yet popped.
@@ -178,6 +223,65 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None, "drained queue stays terminal");
+    }
+
+    #[test]
+    fn remove_client_releases_empty_lanes_immediately() {
+        let q = AdmissionQueue::new(8);
+        q.push(1, 'a').unwrap();
+        q.push(2, 'b').unwrap();
+        q.pop().unwrap();
+        q.pop().unwrap();
+        assert_eq!(q.lane_count(), 2, "drained lanes persist for live clients");
+        q.remove_client(1);
+        assert_eq!(q.lane_count(), 1);
+        q.remove_client(2);
+        assert_eq!(q.lane_count(), 0);
+        // removing an unknown client is a no-op
+        q.remove_client(99);
+        assert_eq!(q.lane_count(), 0);
+    }
+
+    #[test]
+    fn departed_client_lane_drains_then_disappears() {
+        let q = AdmissionQueue::new(8);
+        q.push(1, 'a').unwrap();
+        q.push(1, 'b').unwrap();
+        q.push(2, 'c').unwrap();
+        // client 1 disconnects with items still queued: the lane stays
+        // until its backlog drains, then vanishes on the last pop
+        q.remove_client(1);
+        assert_eq!(q.lane_count(), 2);
+        while q.pop().is_some() {
+            if q.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(q.lane_count(), 1, "only live client 2's lane remains");
+        // fairness still works afterwards
+        q.push(2, 'd').unwrap();
+        q.push(3, 'e').unwrap();
+        assert_eq!(q.pop(), Some('d'));
+        assert_eq!(q.pop(), Some('e'));
+    }
+
+    #[test]
+    fn lane_removal_keeps_round_robin_order() {
+        let q = AdmissionQueue::new(16);
+        for client in 1..=3u64 {
+            q.push(client, (client, 0)).unwrap();
+            q.push(client, (client, 1)).unwrap();
+        }
+        // client 2 departs mid-backlog; service order must stay fair
+        // across the survivors once its lane drains
+        q.remove_client(2);
+        let order: Vec<(u64, i32)> = (0..6).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(
+            order,
+            vec![(1, 0), (2, 0), (3, 0), (1, 1), (2, 1), (3, 1)],
+            "departure must not skip or reorder queued work"
+        );
+        assert_eq!(q.lane_count(), 2);
     }
 
     #[test]

@@ -49,7 +49,17 @@ pub struct ServeConfig {
     pub cache_bytes: Option<u64>,
     /// Per-frame size limit for reads.
     pub max_frame: usize,
+    /// Distinct `(matrix, scale)` datasets kept warm at once
+    /// (`--dataset-slots`); least-recently-used datasets beyond the cap
+    /// are dropped, so clients sweeping many scales cannot grow daemon
+    /// memory without bound. Clamped to at least 1.
+    pub dataset_slots: usize,
 }
+
+/// Default [`ServeConfig::dataset_slots`]: enough for the full
+/// nine-matrix set at one scale plus headroom for a second scale in
+/// flight.
+pub const DATASET_SLOTS_DEFAULT: usize = 16;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -59,9 +69,14 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_bytes: None,
             max_frame: MAX_FRAME_DEFAULT,
+            dataset_slots: DATASET_SLOTS_DEFAULT,
         }
     }
 }
+
+/// The warm-dataset LRU list: `(matrix, scale)` keys with their built
+/// datasets, most-recently-used last.
+type WarmDatasets = Vec<((MatrixId, u64), Arc<ScaledDataset>)>;
 
 /// One admitted evaluation: what to run and where to write the answer.
 #[derive(Debug)]
@@ -76,10 +91,11 @@ struct Shared {
     max_frame: usize,
     workers: u64,
     cache: Arc<MatrixCache>,
-    /// Warm datasets, one per `(matrix, scale)` ever requested (keyed
-    /// lookups only; the synthetic generator is pure, so first-insert
-    /// wins is safe).
-    datasets: Mutex<HashMap<(MatrixId, u64), Arc<ScaledDataset>>>,
+    /// Warm datasets in LRU order (most-recent last), at most
+    /// `dataset_slots` of them. Evicting only drops the map's `Arc`;
+    /// in-flight jobs keep theirs, so eviction never races evaluation.
+    datasets: Mutex<WarmDatasets>,
+    dataset_slots: usize,
     queue: AdmissionQueue<Job>,
     served: AtomicU64,
     failed: AtomicU64,
@@ -87,8 +103,14 @@ struct Shared {
     shutdown: AtomicBool,
     gate: Mutex<bool>,
     gate_cv: Condvar,
-    conns: Mutex<Vec<Arc<Mutex<TcpStream>>>>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Write halves of live connections, keyed by client id. Entries
+    /// are registered by the acceptor *before* the reader thread spawns
+    /// (so a shutdown sweep can never miss one) and removed when the
+    /// connection's reader exits.
+    conns: Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>,
+    /// Reader join handles by client id; the acceptor reaps finished
+    /// ones each pass so connection churn does not accumulate handles.
+    readers: Mutex<HashMap<u64, JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -114,24 +136,37 @@ impl Shared {
         }
     }
 
+    /// Looks up `key` in the LRU dataset list, refreshing its recency.
+    fn dataset_cached(&self, key: (MatrixId, u64)) -> Option<Arc<ScaledDataset>> {
+        let mut warm = self.datasets.lock().unwrap_or_else(PoisonError::into_inner);
+        let i = warm.iter().position(|(k, _)| *k == key)?;
+        let entry = warm.remove(i);
+        let dataset = Arc::clone(&entry.1);
+        warm.push(entry);
+        Some(dataset)
+    }
+
     fn dataset(&self, id: MatrixId, scale: u64) -> Arc<ScaledDataset> {
-        if let Some(d) = self
-            .datasets
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(&(id, scale))
-        {
-            return Arc::clone(d);
+        let key = (id, scale);
+        if let Some(d) = self.dataset_cached(key) {
+            return d;
         }
-        // build outside the lock (generation is pure; first insert wins)
+        // build outside the lock (generation is pure; a duplicate
+        // concurrent build is wasted work, not incorrectness)
         let built = Arc::new(ScaledDataset::load(id, scale));
-        Arc::clone(
-            self.datasets
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .entry((id, scale))
-                .or_insert(built),
-        )
+        let mut warm = self.datasets.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(i) = warm.iter().position(|(k, _)| *k == key) {
+            // another worker won the race; keep its copy warm
+            let entry = warm.remove(i);
+            let dataset = Arc::clone(&entry.1);
+            warm.push(entry);
+            return dataset;
+        }
+        warm.push((key, Arc::clone(&built)));
+        if warm.len() > self.dataset_slots {
+            warm.remove(0);
+        }
+        built
     }
 }
 
@@ -154,20 +189,16 @@ fn error_response(id: u64, code: &str, message: String, attempts: u32) -> Respon
 
 fn handle_job(shared: &Shared, job: Job) {
     let Job { id, spec, out } = job;
-    let Some(matrix) = spec.matrix_id() else {
-        shared.failed.fetch_add(1, Ordering::Relaxed);
-        respond(
-            &out,
-            &error_response(
-                id,
-                "dataset",
-                format!("unknown matrix code `{}`", spec.matrix),
-                0,
-            ),
-        );
-        return;
+    // Admission already validated the spec; re-validate for belt and
+    // braces (the check is cheap and the worker must never panic).
+    let matrix = match spec.validate() {
+        Ok(matrix) => matrix,
+        Err((code, message)) => {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            respond(&out, &error_response(id, code, message, 0));
+            return;
+        }
     };
-    let dataset = shared.dataset(matrix, spec.scale);
     let retry = RetryPolicy {
         max_attempts: spec.retries.saturating_add(1),
         backoff_base_ms: 0,
@@ -177,6 +208,10 @@ fn handle_job(shared: &Shared, job: Job) {
         &retry,
         || spec.key(),
         |_attempt| {
+            // dataset build runs under catch_unwind too: a panic while
+            // generating becomes a `panic` error response, never worker
+            // death
+            let dataset = shared.dataset(matrix, spec.scale);
             spec.run_local(&dataset, &shared.cache)
                 .map(|o| o.evaluation)
         },
@@ -207,18 +242,12 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn serve_connection(shared: &Shared, stream: TcpStream, client: u64) {
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let writer = Arc::new(Mutex::new(write_half));
-    shared
-        .conns
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .push(Arc::clone(&writer));
-    let mut reader = stream;
+fn serve_connection(
+    shared: &Shared,
+    mut reader: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    client: u64,
+) {
     // loop until clean close, torn stream, or our own shutdown closing
     // the socket — the connection is done either way
     while let Ok(Some(text)) = read_frame(&mut reader, shared.max_frame) {
@@ -242,6 +271,14 @@ fn serve_connection(shared: &Shared, stream: TcpStream, client: u64) {
                 shared.begin_shutdown();
             }
             Ok(Request::Eval { id, spec }) => {
+                // refuse hostile specs here, before they are queued:
+                // an out-of-range scale would otherwise panic dataset
+                // generation on a worker
+                if let Err((code, message)) = spec.validate() {
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    respond(&writer, &error_response(id, code, message, 0));
+                    continue;
+                }
                 let job = Job {
                     id,
                     spec,
@@ -263,25 +300,63 @@ fn serve_connection(shared: &Shared, stream: TcpStream, client: u64) {
             }
         }
     }
+    // reclaim this connection's state: drop the write half (and its fd)
+    // and release the client's admission lane. The reader handle is
+    // reaped by the acceptor (a thread cannot join itself).
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&client);
+    shared.queue.remove_client(client);
+}
+
+/// Joins every finished reader thread, dropping its handle.
+fn reap_finished_readers(readers: &Mutex<HashMap<u64, JoinHandle<()>>>) {
+    let mut readers = readers.lock().unwrap_or_else(PoisonError::into_inner);
+    let finished: Vec<u64> = readers
+        .iter()
+        .filter(|(_, handle)| handle.is_finished())
+        .map(|(client, _)| *client)
+        .collect();
+    for client in finished {
+        if let Some(handle) = readers.remove(&client) {
+            let _ = handle.join();
+        }
+    }
 }
 
 fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     let mut next_client = 0u64;
     while !shared.shutdown.load(Ordering::SeqCst) {
+        reap_finished_readers(&shared.readers);
         match listener.accept() {
             Ok((stream, _peer)) => {
                 next_client += 1;
                 let client = next_client;
+                let _ = stream.set_nodelay(true);
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let writer = Arc::new(Mutex::new(write_half));
+                // register the write half before the reader exists so a
+                // concurrent shutdown sweep always sees (and closes)
+                // this connection
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(client, Arc::clone(&writer));
                 let conn_shared = Arc::clone(shared);
                 let handle = std::thread::Builder::new()
                     .name(format!("serve-conn-{client}"))
-                    .spawn(move || serve_connection(&conn_shared, stream, client))
+                    .spawn(move || serve_connection(&conn_shared, stream, writer, client))
                     .expect("spawn connection reader");
                 shared
                     .readers
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
-                    .push(handle);
+                    .insert(client, handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 // nonblocking accept doubles as the shutdown poll
@@ -326,7 +401,8 @@ impl Server {
             max_frame: cfg.max_frame,
             workers: worker_count as u64,
             cache,
-            datasets: Mutex::new(HashMap::new()),
+            datasets: Mutex::new(Vec::new()),
+            dataset_slots: cfg.dataset_slots.max(1),
             queue: AdmissionQueue::new(cfg.queue_depth),
             served: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -334,8 +410,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             gate: Mutex::new(false),
             gate_cv: Condvar::new(),
-            conns: Mutex::new(Vec::new()),
-            readers: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            readers: Mutex::new(HashMap::new()),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -372,6 +448,42 @@ impl Server {
     /// A point-in-time sample of the daemon's counters.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
+    }
+
+    /// Live connections currently tracked (write halves held). An
+    /// observability hook: under connection churn this must return to
+    /// zero once clients disconnect — see `serve_e2e`'s leak test.
+    pub fn open_connections(&self) -> usize {
+        self.shared
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Reader thread handles not yet reaped by the acceptor.
+    pub fn tracked_readers(&self) -> usize {
+        self.shared
+            .readers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Admission lanes currently tracked (live clients plus departed
+    /// clients with undrained items).
+    pub fn queue_lanes(&self) -> usize {
+        self.shared.queue.lane_count()
+    }
+
+    /// Distinct `(matrix, scale)` datasets currently warm — bounded by
+    /// [`ServeConfig::dataset_slots`].
+    pub fn warm_datasets(&self) -> usize {
+        self.shared
+            .datasets
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Blocks until a shutdown is requested (wire frame or
@@ -416,7 +528,8 @@ impl Server {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner),
         );
-        for conn in conns {
+        // determinism: allow (teardown order of closed sockets is unobservable)
+        for conn in conns.into_values() {
             let stream = conn.lock().unwrap_or_else(PoisonError::into_inner);
             let _ = stream.shutdown(Shutdown::Both);
         }
@@ -427,7 +540,8 @@ impl Server {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner),
         );
-        for reader in readers {
+        // determinism: allow (join order of exiting reader threads is unobservable)
+        for reader in readers.into_values() {
             let _ = reader.join();
         }
     }

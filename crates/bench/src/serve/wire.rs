@@ -133,6 +133,35 @@ impl EvalSpec {
             .find(|m| m.code() == self.matrix)
     }
 
+    /// Admission-time validation: the spec names a known matrix and a
+    /// scale the dataset generator accepts. The daemon runs this before
+    /// queueing, so a hostile spec (`scale: 0`, `scale: u64::MAX`) is
+    /// refused with a stable error response instead of panicking a
+    /// worker during dataset generation.
+    ///
+    /// # Errors
+    ///
+    /// The stable wire `code` (the `dataset` family) and a
+    /// human-readable message.
+    pub fn validate(&self) -> Result<MatrixId, (&'static str, String)> {
+        let Some(id) = self.matrix_id() else {
+            return Err(("dataset", format!("unknown matrix code `{}`", self.matrix)));
+        };
+        let spec = id.spec();
+        if !spec.supports_scale(self.scale) {
+            return Err((
+                "dataset",
+                format!(
+                    "scale {} out of range for `{}` (valid: 1..={})",
+                    self.scale,
+                    self.matrix,
+                    spec.max_scale()
+                ),
+            ));
+        }
+        Ok(id)
+    }
+
     /// Runs this spec in-process — the exact code path the daemon's
     /// workers execute per request, exposed so serial evaluation and a
     /// network round-trip are the same computation. `dataset` must be

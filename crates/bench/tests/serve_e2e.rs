@@ -186,6 +186,106 @@ fn evaluation_failures_carry_their_bench_error_codes() {
 }
 
 #[test]
+fn hostile_scales_are_refused_and_cannot_kill_workers() {
+    // one worker: if a hostile request panicked it uncaught, the daemon
+    // could never answer again and the healthy eval below would time out
+    let server = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .unwrap();
+    // scale 0 and oversized scales panic DatasetSpec::generate if they
+    // ever reach it; admission must refuse them with a stable code
+    for hostile in [0, u64::MAX, 1u64 << 40] {
+        match client.eval(&EvalSpec::new("pr", "ca", hostile)) {
+            Err(ClientError::Server {
+                code, attempts, ..
+            }) => {
+                assert_eq!(code, "dataset", "scale {hostile}");
+                assert_eq!(attempts, 0, "refused before any attempt ran");
+            }
+            other => panic!("expected a dataset refusal for scale {hostile}, got {other:?}"),
+        }
+    }
+    // the lone worker is still alive and serving
+    client
+        .eval(&EvalSpec::new("pr", "ca", SCALE))
+        .expect("healthy eval after hostile requests");
+    let stats = server.stats();
+    assert_eq!(stats.failed, 3);
+    assert_eq!(stats.served, 1);
+    server.shutdown();
+}
+
+#[test]
+fn connection_churn_reclaims_all_per_connection_state() {
+    let server = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    for _ in 0..12 {
+        let mut client = ServeClient::connect(addr).expect("connect");
+        client
+            .eval(&EvalSpec::new("pr", "ca", SCALE))
+            .expect("eval");
+        // client drops here, closing its socket
+    }
+    // the acceptor reaps on its ~20ms poll; give it a bounded moment
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let (conns, readers, lanes) = (
+            server.open_connections(),
+            server.tracked_readers(),
+            server.queue_lanes(),
+        );
+        if conns == 0 && readers == 0 && lanes == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "per-connection state leaked after churn: \
+             {conns} conns, {readers} reader handles, {lanes} queue lanes"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(server.stats().served, 12);
+    server.shutdown();
+}
+
+#[test]
+fn warm_datasets_stay_bounded_under_scale_sweeps() {
+    let server = start(ServeConfig {
+        workers: 2,
+        dataset_slots: 3,
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    // 12 distinct (matrix, scale) datasets against 3 slots; all scales
+    // keep `ca` tiny (≈36 rows), so this is cheap
+    for scale in SCALE..SCALE + 12 {
+        client
+            .eval(&EvalSpec::new("pr", "ca", scale))
+            .expect("eval at distinct scale");
+        assert!(
+            server.warm_datasets() <= 3,
+            "dataset map exceeded its slot cap at scale {scale}: {}",
+            server.warm_datasets()
+        );
+    }
+    // a repeat of the most recent scale is still warm
+    let before = server.warm_datasets();
+    client
+        .eval(&EvalSpec::new("pr", "ca", SCALE + 11))
+        .expect("warm repeat");
+    assert_eq!(server.warm_datasets(), before);
+    server.shutdown();
+}
+
+#[test]
 fn draining_daemon_rejects_new_work_then_disconnects_cleanly() {
     let server = start(ServeConfig {
         workers: 1,

@@ -231,6 +231,21 @@ impl DatasetSpec {
         gen::locality_mix(rows, nnz, self.mix, seed)
     }
 
+    /// The largest scale divisor [`DatasetSpec::generate`] accepts for
+    /// this matrix — beyond it the scaled matrix would be degenerate
+    /// (< 16 rows).
+    pub fn max_scale(&self) -> u64 {
+        self.rows / 16
+    }
+
+    /// Whether [`DatasetSpec::generate`] accepts `scale` — the
+    /// non-panicking admission check for callers handling untrusted
+    /// scales (the serve daemon validates wire requests with this
+    /// before any generation work is queued).
+    pub fn supports_scale(&self, scale: u64) -> bool {
+        scale > 0 && scale <= self.max_scale()
+    }
+
     /// On-chip buffer bytes that preserve the paper's buffer-to-footprint
     /// ratio at the given scale (64 MB at `scale = 1`).
     pub fn scaled_buffer_bytes(scale: u64) -> usize {
@@ -308,5 +323,19 @@ mod tests {
     #[should_panic(expected = "scale divisor")]
     fn zero_scale_panics() {
         MatrixId::Ca.spec().generate(0);
+    }
+
+    #[test]
+    fn supports_scale_mirrors_generate_exactly() {
+        let spec = MatrixId::Ca.spec();
+        assert!(!spec.supports_scale(0));
+        assert!(spec.supports_scale(1));
+        let max = spec.max_scale();
+        assert!(spec.supports_scale(max));
+        assert!(!spec.supports_scale(max + 1));
+        assert!(!spec.supports_scale(u64::MAX));
+        // the boundary check must agree with generate's assertions
+        assert!(spec.generate(max).nrows() >= 16);
+        assert!(std::panic::catch_unwind(|| spec.generate(max + 1)).is_err());
     }
 }
