@@ -4,7 +4,7 @@
 //! Each module expresses one application's inner loop as a tensor dataflow
 //! graph through the `sparsepipe-frontend` builder, provides input
 //! bindings for functional execution, and carries a scalar reference
-//! implementation in its tests. The applications, their `vxm` semirings,
+//! implementation in its tests. The applications, their semirings,
 //! and their reuse patterns follow Table III:
 //!
 //! | app | semiring | reuse | domain |
@@ -24,13 +24,23 @@
 //! (The paper's §V-B text says "10 applications"; Table III lists 11. We
 //! implement all 11 and follow the table.)
 //!
+//! Beyond Table III, the `mxm` (SpGEMM) workload family adds four
+//! matrix-times-matrix applications over the same registry surface:
+//!
+//! | app | semiring | reuse | domain |
+//! |---|---|---|---|
+//! | [`msbfs`] | And-Or | cross-iteration + producer-consumer | graph analytics |
+//! | [`tri`] | Mul-Add | producer-consumer only | graph analytics |
+//! | [`mcl`] | Mul-Add | producer-consumer only | clustering |
+//! | [`gcnw`] | Mul-Add | cross-iteration + producer-consumer | machine learning |
+//!
 //! # Example
 //!
 //! ```
 //! use sparsepipe_apps::registry;
 //!
 //! let apps = registry::all();
-//! assert_eq!(apps.len(), 11);
+//! assert_eq!(apps.len(), 15);
 //! let pr = registry::by_name("pr").unwrap();
 //! let program = pr.compile().unwrap();
 //! assert!(program.profile.has_oei);
@@ -43,14 +53,18 @@ pub mod bfs;
 pub mod bicgstab;
 pub mod cg;
 pub mod gcn;
+pub mod gcnw;
 pub mod gmres;
 pub mod kcore;
 pub mod knn;
 pub mod kpp;
 pub mod label;
+pub mod mcl;
+pub mod msbfs;
 pub mod pagerank;
 pub mod registry;
 pub mod sssp;
+pub mod tri;
 
 use sparsepipe_frontend::interp::Bindings;
 use sparsepipe_frontend::{compile, DataflowGraph, FrontendError, SparsepipeProgram};
@@ -60,11 +74,11 @@ use sparsepipe_tensor::CooMatrix;
 /// Application domain (Table III's last column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Domain {
-    /// Graph analytics (pr, kcore, bfs, sssp).
+    /// Graph analytics (pr, kcore, bfs, sssp, msbfs, tri).
     GraphAnalytics,
-    /// Clustering (kpp, knn, label).
+    /// Clustering (kpp, knn, label, mcl).
     Clustering,
-    /// Machine learning (gcn, gmres).
+    /// Machine learning (gcn, gmres, gcnw).
     MachineLearning,
     /// Solvers / HPC (cg, bgs).
     Solver,
@@ -96,6 +110,15 @@ pub struct StaApp {
     pub feature_dim: usize,
     /// Default loop iterations for experiments.
     pub default_iterations: usize,
+    /// Smallest matrix row count the app's bindings are meaningful on.
+    ///
+    /// The `mxm`-family apps seed multi-source frontiers, weight bands,
+    /// or flow matrices that degenerate on tiny graphs, so dataset
+    /// admission (`sparsepipe-bench`'s `EvalSpec::validate`) rejects
+    /// scales whose downsampled row count falls below this floor. The
+    /// Table-III `vxm` apps accept any matrix the generators produce
+    /// (`min_rows: 1`).
+    pub min_rows: u32,
     /// Produces interpreter bindings for a given matrix.
     pub bindings_fn: fn(&CooMatrix) -> Bindings,
 }

@@ -1,0 +1,187 @@
+//! Markov clustering (`mcl`), the expansion/inflation fixpoint
+//! iteration of van Dongen's MCL process, in unnormalized form.
+//!
+//! Inner loop:
+//!
+//! ```text
+//! S  = M ·(+,×) M     (expansion: random-walk flow spreads)
+//! M' = S ⊙ S          (inflation with r = 2: strong flow is amplified)
+//! ```
+//!
+//! The evolving flow matrix `M` is both operands of the SpGEMM, so
+//! *nothing* in the loop is stationary across iterations: there is no
+//! cross-iteration OEI to exploit, only producer/consumer overlap
+//! between the expansion stage and the element-wise inflation. That
+//! makes `mcl` the control workload for the mxm family — the analyzer
+//! and simulator must not credit reuse here.
+//!
+//! Bindings canonicalize the graph MCL-style: symmetrize, binarize, and
+//! add self-loops, so flow values stay small non-negative integers and
+//! the scalar reference is exact in `f64`.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+use sparsepipe_tensor::CooMatrix;
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Builds the Markov-clustering application.
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let m = b.input_matrix("M");
+    let sq = b.mxm(m, m, SemiringOp::MulAdd).expect("valid graph");
+    let infl = b
+        .ewise_matrix(EwiseBinary::Mul, sq, sq)
+        .expect("valid graph");
+    b.carry(infl, m).expect("valid carry");
+    StaApp {
+        name: "mcl",
+        semiring: SemiringOp::MulAdd,
+        reuse: ReusePattern::ProducerConsumer,
+        domain: Domain::Clustering,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        min_rows: 32,
+        bindings_fn: bindings,
+    }
+}
+
+/// Canonicalizes `m` MCL-style: symmetric, binary, self-loops on every
+/// vertex.
+pub fn canonical_flow(m: &CooMatrix) -> CooMatrix {
+    let n = m.nrows();
+    let mut edges = std::collections::BTreeSet::new();
+    for &(r, c, v) in m.entries() {
+        if v != 0.0 {
+            edges.insert((r, c));
+            edges.insert((c, r));
+        }
+    }
+    for i in 0..n {
+        edges.insert((i, i));
+    }
+    let entries: Vec<(u32, u32, f64)> = edges.into_iter().map(|(r, c)| (r, c, 1.0)).collect();
+    CooMatrix::from_entries(n, n, entries).expect("canonical coordinates in range")
+}
+
+/// Bindings: `M` starts as the canonicalized flow matrix.
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let mut b = Bindings::new();
+    b.insert("M".into(), Value::sparse(&canonical_flow(m)));
+    b
+}
+
+/// Scalar reference: dense expansion/inflation for `iters` rounds.
+/// All values are non-negative integers, so the dense sums are exact in
+/// `f64` as long as they stay below 2^53 — keep `iters` small.
+pub fn reference(m: &CooMatrix, iters: usize) -> Vec<Vec<f64>> {
+    let n = m.nrows() as usize;
+    let mut cur = vec![vec![0.0f64; n]; n];
+    for &(r, c, v) in canonical_flow(m).entries() {
+        cur[r as usize][c as usize] = v;
+    }
+    for _ in 0..iters {
+        let mut sq = vec![vec![0.0f64; n]; n];
+        for (i, row) in cur.iter().enumerate() {
+            for (k, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    for j in 0..n {
+                        sq[i][j] += v * cur[k][j];
+                    }
+                }
+            }
+        }
+        for row in &mut sq {
+            for v in row.iter_mut() {
+                *v *= *v;
+            }
+        }
+        cur = sq;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    fn dense_of(v: &Value, n: usize) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; n]; n];
+        match v {
+            Value::Sparse(s) => {
+                for &(r, c, x) in s.to_coo().entries() {
+                    d[r as usize][c as usize] = x;
+                }
+            }
+            other => panic!("M must stay sparse, got {other:?}"),
+        }
+        d
+    }
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::uniform(40, 40, 120, 21);
+        let app = app(2);
+        let out = interp::run(&app.graph, &app.bindings(&m), 2).unwrap();
+        assert_eq!(dense_of(&out["M"], 40), reference(&m, 2));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index pairs mirror the block structure
+    fn two_cliques_stay_separated() {
+        // Two disconnected triangles: flow never crosses components.
+        let mut entries = Vec::new();
+        for base in [0u32, 3] {
+            for i in 0..3u32 {
+                for j in 0..3u32 {
+                    if i != j {
+                        entries.push((base + i, base + j, 1.0));
+                    }
+                }
+            }
+        }
+        let m = CooMatrix::from_entries(6, 6, entries).unwrap();
+        let app = app(3);
+        let out = interp::run(&app.graph, &app.bindings(&m), 3).unwrap();
+        let d = dense_of(&out["M"], 6);
+        for i in 0..3 {
+            for j in 3..6 {
+                assert_eq!(d[i][j], 0.0, "flow leaked {i} -> {j}");
+                assert_eq!(d[j][i], 0.0, "flow leaked {j} -> {i}");
+            }
+        }
+        // Within a clique, every pair keeps positive flow.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(d[i][j] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_keep_the_diagonal_positive() {
+        let m = gen::uniform(32, 32, 96, 5);
+        let app = app(1);
+        let out = interp::run(&app.graph, &app.bindings(&m), 1).unwrap();
+        let d = dense_of(&out["M"], 32);
+        for (i, row) in d.iter().enumerate() {
+            assert!(row[i] > 0.0, "diagonal vanished at {i}");
+        }
+    }
+
+    #[test]
+    fn compiles_as_producer_consumer_without_oei() {
+        let program = app(10).compile().unwrap();
+        assert!(
+            !program.profile.has_oei,
+            "both mxm operands evolve, so no operand is stationary"
+        );
+        assert!(!program.profile.cross_iteration);
+        assert_eq!(program.profile.mxm_passes, 1);
+        assert_eq!(program.profile.ewise_matrix_passes, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Multi-source breadth-first search (`msbfs`) over the Boolean
+//! (And-Or) semiring — the first `mxm`-family workload.
+//!
+//! Inner loop:
+//!
+//! ```text
+//! F' = F ∧/∨ A        (one mxm hop: row s of F is source s's frontier)
+//! ```
+//!
+//! A batch of sources explores the graph simultaneously: `F` is an
+//! `n × n` sparse Boolean matrix whose row `s` holds source `s`'s
+//! current frontier, and one `mxm` against the stationary adjacency
+//! advances every frontier a hop. The adjacency is a loop constant, so
+//! consecutive hops admit cross-iteration OEI: one sweep of `A`'s rows
+//! serves two hops.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::SemiringOp;
+use sparsepipe_tensor::CooMatrix;
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Number of simultaneous sources (vertices `0..SOURCES`, clamped to n).
+pub const SOURCES: u32 = 4;
+
+/// Builds the multi-source BFS application.
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let f = b.input_matrix("F");
+    let a = b.constant_matrix("A");
+    let next = b.mxm(f, a, SemiringOp::AndOr).expect("valid graph");
+    b.carry(next, f).expect("valid carry");
+    StaApp {
+        name: "msbfs",
+        semiring: SemiringOp::AndOr,
+        reuse: ReusePattern::CrossIteration,
+        domain: Domain::GraphAnalytics,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        min_rows: 32,
+        bindings_fn: bindings,
+    }
+}
+
+/// Bindings: `F` seeds row `s` with `{s}` for each source, `A` is the
+/// graph.
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let n = m.nrows();
+    let seeds: Vec<(u32, u32, f64)> = (0..SOURCES.min(n)).map(|s| (s, s, 1.0)).collect();
+    let f = CooMatrix::from_entries(n, n, seeds).expect("seed coordinates in range");
+    let mut b = Bindings::new();
+    b.insert("F".into(), Value::sparse(&f));
+    b.insert("A".into(), Value::sparse(m));
+    b
+}
+
+/// Scalar reference: per-source frontier sets after `hops` unmasked
+/// Boolean hops (`frontiers[s]` is source `s`'s frontier).
+pub fn reference(m: &CooMatrix, hops: usize) -> Vec<Vec<bool>> {
+    let n = m.nrows() as usize;
+    let csr = m.to_csr();
+    let sources = SOURCES.min(m.nrows()) as usize;
+    let mut frontiers: Vec<Vec<bool>> = (0..sources)
+        .map(|s| {
+            let mut f = vec![false; n];
+            f[s] = true;
+            f
+        })
+        .collect();
+    for _ in 0..hops {
+        for f in &mut frontiers {
+            let mut next = vec![false; n];
+            for (v, &active) in f.iter().enumerate() {
+                if active {
+                    let (cols, _) = csr.row(v as u32);
+                    for &c in cols {
+                        next[c as usize] = true;
+                    }
+                }
+            }
+            *f = next;
+        }
+    }
+    frontiers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    fn frontier_rows(out: &Value, n: u32) -> Vec<Vec<bool>> {
+        let coo = match out {
+            Value::Sparse(s) => s.to_coo(),
+            _ => panic!("F must stay sparse"),
+        };
+        let mut rows = vec![vec![false; n as usize]; SOURCES.min(n) as usize];
+        for &(r, c, v) in coo.entries() {
+            if (r as usize) < rows.len() && v != 0.0 {
+                rows[r as usize][c as usize] = true;
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::uniform(64, 64, 256, 13);
+        let app = app(3);
+        let out = interp::run(&app.graph, &app.bindings(&m), 3).unwrap();
+        assert_eq!(frontier_rows(&out["F"], 64), reference(&m, 3));
+    }
+
+    #[test]
+    fn each_source_matches_single_source_expansion() {
+        // Row s of the mxm frontier equals an independent BFS hop from s.
+        let m = gen::uniform(48, 48, 192, 29);
+        let app = app(2);
+        let out = interp::run(&app.graph, &app.bindings(&m), 2).unwrap();
+        let rows = frontier_rows(&out["F"], 48);
+        for (s, row) in rows.iter().enumerate() {
+            let solo = &reference(&m, 2)[s];
+            assert_eq!(row, solo, "source {s}");
+        }
+    }
+
+    #[test]
+    fn path_graph_advances_one_hop_per_iteration() {
+        // 0 -> 1 -> 2 -> 3: after two hops source 0 sits at {2}.
+        let m = CooMatrix::from_entries(4, 4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let app = app(2);
+        let out = interp::run(&app.graph, &app.bindings(&m), 2).unwrap();
+        let rows = frontier_rows(&out["F"], 4);
+        assert_eq!(rows[0], vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn compiles_with_cross_iteration_oei_across_mxm() {
+        let program = app(8).compile().unwrap();
+        assert!(program.profile.has_oei);
+        assert!(program.profile.cross_iteration);
+        assert_eq!(program.profile.mxm_passes, 1);
+        assert_eq!(program.os_semiring, SemiringOp::AndOr);
+    }
+}

@@ -51,6 +51,7 @@ pub fn app(iterations: usize) -> StaApp {
         graph: b.build().expect("acyclic"),
         feature_dim: 1,
         default_iterations: iterations,
+        min_rows: 1,
         bindings_fn: bindings,
     }
 }

@@ -1,29 +1,45 @@
-//! Registry of all benchmark applications (Table III).
+//! Registry of all benchmark applications: the eleven Table-III `vxm`
+//! apps plus the four `mxm` (SpGEMM) family apps.
 
-use crate::{bfs, bicgstab, cg, gcn, gmres, kcore, knn, kpp, label, pagerank, sssp, StaApp};
+use crate::{
+    bfs, bicgstab, cg, gcn, gcnw, gmres, kcore, knn, kpp, label, mcl, msbfs, pagerank, sssp, tri,
+    StaApp,
+};
 
-/// All eleven applications with their default iteration counts, in
-/// Table III order.
+/// All fifteen applications with their default iteration counts: the
+/// eleven Table-III apps in table order, then the `mxm` family grouped
+/// with its domain peers (msbfs/tri after the graph-analytics block,
+/// mcl after clustering, gcnw after machine learning).
 pub fn all() -> Vec<StaApp> {
     vec![
         pagerank::app(20),
         kcore::app(16),
         bfs::app(12),
         sssp::app(16),
+        msbfs::app(12),
+        tri::app(4),
         kpp::app(12),
         knn::app(8),
         label::app(16),
+        mcl::app(4),
         gcn::app(6),
+        gcnw::app(6),
         gmres::app(16),
         cg::app(16),
         bicgstab::app(10),
     ]
 }
 
-/// All eleven applications as a shareable slice, for executors that fan
-/// the registry out across worker threads without cloning per point.
+/// All applications as a shareable slice, for executors that fan the
+/// registry out across worker threads without cloning per point.
 pub fn shared() -> std::sync::Arc<[StaApp]> {
     all().into()
+}
+
+/// The `mxm` (SpGEMM) workload family: every app whose compiled profile
+/// schedules at least one matrix-times-matrix pass.
+pub fn mxm_family() -> Vec<StaApp> {
+    vec![msbfs::app(12), tri::app(4), mcl::app(4), gcnw::app(6)]
 }
 
 /// The subset compared against the GPU baselines in Fig 17
@@ -38,7 +54,8 @@ pub fn gpu_subset() -> Vec<StaApp> {
 }
 
 /// Looks an application up by its short name (`pr`, `kcore`, `bfs`,
-/// `sssp`, `kpp`, `knn`, `label`, `gcn`, `gmres`, `cg`, `bgs`).
+/// `sssp`, `msbfs`, `tri`, `kpp`, `knn`, `label`, `mcl`, `gcn`, `gcnw`,
+/// `gmres`, `cg`, `bgs`).
 pub fn by_name(name: &str) -> Option<StaApp> {
     all().into_iter().find(|a| a.name == name)
 }
@@ -49,13 +66,13 @@ mod tests {
     use crate::{Domain, ReusePattern};
 
     #[test]
-    fn eleven_apps_with_unique_names() {
+    fn fifteen_apps_with_unique_names() {
         let apps = all();
-        assert_eq!(apps.len(), 11);
+        assert_eq!(apps.len(), 15);
         let mut names: Vec<_> = apps.iter().map(|a| a.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 15);
     }
 
     #[test]
@@ -63,7 +80,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>(_: &T) {}
         let apps = shared();
         assert_send_sync(&apps);
-        assert_eq!(apps.len(), 11);
+        assert_eq!(apps.len(), 15);
         std::thread::scope(|s| {
             for _ in 0..2 {
                 let apps = std::sync::Arc::clone(&apps);
@@ -78,6 +95,8 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("pr").is_some());
         assert!(by_name("bgs").is_some());
+        assert!(by_name("msbfs").is_some());
+        assert!(by_name("gcnw").is_some());
         assert!(by_name("nope").is_none());
     }
 
@@ -85,22 +104,58 @@ mod tests {
     fn table3_domain_distribution() {
         let apps = all();
         let count = |d: Domain| apps.iter().filter(|a| a.domain == d).count();
-        assert_eq!(count(Domain::GraphAnalytics), 4);
-        assert_eq!(count(Domain::Clustering), 3);
-        assert_eq!(count(Domain::MachineLearning), 2);
+        assert_eq!(count(Domain::GraphAnalytics), 6);
+        assert_eq!(count(Domain::Clustering), 4);
+        assert_eq!(count(Domain::MachineLearning), 3);
         assert_eq!(count(Domain::Solver), 2);
     }
 
+    /// Table III's reuse column: every non-solver `vxm` app admits
+    /// cross-iteration reuse. The mxm family adds two deliberate
+    /// exceptions — `tri` multiplies a constant by itself (no carried
+    /// state at all) and `mcl` evolves both SpGEMM operands (nothing is
+    /// stationary) — so both are producer/consumer only.
     #[test]
-    fn only_solvers_lack_cross_iteration_reuse() {
+    fn only_solvers_and_stationary_free_mxm_lack_cross_iteration_reuse() {
         for app in all() {
-            let expected = app.domain != Domain::Solver;
+            let expected = app.domain != Domain::Solver && app.name != "tri" && app.name != "mcl";
             assert_eq!(
                 app.reuse == ReusePattern::CrossIteration,
                 expected,
                 "{}",
                 app.name
             );
+        }
+    }
+
+    /// `mxm_family()` is exactly the apps whose compiled profile has at
+    /// least one mxm pass, and the rest have none.
+    #[test]
+    fn mxm_family_matches_compiled_profiles() {
+        let family: Vec<_> = mxm_family().iter().map(|a| a.name).collect();
+        assert_eq!(family, vec!["msbfs", "tri", "mcl", "gcnw"]);
+        for app in all() {
+            let program = app.compile().unwrap();
+            assert_eq!(
+                program.profile.mxm_passes > 0,
+                family.contains(&app.name),
+                "{}",
+                app.name
+            );
+        }
+    }
+
+    /// Every mxm-family app declares the 32-row floor that dataset
+    /// admission enforces; the Table-III apps accept any matrix.
+    #[test]
+    fn min_rows_floor_marks_the_mxm_family() {
+        for app in all() {
+            let expected = if app.compile().unwrap().profile.mxm_passes > 0 {
+                32
+            } else {
+                1
+            };
+            assert_eq!(app.min_rows, expected, "{}", app.name);
         }
     }
 

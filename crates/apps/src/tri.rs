@@ -1,0 +1,156 @@
+//! Triangle counting (`tri`) via the masked SpGEMM identity
+//! `T = A ⊙ (A·A)`; the triangle count is `Σ T / 6` on a symmetric
+//! binary adjacency.
+//!
+//! Inner loop:
+//!
+//! ```text
+//! S = A ·(+,×) A      (mxm: S_ij counts length-2 paths i→k→j)
+//! T = S ⊙ A           (mask to closed wedges, i.e. triangles)
+//! ```
+//!
+//! Both operands of the mxm are the same loop constant, so there is no
+//! loop-carried state and no cross-iteration reuse — the workload is a
+//! pure producer/consumer pipeline between the SpGEMM stage and the
+//! element-wise mask. The bindings canonicalize the input graph
+//! (symmetrize, binarize, drop self-loops) so the `/6` identity holds.
+
+use sparsepipe_frontend::interp::{Bindings, Value};
+use sparsepipe_frontend::GraphBuilder;
+use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+use sparsepipe_tensor::CooMatrix;
+
+use crate::{Domain, ReusePattern, StaApp};
+
+/// Builds the triangle-counting application.
+pub fn app(iterations: usize) -> StaApp {
+    let mut b = GraphBuilder::new();
+    let a = b.constant_matrix("A");
+    let sq = b.mxm(a, a, SemiringOp::MulAdd).expect("valid graph");
+    b.ewise_matrix(EwiseBinary::Mul, sq, a)
+        .expect("valid graph");
+    StaApp {
+        name: "tri",
+        semiring: SemiringOp::MulAdd,
+        reuse: ReusePattern::ProducerConsumer,
+        domain: Domain::GraphAnalytics,
+        graph: b.build().expect("acyclic"),
+        feature_dim: 1,
+        default_iterations: iterations,
+        min_rows: 32,
+        bindings_fn: bindings,
+    }
+}
+
+/// Canonicalizes `m` into a symmetric binary adjacency with an empty
+/// diagonal (undirected simple graph).
+pub fn canonical_adjacency(m: &CooMatrix) -> CooMatrix {
+    let n = m.nrows();
+    let mut edges = std::collections::BTreeSet::new();
+    for &(r, c, v) in m.entries() {
+        if r != c && v != 0.0 {
+            edges.insert((r, c));
+            edges.insert((c, r));
+        }
+    }
+    let entries: Vec<(u32, u32, f64)> = edges.into_iter().map(|(r, c)| (r, c, 1.0)).collect();
+    CooMatrix::from_entries(n, n, entries).expect("canonical coordinates in range")
+}
+
+/// Bindings: `A` is the canonicalized (symmetric binary) adjacency.
+pub fn bindings(m: &CooMatrix) -> Bindings {
+    let mut b = Bindings::new();
+    b.insert("A".into(), Value::sparse(&canonical_adjacency(m)));
+    b
+}
+
+/// Scalar reference: the exact triangle count of the canonicalized
+/// graph, by wedge enumeration.
+pub fn reference(m: &CooMatrix) -> u64 {
+    let adj = canonical_adjacency(m).to_csr();
+    let n = adj.nrows();
+    let mut neighbor = vec![vec![false; n as usize]; n as usize];
+    for i in 0..n {
+        let (cols, _) = adj.row(i);
+        for &c in cols {
+            neighbor[i as usize][c as usize] = true;
+        }
+    }
+    let mut closed_wedges = 0u64;
+    for (i, row_of_i) in neighbor.iter().enumerate().take(n as usize) {
+        let (cols, _) = adj.row(i as u32);
+        for &k in cols {
+            let (cols2, _) = adj.row(k);
+            for &j in cols2 {
+                if row_of_i[j as usize] {
+                    closed_wedges += 1;
+                }
+            }
+        }
+    }
+    // Each triangle is counted once per (i,k,j) orientation: 6 times.
+    closed_wedges / 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsepipe_frontend::interp;
+    use sparsepipe_tensor::gen;
+
+    /// Sum of the final (masked) tensor's entries from an interp run.
+    fn masked_sum(app: &StaApp, m: &CooMatrix, iters: usize) -> f64 {
+        let out = interp::run(&app.graph, &app.bindings(m), iters).unwrap();
+        let (_, last) = app.graph.ops().last().unwrap();
+        let name = &app.graph.tensor(last.output).name;
+        match &out[name] {
+            Value::Sparse(s) => s.to_coo().entries().iter().map(|&(_, _, v)| v).sum(),
+            other => panic!("masked output must be sparse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let m = gen::uniform(64, 64, 320, 17);
+        let app = app(1);
+        let sum = masked_sum(&app, &m, 1);
+        assert_eq!(sum as u64 / 6, reference(&m));
+        assert_eq!(sum as u64 % 6, 0, "closed wedges come in sixes");
+    }
+
+    #[test]
+    fn counts_the_complete_graph_exactly() {
+        // K5 has C(5,3) = 10 triangles.
+        let mut entries = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    entries.push((i, j, 1.0));
+                }
+            }
+        }
+        let m = CooMatrix::from_entries(5, 5, entries).unwrap();
+        assert_eq!(reference(&m), 10);
+        let app = app(1);
+        assert_eq!(masked_sum(&app, &m, 1) as u64, 60);
+    }
+
+    #[test]
+    fn triangle_free_graph_counts_zero() {
+        // A path has no triangles.
+        let m = CooMatrix::from_entries(6, 6, (0..5).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(reference(&m), 0);
+        let app = app(1);
+        assert_eq!(masked_sum(&app, &m, 1), 0.0);
+    }
+
+    #[test]
+    fn compiles_as_producer_consumer_without_oei() {
+        let program = app(4).compile().unwrap();
+        assert!(!program.profile.has_oei, "no carry means no OEI");
+        assert!(!program.profile.cross_iteration);
+        assert_eq!(program.profile.mxm_passes, 1);
+        assert_eq!(program.profile.ewise_matrix_passes, 1);
+    }
+}

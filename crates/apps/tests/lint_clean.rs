@@ -8,12 +8,12 @@ use sparsepipe_frontend::GraphBuilder;
 use sparsepipe_lint::{lint_analysis, lint_graph, lint_plan, lint_program};
 use sparsepipe_semiring::{EwiseBinary, SemiringOp};
 
-/// All 11 Table-III apps lint clean: graph well-formedness, shapes,
+/// All 15 registered apps lint clean: graph well-formedness, shapes,
 /// semirings, and the OEI oracle agreeing with `analysis::analyze`.
 #[test]
 fn all_registered_apps_lint_clean() {
     let apps = registry::all();
-    assert_eq!(apps.len(), 11);
+    assert_eq!(apps.len(), 15);
     for app in apps {
         let program = app
             .compile()

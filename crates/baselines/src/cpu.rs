@@ -89,10 +89,17 @@ impl CpuModel {
 
         // Effective bandwidth: matrix access is gather-limited; the
         // penalty deepens with degree skew (pointer-chasing hot rows).
+        // SpGEMM surcharge: stationary-row gathers miss the cache like
+        // matrix traffic; the product matrix streams out at the regular
+        // rate.
+        let mw = w.mxm_work();
+        let mxm_read = mw.b_read_bytes * (1.0 - cached_fraction) * iters;
+        let mxm_write = mw.c_write_bytes * iters;
+
         let skew_penalty = (1.0 + (w.stats.row_skew.log2().max(0.0)) * 0.04).min(1.5);
         let matrix_bw = self.measured_bw_gbps * 1e9 * self.gather_utilization / skew_penalty;
         let vec_bw = self.measured_bw_gbps * 1e9 * self.stream_utilization;
-        let mem_time = matrix_bytes / matrix_bw + vec_bytes / vec_bw;
+        let mem_time = (matrix_bytes + mxm_read) / matrix_bw + (vec_bytes + mxm_write) / vec_bw;
 
         // Sparse work (gathers, e-wise) runs at the sparse rate; the dense
         // weight multiply at the (much higher) dense GEMM rate.
@@ -101,13 +108,15 @@ impl CpuModel {
         let flop_time = iters
             * (sparse_flops / (self.sparse_gflops * 1e9) + dense_flops / (self.dense_gflops * 1e9));
         // Index decode/gather happens once per non-zero regardless of the
-        // feature width (SpMM amortizes it across feature columns).
-        let gather_time = w.profile.matrix_passes as f64 * nnz * iters / self.nnz_per_s;
+        // feature width (SpMM amortizes it across feature columns); each
+        // SpGEMM partial product is one more indexed gather.
+        let gather_time =
+            (w.profile.matrix_passes as f64 * nnz + mw.flops / 2.0) * iters / self.nnz_per_s;
         let compute_time = flop_time.max(gather_time);
         let overhead = self.op_overhead_s * w.profile.operators.len() as f64 * iters;
         let runtime = mem_time.max(compute_time) + overhead;
 
-        let traffic = matrix_bytes + vec_bytes;
+        let traffic = matrix_bytes + vec_bytes + mxm_read + mxm_write;
         let mut tally = EnergyTally::new(EnergyModel::default());
         tally.dram_read(traffic * 0.8);
         tally.dram_write(traffic * 0.2);
@@ -153,6 +162,7 @@ mod tests {
             nnz: small.nnz() as u64,
             stats: &small_stats,
             iterations: 20,
+            mxm: None,
         };
         let r = CpuModel::default().evaluate(&w_small);
         // 1.2 MB image « 96 MB cache: traffic must be far below 20 images
@@ -178,6 +188,7 @@ mod tests {
             nnz: 1_000_000_000,
             stats: &stats,
             iterations: 10,
+            mxm: None,
         };
         let r = CpuModel::default().evaluate(&w);
         // ≥ ~10 full images of traffic
@@ -208,6 +219,7 @@ mod tests {
             nnz: m.nnz() as u64,
             stats: &stats,
             iterations: 4,
+            mxm: None,
         };
         let r = CpuModel::default().evaluate(&w);
         // compute-bound: the runtime must track the split-rate flop time

@@ -62,18 +62,24 @@ impl GpuModel {
         let vec_bytes =
             (w.profile.unfused_vector_reads + w.profile.unfused_vector_writes) * iters * n * 8.0;
 
+        // SpGEMM surcharge: row gathers and the product matrix both move
+        // at the irregular-kernel rate (GraphBLAST-class SpGEMM is
+        // gather/scatter bound end to end).
+        let mw = w.mxm_work();
+        let mxm_bytes = (mw.b_read_bytes * (1.0 - cached) + mw.c_write_bytes) * iters;
+
         // Occupancy: small inputs cannot fill the machine.
         let occupancy = (nnz / self.saturation_nnz).clamp(0.15, 1.0).sqrt();
         let skew_penalty = (1.0 + (w.stats.row_skew.log2().max(0.0)) * 0.05).min(1.6);
         let matrix_bw = self.bw_gbps * 1e9 * self.gather_utilization * occupancy / skew_penalty;
         let vec_bw = self.bw_gbps * 1e9 * self.stream_utilization * occupancy;
-        let mem_time = matrix_bytes / matrix_bw + vec_bytes / vec_bw;
+        let mem_time = (matrix_bytes + mxm_bytes) / matrix_bw + vec_bytes / vec_bw;
 
         let compute_time = w.flops_per_iteration() * iters / (self.sparse_gflops * 1e9);
         let overhead = self.launch_overhead_s * w.profile.operators.len().max(3) as f64 * iters;
         let runtime = mem_time.max(compute_time) + overhead;
 
-        let traffic = matrix_bytes + vec_bytes;
+        let traffic = matrix_bytes + vec_bytes + mxm_bytes;
         let mut tally = EnergyTally::new(EnergyModel::default());
         tally.dram_read(traffic * 0.75);
         tally.dram_write(traffic * 0.25);
@@ -116,6 +122,7 @@ mod tests {
             nnz: 50_000,
             stats: &stats_s,
             iterations: 10,
+            mxm: None,
         };
         let r_small = GpuModel::default().evaluate(&w_small);
         let w_big = WorkloadInstance {
@@ -138,6 +145,7 @@ mod tests {
             nnz: m.nnz() as u64,
             stats: &stats,
             iterations: 10,
+            mxm: None,
         };
         let r = GpuModel::default().evaluate(&w);
         assert!(r.runtime_s >= r.traffic_bytes / 504e9);

@@ -76,6 +76,20 @@ impl IdealAccelerator {
             iter_flops += compute;
         }
 
+        // SpGEMM surcharge: its own perfectly pipelined kernel per
+        // iteration — stationary-row gathers in, product matrix out, one
+        // fused MAC per partial product — with no reuse across
+        // iterations (the ideal accelerator has none by construction).
+        let mw = w.mxm_work();
+        if mw != crate::MxmWork::ZERO {
+            let mem_cycles = (mw.b_read_bytes + mw.c_write_bytes) / bpc;
+            let compute_cycles = mw.flops / 2.0 / pes;
+            iter_cycles += mem_cycles.max(compute_cycles);
+            iter_read += mw.b_read_bytes;
+            iter_write += mw.c_write_bytes;
+            iter_flops += mw.flops / 2.0;
+        }
+
         let iters = w.iterations as f64;
         let cycles = iter_cycles * iters;
         let read = iter_read * iters;
@@ -131,6 +145,7 @@ mod tests {
             nnz: m.nnz() as u64,
             stats: &stats,
             iterations: 10,
+            mxm: None,
         };
         let r = IdealAccelerator::new(SparsepipeConfig::iso_gpu()).evaluate(&w);
         // memory-bound: runtime ≈ traffic / BW exactly
@@ -149,6 +164,7 @@ mod tests {
             nnz: m.nnz() as u64,
             stats: &stats,
             iterations: iters,
+            mxm: None,
         };
         let model = IdealAccelerator::new(SparsepipeConfig::iso_gpu());
         let one = model.evaluate(&mk(1));

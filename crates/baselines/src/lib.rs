@@ -57,6 +57,36 @@ impl BaselineReport {
     }
 }
 
+/// Extra per-iteration work the workload's `mxm` (SpGEMM) passes add on
+/// top of the `matrix_passes`-based accounting every model already
+/// charges.
+///
+/// The Matrix-class accounting treats a matrix pass as one sweep of the
+/// stored image plus `n`-vector operands. A Gustavson SpGEMM pass
+/// additionally gathers stationary-operand rows, materializes a product
+/// *matrix* instead of a vector, and performs one multiply-accumulate
+/// per partial product. The bench sweep derives these from the exact
+/// `O(nnz)` statics (`MatrixProfile`'s `spgemm_*` fields) so baselines
+/// and simulator price the same work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MxmWork {
+    /// Bytes of stationary (right-operand) rows gathered per iteration.
+    pub b_read_bytes: f64,
+    /// Bytes of product-matrix writeback per iteration.
+    pub c_write_bytes: f64,
+    /// Arithmetic operations per iteration (2 per partial product).
+    pub flops: f64,
+}
+
+impl MxmWork {
+    /// No SpGEMM work (the default for the Table-III `vxm` apps).
+    pub const ZERO: MxmWork = MxmWork {
+        b_read_bytes: 0.0,
+        c_write_bytes: 0.0,
+        flops: 0.0,
+    };
+}
+
 /// Static description of one workload instance, shared by all models.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadInstance<'a> {
@@ -71,6 +101,8 @@ pub struct WorkloadInstance<'a> {
     pub stats: &'a sparsepipe_tensor::MatrixStats,
     /// Loop iterations.
     pub iterations: usize,
+    /// SpGEMM surcharge, `None` for pure-`vxm` workloads.
+    pub mxm: Option<MxmWork>,
 }
 
 impl<'a> WorkloadInstance<'a> {
@@ -84,13 +116,20 @@ impl<'a> WorkloadInstance<'a> {
         self.n as f64 * 8.0 * self.profile.feature_dim as f64
     }
 
-    /// Arithmetic operations per iteration (matrix + e-wise + dense).
+    /// Arithmetic operations per iteration (matrix + e-wise + dense +
+    /// the SpGEMM surcharge).
     pub fn flops_per_iteration(&self) -> f64 {
         let f = self.profile.feature_dim as f64;
         self.profile.matrix_passes as f64 * self.nnz as f64 * 2.0 * f
             + self.n as f64
                 * f
                 * (self.profile.ewise_flops_per_element + self.profile.dense_flops_per_element)
+            + self.mxm_work().flops
+    }
+
+    /// The SpGEMM surcharge, [`MxmWork::ZERO`] when absent.
+    pub fn mxm_work(&self) -> MxmWork {
+        self.mxm.unwrap_or(MxmWork::ZERO)
     }
 }
 

@@ -52,7 +52,21 @@ impl OracleAccelerator {
         } else {
             iters * w.profile.matrix_passes as f64
         };
-        let matrix_bytes = sweeps * nnz * fetch_b;
+        let mut matrix_bytes = sweeps * nnz * fetch_b;
+
+        // SpGEMM surcharge: with OEI the unbounded buffer keeps every
+        // stationary row "always ready" after the first gather (one
+        // B-side load for the whole run); without OEI the gathers repeat
+        // per iteration. The intermediate product never round-trips —
+        // the unbounded buffer holds it for its downstream consumers —
+        // so DRAM sees only the final materialization, once per run.
+        let mw = w.mxm_work();
+        let mxm_reads = if w.profile.has_oei {
+            mw.b_read_bytes
+        } else {
+            mw.b_read_bytes * iters
+        };
+        matrix_bytes += mxm_reads + mw.c_write_bytes;
 
         // Fully fused vector traffic (feature-scaled counts); the
         // unbounded buffer also eliminates inter-pass result round-trips.
@@ -61,7 +75,7 @@ impl OracleAccelerator {
 
         // Compute runs on the same three pipelined cores as Sparsepipe:
         // per iteration the bottleneck stage governs.
-        let os_is_cycles = w.profile.matrix_passes as f64 * nnz * f / pes; // MACs @ 2/cycle
+        let os_is_cycles = (w.profile.matrix_passes as f64 * nnz * f + mw.flops / 2.0) / pes; // MACs @ 2/cycle
         let ew_cycles =
             n * f * (w.profile.ewise_flops_per_element + w.profile.dense_flops_per_element) / pes;
         let compute_cycles = iters * os_is_cycles.max(ew_cycles);
@@ -118,6 +132,7 @@ mod tests {
             nnz: m.nnz() as u64,
             stats: &stats,
             iterations: 20,
+            mxm: None,
         };
         let oracle = OracleAccelerator::new(cfg).evaluate(&w);
         let sim = sparsepipe_core::SimRequest::new(&program, &m)

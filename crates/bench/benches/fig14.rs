@@ -46,6 +46,7 @@ fn bench_ideal_baseline(c: &mut Criterion) {
         nnz: dataset.matrix.nnz() as u64,
         stats: &dataset.stats,
         iterations: app.default_iterations,
+        mxm: None,
     };
     c.bench_function("fig14_ideal_eval", |b| {
         b.iter(|| IdealAccelerator::new(cfg).evaluate(&w));

@@ -51,13 +51,18 @@ pub struct PointRecord {
     pub peak_working_set_bytes: f64,
     /// Trace-derived counters, when the point ran traced.
     pub trace: Option<TraceCounters>,
+    /// SpGEMM statistics (intermediate nnz, peak accumulator occupancy,
+    /// expansion factor) when the point's schedule ran the Gustavson
+    /// `mxm` stage; `None` for `vxm`-only points.
+    pub mxm: Option<sparsepipe_core::MxmStats>,
     /// Attempts the point took to succeed (≥ 1; > 1 only after retries).
     pub attempts: u32,
 }
 
 // Hand-written so an untraced, first-try run's telemetry JSON is
 // byte-identical to the pre-trace, pre-retry schema: the `trace` key is
-// omitted entirely (not null) when the point ran without a sink, and
+// omitted entirely (not null) when the point ran without a sink, `mxm`
+// is omitted for vxm-only points (keeping the pre-SpGEMM schema), and
 // `attempts` is omitted when it is 1.
 impl Serialize for PointRecord {
     fn to_value(&self) -> serde::Value {
@@ -73,6 +78,9 @@ impl Serialize for PointRecord {
         ];
         if let Some(trace) = &self.trace {
             fields.push(("trace".to_string(), trace.to_value()));
+        }
+        if let Some(mxm) = &self.mxm {
+            fields.push(("mxm".to_string(), mxm.to_value()));
         }
         if self.attempts > 1 {
             fields.push(("attempts".to_string(), self.attempts.to_value()));
@@ -91,6 +99,7 @@ impl PointRecord {
             modeled_passes: t.modeled_passes,
             peak_working_set_bytes: t.peak_working_set_bytes,
             trace: None,
+            mxm: None,
             attempts: 1,
         }
     }
@@ -99,6 +108,14 @@ impl PointRecord {
     #[must_use]
     pub fn with_trace(mut self, counters: TraceCounters) -> Self {
         self.trace = Some(counters);
+        self
+    }
+
+    /// Attaches SpGEMM statistics to the record (no-op for `None`, so
+    /// vxm-only call sites can pass the outcome field through directly).
+    #[must_use]
+    pub fn with_mxm(mut self, stats: Option<sparsepipe_core::MxmStats>) -> Self {
+        self.mxm = stats;
         self
     }
 
@@ -601,6 +618,7 @@ mod tests {
                 modeled_passes: i as u64,
                 peak_working_set_bytes: 100.0 * i as f64,
                 trace: None,
+                mxm: None,
                 attempts: 1,
             });
         }
@@ -648,6 +666,7 @@ mod tests {
             modeled_passes: 3,
             peak_working_set_bytes: 64.0,
             trace: None,
+            mxm: None,
             attempts: 1,
         };
         let json = serde_json::to_string(&record).unwrap();
@@ -658,6 +677,21 @@ mod tests {
         assert!(
             !json.contains("attempts"),
             "first-try records must keep the pre-retry schema: {json}"
+        );
+        assert!(
+            !json.contains("mxm"),
+            "vxm-only records must keep the pre-SpGEMM schema: {json}"
+        );
+        let with_stats = record.clone().with_mxm(Some(sparsepipe_core::MxmStats {
+            intermediate_nnz: 40,
+            out_nnz: 12,
+            peak_accumulator_cols: 5,
+            expansion_factor: 40.0 / 12.0,
+        }));
+        let json = serde_json::to_string(&with_stats).unwrap();
+        assert!(
+            json.contains("\"mxm\":{\"intermediate_nnz\":40"),
+            "mxm points carry their SpGEMM statistics: {json}"
         );
         let retried = record.clone().with_attempts(3);
         assert!(

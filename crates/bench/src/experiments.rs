@@ -473,6 +473,7 @@ pub fn fig19(ctx: &DataContext, exec: &Executor) -> Result<Report, BenchError> {
             nnz: d.matrix.nnz() as u64,
             stats: &d.stats,
             iterations: app.default_iterations,
+            mxm: None,
         };
         let ideal = sparsepipe_baselines::ideal::IdealAccelerator::new(cfg).evaluate(&w);
         Ok((

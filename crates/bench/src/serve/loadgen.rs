@@ -361,12 +361,15 @@ mod tests {
     #[test]
     fn workload_covers_apps_by_matrices_deterministically() {
         let specs = workload(MatrixSet::Quick, 256, Some(10_000));
-        assert_eq!(specs.len(), 3 * 11, "3 quick matrices x 11 apps");
+        assert_eq!(specs.len(), 3 * 15, "3 quick matrices x 15 apps");
         assert!(workload_is_resolvable(&specs));
         assert!(specs.iter().all(|s| s.deadline_ms == Some(10_000)));
         assert_eq!(specs, workload(MatrixSet::Quick, 256, Some(10_000)));
-        // matrix-major: the first 11 specs share the first quick matrix
-        assert!(specs[..11].iter().all(|s| s.matrix == "ca"));
+        // matrix-major: the first 15 specs share the first quick matrix
+        assert!(specs[..15].iter().all(|s| s.matrix == "ca"));
+        // every generated spec passes admission (the mxm family's row
+        // floor included — scale 256 keeps all quick matrices above it)
+        assert!(specs.iter().all(|s| s.validate().is_ok()));
     }
 
     #[test]

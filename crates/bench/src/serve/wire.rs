@@ -133,11 +133,16 @@ impl EvalSpec {
             .find(|m| m.code() == self.matrix)
     }
 
-    /// Admission-time validation: the spec names a known matrix and a
-    /// scale the dataset generator accepts. The daemon runs this before
-    /// queueing, so a hostile spec (`scale: 0`, `scale: u64::MAX`) is
-    /// refused with a stable error response instead of panicking a
-    /// worker during dataset generation.
+    /// Admission-time validation: the spec names a known matrix, a
+    /// scale the dataset generator accepts, and — when the app is
+    /// registered — a scaled matrix large enough for the app's row
+    /// floor (`StaApp::min_rows`; the SpGEMM family needs ≥ 32 rows).
+    /// The daemon runs this before queueing, so a hostile spec
+    /// (`scale: 0`, `scale: u64::MAX`) is refused with a stable error
+    /// response instead of panicking a worker during dataset
+    /// generation. An *unknown* app name still passes here — the
+    /// worker's [`EvalSpec::run_local`] owns that rejection
+    /// (`unknown-app`), keeping the two error families distinct.
     ///
     /// # Errors
     ///
@@ -158,6 +163,18 @@ impl EvalSpec {
                     spec.max_scale()
                 ),
             ));
+        }
+        if let Some(app) = sparsepipe_apps::registry::by_name(&self.app) {
+            let rows = spec.rows_at_scale(self.scale);
+            if rows < u64::from(app.min_rows) {
+                return Err((
+                    "dataset",
+                    format!(
+                        "scale {} leaves `{}` with {rows} rows, below `{}`'s minimum of {}",
+                        self.scale, self.matrix, self.app, app.min_rows
+                    ),
+                ));
+            }
         }
         Ok(id)
     }
@@ -600,6 +617,31 @@ mod tests {
             assert!(text.starts_with(r#"{"v":1,"#), "{text}");
             assert_eq!(Request::decode(&text).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn validation_enforces_the_app_row_floor() {
+        // ca@1024 generates 18 rows — past the generator's own 16-row
+        // floor, but below the SpGEMM family's 32-row minimum.
+        let rows = MatrixId::Ca.spec().rows_at_scale(1024);
+        assert!(
+            (16..32).contains(&rows),
+            "fixture drift: ca@1024 = {rows} rows"
+        );
+        assert!(EvalSpec::new("pr", "ca", 1024).validate().is_ok());
+        for app in ["msbfs", "tri", "mcl", "gcnw"] {
+            let (code, message) = EvalSpec::new(app, "ca", 1024).validate().unwrap_err();
+            assert_eq!(code, "dataset", "{app}");
+            assert!(
+                message.contains("minimum of 32"),
+                "{app} rejection unexplained: {message}"
+            );
+        }
+        // At a scale with enough rows the same apps pass…
+        assert!(EvalSpec::new("tri", "ca", 256).validate().is_ok());
+        // …and an unknown app is not this check's to reject: run_local
+        // answers it with the `unknown-app` family.
+        assert!(EvalSpec::new("nope", "ca", 1024).validate().is_ok());
     }
 
     #[test]

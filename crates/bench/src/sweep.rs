@@ -85,6 +85,44 @@ pub struct Evaluation {
     pub telemetry: SimTelemetry,
     /// Scheduling diagnostics from the iso-GPU run.
     pub diagnostics: Vec<String>,
+    /// SpGEMM statistics from the iso-GPU run (`None` for vxm-only
+    /// apps). Carried here — not on [`Entry`] — so the checkpoint
+    /// journal's entry schema stays bitwise-stable.
+    pub mxm: Option<sparsepipe_core::MxmStats>,
+}
+
+/// Derives the baselines' SpGEMM surcharge
+/// ([`sparsepipe_baselines::MxmWork`]) from the exact O(nnz) SpGEMM
+/// statics of a [`sparsepipe_core::MatrixProfile`]:
+///
+/// - `b_read_bytes`: every *touched* stationary row element (CSR triple,
+///   12 B) is gathered once per `mxm` pass — `spgemm_touched_elements`
+///   counts exactly the B-side elements Gustavson reads, so rows that no
+///   A-column references are never charged.
+/// - `c_write_bytes`: the product matrix materializes once per pass; its
+///   size is bounded by both the partial-product count and the dense
+///   capacity of the non-empty output rows.
+/// - `flops`: one multiply + one accumulate per partial product.
+///
+/// Returns `None` when the program runs no `mxm` passes, so vxm-only
+/// workloads evaluate exactly as before.
+pub fn mxm_work(
+    profile: &sparsepipe_frontend::WorkloadProfile,
+    matrix: &sparsepipe_core::MatrixProfile,
+) -> Option<sparsepipe_baselines::MxmWork> {
+    if profile.mxm_passes == 0 {
+        return None;
+    }
+    let passes = profile.mxm_passes as f64;
+    let out_cap = matrix
+        .spgemm_products
+        .min(u64::from(matrix.n) * u64::from(matrix.spgemm_nonempty_out_rows))
+        as f64;
+    Some(sparsepipe_baselines::MxmWork {
+        b_read_bytes: passes * matrix.spgemm_touched_elements as f64 * 12.0,
+        c_write_bytes: passes * out_cap * 12.0,
+        flops: passes * 2.0 * matrix.spgemm_products as f64,
+    })
 }
 
 /// The full sweep result.
@@ -401,12 +439,35 @@ fn evaluate_with_sink<S: TraceSink>(
     }
     let iso_cpu = request_cpu.run().map_err(sim_err)?;
 
+    // SpGEMM surcharge for the analytical baselines, derived from the
+    // same exact statics the pruner and analyzer use. The profile comes
+    // from (or lands in) the sweep's matrix cache when one is wired.
+    let work = if program.profile.mxm_passes > 0 {
+        let matrix = &dataset.reordered;
+        let t = cfg.subtensor_auto(matrix.ncols(), matrix.nnz());
+        let profile = match cache {
+            Some((cache, key)) => cache.profile(key, cfg.preprocessing.reorder, t, || {
+                let plan = cache.plan(key, cfg.preprocessing.reorder, t, || {
+                    sparsepipe_core::PassPlan::build(matrix, t)
+                });
+                sparsepipe_core::MatrixProfile::build(&plan)
+            }),
+            None => Arc::new(sparsepipe_core::MatrixProfile::build(
+                &sparsepipe_core::PassPlan::build(matrix, t),
+            )),
+        };
+        mxm_work(&program.profile, &profile)
+    } else {
+        None
+    };
+
     let w = WorkloadInstance {
         profile: &program.profile,
         n: dataset.matrix.nrows() as u64,
         nnz: dataset.matrix.nnz() as u64,
         stats: &dataset.stats,
         iterations,
+        mxm: work,
     };
     let ideal = IdealAccelerator::new(cfg).evaluate(&w);
     let oracle = OracleAccelerator::new(cfg).evaluate(&w);
@@ -436,6 +497,7 @@ fn evaluate_with_sink<S: TraceSink>(
                 .max(iso_cpu.telemetry.peak_working_set_bytes),
         },
         diagnostics: outcome.diagnostics,
+        mxm: outcome.mxm,
     })
 }
 
@@ -479,10 +541,13 @@ impl Sweep {
         let mut entries = Vec::with_capacity(points.len());
         for (result, (dataset, app)) in results.into_iter().zip(&points) {
             let ev = result?;
-            exec.record(PointRecord::from_telemetry(
-                format!("sweep:{}-{}", app.name, dataset.id.code()),
-                &ev.telemetry,
-            ));
+            exec.record(
+                PointRecord::from_telemetry(
+                    format!("sweep:{}-{}", app.name, dataset.id.code()),
+                    &ev.telemetry,
+                )
+                .with_mxm(ev.mxm),
+            );
             entries.push(ev.entry);
         }
         Ok(Sweep { context, entries })
@@ -547,7 +612,8 @@ impl Sweep {
                     format!("sweep:{}-{}", app.name, dataset.id.code()),
                     &ev.telemetry,
                 )
-                .with_trace(trace_counters(sink.events())),
+                .with_trace(trace_counters(sink.events()))
+                .with_mxm(ev.mxm),
             );
             entries.push(ev.entry);
         }
@@ -744,6 +810,7 @@ impl Sweep {
                             format!("sweep:{}-{}", app.name, dataset.id.code()),
                             &value.telemetry,
                         )
+                        .with_mxm(value.mxm)
                         .with_attempts(attempts),
                     );
                     slots[i] = Some(value.entry);
@@ -800,8 +867,8 @@ mod tests {
     #[test]
     fn sweep_covers_all_pairs() {
         let s = tiny_sweep();
-        assert_eq!(s.entries.len(), 11 * 3);
-        assert_eq!(s.app_names().len(), 11);
+        assert_eq!(s.entries.len(), 15 * 3);
+        assert_eq!(s.app_names().len(), 15);
         assert_eq!(s.matrices().len(), 3);
         assert_eq!(s.by_app("pr").len(), 3);
     }

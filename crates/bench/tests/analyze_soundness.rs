@@ -34,7 +34,7 @@ fn static_bounds_hold_for_all_apps_at_scale_256() {
             Some(serde::Value::Seq(apps)) => apps,
             other => panic!("apps missing from the JSON report: {other:?}"),
         };
-        assert_eq!(apps.len(), 11, "one entry per registered app");
+        assert_eq!(apps.len(), 15, "one entry per registered app");
         for app in apps {
             assert_eq!(
                 app.get("violations").and_then(serde::Value::as_u64),

@@ -19,7 +19,11 @@ fn cached_evaluation_is_identical_for_every_app() {
     let dataset = ScaledDataset::load(MatrixId::Gy, 64);
     let cache = MatrixCache::new();
     let apps = sparsepipe_apps::registry::shared();
-    assert_eq!(apps.len(), 11, "registry should hold the paper's 11 apps");
+    assert_eq!(
+        apps.len(),
+        15,
+        "registry should hold the paper's 11 apps plus the mxm family"
+    );
     for app in apps.iter() {
         let plain = EvalRequest::new(app, &dataset, 64)
             .run()
@@ -41,7 +45,7 @@ fn cached_evaluation_is_identical_for_every_app() {
             app.name
         );
     }
-    // 11 apps × 2 configs on one matrix: everything after the first
+    // 15 apps × 2 configs on one matrix: everything after the first
     // derivation of each artifact must hit.
     assert!(cache.misses() > 0, "cache never built anything");
     assert!(

@@ -23,7 +23,7 @@ use sparsepipe_bench::fault::{FaultInjector, NoFaults, RetryPolicy};
 use sparsepipe_bench::sweep::{Entry, Sweep, SweepOptions};
 
 const SCALE: u64 = 256;
-const POINTS: usize = 33; // Quick set: 3 matrices x 11 apps
+const POINTS: usize = 45; // Quick set: 3 matrices x 15 apps
 
 fn context() -> DataContext {
     DataContext::synthetic(MatrixSet::Quick, SCALE)

@@ -42,7 +42,7 @@ fn check(name: &str, actual: &str) {
 
 #[test]
 fn figure_renders_match_golden_snapshots() {
-    // Quick set (3 matrices) × 11 apps at scale 64: small enough to run
+    // Quick set (3 matrices) × 15 apps at scale 64: small enough to run
     // in a unit test, large enough that every figure has real series.
     let exec = Executor::new(0);
     let sweep = Sweep::run_with(DataContext::synthetic(MatrixSet::Quick, 64), &exec)

@@ -82,7 +82,7 @@ fn concurrent_clients_match_serial_evaluation_bitwise() {
     assert_eq!(stats.rejected, 0);
     assert!(
         stats.hit_rate() > 0.5,
-        "4 clients replaying the same 33 points must mostly hit: {stats:?}"
+        "4 clients replaying the same 45 points must mostly hit: {stats:?}"
     );
     server.shutdown();
 }
@@ -175,12 +175,21 @@ fn evaluation_failures_carry_their_bench_error_codes() {
         Err(ClientError::Server { code, .. }) => assert_eq!(code, "dataset"),
         other => panic!("expected dataset, got {other:?}"),
     }
+    // mxm apps carry a row floor: ca at scale 1024 leaves 18 rows,
+    // below the 32-row minimum, and must be refused at admission
+    match client.eval(&EvalSpec::new("msbfs", "ca", 1024)) {
+        Err(ClientError::Server { code, attempts, .. }) => {
+            assert_eq!(code, "dataset");
+            assert_eq!(attempts, 0, "refused before any attempt ran");
+        }
+        other => panic!("expected a row-floor dataset refusal, got {other:?}"),
+    }
     // the daemon keeps serving after failures
     client
         .eval(&EvalSpec::new("pr", "ca", SCALE))
         .expect("healthy point");
     let stats = server.stats();
-    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.failed, 3);
     assert_eq!(stats.served, 1);
     server.shutdown();
 }
@@ -201,9 +210,7 @@ fn hostile_scales_are_refused_and_cannot_kill_workers() {
     // ever reach it; admission must refuse them with a stable code
     for hostile in [0, u64::MAX, 1u64 << 40] {
         match client.eval(&EvalSpec::new("pr", "ca", hostile)) {
-            Err(ClientError::Server {
-                code, attempts, ..
-            }) => {
+            Err(ClientError::Server { code, attempts, .. }) => {
                 assert_eq!(code, "dataset", "scale {hostile}");
                 assert_eq!(attempts, 0, "refused before any attempt ran");
             }
@@ -396,7 +403,7 @@ fn loadgen_replay_reports_the_bench_schema() {
     };
     let report = loadgen::run(&cfg).expect("replay");
     assert_eq!(report.clients, 3);
-    assert_eq!(report.requests, 3 * 2 * 33);
+    assert_eq!(report.requests, 3 * 2 * 45);
     assert_eq!(
         report.ok, report.requests,
         "errors: {:?}",

@@ -16,7 +16,11 @@ use sparsepipe_trace::{MemorySink, TraceAudit};
 fn every_registry_app_audits_exactly() {
     let dataset = ScaledDataset::load(MatrixId::Gy, 256);
     let apps = sparsepipe_apps::registry::shared();
-    assert_eq!(apps.len(), 11, "registry should hold the paper's 11 apps");
+    assert_eq!(
+        apps.len(),
+        15,
+        "registry should hold the paper's 11 apps plus the mxm family"
+    );
     for app in apps.iter() {
         let outcome = EvalRequest::new(app, &dataset, 256)
             .trace(MemorySink::new())

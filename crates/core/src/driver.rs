@@ -77,6 +77,10 @@ pub struct SimOutcome {
     /// Notes on the scheduling decisions the engine made (OEI class,
     /// preprocessing applied, unfused tails).
     pub diagnostics: Vec<String>,
+    /// SpGEMM statistics (intermediate nnz, accumulator peak, expansion
+    /// factor) when the schedule ran the Gustavson mxm stage; `None` for
+    /// vxm-only programs, so existing consumers are unaffected.
+    pub mxm: Option<crate::spgemm::MxmStats>,
 }
 
 /// Builder for one simulation run.
@@ -228,6 +232,7 @@ impl<'a, S: TraceSink> SimRequest<'a, S> {
             },
             report: run.report,
             diagnostics: run.diagnostics,
+            mxm: run.mxm,
         })
     }
 }

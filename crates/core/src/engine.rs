@@ -56,6 +56,9 @@ pub(crate) struct EngineRun {
     pub peak_working_set_bytes: f64,
     /// Scheduling-path notes surfaced through [`crate::SimOutcome`].
     pub diagnostics: Vec<String>,
+    /// SpGEMM statistics when the program's schedule ran the Gustavson
+    /// mxm stage (`None` for vxm-only programs).
+    pub mxm: Option<crate::spgemm::MxmStats>,
 }
 
 /// The engine proper, behind the [`crate::SimRequest`] driver — the sole
@@ -152,8 +155,128 @@ pub(crate) fn simulate_inner<S: TraceSink>(
     let mut buffer_peak = 0.0f64;
     let mut buffer_avg = 0.0f64;
     let mut bw_trace: Vec<BwSample> = Vec::new();
+    let mut mxm_stats: Option<crate::spgemm::MxmStats> = None;
 
-    if profile.has_oei {
+    if profile.mxm_passes > 0 {
+        // ---- SpGEMM (mxm) family: Gustavson row-wise sweeps over the
+        // stationary operand (DESIGN.md §15). Cross-iteration OEI across
+        // an mxm loop fuses two iterations onto one sweep of the
+        // stationary rows, exactly like the vxm schedule below; without
+        // it every iteration re-demands them. ----
+        let (full_units, remainder_iters, share) = if profile.cross_iteration {
+            diagnostics.push(format!(
+                "cross-iteration OEI across mxm: {} fused unit(s), each covering 2 iterations",
+                iterations / 2
+            ));
+            (iterations / 2, iterations % 2, 2.0)
+        } else {
+            diagnostics.push(format!(
+                "mxm family without cross-iteration reuse: {iterations} row-wise sweep(s) per mxm pass"
+            ));
+            (iterations, 0, 1.0)
+        };
+        // The arena is a pure function of the (reordered) matrix; the
+        // cache key does not encode the reordering, so only the
+        // unreordered arena is shared.
+        let arena_local;
+        let arena_shared;
+        let arena: &crate::MatrixArena = match cache {
+            Some((cache, key)) if reorder_kind == ReorderKind::None => {
+                arena_shared = cache.arena(key, || crate::MatrixArena::from_coo(matrix));
+                &arena_shared
+            }
+            _ => {
+                arena_local = crate::MatrixArena::from_coo(matrix);
+                &arena_local
+            }
+        };
+        check_deadline(deadline)?;
+        let t_rows = config.subtensor_auto(matrix.ncols(), matrix.nnz());
+        let riders = profile.ewise_matrix_passes as f64;
+        let steps = crate::spgemm::step_count(arena.n(), t_rows) as u32;
+
+        if full_units > 0 {
+            let repeats = (full_units * profile.mxm_passes) as u64;
+            if S::ENABLED {
+                sink.emit(TraceEvent::PassBoundary {
+                    pass: 0,
+                    repeats,
+                    steps,
+                });
+            }
+            let outcome = crate::spgemm::execute_mxm_traced(
+                arena,
+                program.os_semiring,
+                config,
+                &crate::spgemm::MxmParams {
+                    fused_iterations: share,
+                    ewise_matrix_passes: riders,
+                    t_rows,
+                },
+                sink,
+                deadline,
+            )?;
+            let pass = &outcome.pass;
+            accumulate_pass(
+                pass,
+                repeats as f64,
+                &mut traffic,
+                &mut total_cycles,
+                &mut tally,
+            );
+            evicted = pass.evictions * repeats;
+            buffer_peak = pass.buffer_peak_bytes;
+            buffer_avg = pass.buffer_avg_bytes;
+            bw_trace = downsample_trace(pass, bpc, 25);
+            sim_steps += pass.steps.len() as u64;
+            modeled_passes += repeats;
+            peak_working_set = peak_working_set.max(pass.buffer_peak_bytes);
+            mxm_stats = Some(outcome.stats);
+        }
+
+        if remainder_iters > 0 {
+            diagnostics
+                .push("odd iteration count: trailing iteration's mxm sweep runs unfused".into());
+            let repeats = profile.mxm_passes as u64;
+            if S::ENABLED {
+                sink.emit(TraceEvent::PassBoundary {
+                    pass: u32::from(full_units > 0),
+                    repeats,
+                    steps,
+                });
+            }
+            let outcome = crate::spgemm::execute_mxm_traced(
+                arena,
+                program.os_semiring,
+                config,
+                &crate::spgemm::MxmParams {
+                    fused_iterations: 1.0,
+                    ewise_matrix_passes: riders,
+                    t_rows,
+                },
+                sink,
+                deadline,
+            )?;
+            let pass = &outcome.pass;
+            accumulate_pass(
+                pass,
+                repeats as f64,
+                &mut traffic,
+                &mut total_cycles,
+                &mut tally,
+            );
+            evicted += pass.evictions * repeats;
+            buffer_peak = buffer_peak.max(pass.buffer_peak_bytes);
+            if bw_trace.is_empty() {
+                buffer_avg = pass.buffer_avg_bytes;
+                bw_trace = downsample_trace(pass, bpc, 25);
+            }
+            sim_steps += pass.steps.len() as u64;
+            modeled_passes += repeats;
+            peak_working_set = peak_working_set.max(pass.buffer_peak_bytes);
+            mxm_stats.get_or_insert(outcome.stats);
+        }
+    } else if profile.has_oei {
         let (full_passes, remainder_iters, ewise_iterations) = if profile.cross_iteration {
             diagnostics.push(format!(
                 "cross-iteration OEI: {} fused pass(es), each covering 2 iterations",
@@ -400,6 +523,7 @@ pub(crate) fn simulate_inner<S: TraceSink>(
         modeled_passes,
         peak_working_set_bytes: peak_working_set,
         diagnostics,
+        mxm: mxm_stats,
     })
 }
 
@@ -595,6 +719,146 @@ mod tests {
         let m = gen::uniform(4000, 4000, 40_000, 2);
         let r = simulate(&pagerank_program(), &m, 10, &cfg()).unwrap();
         assert!(r.energy.memory_pj > r.energy.compute_pj);
+    }
+}
+
+#[cfg(test)]
+mod mxm_tests {
+    use super::*;
+    use sparsepipe_frontend::{compile, GraphBuilder};
+    use sparsepipe_semiring::{EwiseBinary, SemiringOp};
+    use sparsepipe_tensor::gen;
+
+    /// Multi-source-BFS shape: a carried frontier matrix advanced by
+    /// `mxm` against a constant adjacency — cross-iteration OEI.
+    fn msbfs_program() -> SparsepipeProgram {
+        let mut b = GraphBuilder::new();
+        let f = b.input_matrix("F");
+        let a = b.constant_matrix("A");
+        let next = b.mxm(f, a, SemiringOp::AndOr).unwrap();
+        b.carry(next, f).unwrap();
+        compile(&b.build().unwrap(), 1).unwrap()
+    }
+
+    /// Triangle-counting shape: `A ⊙ (A·A)` with no loop carry — no OEI,
+    /// every iteration re-streams the stationary rows.
+    fn tri_program() -> SparsepipeProgram {
+        let mut b = GraphBuilder::new();
+        let a = b.constant_matrix("A");
+        let sq = b.mxm(a, a, SemiringOp::MulAdd).unwrap();
+        b.ewise_matrix(EwiseBinary::Mul, sq, a).unwrap();
+        compile(&b.build().unwrap(), 1).unwrap()
+    }
+
+    fn cfg() -> SparsepipeConfig {
+        SparsepipeConfig::iso_gpu()
+            .with_buffer(8 << 20)
+            .with_preprocessing(crate::config::Preprocessing::none())
+    }
+
+    fn run(program: &SparsepipeProgram, m: &CooMatrix, iters: usize) -> crate::SimOutcome {
+        crate::driver::SimRequest::new(program, m)
+            .iterations(iters)
+            .config(cfg())
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn oei_mxm_halves_stationary_traffic() {
+        let m = gen::uniform(2000, 2000, 20_000, 9);
+        let fused = run(&msbfs_program(), &m, 12);
+        let unfused = run(&tri_program(), &m, 12);
+        // Fused: each stationary row fetched once per two iterations.
+        assert!(
+            fused.report.matrix_loads_per_iteration < 0.65,
+            "fused loads/iter = {}",
+            fused.report.matrix_loads_per_iteration
+        );
+        // Unfused: once per iteration (≤ 1.0 — rows without in-edges are
+        // never demanded).
+        assert!(
+            unfused.report.matrix_loads_per_iteration > 0.8
+                && unfused.report.matrix_loads_per_iteration <= 1.0 + 1e-9,
+            "unfused loads/iter = {}",
+            unfused.report.matrix_loads_per_iteration
+        );
+        assert!(fused
+            .diagnostics
+            .iter()
+            .any(|d| d.contains("cross-iteration OEI across mxm")));
+        assert!(unfused
+            .diagnostics
+            .iter()
+            .any(|d| d.contains("without cross-iteration reuse")));
+    }
+
+    #[test]
+    fn mxm_outcome_carries_spgemm_stats() {
+        let m = gen::power_law(1000, 8000, 1.0, 0.4, 3);
+        let outcome = run(&msbfs_program(), &m, 8);
+        let stats = outcome.mxm.expect("mxm schedule must report stats");
+        assert!(stats.intermediate_nnz >= stats.out_nnz);
+        assert!(stats.peak_accumulator_cols > 0);
+        assert!(stats.expansion_factor > 0.0);
+        // vxm-only programs must not grow an mxm field.
+        let mut b = GraphBuilder::new();
+        let pr = b.input_vector("pr");
+        let l = b.constant_matrix("L");
+        let y = b.vxm(pr, l, SemiringOp::MulAdd).unwrap();
+        b.carry(y, pr).unwrap();
+        let vxm = compile(&b.build().unwrap(), 1).unwrap();
+        assert!(run(&vxm, &m, 8).mxm.is_none());
+    }
+
+    #[test]
+    fn traced_mxm_run_is_byte_identical_and_audits_exactly() {
+        use sparsepipe_trace::{MemorySink, TraceAudit};
+        let m = gen::power_law(1200, 9600, 1.0, 0.4, 17);
+        for program in [msbfs_program(), tri_program()] {
+            // Odd iteration counts exercise the unfused mxm tail pass.
+            for iters in [8usize, 9] {
+                let untraced = run(&program, &m, iters);
+                let mut sink = MemorySink::new();
+                let traced = crate::driver::SimRequest::new(&program, &m)
+                    .iterations(iters)
+                    .config(cfg())
+                    .trace(&mut sink)
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    traced.report, untraced.report,
+                    "tracing must not perturb the mxm schedule (iters={iters})"
+                );
+                let audit = TraceAudit::replay(sink.events());
+                audit
+                    .check(&traced.report.traffic.audit_totals())
+                    .unwrap_or_else(|e| panic!("mxm audit mismatch at iters={iters}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn ewise_matrix_rider_adds_stream_traffic_not_stationary() {
+        let m = gen::uniform(1500, 1500, 15_000, 7);
+        let plain = run(
+            &{
+                let mut b = GraphBuilder::new();
+                let a = b.constant_matrix("A");
+                b.mxm(a, a, SemiringOp::MulAdd).unwrap();
+                compile(&b.build().unwrap(), 1).unwrap()
+            },
+            &m,
+            6,
+        );
+        let masked = run(&tri_program(), &m, 6);
+        assert_eq!(
+            masked.report.traffic.csc_bytes.to_bits(),
+            plain.report.traffic.csc_bytes.to_bits(),
+            "the rider must not touch stationary demand traffic"
+        );
+        assert!(masked.report.traffic.vector_bytes > plain.report.traffic.vector_bytes);
+        assert!(masked.report.traffic.writeback_bytes > plain.report.traffic.writeback_bytes);
     }
 }
 

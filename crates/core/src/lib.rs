@@ -70,6 +70,7 @@ pub mod oei;
 pub mod pipeline;
 pub mod plan;
 pub mod profile;
+pub mod spgemm;
 mod stats;
 
 pub use arena::{MatrixArena, RowSet};
@@ -79,6 +80,7 @@ pub use driver::{SimOutcome, SimRequest, SimTelemetry};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use plan::PassPlan;
 pub use profile::MatrixProfile;
+pub use spgemm::{MxmOutcome, MxmParams, MxmRequest, MxmStats};
 pub use stats::{BwSample, SimReport, TrafficBreakdown};
 
 /// Errors produced by the simulator.

@@ -76,6 +76,27 @@ pub struct MatrixProfile {
     /// The plan's dense-vector working set per step, in vector elements
     /// (copied from [`PassPlan::vec_live`]).
     pub vec_live: Vec<usize>,
+    /// Scalar products a Gustavson self-product `M ⊕.⊗ M` forms:
+    /// `Σ_k col_nnz(k) · row_nnz(k)` — the exact `intermediate_nnz` the
+    /// SpGEMM stage reports, and the upper bound on its stationary-row
+    /// element accesses.
+    pub spgemm_products: u64,
+    /// Stationary-row elements the self-product demands at least once:
+    /// `Σ_{k : col_nnz(k) > 0} row_nnz(k)`. With an ample residency
+    /// window this is *exactly* the SpGEMM stage's demand traffic in
+    /// elements; it is always a refetch-free lower bound.
+    pub spgemm_touched_elements: u64,
+    /// `max_i Σ_{k ∈ row i} row_nnz(k)` — the widest per-row Gustavson
+    /// expansion, an upper bound on the stage's peak live accumulator
+    /// columns (which also never exceed `n`).
+    pub spgemm_max_row_expansion: u64,
+    /// Output rows of the self-product that can hold any entry (rows
+    /// whose expansion is non-zero); `n · spgemm_nonempty_out_rows`
+    /// caps the product's population alongside `spgemm_products`.
+    pub spgemm_nonempty_out_rows: u32,
+    /// Largest single-row non-zero count — the biggest indivisible unit
+    /// the SpGEMM residency window must hold.
+    pub max_row_nnz: u32,
 }
 
 impl MatrixProfile {
@@ -149,6 +170,32 @@ impl MatrixProfile {
         };
         let worst_live_eager = prefix(&delta_eager);
         let worst_live_demand = prefix(&delta_demand);
+
+        // SpGEMM statics of the self-product M ⊕.⊗ M, from per-row /
+        // per-column populations (O(nnz + n)). These bound the Gustavson
+        // stage (`sparsepipe_core::spgemm`) without running it.
+        let n_us = plan.n as usize;
+        let mut row_nnz = vec![0u64; n_us];
+        let mut col_nnz = vec![0u64; n_us];
+        for e in 0..plan.nnz {
+            row_nnz[plan.rows[e] as usize] += 1;
+            col_nnz[plan.cols[e] as usize] += 1;
+        }
+        let mut spgemm_products = 0u64;
+        let mut spgemm_touched_elements = 0u64;
+        for k in 0..n_us {
+            spgemm_products += col_nnz[k] * row_nnz[k];
+            if col_nnz[k] > 0 {
+                spgemm_touched_elements += row_nnz[k];
+            }
+        }
+        let mut expansion = vec![0u64; n_us];
+        for e in 0..plan.nnz {
+            expansion[plan.rows[e] as usize] += row_nnz[plan.cols[e] as usize];
+        }
+        let spgemm_max_row_expansion = expansion.iter().copied().max().unwrap_or(0);
+        let spgemm_nonempty_out_rows = expansion.iter().filter(|&&x| x > 0).count() as u32;
+        let max_row_nnz = row_nnz.iter().copied().max().unwrap_or(0) as u32;
         let demand_burst_peak = (0..steps)
             .map(|s| plan.os_elements(s).len() + plan.is_elements(s).len())
             .max()
@@ -167,6 +214,11 @@ impl MatrixProfile {
             worst_live_eager,
             worst_live_demand,
             vec_live: plan.vec_live.clone(),
+            spgemm_products,
+            spgemm_touched_elements,
+            spgemm_max_row_expansion,
+            spgemm_nonempty_out_rows,
+            max_row_nnz,
         }
     }
 
@@ -222,6 +274,45 @@ mod tests {
         assert_eq!(p.deferred_consumptions, 0);
         assert!(p.os_live_at_enforce.iter().all(|&c| c == 0));
         assert!(p.worst_live_demand.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn spgemm_statics_on_a_path_graph() {
+        // 0→1→2: one product (row 0 expands through row 1), one touched
+        // stationary element, expansion peak 1, one non-empty output row.
+        let entries = vec![(0u32, 1u32, 1.0), (1, 2, 1.0)];
+        let m = sparsepipe_tensor::CooMatrix::from_entries(3, 3, entries).unwrap();
+        let plan = PassPlan::build(&m, 1);
+        let p = MatrixProfile::build(&plan);
+        assert_eq!(p.spgemm_products, 1);
+        assert_eq!(p.spgemm_touched_elements, 1);
+        assert_eq!(p.spgemm_max_row_expansion, 1);
+        assert_eq!(p.spgemm_nonempty_out_rows, 1);
+        assert_eq!(p.max_row_nnz, 1);
+    }
+
+    #[test]
+    fn spgemm_statics_match_the_stage() {
+        use sparsepipe_semiring::SemiringOp;
+        let m = gen::power_law(300, 2400, 1.0, 0.4, 5);
+        let plan = PassPlan::build(&m, 16);
+        let p = MatrixProfile::build(&plan);
+        let arena = crate::MatrixArena::from_coo(&m);
+        let outcome = crate::MxmRequest::new(
+            &arena,
+            SemiringOp::MulAdd,
+            &crate::SparsepipeConfig::iso_gpu(),
+        )
+        .run();
+        assert_eq!(p.spgemm_products, outcome.stats.intermediate_nnz);
+        assert!(u64::from(outcome.stats.peak_accumulator_cols) <= p.spgemm_max_row_expansion);
+        assert!(outcome.stats.out_nnz <= p.spgemm_products);
+        assert!(
+            outcome.stats.out_nnz <= u64::from(p.spgemm_nonempty_out_rows) * u64::from(p.n),
+            "population cap violated"
+        );
+        assert!(p.spgemm_touched_elements <= p.spgemm_products);
+        assert!(p.spgemm_touched_elements <= p.nnz as u64);
     }
 
     #[test]

@@ -107,6 +107,13 @@ fn detect_oei(g: &DataflowGraph, matrix_ops: &[OpId], tainted: &[TensorId]) -> O
     // reported e-wise path is minimal.
     for &os_op in matrix_ops {
         let os_matrix = *g.op(os_op).inputs.get(1)?;
+        // Cross-iteration reuse is only real if the shared operand
+        // *persists* across the carry: a `Constant` matrix is the same
+        // bytes next iteration, whereas an `Input` matrix (Markov
+        // clustering's `M` in `mxm(M, M)`) is overwritten by the carry —
+        // fusing across it would share fetches of two different
+        // matrices. Within-iteration fusion needs no such guard.
+        let os_matrix_persists = g.tensor(os_matrix).role == TensorRole::Constant;
         let start = g.op(os_op).output;
         let mut queue: std::collections::VecDeque<(TensorId, bool, Vec<OpId>)> =
             std::collections::VecDeque::new();
@@ -126,6 +133,7 @@ fn detect_oei(g: &DataflowGraph, matrix_ops: &[OpId], tainted: &[TensorId]) -> O
                     // A same-iteration match must be a *different* op
                     // (an op cannot pipeline with itself in one iteration).
                     && (crossed || consumer != os_op)
+                    && (!crossed || os_matrix_persists)
                 {
                     return Some(OeiSubgraph {
                         os_op,
@@ -137,10 +145,22 @@ fn detect_oei(g: &DataflowGraph, matrix_ops: &[OpId], tainted: &[TensorId]) -> O
             }
 
             // Advance through sub-tensor-dependency ops whose side operands
-            // are available before the OS vxm completes.
+            // are available before the OS vxm completes. An `mxm` whose
+            // *stationary* (right) operand is constant also preserves
+            // row-wise dependency on its flowing (left) operand — row `i`
+            // of `T·W` needs only row `i` of `T` under Gustavson — the
+            // same argument that admits `DenseMM` on GCN's path (Fig 5),
+            // so a sparse-weight `mxm` may sit on the OEI path. A `vxm`
+            // does not qualify (out[c] reduces over the whole vector).
             for consumer in g.consumers(t) {
                 let node = g.op(consumer);
-                if !node.kind.has_subtensor_dependency() {
+                let mxm_row_wise = matches!(node.kind, crate::graph::OpKind::Mxm { .. })
+                    && node.inputs.first() == Some(&t)
+                    && node
+                        .inputs
+                        .get(1)
+                        .is_some_and(|&m| g.tensor(m).role == TensorRole::Constant);
+                if !(node.kind.has_subtensor_dependency() || mxm_row_wise) {
                     continue;
                 }
                 let side_ok = node.inputs.iter().all(|&input| {
@@ -342,6 +362,73 @@ mod tests {
         let g = b.build().unwrap();
         let oei = analyze(&g).oei.expect("mxv loop must expose OEI");
         assert!(oei.cross_iteration);
+    }
+
+    /// A single-`mxm` loop over a constant right operand (multi-source
+    /// BFS: `F' = F ⊗⊕ A`, carry `F' → F`) admits cross-iteration OEI
+    /// exactly like a single-vxm loop — successive Gustavson sweeps share
+    /// the constant `A`'s row fetches.
+    #[test]
+    fn mxm_loop_over_constant_matrix_is_cross_iteration_oei() {
+        let mut b = GraphBuilder::new();
+        let f = b.input_matrix("F");
+        let a = b.constant_matrix("A");
+        let next = b.mxm(f, a, SemiringOp::AndOr).unwrap();
+        b.carry(next, f).unwrap();
+        let g = b.build().unwrap();
+        let oei = analyze(&g).oei.expect("mxm loop must expose OEI");
+        assert!(oei.cross_iteration);
+        assert_eq!(oei.os_op, oei.is_op);
+        assert!(oei.path.is_empty());
+    }
+
+    /// Markov clustering's `mxm(M, M)` squares a *carried* matrix: the
+    /// shared operand is overwritten every iteration, so cross-iteration
+    /// fusion would share fetches of two different matrices — rejected.
+    #[test]
+    fn mxm_over_carried_matrix_has_no_cross_iteration_oei() {
+        let mut b = GraphBuilder::new();
+        let m = b.input_matrix("M");
+        let sq = b.mxm(m, m, SemiringOp::MulAdd).unwrap();
+        let infl = b.ewise_matrix(EwiseBinary::Mul, sq, sq).unwrap();
+        b.carry(infl, m).unwrap();
+        let g = b.build().unwrap();
+        assert!(
+            analyze(&g).oei.is_none(),
+            "carried shared operand must not claim cross-iteration reuse"
+        );
+    }
+
+    /// Sparse-weight GCN: `Z = mxm(H, A); H' = mxm(Z, W); carry H' → H`.
+    /// The second `mxm`'s stationary operand `W` is constant, so it keeps
+    /// row-wise dependency and sits on the OEI path — the two `A`-sweeps
+    /// of adjacent iterations fuse.
+    #[test]
+    fn mxm_with_constant_weights_sits_on_oei_path() {
+        let mut b = GraphBuilder::new();
+        let h = b.input_matrix("H");
+        let a = b.constant_matrix("A");
+        let w = b.constant_matrix("W");
+        let z = b.mxm(h, a, SemiringOp::MulAdd).unwrap();
+        let h2 = b.mxm(z, w, SemiringOp::MulAdd).unwrap();
+        b.carry(h2, h).unwrap();
+        let g = b.build().unwrap();
+        let oei = analyze(&g).oei.expect("sparse-weight GCN must expose OEI");
+        assert!(oei.cross_iteration);
+        assert_eq!(oei.os_op, oei.is_op, "A-sweep fuses with next A-sweep");
+        assert_eq!(oei.path.len(), 1, "the weight mxm is the path");
+    }
+
+    /// Triangle counting (`A ⊙ (A·A)`, no carry) is a one-shot pipeline:
+    /// producer-consumer reuse only, no OEI.
+    #[test]
+    fn mxm_without_carry_has_no_oei() {
+        let mut b = GraphBuilder::new();
+        let a = b.constant_matrix("A");
+        let sq = b.mxm(a, a, SemiringOp::MulAdd).unwrap();
+        let _masked = b.ewise_matrix(EwiseBinary::Mul, sq, a).unwrap();
+        let g = b.build().unwrap();
+        assert!(analyze(&g).oei.is_none());
     }
 
     #[test]

@@ -79,6 +79,14 @@ impl GraphBuilder {
         self.add_tensor(name, TensorKind::SparseMatrix, TensorRole::Constant)
     }
 
+    /// Declares a live-in *sparse matrix* that changes across iterations
+    /// (a multi-source BFS frontier, Markov clustering's evolving `M`,
+    /// sparse GCN activations) — the flowing operand of `mxm` loops,
+    /// eligible as a loop-carry target.
+    pub fn input_matrix(&mut self, name: impl Into<String>) -> TensorId {
+        self.add_tensor(name, TensorKind::SparseMatrix, TensorRole::Input)
+    }
+
     /// Declares a constant dense matrix (GCN weights).
     pub fn constant_dense(&mut self, name: impl Into<String>) -> TensorId {
         self.add_tensor(name, TensorKind::DenseMatrix, TensorRole::Constant)
@@ -192,6 +200,30 @@ impl GraphBuilder {
             OpKind::SpMM { semiring },
             vec![x, a],
             TensorKind::DenseMatrix,
+        ))
+    }
+
+    /// `out[i,j] = a[i,j] op b[i,j]` — element-wise combination of two
+    /// sparse matrices (GraphBLAS's `eWiseMult`/`eWiseAdd`), with absent
+    /// entries read as zero and exact-zero results kept implicit. The
+    /// masking/inflation companion of [`GraphBuilder::mxm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::KindMismatch`] unless both operands are
+    /// sparse matrices.
+    pub fn ewise_matrix(
+        &mut self,
+        op: EwiseBinary,
+        a: TensorId,
+        b2: TensorId,
+    ) -> Result<TensorId, FrontendError> {
+        self.expect_kind(a, TensorKind::SparseMatrix, "ewise_matrix lhs")?;
+        self.expect_kind(b2, TensorKind::SparseMatrix, "ewise_matrix rhs")?;
+        Ok(self.add_op(
+            OpKind::EwiseMatrix { op },
+            vec![a, b2],
+            TensorKind::SparseMatrix,
         ))
     }
 

@@ -124,6 +124,17 @@ pub enum OpKind {
     /// Dense matrix × dense weight matrix (GCN's `MM`). Inputs:
     /// `[dense, dense]`.
     DenseMM,
+    /// Element-wise binary op over two same-shaped *sparse* matrices
+    /// (GraphBLAS's `eWiseMult`/`eWiseAdd` on matrices): output entry
+    /// `(i,j)` combines entry `(i,j)` of each operand, with absent
+    /// entries read as the implicit zero and exact-zero results dropped.
+    /// This is the masking/inflation companion of [`OpKind::Mxm`]
+    /// (triangle counting's `A ⊙ (A·A)`, Markov clustering's Hadamard
+    /// inflation). Inputs: `[matrix, matrix]`.
+    EwiseMatrix {
+        /// The operator.
+        op: EwiseBinary,
+    },
     /// Element-wise binary op over two same-shaped tensors.
     EwiseBinary {
         /// The operator.
@@ -177,6 +188,7 @@ impl OpKind {
                 | OpKind::EwiseImmediate { .. }
                 | OpKind::EwiseUnary { .. }
                 | OpKind::DenseMM
+                | OpKind::EwiseMatrix { .. }
         )
     }
 
@@ -197,6 +209,11 @@ impl OpKind {
 
     /// `true` for matrix-touching operators (`vxm`/`mxv`/`SpMM`/`mxm`) —
     /// the operators whose operand dominates memory traffic.
+    ///
+    /// [`OpKind::EwiseMatrix`] is deliberately *not* in this set: it has
+    /// no semiring and no stationary operand, so it is neither an OEI
+    /// endpoint candidate nor a compiled OS/IS pass — the simulator
+    /// charges it as a streaming merge rider on the `mxm` stage instead.
     pub fn touches_matrix(&self) -> bool {
         matches!(
             self,
@@ -369,6 +386,10 @@ mod tests {
         }
         .has_subtensor_dependency());
         assert!(OpKind::DenseMM.has_subtensor_dependency());
+        assert!(OpKind::EwiseMatrix {
+            op: EwiseBinary::Mul
+        }
+        .has_subtensor_dependency());
         assert!(!OpKind::Reduce {
             op: EwiseBinary::Add
         }
@@ -385,6 +406,17 @@ mod tests {
         assert!(OpKind::Dot.is_ewise());
         assert!(!OpKind::DenseMM.is_ewise());
         assert!(OpKind::Vxm {
+            semiring: SemiringOp::MulAdd
+        }
+        .touches_matrix());
+        // EwiseMatrix rides on the mxm stage: neither a fusible vector
+        // e-wise op nor a compiled matrix pass.
+        let em = OpKind::EwiseMatrix {
+            op: EwiseBinary::Mul,
+        };
+        assert!(!em.is_ewise());
+        assert!(!em.touches_matrix());
+        assert!(OpKind::Mxm {
             semiring: SemiringOp::MulAdd
         }
         .touches_matrix());

@@ -219,6 +219,46 @@ fn eval_op(
                 .map_err(|e| bad(format!("mxm: {e}")))?;
             Value::Sparse(std::sync::Arc::new(c.to_csc()))
         }
+        OpKind::EwiseMatrix { op: bop } => {
+            let a = match val(0)? {
+                Value::Sparse(a) => a.clone(),
+                _ => return Err(bad("ewise_matrix lhs".into())),
+            };
+            let b2 = match val(1)? {
+                Value::Sparse(b) => b.clone(),
+                _ => return Err(bad("ewise_matrix rhs".into())),
+            };
+            if a.nrows() != b2.nrows() || a.ncols() != b2.ncols() {
+                return Err(bad(format!(
+                    "ewise_matrix: {}x{} vs {}x{}",
+                    a.nrows(),
+                    a.ncols(),
+                    b2.nrows(),
+                    b2.ncols()
+                )));
+            }
+            // Coordinate-sorted merge over the union of both patterns;
+            // absent entries read as 0.0 and exact-zero results stay
+            // implicit (the same drop rule as spgemm's accumulator).
+            let mut merged: std::collections::BTreeMap<(u32, u32), (f64, f64)> =
+                std::collections::BTreeMap::new();
+            for (r, c, v) in a.iter() {
+                merged.entry((r, c)).or_insert((0.0, 0.0)).0 = v;
+            }
+            for (r, c, v) in b2.iter() {
+                merged.entry((r, c)).or_insert((0.0, 0.0)).1 = v;
+            }
+            let entries: Vec<(u32, u32, f64)> = merged
+                .into_iter()
+                .filter_map(|((r, c), (x, y))| {
+                    let v = bop.apply(x, y);
+                    (v != 0.0).then_some((r, c, v))
+                })
+                .collect();
+            let coo = CooMatrix::from_entries(a.nrows(), a.ncols(), entries)
+                .expect("coordinates from operands are in range");
+            Value::Sparse(std::sync::Arc::new(coo.to_csc()))
+        }
         OpKind::SpMM { semiring } => {
             let h = val(0)?.as_dense().ok_or_else(|| bad("spmm input".into()))?;
             let a = match val(1)? {
@@ -583,6 +623,66 @@ mod mxm_tests {
             })
             .expect("vxm output present");
         assert!(got.max_abs_diff(&expected).unwrap() < 1e-9);
+    }
+
+    /// Triangle counting core: `A ⊙ (A·A)` keeps exactly the wedge
+    /// closures that are themselves edges.
+    #[test]
+    fn ewise_matrix_masks_spgemm_product() {
+        let mut b = GraphBuilder::new();
+        let a = b.constant_matrix("A");
+        let sq = b.mxm(a, a, SemiringOp::MulAdd).unwrap();
+        let masked = b
+            .ewise_matrix(sparsepipe_semiring::EwiseBinary::Mul, sq, a)
+            .unwrap();
+        let g = b.build().unwrap();
+
+        // directed triangle 0->1->2->0 plus a chord 0->2
+        let m = sparsepipe_tensor::CooMatrix::from_entries(
+            3,
+            3,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (0, 2, 1.0)],
+        )
+        .unwrap();
+        let mut bindings = Bindings::new();
+        bindings.insert("A".into(), Value::sparse(&m));
+        let out = run(&g, &bindings, 1).unwrap();
+        let name = &g.tensor(masked).name;
+        let got = match &out[name] {
+            Value::Sparse(s) => s.to_coo(),
+            other => panic!("expected sparse, got {other:?}"),
+        };
+        // (A·A)[0][2] = 1 via 0->1->2, and A[0][2] = 1 → masked entry 1;
+        // every other product entry falls outside A's pattern.
+        assert_eq!(got.entries(), &[(0, 2, 1.0)][..]);
+    }
+
+    /// A carried mxm loop (multi-source BFS) interprets: frontier rows
+    /// advance one hop per iteration.
+    #[test]
+    fn mxm_loop_advances_sparse_frontier() {
+        let mut b = GraphBuilder::new();
+        let f = b.input_matrix("F");
+        let a = b.constant_matrix("A");
+        let next = b.mxm(f, a, SemiringOp::AndOr).unwrap();
+        b.carry(next, f).unwrap();
+        let g = b.build().unwrap();
+
+        // path graph 0 -> 1 -> 2; two sources 0 and 1 as frontier rows
+        let adj = sparsepipe_tensor::CooMatrix::from_entries(3, 3, vec![(0, 1, 1.0), (1, 2, 1.0)])
+            .unwrap();
+        let f0 = sparsepipe_tensor::CooMatrix::from_entries(3, 3, vec![(0, 0, 1.0), (1, 1, 1.0)])
+            .unwrap();
+        let mut bindings = Bindings::new();
+        bindings.insert("F".into(), Value::sparse(&f0));
+        bindings.insert("A".into(), Value::sparse(&adj));
+        let out = run(&g, &bindings, 1).unwrap();
+        let got = match &out["F"] {
+            Value::Sparse(s) => s.to_coo(),
+            other => panic!("expected sparse, got {other:?}"),
+        };
+        // source 0 reaches 1, source 1 reaches 2
+        assert_eq!(got.entries(), &[(0, 1, 1.0), (1, 2, 1.0)][..]);
     }
 
     #[test]

@@ -64,6 +64,16 @@ pub struct WorkloadProfile {
     pub cross_iteration: bool,
     /// Matrix-touching operator passes per iteration.
     pub matrix_passes: usize,
+    /// Of [`WorkloadProfile::matrix_passes`], how many are sparse×sparse
+    /// `mxm` (SpGEMM) passes. Non-zero routes the simulator onto the
+    /// Gustavson stage; the per-pass B-side and writeback traffic beyond
+    /// the shared A-image is machine-dependent and modeled there (and by
+    /// the baselines' `MxmWork`).
+    pub mxm_passes: usize,
+    /// Element-wise sparse-matrix merge passes per iteration
+    /// (`EwiseMatrix`: triangle masking, MCL inflation). Charged as
+    /// streaming riders on the `mxm` stage.
+    pub ewise_matrix_passes: usize,
     /// Feature dimension: 1 for `vxm` apps, `f` for SpMM-based apps (every
     /// vector quantity below scales by this).
     pub feature_dim: usize,
@@ -191,11 +201,14 @@ fn build_profile(
     let mut unfused_writes = 0.0;
     let mut ewise_flops = 0.0;
     let mut dense_flops = 0.0;
+    let mut mxm_passes = 0usize;
+    let mut ewise_matrix_passes = 0usize;
 
     // Matrix and DenseMM operators (always their own kernels).
     for (_, op) in graph.ops() {
         match op.kind {
             OpKind::Mxm { semiring } => {
+                mxm_passes += 1;
                 // SpMSpM: both operands stream; flops follow Gustavson's
                 // per-nnz fan-out (approximated as average-degree work).
                 operators.push(OperatorSummary {
@@ -227,6 +240,14 @@ fn build_profile(
                 });
                 unfused_reads += feature;
                 unfused_writes += feature;
+            }
+            OpKind::EwiseMatrix { .. } => {
+                // Streams both sparse operands and writes a sparse
+                // result; no dense-vector traffic, one merge op per
+                // stored entry. Not a Matrix-class pass (no semiring, no
+                // stationary operand) — cost models read
+                // `ewise_matrix_passes` instead of the operator list.
+                ewise_matrix_passes += 1;
             }
             OpKind::DenseMM => {
                 operators.push(OperatorSummary {
@@ -311,8 +332,14 @@ fn build_profile(
             flops_per_unit: program.arithmetic_per_lane() as f64,
         });
     }
-    // vxm input vectors that are live-in (not produced on chip).
+    // vxm input vectors that are live-in (not produced on chip). Mxm
+    // passes are excluded: their operands and results are sparse
+    // matrices, not `n`-vector streams — that traffic belongs to the
+    // Gustavson stage's own model (`mxm_passes` above).
     for &mop in &analysis.matrix_ops {
+        if matches!(graph.op(mop).kind, OpKind::Mxm { .. }) {
+            continue;
+        }
         let input = graph.op(mop).inputs[0];
         if matches!(
             graph.tensor(input).role,
@@ -339,6 +366,8 @@ fn build_profile(
         has_oei: analysis.oei.is_some(),
         cross_iteration: analysis.oei.as_ref().is_some_and(|o| o.cross_iteration),
         matrix_passes: analysis.matrix_ops.len(),
+        mxm_passes,
+        ewise_matrix_passes,
         feature_dim: feature_dim.max(1),
         ewise_flops_per_element: ewise_total.max(ewise_flops),
         dense_flops_per_element: dense_flops,

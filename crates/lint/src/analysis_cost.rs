@@ -12,7 +12,14 @@
 //!   (repeated `iterations / 2` times) plus an unfused tail pass when the
 //!   iteration count is odd;
 //! * **within-iteration OEI** — one fused pass per iteration;
-//! * **no OEI** — a closed-form streaming model, no pipeline walk.
+//! * **no OEI** — a closed-form streaming model, no pipeline walk;
+//! * **mxm (SpGEMM) family** — Gustavson row-wise sweeps
+//!   (`sparsepipe_core::spgemm`), with the same fused/tail split when the
+//!   OEI crosses iterations. Stationary-row demand traffic is bounded
+//!   from the [`MatrixProfile`]'s SpGEMM statics (`[touched, products]`
+//!   elements), the product's population from its envelope, and the
+//!   accumulator occupancy from the widest per-row expansion (`SP-C004`
+//!   flags statically-guaranteed expansion pressure).
 //!
 //! Quantities the engine computes by a closed formula (vector stream
 //! bytes, tail/unfused matrix bytes) are reproduced with the same
@@ -39,6 +46,7 @@
 //! audited traces of all registry apps and checks
 //! `lower ≤ actual ≤ upper` per pass and per traffic category.
 
+use sparsepipe_core::spgemm::{ACC_BYTES_PER_COL, RESIDENCY_FRACTION};
 use sparsepipe_core::{MatrixProfile, PassPlan, SparsepipeConfig};
 use sparsepipe_frontend::{OpId, OpKind, SparsepipeProgram, TensorId, TensorKind, WorkloadProfile};
 use sparsepipe_tensor::CooMatrix;
@@ -211,6 +219,8 @@ pub enum PassKind {
     UnfusedTail,
     /// The closed-form streaming model used when the graph has no OEI.
     ClosedForm,
+    /// A Gustavson (SpGEMM) row-wise sweep of the mxm family.
+    Mxm,
 }
 
 impl PassKind {
@@ -221,6 +231,7 @@ impl PassKind {
             PassKind::Fused => "fused",
             PassKind::UnfusedTail => "tail",
             PassKind::ClosedForm => "closed-form",
+            PassKind::Mxm => "mxm",
         }
     }
 }
@@ -502,6 +513,84 @@ fn closed_form_bounds(
     }
 }
 
+/// Bounds one Gustavson (mxm) sweep of the engine's SpGEMM stage
+/// (`sparsepipe_core::spgemm`). `share` mirrors the stage's
+/// `fused_iterations` parameter: left-operand, write-back, and rider
+/// traffic scale by it, while the stationary row-fetch sequence is
+/// charged once per sweep (that *is* the cross-iteration sharing).
+/// Returns the pass cost and whether eviction is provably impossible
+/// (every touched stationary row fits the residency window together).
+fn mxm_pass_bounds(
+    wp: &WorkloadProfile,
+    geo: &Geometry<'_>,
+    share: f64,
+    pass: u32,
+) -> (PassCost, bool) {
+    let mp = geo.mp;
+    let n = f64::from(mp.n);
+    let nnz = mp.nnz as f64;
+    let products = mp.spgemm_products as f64;
+    let touched = mp.spgemm_touched_elements as f64;
+    let riders = wp.ewise_matrix_passes as f64;
+
+    // Stationary first fetches: exactly one demand load per touched
+    // element per sweep — independent of `share` and of evictions (the
+    // stage classifies post-eviction re-reads separately).
+    let csc = Interval::around(touched * geo.fetch_b);
+
+    // The FIFO residency window never evicts if all touched rows fit in
+    // its budget together; otherwise every stationary access beyond each
+    // element's first fetch can be a post-eviction re-read. Total
+    // element accesses equal the product count.
+    let budget = geo.cap * RESIDENCY_FRACTION;
+    let no_eviction = touched * geo.elem_b <= budget;
+    let refetch = if no_eviction {
+        Interval::zero()
+    } else {
+        Interval::banded(0.0, (products - touched).max(0.0) * geo.fetch_b)
+    };
+
+    // The product's population is only enveloped: cancellation can
+    // annihilate every entry, and at most `products` merges land in the
+    // rows with non-zero expansion (at most n columns each).
+    let out_cap = products.min(n * f64::from(mp.spgemm_nonempty_out_rows));
+    let vector = Interval::banded(
+        share * nnz * geo.fetch_b,
+        share * (nnz + 2.0 * riders * out_cap) * geo.fetch_b,
+    );
+    let writeback = Interval::banded(0.0, share * (1.0 + riders) * out_cap * geo.fetch_b);
+
+    // Occupancy: residency-window bytes plus live accumulator columns.
+    // The window never holds more than all touched rows, nor — after its
+    // eviction loop — more than max(budget, one indivisible row); the
+    // accumulator peak is capped by the widest row expansion and by n.
+    // Any formed product leaves at least one live column at some step.
+    let occupancy = if products > 0.0 {
+        let resident_ub =
+            (touched * geo.elem_b).min(budget.max(f64::from(mp.max_row_nnz) * geo.elem_b));
+        let acc_ub = n.min(mp.spgemm_max_row_expansion as f64) * ACC_BYTES_PER_COL;
+        Interval::banded(ACC_BYTES_PER_COL, resident_ub + acc_ub)
+    } else {
+        Interval::zero()
+    };
+
+    let cost = PassCost {
+        kind: PassKind::Mxm,
+        pass,
+        repeats: 1, // caller sets the schedule's repeat count
+        steps: mp.steps as u32,
+        traffic: TrafficBounds {
+            csc,
+            csr_eager: Interval::zero(),
+            refetch,
+            vector,
+            writeback,
+        },
+        occupancy_bytes: occupancy,
+    };
+    (cost, no_eviction)
+}
+
 /// Output envelope for each operator: dense slot count from the output
 /// tensor's kind, populated-element envelope from the operator's
 /// semantics (a sparse product can annihilate everything; an e-wise map
@@ -573,7 +662,30 @@ pub fn analyze(
     let mut passes: Vec<PassCost> = Vec::new();
     let mut no_eviction = true;
     let mut thrash = false;
-    if wp.has_oei {
+    if wp.mxm_passes > 0 {
+        // Mirror the engine's mxm schedule: cross-iteration OEI fuses two
+        // iterations onto one sweep of the stationary rows (plus an
+        // unfused tail sweep when the count is odd); otherwise every
+        // iteration sweeps on its own.
+        let (full_units, remainder) = if wp.cross_iteration {
+            (iterations / 2, iterations % 2)
+        } else {
+            (iterations, 0)
+        };
+        let share = if wp.cross_iteration { 2.0 } else { 1.0 };
+        if full_units > 0 {
+            let (mut fused, no_evict) = mxm_pass_bounds(wp, &geo, share, 0);
+            fused.repeats = (full_units * wp.mxm_passes) as u64;
+            passes.push(fused);
+            no_eviction = no_evict;
+        }
+        if remainder > 0 {
+            let (mut tail, no_evict) = mxm_pass_bounds(wp, &geo, 1.0, u32::from(full_units > 0));
+            tail.repeats = wp.mxm_passes as u64;
+            passes.push(tail);
+            no_eviction = no_eviction && no_evict;
+        }
+    } else if wp.has_oei {
         let (full_passes, remainder) = if wp.cross_iteration {
             (iterations / 2, iterations % 2)
         } else {
@@ -609,14 +721,44 @@ pub fn analyze(
         }
     }
 
-    // Unfused reference: every operator a separate kernel, every pass a
-    // full matrix sweep, no cross-iteration sharing.
-    let unfused_matrix_per_iter = wp.matrix_passes as f64 * nnz * geo.fetch_b;
+    // Unfused reference: every operator a separate kernel, no
+    // cross-iteration sharing. vxm-family sweeps read the matrix image
+    // exactly once per pass; an unfused mxm kernel streams the left
+    // operand (nnz), demands between `touched` and `products` stationary
+    // elements, writes the product, and any e-wise matrix rider streams
+    // it again — the product's population is only enveloped, so the
+    // reference widens to an interval.
+    let out_cap = (mp.spgemm_products as f64).min(n * f64::from(mp.spgemm_nonempty_out_rows));
+    let unfused_matrix_per_iter = if wp.mxm_passes > 0 {
+        let mxm = wp.mxm_passes as f64;
+        let riders = wp.ewise_matrix_passes as f64;
+        let vxm_sweeps = (wp.matrix_passes - wp.mxm_passes) as f64 * nnz;
+        Interval::banded(
+            (vxm_sweeps + mxm * (mp.spgemm_touched_elements as f64 + nnz)) * geo.fetch_b,
+            (vxm_sweeps
+                + mxm * (mp.spgemm_products as f64 + nnz + out_cap)
+                + riders * (2.0 * out_cap + nnz))
+                * geo.fetch_b,
+        )
+    } else {
+        Interval::around(wp.matrix_passes as f64 * nnz * geo.fetch_b)
+    };
     let unfused_vector_per_iter = (wp.unfused_vector_reads + wp.unfused_vector_writes) * n * 8.0;
-    let unfused_total =
-        Interval::around((unfused_matrix_per_iter + unfused_vector_per_iter) * iterations as f64);
+    let unfused_total = unfused_matrix_per_iter
+        .add(&Interval::around(unfused_vector_per_iter))
+        .scale(iterations as f64);
 
-    // Reuse score: guaranteed saving on *matrix* traffic vs unfused.
+    // Reuse score: guaranteed saving on *stationary* matrix traffic vs
+    // unfused execution. For the mxm family the left-operand stream
+    // appears identically on both sides, so it is excluded and the score
+    // isolates the shared stationary-row fetches.
+    let unfused_stationary_lb = if wp.mxm_passes > 0 {
+        ((wp.matrix_passes - wp.mxm_passes) as f64 * nnz
+            + wp.mxm_passes as f64 * mp.spgemm_touched_elements as f64)
+            * geo.fetch_b
+    } else {
+        wp.matrix_passes as f64 * nnz * geo.fetch_b
+    };
     let fused_matrix_ub: f64 = passes
         .iter()
         .map(|p| {
@@ -635,8 +777,8 @@ pub fn analyze(
             (first_load_ub + p.traffic.refetch.upper) * p.repeats as f64
         })
         .sum();
-    let reuse_score = if wp.has_oei && unfused_matrix_per_iter > 0.0 {
-        (1.0 - fused_matrix_ub / (unfused_matrix_per_iter * iterations as f64)).clamp(0.0, 1.0)
+    let reuse_score = if wp.has_oei && unfused_stationary_lb > 0.0 {
+        (1.0 - fused_matrix_ub / (unfused_stationary_lb * iterations as f64)).clamp(0.0, 1.0)
     } else {
         0.0
     };
@@ -668,6 +810,26 @@ pub fn analyze(
                      {live} provably-resident elements exceed the enforcement budget by \
                      {overflow:.0} B, forcing evictions of elements with pending consumers",
                     config.buffer_bytes,
+                ),
+            );
+        }
+    }
+    if wp.mxm_passes > 0 && nnz > 0.0 {
+        let expansion_ub = mp.spgemm_products as f64 / nnz;
+        let acc_cols = n.min(mp.spgemm_max_row_expansion as f64);
+        let acc_bytes = acc_cols * ACC_BYTES_PER_COL;
+        let headroom = geo.cap * (1.0 - RESIDENCY_FRACTION);
+        if expansion_ub >= 8.0 || acc_bytes > headroom {
+            diagnostics.warning(
+                "SP-C004",
+                None,
+                None,
+                format!(
+                    "Gustavson expansion pressure: the SpGEMM intermediate is up to \
+                     {expansion_ub:.1}x the stored non-zeros, and the sparse accumulator \
+                     can hold {acc_cols:.0} live columns ({acc_bytes:.0} B against the \
+                     {headroom:.0} B outside the residency window); consider masking the \
+                     product or reducing the scale"
                 ),
             );
         }
@@ -894,6 +1056,132 @@ mod tests {
         assert_eq!(r.passes[0].kind, PassKind::ClosedForm);
         assert_eq!(r.reuse_score, 0.0);
         assert_eq!(r.occupancy_bytes, Interval::zero());
+    }
+
+    fn msbfs_like() -> SparsepipeProgram {
+        let mut b = GraphBuilder::new();
+        let f = b.input_matrix("F");
+        let a = b.constant_matrix("A");
+        let next = b.mxm(f, a, SemiringOp::AndOr).unwrap();
+        b.carry(next, f).unwrap();
+        compile(&b.build().unwrap(), 1).unwrap()
+    }
+
+    fn tri_like() -> SparsepipeProgram {
+        let mut b = GraphBuilder::new();
+        let a = b.constant_matrix("A");
+        let sq = b.mxm(a, a, SemiringOp::MulAdd).unwrap();
+        let _ = b.ewise_matrix(EwiseBinary::Mul, sq, a).unwrap();
+        compile(&b.build().unwrap(), 1).unwrap()
+    }
+
+    #[test]
+    fn mxm_pass_structure_matches_engine() {
+        let program = msbfs_like();
+        let m = gen::power_law(256, 2048, 1.0, 0.4, 7);
+        let config = SparsepipeConfig::iso_gpu();
+        let odd = analyze_matrix(&program, &m, &config, 9);
+        assert!(odd.cross_iteration);
+        assert_eq!(odd.passes.len(), 2, "4 fused units + odd tail sweep");
+        assert_eq!(odd.passes[0].kind, PassKind::Mxm);
+        assert_eq!(odd.passes[0].repeats, 4);
+        assert_eq!(odd.passes[1].kind, PassKind::Mxm);
+        assert_eq!(odd.passes[1].pass, 1);
+        assert_eq!(odd.passes[1].repeats, 1);
+        let even = analyze_matrix(&program, &m, &config, 8);
+        assert_eq!(even.passes.len(), 1);
+        assert_eq!(even.passes[0].repeats, 4);
+        // Two-iteration sharing halves the stationary fetches exactly.
+        assert!(
+            (even.reuse_score - 0.5).abs() < 1e-6,
+            "expected ~0.5 reuse, got {}",
+            even.reuse_score
+        );
+        // No carry → no cross-iteration sharing: one sweep per iteration.
+        let pc = analyze_matrix(&tri_like(), &m, &config, 6);
+        assert!(!pc.cross_iteration);
+        assert_eq!(pc.passes.len(), 1);
+        assert_eq!(pc.passes[0].kind, PassKind::Mxm);
+        assert_eq!(pc.passes[0].repeats, 6);
+    }
+
+    fn assert_brackets(
+        program: &SparsepipeProgram,
+        m: &CooMatrix,
+        config: &SparsepipeConfig,
+        iterations: usize,
+    ) {
+        let outcome = sparsepipe_core::SimRequest::new(program, m)
+            .iterations(iterations)
+            .config(*config)
+            .run()
+            .unwrap();
+        let r = analyze_matrix(program, m, config, iterations);
+        let actual = &outcome.report.traffic;
+        for (name, iv, got) in [
+            ("csc", r.traffic.csc, actual.csc_bytes),
+            ("csr_eager", r.traffic.csr_eager, actual.csr_eager_bytes),
+            ("refetch", r.traffic.refetch, actual.refetch_bytes),
+            ("vector", r.traffic.vector, actual.vector_bytes),
+            ("writeback", r.traffic.writeback, actual.writeback_bytes),
+        ] {
+            assert!(
+                iv.contains(got),
+                "{name}: actual {got} outside [{}, {}] ({iterations} iters)",
+                iv.lower,
+                iv.upper
+            );
+        }
+        assert!(
+            r.occupancy_bytes.contains(outcome.report.buffer_peak_bytes),
+            "occupancy: actual {} outside [{}, {}]",
+            outcome.report.buffer_peak_bytes,
+            r.occupancy_bytes.lower,
+            r.occupancy_bytes.upper
+        );
+    }
+
+    #[test]
+    fn mxm_bounds_bracket_simulator_actuals() {
+        use sparsepipe_core::Preprocessing;
+        let m = gen::power_law(256, 2048, 1.0, 0.4, 7);
+        let ample = SparsepipeConfig::iso_gpu().with_preprocessing(Preprocessing::none());
+        for program in [msbfs_like(), tri_like()] {
+            for iters in [8usize, 9] {
+                assert_brackets(&program, &m, &ample, iters);
+            }
+        }
+        // A tight residency window exercises the refetch envelope.
+        let tight = ample.with_buffer(8 << 10);
+        assert_brackets(&msbfs_like(), &m, &tight, 6);
+        let r = analyze_matrix(&msbfs_like(), &m, &tight, 6);
+        assert!(!r.no_eviction_guaranteed);
+        assert!(r.passes[0].traffic.refetch.upper > 0.0);
+    }
+
+    #[test]
+    fn spc004_flags_expansion_pressure() {
+        // Star graph: the hub row fans out to everything and every row
+        // feeds the hub, so products ≈ (n-1)² over 2(n-1) stored entries.
+        let n = 128u32;
+        let mut entries: Vec<(u32, u32, f64)> = (1..n).map(|j| (0, j, 1.0)).collect();
+        entries.extend((1..n).map(|k| (k, 0, 1.0)));
+        let star = CooMatrix::from_entries(n, n, entries).unwrap();
+        let config = SparsepipeConfig::iso_gpu();
+        let r = analyze_matrix(&tri_like(), &star, &config, 4);
+        assert!(r.diagnostics.has_code("SP-C004"), "{}", r.diagnostics);
+        assert!(r.diagnostics.is_clean(), "SP-C004 is advisory");
+        // A flat sparse matrix stays quiet…
+        let flat = gen::uniform(400, 400, 1200, 3);
+        let quiet = analyze_matrix(&msbfs_like(), &flat, &config, 4);
+        assert!(
+            !quiet.diagnostics.has_code("SP-C004"),
+            "{}",
+            quiet.diagnostics
+        );
+        // …and vxm-only programs never emit it.
+        let rv = analyze_matrix(&pagerank(), &star, &config, 4);
+        assert!(!rv.diagnostics.has_code("SP-C004"));
     }
 
     #[test]

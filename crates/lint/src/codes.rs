@@ -84,6 +84,12 @@ pub const CATALOG: &[CodeInfo] = &[
         severity: Warning,
         summary: "e-wise immediate operand is non-finite",
     },
+    CodeInfo {
+        code: "SP-S005",
+        severity: Warning,
+        summary:
+            "loop-input sparse matrix is never carried into (de facto constant, forfeits reuse)",
+    },
     // SP-O: OEI fusion-legality oracle cross-check
     CodeInfo {
         code: "SP-O001",
@@ -166,6 +172,11 @@ pub const CATALOG: &[CodeInfo] = &[
         code: "SP-C003",
         severity: Warning,
         summary: "fusion adds vector traffic; profitable only above a matrix-density break-even",
+    },
+    CodeInfo {
+        code: "SP-C004",
+        severity: Warning,
+        summary: "SpGEMM expansion pressure: intermediate or accumulator statically dominates",
     },
 ];
 

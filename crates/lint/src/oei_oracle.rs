@@ -19,7 +19,18 @@
 //! 3. no op on the path takes a **side operand tainted** by a matrix op of
 //!    the same iteration (a scalar like CG's `α = rᵀr/pᵀAp` depends on
 //!    every element of the `vxm` output — the scalar-reduction blocker);
-//! 4. both matrix ops read the **same shared matrix** operand.
+//! 4. both matrix ops read the **same shared matrix** operand;
+//! 5. a cross-iteration pairing additionally requires the shared matrix
+//!    to **persist** across the carry (role `Constant`): sharing one
+//!    sweep between two iterations is meaningless if the carry replaces
+//!    the matrix in between (Markov clustering's `mxm(M, M)`).
+//!
+//! Condition (2) admits one non-e-wise shape: an `mxm` whose *flowing*
+//! (left) operand is the path tensor and whose stationary (right)
+//! operand is a `Constant`. Under Gustavson's dataflow, row `i` of
+//! `T·W` needs only row `i` of `T`, so the op preserves the sub-tensor
+//! dependency the OEI pipeline relies on — the same argument that puts
+//! GCN's `DenseMM` on the path (Fig 5 of the paper).
 //!
 //! | code | disagreement |
 //! |---|---|
@@ -33,7 +44,7 @@
 use std::collections::HashSet;
 
 use sparsepipe_frontend::analysis::{Analysis, OeiSubgraph};
-use sparsepipe_frontend::{DataflowGraph, OpId, TensorId, TensorRole};
+use sparsepipe_frontend::{DataflowGraph, OpId, OpKind, OpNode, TensorId, TensorRole};
 
 use crate::diag::LintReport;
 
@@ -84,6 +95,9 @@ pub fn derive_pairs(g: &DataflowGraph) -> Vec<OraclePair> {
         let Some(&shared_matrix) = g.op(os_op).inputs.get(1) else {
             continue;
         };
+        // Condition (5): only a `Constant` matrix is the same bytes next
+        // iteration; an `Input` matrix is overwritten by the carry.
+        let shared_persists = g.tensor(shared_matrix).role == TensorRole::Constant;
         let mut visited: HashSet<(TensorId, bool)> = HashSet::new();
         let mut stack = vec![(g.op(os_op).output, false)];
         visited.insert((g.op(os_op).output, false));
@@ -96,6 +110,7 @@ pub fn derive_pairs(g: &DataflowGraph) -> Vec<OraclePair> {
                     && node.inputs.first() == Some(&cur)
                     && node.inputs.get(1) == Some(&shared_matrix)
                     && (crossed || consumer != os_op)
+                    && (!crossed || shared_persists)
                 {
                     let pair = OraclePair {
                         os_op,
@@ -106,8 +121,9 @@ pub fn derive_pairs(g: &DataflowGraph) -> Vec<OraclePair> {
                         pairs.push(pair);
                     }
                 }
-                // Extension: sub-tensor-dependency op with clean sides.
-                if node.kind.has_subtensor_dependency()
+                // Extension: sub-tensor-dependency op (or a row-wise
+                // constant-weight mxm) with clean sides.
+                if (node.kind.has_subtensor_dependency() || mxm_streams_rows(g, node, cur))
                     && side_operands_clean(g, consumer, cur, &tainted)
                     && visited.insert((node.output, crossed))
                 {
@@ -124,6 +140,18 @@ pub fn derive_pairs(g: &DataflowGraph) -> Vec<OraclePair> {
         }
     }
     pairs
+}
+
+/// The path-extension allowance for `mxm`: row `i` of the product needs
+/// only row `i` of the flowing left operand when the stationary right
+/// operand is a `Constant`, so the op streams rows like an e-wise op.
+fn mxm_streams_rows(g: &DataflowGraph, node: &OpNode, path_tensor: TensorId) -> bool {
+    matches!(node.kind, OpKind::Mxm { .. })
+        && node.inputs.first() == Some(&path_tensor)
+        && node
+            .inputs
+            .get(1)
+            .is_some_and(|&m| g.tensor(m).role == TensorRole::Constant)
 }
 
 /// Condition (3): every operand of `op` other than the path tensor must be
@@ -259,20 +287,6 @@ fn check_path(g: &DataflowGraph, oei: &OeiSubgraph, report: &mut LintReport) {
     let mut crossed = false;
     for &step in &oei.path {
         let node = g.op(step);
-        if !node.kind.has_subtensor_dependency() {
-            report.error(
-                "SP-O005",
-                Some(step),
-                None,
-                format!(
-                    "path op #{} ({:?}) lacks sub-tensor dependency — it cannot sit between \
-                     the fused matrix ops",
-                    step.index(),
-                    node.kind
-                ),
-            );
-            return;
-        }
         // The path may hop through a loop-carried edge between ops.
         let feeds = if node.inputs.contains(&cur) {
             Some(cur)
@@ -300,6 +314,20 @@ fn check_path(g: &DataflowGraph, oei: &OeiSubgraph, report: &mut LintReport) {
             );
             return;
         };
+        if !(node.kind.has_subtensor_dependency() || mxm_streams_rows(g, node, path_tensor)) {
+            report.error(
+                "SP-O005",
+                Some(step),
+                None,
+                format!(
+                    "path op #{} ({:?}) lacks sub-tensor dependency — it cannot sit between \
+                     the fused matrix ops",
+                    step.index(),
+                    node.kind
+                ),
+            );
+            return;
+        }
         if !side_operands_clean(g, step, path_tensor, &tainted) {
             report.error(
                 "SP-O005",
@@ -467,6 +495,61 @@ mod tests {
         a.tainted.clear();
         let r = lint(&g, &a);
         assert!(r.has_code("SP-O006"), "{r}");
+    }
+
+    /// Multi-source BFS: one `mxm` over a constant adjacency, frontier
+    /// carried. Analysis and oracle must both find the cross-iteration
+    /// pairing of the mxm with itself.
+    #[test]
+    fn oracle_agrees_on_mxm_over_constant_matrix() {
+        let mut b = GraphBuilder::new();
+        let f = b.input_matrix("F");
+        let a = b.constant_matrix("A");
+        let next = b.mxm(f, a, SemiringOp::AndOr).unwrap();
+        b.carry(next, f).unwrap();
+        let g = b.build().unwrap();
+        let an = analyze(&g);
+        let oei = an.oei.as_ref().expect("msbfs admits OEI");
+        assert!(oei.cross_iteration);
+        assert!(lint(&g, &an).is_clean());
+    }
+
+    /// Markov clustering squares a *carried* matrix: the oracle must not
+    /// offer a cross-iteration pairing (the shared operand is replaced
+    /// by the carry every iteration), matching the analysis's refusal.
+    #[test]
+    fn oracle_rejects_cross_iteration_over_carried_matrix() {
+        let mut b = GraphBuilder::new();
+        let m = b.input_matrix("M");
+        let sq = b.mxm(m, m, SemiringOp::MulAdd).unwrap();
+        let infl = b.ewise_matrix(EwiseBinary::Mul, sq, sq).unwrap();
+        b.carry(infl, m).unwrap();
+        let g = b.build().unwrap();
+        let an = analyze(&g);
+        assert!(an.oei.is_none(), "mcl has nothing stationary to share");
+        assert!(derive_pairs(&g).is_empty());
+        assert!(lint(&g, &an).is_clean());
+    }
+
+    /// Sparse-weight GCN: the second (constant-weight) `mxm` streams
+    /// rows, so it may sit on the OEI path; the oracle must validate the
+    /// analysis's reported path through it.
+    #[test]
+    fn oracle_accepts_constant_weight_mxm_on_the_path() {
+        let mut b = GraphBuilder::new();
+        let h = b.input_matrix("H");
+        let a = b.constant_matrix("A");
+        let w = b.constant_matrix("W");
+        let z = b.mxm(h, a, SemiringOp::MulAdd).unwrap();
+        let h2 = b.mxm(z, w, SemiringOp::MulAdd).unwrap();
+        b.carry(h2, h).unwrap();
+        let g = b.build().unwrap();
+        let an = analyze(&g);
+        let oei = an.oei.as_ref().expect("gcnw admits OEI");
+        assert!(oei.cross_iteration);
+        assert_eq!(oei.path.len(), 1, "the weight mxm is the path");
+        let r = lint(&g, &an);
+        assert!(r.is_clean(), "{r}");
     }
 
     #[test]

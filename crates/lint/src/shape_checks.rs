@@ -11,8 +11,9 @@
 //! | SP-S002 | operand count matches the operator's arity |
 //! | SP-S003 | the operator's semiring has working `⊕`/`⊗` identities |
 //! | SP-S004 | e-wise immediates are finite (warning) |
+//! | SP-S005 | loop-input sparse matrix is never carried into (warning) |
 
-use sparsepipe_frontend::{DataflowGraph, OpId, OpKind, TensorId, TensorKind};
+use sparsepipe_frontend::{DataflowGraph, OpId, OpKind, TensorId, TensorKind, TensorRole};
 use sparsepipe_semiring::SemiringOp;
 
 use crate::diag::LintReport;
@@ -35,6 +36,34 @@ pub fn check(g: &DataflowGraph, report: &mut LintReport) {
                     format!("e-wise immediate {imm} is not finite"),
                 );
             }
+        }
+    }
+    check_carried_sparse_inputs(g, report);
+}
+
+/// SP-S005: an `Input`-role sparse matrix declares "changes every
+/// iteration", which disqualifies it as a cross-iteration OEI shared
+/// operand. If nothing ever carries into it, the matrix is de facto
+/// constant and the declaration silently forfeits reuse the analysis
+/// could otherwise prove — almost always an `input_matrix` that should
+/// have been `constant_matrix`.
+fn check_carried_sparse_inputs(g: &DataflowGraph, report: &mut LintReport) {
+    let carry_targets: Vec<TensorId> = g.carries().iter().map(|&(_, to)| to).collect();
+    for (t_id, t) in g.tensors() {
+        if t.kind == TensorKind::SparseMatrix
+            && t.role == TensorRole::Input
+            && !carry_targets.contains(&t_id)
+        {
+            report.warning(
+                "SP-S005",
+                None,
+                Some(t_id),
+                format!(
+                    "loop-input sparse matrix {:?} is never carried into — \
+                     declare it constant to enable cross-iteration reuse",
+                    t.name
+                ),
+            );
         }
     }
 }
@@ -101,6 +130,11 @@ fn signature(kind: &OpKind) -> (&'static str, Vec<Slot>, Slot) {
             "dense_mm",
             vec![Exactly(DenseMatrix), Exactly(DenseMatrix)],
             Exactly(DenseMatrix),
+        ),
+        OpKind::EwiseMatrix { .. } => (
+            "ewise_matrix",
+            vec![Exactly(SparseMatrix), Exactly(SparseMatrix)],
+            Exactly(SparseMatrix),
         ),
         OpKind::EwiseBinary { .. } => ("ewise", vec![Elementwise, SameAsFirst], SameAsFirst),
         OpKind::EwiseScalarBroadcast { .. } => (
@@ -307,6 +341,49 @@ mod tests {
             vec![OpId::from_raw(0)],
         );
         assert!(lint(&g).has_code("SP-S002"));
+    }
+
+    #[test]
+    fn uncarried_input_matrix_is_sp_s005_warning() {
+        let mut b = GraphBuilder::new();
+        let f = b.input_matrix("F"); // never carried into: de facto constant
+        let a = b.constant_matrix("A");
+        let _next = b.mxm(f, a, SemiringOp::AndOr).unwrap();
+        let g = b.build().unwrap();
+        let r = lint(&g);
+        assert!(r.has_code("SP-S005"), "{r}");
+        assert!(r.is_clean(), "SP-S005 is a warning, not an error");
+
+        // the properly carried loop is clean
+        let mut b = GraphBuilder::new();
+        let f = b.input_matrix("F");
+        let a = b.constant_matrix("A");
+        let next = b.mxm(f, a, SemiringOp::AndOr).unwrap();
+        b.carry(next, f).unwrap();
+        let g = b.build().unwrap();
+        assert!(!lint(&g).has_code("SP-S005"));
+    }
+
+    #[test]
+    fn ewise_matrix_signature_is_checked() {
+        let mut out = tensor("out", TensorKind::SparseMatrix);
+        out.role = TensorRole::Produced;
+        let g = DataflowGraph::from_parts(
+            vec![
+                tensor("v", TensorKind::Vector), // wrong: wants sparse
+                tensor("A", TensorKind::SparseMatrix),
+                out,
+            ],
+            vec![OpNode {
+                kind: OpKind::EwiseMatrix {
+                    op: EwiseBinary::Mul,
+                },
+                inputs: vec![TensorId::from_raw(0), TensorId::from_raw(1)],
+                output: TensorId::from_raw(2),
+            }],
+            vec![OpId::from_raw(0)],
+        );
+        assert!(lint(&g).has_code("SP-S001"));
     }
 
     #[test]

@@ -238,6 +238,15 @@ impl DatasetSpec {
         self.rows / 16
     }
 
+    /// The row count [`DatasetSpec::generate`] produces at `scale`
+    /// (mirroring its arithmetic exactly), or 0 for the rejected
+    /// `scale == 0`. Lets admission-time callers check workload row
+    /// floors — e.g. the SpGEMM app family needs more rows than the
+    /// generator's own 16-row minimum — without generating anything.
+    pub fn rows_at_scale(&self, scale: u64) -> u64 {
+        self.rows.checked_div(scale).map_or(0, |rows| rows.max(1))
+    }
+
     /// Whether [`DatasetSpec::generate`] accepts `scale` — the
     /// non-panicking admission check for callers handling untrusted
     /// scales (the serve daemon validates wire requests with this

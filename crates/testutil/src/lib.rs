@@ -168,11 +168,93 @@ pub mod corpus {
         CooMatrix::from_entries(n, n, entries).expect("coords in range")
     }
 
+    /// A triangle-heavy symmetric boolean adjacency matrix: `n / 3`
+    /// seeded 3-cliques (each contributing all six directed edges) plus
+    /// `extra` random symmetric off-diagonal edges, every value exactly
+    /// `1.0`. The clique structure guarantees a dense triangle
+    /// population for `tri`'s `A ⊙ (A·A)` count and gives Gustavson
+    /// accumulators real collision pressure (clique rows repeatedly
+    /// merge the same columns).
+    pub fn triangle_heavy(n: u32, extra: usize, seed: u64) -> CooMatrix {
+        assert!(n >= 3, "triangle_heavy needs n >= 3");
+        let mut rng = SplitMix64::new(seed ^ 0x7214_a61e_0000_0000);
+        let mut entries = Vec::new();
+        let edge = |a: u32, b: u32, entries: &mut Vec<(u32, u32, f64)>| {
+            if a != b {
+                entries.push((a, b, 1.0));
+                entries.push((b, a, 1.0));
+            }
+        };
+        for _ in 0..n / 3 {
+            let a = rng.below(n);
+            let b = rng.below(n);
+            let c = rng.below(n);
+            edge(a, b, &mut entries);
+            edge(b, c, &mut entries);
+            edge(a, c, &mut entries);
+        }
+        for _ in 0..extra {
+            let a = rng.below(n);
+            let b = rng.below(n);
+            edge(a, b, &mut entries);
+        }
+        // duplicate edges collapse to boolean 1.0 rather than summing
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        entries.dedup_by_key(|&mut (r, c, _)| (r, c));
+        CooMatrix::from_entries(n, n, entries).expect("coords in range")
+    }
+
+    /// A square matrix whose *row* lengths follow a Zipf-like power law
+    /// (columns uniform): a handful of hub rows hold most of the
+    /// non-zeros. As the stationary (B-side) operand of an SpGEMM this
+    /// is the worst case for per-row expansion — any A-column hitting a
+    /// hub row fans out across its whole length — so it stresses the
+    /// accumulator-occupancy model and the analyzer's expansion bounds.
+    pub fn power_law_rows(n: u32, nnz: usize, skew: f64, seed: u64) -> CooMatrix {
+        assert!(n > 0, "power_law_rows needs n > 0");
+        assert!(skew > 0.0, "power_law_rows needs skew > 0");
+        let mut rng = SplitMix64::new(seed ^ 0x12a9_0e77_0000_0000);
+        let mut entries = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            // u^(1+skew) concentrates mass near row 0: the larger the
+            // skew, the heavier the hub rows.
+            let u = rng.unit_f64();
+            let r = ((f64::from(n) * u.powf(1.0 + skew)) as u32).min(n - 1);
+            let c = rng.below(n);
+            entries.push((r, c, 0.1 + 3.9 * rng.unit_f64()));
+        }
+        CooMatrix::from_entries(n, n, entries).expect("coords in range")
+    }
+
+    /// A uniformly random square *boolean* adjacency matrix: `nnz`
+    /// off-diagonal entries, every value exactly `1.0` (duplicates
+    /// collapse, not sum). This is the shape the mxm app family's
+    /// `AndOr`/counting semirings consume, and — unlike the float
+    /// builders — products of its entries are exactly representable, so
+    /// differential suites can demand bitwise equality without
+    /// tolerance.
+    pub fn boolean_adjacency(n: u32, nnz: usize, seed: u64) -> CooMatrix {
+        assert!(n >= 2, "boolean_adjacency needs n >= 2");
+        let mut rng = SplitMix64::new(seed ^ 0xb001_ea4d_0000_0000);
+        let mut entries = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let r = rng.below(n);
+            let c = rng.below(n);
+            if r != c {
+                entries.push((r, c, 1.0));
+            }
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        entries.dedup_by_key(|&mut (r, c, _)| (r, c));
+        CooMatrix::from_entries(n, n, entries).expect("coords in range")
+    }
+
     /// The named edge-case structures that historically break sparse
     /// buffer models, all square of dimension `scale`: empty matrix,
     /// pure diagonal, pure anti-diagonal (worst-case reuse distance), a
     /// dense first row + column (hub), plus seeded banded / power-law /
-    /// block-diagonal / empty-row-col instances.
+    /// block-diagonal / empty-row-col instances and the SpGEMM pattern
+    /// trio (triangle-heavy, power-law rows, boolean adjacency).
     pub fn edge_case_suite(scale: u32) -> Vec<(&'static str, CooMatrix)> {
         assert!(scale >= 4, "edge_case_suite needs scale >= 4");
         let n = scale;
@@ -206,6 +288,9 @@ pub mod corpus {
             ("power_law", power_law(n, nnz + nnz / 2, 1.2, 0.4, 2)),
             ("block_diagonal", block_diagonal(n, n / 4 + 1, nnz, 3)),
             ("empty_rows_cols", with_empty_rows_and_cols(n, nnz, 4)),
+            ("triangle_heavy", triangle_heavy(n, nnz / 2, 5)),
+            ("power_law_rows", power_law_rows(n, nnz, 1.5, 6)),
+            ("boolean_adjacency", boolean_adjacency(n, nnz, 7)),
         ]
     }
 }
@@ -422,6 +507,51 @@ mod tests {
             assert_ne!(c % 4, 3);
         }
         assert!(e.nnz() > 0);
+    }
+
+    #[test]
+    fn spgemm_corpus_builders_hold_their_invariants() {
+        // triangle-heavy: symmetric, boolean, and actually rich in
+        // triangles (every seeded clique closes at least one).
+        let t = corpus::triangle_heavy(48, 60, 11);
+        assert_eq!(t, corpus::triangle_heavy(48, 60, 11));
+        let has = |r: u32, c: u32| t.entries().iter().any(|&(rr, cc, _)| rr == r && cc == c);
+        let mut triangles = 0usize;
+        for &(r, c, v) in t.entries() {
+            assert_eq!(v, 1.0, "({r},{c}) not boolean");
+            assert_ne!(r, c, "self loop at {r}");
+            assert!(has(c, r), "({r},{c}) not symmetric");
+            triangles += t
+                .entries()
+                .iter()
+                .filter(|&&(a, b, _)| a == c && b != r && has(b, r))
+                .count();
+        }
+        assert!(triangles > 0, "no triangles in a triangle-heavy graph");
+
+        // power-law rows: the heaviest row dominates the median row.
+        let p = corpus::power_law_rows(64, 640, 1.5, 12);
+        let mut degs = vec![0usize; 64];
+        for &(r, _, _) in p.entries() {
+            degs[r as usize] += 1;
+        }
+        let max = *degs.iter().max().unwrap();
+        degs.sort_unstable();
+        assert!(
+            max >= 4 * degs[32].max(1),
+            "row degrees too flat: max {max}, median {}",
+            degs[32]
+        );
+
+        // boolean adjacency: off-diagonal, deduplicated, all-ones.
+        let b = corpus::boolean_adjacency(32, 200, 13);
+        assert!(b.nnz() > 0);
+        let mut seen = std::collections::HashSet::new();
+        for &(r, c, v) in b.entries() {
+            assert_eq!(v, 1.0);
+            assert_ne!(r, c);
+            assert!(seen.insert((r, c)), "duplicate ({r},{c})");
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             nnz: graph.nnz() as u64,
             stats: &stats,
             iterations: app.default_iterations,
+            mxm: None,
         };
         let ideal = IdealAccelerator::new(config).evaluate(&w);
         let cpu = CpuModel::default().evaluate(&w);

@@ -18,7 +18,10 @@
 //!   analysis passes, compiler, and reference interpreter.
 //! * [`core`] — the event-driven Sparsepipe performance/energy simulator.
 //! * [`baselines`] — ideal/oracle accelerator, CPU, and GPU cost models.
-//! * [`apps`] — the eleven benchmark STA applications.
+//! * [`trace`] — the event-trace schema, sinks, and the bitwise
+//!   [`TraceAudit`](trace::TraceAudit) replay checker.
+//! * [`apps`] — the fifteen benchmark STA applications (the paper's
+//!   eleven `vxm`-chain apps plus the SpGEMM `mxm` family).
 //! * [`lint`] — the static verifier: dataflow-graph well-formedness, an
 //!   independent OEI fusion-legality oracle, and pass-plan feasibility
 //!   checks, reported as structured diagnostics.
@@ -56,6 +59,7 @@ pub use sparsepipe_frontend as frontend;
 pub use sparsepipe_lint as lint;
 pub use sparsepipe_semiring as semiring;
 pub use sparsepipe_tensor as tensor;
+pub use sparsepipe_trace as trace;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {

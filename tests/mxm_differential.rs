@@ -1,0 +1,273 @@
+//! Differential suite for the SpGEMM (`mxm`) subsystem: the simulator's
+//! Gustavson stage, the scalar interpreter, and the tensor-level
+//! `spgemm` kernel must agree **bitwise** — over the shared pattern
+//! corpus, a proptest corpus, and all four `mxm`-family applications at
+//! scale 256 — and every traced `mxm` run must pass the exact
+//! [`TraceAudit`] replay against its reported traffic.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sparsepipe::apps::registry;
+use sparsepipe::core::spgemm::{MxmParams, MxmRequest};
+use sparsepipe::core::{MatrixArena, SimRequest, SparsepipeConfig};
+use sparsepipe::frontend::interp::{self, Bindings, Value};
+use sparsepipe::frontend::{GraphBuilder, OpKind, TensorRole};
+use sparsepipe::semiring::SemiringOp;
+use sparsepipe::tensor::spgemm::spgemm;
+use sparsepipe::tensor::{CooMatrix, CsrMatrix, MatrixId};
+use sparsepipe::trace::{MemorySink, TraceAudit};
+use sparsepipe_testutil::corpus;
+
+fn assert_bitwise_eq(a: &CsrMatrix, b: &CsrMatrix, ctx: &str) {
+    let (ca, cb) = (a.to_coo(), b.to_coo());
+    assert_eq!(ca.entries().len(), cb.entries().len(), "{ctx}: nnz differs");
+    for (&(r1, c1, v1), &(r2, c2, v2)) in ca.entries().iter().zip(cb.entries()) {
+        assert_eq!((r1, c1), (r2, c2), "{ctx}: coordinate drift");
+        assert_eq!(
+            v1.to_bits(),
+            v2.to_bits(),
+            "{ctx}: value at ({r1},{c1}): {v1} vs {v2}"
+        );
+    }
+}
+
+/// The simulator stage's functional result for `M ⊕.⊗ M` at `t_rows`.
+fn stage_square(m: &CooMatrix, semiring: SemiringOp, t_rows: usize) -> CsrMatrix {
+    let arena = MatrixArena::from_coo(m);
+    let config = SparsepipeConfig::iso_gpu();
+    MxmRequest::new(&arena, semiring, &config)
+        .params(MxmParams {
+            t_rows,
+            ..MxmParams::default()
+        })
+        .run()
+        .result
+}
+
+/// The scalar interpreter's result for a one-op `mxm(A, A)` graph.
+fn interp_square(m: &CooMatrix, semiring: SemiringOp) -> CsrMatrix {
+    let mut b = GraphBuilder::new();
+    let a = b.constant_matrix("A");
+    let sq = b.mxm(a, a, semiring).unwrap();
+    let graph = b.build().unwrap();
+    let name = graph.tensor(sq).name.clone();
+    let mut bindings = Bindings::new();
+    bindings.insert("A".to_string(), Value::Sparse(Arc::new(m.to_csc())));
+    let out = interp::run(&graph, &bindings, 1).unwrap();
+    match &out[&name] {
+        Value::Sparse(c) => c.to_csr(),
+        other => panic!("mxm produced a non-sparse value: {other:?}"),
+    }
+}
+
+/// Stage vs interpreter vs tensor kernel, bitwise, across the shared
+/// corpus (including the SpGEMM pattern trio) and both app semirings,
+/// at degenerate, odd, and full subtensor heights.
+#[test]
+fn simulator_interp_and_kernel_agree_across_corpus() {
+    let mut checked = 0usize;
+    for (name, m) in corpus::edge_case_suite(48) {
+        for semiring in [SemiringOp::MulAdd, SemiringOp::AndOr] {
+            let oracle = spgemm(&m.to_csr(), &m.to_csr(), semiring).unwrap();
+            let ctx = format!("{name}/{semiring:?}");
+            assert_bitwise_eq(&interp_square(&m, semiring), &oracle, &ctx);
+            for t_rows in [1usize, 7, 48] {
+                assert_bitwise_eq(
+                    &stage_square(&m, semiring, t_rows),
+                    &oracle,
+                    &format!("{ctx}/t={t_rows}"),
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 60, "corpus shrank: only {checked} stage runs");
+}
+
+/// Larger instances of the SpGEMM-targeted builders, where accumulator
+/// collisions and hub-row expansion actually bite.
+#[test]
+fn spgemm_pattern_builders_agree_at_larger_sizes() {
+    let matrices = [
+        ("triangle_heavy", corpus::triangle_heavy(96, 300, 21)),
+        ("power_law_rows", corpus::power_law_rows(96, 900, 1.8, 22)),
+        ("boolean_adjacency", corpus::boolean_adjacency(96, 600, 23)),
+    ];
+    for (name, m) in &matrices {
+        for semiring in [SemiringOp::MulAdd, SemiringOp::AndOr] {
+            let oracle = spgemm(&m.to_csr(), &m.to_csr(), semiring).unwrap();
+            let ctx = format!("{name}/{semiring:?}");
+            assert_bitwise_eq(&interp_square(m, semiring), &oracle, &ctx);
+            assert_bitwise_eq(&stage_square(m, semiring, 13), &oracle, &ctx);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(sparsepipe_testutil::config())]
+
+    /// Random-matrix differential: the stage result is bitwise-equal to
+    /// the kernel for arbitrary structure, values, and step heights, and
+    /// the reported statistics hold their invariants.
+    #[test]
+    fn stage_matches_kernel_on_random_matrices(
+        m in sparsepipe_testutil::coo_matrix(40, 220),
+        t_rows in 1usize..24,
+    ) {
+        let oracle = spgemm(&m.to_csr(), &m.to_csr(), SemiringOp::MulAdd).unwrap();
+        let arena = MatrixArena::from_coo(&m);
+        let config = SparsepipeConfig::iso_gpu();
+        let outcome = MxmRequest::new(&arena, SemiringOp::MulAdd, &config)
+            .params(MxmParams { t_rows, ..MxmParams::default() })
+            .run();
+        let (ca, cb) = (outcome.result.to_coo(), oracle.to_coo());
+        prop_assert_eq!(ca.entries().len(), cb.entries().len());
+        for (&(r1, c1, v1), &(r2, c2, v2)) in ca.entries().iter().zip(cb.entries()) {
+            prop_assert_eq!((r1, c1), (r2, c2));
+            prop_assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+        let stats = outcome.stats;
+        prop_assert_eq!(stats.out_nnz, oracle.nnz() as u64);
+        prop_assert!(stats.intermediate_nnz >= stats.out_nnz);
+        prop_assert!(u64::from(stats.peak_accumulator_cols) <= stats.intermediate_nnz);
+    }
+}
+
+/// Every `Mxm` op a graph contains, with its semiring.
+fn mxm_semirings(graph: &sparsepipe::frontend::DataflowGraph) -> Vec<SemiringOp> {
+    graph
+        .ops()
+        .filter_map(|(_, op)| match op.kind {
+            OpKind::Mxm { semiring } => Some(semiring),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The four `mxm`-family apps at scale 256: the simulator's stage result
+/// on the app's dataset is bitwise-equal to the kernel for every `mxm`
+/// semiring the graph uses, the full interpreter run is deterministic to
+/// the bit, and the simulator's reported SpGEMM statistics match an
+/// independent kernel recomputation.
+#[test]
+fn mxm_apps_differential_at_scale_256() {
+    let family = registry::mxm_family();
+    assert_eq!(family.len(), 4, "mxm family should be the four new apps");
+    let dataset = sparsepipe::bench::datasets::ScaledDataset::load(MatrixId::Ca, 256);
+    for app in &family {
+        let semirings = mxm_semirings(&app.graph);
+        assert!(!semirings.is_empty(), "{} has no mxm op", app.name);
+        for semiring in semirings {
+            let oracle = spgemm(
+                &dataset.reordered.to_csr(),
+                &dataset.reordered.to_csr(),
+                semiring,
+            )
+            .unwrap();
+            assert_bitwise_eq(
+                &stage_square(&dataset.reordered, semiring, 17),
+                &oracle,
+                &format!("{}/{semiring:?}", app.name),
+            );
+        }
+
+        // The scalar interpreter accepts the app at this scale and is
+        // bitwise-deterministic across runs.
+        let iterations = app.default_iterations.min(3);
+        let bindings = app.bindings(&dataset.reordered);
+        let a = interp::run(&app.graph, &bindings, iterations)
+            .unwrap_or_else(|e| panic!("{} interp failed: {e}", app.name));
+        let b = interp::run(&app.graph, &bindings, iterations).unwrap();
+        for (_, node) in app.graph.tensors() {
+            if matches!(node.role, TensorRole::Input) {
+                assert_values_bitwise(&a[&node.name], &b[&node.name], app.name);
+            }
+        }
+
+        // The simulator's schedule-level statistics are the kernel's.
+        let program = app.compile().unwrap();
+        let outcome = SimRequest::new(&program, &dataset.reordered)
+            .iterations(app.default_iterations)
+            .config(sparsepipe::bench::sweep::sparsepipe_config(&dataset))
+            .run()
+            .unwrap();
+        let stats = outcome
+            .mxm
+            .unwrap_or_else(|| panic!("{} reported no SpGEMM stats", app.name));
+        let kernel = spgemm(
+            &dataset.reordered.to_csr(),
+            &dataset.reordered.to_csr(),
+            program.os_semiring,
+        )
+        .unwrap();
+        assert_eq!(
+            stats.out_nnz,
+            kernel.nnz() as u64,
+            "{}: stats.out_nnz is not the kernel's nnz",
+            app.name
+        );
+    }
+}
+
+fn assert_values_bitwise(a: &Value, b: &Value, ctx: &str) {
+    match (a, b) {
+        (Value::Vector(x), Value::Vector(y)) => {
+            assert_eq!(x.len(), y.len(), "{ctx}: vector length");
+            for (p, q) in x.iter().zip(y.iter()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "{ctx}: {p} vs {q}");
+            }
+        }
+        (Value::Sparse(x), Value::Sparse(y)) => {
+            let (cx, cy) = (x.to_coo(), y.to_coo());
+            assert_eq!(cx.entries().len(), cy.entries().len(), "{ctx}: nnz");
+            for (&(r1, c1, v1), &(r2, c2, v2)) in cx.entries().iter().zip(cy.entries()) {
+                assert_eq!((r1, c1), (r2, c2), "{ctx}");
+                assert_eq!(v1.to_bits(), v2.to_bits(), "{ctx} at ({r1},{c1})");
+            }
+        }
+        (Value::Scalar(x), Value::Scalar(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}");
+        }
+        (Value::Dense(x), Value::Dense(y)) => {
+            for (p, q) in x.as_slice().iter().zip(y.as_slice()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "{ctx}");
+            }
+        }
+        _ => panic!("{ctx}: mismatched value kinds"),
+    }
+}
+
+/// Exact-audit integration over `mxm` passes: for each family app at
+/// scale 256, a traced simulation's event stream replays to *exactly*
+/// the traffic the report claims (f64-bitwise, the same check a traced
+/// `EvalRequest` performs), and tracing does not perturb the schedule.
+#[test]
+fn traced_mxm_apps_audit_exactly_at_scale_256() {
+    let dataset = sparsepipe::bench::datasets::ScaledDataset::load(MatrixId::Ca, 256);
+    let cfg = sparsepipe::bench::sweep::sparsepipe_config(&dataset);
+    for app in registry::mxm_family() {
+        let program = app.compile().unwrap();
+        let untraced = SimRequest::new(&program, &dataset.reordered)
+            .iterations(app.default_iterations)
+            .config(cfg)
+            .run()
+            .unwrap();
+        let mut sink = MemorySink::new();
+        let traced = SimRequest::new(&program, &dataset.reordered)
+            .iterations(app.default_iterations)
+            .config(cfg)
+            .trace(&mut sink)
+            .run()
+            .unwrap();
+        assert_eq!(
+            traced.report, untraced.report,
+            "{}: tracing perturbed the schedule",
+            app.name
+        );
+        assert!(!sink.events().is_empty(), "{}: empty trace", app.name);
+        TraceAudit::replay(sink.events())
+            .check(&traced.report.traffic.audit_totals())
+            .unwrap_or_else(|e| panic!("{}: audit mismatch: {e}", app.name));
+    }
+}

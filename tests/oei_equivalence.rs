@@ -62,6 +62,15 @@ fn assert_values_close(a: &Value, b: &Value, ctx: &str) {
                 assert!((p - q).abs() < 1e-9, "{ctx}: {p} vs {q}");
             }
         }
+        // mxm-family apps carry sparse matrices across iterations
+        (Value::Sparse(x), Value::Sparse(y)) => {
+            let (cx, cy) = (x.to_coo(), y.to_coo());
+            assert_eq!(cx.entries().len(), cy.entries().len(), "{ctx}: nnz differs");
+            for (&(r1, c1, v1), &(r2, c2, v2)) in cx.entries().iter().zip(cy.entries()) {
+                assert_eq!((r1, c1), (r2, c2), "{ctx}: coordinate drift");
+                assert!((v1 - v2).abs() < 1e-9, "{ctx}: ({r1},{c1}): {v1} vs {v2}");
+            }
+        }
         _ => panic!("{ctx}: kind mismatch"),
     }
 }
