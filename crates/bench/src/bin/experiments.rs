@@ -6,6 +6,7 @@
 //!                           [--trace-dir DIR]
 //! experiments trace [--app NAME] [--matrix CODE] [--trace-dir DIR]
 //! experiments analyze [--app NAME] [--matrix CODE]
+//! experiments compile --expr '<einsum>' | --file corpus.ses [--matrix CODE]
 //!
 //! artifacts: all table1 table2 table3 fig14 fig15 fig16 fig17 fig18
 //!            fig19 fig20a fig20b fig21 fig22 fig23 ablation verify
@@ -35,6 +36,10 @@
 //!                 verify every traffic/occupancy bound against an audited
 //!                 simulator trace; writes analyze-report.json and exits
 //!                 3 on any bound violation
+//! compile         parse, lint, and lower sparse-einsum expressions
+//!                 (`--expr` for one, `--file` for a corpus, one per
+//!                 line), run one simulated point for each, and exit 4
+//!                 when any expression carries a diagnostic error
 //!
 //! fault tolerance (routes sweeps through the isolated executor; a failed
 //! point is reported and skipped instead of aborting the run, and the
@@ -123,6 +128,7 @@ fn run() -> Result<ExitCode, BenchError> {
     // Figures 14/16/17/18/20b/21/22/23 share one sweep; run it lazily.
     let mut sweep_failures = 0usize;
     let mut bound_violations = 0usize;
+    let mut compile_failures = 0usize;
     let sweep = if opts.needs_sweep() {
         if let Some(dir) = &opts.trace_dir {
             eprintln!(
@@ -200,6 +206,23 @@ fn run() -> Result<ExitCode, BenchError> {
                 bound_violations += violations;
                 report
             }
+            "compile" => {
+                let entries = if let Some(src) = &opts.expr {
+                    sparsepipe_bench::einsum_corpus::parse_corpus(src)
+                } else {
+                    let path = opts.expr_file.as_ref().expect("cli::parse validated");
+                    sparsepipe_bench::einsum_corpus::load(path)?
+                };
+                if entries.is_empty() {
+                    return Err(BenchError::Cli(
+                        "compile: no expressions found in the input".into(),
+                    ));
+                }
+                let (report, failing) =
+                    exp::compile_exprs(&ctx, &exec, &entries, opts.trace_matrix)?;
+                compile_failures += failing;
+                report
+            }
             other => unreachable!("cli::parse validated artifact {other}"),
         };
         println!("{}", report.render());
@@ -235,6 +258,13 @@ fn run() -> Result<ExitCode, BenchError> {
              hold against the audited trace (details in analyze-report.json)"
         );
         return Ok(ExitCode::from(3));
+    }
+    if compile_failures > 0 {
+        eprintln!(
+            "# {compile_failures} expression(s) failed to compile clean — diagnostics in the \
+             compile report above"
+        );
+        return Ok(ExitCode::from(4));
     }
     Ok(ExitCode::SUCCESS)
 }

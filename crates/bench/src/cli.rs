@@ -62,6 +62,12 @@ pub struct CliOptions {
     /// sweep points whose provable traffic lower bound exceeds it are
     /// skipped and recorded as `pruned_points` in the telemetry.
     pub prune_static: Option<f64>,
+    /// One sparse-einsum expression for the `compile` subcommand
+    /// (`--expr`).
+    pub expr: Option<String>,
+    /// A corpus file of sparse-einsum expressions for the `compile`
+    /// subcommand (`--file`), one expression per line.
+    pub expr_file: Option<PathBuf>,
 }
 
 impl CliOptions {
@@ -153,6 +159,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         resume: false,
         inject: Vec::new(),
         prune_static: None,
+        expr: None,
+        expr_file: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -268,18 +276,35 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                         .clone(),
                 );
             }
+            "--expr" => {
+                i += 1;
+                opts.expr = Some(
+                    args.get(i)
+                        .ok_or("--expr needs a sparse-einsum expression")?
+                        .clone(),
+                );
+            }
+            "--file" => {
+                i += 1;
+                opts.expr_file = Some(
+                    args.get(i)
+                        .ok_or("--file needs a corpus path (one expression per line)")?
+                        .into(),
+                );
+            }
             "--lint" => opts.lint = true,
             "--help" | "-h" => opts.help = true,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag: {flag}"));
             }
             artifact => {
-                // `trace` and `analyze` are subcommands, not paper
-                // artifacts: valid to request explicitly, never pulled in
-                // by `all`.
+                // `trace`, `analyze`, and `compile` are subcommands, not
+                // paper artifacts: valid to request explicitly, never
+                // pulled in by `all`.
                 if !ALL_ARTIFACTS.contains(&artifact)
                     && artifact != "trace"
                     && artifact != "analyze"
+                    && artifact != "compile"
                 {
                     return Err(format!("unknown artifact: {artifact}"));
                 }
@@ -307,6 +332,19 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 .into(),
         );
     }
+    let wants_compile = opts.artifacts.iter().any(|a| a == "compile");
+    match (wants_compile, opts.expr.is_some(), opts.expr_file.is_some()) {
+        (true, false, false) => {
+            return Err("compile needs --expr '<expression>' or --file <corpus>".into());
+        }
+        (true, true, true) => {
+            return Err("compile takes --expr or --file, not both".into());
+        }
+        (false, e, f) if e || f => {
+            return Err("--expr/--file only apply to the compile subcommand".into());
+        }
+        _ => {}
+    }
     // Reject malformed specs at parse time, not mid-sweep.
     crate::fault::FaultInjector::from_specs(&opts.inject).map_err(|e| format!("--inject {e}"))?;
     Ok(opts)
@@ -324,6 +362,9 @@ pub fn usage() -> String {
          trace subcommand: experiments trace [--app NAME] [--matrix CODE] [--trace-dir DIR]\n\
          analyze subcommand: experiments analyze [--app NAME] [--matrix CODE] — static \
          traffic/occupancy bounds, differentially verified against the simulator\n\
+         compile subcommand: experiments compile --expr '<einsum>' | --file corpus.ses \
+         [--matrix CODE] — parse, lint, and lower sparse-einsum expressions, run one \
+         simulated point each, exit 4 on any diagnostic error\n\
          (--trace-dir with sweep artifacts also records per-point JSONL traces)",
         ALL_ARTIFACTS.join(" ")
     )
@@ -453,6 +494,50 @@ mod tests {
             .artifacts
             .iter()
             .any(|a| a == "analyze"));
+    }
+
+    #[test]
+    fn compile_subcommand_parses() {
+        let args_vec: Vec<String> = vec![
+            "compile".into(),
+            "--expr".into(),
+            "y[j] +.*= x[i] * A[i,j]".into(),
+        ];
+        let o = parse(&args_vec).unwrap();
+        assert_eq!(o.artifacts, vec!["compile"]);
+        assert_eq!(o.expr.as_deref(), Some("y[j] +.*= x[i] * A[i,j]"));
+        assert_eq!(o.expr_file, None);
+        assert!(!o.needs_sweep());
+
+        let f = parse(&args("compile --file corpus.ses --matrix gy")).unwrap();
+        assert_eq!(f.expr_file, Some(PathBuf::from("corpus.ses")));
+        assert_eq!(f.trace_matrix, MatrixId::Gy);
+
+        // `all` must not pull the subcommand in
+        assert!(!parse(&args("all"))
+            .unwrap()
+            .artifacts
+            .iter()
+            .any(|a| a == "compile"));
+    }
+
+    #[test]
+    fn compile_subcommand_is_validated() {
+        assert!(parse(&args("compile")).is_err(), "needs --expr or --file");
+        assert!(
+            parse(&args("compile --expr a --file b")).is_err(),
+            "--expr and --file are exclusive"
+        );
+        assert!(
+            parse(&args("table1 --expr a")).is_err(),
+            "--expr without the compile subcommand"
+        );
+        assert!(
+            parse(&args("table1 --file c.ses")).is_err(),
+            "--file without the compile subcommand"
+        );
+        assert!(parse(&args("compile --expr")).is_err());
+        assert!(parse(&args("compile --file")).is_err());
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The committed sparse-einsum expression corpus and its loader.
+//!
+//! The corpus (`crates/bench/corpus.ses`) is the conformance surface of
+//! the einsum front door: the `experiments compile --file` runner, the
+//! differential suite, and the golden snapshot all iterate the same
+//! entries, so a new expression added here is automatically parsed,
+//! linted, lowered, simulated, and checked bitwise against the scalar
+//! interpreter.
+
+use std::path::Path;
+
+use crate::error::BenchError;
+
+/// The committed corpus file, bundled into the binary so tests and the
+/// default CI job need no path plumbing.
+pub const BUNDLED: &str = include_str!("../corpus.ses");
+
+/// One corpus expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Display name: the expression's `name=` setting when it parses,
+    /// otherwise `line<N>`.
+    pub name: String,
+    /// The expression source text.
+    pub source: String,
+    /// 1-based line number in the corpus file.
+    pub line: usize,
+}
+
+/// Splits corpus text into entries: one expression per non-empty,
+/// non-comment line. Malformed lines are kept (named `line<N>`) so the
+/// compile runner reports their diagnostics instead of hiding them.
+#[must_use]
+pub fn parse_corpus(text: &str) -> Vec<CorpusEntry> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name = sparsepipe_frontend::einsum::parse(line)
+            .ok()
+            .and_then(|p| p.settings.name)
+            .unwrap_or_else(|| format!("line{}", idx + 1));
+        out.push(CorpusEntry {
+            name,
+            source: line.to_string(),
+            line: idx + 1,
+        });
+    }
+    out
+}
+
+/// The bundled corpus, parsed.
+#[must_use]
+pub fn bundled() -> Vec<CorpusEntry> {
+    parse_corpus(BUNDLED)
+}
+
+/// Loads a corpus file from disk.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] if the file cannot be read.
+pub fn load(path: &Path) -> Result<Vec<CorpusEntry>, BenchError> {
+    let text = std::fs::read_to_string(path).map_err(|source| BenchError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    Ok(parse_corpus(&text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_corpus_is_large_and_uniquely_named() {
+        let entries = bundled();
+        assert!(
+            entries.len() >= 20,
+            "corpus shrank to {} expressions",
+            entries.len()
+        );
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate corpus names");
+        assert!(
+            !entries.iter().any(|e| e.name.starts_with("line")),
+            "every committed expression must parse and carry a name= setting"
+        );
+    }
+
+    #[test]
+    fn bundled_corpus_has_the_required_families() {
+        let entries = bundled();
+        let mxm_bearing = entries
+            .iter()
+            .filter(|e| {
+                sparsepipe_frontend::einsum::compile_expression(&e.source).is_ok_and(|l| {
+                    l.graph
+                        .ops()
+                        .any(|(_, op)| matches!(op.kind, sparsepipe_frontend::OpKind::Mxm { .. }))
+                })
+            })
+            .count();
+        assert!(
+            mxm_bearing >= 3,
+            "only {mxm_bearing} mxm-bearing expressions"
+        );
+        assert!(entries.iter().any(|e| e.name == "pr"));
+        assert!(entries.iter().any(|e| e.name == "gcnw"));
+    }
+
+    #[test]
+    fn parse_corpus_keeps_malformed_lines_with_positions() {
+        let entries = parse_corpus("# comment\n\ny[j] +.*= x[i] * A[i,j\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "line3");
+        assert_eq!(entries[0].line, 3);
+    }
+}

@@ -1477,6 +1477,141 @@ pub fn analyze(
     ))
 }
 
+/// **compile** — the sparse-einsum front door: parse, lint, lower, and
+/// run one simulated point for each expression. Returns the report and
+/// the number of expressions with diagnostic errors (parse/lower
+/// rejections, lint errors, backend compile or simulation failures).
+///
+/// # Errors
+///
+/// Returns [`BenchError::Dataset`] if the input matrix fails to load —
+/// per-expression failures are reported in the table, not raised.
+pub fn compile_exprs(
+    ctx: &DataContext,
+    exec: &Executor,
+    entries: &[crate::einsum_corpus::CorpusEntry],
+    matrix_id: MatrixId,
+) -> Result<(Report, usize), BenchError> {
+    use sparsepipe_lint::einsum_checks;
+
+    let dataset = ctx.load_one(matrix_id)?;
+    let cfg = sweep::sparsepipe_config(&dataset);
+    let mb = |b: f64| format!("{:.2}", b / 1e6);
+
+    let mut t = Table::new(
+        [
+            "expr",
+            "ops",
+            "profile",
+            "errors",
+            "warnings",
+            "iters",
+            "cycles",
+            "traffic (MB)",
+            "status",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut failing = 0usize;
+    let mut details = String::new();
+    for e in entries {
+        let check = einsum_checks::check_expression(&e.source);
+        let mut report = check.report;
+        let dash = || "-".to_string();
+
+        // Lowered expressions go through the unchanged backend stack:
+        // fusion/compile, the full graph linter, then one simulation.
+        let mut ops = None;
+        let mut profile = None;
+        let mut iterations = None;
+        let mut point = None;
+        let mut backend_failure = None;
+        if let Some(lowered) = &check.lowered {
+            ops = Some(lowered.graph.ops().count());
+            iterations = Some(lowered.iterations);
+            match sparsepipe_frontend::compile(&lowered.graph, lowered.feature_dim) {
+                Ok(program) => {
+                    report.merge(sparsepipe_lint::lint_program(&program));
+                    profile = Some(if program.profile.cross_iteration {
+                        "cross-oei"
+                    } else if program.profile.has_oei {
+                        "oei"
+                    } else {
+                        "stream"
+                    });
+                    if !report.has_errors() {
+                        let run = sparsepipe_core::SimRequest::new(&program, &dataset.reordered)
+                            .iterations(lowered.iterations)
+                            .config(cfg)
+                            .run();
+                        match run {
+                            Ok(outcome) => {
+                                exec.record(PointRecord::from_telemetry(
+                                    format!("compile:{}-{}", e.name, matrix_id.code()),
+                                    &outcome.telemetry,
+                                ));
+                                point = Some(outcome);
+                            }
+                            Err(err) => backend_failure = Some(format!("simulation: {err}")),
+                        }
+                    }
+                }
+                Err(err) => backend_failure = Some(format!("backend compile: {err}")),
+            }
+        }
+
+        let failed = report.has_errors() || backend_failure.is_some();
+        if failed {
+            failing += 1;
+        }
+        if let Some(msg) = &backend_failure {
+            details.push_str(&format!("{}: {msg}\n", e.name));
+        }
+        if !report.diagnostics().is_empty() {
+            details.push_str(&format!("--- {} (line {}) ---\n{report}\n", e.name, e.line));
+        }
+        t.row(vec![
+            e.name.clone(),
+            ops.map_or_else(dash, |n| n.to_string()),
+            profile.unwrap_or("-").into(),
+            report.error_count().to_string(),
+            report.warning_count().to_string(),
+            iterations.map_or_else(dash, |n| n.to_string()),
+            point
+                .as_ref()
+                .map_or_else(dash, |o| o.report.total_cycles.to_string()),
+            point
+                .as_ref()
+                .map_or_else(dash, |o| mb(o.report.traffic.total_bytes())),
+            if failed { "FAIL".into() } else { "ok".into() },
+        ]);
+    }
+
+    let mut body = t.render();
+    if !details.is_empty() {
+        body.push_str(&details);
+    }
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        body,
+        "compile    : {} expression(s), {failing} failing",
+        entries.len()
+    );
+    Ok((
+        Report {
+            id: "compile",
+            title: format!(
+                "sparse-einsum front door on {} (scale 1/{})",
+                matrix_id.code(),
+                ctx.scale
+            ),
+            body,
+        },
+        failing,
+    ))
+}
+
 /// **--lint** — the static verifier over every registered app (graph
 /// well-formedness, shapes/semirings, the OEI oracle cross-check) plus a
 /// representative pass plan per feature width. Returns the report and the

@@ -19,6 +19,7 @@
 pub mod checkpoint;
 pub mod cli;
 pub mod datasets;
+pub mod einsum_corpus;
 pub mod error;
 pub mod executor;
 pub mod experiments;

@@ -66,6 +66,26 @@ fn figure_renders_match_golden_snapshots() {
 }
 
 #[test]
+fn compile_report_matches_golden_snapshot() {
+    // The sparse-einsum front door: the bundled corpus, compiled and
+    // simulated on ca at scale 64. The rendered table pins every
+    // expression's op count, profile, diagnostics, simulated cycles, and
+    // traffic — a parser, lowering, lint, or simulator change that moves
+    // any expression shows up as a one-line diff.
+    let exec = Executor::new(0);
+    let entries = sparsepipe_bench::einsum_corpus::bundled();
+    let (report, failing) = experiments::compile_exprs(
+        &DataContext::synthetic(MatrixSet::Quick, 64),
+        &exec,
+        &entries,
+        sparsepipe_tensor::MatrixId::Ca,
+    )
+    .expect("the bundled corpus compiles");
+    assert_eq!(failing, 0, "the bundled corpus must compile clean");
+    check("compile.txt", &report.render());
+}
+
+#[test]
 fn analyze_report_matches_golden_snapshot() {
     // The static analyzer's rendered report for the default point (all
     // apps on ca at scale 64) is fully deterministic: any drift in the

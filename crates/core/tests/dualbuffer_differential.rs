@@ -108,12 +108,41 @@ proptest! {
 
 /// The named structural edge cases (empty matrix, pure diagonals, hub
 /// row/col, banded, power-law, block-diagonal, empty rows/cols) at three
-/// capacity points each.
+/// capacity points each. The suite's rectangular `zero_rows_rect` entry
+/// must be *rejected* by the legacy pass (the OEI dual buffer is
+/// square-only) rather than mis-indexed — `MatrixArena::from_parts`
+/// asserts squareness, so the arena side never sees it.
 #[test]
 fn arena_matches_legacy_on_edge_case_corpus() {
+    let mut saw_rect = false;
     for (name, m) in sparsepipe_testutil::corpus::edge_case_suite(64) {
+        if m.nrows() != m.ncols() {
+            saw_rect = true;
+            let (csc, csr) = (m.to_csc(), m.to_csr());
+            let x: DenseVector = (0..m.nrows() as usize).map(|i| i as f64 * 0.1).collect();
+            let err = oei::fused_pass_buffered_legacy_traced(
+                &csc,
+                &csr,
+                &x,
+                |_, v| v,
+                SemiringOp::MulAdd,
+                SemiringOp::MulAdd,
+                4096,
+                &mut MemorySink::new(),
+            )
+            .expect_err("rectangular matrices must be rejected, not mis-indexed");
+            assert!(
+                matches!(
+                    err,
+                    sparsepipe_tensor::TensorError::DimensionMismatch { .. }
+                ),
+                "{name}: wrong rejection: {err}"
+            );
+            continue;
+        }
         for cap_frac in [0.05, 0.5, 4.0] {
             assert_equivalent(&m, cap_frac, SemiringOp::MulAdd, SemiringOp::MulAdd, name);
         }
     }
+    assert!(saw_rect, "edge_case_suite lost its rectangular entry");
 }

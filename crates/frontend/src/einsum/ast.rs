@@ -1,0 +1,421 @@
+//! Typed AST for the sparse-einsum expression language.
+//!
+//! Every node records the byte [`Span`] it was parsed from so diagnostics
+//! can point back into the source text. Structural equality (`PartialEq`)
+//! deliberately **ignores spans**: the round-trip obligation is
+//! `parse(p.pretty()) == p`, and a reprint never preserves byte offsets.
+
+use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
+
+/// A half-open byte range `start..end` into the source expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte of the spanned region.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span covering `start..end`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// How a declaration binds its tensor into the loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclRole {
+    /// `in` — a live-in bound before the first iteration (may be carried
+    /// into).
+    In,
+    /// `const` — invariant across iterations (the reuse-bearing role).
+    Const,
+}
+
+/// A tensor declaration, e.g. `in pr[i]` or `const dense W[f,g]`.
+#[derive(Debug, Clone)]
+pub struct Decl {
+    /// Binding role.
+    pub role: DeclRole,
+    /// `true` when the `dense` modifier is present (two-index tensors
+    /// default to sparse).
+    pub dense: bool,
+    /// Tensor name.
+    pub name: String,
+    /// Index labels; the count fixes the kind (0 scalar, 1 vector,
+    /// 2 matrix).
+    pub indices: Vec<String>,
+    /// Source span of the whole declaration.
+    pub span: Span,
+}
+
+impl PartialEq for Decl {
+    fn eq(&self, other: &Self) -> bool {
+        self.role == other.role
+            && self.dense == other.dense
+            && self.name == other.name
+            && self.indices == other.indices
+    }
+}
+
+/// One operand of a right-hand side.
+#[derive(Debug, Clone)]
+pub enum Operand {
+    /// An indexed tensor reference, e.g. `A[i,j]` or the scalar `alpha`.
+    Tensor {
+        /// Referenced tensor name.
+        name: String,
+        /// Index labels (empty for scalars).
+        indices: Vec<String>,
+        /// Source span.
+        span: Span,
+    },
+    /// A numeric literal (lowered to an e-wise immediate).
+    Number {
+        /// The literal value.
+        value: f64,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Operand {
+    /// The operand's source span.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Operand::Tensor { span, .. } | Operand::Number { span, .. } => *span,
+        }
+    }
+}
+
+impl PartialEq for Operand {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Operand::Tensor { name, indices, .. },
+                Operand::Tensor {
+                    name: n2,
+                    indices: i2,
+                    ..
+                },
+            ) => name == n2 && indices == i2,
+            (Operand::Number { value, .. }, Operand::Number { value: v2, .. }) => {
+                value.to_bits() == v2.to_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The assignment operator of a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// Plain `=` — an e-wise / dense / reduction statement.
+    Ewise,
+    /// `<add>.<mul>=` — a semiring contraction (e.g. `+.*=`, `min.+=`).
+    Semiring(SemiringOp),
+}
+
+/// A statement's right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// `a * b` under a semiring assignment — a contraction whose operator
+    /// is inferred from the operand kinds and index positions.
+    Contract(Operand, Operand),
+    /// An e-wise binary application (infix symbol or call form).
+    Binary(EwiseBinary, Operand, Operand),
+    /// An e-wise unary application, e.g. `relu(z[i])`.
+    Unary(EwiseUnary, Operand),
+    /// A vector → scalar reduction, e.g. `sum(err[i])`.
+    Reduce(EwiseBinary, Operand),
+    /// A dot product, `dot(a[i], b[i])`.
+    Dot(Operand, Operand),
+}
+
+/// One statement: `target[indices] <assign> rhs`.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// Name the result is bound to.
+    pub target: String,
+    /// Target index labels (empty for a scalar target).
+    pub indices: Vec<String>,
+    /// Assignment operator.
+    pub assign: AssignOp,
+    /// Right-hand side.
+    pub rhs: Rhs,
+    /// Source span of the whole statement.
+    pub span: Span,
+}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.target == other.target
+            && self.indices == other.indices
+            && self.assign == other.assign
+            && self.rhs == other.rhs
+    }
+}
+
+/// A loop-carry setting: `carry=to` (last statement's result) or
+/// `carry=from->to`.
+#[derive(Debug, Clone)]
+pub struct Carry {
+    /// Carried produced tensor; `None` means the last statement's target.
+    pub from: Option<String>,
+    /// The input tensor it becomes next iteration.
+    pub to: String,
+    /// Source span of the setting.
+    pub span: Span,
+}
+
+impl PartialEq for Carry {
+    fn eq(&self, other: &Self) -> bool {
+        self.from == other.from && self.to == other.to
+    }
+}
+
+/// Trailing `@ key=value` settings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Settings {
+    /// `iter=N` — default iteration count.
+    pub iterations: Option<u32>,
+    /// `feature=N` — feature dimension for dense activations.
+    pub feature_dim: Option<u32>,
+    /// `name=ident` — display name of the compiled program.
+    pub name: Option<String>,
+    /// `carry=…` settings, in source order.
+    pub carries: Vec<Carry>,
+}
+
+/// A parsed sparse-einsum program: declarations, statements, settings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Leading declarations.
+    pub decls: Vec<Decl>,
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// Trailing settings.
+    pub settings: Settings,
+}
+
+/// The infix symbol for an e-wise binary operator, if it has one;
+/// operators without a symbol pretty-print in call form.
+#[must_use]
+pub fn infix_symbol(op: EwiseBinary) -> Option<&'static str> {
+    Some(match op {
+        EwiseBinary::Add => "+",
+        EwiseBinary::Sub => "-",
+        EwiseBinary::Mul => "*",
+        EwiseBinary::Div => "/",
+        EwiseBinary::Less => "<",
+        EwiseBinary::Greater => ">",
+        EwiseBinary::Equal => "==",
+        EwiseBinary::And => "&",
+        EwiseBinary::Or => "|",
+        _ => return None,
+    })
+}
+
+/// The call-form name of an e-wise binary operator (also accepted by the
+/// parser for the symbol operators).
+#[must_use]
+pub fn binary_name(op: EwiseBinary) -> &'static str {
+    match op {
+        EwiseBinary::Add => "add",
+        EwiseBinary::Sub => "sub",
+        EwiseBinary::Mul => "mul",
+        EwiseBinary::Div => "div",
+        EwiseBinary::Min => "min",
+        EwiseBinary::Max => "max",
+        EwiseBinary::AbsDiff => "absdiff",
+        EwiseBinary::Select => "select",
+        EwiseBinary::First => "first",
+        EwiseBinary::Second => "second",
+        EwiseBinary::Less => "less",
+        EwiseBinary::Greater => "greater",
+        EwiseBinary::Equal => "equal",
+        EwiseBinary::And => "and",
+        EwiseBinary::Or => "or",
+    }
+}
+
+/// The call-form name of an e-wise unary operator.
+#[must_use]
+pub fn unary_name(op: EwiseUnary) -> &'static str {
+    match op {
+        EwiseUnary::Identity => "identity",
+        EwiseUnary::Neg => "neg",
+        EwiseUnary::Abs => "abs",
+        EwiseUnary::Recip => "recip",
+        EwiseUnary::Relu => "relu",
+        EwiseUnary::Sqrt => "sqrt",
+        EwiseUnary::Not => "not",
+        EwiseUnary::Square => "square",
+    }
+}
+
+/// The canonical reduction name for a monoid: the alias where one exists
+/// (`sum`, `any`, `all`), otherwise the binary call name.
+#[must_use]
+pub fn reduce_name(op: EwiseBinary) -> &'static str {
+    match op {
+        EwiseBinary::Add => "sum",
+        EwiseBinary::Or => "any",
+        EwiseBinary::And => "all",
+        other => binary_name(other),
+    }
+}
+
+/// The surface spelling of a semiring assignment: `<add>.<mul>=`.
+#[must_use]
+pub fn semiring_spelling(s: SemiringOp) -> &'static str {
+    match s {
+        SemiringOp::MulAdd => "+.*=",
+        SemiringOp::AndOr => "|.&=",
+        SemiringOp::MinAdd => "min.+=",
+        SemiringOp::ArilAdd => "aril.+=",
+    }
+}
+
+fn push_tensor(out: &mut String, name: &str, indices: &[String]) {
+    out.push_str(name);
+    if !indices.is_empty() {
+        out.push('[');
+        out.push_str(&indices.join(","));
+        out.push(']');
+    }
+}
+
+fn push_operand(out: &mut String, op: &Operand) {
+    match op {
+        Operand::Tensor { name, indices, .. } => push_tensor(out, name, indices),
+        Operand::Number { value, .. } => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{value}");
+        }
+    }
+}
+
+impl Program {
+    /// Renders the canonical text form. The canonical form re-parses to a
+    /// structurally equal [`Program`] (the round-trip property the
+    /// conformance suite enforces).
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        for d in &self.decls {
+            match d.role {
+                DeclRole::In => out.push_str("in "),
+                DeclRole::Const => out.push_str("const "),
+            }
+            if d.dense {
+                out.push_str("dense ");
+            }
+            push_tensor(&mut out, &d.name, &d.indices);
+            out.push_str("; ");
+        }
+        for (i, s) in self.stmts.iter().enumerate() {
+            if i > 0 {
+                out.push_str("; ");
+            }
+            push_tensor(&mut out, &s.target, &s.indices);
+            match s.assign {
+                AssignOp::Ewise => out.push_str(" = "),
+                AssignOp::Semiring(sr) => {
+                    out.push(' ');
+                    out.push_str(semiring_spelling(sr));
+                    out.push(' ');
+                }
+            }
+            match &s.rhs {
+                Rhs::Contract(a, b) => {
+                    push_operand(&mut out, a);
+                    out.push_str(" * ");
+                    push_operand(&mut out, b);
+                }
+                Rhs::Binary(op, a, b) => {
+                    if let Some(sym) = infix_symbol(*op) {
+                        push_operand(&mut out, a);
+                        out.push(' ');
+                        out.push_str(sym);
+                        out.push(' ');
+                        push_operand(&mut out, b);
+                    } else {
+                        out.push_str(binary_name(*op));
+                        out.push('(');
+                        push_operand(&mut out, a);
+                        out.push_str(", ");
+                        push_operand(&mut out, b);
+                        out.push(')');
+                    }
+                }
+                Rhs::Unary(op, a) => {
+                    out.push_str(unary_name(*op));
+                    out.push('(');
+                    push_operand(&mut out, a);
+                    out.push(')');
+                }
+                Rhs::Reduce(op, a) => {
+                    out.push_str(reduce_name(*op));
+                    out.push('(');
+                    push_operand(&mut out, a);
+                    out.push(')');
+                }
+                Rhs::Dot(a, b) => {
+                    out.push_str("dot(");
+                    push_operand(&mut out, a);
+                    out.push_str(", ");
+                    push_operand(&mut out, b);
+                    out.push(')');
+                }
+            }
+        }
+        let st = &self.settings;
+        if st.iterations.is_some()
+            || st.feature_dim.is_some()
+            || st.name.is_some()
+            || !st.carries.is_empty()
+        {
+            out.push_str(" @");
+            if let Some(n) = st.iterations {
+                use std::fmt::Write as _;
+                let _ = write!(out, " iter={n}");
+            }
+            if let Some(f) = st.feature_dim {
+                use std::fmt::Write as _;
+                let _ = write!(out, " feature={f}");
+            }
+            if let Some(name) = &st.name {
+                out.push_str(" name=");
+                out.push_str(name);
+            }
+            for c in &st.carries {
+                out.push_str(" carry=");
+                if let Some(from) = &c.from {
+                    out.push_str(from);
+                    out.push_str("->");
+                }
+                out.push_str(&c.to);
+            }
+        }
+        out
+    }
+}

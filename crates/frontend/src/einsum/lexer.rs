@@ -1,0 +1,226 @@
+//! Hand-rolled lexer for the sparse-einsum expression language.
+//!
+//! Produces a flat token stream with byte spans. `#` starts a comment that
+//! runs to the end of the line; whitespace separates tokens but is
+//! otherwise insignificant. Identifiers are ASCII (`[A-Za-z_][A-Za-z0-9_]*`)
+//! — any other character, including non-ASCII index names, is a spanned
+//! [`EinsumError`] rather than a panic, no matter how hostile the input.
+
+use super::ast::Span;
+use super::{EinsumError, EinsumErrorKind};
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `@`
+    At,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+}
+
+impl Tok {
+    /// Human-readable description used in parse errors.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Number(v) => format!("number `{v}`"),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::At => "`@`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Arrow => "`->`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Pipe => "`|`".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind (and payload).
+    pub tok: Tok,
+    /// Byte span in the source.
+    pub span: Span,
+}
+
+/// Lexes `src` into tokens.
+///
+/// # Errors
+///
+/// Returns a spanned [`EinsumError`] of kind
+/// [`EinsumErrorKind::Syntax`] on any character outside the language's
+/// alphabet.
+pub fn lex(src: &str) -> Result<Vec<Token>, EinsumError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'[' => i = push(&mut out, Tok::LBracket, i),
+            b']' => i = push(&mut out, Tok::RBracket, i),
+            b'(' => i = push(&mut out, Tok::LParen, i),
+            b')' => i = push(&mut out, Tok::RParen, i),
+            b',' => i = push(&mut out, Tok::Comma, i),
+            b';' => i = push(&mut out, Tok::Semi, i),
+            b'@' => i = push(&mut out, Tok::At, i),
+            b'.' => i = push(&mut out, Tok::Dot, i),
+            b'+' => i = push(&mut out, Tok::Plus, i),
+            b'*' => i = push(&mut out, Tok::Star, i),
+            b'/' => i = push(&mut out, Tok::Slash, i),
+            b'<' => i = push(&mut out, Tok::Lt, i),
+            b'>' => i = push(&mut out, Tok::Gt, i),
+            b'&' => i = push(&mut out, Tok::Amp, i),
+            b'|' => i = push(&mut out, Tok::Pipe, i),
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token {
+                        tok: Tok::Arrow,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    i = push(&mut out, Tok::Minus, i);
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        tok: Tok::EqEq,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    i = push(&mut out, Tok::Eq, i);
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let value: f64 = text.parse().map_err(|_| {
+                    EinsumError::new(
+                        EinsumErrorKind::Syntax,
+                        Span::new(start, i),
+                        format!("malformed number literal `{text}`"),
+                    )
+                })?;
+                out.push(Token {
+                    tok: Tok::Number(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                // Report the full (possibly multi-byte) character so the
+                // span stays on a char boundary for unicode input.
+                let ch = src[i..].chars().next().unwrap_or('\u{fffd}');
+                let end = i + ch.len_utf8().min(bytes.len() - i);
+                return Err(EinsumError::new(
+                    EinsumErrorKind::Syntax,
+                    Span::new(i, end),
+                    format!("unexpected character `{ch}`"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Token>, tok: Tok, i: usize) -> usize {
+    out.push(Token {
+        tok,
+        span: Span::new(i, i + 1),
+    });
+    i + 1
+}

@@ -1,0 +1,682 @@
+//! Lowering from the einsum AST to the [`DataflowGraph`] IR.
+//!
+//! The lowering is a single left-to-right pass: declarations (and
+//! first-use defaults) materialize input/constant tensor nodes through
+//! [`GraphBuilder`], each statement classifies into exactly one IR
+//! operator from its operand kinds and index positions, and the trailing
+//! settings attach loop carries. Every rejection is a spanned
+//! [`EinsumError`]; the produced graph then flows through the unchanged
+//! fusion/analysis/lint stack like any hand-built one.
+//!
+//! ## Contraction classification
+//!
+//! For `t <s>= a * b` the operator is inferred from the operand kinds:
+//!
+//! | operands            | rule                                   | operator  |
+//! |---------------------|----------------------------------------|-----------|
+//! | vector · matrix     | shared index is the matrix row index   | `vxm`     |
+//! | vector · matrix     | shared index is the matrix col index   | `mxv`     |
+//! | matrix · matrix     | `a`'s col index == `b`'s row index     | `mxm`     |
+//! | dense · matrix      | dense row index == matrix row index    | `spmm`    |
+//! | dense · dense       | `a`'s col index == `b`'s row index     | `dense_mm`|
+//! | vector · vector     | same single index, scalar target       | `dot`     |
+//!
+//! `dense_mm` and `dot` admit only the `+.*` semiring — the IR operators
+//! carry none.
+
+use std::collections::HashMap;
+
+use sparsepipe_semiring::SemiringOp;
+
+use crate::graph::{DataflowGraph, TensorId, TensorKind};
+use crate::{FrontendError, GraphBuilder};
+
+use super::ast::{AssignOp, DeclRole, Operand, Program, Rhs, Span, Stmt};
+use super::{EinsumError, EinsumErrorKind};
+
+/// A lowered einsum program: the dataflow graph plus the execution
+/// parameters carried by the expression's `@` settings.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// Display name (`name=` setting, default `expr`).
+    pub name: String,
+    /// The lowered graph; produced tensors are renamed to their statement
+    /// targets so interpreter results are addressable by surface name.
+    pub graph: DataflowGraph,
+    /// Default iteration count (`iter=` setting, default 1).
+    pub iterations: usize,
+    /// Feature dimension for dense activations (`feature=` setting,
+    /// default 1).
+    pub feature_dim: usize,
+}
+
+/// Lowers a parsed [`Program`] to a [`Lowered`] dataflow graph.
+///
+/// # Errors
+///
+/// Returns a spanned [`EinsumError`]: [`EinsumErrorKind::Arity`] for
+/// index-count/kind inconsistencies, [`EinsumErrorKind::Contraction`]
+/// for malformed contractions, and [`EinsumErrorKind::Structure`] for
+/// program-level violations (reassignment, bad carries, cyclic graphs,
+/// anything [`GraphBuilder`] rejects).
+pub fn lower(program: &Program) -> Result<Lowered, EinsumError> {
+    Lowering::new(program).run()
+}
+
+/// How a name entered the symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Declared,
+    Inferred,
+    Produced,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Materialized builder id (`None` until first use for declared
+    /// inputs, so unused declarations never enter the graph).
+    id: Option<TensorId>,
+    kind: TensorKind,
+    role: DeclRole,
+    origin: Origin,
+}
+
+struct Lowering<'p> {
+    program: &'p Program,
+    builder: GraphBuilder,
+    env: HashMap<String, Slot>,
+    /// `(surface name, builder id)` per statement, for post-build rename.
+    produced: Vec<(String, TensorId)>,
+}
+
+fn err(kind: EinsumErrorKind, span: Span, msg: impl Into<String>) -> EinsumError {
+    EinsumError::new(kind, span, msg.into())
+}
+
+fn structure(span: Span, msg: impl Into<String>) -> EinsumError {
+    err(EinsumErrorKind::Structure, span, msg)
+}
+
+fn from_frontend(span: Span, e: &FrontendError) -> EinsumError {
+    structure(span, format!("lowering rejected: {e}"))
+}
+
+fn kind_name(kind: TensorKind) -> &'static str {
+    match kind {
+        TensorKind::SparseMatrix => "sparse matrix",
+        TensorKind::Vector => "vector",
+        TensorKind::DenseMatrix => "dense matrix",
+        TensorKind::Scalar => "scalar",
+    }
+}
+
+fn index_count(kind: TensorKind) -> usize {
+    match kind {
+        TensorKind::Scalar => 0,
+        TensorKind::Vector => 1,
+        TensorKind::SparseMatrix | TensorKind::DenseMatrix => 2,
+    }
+}
+
+/// A resolved tensor operand reference.
+struct Ref {
+    id: TensorId,
+    kind: TensorKind,
+    indices: Vec<String>,
+    span: Span,
+}
+
+impl<'p> Lowering<'p> {
+    fn new(program: &'p Program) -> Self {
+        Lowering {
+            program,
+            builder: GraphBuilder::new(),
+            env: HashMap::new(),
+            produced: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Lowered, EinsumError> {
+        for d in &self.program.decls {
+            if d.indices.len() > 2 {
+                return Err(err(
+                    EinsumErrorKind::Arity,
+                    d.span,
+                    format!(
+                        "`{}` declares {} indices; tensors have at most 2",
+                        d.name,
+                        d.indices.len()
+                    ),
+                ));
+            }
+            let kind = match (d.indices.len(), d.dense) {
+                (0, _) => TensorKind::Scalar,
+                (1, _) => TensorKind::Vector,
+                (2, true) => TensorKind::DenseMatrix,
+                _ => TensorKind::SparseMatrix,
+            };
+            if kind == TensorKind::Scalar && d.role == DeclRole::Const {
+                return Err(structure(
+                    d.span,
+                    format!(
+                        "`{}`: scalar constants are not supported — write the literal",
+                        d.name
+                    ),
+                ));
+            }
+            if self
+                .env
+                .insert(
+                    d.name.clone(),
+                    Slot {
+                        id: None,
+                        kind,
+                        role: d.role,
+                        origin: Origin::Declared,
+                    },
+                )
+                .is_some()
+            {
+                return Err(structure(
+                    d.span,
+                    format!("`{}` is declared more than once", d.name),
+                ));
+            }
+        }
+        for stmt in &self.program.stmts {
+            self.stmt(stmt)?;
+        }
+        self.carries()?;
+        let settings = &self.program.settings;
+        let mut graph = self
+            .builder
+            .build()
+            .map_err(|e| from_frontend(Span::new(0, 0), &e))?;
+        for (name, id) in &self.produced {
+            graph.tensors[id.index()].name.clone_from(name);
+        }
+        Ok(Lowered {
+            name: settings.name.clone().unwrap_or_else(|| "expr".into()),
+            graph,
+            iterations: settings.iterations.unwrap_or(1) as usize,
+            feature_dim: settings.feature_dim.unwrap_or(1) as usize,
+        })
+    }
+
+    /// Resolves an operand reference, materializing input/constant nodes
+    /// on first use and inferring undeclared names from their index count
+    /// (0 → scalar input, 1 → vector input, 2 → sparse constant).
+    fn resolve(&mut self, op: &Operand) -> Result<Ref, EinsumError> {
+        let Operand::Tensor {
+            name,
+            indices,
+            span,
+        } = op
+        else {
+            return Err(structure(
+                op.span(),
+                "a literal is only valid as the right operand of an e-wise binary",
+            ));
+        };
+        distinct_labels(indices, *span)?;
+        if !self.env.contains_key(name) {
+            let kind = match indices.len() {
+                0 => TensorKind::Scalar,
+                1 => TensorKind::Vector,
+                2 => TensorKind::SparseMatrix,
+                n => {
+                    return Err(err(
+                        EinsumErrorKind::Arity,
+                        *span,
+                        format!("`{name}` is referenced with {n} indices; tensors have at most 2"),
+                    ))
+                }
+            };
+            let role = if kind == TensorKind::SparseMatrix {
+                DeclRole::Const
+            } else {
+                DeclRole::In
+            };
+            self.env.insert(
+                name.clone(),
+                Slot {
+                    id: None,
+                    kind,
+                    role,
+                    origin: Origin::Inferred,
+                },
+            );
+        }
+        let slot = self.env.get(name).expect("inserted above");
+        let (kind, role, origin, id) = (slot.kind, slot.role, slot.origin, slot.id);
+        if indices.len() != index_count(kind) {
+            return Err(err(
+                EinsumErrorKind::Arity,
+                *span,
+                format!(
+                    "`{name}` is a {} and takes {} index label(s), got {}",
+                    kind_name(kind),
+                    index_count(kind),
+                    indices.len()
+                ),
+            ));
+        }
+        let id = match id {
+            Some(id) => id,
+            None => {
+                debug_assert_ne!(
+                    origin,
+                    Origin::Produced,
+                    "produced slots always carry an id"
+                );
+                let id = match (kind, role) {
+                    (TensorKind::Vector, DeclRole::In) => self.builder.input_vector(name.clone()),
+                    (TensorKind::Vector, DeclRole::Const) => {
+                        self.builder.constant_vector(name.clone())
+                    }
+                    (TensorKind::SparseMatrix, DeclRole::In) => {
+                        self.builder.input_matrix(name.clone())
+                    }
+                    (TensorKind::SparseMatrix, DeclRole::Const) => {
+                        self.builder.constant_matrix(name.clone())
+                    }
+                    (TensorKind::DenseMatrix, DeclRole::In) => {
+                        self.builder.input_dense(name.clone())
+                    }
+                    (TensorKind::DenseMatrix, DeclRole::Const) => {
+                        self.builder.constant_dense(name.clone())
+                    }
+                    (TensorKind::Scalar, _) => self.builder.input_scalar(name.clone()),
+                };
+                self.env.get_mut(name).expect("present").id = Some(id);
+                id
+            }
+        };
+        Ok(Ref {
+            id,
+            kind,
+            indices: indices.clone(),
+            span: *span,
+        })
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), EinsumError> {
+        distinct_labels(&stmt.indices, stmt.span)?;
+        if let Some(slot) = self.env.get(&stmt.target) {
+            let what = match slot.origin {
+                Origin::Produced => "assigned more than once (results are single-assignment)",
+                _ => "already a declared input/constant — carry into it instead of assigning",
+            };
+            return Err(structure(stmt.span, format!("`{}` is {what}", stmt.target)));
+        }
+        let (id, kind) = match (&stmt.assign, &stmt.rhs) {
+            (AssignOp::Semiring(s), Rhs::Contract(a, b)) => self.contract(stmt, *s, a, b)?,
+            (AssignOp::Ewise, Rhs::Binary(op, a, b)) => self.binary(stmt, *op, a, b)?,
+            (AssignOp::Ewise, Rhs::Unary(op, a)) => {
+                let a = self.resolve(a)?;
+                self.expect_target_labels(stmt, &a.indices)?;
+                let id = self
+                    .builder
+                    .ewise_unary(*op, a.id)
+                    .map_err(|e| from_frontend(stmt.span, &e))?;
+                (id, a.kind)
+            }
+            (AssignOp::Ewise, Rhs::Reduce(op, a)) => {
+                let a = self.resolve(a)?;
+                if a.kind != TensorKind::Vector {
+                    return Err(err(
+                        EinsumErrorKind::Arity,
+                        a.span,
+                        format!("reductions take a vector, got a {}", kind_name(a.kind)),
+                    ));
+                }
+                self.expect_target_labels(stmt, &[])?;
+                let id = self
+                    .builder
+                    .reduce(*op, a.id)
+                    .map_err(|e| from_frontend(stmt.span, &e))?;
+                (id, TensorKind::Scalar)
+            }
+            (AssignOp::Ewise, Rhs::Dot(a, b)) => {
+                let a = self.resolve(a)?;
+                let b = self.resolve(b)?;
+                if a.kind != TensorKind::Vector || b.kind != TensorKind::Vector {
+                    return Err(err(
+                        EinsumErrorKind::Arity,
+                        a.span.to(b.span),
+                        "`dot` takes two vectors",
+                    ));
+                }
+                if a.indices != b.indices {
+                    return Err(err(
+                        EinsumErrorKind::Arity,
+                        a.span.to(b.span),
+                        "`dot` operands must share their index label",
+                    ));
+                }
+                self.expect_target_labels(stmt, &[])?;
+                let id = self
+                    .builder
+                    .dot(a.id, b.id)
+                    .map_err(|e| from_frontend(stmt.span, &e))?;
+                (id, TensorKind::Scalar)
+            }
+            (AssignOp::Semiring(_), _) | (AssignOp::Ewise, Rhs::Contract(..)) => {
+                // The parser pairs `Contract` with semiring assignments
+                // exclusively; reaching here means a hand-built AST.
+                return Err(structure(
+                    stmt.span,
+                    "semiring assignments take a contraction right-hand side",
+                ));
+            }
+        };
+        self.produced.push((stmt.target.clone(), id));
+        self.env.insert(
+            stmt.target.clone(),
+            Slot {
+                id: Some(id),
+                kind,
+                role: DeclRole::In,
+                origin: Origin::Produced,
+            },
+        );
+        Ok(())
+    }
+
+    fn expect_target_labels(&self, stmt: &Stmt, want: &[String]) -> Result<(), EinsumError> {
+        if stmt.indices != want {
+            let want_text = if want.is_empty() {
+                "no indices (a scalar)".to_string()
+            } else {
+                format!("[{}]", want.join(","))
+            };
+            return Err(err(
+                EinsumErrorKind::Arity,
+                stmt.span,
+                format!(
+                    "target `{}` must carry {want_text} to match the right-hand side",
+                    stmt.target
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn binary(
+        &mut self,
+        stmt: &Stmt,
+        op: sparsepipe_semiring::EwiseBinary,
+        a: &Operand,
+        b: &Operand,
+    ) -> Result<(TensorId, TensorKind), EinsumError> {
+        if matches!(a, Operand::Number { .. }) {
+            return Err(structure(
+                a.span(),
+                "a literal must be the right operand of an e-wise binary",
+            ));
+        }
+        let a = self.resolve(a)?;
+        // Tensor ⊙ literal → e-wise immediate.
+        if let Operand::Number { value, .. } = b {
+            self.expect_target_labels(stmt, &a.indices)?;
+            let id = self
+                .builder
+                .ewise_scalar(op, a.id, *value)
+                .map_err(|e| from_frontend(stmt.span, &e))?;
+            return Ok((id, a.kind));
+        }
+        let b = self.resolve(b)?;
+        // Tensor ⊙ scalar tensor → broadcast.
+        if b.kind == TensorKind::Scalar {
+            self.expect_target_labels(stmt, &a.indices)?;
+            let id = self
+                .builder
+                .ewise_broadcast(op, a.id, b.id)
+                .map_err(|e| from_frontend(stmt.span, &e))?;
+            return Ok((id, a.kind));
+        }
+        if a.kind != b.kind {
+            return Err(err(
+                EinsumErrorKind::Arity,
+                a.span.to(b.span),
+                format!(
+                    "e-wise operands must agree in kind: {} vs {}",
+                    kind_name(a.kind),
+                    kind_name(b.kind)
+                ),
+            ));
+        }
+        if a.indices != b.indices {
+            return Err(err(
+                EinsumErrorKind::Arity,
+                a.span.to(b.span),
+                "e-wise operands must carry identical index labels",
+            ));
+        }
+        self.expect_target_labels(stmt, &a.indices)?;
+        let id = if a.kind == TensorKind::SparseMatrix {
+            self.builder.ewise_matrix(op, a.id, b.id)
+        } else {
+            self.builder.ewise(op, a.id, b.id)
+        }
+        .map_err(|e| from_frontend(stmt.span, &e))?;
+        Ok((id, a.kind))
+    }
+
+    fn contract(
+        &mut self,
+        stmt: &Stmt,
+        semiring: SemiringOp,
+        a: &Operand,
+        b: &Operand,
+    ) -> Result<(TensorId, TensorKind), EinsumError> {
+        let a = self.resolve(a)?;
+        let b = self.resolve(b)?;
+        let whole = a.span.to(b.span);
+        let contraction = |span: Span, msg: String| err(EinsumErrorKind::Contraction, span, msg);
+        use TensorKind::{DenseMatrix, Scalar, SparseMatrix, Vector};
+        match (a.kind, b.kind) {
+            (Vector, SparseMatrix) | (SparseMatrix, Vector) => {
+                let (v, m) = if a.kind == Vector { (&a, &b) } else { (&b, &a) };
+                let shared = &v.indices[0];
+                let (out_label, id) = if *shared == m.indices[0] {
+                    // Contracting the matrix row index: vxm.
+                    let id = self
+                        .builder
+                        .vxm(v.id, m.id, semiring)
+                        .map_err(|e| from_frontend(stmt.span, &e))?;
+                    (m.indices[1].clone(), id)
+                } else if *shared == m.indices[1] {
+                    // Contracting the matrix column index: mxv.
+                    let id = self
+                        .builder
+                        .mxv(m.id, v.id, semiring)
+                        .map_err(|e| from_frontend(stmt.span, &e))?;
+                    (m.indices[0].clone(), id)
+                } else {
+                    return Err(contraction(
+                        whole,
+                        format!(
+                            "vector index `{shared}` must match one of the matrix indices [{}]",
+                            m.indices.join(",")
+                        ),
+                    ));
+                };
+                self.expect_contract_target(stmt, &[out_label])?;
+                Ok((id, Vector))
+            }
+            (SparseMatrix, SparseMatrix) => {
+                if a.indices[1] != b.indices[0] {
+                    return Err(contraction(
+                        whole,
+                        format!(
+                            "mxm contracts `{}`'s column index with `{}`'s row index \
+                             (write C[i,k] <s>= A[i,j] * B[j,k])",
+                            tensor_label(&a),
+                            tensor_label(&b)
+                        ),
+                    ));
+                }
+                let id = self
+                    .builder
+                    .mxm(a.id, b.id, semiring)
+                    .map_err(|e| from_frontend(stmt.span, &e))?;
+                self.expect_contract_target(stmt, &[a.indices[0].clone(), b.indices[1].clone()])?;
+                Ok((id, SparseMatrix))
+            }
+            (DenseMatrix, SparseMatrix) | (SparseMatrix, DenseMatrix) => {
+                let (d, m) = if a.kind == DenseMatrix {
+                    (&a, &b)
+                } else {
+                    (&b, &a)
+                };
+                if d.indices[0] != m.indices[0] {
+                    return Err(contraction(
+                        whole,
+                        "spmm contracts the dense operand's row index with the sparse \
+                         matrix's row index (write Z[c,f] <s>= H[r,f] * A[r,c])"
+                            .to_string(),
+                    ));
+                }
+                let id = self
+                    .builder
+                    .spmm(d.id, m.id, semiring)
+                    .map_err(|e| from_frontend(stmt.span, &e))?;
+                self.expect_contract_target(stmt, &[m.indices[1].clone(), d.indices[1].clone()])?;
+                Ok((id, DenseMatrix))
+            }
+            (DenseMatrix, DenseMatrix) => {
+                if semiring != SemiringOp::MulAdd {
+                    return Err(contraction(
+                        stmt.span,
+                        "dense matmul supports only the `+.*` semiring".to_string(),
+                    ));
+                }
+                if a.indices[1] != b.indices[0] {
+                    return Err(contraction(
+                        whole,
+                        "dense matmul contracts the left operand's column index with the \
+                         right operand's row index"
+                            .to_string(),
+                    ));
+                }
+                let id = self
+                    .builder
+                    .dense_mm(a.id, b.id)
+                    .map_err(|e| from_frontend(stmt.span, &e))?;
+                self.expect_contract_target(stmt, &[a.indices[0].clone(), b.indices[1].clone()])?;
+                Ok((id, DenseMatrix))
+            }
+            (Vector, Vector) => {
+                if semiring != SemiringOp::MulAdd {
+                    return Err(contraction(
+                        stmt.span,
+                        "dot products support only the `+.*` semiring".to_string(),
+                    ));
+                }
+                if a.indices != b.indices {
+                    return Err(contraction(
+                        whole,
+                        "dot operands must share their index label".to_string(),
+                    ));
+                }
+                let id = self
+                    .builder
+                    .dot(a.id, b.id)
+                    .map_err(|e| from_frontend(stmt.span, &e))?;
+                self.expect_contract_target(stmt, &[])?;
+                Ok((id, Scalar))
+            }
+            _ => Err(contraction(
+                whole,
+                format!(
+                    "cannot contract a {} with a {}",
+                    kind_name(a.kind),
+                    kind_name(b.kind)
+                ),
+            )),
+        }
+    }
+
+    fn expect_contract_target(&self, stmt: &Stmt, want: &[String]) -> Result<(), EinsumError> {
+        if stmt.indices != want {
+            let want_text = if want.is_empty() {
+                "no indices (a scalar)".to_string()
+            } else {
+                format!("[{}]", want.join(","))
+            };
+            return Err(err(
+                EinsumErrorKind::Contraction,
+                stmt.span,
+                format!(
+                    "contraction output is {want_text}, but target `{}` carries [{}]",
+                    stmt.target,
+                    stmt.indices.join(",")
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn carries(&mut self) -> Result<(), EinsumError> {
+        let carries = self.program.settings.carries.clone();
+        for c in &carries {
+            let from_name = match &c.from {
+                Some(name) => name.clone(),
+                None => self
+                    .program
+                    .stmts
+                    .last()
+                    .map(|s| s.target.clone())
+                    .expect("parser requires at least one statement"),
+            };
+            let from = match self.env.get(&from_name) {
+                Some(slot) if slot.origin == Origin::Produced => {
+                    slot.id.expect("produced slots always carry an id")
+                }
+                _ => {
+                    return Err(structure(
+                        c.span,
+                        format!("carry source `{from_name}` is not a produced result"),
+                    ))
+                }
+            };
+            let to = match self.env.get(&c.to) {
+                Some(slot) if slot.origin != Origin::Produced => match slot.id {
+                    Some(id) => id,
+                    None => {
+                        return Err(structure(
+                            c.span,
+                            format!("carry target `{}` is declared but never read", c.to),
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(structure(
+                        c.span,
+                        format!("carry target `{}` is not an input tensor", c.to),
+                    ))
+                }
+            };
+            self.builder
+                .carry(from, to)
+                .map_err(|e| from_frontend(c.span, &e))?;
+        }
+        Ok(())
+    }
+}
+
+fn tensor_label(r: &Ref) -> String {
+    format!("[{}]", r.indices.join(","))
+}
+
+fn distinct_labels(labels: &[String], span: Span) -> Result<(), EinsumError> {
+    if labels.len() == 2 && labels[0] == labels[1] {
+        return Err(err(
+            EinsumErrorKind::Contraction,
+            span,
+            format!("index labels must be distinct, got [{}]", labels.join(",")),
+        ));
+    }
+    Ok(())
+}

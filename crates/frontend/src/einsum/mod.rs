@@ -1,0 +1,219 @@
+//! A text front door for STA programs: sparse-einsum expressions with
+//! semiring annotations, compiled onto the existing [`DataflowGraph`] IR.
+//!
+//! # Grammar
+//!
+//! ```text
+//! program  := item (';' item)* ('@' setting*)?
+//! item     := decl | stmt
+//! decl     := ('in' | 'const') 'dense'? name indices?
+//! stmt     := name indices? assign rhs
+//! assign   := '='                                  e-wise statement
+//!           | addop '.' mulop '='                  semiring contraction
+//!             (known: '+.*=' '|.&=' 'min.+=' 'aril.+=')
+//! rhs      := tensor '*' tensor                    (contraction form)
+//!           | operand SYMBOL operand               e-wise infix
+//!           | NAME '(' operand (',' operand)? ')'  e-wise call / reduction
+//!           | operand                              copy (identity)
+//! operand  := tensor | NUMBER | '-' NUMBER
+//! tensor   := name indices?
+//! indices  := '[' name (',' name)* ']'
+//! setting  := 'iter' '=' INT | 'feature' '=' INT | 'name' '=' name
+//!           | 'carry' '=' name ('->' name)?
+//! ```
+//!
+//! `#` starts a comment to end of line. Identifiers are ASCII. Undeclared
+//! names default by index count: none → scalar input, one → vector input,
+//! two → sparse constant matrix (the reuse-bearing role). Example —
+//! PageRank's inner loop:
+//!
+//! ```
+//! use sparsepipe_frontend::einsum;
+//!
+//! let src = "contrib[j] +.*= pr[i] * L[i,j]; scaled[j] = contrib[j] * 0.85; \
+//!            next[j] = scaled[j] + 0.15 @ iter=8 name=pr carry=next->pr";
+//! let program = einsum::parse(src)?;
+//! let lowered = einsum::lower(&program)?;
+//! assert_eq!(lowered.iterations, 8);
+//! let analysis = sparsepipe_frontend::analysis::analyze(&lowered.graph);
+//! assert!(analysis.oei.is_some(), "the expressed loop exposes OEI reuse");
+//! # Ok::<(), sparsepipe_frontend::einsum::EinsumError>(())
+//! ```
+//!
+//! Every accepted expression flows through the unchanged
+//! fusion/analysis/lint stack; the conformance suites check each corpus
+//! expression bitwise against the scalar interpreter.
+
+pub mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{Program, Span};
+pub use lower::{lower, Lowered};
+pub use parser::parse;
+
+use sparsepipe_tensor::{CooMatrix, DenseMatrix, DenseVector};
+
+use crate::graph::{DataflowGraph, OpKind, TensorKind, TensorRole};
+use crate::interp::{Bindings, Value};
+
+/// The classification of an einsum front-end rejection; each kind maps to
+/// one stable `SP-E` lint code in `sparsepipe-lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EinsumErrorKind {
+    /// Lexical or grammatical violation.
+    Syntax,
+    /// Unknown semiring, function, or reduction name.
+    UnknownOperator,
+    /// Index-count or operand-kind inconsistency.
+    Arity,
+    /// A contraction whose index structure matches no operator.
+    Contraction,
+    /// A program-level violation (reassignment, bad carry, cycle, …).
+    Structure,
+}
+
+impl EinsumErrorKind {
+    /// Short lowercase label used in rendered diagnostics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EinsumErrorKind::Syntax => "syntax",
+            EinsumErrorKind::UnknownOperator => "unknown operator",
+            EinsumErrorKind::Arity => "arity",
+            EinsumErrorKind::Contraction => "contraction",
+            EinsumErrorKind::Structure => "structure",
+        }
+    }
+}
+
+/// A spanned front-end rejection: every hostile input yields one of
+/// these — never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EinsumError {
+    /// Rejection class.
+    pub kind: EinsumErrorKind,
+    /// Byte span of the offending source region.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl EinsumError {
+    /// Builds an error.
+    #[must_use]
+    pub fn new(kind: EinsumErrorKind, span: Span, message: impl Into<String>) -> Self {
+        EinsumError {
+            kind,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for EinsumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} error at {}: {}",
+            self.kind.label(),
+            self.span,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for EinsumError {}
+
+/// Parses and lowers in one step.
+///
+/// # Errors
+///
+/// Propagates the spanned [`EinsumError`] from [`parse`] or [`lower`].
+pub fn compile_expression(src: &str) -> Result<Lowered, EinsumError> {
+    lower(&parse(src)?)
+}
+
+/// Synthesizes deterministic interpreter bindings for a lowered graph.
+///
+/// The first constant sparse matrix (the shared, reuse-bearing operand)
+/// is bound to `matrix`; every other input/constant gets a value computed
+/// from its tensor index alone, so two structurally equal graphs always
+/// receive bitwise-identical bindings — the property the differential
+/// conformance suites build on. Dense tensors consumed as the weight
+/// operand of a dense matmul are shaped `f×f`, all others `n×f`.
+#[must_use]
+pub fn bindings_for(graph: &DataflowGraph, matrix: &CooMatrix, feature_dim: usize) -> Bindings {
+    let n = matrix.nrows() as usize;
+    let f = feature_dim.max(1);
+    let shared = graph.shared_matrix();
+    // Dense tensors used as the right operand of DenseMM are weights
+    // (f×f); everything else is an n×f activation.
+    let mut weight_like = std::collections::HashSet::new();
+    for (_, op) in graph.ops() {
+        if op.kind == OpKind::DenseMM {
+            if let Some(&w) = op.inputs.get(1) {
+                weight_like.insert(w);
+            }
+        }
+    }
+    let mut out = Bindings::new();
+    for (id, node) in graph.tensors() {
+        if node.role == TensorRole::Produced {
+            continue;
+        }
+        let t = id.index() as u64;
+        let value = match node.kind {
+            TensorKind::SparseMatrix => {
+                if Some(id) == shared {
+                    Value::sparse(matrix)
+                } else {
+                    Value::sparse(&synth_sparse(matrix.nrows(), t))
+                }
+            }
+            TensorKind::Vector => {
+                let v: Vec<f64> = (0..n as u64).map(|i| synth_value(i, t)).collect();
+                Value::Vector(DenseVector::from(v))
+            }
+            TensorKind::DenseMatrix => {
+                let rows = if weight_like.contains(&id) { f } else { n };
+                let data: Vec<f64> = (0..(rows * f) as u64)
+                    .map(|i| synth_value(i, t.wrapping_add(101)))
+                    .collect();
+                Value::Dense(
+                    DenseMatrix::from_row_major(rows, f, data)
+                        .expect("rows*f elements were generated"),
+                )
+            }
+            TensorKind::Scalar => Value::Scalar(0.5 + 0.125 * (t % 5) as f64),
+        };
+        out.insert(node.name.clone(), value);
+    }
+    out
+}
+
+/// A deterministic value in `(0, 2]`, exactly representable, so e-wise
+/// chains stay finite under every semiring.
+fn synth_value(i: u64, salt: u64) -> f64 {
+    let h = i
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    ((h >> 59) + 1) as f64 / 16.0
+}
+
+/// A deterministic circulant band matrix distinct from the dataset
+/// matrix, for auxiliary sparse operands (weights, masks).
+fn synth_sparse(n: u32, salt: u64) -> CooMatrix {
+    let band = 3u32.min(n.max(1));
+    let mut entries = Vec::with_capacity((n * band) as usize);
+    for i in 0..n {
+        for k in 0..band {
+            let j = (i + k * (1 + salt as u32 % 3)) % n;
+            entries.push((i, j, synth_value(u64::from(i * band + k), salt)));
+        }
+    }
+    entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    entries.dedup_by_key(|&mut (r, c, _)| (r, c));
+    CooMatrix::from_entries(n, n, entries).expect("synthesized coordinates are in range")
+}

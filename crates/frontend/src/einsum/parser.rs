@@ -1,0 +1,559 @@
+//! Recursive-descent parser for the sparse-einsum expression language.
+//!
+//! The grammar is flat (one operator per statement; no nested
+//! expressions), so parsing is iterative and total: any input — including
+//! megabyte-long hostile strings — either yields a [`Program`] or a
+//! spanned [`EinsumError`], never a panic and never unbounded recursion.
+
+use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
+
+use super::ast::{AssignOp, Carry, Decl, DeclRole, Operand, Program, Rhs, Settings, Span, Stmt};
+use super::lexer::{lex, Tok, Token};
+use super::{EinsumError, EinsumErrorKind};
+
+/// Parses one sparse-einsum program from `src`.
+///
+/// # Errors
+///
+/// Returns a spanned [`EinsumError`]: [`EinsumErrorKind::Syntax`] for
+/// lexical/structural violations, [`EinsumErrorKind::UnknownOperator`]
+/// for unrecognized semirings or function names, and
+/// [`EinsumErrorKind::Arity`] for known functions applied to the wrong
+/// number of arguments.
+pub fn parse(src: &str) -> Result<Program, EinsumError> {
+    let tokens = lex(src)?;
+    Parser {
+        tokens,
+        pos: 0,
+        end: src.len(),
+    }
+    .program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eof_span(&self) -> Span {
+        Span::new(self.end, self.end)
+    }
+
+    fn syntax(&self, span: Span, msg: impl Into<String>) -> EinsumError {
+        EinsumError::new(EinsumErrorKind::Syntax, span, msg.into())
+    }
+
+    fn unexpected(&mut self, expected: &str) -> EinsumError {
+        match self.peek() {
+            Some(t) => {
+                let msg = format!("expected {expected}, found {}", t.tok.describe());
+                self.syntax(t.span, msg)
+            }
+            None => self.syntax(
+                self.eof_span(),
+                format!("expected {expected}, found end of expression"),
+            ),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, expected: &str) -> Result<Span, EinsumError> {
+        match self.peek() {
+            Some(t) if t.tok == *want => Ok(self.bump().expect("peeked").span),
+            _ => Err(self.unexpected(expected)),
+        }
+    }
+
+    fn ident(&mut self, expected: &str) -> Result<(String, Span), EinsumError> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Ident(_), ..
+            }) => {
+                let t = self.bump().expect("peeked");
+                let Tok::Ident(name) = t.tok else {
+                    unreachable!("peeked an identifier")
+                };
+                Ok((name, t.span))
+            }
+            _ => Err(self.unexpected(expected)),
+        }
+    }
+
+    fn program(mut self) -> Result<Program, EinsumError> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                None | Some(Token { tok: Tok::At, .. }) => break,
+                Some(Token {
+                    tok: Tok::Ident(kw),
+                    ..
+                }) if kw == "in" || kw == "const" => {
+                    let d = self.decl()?;
+                    program.decls.push(d);
+                }
+                Some(_) => {
+                    let s = self.stmt()?;
+                    program.stmts.push(s);
+                }
+            }
+            match self.peek() {
+                Some(Token { tok: Tok::Semi, .. }) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if let Some(Token { tok: Tok::At, .. }) = self.peek() {
+            self.bump();
+            program.settings = self.settings()?;
+        }
+        if let Some(t) = self.peek() {
+            let msg = format!("unexpected trailing {}", t.tok.describe());
+            return Err(self.syntax(t.span, msg));
+        }
+        if program.stmts.is_empty() {
+            return Err(self.syntax(Span::new(0, self.end), "expected at least one statement"));
+        }
+        Ok(program)
+    }
+
+    fn decl(&mut self) -> Result<Decl, EinsumError> {
+        let (kw, start) = self.ident("`in` or `const`")?;
+        let role = if kw == "in" {
+            DeclRole::In
+        } else {
+            DeclRole::Const
+        };
+        let mut dense = false;
+        if let Some(Token {
+            tok: Tok::Ident(w), ..
+        }) = self.peek()
+        {
+            // `dense` is a modifier only when a tensor name follows it.
+            if w == "dense"
+                && matches!(
+                    self.peek2(),
+                    Some(Token {
+                        tok: Tok::Ident(_),
+                        ..
+                    })
+                )
+            {
+                dense = true;
+                self.bump();
+            }
+        }
+        let (name, name_span) = self.ident("a tensor name")?;
+        let (indices, idx_span) = self.indices()?;
+        let end = idx_span.unwrap_or(name_span);
+        Ok(Decl {
+            role,
+            dense,
+            name,
+            indices,
+            span: start.to(end),
+        })
+    }
+
+    /// Parses an optional `[i,j]` index list; returns the labels and the
+    /// span of the closing bracket, if present.
+    fn indices(&mut self) -> Result<(Vec<String>, Option<Span>), EinsumError> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::LBracket, ..
+            }) => {
+                self.bump();
+                let mut labels = Vec::new();
+                let (first, _) = self.ident("an index name")?;
+                labels.push(first);
+                loop {
+                    match self.peek() {
+                        Some(Token {
+                            tok: Tok::Comma, ..
+                        }) => {
+                            self.bump();
+                            let (next, _) = self.ident("an index name")?;
+                            labels.push(next);
+                        }
+                        Some(Token {
+                            tok: Tok::RBracket, ..
+                        }) => {
+                            let close = self.bump().expect("peeked").span;
+                            return Ok((labels, Some(close)));
+                        }
+                        _ => return Err(self.unexpected("`,` or `]`")),
+                    }
+                }
+            }
+            _ => Ok((Vec::new(), None)),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, EinsumError> {
+        let (target, start) = self.ident("a statement target")?;
+        let (indices, _) = self.indices()?;
+        let assign = self.assign()?;
+        let rhs = match assign {
+            AssignOp::Semiring(_) => self.contraction()?,
+            AssignOp::Ewise => self.ewise_rhs()?,
+        };
+        let end = match &rhs {
+            Rhs::Contract(_, b) | Rhs::Binary(_, _, b) | Rhs::Dot(_, b) => b.span(),
+            Rhs::Unary(_, a) | Rhs::Reduce(_, a) => a.span(),
+        };
+        Ok(Stmt {
+            target,
+            indices,
+            assign,
+            rhs,
+            span: start.to(end),
+        })
+    }
+
+    fn assign(&mut self) -> Result<AssignOp, EinsumError> {
+        let Some(first) = self.peek().cloned() else {
+            return Err(self.unexpected("`=` or a semiring assignment"));
+        };
+        match first.tok {
+            Tok::Eq => {
+                self.bump();
+                Ok(AssignOp::Ewise)
+            }
+            Tok::Plus | Tok::Pipe | Tok::Ident(_) => {
+                let add = self.bump().expect("peeked");
+                self.expect(&Tok::Dot, "`.` in the semiring assignment")?;
+                let Some(mul) = self.bump() else {
+                    return Err(self.syntax(
+                        self.eof_span(),
+                        "expected the semiring's multiply operator, found end of expression",
+                    ));
+                };
+                let eq_span = self.expect(&Tok::Eq, "`=` after the semiring spec")?;
+                let semiring = match (&add.tok, &mul.tok) {
+                    (Tok::Plus, Tok::Star) => Some(SemiringOp::MulAdd),
+                    (Tok::Pipe, Tok::Amp) => Some(SemiringOp::AndOr),
+                    (Tok::Ident(a), Tok::Plus) if a == "min" => Some(SemiringOp::MinAdd),
+                    (Tok::Ident(a), Tok::Plus) if a == "aril" => Some(SemiringOp::ArilAdd),
+                    _ => None,
+                };
+                match semiring {
+                    Some(s) => Ok(AssignOp::Semiring(s)),
+                    None => Err(EinsumError::new(
+                        EinsumErrorKind::UnknownOperator,
+                        add.span.to(eq_span),
+                        format!(
+                            "unknown semiring `{}.{}` (known: +.*  |.&  min.+  aril.+)",
+                            spec_text(&add.tok),
+                            spec_text(&mul.tok)
+                        ),
+                    )),
+                }
+            }
+            _ => Err(self.unexpected("`=` or a semiring assignment")),
+        }
+    }
+
+    fn contraction(&mut self) -> Result<Rhs, EinsumError> {
+        let a = self.tensor_operand("a contraction operand")?;
+        self.expect(&Tok::Star, "`*` between the contraction operands")?;
+        let b = self.tensor_operand("a contraction operand")?;
+        Ok(Rhs::Contract(a, b))
+    }
+
+    fn tensor_operand(&mut self, what: &str) -> Result<Operand, EinsumError> {
+        let op = self.operand(what)?;
+        match op {
+            Operand::Tensor { .. } => Ok(op),
+            Operand::Number { span, .. } => Err(EinsumError::new(
+                EinsumErrorKind::Contraction,
+                span,
+                "contraction operands must be indexed tensors, not literals",
+            )),
+        }
+    }
+
+    fn ewise_rhs(&mut self) -> Result<Rhs, EinsumError> {
+        // Call form: `name(arg[, arg])`.
+        if let (
+            Some(Token {
+                tok: Tok::Ident(_), ..
+            }),
+            Some(Token {
+                tok: Tok::LParen, ..
+            }),
+        ) = (self.peek(), self.peek2())
+        {
+            let (name, name_span) = self.ident("a function name")?;
+            self.bump(); // `(`
+            let mut args = vec![self.operand("an argument")?];
+            while matches!(
+                self.peek(),
+                Some(Token {
+                    tok: Tok::Comma,
+                    ..
+                })
+            ) {
+                self.bump();
+                args.push(self.operand("an argument")?);
+            }
+            self.expect(&Tok::RParen, "`)` closing the argument list")?;
+            return resolve_call(&name, name_span, args);
+        }
+        let a = self.operand("an operand")?;
+        let Some(next) = self.peek().cloned() else {
+            return Ok(Rhs::Unary(EwiseUnary::Identity, a));
+        };
+        let op = match next.tok {
+            Tok::Plus => EwiseBinary::Add,
+            Tok::Minus => EwiseBinary::Sub,
+            Tok::Star => EwiseBinary::Mul,
+            Tok::Slash => EwiseBinary::Div,
+            Tok::Lt => EwiseBinary::Less,
+            Tok::Gt => EwiseBinary::Greater,
+            Tok::EqEq => EwiseBinary::Equal,
+            Tok::Amp => EwiseBinary::And,
+            Tok::Pipe => EwiseBinary::Or,
+            Tok::Semi | Tok::At => return Ok(Rhs::Unary(EwiseUnary::Identity, a)),
+            _ => return Err(self.unexpected("an e-wise operator or the end of the statement")),
+        };
+        self.bump();
+        let b = self.operand("the right-hand operand")?;
+        Ok(Rhs::Binary(op, a, b))
+    }
+
+    fn operand(&mut self, what: &str) -> Result<Operand, EinsumError> {
+        match self.peek().cloned() {
+            Some(Token {
+                tok: Tok::Number(value),
+                span,
+            }) => {
+                self.bump();
+                Ok(Operand::Number { value, span })
+            }
+            Some(Token {
+                tok: Tok::Minus,
+                span: minus_span,
+            }) => {
+                self.bump();
+                match self.peek().cloned() {
+                    Some(Token {
+                        tok: Tok::Number(value),
+                        span,
+                    }) => {
+                        self.bump();
+                        Ok(Operand::Number {
+                            value: -value,
+                            span: minus_span.to(span),
+                        })
+                    }
+                    _ => Err(self.unexpected("a number after `-`")),
+                }
+            }
+            Some(Token {
+                tok: Tok::Ident(_), ..
+            }) => {
+                let (name, name_span) = self.ident(what)?;
+                let (indices, idx_span) = self.indices()?;
+                Ok(Operand::Tensor {
+                    name,
+                    indices,
+                    span: name_span.to(idx_span.unwrap_or(name_span)),
+                })
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn settings(&mut self) -> Result<Settings, EinsumError> {
+        let mut st = Settings::default();
+        while matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Ident(_),
+                ..
+            })
+        ) {
+            let (key, key_span) = self.ident("a setting name")?;
+            self.expect(&Tok::Eq, "`=` after the setting name")?;
+            match key.as_str() {
+                "iter" | "feature" => {
+                    let Some(Token {
+                        tok: Tok::Number(v),
+                        span,
+                    }) = self.peek().cloned()
+                    else {
+                        return Err(self.unexpected("a positive integer"));
+                    };
+                    self.bump();
+                    if v.fract() != 0.0 || v < 1.0 || v > f64::from(u32::MAX) {
+                        return Err(self.syntax(
+                            span,
+                            format!("`{key}` must be a positive integer, got `{v}`"),
+                        ));
+                    }
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let n = v as u32;
+                    let slot = if key == "iter" {
+                        &mut st.iterations
+                    } else {
+                        &mut st.feature_dim
+                    };
+                    if slot.replace(n).is_some() {
+                        return Err(self.syntax(key_span, format!("duplicate setting `{key}`")));
+                    }
+                }
+                "name" => {
+                    let (value, _) = self.ident("a program name")?;
+                    if st.name.replace(value).is_some() {
+                        return Err(self.syntax(key_span, "duplicate setting `name`"));
+                    }
+                }
+                "carry" => {
+                    let (a, a_span) = self.ident("a tensor name")?;
+                    let carry = if matches!(
+                        self.peek(),
+                        Some(Token {
+                            tok: Tok::Arrow,
+                            ..
+                        })
+                    ) {
+                        self.bump();
+                        let (b, b_span) = self.ident("the carry target")?;
+                        Carry {
+                            from: Some(a),
+                            to: b,
+                            span: key_span.to(b_span),
+                        }
+                    } else {
+                        Carry {
+                            from: None,
+                            to: a,
+                            span: key_span.to(a_span),
+                        }
+                    };
+                    st.carries.push(carry);
+                }
+                other => {
+                    return Err(self.syntax(
+                        key_span,
+                        format!("unknown setting `{other}` (known: iter, feature, name, carry)"),
+                    ))
+                }
+            }
+        }
+        Ok(st)
+    }
+}
+
+fn spec_text(t: &Tok) -> String {
+    match t {
+        Tok::Ident(s) => s.clone(),
+        other => {
+            let d = other.describe();
+            d.trim_matches('`').to_string()
+        }
+    }
+}
+
+fn unary_by_name(name: &str) -> Option<EwiseUnary> {
+    EwiseUnary::ALL
+        .into_iter()
+        .find(|u| super::ast::unary_name(*u) == name)
+}
+
+fn binary_by_name(name: &str) -> Option<EwiseBinary> {
+    EwiseBinary::ALL
+        .into_iter()
+        .find(|b| super::ast::binary_name(*b) == name)
+}
+
+fn reduce_by_name(name: &str) -> Option<EwiseBinary> {
+    match name {
+        "sum" => Some(EwiseBinary::Add),
+        "any" => Some(EwiseBinary::Or),
+        "all" => Some(EwiseBinary::And),
+        other => binary_by_name(other),
+    }
+}
+
+fn resolve_call(name: &str, span: Span, args: Vec<Operand>) -> Result<Rhs, EinsumError> {
+    let argc = args.len();
+    let mut it = args.into_iter();
+    match argc {
+        1 => {
+            let a = it.next().expect("argc == 1");
+            if let Some(u) = unary_by_name(name) {
+                return Ok(Rhs::Unary(u, a));
+            }
+            if let Some(r) = reduce_by_name(name) {
+                return Ok(Rhs::Reduce(r, a));
+            }
+            if name == "dot" {
+                return Err(EinsumError::new(
+                    EinsumErrorKind::Arity,
+                    span,
+                    "`dot` takes exactly 2 arguments",
+                ));
+            }
+            Err(unknown_function(name, span))
+        }
+        2 => {
+            let a = it.next().expect("argc == 2");
+            let b = it.next().expect("argc == 2");
+            if name == "dot" {
+                return Ok(Rhs::Dot(a, b));
+            }
+            if let Some(op) = binary_by_name(name) {
+                return Ok(Rhs::Binary(op, a, b));
+            }
+            if unary_by_name(name).is_some() || reduce_by_name(name).is_some() {
+                return Err(EinsumError::new(
+                    EinsumErrorKind::Arity,
+                    span,
+                    format!("`{name}` takes exactly 1 argument"),
+                ));
+            }
+            Err(unknown_function(name, span))
+        }
+        n => {
+            if unary_by_name(name).is_some()
+                || reduce_by_name(name).is_some()
+                || binary_by_name(name).is_some()
+                || name == "dot"
+            {
+                Err(EinsumError::new(
+                    EinsumErrorKind::Arity,
+                    span,
+                    format!("`{name}` does not take {n} arguments"),
+                ))
+            } else {
+                Err(unknown_function(name, span))
+            }
+        }
+    }
+}
+
+fn unknown_function(name: &str, span: Span) -> EinsumError {
+    EinsumError::new(
+        EinsumErrorKind::UnknownOperator,
+        span,
+        format!("unknown function `{name}`"),
+    )
+}

@@ -57,6 +57,7 @@
 
 pub mod analysis;
 mod builder;
+pub mod einsum;
 mod error;
 pub mod ewise_vm;
 pub mod fusion;

@@ -1,0 +1,295 @@
+//! Round-trip and robustness properties for the sparse-einsum front
+//! door.
+//!
+//! Two obligations:
+//!
+//! 1. **Round-trip**: for every AST the generator below can build,
+//!    `parse(p.pretty()) == p` — the canonical printer and the parser
+//!    are exact inverses up to spans (which `PartialEq` ignores).
+//! 2. **No panic, spanned errors**: hostile inputs — unbalanced
+//!    brackets, unknown semirings, unicode index names, megabyte-long
+//!    garbage — must come back as spanned [`EinsumError`]s whose spans
+//!    lie inside the source, never as a panic or unbounded recursion.
+//!
+//! The AST generator is written directly against the typed AST (not the
+//! grammar), so any construct the printer can emit that the parser
+//! cannot read back fails here.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sparsepipe_frontend::einsum::{self, ast, EinsumErrorKind};
+use sparsepipe_semiring::{EwiseBinary, EwiseUnary, SemiringOp};
+use sparsepipe_testutil::einsum as gen_expr;
+
+/// Tensor-name pool: valid identifiers that are not contextual keywords
+/// (`in`, `const`, `dense`) — everything else, including operator names,
+/// must round-trip as ordinary tensors.
+const NAMES: &[&str] = &[
+    "pr", "vx", "acc", "outv", "mm", "lhs", "wt", "tmp2", "gate", "h0", "min", "sum",
+];
+const IDX: &[&str] = &["i", "j", "k", "l", "m", "q"];
+
+struct Gen(StdRng);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(StdRng::seed_from_u64(seed))
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.0.next_u64() % n as u64) as usize
+    }
+
+    fn name(&mut self) -> String {
+        NAMES[self.below(NAMES.len())].to_string()
+    }
+
+    fn indices(&mut self, max: usize) -> Vec<String> {
+        let count = self.below(max + 1);
+        (0..count)
+            .map(|_| IDX[self.below(IDX.len())].to_string())
+            .collect()
+    }
+
+    /// A finite literal on a 1/8 grid, so `{value}` prints a short
+    /// decimal that reparses to the same bits.
+    fn number(&mut self) -> f64 {
+        (self.below(32_001) as f64 - 16_000.0) / 8.0
+    }
+
+    fn operand(&mut self) -> ast::Operand {
+        if self.below(4) == 0 {
+            ast::Operand::Number {
+                value: self.number(),
+                span: ast::Span::default(),
+            }
+        } else {
+            self.tensor_operand()
+        }
+    }
+
+    fn tensor_operand(&mut self) -> ast::Operand {
+        ast::Operand::Tensor {
+            name: self.name(),
+            indices: self.indices(2),
+            span: ast::Span::default(),
+        }
+    }
+
+    fn stmt(&mut self) -> ast::Stmt {
+        let semirings = [
+            SemiringOp::MulAdd,
+            SemiringOp::AndOr,
+            SemiringOp::MinAdd,
+            SemiringOp::ArilAdd,
+        ];
+        let binaries = EwiseBinary::ALL;
+        let unaries = EwiseUnary::ALL;
+        let (assign, rhs) = if self.below(3) == 0 {
+            // A semiring contraction: the only rhs a semiring assignment
+            // parses, and contraction operands must be tensors.
+            (
+                ast::AssignOp::Semiring(semirings[self.below(semirings.len())]),
+                ast::Rhs::Contract(self.tensor_operand(), self.tensor_operand()),
+            )
+        } else {
+            let rhs = match self.below(4) {
+                0 => ast::Rhs::Binary(
+                    binaries[self.below(binaries.len())],
+                    self.operand(),
+                    self.operand(),
+                ),
+                1 => ast::Rhs::Unary(unaries[self.below(unaries.len())], self.operand()),
+                2 => ast::Rhs::Reduce(binaries[self.below(binaries.len())], self.operand()),
+                _ => ast::Rhs::Dot(self.operand(), self.operand()),
+            };
+            (ast::AssignOp::Ewise, rhs)
+        };
+        ast::Stmt {
+            target: self.name(),
+            indices: self.indices(2),
+            assign,
+            rhs,
+            span: ast::Span::default(),
+        }
+    }
+
+    fn program(&mut self) -> ast::Program {
+        let decls = (0..self.below(3))
+            .map(|_| ast::Decl {
+                role: if self.below(2) == 0 {
+                    ast::DeclRole::In
+                } else {
+                    ast::DeclRole::Const
+                },
+                dense: self.below(3) == 0,
+                name: self.name(),
+                indices: self.indices(2),
+                span: ast::Span::default(),
+            })
+            .collect();
+        let stmts = (0..self.below(4) + 1).map(|_| self.stmt()).collect();
+        let settings = ast::Settings {
+            iterations: (self.below(2) == 0).then(|| {
+                if self.below(16) == 0 {
+                    u32::MAX
+                } else {
+                    self.below(1_000_000) as u32 + 1
+                }
+            }),
+            feature_dim: (self.below(3) == 0).then(|| self.below(64) as u32 + 1),
+            name: (self.below(3) == 0).then(|| self.name()),
+            carries: (0..self.below(3))
+                .map(|_| ast::Carry {
+                    from: (self.below(2) == 0).then(|| self.name()),
+                    to: self.name(),
+                    span: ast::Span::default(),
+                })
+                .collect(),
+        };
+        ast::Program {
+            decls,
+            stmts,
+            settings,
+        }
+    }
+}
+
+/// Parse must never panic; on rejection the span must lie inside `src`
+/// on char boundaries, and lowering an accepted program must be equally
+/// well-behaved.
+fn assert_well_behaved(src: &str) {
+    match einsum::parse(src) {
+        Ok(program) => {
+            if let Err(e) = einsum::lower(&program) {
+                assert_spanned(src, &e);
+            }
+        }
+        Err(e) => assert_spanned(src, &e),
+    }
+}
+
+fn assert_spanned(src: &str, e: &einsum::EinsumError) {
+    assert!(
+        e.span.start <= e.span.end && e.span.end <= src.len(),
+        "span {} escapes a {}-byte source: {e}",
+        e.span,
+        src.len()
+    );
+    assert!(
+        src.is_char_boundary(e.span.start) && src.is_char_boundary(e.span.end),
+        "span {} splits a character: {e}",
+        e.span
+    );
+    assert!(!e.message.is_empty());
+}
+
+proptest! {
+    #![proptest_config(sparsepipe_testutil::config_with(256))]
+
+    /// AST → pretty → parse is the identity (spans aside).
+    #[test]
+    fn pretty_parse_round_trips(seed in any::<u64>()) {
+        let program = Gen::new(seed).program();
+        let text = program.pretty();
+        let reparsed = einsum::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical form rejected: {e}\n  text: {text}"));
+        prop_assert_eq!(&reparsed, &program, "round-trip mismatch for `{}`", text);
+        // And the printer is a fixpoint: pretty ∘ parse ∘ pretty = pretty.
+        prop_assert_eq!(reparsed.pretty(), text);
+    }
+
+    /// The string-level generator in testutil (which shares no code with
+    /// the parser) emits only accepted expressions, and those round-trip
+    /// through the printer too.
+    #[test]
+    fn generated_expressions_parse_and_round_trip(seed in any::<u64>()) {
+        let src = gen_expr::well_formed(seed);
+        let program = einsum::parse(&src)
+            .unwrap_or_else(|e| panic!("well-formed input rejected: {e}\n  src: {src}"));
+        let reparsed = einsum::parse(&program.pretty()).expect("canonical form parses");
+        prop_assert_eq!(reparsed, program);
+    }
+
+    /// Mutated expressions: never a panic, always in-bounds spans.
+    #[test]
+    fn hostile_mutations_stay_spanned(seed in any::<u64>()) {
+        assert_well_behaved(&gen_expr::hostile(seed));
+    }
+
+    /// Raw ASCII noise: same obligation from a different distribution.
+    #[test]
+    fn ascii_noise_stays_spanned(bytes in proptest::collection::vec(0x20u8..0x7f, 0..160)) {
+        let src = String::from_utf8(bytes).expect("printable ASCII");
+        assert_well_behaved(&src);
+    }
+}
+
+#[test]
+fn rejection_classes_carry_the_right_kind() {
+    let cases: &[(&str, EinsumErrorKind)] = &[
+        // Unbalanced brackets.
+        ("y[j +.*= x[i] * A[i,j]", EinsumErrorKind::Syntax),
+        ("y[j]] = x[j]", EinsumErrorKind::Syntax),
+        // Unknown semiring / function.
+        (
+            "y[j] max.*= x[i] * A[i,j]",
+            EinsumErrorKind::UnknownOperator,
+        ),
+        ("y[j] = frobnicate(x[j])", EinsumErrorKind::UnknownOperator),
+        // Wrong arity for a known function.
+        ("y[j] = relu(x[j], x[j])", EinsumErrorKind::Arity),
+        ("e = dot(x[j])", EinsumErrorKind::Arity),
+        // Literals are not contraction operands.
+        ("y[j] +.*= 2.0 * A[i,j]", EinsumErrorKind::Contraction),
+        // Empty and settings-only programs.
+        ("", EinsumErrorKind::Syntax),
+        ("@ iter=3", EinsumErrorKind::Syntax),
+        ("y[j] = x[j] @ iter=0", EinsumErrorKind::Syntax),
+    ];
+    for (src, kind) in cases {
+        let e = einsum::parse(src).expect_err(src);
+        assert_eq!(e.kind, *kind, "{src}: {e}");
+        assert_spanned(src, &e);
+    }
+}
+
+#[test]
+fn unicode_index_names_are_spanned_rejections() {
+    for src in [
+        "y[β] +.*= x[α] * A[α,β]",
+        "contrib[j] +.*= pr[ι] * L[ι,j]",
+        "日本[i] = x[i]",
+        "y[i] = x[i] # трейлинг-комментарий\u{1F600}",
+    ] {
+        match einsum::parse(src) {
+            // The comment case: everything after `#` is skipped, so it
+            // may legitimately parse.
+            Ok(_) => assert!(src.contains('#')),
+            Err(e) => {
+                assert_eq!(e.kind, EinsumErrorKind::Syntax, "{src}");
+                assert_spanned(src, &e);
+                assert!(e.message.contains("unexpected character"), "{e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn megabyte_inputs_terminate_without_panicking() {
+    for seed in 0..6 {
+        let src = gen_expr::huge(1 << 20, seed);
+        assert!(src.len() >= 1 << 20);
+        assert_well_behaved(&src);
+    }
+    // Pathological single-token shapes: deep "nesting" (the grammar is
+    // flat, so this exercises the iterative error path, not recursion),
+    // one enormous identifier, and an enormous number.
+    let brackets = "[".repeat(1 << 20);
+    assert_well_behaved(&brackets);
+    let ident = "a".repeat(1 << 20);
+    assert_well_behaved(&ident);
+    let digits = "9".repeat(1 << 20);
+    assert_well_behaved(&digits);
+}

@@ -157,6 +157,42 @@ pub const CATALOG: &[CodeInfo] = &[
         severity: Warning,
         summary: "per-step working set approaches or exceeds the buffer capacity",
     },
+    // SP-E: sparse-einsum front door
+    CodeInfo {
+        code: "SP-E001",
+        severity: Error,
+        summary: "expression fails to lex or parse (syntax violation)",
+    },
+    CodeInfo {
+        code: "SP-E002",
+        severity: Error,
+        summary: "unknown semiring, function, or reduction name",
+    },
+    CodeInfo {
+        code: "SP-E003",
+        severity: Error,
+        summary: "index count or operand kind is inconsistent with the tensor",
+    },
+    CodeInfo {
+        code: "SP-E004",
+        severity: Error,
+        summary: "contraction index structure matches no operator",
+    },
+    CodeInfo {
+        code: "SP-E005",
+        severity: Error,
+        summary: "program structure fails to lower (reassignment, bad carry, cycle)",
+    },
+    CodeInfo {
+        code: "SP-E006",
+        severity: Warning,
+        summary: "no matrix contraction: the program compiles to no OS/IS pass",
+    },
+    CodeInfo {
+        code: "SP-E007",
+        severity: Warning,
+        summary: "declared tensor or produced result is never used",
+    },
     // SP-C: static cost & reuse analysis
     CodeInfo {
         code: "SP-C001",

@@ -1,0 +1,215 @@
+//! Front-door checks for sparse-einsum expressions — the `SP-E` family.
+//!
+//! The einsum front end (`sparsepipe_frontend::einsum`) rejects bad input
+//! with spanned, typed errors; this module maps each rejection class onto
+//! a stable diagnostic code and adds two advisory checks the front end
+//! itself cannot express (a lowered program that no backend pass will
+//! accept, and declarations or results that are dead weight). The graph
+//! checks (`SP-G`/`SP-S`/…) still apply to the lowered graph — callers
+//! compose this report with [`crate::lint_program`].
+
+use sparsepipe_frontend::einsum::{
+    self, ast::Operand, ast::Program, ast::Rhs, EinsumError, EinsumErrorKind, Lowered,
+};
+use sparsepipe_frontend::TensorRole;
+
+use crate::LintReport;
+
+/// Outcome of checking one expression: the parse/lower products (as far
+/// as they got) plus every finding.
+#[derive(Debug, Clone)]
+pub struct ExpressionCheck {
+    /// The parsed AST, if parsing succeeded.
+    pub program: Option<Program>,
+    /// The lowered graph bundle, if lowering succeeded.
+    pub lowered: Option<Lowered>,
+    /// The findings, in check order.
+    pub report: LintReport,
+}
+
+/// The stable code for one front-end rejection class.
+#[must_use]
+pub fn code_for(kind: EinsumErrorKind) -> &'static str {
+    match kind {
+        EinsumErrorKind::Syntax => "SP-E001",
+        EinsumErrorKind::UnknownOperator => "SP-E002",
+        EinsumErrorKind::Arity => "SP-E003",
+        EinsumErrorKind::Contraction => "SP-E004",
+        EinsumErrorKind::Structure => "SP-E005",
+    }
+}
+
+fn record(report: &mut LintReport, e: &EinsumError) {
+    report.error(code_for(e.kind), None, None, e.to_string());
+}
+
+/// Parses, lowers, and checks one sparse-einsum expression.
+///
+/// Rejections surface as `SP-E001`–`SP-E005` errors; accepted programs
+/// may still collect `SP-E006` (no matrix operator — the compile stack
+/// will refuse it) and `SP-E007` (unused declaration or dead result)
+/// warnings.
+#[must_use]
+pub fn check_expression(src: &str) -> ExpressionCheck {
+    let mut report = LintReport::new();
+    let program = match einsum::parse(src) {
+        Ok(p) => p,
+        Err(e) => {
+            record(&mut report, &e);
+            return ExpressionCheck {
+                program: None,
+                lowered: None,
+                report,
+            };
+        }
+    };
+    let lowered = match einsum::lower(&program) {
+        Ok(l) => l,
+        Err(e) => {
+            record(&mut report, &e);
+            return ExpressionCheck {
+                program: Some(program),
+                lowered: None,
+                report,
+            };
+        }
+    };
+    advisory_checks(&program, &lowered, &mut report);
+    ExpressionCheck {
+        program: Some(program),
+        lowered: Some(lowered),
+        report,
+    }
+}
+
+fn operand_names<'a>(rhs: &'a Rhs, out: &mut Vec<&'a str>) {
+    let mut push = |op: &'a Operand| {
+        if let Operand::Tensor { name, .. } = op {
+            out.push(name);
+        }
+    };
+    match rhs {
+        Rhs::Contract(a, b) | Rhs::Binary(_, a, b) | Rhs::Dot(a, b) => {
+            push(a);
+            push(b);
+        }
+        Rhs::Unary(_, a) | Rhs::Reduce(_, a) => push(a),
+    }
+}
+
+fn advisory_checks(program: &Program, lowered: &Lowered, report: &mut LintReport) {
+    // SP-E006: nothing touches a matrix — `compile` will reject the
+    // program as a pure e-wise chain with no pass structure.
+    if !lowered.graph.ops().any(|(_, op)| op.kind.touches_matrix()) {
+        report.warning(
+            "SP-E006",
+            None,
+            None,
+            "no matrix contraction: the program compiles to no OS/IS pass and \
+             the backend will refuse it",
+        );
+    }
+
+    // SP-E007 (declarations): a declared tensor no statement or carry
+    // ever references.
+    let mut referenced: Vec<&str> = Vec::new();
+    for stmt in &program.stmts {
+        operand_names(&stmt.rhs, &mut referenced);
+    }
+    for c in &program.settings.carries {
+        referenced.push(&c.to);
+        if let Some(from) = &c.from {
+            referenced.push(from);
+        }
+    }
+    for d in &program.decls {
+        if !referenced.iter().any(|n| *n == d.name) {
+            report.warning(
+                "SP-E007",
+                None,
+                None,
+                format!("declared tensor `{}` is never used", d.name),
+            );
+        }
+    }
+
+    // SP-E007 (results): a produced tensor nothing consumes, nothing
+    // carries, and that is not the program's final result.
+    let last_target = program.stmts.last().map(|s| s.target.as_str());
+    for (id, node) in lowered.graph.tensors() {
+        if node.role != TensorRole::Produced
+            || node.carries_into.is_some()
+            || Some(node.name.as_str()) == last_target
+        {
+            continue;
+        }
+        if lowered.graph.consumers(id).is_empty() {
+            report.warning(
+                "SP-E007",
+                None,
+                Some(id),
+                format!("result `{}` is never consumed or carried", node.name),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        check_expression(src)
+            .report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_pagerank_expression_has_no_findings() {
+        let check = check_expression(
+            "contrib[j] +.*= pr[i] * L[i,j]; next[j] = contrib[j] * 0.85 @ carry=next->pr",
+        );
+        assert!(check.report.is_clean());
+        assert!(check.report.diagnostics().is_empty());
+        assert!(check.lowered.is_some());
+    }
+
+    #[test]
+    fn each_rejection_class_maps_to_its_code() {
+        assert_eq!(codes("y[j] +.*= x[i] * A[i,j"), ["SP-E001"]);
+        assert_eq!(codes("y[j] max.*= x[i] * A[i,j]"), ["SP-E002"]);
+        assert_eq!(codes("in x[i]; y[j] +.*= x[i,k] * A[i,j]"), ["SP-E003"]);
+        assert_eq!(codes("y[k] +.*= x[i] * A[j,k]"), ["SP-E004"]);
+        assert_eq!(
+            codes("y[j] +.*= x[i] * A[i,j]; y[j] = y[j] + 1.0"),
+            ["SP-E005"]
+        );
+    }
+
+    #[test]
+    fn matrix_free_program_warns_sp_e006() {
+        let check = check_expression("y[i] = x[i] + 1.0");
+        assert!(check.report.has_code("SP-E006"));
+        assert!(check.report.is_clean(), "SP-E006 is advisory");
+    }
+
+    #[test]
+    fn unused_decl_and_dead_result_warn_sp_e007() {
+        let check = check_expression(
+            "in ghost[i]; y[j] +.*= x[i] * A[i,j]; dead[j] = y[j] * 2.0; out[j] = y[j] + 1.0",
+        );
+        let findings: Vec<_> = check
+            .report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "SP-E007")
+            .map(|d| d.message.clone())
+            .collect();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("ghost"));
+        assert!(findings[1].contains("dead"));
+    }
+}

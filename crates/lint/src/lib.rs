@@ -58,6 +58,7 @@
 pub mod analysis_cost;
 pub mod codes;
 pub mod diag;
+pub mod einsum_checks;
 pub mod graph_checks;
 pub mod oei_oracle;
 pub mod plan_checks;

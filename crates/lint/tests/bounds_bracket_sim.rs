@@ -220,6 +220,12 @@ proptest! {
 #[test]
 fn bounds_bracket_edge_case_suite() {
     for (name, matrix) in corpus::edge_case_suite(96) {
+        if matrix.nrows() != matrix.ncols() {
+            // The analyzer and simulator both model square iteration
+            // spaces; the suite's rectangular entry is rejection-tested
+            // by the dualbuffer and mxm differential suites instead.
+            continue;
+        }
         for (pi, iterations) in [(0usize, 5usize), (1, 3), (2, 4)] {
             let program = program_by_index(pi);
             for buffer in [8 << 10, 64 << 20] {

@@ -45,6 +45,34 @@ pub fn config_with(default_cases: u32) -> ProptestConfig {
     ProptestConfig::with_cases(cases)
 }
 
+/// SplitMix64: a tiny, dependency-free deterministic generator shared by
+/// the seeded builders ([`corpus`], [`einsum`]) that are not backed by
+/// proptest strategies.
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn below(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        (self.next() % u64::from(bound)) as u32
+    }
+
+    pub(crate) fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 fn coo_matrix_with_values(
     max_n: u32,
     max_nnz: usize,
@@ -84,32 +112,7 @@ pub mod corpus {
 
     use sparsepipe_tensor::{gen, CooMatrix};
 
-    /// SplitMix64: a tiny, dependency-free deterministic generator for
-    /// the builders that are not backed by [`gen`].
-    struct SplitMix64(u64);
-
-    impl SplitMix64 {
-        fn new(seed: u64) -> Self {
-            SplitMix64(seed)
-        }
-
-        fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = self.0;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
-        }
-
-        fn below(&mut self, bound: u32) -> u32 {
-            debug_assert!(bound > 0);
-            (self.next() % u64::from(bound)) as u32
-        }
-
-        fn unit_f64(&mut self) -> f64 {
-            (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-        }
-    }
+    use crate::SplitMix64;
 
     /// A banded matrix: see [`gen::banded`].
     pub fn banded(n: u32, nnz: usize, bandwidth: u32, seed: u64) -> CooMatrix {
@@ -249,12 +252,38 @@ pub mod corpus {
         CooMatrix::from_entries(n, n, entries).expect("coords in range")
     }
 
+    /// A **rectangular** `nrows × ncols` matrix in which every odd row is
+    /// completely empty: the non-zeros land only on even rows, columns
+    /// uniform. Square-only code paths (the OEI dual-buffer pass, SpGEMM
+    /// self-products, `MatrixArena`) must *reject* this shape rather than
+    /// mis-index it, and rectangular-capable paths must cope with the
+    /// empty row slices.
+    pub fn zero_rows_rect(nrows: u32, ncols: u32, nnz: usize, seed: u64) -> CooMatrix {
+        assert!(
+            nrows >= 2 && ncols > 0,
+            "zero_rows_rect needs nrows >= 2, ncols > 0"
+        );
+        let mut rng = SplitMix64::new(seed ^ 0x2e40_0b0c_0000_0000);
+        let even_rows = nrows.div_ceil(2);
+        let mut entries = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let r = rng.below(even_rows) * 2;
+            let c = rng.below(ncols);
+            entries.push((r, c, 0.1 + 3.9 * rng.unit_f64()));
+        }
+        CooMatrix::from_entries(nrows, ncols, entries).expect("coords in range")
+    }
+
     /// The named edge-case structures that historically break sparse
-    /// buffer models, all square of dimension `scale`: empty matrix,
+    /// buffer models, square of dimension `scale`: empty matrix,
     /// pure diagonal, pure anti-diagonal (worst-case reuse distance), a
     /// dense first row + column (hub), plus seeded banded / power-law /
     /// block-diagonal / empty-row-col instances and the SpGEMM pattern
-    /// trio (triangle-heavy, power-law rows, boolean adjacency).
+    /// trio (triangle-heavy, power-law rows, boolean adjacency) — plus
+    /// one deliberately **rectangular** `scale × scale/2` entry
+    /// (`zero_rows_rect`) whose odd rows are all zero, so square-only
+    /// consumers must prove they reject it instead of silently
+    /// mis-indexing.
     pub fn edge_case_suite(scale: u32) -> Vec<(&'static str, CooMatrix)> {
         assert!(scale >= 4, "edge_case_suite needs scale >= 4");
         let n = scale;
@@ -291,7 +320,145 @@ pub mod corpus {
             ("triangle_heavy", triangle_heavy(n, nnz / 2, 5)),
             ("power_law_rows", power_law_rows(n, nnz, 1.5, 6)),
             ("boolean_adjacency", boolean_adjacency(n, nnz, 7)),
+            ("zero_rows_rect", zero_rows_rect(n, n / 2, nnz / 2, 8)),
         ]
+    }
+}
+
+pub mod einsum {
+    //! Seeded sparse-einsum expression string generators for the
+    //! front-door conformance suites.
+    //!
+    //! [`well_formed`] emits expressions the parser must accept;
+    //! [`hostile`] corrupts a well-formed expression so parsing *may*
+    //! fail but must never panic and must keep every error span inside
+    //! the source; [`huge`] builds megabyte-scale inputs for the same
+    //! no-panic obligation. Generation is pure string assembly — this
+    //! crate deliberately does not depend on the frontend, so the
+    //! generators and the parser under test cannot share bugs.
+
+    use crate::SplitMix64;
+
+    const TENSORS: &[&str] = &["acc", "vin", "vout", "tmp", "mval", "wgt", "stat", "gate"];
+    const INDICES: &[&str] = &["i", "j", "k", "l", "p", "q"];
+    const SEMIRINGS: &[&str] = &["+.*=", "|.&=", "min.+=", "aril.+="];
+    const INFIX: &[&str] = &["+", "-", "*", "/", "&", "|", "<", ">", "=="];
+    const CALLS1: &[&str] = &["relu", "abs", "sqrt", "neg", "square", "not"];
+    const REDUCES: &[&str] = &["sum", "any", "all", "min", "max"];
+    const CALLS2: &[&str] = &["absdiff", "min", "max", "select", "dot"];
+
+    fn pick<'a>(rng: &mut SplitMix64, pool: &[&'a str]) -> &'a str {
+        pool[rng.below(pool.len() as u32) as usize]
+    }
+
+    /// A deterministic well-formed expression: one semiring contraction
+    /// followed by a short e-wise chain, with randomized names,
+    /// operators, literals, and `@` settings.
+    #[must_use]
+    pub fn well_formed(seed: u64) -> String {
+        let mut rng = SplitMix64::new(seed ^ 0xe145_0000_5eed_0000);
+        let i = pick(&mut rng, INDICES);
+        let mut j = pick(&mut rng, INDICES);
+        while j == i {
+            j = pick(&mut rng, INDICES);
+        }
+        let x = pick(&mut rng, TENSORS);
+        let mut out = format!(
+            "y0[{j}] {} {x}[{i}] * mat0[{i},{j}]",
+            pick(&mut rng, SEMIRINGS)
+        );
+        let chain = rng.below(4);
+        for s in 0..chain {
+            let prev = format!("y{s}");
+            let next = format!("y{}", s + 1);
+            let lit = f64::from(rng.below(64)) / 8.0;
+            match rng.below(4) {
+                0 => {
+                    let op = pick(&mut rng, INFIX);
+                    out.push_str(&format!("; {next}[{j}] = {prev}[{j}] {op} {lit}"));
+                }
+                1 => {
+                    let f = pick(&mut rng, CALLS1);
+                    out.push_str(&format!("; {next}[{j}] = {f}({prev}[{j}])"));
+                }
+                2 => {
+                    let f = pick(&mut rng, CALLS2);
+                    out.push_str(&format!("; {next}[{j}] = {f}({prev}[{j}], {prev}[{j}])"));
+                }
+                _ => {
+                    let f = pick(&mut rng, REDUCES);
+                    out.push_str(&format!("; r{s} = {f}({prev}[{j}])"));
+                }
+            }
+        }
+        let mut settings = Vec::new();
+        if rng.below(2) == 1 {
+            settings.push(format!("iter={}", rng.below(12) + 1));
+        }
+        if rng.below(3) == 0 {
+            settings.push(format!("name=gen{}", rng.below(1000)));
+        }
+        if !settings.is_empty() {
+            out.push_str(" @ ");
+            out.push_str(&settings.join(" "));
+        }
+        out
+    }
+
+    /// Corrupts [`well_formed`]`(seed)` with one random mutation
+    /// (unbalanced bracket, unknown semiring, unicode index, garbage
+    /// byte, truncation, bad setting). The result is usually — but not
+    /// guaranteed to be — invalid; callers assert parse never panics and
+    /// any reported span stays inside the string.
+    #[must_use]
+    pub fn hostile(seed: u64) -> String {
+        let mut rng = SplitMix64::new(seed ^ 0x0051_11e0_0000_0000);
+        let mut src = well_formed(rng.next());
+        // A char-boundary-safe position (ASCII source, so any byte).
+        let pos = |rng: &mut SplitMix64, s: &str| rng.below(s.len() as u32 + 1) as usize;
+        match rng.below(8) {
+            0 => {
+                if let Some(p) = src.find(']') {
+                    src.remove(p);
+                }
+            }
+            1 => src = src.replacen(".*=", ".?=", 1).replacen(".&=", ".?=", 1),
+            2 => {
+                let p = pos(&mut rng, &src);
+                src.insert_str(p, "αβ");
+            }
+            3 => {
+                let p = pos(&mut rng, &src);
+                src.insert(p, ['$', '\\', '^', '~', '`'][rng.below(5) as usize]);
+            }
+            4 => src.truncate(pos(&mut rng, &src)),
+            5 => src.push_str(" @ iter=0"),
+            6 => {
+                let p = pos(&mut rng, &src);
+                src.insert(p, '[');
+            }
+            _ => src.push_str(" @ iter=3 iter=4"),
+        }
+        src
+    }
+
+    /// A hostile expression of at least `target_len` bytes: a plausible
+    /// prefix followed by an unbounded repetition, for the megabyte-scale
+    /// no-panic/no-recursion obligation.
+    #[must_use]
+    pub fn huge(target_len: usize, seed: u64) -> String {
+        let mut rng = SplitMix64::new(seed ^ 0x4b16_0000_0000_0000);
+        let unit = match rng.below(3) {
+            0 => "[",
+            1 => "y[i] = x[i] + ",
+            _ => "aaaaaaaaaaaaaaaa",
+        };
+        let mut out = well_formed(rng.next());
+        out.push_str("; z[i] = ");
+        while out.len() < target_len {
+            out.push_str(unit);
+        }
+        out
     }
 }
 
@@ -494,6 +661,21 @@ mod tests {
     }
 
     #[test]
+    fn einsum_generators_are_deterministic_and_ascii_where_promised() {
+        for seed in 0..64 {
+            let w = einsum::well_formed(seed);
+            assert_eq!(w, einsum::well_formed(seed));
+            assert!(w.is_ascii(), "well-formed must stay ASCII: {w}");
+            assert!(w.contains('='), "no assignment in {w}");
+            let h = einsum::hostile(seed);
+            assert_eq!(h, einsum::hostile(seed));
+        }
+        let big = einsum::huge(1 << 20, 3);
+        assert!(big.len() >= 1 << 20);
+        assert_eq!(big, einsum::huge(1 << 20, 3));
+    }
+
+    #[test]
     fn corpus_builders_are_deterministic_and_in_bounds() {
         let a = corpus::block_diagonal(64, 16, 200, 9);
         let b = corpus::block_diagonal(64, 16, 200, 9);
@@ -564,10 +746,27 @@ mod tests {
         assert!(names.contains(&"empty_rows_cols"));
         for (name, m) in &suite {
             assert_eq!(m.nrows(), 32, "{name}");
-            assert_eq!(m.ncols(), 32, "{name}");
+            if *name == "zero_rows_rect" {
+                assert_eq!(m.ncols(), 16, "{name} must stay rectangular");
+            } else {
+                assert_eq!(m.ncols(), 32, "{name}");
+            }
         }
         let empty = suite.iter().find(|(n, _)| *n == "empty").unwrap();
         assert_eq!(empty.1.nnz(), 0);
+
+        // The rectangular entry keeps its defining property: every odd
+        // row is completely empty, and some even row is populated.
+        let rect = &suite
+            .iter()
+            .find(|(n, _)| *n == "zero_rows_rect")
+            .unwrap()
+            .1;
+        assert!(rect.nnz() > 0);
+        for &(r, c, _) in rect.entries() {
+            assert_eq!(r % 2, 0, "odd row {r} must be all-zero");
+            assert!(c < 16);
+        }
     }
 
     #[test]

@@ -67,7 +67,35 @@ fn interp_square(m: &CooMatrix, semiring: SemiringOp) -> CsrMatrix {
 #[test]
 fn simulator_interp_and_kernel_agree_across_corpus() {
     let mut checked = 0usize;
+    let mut saw_rect = false;
     for (name, m) in corpus::edge_case_suite(48) {
+        if m.nrows() != m.ncols() {
+            // The rectangular zero_rows_rect entry: a self-product A·A
+            // needs ncols == nrows, so both the kernel and the scalar
+            // interpreter must reject it with a dimension error instead
+            // of producing anything.
+            saw_rect = true;
+            let err = spgemm(&m.to_csr(), &m.to_csr(), SemiringOp::MulAdd)
+                .expect_err("rectangular self-product must be rejected");
+            assert!(
+                matches!(
+                    err,
+                    sparsepipe::tensor::TensorError::DimensionMismatch { .. }
+                ),
+                "{name}: unexpected rejection: {err}"
+            );
+            let mut b = GraphBuilder::new();
+            let a = b.constant_matrix("A");
+            b.mxm(a, a, SemiringOp::MulAdd).unwrap();
+            let graph = b.build().unwrap();
+            let mut bindings = Bindings::new();
+            bindings.insert("A".to_string(), Value::Sparse(Arc::new(m.to_csc())));
+            assert!(
+                interp::run(&graph, &bindings, 1).is_err(),
+                "{name}: interpreter accepted a rectangular self-product"
+            );
+            continue;
+        }
         for semiring in [SemiringOp::MulAdd, SemiringOp::AndOr] {
             let oracle = spgemm(&m.to_csr(), &m.to_csr(), semiring).unwrap();
             let ctx = format!("{name}/{semiring:?}");
@@ -83,6 +111,7 @@ fn simulator_interp_and_kernel_agree_across_corpus() {
         }
     }
     assert!(checked >= 60, "corpus shrank: only {checked} stage runs");
+    assert!(saw_rect, "edge_case_suite lost its rectangular entry");
 }
 
 /// Larger instances of the SpGEMM-targeted builders, where accumulator
