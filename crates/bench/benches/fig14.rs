@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparsepipe_apps::registry;
 use sparsepipe_baselines::ideal::IdealAccelerator;
 use sparsepipe_baselines::WorkloadInstance;
-use sparsepipe_bench::datasets::ScaledDataset;
+use sparsepipe_bench::datasets::DatasetSpec;
 use sparsepipe_bench::sweep;
 use sparsepipe_core::SimRequest;
 use sparsepipe_tensor::MatrixId;
@@ -13,7 +13,7 @@ use sparsepipe_tensor::MatrixId;
 fn bench_simulate(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_simulate");
     group.sample_size(10);
-    let dataset = ScaledDataset::load(MatrixId::Ca, 256);
+    let dataset = DatasetSpec::new(MatrixId::Ca, 256).load().unwrap();
     for app_name in ["pr", "sssp", "cg"] {
         let app = registry::by_name(app_name).unwrap();
         let program = app.compile().unwrap();
@@ -36,7 +36,7 @@ fn bench_simulate(c: &mut Criterion) {
 }
 
 fn bench_ideal_baseline(c: &mut Criterion) {
-    let dataset = ScaledDataset::load(MatrixId::Ca, 256);
+    let dataset = DatasetSpec::new(MatrixId::Ca, 256).load().unwrap();
     let app = registry::by_name("pr").unwrap();
     let program = app.compile().unwrap();
     let cfg = sweep::sparsepipe_config(&dataset);

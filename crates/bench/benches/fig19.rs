@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparsepipe_apps::registry;
-use sparsepipe_bench::datasets::ScaledDataset;
+use sparsepipe_bench::datasets::{DatasetSpec, ScaledDataset};
 use sparsepipe_core::{EvictionPolicy, Preprocessing, ReorderKind, SimRequest, SparsepipeConfig};
 use sparsepipe_tensor::MatrixId;
 
@@ -20,7 +20,7 @@ fn base_cfg(dataset: &ScaledDataset) -> SparsepipeConfig {
 fn bench_preprocessing_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig19_preprocessing");
     group.sample_size(10);
-    let dataset = ScaledDataset::load(MatrixId::Bu, 256);
+    let dataset = DatasetSpec::new(MatrixId::Bu, 256).load().unwrap();
     let app = registry::by_name("pr").unwrap();
     let program = app.compile().unwrap();
     for (name, blocked) in [("plain", false), ("blocked", true)] {
@@ -44,7 +44,7 @@ fn bench_preprocessing_variants(c: &mut Criterion) {
 fn bench_ablation_subtensor(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_subtensor");
     group.sample_size(10);
-    let dataset = ScaledDataset::load(MatrixId::Ca, 256);
+    let dataset = DatasetSpec::new(MatrixId::Ca, 256).load().unwrap();
     let app = registry::by_name("pr").unwrap();
     let program = app.compile().unwrap();
     for t in [1usize, 8, 64] {
@@ -68,7 +68,7 @@ fn bench_ablation_subtensor(c: &mut Criterion) {
 fn bench_ablation_eager_and_eviction(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_eager_eviction");
     group.sample_size(10);
-    let dataset = ScaledDataset::load(MatrixId::Bu, 256);
+    let dataset = DatasetSpec::new(MatrixId::Bu, 256).load().unwrap();
     let app = registry::by_name("sssp").unwrap();
     let program = app.compile().unwrap();
     let variants: [(&str, bool, EvictionPolicy); 3] = [

@@ -7,6 +7,8 @@
 //! experiments trace [--app NAME] [--matrix CODE] [--trace-dir DIR]
 //! experiments analyze [--app NAME] [--matrix CODE]
 //! experiments compile --expr '<einsum>' | --file corpus.ses [--matrix CODE]
+//!                     [--emit graph]
+//! experiments convert --out FILE.slab [--in FILE.mtx | --matrix CODE --scale N]
 //!
 //! artifacts: all table1 table2 table3 fig14 fig15 fig16 fig17 fig18
 //!            fig19 fig20a fig20b fig21 fig22 fig23 ablation verify
@@ -22,6 +24,8 @@
 //!                 default BENCH_experiments.json
 //! --mtx DIR       load real MatrixMarket matrices from DIR/<code>.mtx
 //!                 instead of the synthetic stand-ins (use --scale 1)
+//! --slab DIR      load binary matrix slabs from DIR/<code>.s<scale>.slab
+//!                 (written by `experiments convert`); exclusive with --mtx
 //! --lint          run the static verifier (sparsepipe-lint) over every
 //!                 registered app first; exit non-zero on any lint error
 //! --trace-dir DIR with sweep artifacts: trace every sweep point, audit
@@ -39,7 +43,13 @@
 //! compile         parse, lint, and lower sparse-einsum expressions
 //!                 (`--expr` for one, `--file` for a corpus, one per
 //!                 line), run one simulated point for each, and exit 4
-//!                 when any expression carries a diagnostic error
+//!                 when any expression carries a diagnostic error.
+//!                 `--emit graph` additionally dumps each lowered
+//!                 DataflowGraph as JSON into the trace dir
+//! convert         write a binary matrix slab: `--in FILE.mtx` streams a
+//!                 MatrixMarket file (constant-memory two-pass build), or
+//!                 `--matrix CODE --scale N` freezes a synthetic matrix;
+//!                 `--out FILE.slab` is required
 //!
 //! fault tolerance (routes sweeps through the isolated executor; a failed
 //! point is reported and skipped instead of aborting the run, and the
@@ -218,11 +228,23 @@ fn run() -> Result<ExitCode, BenchError> {
                         "compile: no expressions found in the input".into(),
                     ));
                 }
-                let (report, failing) =
-                    exp::compile_exprs(&ctx, &exec, &entries, opts.trace_matrix)?;
+                let emit_dir = opts.emit.as_ref().map(|_| opts.trace_dir());
+                let (report, failing) = exp::compile_exprs(
+                    &ctx,
+                    &exec,
+                    &entries,
+                    opts.trace_matrix,
+                    emit_dir.as_deref(),
+                )?;
                 compile_failures += failing;
                 report
             }
+            "convert" => exp::convert(
+                opts.convert_in.as_deref(),
+                opts.trace_matrix,
+                opts.scale,
+                opts.convert_out.as_ref().expect("cli::parse validated"),
+            )?,
             other => unreachable!("cli::parse validated artifact {other}"),
         };
         println!("{}", report.render());

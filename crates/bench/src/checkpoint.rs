@@ -365,7 +365,7 @@ pub(crate) fn decode_entry(v: &Value) -> Result<Entry, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::datasets::{MatrixSet, ScaledDataset};
+    use crate::datasets::MatrixSet;
     use crate::sweep::EvalRequest;
 
     fn temp_path(tag: &str) -> PathBuf {
@@ -373,7 +373,9 @@ mod tests {
     }
 
     fn one_entry() -> (PointKey, Entry) {
-        let dataset = ScaledDataset::load(MatrixId::Ca, 512);
+        let dataset = crate::datasets::DatasetSpec::new(MatrixId::Ca, 512)
+            .load()
+            .unwrap();
         let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
         let entry = EvalRequest::new(&pr, &dataset, 512)
             .run()

@@ -5,7 +5,7 @@ use std::path::PathBuf;
 
 use sparsepipe_tensor::MatrixId;
 
-use crate::datasets::{DataContext, DataSource, MatrixSet};
+use crate::datasets::{DataContext, MatrixSet, SourceConfig};
 
 /// Every artifact the harness can regenerate, in paper order.
 pub const ALL_ARTIFACTS: [&str; 17] = [
@@ -29,8 +29,10 @@ pub struct CliOptions {
     /// Where to write the run-telemetry JSON (default
     /// `BENCH_experiments.json` in the working directory).
     pub bench_json: Option<PathBuf>,
-    /// Load real MatrixMarket matrices from this directory, if set.
-    pub mtx_dir: Option<PathBuf>,
+    /// Where matrices come from: synthetic (default), `--mtx DIR`
+    /// MatrixMarket files, or `--slab DIR` binary slabs written by the
+    /// `convert` subcommand.
+    pub source: SourceConfig,
     /// Run the static verifier over every registered app before any
     /// artifact, failing the run on lint errors.
     pub lint: bool,
@@ -68,6 +70,16 @@ pub struct CliOptions {
     /// A corpus file of sparse-einsum expressions for the `compile`
     /// subcommand (`--file`), one expression per line.
     pub expr_file: Option<PathBuf>,
+    /// MatrixMarket input for the `convert` subcommand (`--in`); when
+    /// absent, `convert` generates the synthetic `--matrix` at
+    /// `--scale` and slabs that.
+    pub convert_in: Option<PathBuf>,
+    /// Slab output path for the `convert` subcommand (`--out`).
+    pub convert_out: Option<PathBuf>,
+    /// Extra artifact the `compile` subcommand emits (`--emit graph`
+    /// writes each lowered `DataflowGraph` as JSON under the trace
+    /// directory).
+    pub emit: Option<String>,
 }
 
 impl CliOptions {
@@ -76,10 +88,7 @@ impl CliOptions {
         DataContext {
             scale: self.scale,
             set: self.set,
-            source: match &self.mtx_dir {
-                Some(dir) => DataSource::MatrixMarket(dir.clone()),
-                None => DataSource::Synthetic,
-            },
+            source: self.source.to_source(),
         }
     }
 
@@ -146,7 +155,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         json_out: None,
         jobs: 0,
         bench_json: None,
-        mtx_dir: None,
+        source: SourceConfig::Synthetic,
         lint: false,
         help: false,
         trace_dir: None,
@@ -161,6 +170,9 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         prune_static: None,
         expr: None,
         expr_file: None,
+        convert_in: None,
+        convert_out: None,
+        emit: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -191,11 +203,43 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             }
             "--mtx" => {
                 i += 1;
-                opts.mtx_dir = Some(
+                let dir = args
+                    .get(i)
+                    .ok_or("--mtx needs a directory of <code>.mtx files")?;
+                if opts.source != SourceConfig::Synthetic {
+                    return Err("--mtx and --slab are exclusive".into());
+                }
+                opts.source = SourceConfig::MatrixMarket(dir.into());
+            }
+            "--slab" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or("--slab needs a directory of <code>.s<scale>.slab files")?;
+                if opts.source != SourceConfig::Synthetic {
+                    return Err("--mtx and --slab are exclusive".into());
+                }
+                opts.source = SourceConfig::Slab(dir.into());
+            }
+            "--in" => {
+                i += 1;
+                opts.convert_in = Some(
                     args.get(i)
-                        .ok_or("--mtx needs a directory of <code>.mtx files")?
+                        .ok_or("--in needs a MatrixMarket file path")?
                         .into(),
                 );
+            }
+            "--out" => {
+                i += 1;
+                opts.convert_out = Some(args.get(i).ok_or("--out needs a slab file path")?.into());
+            }
+            "--emit" => {
+                i += 1;
+                let what = args.get(i).ok_or("--emit needs an artifact kind (graph)")?;
+                if what != "graph" {
+                    return Err(format!("--emit supports `graph`, got `{what}`"));
+                }
+                opts.emit = Some(what.clone());
             }
             "--trace-dir" => {
                 i += 1;
@@ -298,13 +342,14 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 return Err(format!("unknown flag: {flag}"));
             }
             artifact => {
-                // `trace`, `analyze`, and `compile` are subcommands, not
-                // paper artifacts: valid to request explicitly, never
-                // pulled in by `all`.
+                // `trace`, `analyze`, `compile`, and `convert` are
+                // subcommands, not paper artifacts: valid to request
+                // explicitly, never pulled in by `all`.
                 if !ALL_ARTIFACTS.contains(&artifact)
                     && artifact != "trace"
                     && artifact != "analyze"
                     && artifact != "compile"
+                    && artifact != "convert"
                 {
                     return Err(format!("unknown artifact: {artifact}"));
                 }
@@ -345,6 +390,16 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         }
         _ => {}
     }
+    if opts.emit.is_some() && !wants_compile {
+        return Err("--emit only applies to the compile subcommand".into());
+    }
+    let wants_convert = opts.artifacts.iter().any(|a| a == "convert");
+    if wants_convert && opts.convert_out.is_none() {
+        return Err("convert needs --out <file.slab>".into());
+    }
+    if !wants_convert && (opts.convert_in.is_some() || opts.convert_out.is_some()) {
+        return Err("--in/--out only apply to the convert subcommand".into());
+    }
     // Reject malformed specs at parse time, not mid-sweep.
     crate::fault::FaultInjector::from_specs(&opts.inject).map_err(|e| format!("--inject {e}"))?;
     Ok(opts)
@@ -354,7 +409,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
 pub fn usage() -> String {
     format!(
         "usage: experiments <artifact>... [--scale N] [--quick] [--jobs N] [--json out.json] \
-         [--bench-json out.json] [--mtx DIR] [--lint] [--trace-dir DIR]\n\
+         [--bench-json out.json] [--mtx DIR | --slab DIR] [--lint] [--trace-dir DIR]\n\
          fault tolerance: [--deadline-ms N] [--retries N] [--backoff-ms N] \
          [--checkpoint journal.jsonl] [--resume] [--inject kind@app-matrix[:n]] \
          [--prune-static BYTES]\n\
@@ -363,8 +418,11 @@ pub fn usage() -> String {
          analyze subcommand: experiments analyze [--app NAME] [--matrix CODE] — static \
          traffic/occupancy bounds, differentially verified against the simulator\n\
          compile subcommand: experiments compile --expr '<einsum>' | --file corpus.ses \
-         [--matrix CODE] — parse, lint, and lower sparse-einsum expressions, run one \
-         simulated point each, exit 4 on any diagnostic error\n\
+         [--matrix CODE] [--emit graph] — parse, lint, and lower sparse-einsum \
+         expressions, run one simulated point each, exit 4 on any diagnostic error\n\
+         convert subcommand: experiments convert --out FILE.slab [--in FILE.mtx | \
+         --matrix CODE --scale N] — stream a MatrixMarket file (or a synthetic matrix) \
+         into a binary slab loadable with --slab\n\
          (--trace-dir with sweep artifacts also records per-point JSONL traces)",
         ALL_ARTIFACTS.join(" ")
     )
@@ -605,11 +663,66 @@ mod tests {
     #[test]
     fn mtx_dir_selects_matrixmarket_source() {
         let o = parse(&args("table1 --mtx /data/mtx --scale 1")).unwrap();
+        assert_eq!(o.source, SourceConfig::MatrixMarket("/data/mtx".into()));
         let ctx = o.context();
         assert_eq!(
-            ctx.source,
-            crate::datasets::DataSource::MatrixMarket("/data/mtx".into())
+            serde_json::to_string(&ctx.source.describe()).unwrap(),
+            r#"{"MatrixMarket":"/data/mtx"}"#
         );
         assert_eq!(ctx.scale, 1);
+    }
+
+    #[test]
+    fn slab_dir_selects_slab_source() {
+        let o = parse(&args("table1 --slab /data/slabs")).unwrap();
+        assert_eq!(o.source, SourceConfig::Slab("/data/slabs".into()));
+        // default stays synthetic; the two file sources are exclusive
+        assert_eq!(
+            parse(&args("table1")).unwrap().source,
+            SourceConfig::Synthetic
+        );
+        assert!(parse(&args("table1 --mtx a --slab b")).is_err());
+        assert!(parse(&args("table1 --slab b --mtx a")).is_err());
+        assert!(parse(&args("table1 --slab")).is_err());
+    }
+
+    #[test]
+    fn convert_subcommand_parses_and_validates() {
+        let o = parse(&args("convert --in graph.mtx --out graph.slab")).unwrap();
+        assert_eq!(o.artifacts, vec!["convert"]);
+        assert_eq!(o.convert_in, Some(PathBuf::from("graph.mtx")));
+        assert_eq!(o.convert_out, Some(PathBuf::from("graph.slab")));
+        assert!(!o.needs_sweep());
+        // synthetic mode: --matrix/--scale instead of --in
+        let s = parse(&args("convert --matrix wi --scale 45 --out wi.slab")).unwrap();
+        assert_eq!(s.trace_matrix, MatrixId::Wi);
+        assert_eq!(s.scale, 45);
+        assert_eq!(s.convert_in, None);
+        // `all` must not pull the subcommand in
+        assert!(!parse(&args("all"))
+            .unwrap()
+            .artifacts
+            .iter()
+            .any(|a| a == "convert"));
+        // errors
+        assert!(parse(&args("convert")).is_err(), "needs --out");
+        assert!(parse(&args("convert --in a.mtx")).is_err(), "needs --out");
+        assert!(parse(&args("table1 --out x.slab")).is_err());
+        assert!(parse(&args("table1 --in x.mtx")).is_err());
+        assert!(parse(&args("convert --in")).is_err());
+        assert!(parse(&args("convert --out")).is_err());
+    }
+
+    #[test]
+    fn emit_graph_parses_and_validates() {
+        let o = parse(&args("compile --expr x --emit graph")).unwrap();
+        assert_eq!(o.emit.as_deref(), Some("graph"));
+        assert_eq!(parse(&args("compile --expr x")).unwrap().emit, None);
+        assert!(parse(&args("compile --expr x --emit")).is_err());
+        assert!(parse(&args("compile --expr x --emit dot")).is_err());
+        assert!(
+            parse(&args("table1 --emit graph")).is_err(),
+            "--emit without the compile subcommand"
+        );
     }
 }

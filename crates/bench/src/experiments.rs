@@ -6,6 +6,8 @@
 //! `EXPERIMENTS.md` records how each measured number compares with the
 //! paper's.
 
+use std::path::Path;
+
 use sparsepipe_apps::{registry, StaApp};
 use sparsepipe_core::{MemoryConfig, Preprocessing, ReorderKind, SimOutcome, SparsepipeConfig};
 use sparsepipe_tensor::{livesweep, BlockedDualStorage, CooMatrix, DualStorage, MatrixId};
@@ -1482,6 +1484,11 @@ pub fn analyze(
 /// the number of expressions with diagnostic errors (parse/lower
 /// rejections, lint errors, backend compile or simulation failures).
 ///
+/// With `emit_graph` set, every expression that lowers cleanly also gets
+/// its [`DataflowGraph`](sparsepipe_frontend::DataflowGraph) dumped as
+/// pretty-printed JSON to `<dir>/compile-graph-<name>.json` — the
+/// schema-stable interchange form downstream tools consume.
+///
 /// # Errors
 ///
 /// Returns [`BenchError::Dataset`] if the input matrix fails to load —
@@ -1491,9 +1498,16 @@ pub fn compile_exprs(
     exec: &Executor,
     entries: &[crate::einsum_corpus::CorpusEntry],
     matrix_id: MatrixId,
+    emit_graph: Option<&Path>,
 ) -> Result<(Report, usize), BenchError> {
     use sparsepipe_lint::einsum_checks;
 
+    if let Some(dir) = emit_graph {
+        std::fs::create_dir_all(dir).map_err(|source| BenchError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+    }
     let dataset = ctx.load_one(matrix_id)?;
     let cfg = sweep::sparsepipe_config(&dataset);
     let mb = |b: f64| format!("{:.2}", b / 1e6);
@@ -1530,6 +1544,12 @@ pub fn compile_exprs(
         if let Some(lowered) = &check.lowered {
             ops = Some(lowered.graph.ops().count());
             iterations = Some(lowered.iterations);
+            if let Some(dir) = emit_graph {
+                let path = dir.join(format!("compile-graph-{}.json", e.name));
+                let json = serde_json::to_string_pretty(&lowered.graph)
+                    .map_err(|err| BenchError::Json(err.to_string()))?;
+                std::fs::write(&path, json).map_err(|source| BenchError::Io { path, source })?;
+            }
             match sparsepipe_frontend::compile(&lowered.graph, lowered.feature_dim) {
                 Ok(program) => {
                     report.merge(sparsepipe_lint::lint_program(&program));
@@ -1598,6 +1618,13 @@ pub fn compile_exprs(
         "compile    : {} expression(s), {failing} failing",
         entries.len()
     );
+    if let Some(dir) = emit_graph {
+        let _ = writeln!(
+            body,
+            "graphs     : lowered DataflowGraph JSON in {}",
+            dir.display()
+        );
+    }
     Ok((
         Report {
             id: "compile",
@@ -1610,6 +1637,66 @@ pub fn compile_exprs(
         },
         failing,
     ))
+}
+
+/// **convert** — the out-of-core front door: writes a binary matrix slab
+/// (`SPSLAB1` format, see `sparsepipe_core::slab`) either by streaming a
+/// MatrixMarket file through the chunked [`ArenaBuilder`]
+/// (`--in FILE.mtx`, never materializing the triplet list) or by
+/// freezing a synthetic Table-I matrix at the requested scale
+/// (`--matrix CODE --scale N`). The resulting slab is what `--slab DIR`
+/// serves back through [`SlabSource`](crate::datasets::SlabSource).
+///
+/// [`ArenaBuilder`]: sparsepipe_core::ArenaBuilder
+///
+/// # Errors
+///
+/// Returns [`BenchError::Dataset`] when the source fails to parse or the
+/// slab cannot be written.
+pub fn convert(
+    input: Option<&Path>,
+    matrix_id: MatrixId,
+    scale: u64,
+    out: &Path,
+) -> Result<Report, BenchError> {
+    let to_dataset = |message: String| BenchError::Dataset {
+        matrix: matrix_id,
+        message,
+    };
+    let (header, source_desc) = if let Some(mtx) = input {
+        let header = sparsepipe_core::slab::convert_mm(mtx, out)
+            .map_err(|e| to_dataset(format!("{}: {e}", mtx.display())))?;
+        (header, mtx.display().to_string())
+    } else {
+        let matrix = matrix_id.spec().generate(scale);
+        let arena = sparsepipe_core::MatrixArena::from_coo(&matrix);
+        let header = sparsepipe_core::slab::write_file(&arena, out)
+            .map_err(|e| to_dataset(format!("{}: {e}", out.display())))?;
+        (
+            header,
+            format!("synthetic {} @ scale 1/{scale}", matrix_id.code()),
+        )
+    };
+    let mut t = Table::new(
+        ["slab", "n", "nnz", "bytes", "fingerprint"]
+            .map(String::from)
+            .to_vec(),
+    );
+    t.row(vec![
+        out.display().to_string(),
+        header.n.to_string(),
+        header.nnz.to_string(),
+        header.file_bytes().to_string(),
+        format!("{:016x}", header.fingerprint),
+    ]);
+    let mut body = t.render();
+    use std::fmt::Write as _;
+    let _ = writeln!(body, "converted  : {source_desc}");
+    Ok(Report {
+        id: "convert",
+        title: format!("matrix slab written to {}", out.display()),
+        body,
+    })
 }
 
 /// **--lint** — the static verifier over every registered app (graph

@@ -4,6 +4,7 @@
 
 use std::path::PathBuf;
 
+use crate::datasets::SourceConfig;
 use crate::serve::loadgen::{parse_set, LoadgenConfig};
 use crate::serve::proto::MAX_FRAME_DEFAULT;
 use crate::serve::server::{ServeConfig, DATASET_SLOTS_DEFAULT};
@@ -77,6 +78,26 @@ pub fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
                     .filter(|&v: &usize| v > 0)
                     .ok_or("--dataset-slots needs a positive integer")?;
             }
+            "--mtx" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or("--mtx needs a directory of <code>.mtx files")?;
+                if opts.config.source != SourceConfig::Synthetic {
+                    return Err("--mtx and --slab are exclusive".into());
+                }
+                opts.config.source = SourceConfig::MatrixMarket(dir.into());
+            }
+            "--slab" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or("--slab needs a directory of <code>.s<scale>.slab files")?;
+                if opts.config.source != SourceConfig::Synthetic {
+                    return Err("--mtx and --slab are exclusive".into());
+                }
+                opts.config.source = SourceConfig::Slab(dir.into());
+            }
             "--help" | "-h" => opts.help = true,
             flag => return Err(format!("unknown flag: {flag}")),
         }
@@ -89,11 +110,14 @@ pub fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
 pub fn serve_usage() -> String {
     format!(
         "usage: sparsepipe-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--cache-bytes BYTES] [--max-frame BYTES] [--dataset-slots N]\n\
+         [--cache-bytes BYTES] [--max-frame BYTES] [--dataset-slots N] \
+         [--mtx DIR | --slab DIR]\n\
          defaults: --addr 127.0.0.1:0 (ephemeral; the bound address is printed), \
          --workers 0 (all cores), --queue-depth 64, unbounded cache, \
          --max-frame {MAX_FRAME_DEFAULT}, \
-         --dataset-slots {DATASET_SLOTS_DEFAULT} (LRU cap on warm (matrix, scale) datasets)\n\
+         --dataset-slots {DATASET_SLOTS_DEFAULT} (LRU cap on warm (matrix, scale) datasets), \
+         synthetic matrices (--mtx serves MatrixMarket files, --slab serves binary slabs \
+         written by `experiments convert`)\n\
          The daemon prints `listening on <addr>` once ready and serves until a wire \
          shutdown request, then drains admitted work and exits."
     )
@@ -209,10 +233,11 @@ mod tests {
         assert_eq!(d.config.cache_bytes, None);
         assert_eq!(d.config.max_frame, MAX_FRAME_DEFAULT);
         assert_eq!(d.config.dataset_slots, DATASET_SLOTS_DEFAULT);
+        assert_eq!(d.config.source, SourceConfig::Synthetic);
         assert!(!d.help);
         let o = parse_serve(&args(
             "--addr 0.0.0.0:7341 --workers 3 --queue-depth 16 --cache-bytes 1000000 --max-frame 4096 \
-             --dataset-slots 4",
+             --dataset-slots 4 --slab /data/slabs",
         ))
         .unwrap();
         assert_eq!(o.config.addr, "0.0.0.0:7341");
@@ -221,6 +246,12 @@ mod tests {
         assert_eq!(o.config.cache_bytes, Some(1_000_000));
         assert_eq!(o.config.max_frame, 4096);
         assert_eq!(o.config.dataset_slots, 4);
+        assert_eq!(o.config.source, SourceConfig::Slab("/data/slabs".into()));
+        let m = parse_serve(&args("--mtx /data/mtx")).unwrap();
+        assert_eq!(
+            m.config.source,
+            SourceConfig::MatrixMarket("/data/mtx".into())
+        );
         assert!(parse_serve(&args("--help")).unwrap().help);
         assert!(serve_usage().contains("listening on"));
     }
@@ -233,6 +264,9 @@ mod tests {
         assert!(parse_serve(&args("--cache-bytes 0")).is_err());
         assert!(parse_serve(&args("--max-frame 1")).is_err());
         assert!(parse_serve(&args("--dataset-slots 0")).is_err());
+        assert!(parse_serve(&args("--mtx")).is_err());
+        assert!(parse_serve(&args("--slab")).is_err());
+        assert!(parse_serve(&args("--mtx a --slab b")).is_err());
         assert!(parse_serve(&args("--frobnicate")).is_err());
         assert!(parse_serve(&args("positional")).is_err());
     }

@@ -27,7 +27,8 @@ use serde::Serialize as _;
 use sparsepipe_core::MatrixCache;
 use sparsepipe_tensor::MatrixId;
 
-use crate::datasets::ScaledDataset;
+use crate::datasets::{DatasetSpec, MatrixSource, ScaledDataset, SourceConfig};
+use crate::error::BenchError;
 use crate::executor::{isolate_point, PointOutcome};
 use crate::fault::RetryPolicy;
 use crate::serve::proto::{read_frame, write_frame, MAX_FRAME_DEFAULT};
@@ -54,6 +55,11 @@ pub struct ServeConfig {
     /// are dropped, so clients sweeping many scales cannot grow daemon
     /// memory without bound. Clamped to at least 1.
     pub dataset_slots: usize,
+    /// Where evaluation matrices come from (`--mtx` / `--slab`; default
+    /// synthetic). A closed [`SourceConfig`] descriptor rather than a
+    /// `dyn` source so the config stays comparable; the daemon
+    /// instantiates the source once at startup.
+    pub source: SourceConfig,
 }
 
 /// Default [`ServeConfig::dataset_slots`]: enough for the full
@@ -70,6 +76,7 @@ impl Default for ServeConfig {
             cache_bytes: None,
             max_frame: MAX_FRAME_DEFAULT,
             dataset_slots: DATASET_SLOTS_DEFAULT,
+            source: SourceConfig::Synthetic,
         }
     }
 }
@@ -96,6 +103,8 @@ struct Shared {
     /// in-flight jobs keep theirs, so eviction never races evaluation.
     datasets: Mutex<WarmDatasets>,
     dataset_slots: usize,
+    /// The instantiated matrix source every warm-LRU miss loads through.
+    source: Arc<dyn MatrixSource>,
     queue: AdmissionQueue<Job>,
     served: AtomicU64,
     failed: AtomicU64,
@@ -146,27 +155,31 @@ impl Shared {
         Some(dataset)
     }
 
-    fn dataset(&self, id: MatrixId, scale: u64) -> Arc<ScaledDataset> {
+    fn dataset(&self, id: MatrixId, scale: u64) -> Result<Arc<ScaledDataset>, BenchError> {
         let key = (id, scale);
         if let Some(d) = self.dataset_cached(key) {
-            return d;
+            return Ok(d);
         }
-        // build outside the lock (generation is pure; a duplicate
-        // concurrent build is wasted work, not incorrectness)
-        let built = Arc::new(ScaledDataset::load(id, scale));
+        // build outside the lock (loading has no shared state; a
+        // duplicate concurrent build is wasted work, not incorrectness)
+        let built = Arc::new(
+            DatasetSpec::new(id, scale)
+                .with_source(Arc::clone(&self.source))
+                .load()?,
+        );
         let mut warm = self.datasets.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(i) = warm.iter().position(|(k, _)| *k == key) {
             // another worker won the race; keep its copy warm
             let entry = warm.remove(i);
             let dataset = Arc::clone(&entry.1);
             warm.push(entry);
-            return dataset;
+            return Ok(dataset);
         }
         warm.push((key, Arc::clone(&built)));
         if warm.len() > self.dataset_slots {
             warm.remove(0);
         }
-        built
+        Ok(built)
     }
 }
 
@@ -210,8 +223,8 @@ fn handle_job(shared: &Shared, job: Job) {
         |_attempt| {
             // dataset build runs under catch_unwind too: a panic while
             // generating becomes a `panic` error response, never worker
-            // death
-            let dataset = shared.dataset(matrix, spec.scale);
+            // death; a source load failure is an ordinary `dataset` error
+            let dataset = shared.dataset(matrix, spec.scale)?;
             spec.run_local(&dataset, &shared.cache)
                 .map(|o| o.evaluation)
         },
@@ -403,6 +416,7 @@ impl Server {
             cache,
             datasets: Mutex::new(Vec::new()),
             dataset_slots: cfg.dataset_slots.max(1),
+            source: cfg.source.to_source(),
             queue: AdmissionQueue::new(cfg.queue_depth),
             served: AtomicU64::new(0),
             failed: AtomicU64::new(0),

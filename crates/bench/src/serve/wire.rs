@@ -152,30 +152,12 @@ impl EvalSpec {
         let Some(id) = self.matrix_id() else {
             return Err(("dataset", format!("unknown matrix code `{}`", self.matrix)));
         };
-        let spec = id.spec();
-        if !spec.supports_scale(self.scale) {
-            return Err((
-                "dataset",
-                format!(
-                    "scale {} out of range for `{}` (valid: 1..={})",
-                    self.scale,
-                    self.matrix,
-                    spec.max_scale()
-                ),
-            ));
-        }
-        if let Some(app) = sparsepipe_apps::registry::by_name(&self.app) {
-            let rows = spec.rows_at_scale(self.scale);
-            if rows < u64::from(app.min_rows) {
-                return Err((
-                    "dataset",
-                    format!(
-                        "scale {} leaves `{}` with {rows} rows, below `{}`'s minimum of {}",
-                        self.scale, self.matrix, self.app, app.min_rows
-                    ),
-                ));
-            }
-        }
+        // One admission path for every consumer: the daemon, the sweep,
+        // and ad-hoc tools all run `DatasetSpec::admit`. The wire layer
+        // only contributes the app row floor (unknown apps pass — the
+        // worker's `run_local` owns that rejection).
+        let min_rows = sparsepipe_apps::registry::by_name(&self.app).map_or(1, |app| app.min_rows);
+        crate::datasets::DatasetSpec::new(id, self.scale).admit(min_rows)?;
         Ok(id)
     }
 
@@ -741,7 +723,9 @@ mod tests {
     #[test]
     fn run_local_rejects_unknown_app_and_mismatched_dataset() {
         let cache = sparsepipe_core::MatrixCache::new();
-        let dataset = ScaledDataset::load(sparsepipe_tensor::MatrixId::Ca, 512);
+        let dataset = crate::datasets::DatasetSpec::new(sparsepipe_tensor::MatrixId::Ca, 512)
+            .load()
+            .unwrap();
         let err = EvalSpec::new("nope", "ca", 512)
             .run_local(&dataset, &cache)
             .unwrap_err();

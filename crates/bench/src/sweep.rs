@@ -222,10 +222,10 @@ pub fn trace_counters(events: &[TraceEvent]) -> TraceCounters {
 /// `evaluate_traced_cached` quartet.
 ///
 /// ```no_run
-/// # use sparsepipe_bench::datasets::ScaledDataset;
+/// # use sparsepipe_bench::datasets::DatasetSpec;
 /// # use sparsepipe_bench::sweep::EvalRequest;
 /// # use sparsepipe_tensor::MatrixId;
-/// let dataset = ScaledDataset::load(MatrixId::Ca, 64);
+/// let dataset = DatasetSpec::new(MatrixId::Ca, 64).load().unwrap();
 /// let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
 /// let cache = sparsepipe_core::MatrixCache::new();
 /// let outcome = EvalRequest::new(&pr, &dataset, 64)
@@ -997,7 +997,9 @@ mod tests {
         // On eu (tiny live set, memory-bound, large enough that pipeline
         // fill is negligible), pr must beat the ideal baseline thanks to
         // cross-iteration reuse.
-        let dataset = crate::datasets::ScaledDataset::load(MatrixId::Eu, 512);
+        let dataset = crate::datasets::DatasetSpec::new(MatrixId::Eu, 512)
+            .load()
+            .unwrap();
         let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
         let pr_eu = EvalRequest::new(&pr, &dataset, 512)
             .run()
@@ -1022,7 +1024,9 @@ mod tests {
 
     #[test]
     fn evaluation_carries_telemetry_and_diagnostics() {
-        let dataset = crate::datasets::ScaledDataset::load(MatrixId::Ca, 512);
+        let dataset = crate::datasets::DatasetSpec::new(MatrixId::Ca, 512)
+            .load()
+            .unwrap();
         let pr = sparsepipe_apps::registry::by_name("pr").unwrap();
         let ev = EvalRequest::new(&pr, &dataset, 512)
             .run()

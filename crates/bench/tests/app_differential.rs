@@ -8,7 +8,7 @@
 //! `crates/core/tests/dualbuffer_differential.rs`; this suite covers the
 //! scheduling paths only real app graphs exercise.)
 
-use sparsepipe_bench::datasets::ScaledDataset;
+use sparsepipe_bench::datasets::DatasetSpec;
 use sparsepipe_bench::sweep::EvalRequest;
 use sparsepipe_core::MatrixCache;
 use sparsepipe_tensor::MatrixId;
@@ -16,7 +16,7 @@ use sparsepipe_trace::MemorySink;
 
 #[test]
 fn cached_evaluation_is_identical_for_every_app() {
-    let dataset = ScaledDataset::load(MatrixId::Gy, 64);
+    let dataset = DatasetSpec::new(MatrixId::Gy, 64).load().unwrap();
     let cache = MatrixCache::new();
     let apps = sparsepipe_apps::registry::shared();
     assert_eq!(
@@ -58,7 +58,7 @@ fn cached_evaluation_is_identical_for_every_app() {
 
 #[test]
 fn traced_cached_evaluation_audits_and_matches_for_every_app() {
-    let dataset = ScaledDataset::load(MatrixId::Bu, 64);
+    let dataset = DatasetSpec::new(MatrixId::Bu, 64).load().unwrap();
     let cache = MatrixCache::new();
     for app in sparsepipe_apps::registry::shared().iter() {
         // A traced EvalRequest replays the stream against the traffic

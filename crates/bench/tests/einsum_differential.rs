@@ -22,7 +22,7 @@
 //! [`Entry`]: sparsepipe_bench::sweep::Entry
 
 use sparsepipe_apps::{registry, StaApp};
-use sparsepipe_bench::datasets::ScaledDataset;
+use sparsepipe_bench::datasets::DatasetSpec;
 use sparsepipe_bench::einsum_corpus;
 use sparsepipe_bench::sweep::EvalRequest;
 use sparsepipe_core::{oei, MatrixArena, MxmRequest, SparsepipeConfig};
@@ -247,7 +247,7 @@ fn assert_outcomes_match(name: &str, check_diagnostics: bool) {
         ..app.clone()
     };
 
-    let dataset = ScaledDataset::load(MatrixId::Ca, 64);
+    let dataset = DatasetSpec::new(MatrixId::Ca, 64).load().unwrap();
     let hand = EvalRequest::new(&app, &dataset, 64).run().expect(name);
     let front = EvalRequest::new(&compiled, &dataset, 64).run().expect(name);
 

@@ -79,10 +79,39 @@ fn compile_report_matches_golden_snapshot() {
         &exec,
         &entries,
         sparsepipe_tensor::MatrixId::Ca,
+        None,
     )
     .expect("the bundled corpus compiles");
     assert_eq!(failing, 0, "the bundled corpus must compile clean");
     check("compile.txt", &report.render());
+}
+
+#[test]
+fn emitted_graph_json_matches_golden_snapshot() {
+    // `compile --emit graph` dumps each lowered DataflowGraph as JSON —
+    // the schema-stable interchange form. Pin the `pr` expression's
+    // graph: any rename, reorder, or retype of the IR's serialized
+    // fields is a schema break and must be blessed deliberately.
+    let exec = Executor::new(0);
+    let entries: Vec<_> = sparsepipe_bench::einsum_corpus::bundled()
+        .into_iter()
+        .filter(|e| e.name == "pr")
+        .collect();
+    assert_eq!(entries.len(), 1, "the bundled corpus names exactly one pr");
+    let dir = std::env::temp_dir().join(format!("sparsepipe-emit-golden-{}", std::process::id()));
+    let (_report, failing) = experiments::compile_exprs(
+        &DataContext::synthetic(MatrixSet::Quick, 64),
+        &exec,
+        &entries,
+        sparsepipe_tensor::MatrixId::Ca,
+        Some(&dir),
+    )
+    .expect("the pr expression compiles");
+    assert_eq!(failing, 0, "the pr expression must compile clean");
+    let json = fs::read_to_string(dir.join("compile-graph-pr.json"))
+        .expect("--emit graph writes compile-graph-<name>.json");
+    fs::remove_dir_all(&dir).ok();
+    check("compile-graph-pr.json", &json);
 }
 
 #[test]

@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use sparsepipe_bench::datasets::{MatrixSet, ScaledDataset};
+use sparsepipe_bench::datasets::{DatasetSpec, MatrixSet, ScaledDataset};
 use sparsepipe_bench::serve::loadgen::{self, LoadgenConfig};
 use sparsepipe_bench::serve::wire::EvalSpec;
 use sparsepipe_bench::serve::{ClientError, ServeClient, ServeConfig, Server};
@@ -30,7 +30,9 @@ fn serial_entries(specs: &[EvalSpec]) -> BTreeMap<String, String> {
             let dataset = datasets
                 .entry((spec.matrix.clone(), spec.scale))
                 .or_insert_with(|| {
-                    ScaledDataset::load(spec.matrix_id().expect("quick matrix"), spec.scale)
+                    DatasetSpec::new(spec.matrix_id().expect("quick matrix"), spec.scale)
+                        .load()
+                        .expect("quick dataset")
                 });
             let outcome = spec.run_local(dataset, &cache).expect("serial evaluation");
             let json = serde_json::to_string(&outcome.evaluation.entry).unwrap();
@@ -96,9 +98,11 @@ fn budgeted_cache_stays_bounded_and_still_earns_hits() {
     {
         let mut datasets: BTreeMap<String, ScaledDataset> = BTreeMap::new();
         for spec in &specs {
-            let dataset = datasets
-                .entry(spec.matrix.clone())
-                .or_insert_with(|| ScaledDataset::load(spec.matrix_id().unwrap(), spec.scale));
+            let dataset = datasets.entry(spec.matrix.clone()).or_insert_with(|| {
+                DatasetSpec::new(spec.matrix_id().unwrap(), spec.scale)
+                    .load()
+                    .unwrap()
+            });
             spec.run_local(dataset, &unbounded).unwrap();
         }
     }

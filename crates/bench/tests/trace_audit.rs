@@ -6,7 +6,7 @@
 //! registry is the acceptance check that the exactness protocol holds on
 //! every scheduling path an app can take.
 
-use sparsepipe_bench::datasets::ScaledDataset;
+use sparsepipe_bench::datasets::DatasetSpec;
 use sparsepipe_bench::sweep::EvalRequest;
 use sparsepipe_core::{Preprocessing, ReorderKind, SimRequest, SparsepipeConfig};
 use sparsepipe_tensor::MatrixId;
@@ -14,7 +14,7 @@ use sparsepipe_trace::{MemorySink, TraceAudit};
 
 #[test]
 fn every_registry_app_audits_exactly() {
-    let dataset = ScaledDataset::load(MatrixId::Gy, 256);
+    let dataset = DatasetSpec::new(MatrixId::Gy, 256).load().unwrap();
     let apps = sparsepipe_apps::registry::shared();
     assert_eq!(
         apps.len(),
@@ -40,7 +40,7 @@ fn every_registry_app_audits_exactly() {
 fn odd_iteration_tail_audits_exactly() {
     // Odd iteration counts leave an unfused analytic tail pass; its
     // closed-form traffic must be emitted (and replayed) exactly too.
-    let dataset = ScaledDataset::load(MatrixId::Bu, 256);
+    let dataset = DatasetSpec::new(MatrixId::Bu, 256).load().unwrap();
     let app = sparsepipe_apps::registry::by_name("pr").unwrap();
     let program = app.compile().unwrap();
     let cfg = SparsepipeConfig::iso_gpu()

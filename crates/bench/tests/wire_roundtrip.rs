@@ -169,7 +169,9 @@ fn entry_payloads_cross_the_envelope_byte_identically() {
     let cache = sparsepipe_core::MatrixCache::new();
     let spec = EvalSpec::new("pr", "ca", 512);
     let dataset =
-        sparsepipe_bench::datasets::ScaledDataset::load(sparsepipe_tensor::MatrixId::Ca, 512);
+        sparsepipe_bench::datasets::DatasetSpec::new(sparsepipe_tensor::MatrixId::Ca, 512)
+            .load()
+            .unwrap();
     use serde::Serialize as _;
     let outcome = spec.run_local(&dataset, &cache).unwrap();
     let entry = outcome.evaluation.entry;

@@ -120,8 +120,15 @@ mod bench {
 
         let overall = legacy_total / arena_total;
         println!("dualbuffer_hot/overall: {overall:.2}x (one OS-heavy + one IS-heavy pass)");
+        // Pre-optimization numbers (before the partition_point prefix
+        // splits in fetch_column / the fused driver's deferred scatter),
+        // kept so the recorded JSON carries the delta, not just the level.
+        const BASELINE_OS: f64 = 1.45;
+        #[allow(clippy::approx_constant)] // measured speedup, not 2π
+        const BASELINE_OVERALL: f64 = 6.28;
         let value = format!(
-            "{{\"n\": {N}, \"nnz\": {NNZ}, \"reps\": {REPS}, \"speedup\": {overall:.2}, {}}}",
+            "{{\"n\": {N}, \"nnz\": {NNZ}, \"reps\": {REPS}, \"speedup\": {overall:.2}, \
+             \"baseline\": {{\"os_speedup\": {BASELINE_OS}, \"overall_speedup\": {BASELINE_OVERALL}}}, {}}}",
             fields.join(", ")
         );
         let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_core.json");

@@ -14,6 +14,8 @@
 
 use sparsepipe_tensor::{CooMatrix, CscMatrix, CsrMatrix};
 
+use crate::CoreError;
+
 /// Precomputed CSC + CSR slice tables for one square matrix.
 ///
 /// Offsets are `u32` positions into the coordinate/value arrays (the
@@ -79,6 +81,103 @@ impl MatrixArena {
         }
     }
 
+    /// Builds the arena directly from its six raw arrays (the binary
+    /// slab loader's entry point, see [`crate::slab`]). The parts are
+    /// fully validated — offset monotonicity, coordinate bounds, sorted
+    /// strictly-ascending slices, and CSC/CSR element agreement — so a
+    /// corrupt or hand-crafted slab cannot construct an arena whose
+    /// accessors would later panic or return wrong slices.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArena`] naming the violated invariant.
+    #[allow(clippy::too_many_lines)]
+    pub fn from_raw_parts(
+        n: u32,
+        csc_ptr: Vec<u32>,
+        csc_rows: Vec<u32>,
+        csc_vals: Vec<f64>,
+        csr_ptr: Vec<u32>,
+        csr_cols: Vec<u32>,
+        csr_vals: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        let fail = |context: String| CoreError::InvalidArena { context };
+        let nnz = csc_rows.len();
+        if nnz >= u32::MAX as usize {
+            return Err(fail(format!("nnz {nnz} overflows u32 offsets")));
+        }
+        if csc_vals.len() != nnz || csr_cols.len() != nnz || csr_vals.len() != nnz {
+            return Err(fail(format!(
+                "array lengths disagree: csc {}x{}, csr {}x{}",
+                csc_rows.len(),
+                csc_vals.len(),
+                csr_cols.len(),
+                csr_vals.len()
+            )));
+        }
+        let check_ptr = |name: &str, ptr: &[u32]| -> Result<(), CoreError> {
+            if ptr.len() != n as usize + 1 {
+                return Err(fail(format!(
+                    "{name} has {} offsets for dimension {n} (want n + 1)",
+                    ptr.len()
+                )));
+            }
+            if ptr[0] != 0 || ptr[n as usize] as usize != nnz {
+                return Err(fail(format!(
+                    "{name} must span [0, {nnz}], got [{}, {}]",
+                    ptr[0], ptr[n as usize]
+                )));
+            }
+            if ptr.windows(2).any(|w| w[0] > w[1]) {
+                return Err(fail(format!("{name} offsets are not monotone")));
+            }
+            Ok(())
+        };
+        check_ptr("csc_ptr", &csc_ptr)?;
+        check_ptr("csr_ptr", &csr_ptr)?;
+        let check_coords = |name: &str, ptr: &[u32], coords: &[u32]| -> Result<(), CoreError> {
+            for s in 0..n as usize {
+                let slice = &coords[ptr[s] as usize..ptr[s + 1] as usize];
+                if slice.iter().any(|&x| x >= n) {
+                    return Err(fail(format!("{name} slice {s} has a coordinate >= {n}")));
+                }
+                if slice.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(fail(format!(
+                        "{name} slice {s} is not strictly ascending (unsorted or duplicate)"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check_coords("csc_rows", &csc_ptr, &csc_rows)?;
+        check_coords("csr_cols", &csr_ptr, &csr_cols)?;
+        // CSC/CSR must describe the same matrix: walking the CSC form in
+        // row-major order must reproduce the CSR arrays exactly.
+        let mut cursor: Vec<u32> = csr_ptr[..n as usize].to_vec();
+        for c in 0..n as usize {
+            for i in csc_ptr[c] as usize..csc_ptr[c + 1] as usize {
+                let r = csc_rows[i] as usize;
+                let p = cursor[r] as usize;
+                if p >= csr_ptr[r + 1] as usize
+                    || csr_cols[p] != c as u32
+                    || csr_vals[p].to_bits() != csc_vals[i].to_bits()
+                {
+                    return Err(fail(format!("csc and csr disagree at element ({r}, {c})")));
+                }
+                cursor[r] += 1;
+            }
+        }
+        Ok(MatrixArena {
+            n,
+            csc_ptr,
+            csc_rows,
+            csc_vals,
+            csr_ptr,
+            csr_cols,
+            csr_vals,
+        })
+    }
+
     /// Matrix dimension (square).
     pub fn n(&self) -> u32 {
         self.n
@@ -140,6 +239,300 @@ impl MatrixArena {
         let (lo, hi) = self.row_range(r);
         let cols = &self.csr_cols[lo..hi];
         lo + cols.partition_point(|&c| c < col)
+    }
+
+    /// The raw CSC column-offset table (length `n + 1`). The six raw
+    /// accessors exist for serializers (the slab writer) and external
+    /// checkers; simulator code uses the slice accessors above.
+    pub fn csc_ptr(&self) -> &[u32] {
+        &self.csc_ptr
+    }
+
+    /// The raw CSC row-coordinate array (column-major element order).
+    pub fn csc_rows(&self) -> &[u32] {
+        &self.csc_rows
+    }
+
+    /// The raw CSC value array (column-major element order).
+    pub fn csc_vals(&self) -> &[f64] {
+        &self.csc_vals
+    }
+
+    /// The raw CSR row-offset table (length `n + 1`).
+    pub fn csr_ptr(&self) -> &[u32] {
+        &self.csr_ptr
+    }
+
+    /// The raw CSR column-coordinate array (row-major element order).
+    pub fn csr_cols(&self) -> &[u32] {
+        &self.csr_cols
+    }
+
+    /// The raw CSR value array (row-major element order).
+    pub fn csr_vals(&self) -> &[f64] {
+        &self.csr_vals
+    }
+
+    /// Reconstructs the COO triplet list (row-major order, the same
+    /// entry order [`CooMatrix::entries`] maintains) — the bridge from a
+    /// slab-loaded arena back to the `CooMatrix`-typed dataset pipeline.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for r in 0..self.n {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                entries.push((r, c, v));
+            }
+        }
+        CooMatrix::from_entries(self.n, self.n, entries)
+            .expect("arena coordinates are validated in range")
+    }
+}
+
+/// Chunked two-pass [`MatrixArena`] construction for out-of-core inputs.
+///
+/// [`MatrixArena::from_coo`] needs the whole triplet list plus derived
+/// CSC *and* CSR images live at once — roughly 3× the final arena
+/// footprint. The builder instead ingests a stream of entries twice
+/// (counting pass, then placement pass — re-streaming a file costs one
+/// extra sequential read) and never holds more than the final arrays
+/// plus `O(n)` cursors, so building a 10M-nnz arena stays within ~1.2×
+/// of the serialized slab size:
+///
+/// ```
+/// use sparsepipe_core::ArenaBuilder;
+/// let entries = [(1u32, 0u32, 2.0f64), (0, 1, 3.0), (1, 1, -1.0)];
+/// let mut b = ArenaBuilder::new(2);
+/// for &(r, c, _) in &entries {
+///     b.count(r, c)?;
+/// }
+/// b.start_placement()?;
+/// for &(r, c, v) in &entries {
+///     b.place(r, c, v)?;
+/// }
+/// let arena = b.finish()?;
+/// assert_eq!(arena.nnz(), 3);
+/// assert_eq!(arena.row(1), (&[0u32, 1][..], &[2.0, -1.0][..]));
+/// # Ok::<(), sparsepipe_core::CoreError>(())
+/// ```
+///
+/// Duplicate coordinates merge by addition in input order, matching
+/// [`CooMatrix::from_entries`]'s semantics for already-sorted input.
+/// The two passes must present the same entries in the same order; the
+/// placement pass re-checks the counts and fails otherwise.
+#[derive(Debug)]
+pub struct ArenaBuilder {
+    n: u32,
+    /// Counting pass: per-column counts at `[c + 1]`; placement pass:
+    /// the finished CSC offset table.
+    csc_ptr: Vec<u32>,
+    /// Per-column write cursors during placement.
+    cursor: Vec<u32>,
+    csc_rows: Vec<u32>,
+    csc_vals: Vec<f64>,
+    counted: u64,
+    placed: usize,
+    placing: bool,
+}
+
+impl ArenaBuilder {
+    /// A builder for a square `n × n` matrix, in the counting pass.
+    pub fn new(n: u32) -> Self {
+        ArenaBuilder {
+            n,
+            csc_ptr: vec![0; n as usize + 1],
+            cursor: Vec::new(),
+            csc_rows: Vec::new(),
+            csc_vals: Vec::new(),
+            counted: 0,
+            placed: 0,
+            placing: false,
+        }
+    }
+
+    fn check_coords(&self, r: u32, c: u32) -> Result<(), CoreError> {
+        if r >= self.n || c >= self.n {
+            return Err(CoreError::InvalidArena {
+                context: format!("entry ({r}, {c}) outside the {0}x{0} shape", self.n),
+            });
+        }
+        Ok(())
+    }
+
+    /// Counting pass: registers one entry's coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArena`] for out-of-shape coordinates, a
+    /// builder already in its placement pass, or a `u32` offset
+    /// overflow.
+    pub fn count(&mut self, r: u32, c: u32) -> Result<(), CoreError> {
+        if self.placing {
+            return Err(CoreError::InvalidArena {
+                context: "count() after start_placement()".into(),
+            });
+        }
+        self.check_coords(r, c)?;
+        self.counted += 1;
+        if self.counted >= u64::from(u32::MAX) {
+            return Err(CoreError::InvalidArena {
+                context: format!("nnz {} overflows u32 offsets", self.counted),
+            });
+        }
+        self.csc_ptr[c as usize + 1] += 1;
+        Ok(())
+    }
+
+    /// Ends the counting pass: prefix-sums the column counts and
+    /// allocates the element arrays (the single large allocation of the
+    /// build).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArena`] if placement already started.
+    pub fn start_placement(&mut self) -> Result<(), CoreError> {
+        if self.placing {
+            return Err(CoreError::InvalidArena {
+                context: "start_placement() called twice".into(),
+            });
+        }
+        for i in 0..self.n as usize {
+            self.csc_ptr[i + 1] += self.csc_ptr[i];
+        }
+        self.cursor = self.csc_ptr[..self.n as usize].to_vec();
+        let nnz = self.counted as usize;
+        self.csc_rows = vec![0; nnz];
+        self.csc_vals = vec![0.0; nnz];
+        self.placing = true;
+        Ok(())
+    }
+
+    /// Placement pass: stores one entry (same stream, same order as the
+    /// counting pass).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArena`] if the entry overflows its column's
+    /// counted size or the builder is still in the counting pass.
+    pub fn place(&mut self, r: u32, c: u32, v: f64) -> Result<(), CoreError> {
+        if !self.placing {
+            return Err(CoreError::InvalidArena {
+                context: "place() before start_placement()".into(),
+            });
+        }
+        self.check_coords(r, c)?;
+        let idx = self.cursor[c as usize] as usize;
+        if idx >= self.csc_ptr[c as usize + 1] as usize {
+            return Err(CoreError::InvalidArena {
+                context: format!("column {c} received more entries than counted"),
+            });
+        }
+        self.csc_rows[idx] = r;
+        self.csc_vals[idx] = v;
+        self.cursor[c as usize] += 1;
+        self.placed += 1;
+        Ok(())
+    }
+
+    /// Finishes the build: per-column row sort (skipped for the common
+    /// already-sorted case), duplicate merge by addition in input order,
+    /// CSR derivation, and full structural validation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArena`] if the placement pass delivered a
+    /// different entry stream than the counting pass.
+    pub fn finish(mut self) -> Result<MatrixArena, CoreError> {
+        if !self.placing {
+            return Err(CoreError::InvalidArena {
+                context: "finish() before start_placement()".into(),
+            });
+        }
+        if self.placed as u64 != self.counted {
+            return Err(CoreError::InvalidArena {
+                context: format!(
+                    "placement pass delivered {} entries, counting pass saw {}",
+                    self.placed, self.counted
+                ),
+            });
+        }
+        let n = self.n as usize;
+        // Sort each column's (row, value) pairs by row. File order is
+        // kept among equal rows (stable sort) so duplicate merging sums
+        // in input order, like `CooMatrix::from_entries` on sorted
+        // input. SuiteSparse exports are already ordered, so the scratch
+        // sort usually never runs.
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for c in 0..n {
+            let (lo, hi) = (self.csc_ptr[c] as usize, self.csc_ptr[c + 1] as usize);
+            if self.csc_rows[lo..hi].windows(2).all(|w| w[0] < w[1]) {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(
+                self.csc_rows[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(self.csc_vals[lo..hi].iter().copied()),
+            );
+            scratch.sort_by_key(|&(r, _)| r);
+            for (i, &(r, v)) in scratch.iter().enumerate() {
+                self.csc_rows[lo + i] = r;
+                self.csc_vals[lo + i] = v;
+            }
+        }
+        // Merge duplicates in place (compacting), rebuilding the offset
+        // table as we go.
+        let mut write = 0usize;
+        let mut new_ptr = vec![0u32; n + 1];
+        for c in 0..n {
+            let (lo, hi) = (self.csc_ptr[c] as usize, self.csc_ptr[c + 1] as usize);
+            let mut i = lo;
+            while i < hi {
+                let r = self.csc_rows[i];
+                let mut v = self.csc_vals[i];
+                i += 1;
+                while i < hi && self.csc_rows[i] == r {
+                    v += self.csc_vals[i];
+                    i += 1;
+                }
+                self.csc_rows[write] = r;
+                self.csc_vals[write] = v;
+                write += 1;
+            }
+            new_ptr[c + 1] = write as u32;
+        }
+        self.csc_rows.truncate(write);
+        self.csc_vals.truncate(write);
+        let csc_ptr = new_ptr;
+        let (csc_rows, csc_vals) = (self.csc_rows, self.csc_vals);
+
+        // Derive CSR by a counting pass over the CSC image. Visiting
+        // columns in ascending order lands each row's elements in
+        // ascending column order, so the CSR slices come out sorted.
+        let mut csr_ptr = vec![0u32; n + 1];
+        for &r in &csc_rows {
+            csr_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..n {
+            csr_ptr[i + 1] += csr_ptr[i];
+        }
+        let mut csr_cursor: Vec<u32> = csr_ptr[..n].to_vec();
+        let mut csr_cols = vec![0u32; write];
+        let mut csr_vals = vec![0.0f64; write];
+        for c in 0..n {
+            for i in csc_ptr[c] as usize..csc_ptr[c + 1] as usize {
+                let r = csc_rows[i] as usize;
+                let p = csr_cursor[r] as usize;
+                csr_cols[p] = c as u32;
+                csr_vals[p] = csc_vals[i];
+                csr_cursor[r] += 1;
+            }
+        }
+        drop(csr_cursor);
+        MatrixArena::from_raw_parts(
+            self.n, csc_ptr, csc_rows, csc_vals, csr_ptr, csr_cols, csr_vals,
+        )
     }
 }
 
@@ -296,6 +689,127 @@ mod tests {
                 assert_eq!(arena.csr_position(r, c), lo + i);
             }
         }
+    }
+
+    fn build_streamed(m: &CooMatrix) -> MatrixArena {
+        let mut b = ArenaBuilder::new(m.nrows());
+        for &(r, c, _) in m.entries() {
+            b.count(r, c).unwrap();
+        }
+        b.start_placement().unwrap();
+        for &(r, c, v) in m.entries() {
+            b.place(r, c, v).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_matches_from_coo() {
+        for seed in [3, 9, 27] {
+            let m = gen::power_law(128, 900, 1.0, 0.4, seed);
+            assert_eq!(build_streamed(&m), MatrixArena::from_coo(&m), "seed {seed}");
+        }
+        // empty matrix
+        let empty = CooMatrix::from_entries(17, 17, Vec::new()).unwrap();
+        assert_eq!(build_streamed(&empty), MatrixArena::from_coo(&empty));
+    }
+
+    #[test]
+    fn builder_sorts_and_merges_duplicates_like_coo() {
+        // unsorted stream with duplicates: (2,1) twice, out of order
+        let raw = vec![
+            (2u32, 1u32, 4.0),
+            (0, 1, 1.0),
+            (2, 1, 0.25),
+            (1, 0, -3.0),
+            (0, 0, 2.0),
+        ];
+        let m = CooMatrix::from_entries(3, 3, raw.clone()).unwrap();
+        let mut b = ArenaBuilder::new(3);
+        for &(r, c, _) in &raw {
+            b.count(r, c).unwrap();
+        }
+        b.start_placement().unwrap();
+        for &(r, c, v) in &raw {
+            b.place(r, c, v).unwrap();
+        }
+        let arena = b.finish().unwrap();
+        assert_eq!(arena, MatrixArena::from_coo(&m));
+        assert_eq!(arena.nnz(), 4);
+        assert_eq!(arena.col(1).1, &[1.0, 4.25][..]);
+    }
+
+    #[test]
+    fn builder_rejects_protocol_violations() {
+        let mut b = ArenaBuilder::new(4);
+        assert!(b.count(4, 0).is_err(), "row out of shape");
+        assert!(b.place(0, 0, 1.0).is_err(), "place before start_placement");
+        b.count(1, 1).unwrap();
+        b.start_placement().unwrap();
+        assert!(b.count(0, 0).is_err(), "count after start_placement");
+        assert!(b.place(0, 0, 1.0).is_err(), "uncounted column overflows");
+        b.place(2, 1, 5.0).unwrap();
+        // placement delivered different coordinates than counting — the
+        // shape bookkeeping still balances, so finish validates clean,
+        // but a *count* mismatch is caught:
+        let mut short = ArenaBuilder::new(4);
+        short.count(0, 0).unwrap();
+        short.count(1, 1).unwrap();
+        short.start_placement().unwrap();
+        short.place(0, 0, 1.0).unwrap();
+        assert!(short.finish().is_err(), "missing placement entry");
+    }
+
+    #[test]
+    fn from_raw_parts_validates_structure() {
+        let m = gen::uniform(24, 24, 120, 4);
+        let a = MatrixArena::from_coo(&m);
+        let rebuilt = MatrixArena::from_raw_parts(
+            a.n(),
+            a.csc_ptr().to_vec(),
+            a.csc_rows().to_vec(),
+            a.csc_vals().to_vec(),
+            a.csr_ptr().to_vec(),
+            a.csr_cols().to_vec(),
+            a.csr_vals().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, a);
+
+        let corrupt = |f: &dyn Fn(&mut Vec<u32>, &mut Vec<f64>)| {
+            let (mut rows, mut vals) = (a.csc_rows().to_vec(), a.csc_vals().to_vec());
+            f(&mut rows, &mut vals);
+            MatrixArena::from_raw_parts(
+                a.n(),
+                a.csc_ptr().to_vec(),
+                rows,
+                vals,
+                a.csr_ptr().to_vec(),
+                a.csr_cols().to_vec(),
+                a.csr_vals().to_vec(),
+            )
+        };
+        // out-of-range coordinate
+        assert!(corrupt(&|rows, _| rows[0] = 99).is_err());
+        // value flipped: CSC/CSR disagree
+        assert!(corrupt(&|_, vals| vals[0] += 1.0).is_err());
+        // truncated offsets
+        assert!(MatrixArena::from_raw_parts(
+            a.n(),
+            a.csc_ptr()[..3].to_vec(),
+            a.csc_rows().to_vec(),
+            a.csc_vals().to_vec(),
+            a.csr_ptr().to_vec(),
+            a.csr_cols().to_vec(),
+            a.csr_vals().to_vec(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn to_coo_round_trips() {
+        let m = gen::power_law(64, 500, 1.0, 0.4, 8);
+        assert_eq!(MatrixArena::from_coo(&m).to_coo(), m);
     }
 
     #[test]

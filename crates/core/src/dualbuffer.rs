@@ -226,10 +226,12 @@ impl<'a, S: TraceSink> DualBuffer<'a, S> {
         }
         self.csc_epoch[col as usize] = self.epoch;
         self.csc_bytes += len * ELEM_BYTES;
-        for &row in rows {
-            if row < is_frontier {
-                continue; // deferred-IS: consumed by the caller directly
-            }
+        // Arena column slices are strictly ascending, so the deferred-IS
+        // rows (`row < is_frontier`, consumed by the caller directly) form
+        // a contiguous prefix: one binary search replaces the per-element
+        // residency branch and the converter walks only the live suffix.
+        let live = rows.partition_point(|&r| r < is_frontier);
+        for &row in &rows[live..] {
             if S::ENABLED {
                 self.sink.emit(TraceEvent::BufferInsert {
                     row,

@@ -70,16 +70,18 @@ pub mod oei;
 pub mod pipeline;
 pub mod plan;
 pub mod profile;
+pub mod slab;
 pub mod spgemm;
 mod stats;
 
-pub use arena::{MatrixArena, RowSet};
+pub use arena::{ArenaBuilder, MatrixArena, RowSet};
 pub use cache::{CacheBytes, MatrixCache};
 pub use config::{EvictionPolicy, MemoryConfig, Preprocessing, ReorderKind, SparsepipeConfig};
 pub use driver::{SimOutcome, SimRequest, SimTelemetry};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use plan::PassPlan;
 pub use profile::MatrixProfile;
+pub use slab::{SlabError, SlabHeader};
 pub use spgemm::{MxmOutcome, MxmParams, MxmRequest, MxmStats};
 pub use stats::{BwSample, SimReport, TrafficBreakdown};
 
@@ -104,6 +106,13 @@ pub enum CoreError {
         /// The wall-clock budget the run was given, in milliseconds.
         budget_ms: u64,
     },
+    /// Raw arena parts ([`MatrixArena::from_raw_parts`]) violate the
+    /// arena's structural invariants (offset monotonicity, coordinate
+    /// bounds, sorted-and-deduplicated slices, CSC/CSR agreement).
+    InvalidArena {
+        /// Which invariant failed.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -118,6 +127,9 @@ impl std::fmt::Display for CoreError {
                     f,
                     "simulation exceeded its {budget_ms} ms wall-clock deadline"
                 )
+            }
+            CoreError::InvalidArena { context } => {
+                write!(f, "invalid arena: {context}")
             }
         }
     }

@@ -384,13 +384,19 @@ where
         // ---- CSC loader: fetch column c; the converter routes each
         // element to the CSR space (rows ≥ c) or the deferred path. ----
         buffer.fetch_column(c, c);
-        // deferred-IS: rows the IS stage already passed scatter now
+        // deferred-IS: rows the IS stage already passed scatter now.
+        // Column slices are strictly ascending, so those rows are the
+        // `r < c` prefix — split once instead of testing every element,
+        // and accumulate into a register instead of re-reading `y2[c]`
+        // (same operation order, so results stay bitwise identical).
         let (rows, vals) = arena.col(c);
-        for (&r, &v) in rows.iter().zip(vals) {
-            if r < c {
-                let cell = &mut y2[c as usize];
-                *cell = is.add(*cell, is.mul(x2[r as usize], v));
+        let deferred = rows.partition_point(|&r| r < c);
+        if deferred > 0 {
+            let mut cell = y2[c as usize];
+            for (&r, &v) in rows[..deferred].iter().zip(&vals[..deferred]) {
+                cell = is.add(cell, is.mul(x2[r as usize], v));
             }
+            y2[c as usize] = cell;
         }
 
         // ---- OS core: dot of column c (read from the buffer). ----

@@ -29,8 +29,37 @@ pub enum TensorError {
         /// What went wrong.
         message: String,
     },
+    /// A file violated its format's structural contract, with a
+    /// machine-stable code (e.g. `mm-truncated` for a MatrixMarket file
+    /// holding fewer entries than its size line declares). Tools match
+    /// on [`TensorError::code`], never on the prose.
+    Format {
+        /// Stable machine-matchable code (see [`TensorError::code`]).
+        code: &'static str,
+        /// Line number (1-based) where the violation was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
+}
+
+impl TensorError {
+    /// The stable machine-matchable error code: the
+    /// [`TensorError::Format`] code, or a per-variant fallback
+    /// (`index-out-of-bounds`, `dimension-mismatch`, `parse`, `io`).
+    /// Codes are a compatibility surface — existing values never change
+    /// meaning.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TensorError::IndexOutOfBounds { .. } => "index-out-of-bounds",
+            TensorError::DimensionMismatch { .. } => "dimension-mismatch",
+            TensorError::Parse { .. } => "parse",
+            TensorError::Format { code, .. } => code,
+            TensorError::Io(_) => "io",
+        }
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -50,6 +79,13 @@ impl fmt::Display for TensorError {
             }
             TensorError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            TensorError::Format {
+                code,
+                line,
+                message,
+            } => {
+                write!(f, "format error [{code}] at line {line}: {message}")
             }
             TensorError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -88,6 +124,29 @@ mod tests {
             context: "vxm: vector len 3 vs matrix rows 4".into(),
         };
         assert!(e.to_string().contains("vector len 3"));
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        let e = TensorError::Format {
+            code: "mm-truncated",
+            line: 7,
+            message: "declared 10 entries, file ends after 3".into(),
+        };
+        assert_eq!(e.code(), "mm-truncated");
+        assert_eq!(
+            e.to_string(),
+            "format error [mm-truncated] at line 7: declared 10 entries, file ends after 3"
+        );
+        assert_eq!(
+            TensorError::Parse {
+                line: 1,
+                message: "x".into()
+            }
+            .code(),
+            "parse"
+        );
+        assert_eq!(TensorError::Io(std::io::Error::other("boom")).code(), "io");
     }
 
     #[test]

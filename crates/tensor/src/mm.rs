@@ -5,16 +5,285 @@
 //! fields and `general`/`symmetric` symmetry. This lets the harness run on
 //! the paper's real datasets when they are available, instead of the
 //! synthetic stand-ins.
+//!
+//! Two reading modes are provided:
+//!
+//! * [`read`] materializes the whole matrix as a [`CooMatrix`] — fine for
+//!   test-sized inputs.
+//! * [`stream`] visits entries one at a time without building the triplet
+//!   list, so a 10M-entry SuiteSparse file can be converted to another
+//!   format (the `crates/core` binary slab) in bounded memory.
+//!
+//! Structural violations carry stable [`TensorError::code`]s (`mm-banner`,
+//! `mm-storage`, `mm-field`, `mm-symmetry`, `mm-size`, `mm-index`,
+//! `mm-value`, `mm-truncated`, `mm-excess`), so tools can distinguish a
+//! truncated download from a genuinely malformed file without parsing
+//! prose.
 
 use std::io::{BufRead, Write};
 
 use crate::{CooMatrix, TensorError};
 
+/// The parsed banner + size line of a MatrixMarket file: everything known
+/// before the first entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmHeader {
+    /// Declared row count.
+    pub nrows: u32,
+    /// Declared column count.
+    pub ncols: u32,
+    /// Declared number of *stored* entries (before symmetric mirroring).
+    pub declared_nnz: usize,
+    /// `pattern` field type: entries carry no value (read as `1.0`).
+    pub pattern: bool,
+    /// `symmetric` storage: off-diagonal entries are mirrored.
+    pub symmetric: bool,
+}
+
+impl MmHeader {
+    fn format_err(line: usize, code: &'static str, message: String) -> TensorError {
+        TensorError::Format {
+            code,
+            line,
+            message,
+        }
+    }
+
+    /// Parses the banner line (`%%MatrixMarket matrix coordinate … …`).
+    fn parse_banner(header: &str) -> Result<(bool, bool), TensorError> {
+        let header_lc = header.to_ascii_lowercase();
+        let fields: Vec<&str> = header_lc.split_whitespace().collect();
+        if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+            return Err(Self::format_err(
+                1,
+                "mm-banner",
+                format!("not a MatrixMarket header: {header:?}"),
+            ));
+        }
+        if fields[2] != "coordinate" {
+            return Err(Self::format_err(
+                1,
+                "mm-storage",
+                format!("unsupported storage {:?} (only coordinate)", fields[2]),
+            ));
+        }
+        let pattern = match fields[3] {
+            "real" | "integer" => false,
+            "pattern" => true,
+            other => {
+                return Err(Self::format_err(
+                    1,
+                    "mm-field",
+                    format!("unsupported field type {other:?}"),
+                ))
+            }
+        };
+        let symmetric = match fields[4] {
+            "general" => false,
+            "symmetric" => true,
+            other => {
+                return Err(Self::format_err(
+                    1,
+                    "mm-symmetry",
+                    format!("unsupported symmetry {other:?}"),
+                ))
+            }
+        };
+        Ok((pattern, symmetric))
+    }
+}
+
+/// Parses only the banner and size line — the cheap admission peek: a
+/// caller can learn a file's shape and declared entry count without
+/// touching the (possibly gigabytes of) entry lines.
+///
+/// # Errors
+///
+/// [`TensorError::Format`] with the same stable codes as [`stream`].
+pub fn read_header<R: BufRead>(reader: R) -> Result<MmHeader, TensorError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| TensorError::Format {
+        code: "mm-banner",
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let header = header?;
+    let (pattern, symmetric) = MmHeader::parse_banner(&header)?;
+    for (idx, line) in lines {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let nrows: u64 = parse_tok(&mut toks, line_no, "nrows")?;
+        let ncols: u64 = parse_tok(&mut toks, line_no, "ncols")?;
+        let nnz: usize = parse_tok(&mut toks, line_no, "nnz")?;
+        if nrows > u64::from(u32::MAX) || ncols > u64::from(u32::MAX) {
+            return Err(TensorError::Format {
+                code: "mm-size",
+                line: line_no,
+                message: format!("matrix shape {nrows}x{ncols} exceeds u32 coordinates"),
+            });
+        }
+        return Ok(MmHeader {
+            nrows: nrows as u32,
+            ncols: ncols as u32,
+            declared_nnz: nnz,
+            pattern,
+            symmetric,
+        });
+    }
+    Err(TensorError::Format {
+        code: "mm-size",
+        line: 2,
+        message: "missing size line".into(),
+    })
+}
+
+/// Streams a MatrixMarket file, calling `visit(row, col, value)` for every
+/// logical entry (0-based coordinates; symmetric files yield the mirrored
+/// off-diagonal twin immediately after the stored entry) without ever
+/// materializing the triplet list. Returns the parsed header.
+///
+/// The declared entry count is enforced: a file that ends early fails with
+/// code `mm-truncated`, one with extra entry lines with `mm-excess` — a
+/// partial download can therefore never silently parse as a smaller
+/// matrix.
+///
+/// # Errors
+///
+/// [`TensorError::Format`] (stable codes, see the module docs) for
+/// structural violations, [`TensorError::Io`] for read failures, and
+/// whatever `visit` itself returns.
+pub fn stream<R, F>(reader: R, mut visit: F) -> Result<MmHeader, TensorError>
+where
+    R: BufRead,
+    F: FnMut(u32, u32, f64) -> Result<(), TensorError>,
+{
+    let mut lines = reader.lines().enumerate();
+
+    let (_, header) = lines.next().ok_or_else(|| TensorError::Format {
+        code: "mm-banner",
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let header = header?;
+    let (pattern, symmetric) = MmHeader::parse_banner(&header)?;
+
+    let mut parsed: Option<MmHeader> = None;
+    let mut seen: usize = 0;
+    let mut last_line = 1;
+    for (idx, line) in lines {
+        let line = line?;
+        let line_no = idx + 1;
+        last_line = line_no;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let Some(h) = parsed else {
+            // Size line: the first non-comment line after the banner.
+            let nrows: u64 = parse_tok(&mut toks, line_no, "nrows")?;
+            let ncols: u64 = parse_tok(&mut toks, line_no, "ncols")?;
+            let nnz: usize = parse_tok(&mut toks, line_no, "nnz")?;
+            if nrows > u64::from(u32::MAX) || ncols > u64::from(u32::MAX) {
+                return Err(TensorError::Format {
+                    code: "mm-size",
+                    line: line_no,
+                    message: format!("matrix shape {nrows}x{ncols} exceeds u32 coordinates"),
+                });
+            }
+            parsed = Some(MmHeader {
+                nrows: nrows as u32,
+                ncols: ncols as u32,
+                declared_nnz: nnz,
+                pattern,
+                symmetric,
+            });
+            continue;
+        };
+        if seen == h.declared_nnz {
+            return Err(TensorError::Format {
+                code: "mm-excess",
+                line: line_no,
+                message: format!(
+                    "size line declared {} entries but the file holds more",
+                    h.declared_nnz
+                ),
+            });
+        }
+        let r: u64 = parse_tok(&mut toks, line_no, "row")?;
+        let c: u64 = parse_tok(&mut toks, line_no, "col")?;
+        if r == 0 || c == 0 {
+            return Err(TensorError::Format {
+                code: "mm-index",
+                line: line_no,
+                message: "MatrixMarket coordinates are 1-based".into(),
+            });
+        }
+        if r > u64::from(h.nrows) || c > u64::from(h.ncols) {
+            return Err(TensorError::Format {
+                code: "mm-index",
+                line: line_no,
+                message: format!(
+                    "entry ({r}, {c}) outside the declared {}x{} shape",
+                    h.nrows, h.ncols
+                ),
+            });
+        }
+        let v = if pattern {
+            1.0
+        } else {
+            let tok = toks.next().ok_or_else(|| TensorError::Format {
+                code: "mm-value",
+                line: line_no,
+                message: "missing value".into(),
+            })?;
+            match tok.parse::<f64>() {
+                Ok(v) => v,
+                Err(e) => {
+                    return Err(TensorError::Format {
+                        code: "mm-value",
+                        line: line_no,
+                        message: format!("bad value {tok:?}: {e}"),
+                    })
+                }
+            }
+        };
+        let (r, c) = ((r - 1) as u32, (c - 1) as u32);
+        seen += 1;
+        visit(r, c, v)?;
+        if symmetric && r != c {
+            visit(c, r, v)?;
+        }
+    }
+    let h = parsed.ok_or(TensorError::Format {
+        code: "mm-size",
+        line: 2,
+        message: "missing size line".into(),
+    })?;
+    if seen < h.declared_nnz {
+        return Err(TensorError::Format {
+            code: "mm-truncated",
+            line: last_line,
+            message: format!(
+                "size line declared {} entries, file ends after {seen}",
+                h.declared_nnz
+            ),
+        });
+    }
+    Ok(h)
+}
+
 /// Reads a matrix in MatrixMarket coordinate format.
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::Parse`] for malformed headers or entries and
+/// Returns [`TensorError::Format`] (with a stable
+/// [`code`](TensorError::code)) for malformed or truncated input and
 /// [`TensorError::Io`] for underlying read failures.
 ///
 /// # Example
@@ -28,99 +297,12 @@ use crate::{CooMatrix, TensorError};
 /// # Ok::<(), sparsepipe_tensor::TensorError>(())
 /// ```
 pub fn read<R: BufRead>(reader: R) -> Result<CooMatrix, TensorError> {
-    let mut lines = reader.lines().enumerate();
-
-    // Header line.
-    let (_, header) = lines.next().ok_or_else(|| TensorError::Parse {
-        line: 1,
-        message: "empty file".into(),
-    })?;
-    let header = header?;
-    let header_lc = header.to_ascii_lowercase();
-    let fields: Vec<&str> = header_lc.split_whitespace().collect();
-    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
-        return Err(TensorError::Parse {
-            line: 1,
-            message: format!("not a MatrixMarket header: {header:?}"),
-        });
-    }
-    if fields[2] != "coordinate" {
-        return Err(TensorError::Parse {
-            line: 1,
-            message: format!("unsupported storage {:?} (only coordinate)", fields[2]),
-        });
-    }
-    let pattern = match fields[3] {
-        "real" | "integer" => false,
-        "pattern" => true,
-        other => {
-            return Err(TensorError::Parse {
-                line: 1,
-                message: format!("unsupported field type {other:?}"),
-            })
-        }
-    };
-    let symmetric = match fields[4] {
-        "general" => false,
-        "symmetric" => true,
-        other => {
-            return Err(TensorError::Parse {
-                line: 1,
-                message: format!("unsupported symmetry {other:?}"),
-            })
-        }
-    };
-
-    // Size line (first non-comment line).
-    let mut shape: Option<(u32, u32, usize)> = None;
     let mut entries: Vec<(u32, u32, f64)> = Vec::new();
-    for (idx, line) in lines {
-        let line = line?;
-        let line_no = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('%') {
-            continue;
-        }
-        let mut toks = trimmed.split_whitespace();
-        if shape.is_none() {
-            let nrows: u64 = parse_tok(&mut toks, line_no, "nrows")?;
-            let ncols: u64 = parse_tok(&mut toks, line_no, "ncols")?;
-            let nnz: usize = parse_tok(&mut toks, line_no, "nnz")?;
-            shape = Some((nrows as u32, ncols as u32, nnz));
-            entries.reserve(nnz);
-            continue;
-        }
-        let r: u64 = parse_tok(&mut toks, line_no, "row")?;
-        let c: u64 = parse_tok(&mut toks, line_no, "col")?;
-        if r == 0 || c == 0 {
-            return Err(TensorError::Parse {
-                line: line_no,
-                message: "MatrixMarket coordinates are 1-based".into(),
-            });
-        }
-        let v = if pattern {
-            1.0
-        } else {
-            let tok = toks.next().ok_or_else(|| TensorError::Parse {
-                line: line_no,
-                message: "missing value".into(),
-            })?;
-            tok.parse::<f64>().map_err(|e| TensorError::Parse {
-                line: line_no,
-                message: format!("bad value {tok:?}: {e}"),
-            })?
-        };
-        let (r, c) = ((r - 1) as u32, (c - 1) as u32);
+    let header = stream(reader, |r, c, v| {
         entries.push((r, c, v));
-        if symmetric && r != c {
-            entries.push((c, r, v));
-        }
-    }
-    let (nrows, ncols, _) = shape.ok_or_else(|| TensorError::Parse {
-        line: 2,
-        message: "missing size line".into(),
+        Ok(())
     })?;
-    CooMatrix::from_entries(nrows, ncols, entries)
+    CooMatrix::from_entries(header.nrows, header.ncols, entries)
 }
 
 fn parse_tok<'a, T: std::str::FromStr>(
@@ -194,6 +376,7 @@ mod tests {
     fn rejects_zero_based_coordinates() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n";
         let err = read(text.as_bytes()).unwrap_err();
+        assert_eq!(err.code(), "mm-index");
         assert!(err.to_string().contains("1-based"));
     }
 
@@ -202,5 +385,117 @@ mod tests {
         let text = "%%MatrixMarket matrix coordinate real general\n% a\n\n% b\n2 2 1\n\n1 2 4.5\n";
         let m = read(text.as_bytes()).unwrap();
         assert_eq!(m.entries(), &[(0, 1, 4.5)][..]);
+    }
+
+    #[test]
+    fn stream_yields_entries_without_materializing() {
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n% c\n3 3 3\n2 1 5.0\n3 3 1.0\n3 2 2.0\n";
+        let mut got = Vec::new();
+        let h = stream(text.as_bytes(), |r, c, v| {
+            got.push((r, c, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            h,
+            MmHeader {
+                nrows: 3,
+                ncols: 3,
+                declared_nnz: 3,
+                pattern: false,
+                symmetric: true,
+            }
+        );
+        // mirrored twin follows its stored entry immediately
+        assert_eq!(
+            got,
+            vec![
+                (1, 0, 5.0),
+                (0, 1, 5.0),
+                (2, 2, 1.0),
+                (2, 1, 2.0),
+                (1, 2, 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn read_header_peeks_without_reading_entries() {
+        // entry lines are garbage, but the header peek never reaches them
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n% note\n5 5 9\nGARBAGE\n";
+        let h = read_header(text.as_bytes()).unwrap();
+        assert_eq!((h.nrows, h.ncols, h.declared_nnz), (5, 5, 9));
+        assert!(h.pattern && h.symmetric);
+        assert_eq!(
+            read_header("%%MatrixMarket matrix coordinate real general\n% only\n".as_bytes())
+                .unwrap_err()
+                .code(),
+            "mm-size"
+        );
+    }
+
+    #[test]
+    fn truncated_file_fails_with_stable_code() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 2 5.0\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert_eq!(err.code(), "mm-truncated");
+        assert!(err.to_string().contains("declared 3 entries"));
+        // a file cut mid-comment run after the size line is also truncated
+        let text = "%%MatrixMarket matrix coordinate real general\n% note\n2 2 1\n% eof\n";
+        assert_eq!(read(text.as_bytes()).unwrap_err().code(), "mm-truncated");
+    }
+
+    #[test]
+    fn excess_entries_fail_with_stable_code() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 5.0\n2 2 1.0\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert_eq!(err.code(), "mm-excess");
+    }
+
+    #[test]
+    fn banner_dialects_carry_stable_codes() {
+        let cases = [
+            ("hello\n", "mm-banner"),
+            (
+                "%%MatrixMarket vector coordinate real general\n",
+                "mm-banner",
+            ),
+            ("%%MatrixMarket matrix array real general\n", "mm-storage"),
+            (
+                "%%MatrixMarket matrix coordinate complex general\n",
+                "mm-field",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real hermitian\n",
+                "mm-symmetry",
+            ),
+            ("", "mm-banner"),
+        ];
+        for (text, code) in cases {
+            let err = read(text.as_bytes()).unwrap_err();
+            assert_eq!(err.code(), code, "for {text:?}");
+        }
+        // banner is case-insensitive; integer field parses as real
+        let ok = "%%matrixmarket MATRIX Coordinate INTEGER General\n1 1 1\n1 1 7\n";
+        assert_eq!(read(ok.as_bytes()).unwrap().entries(), &[(0, 0, 7.0)][..]);
+    }
+
+    #[test]
+    fn out_of_shape_indices_fail_with_stable_code() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert_eq!(err.code(), "mm-index");
+        assert!(err.to_string().contains("outside the declared"));
+    }
+
+    #[test]
+    fn missing_size_line_and_values_have_codes() {
+        let only_banner = "%%MatrixMarket matrix coordinate real general\n% nothing else\n";
+        assert_eq!(read(only_banner.as_bytes()).unwrap_err().code(), "mm-size");
+        let no_value = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n";
+        assert_eq!(read(no_value.as_bytes()).unwrap_err().code(), "mm-value");
+        let bad_value = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n";
+        assert_eq!(read(bad_value.as_bytes()).unwrap_err().code(), "mm-value");
     }
 }

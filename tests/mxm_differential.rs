@@ -183,7 +183,9 @@ fn mxm_semirings(graph: &sparsepipe::frontend::DataflowGraph) -> Vec<SemiringOp>
 fn mxm_apps_differential_at_scale_256() {
     let family = registry::mxm_family();
     assert_eq!(family.len(), 4, "mxm family should be the four new apps");
-    let dataset = sparsepipe::bench::datasets::ScaledDataset::load(MatrixId::Ca, 256);
+    let dataset = sparsepipe::bench::datasets::DatasetSpec::new(MatrixId::Ca, 256)
+        .load()
+        .unwrap();
     for app in &family {
         let semirings = mxm_semirings(&app.graph);
         assert!(!semirings.is_empty(), "{} has no mxm op", app.name);
@@ -273,7 +275,9 @@ fn assert_values_bitwise(a: &Value, b: &Value, ctx: &str) {
 /// `EvalRequest` performs), and tracing does not perturb the schedule.
 #[test]
 fn traced_mxm_apps_audit_exactly_at_scale_256() {
-    let dataset = sparsepipe::bench::datasets::ScaledDataset::load(MatrixId::Ca, 256);
+    let dataset = sparsepipe::bench::datasets::DatasetSpec::new(MatrixId::Ca, 256)
+        .load()
+        .unwrap();
     let cfg = sparsepipe::bench::sweep::sparsepipe_config(&dataset);
     for app in registry::mxm_family() {
         let program = app.compile().unwrap();
